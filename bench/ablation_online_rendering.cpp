@@ -1,0 +1,77 @@
+// Ablation — online rendering and encoding (Section VIII). The paper
+// ships offline pre-encoded tiles because just-in-time rendering "makes
+// it difficult to meet the synchronization performance", and proposes
+// coordinating multiple GPUs with pipelined encoders as future work.
+// This harness answers the question the discussion raises: how many
+// GPUs does the Section-VIII server need before online rendering stops
+// hurting QoE, and how much does render/encode pipelining buy?
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/core/dv_greedy.h"
+#include "src/render/render_farm.h"
+#include "src/system/system_sim.h"
+
+int main() {
+  using namespace cvr;
+  bench::print_header(
+      "Ablation — online rendering/encoding on a GPU farm (Section VIII)");
+
+  // Capacity view first: tiles/user the farm sustains inside one slot.
+  std::printf("farm capacity: max tiles per user within the 15 ms slot\n");
+  std::printf("%8s | %18s | %18s\n", "GPUs", "pipelined (q=6)",
+              "sequential (q=6)");
+  for (int gpus : {1, 2, 4, 8}) {
+    render::RenderFarmConfig pipelined;
+    pipelined.gpus = gpus;
+    render::RenderFarmConfig sequential = pipelined;
+    sequential.pipelined = false;
+    std::printf("%8d | %18zu | %18zu\n", gpus,
+                render::RenderFarm(pipelined).max_tiles_per_user(8, 6),
+                render::RenderFarm(sequential).max_tiles_per_user(8, 6));
+  }
+
+  // End-to-end: setup-1 system with just-in-time rendering.
+  std::printf("\nend-to-end (8 users, setup 1): QoE and FPS vs GPU count\n");
+  std::printf("%12s %10s %10s %10s\n", "config", "QoE", "quality", "fps");
+  {
+    system::SystemSimConfig offline = system::setup_one_router(8);
+    offline.slots = 1320;
+    core::DvGreedyAllocator alloc;
+    const auto arm = system::SystemSim(offline).compare({&alloc}, 3)[0];
+    std::printf("%12s %10.3f %10.3f %10.1f\n", "offline", arm.mean_qoe(),
+                arm.mean_quality(), arm.mean_fps());
+  }
+  for (int gpus : {1, 2, 4}) {
+    system::SystemSimConfig config = system::setup_one_router(8);
+    config.slots = 1320;
+    config.online_rendering = true;
+    config.render_farm.gpus = gpus;
+    core::DvGreedyAllocator alloc;
+    const auto arm = system::SystemSim(config).compare({&alloc}, 3)[0];
+    std::printf("%9d-gpu %10.3f %10.3f %10.1f\n", gpus, arm.mean_qoe(),
+                arm.mean_quality(), arm.mean_fps());
+  }
+  {
+    system::SystemSimConfig config = system::setup_one_router(8);
+    config.slots = 1320;
+    config.online_rendering = true;
+    config.render_farm.gpus = 4;
+    config.render_farm.pipelined = false;
+    core::DvGreedyAllocator alloc;
+    const auto arm = system::SystemSim(config).compare({&alloc}, 3)[0];
+    std::printf("%12s %10.3f %10.3f %10.1f\n", "4-gpu seq", arm.mean_qoe(),
+                arm.mean_quality(), arm.mean_fps());
+  }
+
+  std::printf(
+      "\nshape: the capacity table confirms Section VIII's premise — even\n"
+      "the paper's 4-GPU server cannot render full fresh frames for 8\n"
+      "users inside a slot, which is why the shipped system pre-encodes\n"
+      "offline. End-to-end, repetition suppression shrinks the per-slot\n"
+      "render load enough that a 4-GPU pipelined farm nearly matches the\n"
+      "offline store, 2 GPUs visibly lag, 1 GPU starves the session, and\n"
+      "encoder/renderer pipelining (the paper's proposal) buys a few\n"
+      "percent of QoE at the same GPU count\n");
+  return 0;
+}

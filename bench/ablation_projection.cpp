@@ -1,0 +1,55 @@
+// Ablation — projection method (Section V: "we can also apply other
+// projection methods to our system"). Compares the delivered-panorama
+// fraction of the paper's 2x2 equirectangular tiling against a 6-face
+// cubemap tiling across the realistic view distribution, at several FoV
+// margins. Delivered fraction ~ bandwidth: fewer/finer tiles covering
+// the same FoV means less wasted panorama per frame.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/content/cubemap.h"
+#include "src/content/equirect.h"
+#include "src/motion/motion_generator.h"
+
+int main() {
+  using namespace cvr;
+  bench::print_header(
+      "Ablation — projection: equirect 2x2 tiles vs cubemap 6 faces");
+
+  const motion::MotionGenerator generator;
+  constexpr std::size_t kUsers = 8;
+  constexpr std::size_t kSlots = 3000;
+
+  std::printf("%12s | %-30s | %-30s\n", "", "equirect (tile = 1/4 panorama)",
+              "cubemap (face = 1/6 panorama)");
+  std::printf("%12s | %14s %15s | %14s %15s\n", "margin deg", "avg tiles",
+              "delivered frac", "avg faces", "delivered frac");
+  for (double margin : {0.0, 10.0, 15.0, 25.0}) {
+    motion::FovSpec spec;
+    spec.margin_deg = margin;
+    double tiles_total = 0.0, faces_total = 0.0;
+    std::size_t samples = 0;
+    for (std::size_t user = 0; user < kUsers; ++user) {
+      const motion::MotionTrace trace = generator.generate(5, user, kSlots);
+      for (std::size_t t = 0; t < trace.size(); t += 7) {
+        tiles_total +=
+            static_cast<double>(content::tiles_for_view(spec, trace[t]).size());
+        faces_total +=
+            static_cast<double>(content::faces_for_view(spec, trace[t]).size());
+        ++samples;
+      }
+    }
+    const double avg_tiles = tiles_total / static_cast<double>(samples);
+    const double avg_faces = faces_total / static_cast<double>(samples);
+    std::printf("%12.0f | %14.2f %14.1f%% | %14.2f %14.1f%%\n", margin,
+                avg_tiles, 100.0 * avg_tiles / 4.0, avg_faces,
+                100.0 * avg_faces / 6.0);
+  }
+
+  std::printf(
+      "\nshape: the cubemap's finer faces deliver a smaller panorama\n"
+      "fraction for the same FoV+margin — the bandwidth headroom that\n"
+      "motivates alternative projections; the paper ships equirect for\n"
+      "its simpler offline tiling pipeline\n");
+  return 0;
+}

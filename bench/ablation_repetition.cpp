@@ -1,0 +1,73 @@
+// Ablation — repetitive-tile suppression (Section V: "Avoiding the
+// retransmission of the repetitive tiles that have already been
+// delivered can significantly save the network bandwidth"). Runs the
+// one-router system with the mechanism on (shipped) and off and reports
+// the transmitted load and resulting QoE.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/core/dv_greedy.h"
+#include "src/system/system_sim.h"
+#include "src/system/timeline.h"
+
+namespace {
+
+struct Measured {
+  double qoe = 0.0;
+  double quality = 0.0;
+  double demand_mbps = 0.0;
+  double saturation = 0.0;
+};
+
+Measured run(bool suppression) {
+  cvr::system::SystemSimConfig config = cvr::system::setup_one_router(8);
+  config.slots = 1320;
+  config.server.repetition_suppression = suppression;
+  cvr::core::DvGreedyAllocator alloc;
+  const cvr::system::SystemSim sim(config);
+  Measured m;
+  constexpr std::size_t kRepeats = 3;
+  for (std::size_t r = 0; r < kRepeats; ++r) {
+    cvr::system::Timeline timeline;
+    const auto outcomes = sim.run(alloc, r, &timeline);
+    for (const auto& o : outcomes) {
+      m.qoe += o.avg_qoe;
+      m.quality += o.avg_quality;
+    }
+    double demand = 0.0;
+    for (const auto& rec : timeline.records()) demand += rec.demand_mbps;
+    m.demand_mbps += demand / static_cast<double>(timeline.size());
+    m.saturation += timeline.saturation_fraction();
+  }
+  const double arms = static_cast<double>(kRepeats);
+  m.qoe /= arms * 8.0;
+  m.quality /= arms * 8.0;
+  m.demand_mbps /= arms;
+  m.saturation /= arms;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cvr;
+  bench::print_header(
+      "Ablation — repetitive-tile suppression (Section V mechanism)");
+
+  const Measured on = run(true);
+  const Measured off = run(false);
+  std::printf("%-14s %10s %10s %16s %12s\n", "suppression", "QoE", "quality",
+              "avg demand Mbps", "saturation");
+  std::printf("%-14s %10.3f %10.3f %16.2f %11.1f%%\n", "on (shipped)",
+              on.qoe, on.quality, on.demand_mbps, 100.0 * on.saturation);
+  std::printf("%-14s %10.3f %10.3f %16.2f %11.1f%%\n", "off", off.qoe,
+              off.quality, off.demand_mbps, 100.0 * off.saturation);
+  std::printf("\nbandwidth saved by the mechanism: %.1f%%   QoE gain: %+.1f%%\n",
+              100.0 * (1.0 - on.demand_mbps / off.demand_mbps),
+              bench::improvement_pct(on.qoe, off.qoe));
+  std::printf(
+      "\npaper claim: the ACK-tracked suppression 'can significantly save\n"
+      "the network bandwidth' — the demand column quantifies it, and the\n"
+      "saved airtime shows up as lower saturation and higher QoE\n");
+  return 0;
+}

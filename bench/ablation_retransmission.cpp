@@ -1,0 +1,43 @@
+// Ablation — RTP retransmission (Section V: RTP lets the sender
+// "either retransmit the tiles or not"; the shipped system does not
+// retransmit, and Section VIII flags unhandled packet loss as a known
+// limitation). This harness turns in-slot retransmission rounds on and
+// measures the completeness-vs-delay trade on both experiment setups.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/core/dv_greedy.h"
+#include "src/system/system_sim.h"
+
+int main() {
+  using namespace cvr;
+  bench::print_header(
+      "Ablation — RTP in-slot retransmission (0 rounds = shipped system)");
+
+  for (int setup = 1; setup <= 2; ++setup) {
+    std::printf("%ssetup %d (%s):\n", setup == 1 ? "" : "\n", setup,
+                setup == 1 ? "8 users, 1 router" : "15 users, 2 routers");
+    std::printf("  %8s %10s %10s %12s %8s\n", "rounds", "QoE", "quality",
+                "delay ms", "fps");
+    for (int rounds : {0, 1, 2}) {
+      system::SystemSimConfig config =
+          setup == 1 ? system::setup_one_router(8)
+                     : system::setup_two_routers(15);
+      config.slots = 1320;
+      config.retransmit_rounds = rounds;
+      core::DvGreedyAllocator alloc;
+      const auto arm = system::SystemSim(config).compare({&alloc}, 3)[0];
+      std::printf("  %8d %10.3f %10.3f %12.3f %8.1f\n", rounds,
+                  arm.mean_qoe(), arm.mean_quality(), arm.mean_delay_ms(),
+                  arm.mean_fps());
+    }
+  }
+
+  std::printf(
+      "\nshape: one retransmission round recovers most loss-broken frames\n"
+      "(higher viewed quality) for a small delay increase; returns\n"
+      "diminish quickly, and under heavy congestion the added airtime\n"
+      "can cost more than it saves — the trade-off behind the paper's\n"
+      "choice to ship without retransmission\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared formatting helpers for the figure-regeneration harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/metrics.h"
+#include "src/util/stats.h"
+
+namespace cvr::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints a CDF as (quantile level, value) pairs — the series a plotting
+/// script would consume to redraw the paper's CDF panels.
+inline void print_cdf_row(const std::string& label, const cvr::Cdf& cdf) {
+  static const double kQuantiles[] = {0.05, 0.25, 0.5, 0.75, 0.95};
+  std::printf("  %-18s", label.c_str());
+  for (double p : kQuantiles) std::printf(" p%02.0f=%8.3f", p * 100, cdf.quantile(p));
+  std::printf("  mean=%8.3f\n", cdf.mean());
+}
+
+/// Prints the four CDF panels of Figs. 2/3 for one algorithm arm.
+inline void print_arm_cdfs(const cvr::sim::ArmResult& arm) {
+  std::printf("%s\n", arm.algorithm.c_str());
+  print_cdf_row("avg QoE", arm.qoe_cdf());
+  print_cdf_row("avg quality", arm.quality_cdf());
+  print_cdf_row("avg delay (ms)", arm.delay_ms_cdf());
+  print_cdf_row("quality variance", arm.variance_cdf());
+}
+
+/// Prints the bar-chart quantities of Figs. 7/8 for one algorithm arm.
+inline void print_arm_bars(const cvr::sim::ArmResult& arm) {
+  std::printf("  %-16s qoe=%8.3f  quality=%6.3f  delay=%8.3f ms  variance=%6.3f  fps=%6.2f\n",
+              arm.algorithm.c_str(), arm.mean_qoe(), arm.mean_quality(),
+              arm.mean_delay_ms(), arm.mean_variance(), arm.mean_fps());
+}
+
+inline double improvement_pct(double ours, double baseline) {
+  return 100.0 * (ours / baseline - 1.0);
+}
+
+}  // namespace cvr::bench

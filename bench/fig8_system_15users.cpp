@@ -1,0 +1,48 @@
+// Fig. 8 — real-world evaluation, experimental setup 2: 15 users across
+// two bridged routers (800 Mbps total) with wireless interference
+// ("the variance of the bandwidth capacity is even larger with two
+// routers working together"). Same throttles/hyper-parameters as Fig. 7.
+//
+// Paper numbers to compare against (Section VI): ours +214.3% QoE over
+// modified PAVQ; Firefly "even reaches negative QoE".
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "src/core/dv_greedy.h"
+#include "src/core/firefly.h"
+#include "src/core/pavq.h"
+#include "src/system/system_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace cvr;
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  bench::print_header("Fig. 8 — system evaluation, 15 users, two routers");
+
+  system::SystemSimConfig config = system::setup_two_routers(15);
+  config.slots = full ? 19800 : 1980;
+  const std::size_t repeats = 5;
+  const system::SystemSim sim(config);
+
+  core::DvGreedyAllocator ours;
+  core::PavqAllocator pavq;
+  core::FireflyAllocator firefly;
+  const auto arms = sim.compare({&ours, &pavq, &firefly}, repeats);
+
+  std::printf("(%zu repeats x %zu users x %zu slots; alpha=0.1 beta=0.5;\n"
+              " TC throttles {40..60} Mbps, 2 routers x 400 Mbps,"
+              " interference on)\n\n",
+              repeats, config.users, config.slots);
+  for (const auto& arm : arms) bench::print_arm_bars(arm);
+
+  const double ours_qoe = arms[0].mean_qoe();
+  std::printf("\nQoE improvement over PAVQ:    %+.1f%%   (paper: +214.3%%)\n",
+              bench::improvement_pct(ours_qoe, arms[1].mean_qoe()));
+  std::printf("Firefly QoE: %8.3f                 (paper: negative)\n",
+              arms[2].mean_qoe());
+  std::printf(
+      "\npaper shape: baselines are vulnerable to the two-router bandwidth\n"
+      "variance (inaccurate throughput estimation); ours stays robust\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark): per-slot allocator latency vs
+// user count. The paper runs Algorithm 1 every 15 ms slot for up to 15
+// users on the server; these benches show the allocator is orders of
+// magnitude below that budget even at hundreds of users, and compare it
+// against the baselines and exact solvers.
+#include <benchmark/benchmark.h>
+
+#include "src/content/rate_function.h"
+#include "src/core/dv_greedy.h"
+#include "src/core/firefly.h"
+#include "src/core/fractional.h"
+#include "src/core/optimal.h"
+#include "src/core/pavq.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace cvr;
+using namespace cvr::core;
+
+SlotProblem make_problem(std::size_t users, std::uint64_t seed = 99) {
+  Rng rng(seed);
+  SlotProblem problem;
+  problem.params = QoeParams{0.02, 0.5};
+  double total_min = 0.0;
+  for (std::size_t n = 0; n < users; ++n) {
+    const content::CrfRateFunction f(14.2, 1.45, rng.lognormal(0.0, 0.25));
+    problem.users.push_back(UserSlotContext::from_rate_function(
+        f, rng.uniform(20.0, 100.0), rng.uniform(0.6, 1.0),
+        rng.uniform(0.0, 6.0), rng.uniform(1.0, 500.0)));
+    total_min += problem.users.back().rate[0];
+  }
+  problem.server_bandwidth = 36.0 * static_cast<double>(users);
+  return problem;
+}
+
+void BM_DvGreedy(benchmark::State& state) {
+  const SlotProblem problem = make_problem(static_cast<std::size_t>(state.range(0)));
+  DvGreedyAllocator alloc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.allocate(problem));
+  }
+}
+BENCHMARK(BM_DvGreedy)->Arg(5)->Arg(15)->Arg(30)->Arg(60)->Arg(120)->Arg(240);
+
+void BM_DvGreedyHeap(benchmark::State& state) {
+  const SlotProblem problem = make_problem(static_cast<std::size_t>(state.range(0)));
+  DvGreedyAllocator alloc(DvGreedyAllocator::Mode::kCombined,
+                          DvGreedyAllocator::Strategy::kHeap);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.allocate(problem));
+  }
+}
+BENCHMARK(BM_DvGreedyHeap)->Arg(5)->Arg(15)->Arg(30)->Arg(60)->Arg(120)->Arg(240);
+
+void BM_Pavq(benchmark::State& state) {
+  const SlotProblem problem = make_problem(static_cast<std::size_t>(state.range(0)));
+  PavqAllocator alloc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.allocate(problem));
+  }
+}
+BENCHMARK(BM_Pavq)->Arg(5)->Arg(30)->Arg(120);
+
+void BM_Firefly(benchmark::State& state) {
+  const SlotProblem problem = make_problem(static_cast<std::size_t>(state.range(0)));
+  FireflyAllocator alloc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.allocate(problem));
+  }
+}
+BENCHMARK(BM_Firefly)->Arg(5)->Arg(30)->Arg(120);
+
+void BM_BruteForce(benchmark::State& state) {
+  const SlotProblem problem = make_problem(static_cast<std::size_t>(state.range(0)));
+  BruteForceAllocator alloc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.allocate(problem));
+  }
+}
+BENCHMARK(BM_BruteForce)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_DpExact(benchmark::State& state) {
+  const SlotProblem problem = make_problem(static_cast<std::size_t>(state.range(0)));
+  DpAllocator alloc(0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.allocate(problem));
+  }
+}
+BENCHMARK(BM_DpExact)->Arg(5)->Arg(15)->Arg(30);
+
+void BM_FractionalBound(benchmark::State& state) {
+  const SlotProblem problem = make_problem(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fractional_upper_bound(problem));
+  }
+}
+BENCHMARK(BM_FractionalBound)->Arg(5)->Arg(30)->Arg(120);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Micro-benchmarks for the two simulation platforms themselves: wall
+// time per simulated slot. Useful when sizing paper-scale sweeps — e.g.
+// the `--full` Fig. 2 run is (slots x runs x arms) x the per-slot cost
+// shown here.
+#include <benchmark/benchmark.h>
+
+#include "src/core/dv_greedy.h"
+#include "src/sim/simulation.h"
+#include "src/system/system_sim.h"
+
+namespace {
+
+using namespace cvr;
+
+void BM_TraceSimSlots(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  trace::TraceRepositoryConfig repo_config;
+  repo_config.fcc.duration_s = 10.0;
+  repo_config.lte.duration_s = 10.0;
+  const trace::TraceRepository repo(repo_config, 1);
+  sim::TraceSimConfig config;
+  config.users = users;
+  config.slots = 330;  // 5 s per iteration
+  const sim::TraceSimulation sim(config, repo);
+  core::DvGreedyAllocator alloc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(alloc, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.slots));
+}
+BENCHMARK(BM_TraceSimSlots)->Arg(5)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_SystemSimSlots(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  system::SystemSimConfig config = system::setup_one_router(users);
+  config.slots = 330;
+  const system::SystemSim sim(config);
+  core::DvGreedyAllocator alloc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(alloc, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.slots));
+}
+BENCHMARK(BM_SystemSimSlots)->Arg(4)->Arg(8)->Arg(15)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Motion-to-photon latency — Section I's requirement: "the head
+// motion-to-photon latency should be as low as possible, typically below
+// 20ms for smooth movement and interaction".
+//
+// The Section-V pipeline is: pose uploaded at t, predicted tiles
+// transmitted during t+1, decoded and displayed at t+2. New-content
+// motion-to-photon is therefore ~2 slots plus the in-slot delivery
+// delay — structurally ABOVE 20 ms. The paper's resolution is
+// prediction: because the delivered portion covers the FoV with margin,
+// a head turn is answered by content already on the device, and the
+// *felt* latency is the local reprojection (sub-slot) whenever the
+// prediction covers. This harness quantifies both: the pipeline M2P
+// distribution and the fraction of frames where prediction hides it.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/core/dv_greedy.h"
+#include "src/core/firefly.h"
+#include "src/core/pavq.h"
+#include "src/system/system_sim.h"
+#include "src/system/timeline.h"
+#include "src/util/stats.h"
+#include "src/util/units.h"
+
+int main() {
+  using namespace cvr;
+  bench::print_header("Motion-to-photon latency (Section I's 20 ms target)");
+
+  system::SystemSimConfig config = system::setup_one_router(8);
+  config.slots = 1320;
+  const system::SystemSim sim(config);
+
+  core::DvGreedyAllocator ours;
+  core::PavqAllocator pavq;
+  core::FireflyAllocator firefly;
+  core::Allocator* allocators[] = {&ours, &pavq, &firefly};
+
+  std::printf("%-16s %12s %12s %12s %18s\n", "algorithm", "M2P p50 ms",
+              "M2P p95 ms", "M2P max ms", "hidden by pred.");
+  for (core::Allocator* allocator : allocators) {
+    system::Timeline timeline;
+    sim.run(*allocator, 0, &timeline);
+    Cdf m2p;
+    std::size_t hidden = 0;
+    for (const auto& r : timeline.records()) {
+      // Pipeline M2P for freshly delivered content: one slot of pose
+      // age + one transmission slot (bounded by the realized delivery
+      // delay) + display at the next vsync.
+      m2p.add(2.0 * kSlotMillis + r.delay_ms);
+      // Prediction hides the pipeline when the frame displayed correct
+      // content: the user's head motion was answered from margin.
+      if (r.displayed_quality > 0.0) ++hidden;
+    }
+    std::printf("%-16s %12.2f %12.2f %12.2f %16.1f%%\n",
+                std::string(allocator->name()).c_str(), m2p.quantile(0.5),
+                m2p.quantile(0.95), m2p.quantile(1.0),
+                100.0 * static_cast<double>(hidden) /
+                    static_cast<double>(timeline.size()));
+  }
+
+  std::printf(
+      "\nshape: the raw pipeline is ~2 slots (~30 ms) + delivery delay —\n"
+      "above Section I's 20 ms for all algorithms. That is exactly why\n"
+      "the architecture leans on FoV-margin prediction: for the ~90%%+ of\n"
+      "frames the prediction covers, the head turn is answered locally\n"
+      "and the pipeline latency is invisible; the better allocator wins\n"
+      "by keeping delivery delay (the M2P tail) and misses low\n");
+  return 0;
+}

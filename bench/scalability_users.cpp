@@ -1,0 +1,62 @@
+// Scalability — QoE and allocator cost vs number of users, with the
+// Section-IV provisioning rule B(t) = 36 Mbps x N held fixed. The paper
+// evaluates N = 5 and N = 30 ("the collaborative VR-based system
+// typically has many users"); this sweep fills in the curve and confirms
+// per-user QoE stays flat when the server scales its uplink with the
+// population (and shows what breaks when it cannot).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/core/dv_greedy.h"
+#include "src/sim/simulation.h"
+
+int main() {
+  using namespace cvr;
+  bench::print_header("Scalability — users vs per-user QoE and allocator cost");
+
+  trace::TraceRepositoryConfig repo_config;
+  repo_config.fcc.duration_s = 30.0;
+  repo_config.lte.duration_s = 30.0;
+  const trace::TraceRepository repo(repo_config, 55);
+
+  std::printf("provisioned server (B = 36 x N):\n");
+  std::printf("%8s %12s %12s %12s %16s\n", "users", "QoE/user", "quality",
+              "delay ms", "sim wall ms/run");
+  for (std::size_t users : {5, 10, 20, 40, 60}) {
+    sim::TraceSimConfig config;
+    config.users = users;
+    config.slots = 990;
+    const sim::TraceSimulation simulation(config, repo);
+    core::DvGreedyAllocator allocator;
+    const auto start = std::chrono::steady_clock::now();
+    const auto arm = simulation.compare({&allocator}, 5)[0];
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count() /
+                         5.0;
+    std::printf("%8zu %12.3f %12.3f %12.3f %16.1f\n", users, arm.mean_qoe(),
+                arm.mean_quality(), arm.mean_delay_ms(), elapsed);
+  }
+
+  std::printf("\nfixed 360 Mbps server (oversubscription as N grows):\n");
+  std::printf("%8s %12s %12s %12s\n", "users", "QoE/user", "quality",
+              "delay ms");
+  for (std::size_t users : {5, 10, 20, 40}) {
+    sim::TraceSimConfig config;
+    config.users = users;
+    config.slots = 990;
+    config.server_mbps_per_user = 360.0 / static_cast<double>(users);
+    const sim::TraceSimulation simulation(config, repo);
+    core::DvGreedyAllocator allocator;
+    const auto arm = simulation.compare({&allocator}, 5)[0];
+    std::printf("%8zu %12.3f %12.3f %12.3f\n", users, arm.mean_qoe(),
+                arm.mean_quality(), arm.mean_delay_ms());
+  }
+
+  std::printf(
+      "\nshape: per-user QoE is flat under the paper's 36 x N provisioning;\n"
+      "with a fixed uplink the allocator degrades everyone gracefully\n"
+      "toward the mandatory minimum instead of starving individuals\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Sensitivity — the QoE weights alpha and beta. Section II: "a larger
+// value of alpha is chosen for those applications which are more
+// sensitive to the delay, like multi-user VR gaming. Similarly, we
+// prefer a larger value of beta when our model is applied to those
+// applications requiring consistent content streaming like museum
+// touring." This harness sweeps each weight on the trace-based platform
+// and shows the realized metric responds monotonically — i.e. the knobs
+// actually steer the system the way the paper prescribes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/core/dv_greedy.h"
+#include "src/sim/simulation.h"
+
+namespace {
+
+cvr::sim::ArmResult run_with(const cvr::trace::TraceRepository& repo,
+                             double alpha, double beta) {
+  cvr::sim::TraceSimConfig config;
+  config.users = 5;
+  config.slots = 1980;
+  config.params = cvr::core::QoeParams{alpha, beta};
+  const cvr::sim::TraceSimulation simulation(config, repo);
+  cvr::core::DvGreedyAllocator allocator;
+  return simulation.compare({&allocator}, 10)[0];
+}
+
+}  // namespace
+
+int main() {
+  using namespace cvr;
+  bench::print_header("Sensitivity — QoE weights alpha (delay) and beta (variance)");
+
+  trace::TraceRepositoryConfig repo_config;
+  repo_config.fcc.duration_s = 30.0;
+  repo_config.lte.duration_s = 30.0;
+  const trace::TraceRepository repo(repo_config, 99);
+
+  std::printf("alpha sweep (beta = 0.5): delay-sensitive apps pick larger alpha\n");
+  std::printf("%10s %12s %12s %12s\n", "alpha", "quality", "delay ms", "variance");
+  for (double alpha : {0.0, 0.01, 0.02, 0.05, 0.1, 0.3}) {
+    const auto arm = run_with(repo, alpha, 0.5);
+    std::printf("%10.2f %12.3f %12.3f %12.3f\n", alpha, arm.mean_quality(),
+                arm.mean_delay_ms(), arm.mean_variance());
+  }
+
+  std::printf("\nbeta sweep (alpha = 0.02): consistency-sensitive apps pick larger beta\n");
+  std::printf("%10s %12s %12s %12s\n", "beta", "quality", "delay ms", "variance");
+  for (double beta : {0.0, 0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const auto arm = run_with(repo, 0.02, beta);
+    std::printf("%10.2f %12.3f %12.3f %12.3f\n", beta, arm.mean_quality(),
+                arm.mean_delay_ms(), arm.mean_variance());
+  }
+
+  std::printf(
+      "\nshape: realized delay falls monotonically-ish in alpha and realized\n"
+      "variance falls in beta, each paid for with average quality — the\n"
+      "per-application tuning story of Section II\n");
+  return 0;
+}

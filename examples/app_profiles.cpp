@@ -1,0 +1,58 @@
+// Application profiles: Section II's guidance made concrete.
+//
+// "a larger value of alpha is chosen for those applications which are
+// more sensitive to the delay, like multi-user VR gaming. Similarly, we
+// prefer a larger value of beta when our model is applied to those
+// applications requiring consistent content streaming like museum
+// touring."
+//
+//   $ ./app_profiles
+//
+// Runs the same world under three (alpha, beta) profiles and shows how
+// the realized quality/delay/variance mix shifts with the weights.
+#include <cstdio>
+
+#include "src/core/dv_greedy.h"
+#include "src/sim/simulation.h"
+
+int main() {
+  using namespace cvr;
+
+  struct Profile {
+    const char* name;
+    core::QoeParams params;
+  };
+  const Profile profiles[] = {
+      {"balanced classroom", {0.02, 0.5}},   // the paper's Section-IV pick
+      {"fast-paced gaming", {0.3, 0.1}},     // delay-dominated
+      {"museum tour", {0.01, 3.0}},          // consistency-dominated
+  };
+
+  trace::TraceRepositoryConfig repo_config;
+  repo_config.fcc.duration_s = 45.0;
+  repo_config.lte.duration_s = 45.0;
+  const trace::TraceRepository repo(repo_config, 10);
+
+  std::printf("same 6 users, same network — three application profiles\n\n");
+  std::printf("%-20s %8s %8s %10s %12s %10s\n", "profile", "alpha", "beta",
+              "quality", "delay ms", "variance");
+  for (const Profile& profile : profiles) {
+    sim::TraceSimConfig config;
+    config.users = 6;
+    config.slots = 2970;  // 45 s
+    config.params = profile.params;
+    const sim::TraceSimulation simulation(config, repo);
+    core::DvGreedyAllocator allocator;
+    const auto arm = simulation.compare({&allocator}, 6)[0];
+    std::printf("%-20s %8.2f %8.2f %10.3f %12.3f %10.3f\n", profile.name,
+                profile.params.alpha, profile.params.beta, arm.mean_quality(),
+                arm.mean_delay_ms(), arm.mean_variance());
+  }
+
+  std::printf(
+      "\nreading: the gaming profile buys the lowest delay, the museum\n"
+      "profile the flattest quality, and each pays in average quality —\n"
+      "the per-application tuning Section II prescribes, driven entirely\n"
+      "by the two scalar weights\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Plot the paper's figure panels from cvr report CSVs.
+
+Usage:
+    # 1. produce CSVs with the report module, e.g. from trace_study:
+    build/examples/trace_study 5 20 > qoe_cdf.csv
+    # or via cvr::report::write_report(...) -> prefix_cdf_<metric>.csv
+
+    # 2. plot:
+    python3 scripts/plot_figures.py qoe_cdf.csv --out fig2a.png
+
+Expects columns (algorithm|arm, value, cumulative_probability). Pure
+matplotlib; no other dependencies.
+"""
+import argparse
+import csv
+import sys
+from collections import defaultdict
+
+
+def read_series(path):
+    series = defaultdict(list)
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        key = "algorithm" if "algorithm" in (reader.fieldnames or []) else "arm"
+        for row in reader:
+            series[row[key]].append(
+                (float(row["value"]), float(row["cumulative_probability"]))
+            )
+    return series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", help="CDF csv produced by cvr")
+    parser.add_argument("--out", default=None, help="output image path")
+    parser.add_argument("--xlabel", default="value")
+    parser.add_argument("--title", default="")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    series = read_series(args.csv)
+    if not series:
+        sys.exit(f"no data rows in {args.csv}")
+
+    fig, ax = plt.subplots(figsize=(5, 3.2), dpi=150)
+    for name in sorted(series):
+        points = sorted(series[name])
+        ax.plot([p[0] for p in points], [p[1] for p in points], label=name)
+    ax.set_xlabel(args.xlabel)
+    ax.set_ylabel("CDF")
+    ax.set_ylim(0, 1)
+    if args.title:
+        ax.set_title(args.title)
+    ax.legend(fontsize=8)
+    ax.grid(alpha=0.3)
+    fig.tight_layout()
+    out = args.out or (args.csv.rsplit(".", 1)[0] + ".png")
+    fig.savefig(out)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#include "src/content/client_buffer.h"
+
+#include <stdexcept>
+
+namespace cvr::content {
+
+ClientTileBuffer::ClientTileBuffer(std::size_t threshold)
+    : threshold_(threshold) {
+  if (threshold == 0) {
+    throw std::invalid_argument("ClientTileBuffer: zero threshold");
+  }
+}
+
+std::vector<VideoId> ClientTileBuffer::insert(VideoId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return {};
+  }
+  lru_.push_front(id);
+  map_[id] = lru_.begin();
+  std::vector<VideoId> released;
+  while (map_.size() > threshold_) {
+    released.push_back(lru_.back());
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++released_total_;
+  }
+  return released;
+}
+
+bool ClientTileBuffer::touch(VideoId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+}  // namespace cvr::content

@@ -1,0 +1,47 @@
+// Client-side tile buffer with threshold release.
+//
+// Section V ("Handling repetitive tiles"): the user cannot hold all
+// received tiles in RAM; "we will release old tiles once the total number
+// of tiles reaches the user-specific threshold ... The user also sends
+// ACKs to let the server know when the tiles are released."
+//
+// insert() returns the batch of released video IDs so the caller can put
+// them on the TCP ACK channel back to the server.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/content/tile.h"
+
+namespace cvr::content {
+
+class ClientTileBuffer {
+ public:
+  /// `threshold` is the device-dependent max number of resident tiles.
+  explicit ClientTileBuffer(std::size_t threshold);
+
+  /// Stores a tile; refreshes recency if already held. Returns the video
+  /// IDs released (LRU order) to stay under the threshold — empty most of
+  /// the time.
+  std::vector<VideoId> insert(VideoId id);
+
+  /// True iff the tile is currently resident (refreshes recency —
+  /// displaying a tile counts as use).
+  bool touch(VideoId id);
+
+  bool contains(VideoId id) const { return map_.contains(id); }
+  std::size_t size() const { return map_.size(); }
+  std::size_t threshold() const { return threshold_; }
+  std::uint64_t released_total() const { return released_total_; }
+
+ private:
+  std::size_t threshold_;
+  std::list<VideoId> lru_;  // front = most recent
+  std::unordered_map<VideoId, std::list<VideoId>::iterator> map_;
+  std::uint64_t released_total_ = 0;
+};
+
+}  // namespace cvr::content

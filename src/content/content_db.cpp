@@ -1,0 +1,92 @@
+#include "src/content/content_db.h"
+
+#include <stdexcept>
+
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace cvr::content {
+
+ContentDb::ContentDb(ContentDbConfig config)
+    : config_(config), model_(config.rate_model, config.seed) {
+  if (config_.grid_width <= 0 || config_.grid_height <= 0) {
+    throw std::invalid_argument("ContentDbConfig: non-positive grid extent");
+  }
+}
+
+bool ContentDb::contains(const GridCell& cell) const {
+  return cell.gx >= 0 && cell.gx < config_.grid_width && cell.gy >= 0 &&
+         cell.gy < config_.grid_height;
+}
+
+std::uint64_t ContentDb::content_id(const GridCell& cell) const {
+  if (!contains(cell)) {
+    throw std::out_of_range("ContentDb: cell outside scene");
+  }
+  return static_cast<std::uint64_t>(cell.gy) *
+             static_cast<std::uint64_t>(config_.grid_width) +
+         static_cast<std::uint64_t>(cell.gx);
+}
+
+CrfRateFunction ContentDb::frame_rate_function(const GridCell& cell) const {
+  return model_.for_content(content_id(cell));
+}
+
+double ContentDb::tile_weight(const GridCell& cell, int tile_index) const {
+  if (tile_index < 0 || tile_index >= kTilesPerFrame) {
+    throw std::out_of_range("ContentDb: bad tile index");
+  }
+  // Deterministic per-(cell, tile) complexity draws, normalised within
+  // the frame. Weights live in roughly [0.5, 1.5]/4 so no tile is
+  // degenerate (the encoder always spends *something* on a quarter of
+  // the panorama).
+  const std::uint64_t id = content_id(cell);
+  double raw[kTilesPerFrame];
+  double total = 0.0;
+  for (int tile = 0; tile < kTilesPerFrame; ++tile) {
+    cvr::SplitMix64 mixer(config_.seed ^
+                          (id * 31 + static_cast<std::uint64_t>(tile)) *
+                              0x9E3779B97F4A7C15ull);
+    const double unit =
+        static_cast<double>(mixer.next() >> 11) * 0x1.0p-53;  // [0,1)
+    raw[tile] = 0.5 + unit;  // [0.5, 1.5)
+    total += raw[tile];
+  }
+  return raw[tile_index] / total;
+}
+
+double ContentDb::tile_size_megabits(const TileKey& key) const {
+  if (key.tile_index < 0 || key.tile_index >= kTilesPerFrame) {
+    throw std::out_of_range("ContentDb: bad tile index");
+  }
+  const CrfRateFunction f = frame_rate_function(key.cell);
+  // The frame rate splits across the four tiles by texture-complexity
+  // weight; sizes are the slot-normalised megabits of one tile.
+  const double frame_megabits = cvr::slot_rate_to_megabits(f.rate(key.level));
+  return frame_megabits * tile_weight(key.cell, key.tile_index);
+}
+
+std::uint64_t ContentDb::entry_count() const {
+  return static_cast<std::uint64_t>(config_.grid_width) *
+         static_cast<std::uint64_t>(config_.grid_height) * kTilesPerFrame *
+         kNumQualityLevels;
+}
+
+double ContentDb::estimated_store_gb() const {
+  // Each (cell, level) entry stores one closed GOP (~10 frames, 1/6 s at
+  // 60 FPS) that the runtime loops, so the per-entry bytes are the
+  // stream rate times the GOP duration. This reproduces the magnitude of
+  // the paper's 171 GB Office-scene store.
+  constexpr double kGopSeconds = 1.0 / 6.0;
+  double per_cell_megabits = 0.0;
+  const CrfRateFunction nominal(config_.rate_model.base_mbps,
+                                config_.rate_model.growth, 1.0);
+  for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+    per_cell_megabits += nominal.rate(q) * kGopSeconds;
+  }
+  const double cells = static_cast<double>(config_.grid_width) *
+                       static_cast<double>(config_.grid_height);
+  return cells * per_cell_megabits / 8.0 / 1024.0;  // Mb -> GB
+}
+
+}  // namespace cvr::content

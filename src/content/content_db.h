@@ -1,0 +1,63 @@
+// Offline-rendered content database.
+//
+// Section V/VI: every possible tile of the scene is rendered and encoded
+// offline; the runtime only looks up sizes by video ID. The paper's
+// Office-scene store is ~171 GB — we model the database analytically
+// (size synthesised from the per-content rate model) instead of storing
+// bytes, which preserves exactly what the scheduler observes: tile sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "src/content/rate_function.h"
+#include "src/content/tile.h"
+
+namespace cvr::content {
+
+struct ContentDbConfig {
+  // Scene extent, in grid cells (Section VI: 5 cm granularity).
+  std::int32_t grid_width = 200;   ///< 10 m
+  std::int32_t grid_height = 160;  ///< 8 m
+  ContentRateModel::Config rate_model;
+  std::uint64_t seed = 42;
+};
+
+class ContentDb {
+ public:
+  explicit ContentDb(ContentDbConfig config = {});
+
+  /// True iff the cell lies inside the rendered scene.
+  bool contains(const GridCell& cell) const;
+
+  /// Content id of a grid cell (used to derive the cell's rate function).
+  std::uint64_t content_id(const GridCell& cell) const;
+
+  /// Rate function of the frame at `cell` — the aggregate over its four
+  /// tiles, i.e. the f_{c(t)}^R(q) the allocators consume.
+  CrfRateFunction frame_rate_function(const GridCell& cell) const;
+
+  /// Texture-complexity weight of one tile within its frame (the sky
+  /// tile of an office scene encodes far smaller than the desk tile).
+  /// Deterministic in (cell, tile); the four weights of a cell sum to 1.
+  double tile_weight(const GridCell& cell, int tile_index) const;
+
+  /// Size of one tile in megabits at a given level: the frame rate
+  /// function's slot-normalised share, split by tile_weight(). Tile
+  /// index must be valid; throws std::out_of_range outside the scene.
+  double tile_size_megabits(const TileKey& key) const;
+
+  /// Number of distinct encoded tiles (cells x tiles x levels).
+  std::uint64_t entry_count() const;
+
+  /// Estimated store footprint in gigabytes — compare against the
+  /// paper's "about 171 GB".
+  double estimated_store_gb() const;
+
+  const ContentDbConfig& config() const { return config_; }
+
+ private:
+  ContentDbConfig config_;
+  ContentRateModel model_;
+};
+
+}  // namespace cvr::content

@@ -1,0 +1,145 @@
+#include "src/content/cubemap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cvr::content {
+
+namespace {
+
+constexpr double kDeg = M_PI / 180.0;
+
+std::array<double, 3> direction(double yaw_deg, double pitch_deg) {
+  const double yaw = yaw_deg * kDeg;
+  const double pitch = pitch_deg * kDeg;
+  return {std::cos(pitch) * std::cos(yaw), std::cos(pitch) * std::sin(yaw),
+          std::sin(pitch)};
+}
+
+/// Faces hit by sampling the window on a `steps x steps` grid.
+std::vector<int> faces_for_window(double yaw, double pitch, double half_h,
+                                  double half_v, int steps) {
+  bool hit[kCubeFaces] = {};
+  for (int i = 0; i < steps; ++i) {
+    for (int j = 0; j < steps; ++j) {
+      const double dy = -half_h + 2.0 * half_h * i / (steps - 1);
+      const double dp = -half_v + 2.0 * half_v * j / (steps - 1);
+      const double sample_pitch = std::clamp(pitch + dp, -90.0, 90.0);
+      const double sample_yaw = cvr::motion::wrap_degrees(yaw + dy);
+      const CubeCoord c = project_cubemap(sample_yaw, sample_pitch);
+      hit[static_cast<int>(c.face)] = true;
+    }
+  }
+  std::vector<int> faces;
+  for (int f = 0; f < kCubeFaces; ++f) {
+    if (hit[f]) faces.push_back(f);
+  }
+  return faces;
+}
+
+}  // namespace
+
+CubeCoord project_cubemap(double yaw_deg, double pitch_deg) {
+  const auto [x, y, z] = direction(yaw_deg, pitch_deg);
+  const double ax = std::abs(x), ay = std::abs(y), az = std::abs(z);
+  CubeCoord out;
+  if (ax >= ay && ax >= az) {
+    if (x >= 0) {
+      out.face = CubeFace::kFront;
+      out.u = y / ax;
+      out.v = z / ax;
+    } else {
+      out.face = CubeFace::kBack;
+      out.u = -y / ax;
+      out.v = z / ax;
+    }
+  } else if (ay >= ax && ay >= az) {
+    if (y >= 0) {
+      out.face = CubeFace::kRight;
+      out.u = -x / ay;
+      out.v = z / ay;
+    } else {
+      out.face = CubeFace::kLeft;
+      out.u = x / ay;
+      out.v = z / ay;
+    }
+  } else {
+    if (z >= 0) {
+      out.face = CubeFace::kUp;
+      out.u = y / az;
+      out.v = -x / az;
+    } else {
+      out.face = CubeFace::kDown;
+      out.u = y / az;
+      out.v = x / az;
+    }
+  }
+  return out;
+}
+
+std::array<double, 2> unproject_cubemap(const CubeCoord& coord) {
+  double x = 0.0, y = 0.0, z = 0.0;
+  switch (coord.face) {
+    case CubeFace::kFront:
+      x = 1.0;
+      y = coord.u;
+      z = coord.v;
+      break;
+    case CubeFace::kBack:
+      x = -1.0;
+      y = -coord.u;
+      z = coord.v;
+      break;
+    case CubeFace::kRight:
+      y = 1.0;
+      x = -coord.u;
+      z = coord.v;
+      break;
+    case CubeFace::kLeft:
+      y = -1.0;
+      x = coord.u;
+      z = coord.v;
+      break;
+    case CubeFace::kUp:
+      z = 1.0;
+      y = coord.u;
+      x = -coord.v;
+      break;
+    case CubeFace::kDown:
+      z = -1.0;
+      y = coord.u;
+      x = coord.v;
+      break;
+  }
+  const double norm = std::sqrt(x * x + y * y + z * z);
+  const double pitch = std::asin(z / norm) / kDeg;
+  const double yaw = std::atan2(y, x) / kDeg;
+  return {cvr::motion::wrap_degrees(yaw), std::clamp(pitch, -90.0, 90.0)};
+}
+
+std::vector<int> faces_for_view(const cvr::motion::FovSpec& spec,
+                                const cvr::motion::Pose& view) {
+  const double half_h = spec.horizontal_deg / 2.0 + spec.margin_deg;
+  const double half_v = spec.vertical_deg / 2.0 + spec.margin_deg;
+  // 9x9 sampling: at the library's FoV scales (>= 40 degrees per side)
+  // a cube face subtends >= 45 degrees, so a <= ~15-degree sampling
+  // pitch cannot step over a face.
+  return faces_for_window(view.yaw, view.pitch, half_h, half_v, 9);
+}
+
+bool faces_cover(const std::vector<int>& delivered,
+                 const cvr::motion::FovSpec& spec,
+                 const cvr::motion::Pose& actual) {
+  const auto needed = faces_for_window(actual.yaw, actual.pitch,
+                                       spec.horizontal_deg / 2.0,
+                                       spec.vertical_deg / 2.0, 9);
+  for (int face : needed) {
+    if (std::find(delivered.begin(), delivered.end(), face) ==
+        delivered.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cvr::content

@@ -1,0 +1,61 @@
+// Cubemap projection and FoV -> face selection.
+//
+// Section V: "Note that we can also apply other projection methods to
+// our system." This module implements the most common alternative to
+// equirectangular: the panorama mapped onto the six faces of a cube,
+// one tile per face. Compared to the 2x2 equirectangular split, faces
+// are smaller (1/6 vs 1/4 of the panorama), so a narrow FoV usually
+// needs fewer delivered bytes — the `ablation_projection` bench
+// quantifies the trade-off.
+//
+// Face frame conventions (right-handed, yaw 0 = +X, yaw 90 = +Y,
+// pitch 90 = +Z):
+//   kFront +X | kRight +Y | kBack -X | kLeft -Y | kUp +Z | kDown -Z
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/motion/fov.h"
+#include "src/motion/pose.h"
+
+namespace cvr::content {
+
+enum class CubeFace : int {
+  kFront = 0,
+  kRight = 1,
+  kBack = 2,
+  kLeft = 3,
+  kUp = 4,
+  kDown = 5,
+};
+
+inline constexpr int kCubeFaces = 6;
+
+/// Face hit by a view direction plus the in-face coordinates in
+/// [-1, 1]^2 (gnomonic projection onto the face plane).
+struct CubeCoord {
+  CubeFace face = CubeFace::kFront;
+  double u = 0.0;
+  double v = 0.0;
+};
+
+/// Projects a (yaw, pitch) direction in degrees onto the cube.
+CubeCoord project_cubemap(double yaw_deg, double pitch_deg);
+
+/// Inverse: centre direction of a cube coordinate, (yaw, pitch) degrees.
+std::array<double, 2> unproject_cubemap(const CubeCoord& coord);
+
+/// Faces overlapped by the FoV-plus-margin window centred on `view`.
+/// Computed by dense direction sampling across the window (conservative
+/// to within the sampling pitch; exact for the face *set* at the
+/// resolutions used here). Sorted, deduplicated face indices 0..5.
+std::vector<int> faces_for_view(const cvr::motion::FovSpec& spec,
+                                const cvr::motion::Pose& view);
+
+/// True iff the delivered face set covers the actual (unmargined) FoV.
+bool faces_cover(const std::vector<int>& delivered,
+                 const cvr::motion::FovSpec& spec,
+                 const cvr::motion::Pose& actual);
+
+}  // namespace cvr::content

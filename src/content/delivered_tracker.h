@@ -1,0 +1,39 @@
+// Server-side record of delivered tiles.
+//
+// Section V: "the server records the tiles that have already been
+// delivered and will not transmit the same tiles again" — populated by
+// client ACKs over TCP — and "after that [a release ACK], the server will
+// retransmit the tiles if they are requested again."
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/content/tile.h"
+
+namespace cvr::content {
+
+class DeliveredTileTracker {
+ public:
+  /// True iff the tile must be (re)transmitted, i.e. the server has no
+  /// delivery ACK on record for it.
+  bool needs_transmit(VideoId id) const { return !delivered_.contains(id); }
+
+  /// Processes a delivery ACK.
+  void mark_delivered(VideoId id) { delivered_.insert(id); }
+
+  /// Processes a batch of release ACKs: those tiles become
+  /// retransmittable.
+  void mark_released(const std::vector<VideoId>& ids);
+
+  /// Filters a request set down to the tiles that actually need sending.
+  std::vector<VideoId> filter_needed(const std::vector<VideoId>& request) const;
+
+  std::size_t delivered_count() const { return delivered_.size(); }
+
+ private:
+  std::unordered_set<VideoId> delivered_;
+};
+
+}  // namespace cvr::content

@@ -1,0 +1,102 @@
+#include "src/content/equirect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cvr::content {
+
+namespace {
+
+/// Yaw interval [lo, hi] (degrees, possibly crossing +-180) overlap test
+/// against a tile column: column 0 covers yaw [-180, 0), column 1 covers
+/// [0, 180). Returns the columns overlapped.
+void columns_for_yaw_window(double center, double half_span, bool out[2]) {
+  if (half_span >= 90.0) {  // window spans at least half the panorama
+    out[0] = out[1] = true;
+    return;
+  }
+  out[0] = out[1] = false;
+  // Sample the window ends and centre; a contiguous arc of < 180 degrees
+  // overlaps a 180-degree column iff one of its endpoints or the column
+  // boundary lies inside — testing endpoints plus boundaries is exact.
+  const double lo = center - half_span;
+  const double hi = center + half_span;
+  auto mark = [&](double yaw) {
+    const double w = cvr::motion::wrap_degrees(yaw);
+    out[w < 0.0 ? 0 : 1] = true;
+  };
+  mark(lo);
+  mark(hi);
+  mark(center);
+  // Column boundaries at 0 and 180(-180): inside the arc?
+  auto contains = [&](double boundary) {
+    const double d = cvr::motion::angular_difference(boundary, center);
+    return std::abs(d) <= half_span;
+  };
+  if (contains(0.0)) out[0] = out[1] = true;
+  if (contains(180.0)) out[0] = out[1] = true;
+}
+
+void rows_for_pitch_window(double center, double half_span, bool out[2]) {
+  const double top = std::min(90.0, center + half_span);
+  const double bottom = std::max(-90.0, center - half_span);
+  out[0] = top > 0.0;      // row 0 = upper hemisphere (pitch > 0)
+  out[1] = bottom < 0.0;   // row 1 = lower hemisphere
+  if (top == 0.0 && bottom == 0.0) out[0] = out[1] = true;  // degenerate
+}
+
+std::vector<int> tiles_for_window(double yaw, double pitch, double half_h,
+                                  double half_v) {
+  bool cols[2];
+  bool rows[2];
+  columns_for_yaw_window(yaw, half_h, cols);
+  rows_for_pitch_window(pitch, half_v, rows);
+  std::vector<int> tiles;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      if (rows[r] && cols[c]) tiles.push_back(r * 2 + c);
+    }
+  }
+  return tiles;
+}
+
+}  // namespace
+
+TexCoord project_equirect(double yaw_deg, double pitch_deg) {
+  const double yaw = cvr::motion::wrap_degrees(yaw_deg);
+  const double pitch = std::clamp(pitch_deg, -90.0, 90.0);
+  TexCoord tc;
+  tc.u = (yaw + 180.0) / 360.0;
+  if (tc.u >= 1.0) tc.u -= 1.0;
+  tc.v = (90.0 - pitch) / 180.0;
+  return tc;
+}
+
+std::array<double, 2> unproject_equirect(const TexCoord& tc) {
+  const double yaw = tc.u * 360.0 - 180.0;
+  const double pitch = 90.0 - tc.v * 180.0;
+  return {cvr::motion::wrap_degrees(yaw), std::clamp(pitch, -90.0, 90.0)};
+}
+
+std::vector<int> tiles_for_view(const cvr::motion::FovSpec& spec,
+                                const cvr::motion::Pose& view) {
+  const double half_h = spec.horizontal_deg / 2.0 + spec.margin_deg;
+  const double half_v = spec.vertical_deg / 2.0 + spec.margin_deg;
+  return tiles_for_window(view.yaw, view.pitch, half_h, half_v);
+}
+
+bool tiles_cover(const std::vector<int>& delivered,
+                 const cvr::motion::FovSpec& spec,
+                 const cvr::motion::Pose& actual) {
+  const auto needed = tiles_for_window(actual.yaw, actual.pitch,
+                                       spec.horizontal_deg / 2.0,
+                                       spec.vertical_deg / 2.0);
+  for (int tile : needed) {
+    if (std::find(delivered.begin(), delivered.end(), tile) == delivered.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cvr::content

@@ -1,0 +1,49 @@
+// Equirectangular projection and FoV -> tile selection.
+//
+// Section V projects the panorama to a 2560x1440 equirectangular texture
+// and splits it into four tiles (Fig. 5: a 2 x 2 split). A view direction
+// (yaw, pitch) maps to texture coordinates linearly (that *is* the
+// equirectangular projection); the delivered tile set is every tile whose
+// rectangle overlaps the predicted FoV extended by the margin
+// (Section V: "transmit all tiles that overlap with this margin").
+//
+// Tile layout (texture space, u right / v down):
+//   tile 0: left-top     tile 1: right-top
+//   tile 2: left-bottom  tile 3: right-bottom
+// u in [0,1) wraps in yaw: u = (yaw + 180) / 360.
+// v in [0,1]: v = (90 - pitch) / 180.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/motion/fov.h"
+#include "src/motion/pose.h"
+
+namespace cvr::content {
+
+/// Texture coordinate of a view direction. yaw/pitch in degrees.
+struct TexCoord {
+  double u = 0.0;  ///< [0, 1), wraps horizontally.
+  double v = 0.0;  ///< [0, 1], 0 = top (pitch +90).
+};
+
+TexCoord project_equirect(double yaw_deg, double pitch_deg);
+
+/// Inverse projection; returns (yaw, pitch) in degrees.
+std::array<double, 2> unproject_equirect(const TexCoord& tc);
+
+/// Tile indices (subset of {0,1,2,3}) that overlap the FoV-plus-margin
+/// window centred on `view`. Handles yaw wrap-around; a window wider than
+/// 180 degrees selects both columns.
+std::vector<int> tiles_for_view(const cvr::motion::FovSpec& spec,
+                                const cvr::motion::Pose& view);
+
+/// True iff every tile needed for `actual`'s *unmargined* FoV is included
+/// in the delivered set (the tile-level coverage check used by the system
+/// emulation in addition to the analytic motion::covers()).
+bool tiles_cover(const std::vector<int>& delivered,
+                 const cvr::motion::FovSpec& spec,
+                 const cvr::motion::Pose& actual);
+
+}  // namespace cvr::content

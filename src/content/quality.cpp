@@ -1,0 +1,12 @@
+#include "src/content/quality.h"
+
+// Header-only by design; this translation unit pins the static checks.
+
+namespace cvr::content {
+
+static_assert(crf_for_level(1) == 35 && crf_for_level(6) == 15,
+              "level/CRF mapping must match Section VI");
+static_assert(level_for_crf(23) == 4, "level_for_crf inverse");
+static_assert(level_for_crf(16) == 0, "unknown CRF maps to 0");
+
+}  // namespace cvr::content

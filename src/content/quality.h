@@ -1,0 +1,38 @@
+// Quality levels and their CRF encoding.
+//
+// Section VI: tiles are encoded at six CRF values {15, 19, 23, 27, 31, 35}
+// indexed as quality levels {6, 5, 4, 3, 2, 1}: a *higher level* means a
+// *lower CRF*, i.e. better visual quality and a larger bitrate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cvr::content {
+
+/// Quality level, 1 (worst) .. kNumQualityLevels (best). Level 0 is not a
+/// valid selection; allocators start from level 1 as in Algorithm 1.
+using QualityLevel = int;
+
+inline constexpr int kNumQualityLevels = 6;
+
+inline constexpr std::array<int, kNumQualityLevels> kCrfByLevel = {
+    35, 31, 27, 23, 19, 15};  // index 0 <-> level 1
+
+/// True iff q is a valid quality level.
+constexpr bool is_valid_level(QualityLevel q) {
+  return q >= 1 && q <= kNumQualityLevels;
+}
+
+/// CRF value used to encode a given quality level. Precondition: valid q.
+constexpr int crf_for_level(QualityLevel q) { return kCrfByLevel[q - 1]; }
+
+/// Inverse of crf_for_level; returns 0 if the CRF is not one of ours.
+constexpr QualityLevel level_for_crf(int crf) {
+  for (int q = 1; q <= kNumQualityLevels; ++q) {
+    if (kCrfByLevel[q - 1] == crf) return q;
+  }
+  return 0;
+}
+
+}  // namespace cvr::content

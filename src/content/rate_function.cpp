@@ -1,0 +1,84 @@
+#include "src/content/rate_function.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace cvr::content {
+
+bool RateFunction::is_convex_increasing() const {
+  double prev_rate = rate(1);
+  if (prev_rate <= 0.0) return false;
+  double prev_inc = -1.0;
+  for (QualityLevel q = 2; q <= kNumQualityLevels; ++q) {
+    const double r = rate(q);
+    const double inc = r - prev_rate;
+    if (inc <= 0.0) return false;                    // increasing
+    if (prev_inc >= 0.0 && inc + 1e-12 < prev_inc) return false;  // convex
+    prev_rate = r;
+    prev_inc = inc;
+  }
+  return true;
+}
+
+CrfRateFunction::CrfRateFunction(double base_mbps, double growth, double scale)
+    : base_(base_mbps), growth_(growth), scale_(scale) {
+  if (base_mbps <= 0.0 || growth <= 1.0 || scale <= 0.0) {
+    throw std::invalid_argument(
+        "CrfRateFunction: need base > 0, growth > 1, scale > 0");
+  }
+}
+
+double CrfRateFunction::rate(QualityLevel q) const {
+  if (!is_valid_level(q)) {
+    throw std::out_of_range("CrfRateFunction::rate: invalid level");
+  }
+  return scale_ * base_ * std::pow(growth_, q - 1);
+}
+
+TableRateFunction::TableRateFunction(std::vector<double> rates_mbps)
+    : rates_(std::move(rates_mbps)) {
+  if (rates_.size() != static_cast<std::size_t>(kNumQualityLevels)) {
+    throw std::invalid_argument("TableRateFunction: wrong number of levels");
+  }
+  for (std::size_t i = 1; i < rates_.size(); ++i) {
+    if (rates_[i] <= rates_[i - 1]) {
+      throw std::invalid_argument("TableRateFunction: not increasing");
+    }
+    if (i >= 2 &&
+        rates_[i] - rates_[i - 1] + 1e-12 < rates_[i - 1] - rates_[i - 2]) {
+      throw std::invalid_argument("TableRateFunction: not convex");
+    }
+  }
+  if (rates_.front() <= 0.0) {
+    throw std::invalid_argument("TableRateFunction: non-positive rate");
+  }
+}
+
+double TableRateFunction::rate(QualityLevel q) const {
+  if (!is_valid_level(q)) {
+    throw std::out_of_range("TableRateFunction::rate: invalid level");
+  }
+  return rates_[static_cast<std::size_t>(q - 1)];
+}
+
+ContentRateModel::ContentRateModel(Config config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  if (config_.base_mbps <= 0.0 || config_.growth <= 1.0 ||
+      config_.scale_sigma < 0.0 || config_.growth_jitter < 0.0 ||
+      config_.growth_jitter >= config_.growth - 1.0) {
+    throw std::invalid_argument("ContentRateModel: invalid config");
+  }
+}
+
+CrfRateFunction ContentRateModel::for_content(std::uint64_t content_id) const {
+  cvr::SplitMix64 mixer(seed_ ^ (content_id * 0x9E3779B97F4A7C15ull + 0x1234));
+  cvr::Rng rng(mixer.next());
+  const double scale = rng.lognormal(0.0, config_.scale_sigma);
+  const double growth =
+      config_.growth + rng.uniform(-config_.growth_jitter, config_.growth_jitter);
+  return CrfRateFunction(config_.base_mbps, growth, scale);
+}
+
+}  // namespace cvr::content

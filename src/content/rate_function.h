@@ -1,0 +1,96 @@
+// The per-content rate function f_c^R(q).
+//
+// Section II / Fig. 1a: the size of a tile encoded at quality level q is
+// convex and increasing in q (each CRF step of -4 multiplies the bitrate
+// by a roughly constant factor, i.e. geometric growth). Rates are in
+// Mbps, slot-normalised per src/util/units.h, so f_c^R(q) is directly
+// comparable against B_n(t) and B(t).
+//
+// Calibration: Section IV provisions the server at 36 Mbps per user,
+// "the average rate requirement of the tiles by a medium quality level",
+// so the geometric model is anchored at ~36 Mbps between levels 3 and 4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/content/quality.h"
+
+namespace cvr::content {
+
+/// Abstract rate function: maps a quality level to the Mbps needed to
+/// deliver the user's tile set for one slot at that level.
+class RateFunction {
+ public:
+  virtual ~RateFunction() = default;
+
+  /// Requires is_valid_level(q).
+  virtual double rate(QualityLevel q) const = 0;
+
+  /// Marginal rate of moving q -> q+1. Requires q+1 valid.
+  double increment(QualityLevel q) const { return rate(q + 1) - rate(q); }
+
+  /// Checks strict monotonicity and discrete convexity
+  /// (rate(q+1)-rate(q) non-decreasing), the assumptions of Section II.
+  bool is_convex_increasing() const;
+};
+
+/// Geometric (CRF-style) rate function:
+///   rate(q) = scale * base_mbps * growth^(q-1).
+class CrfRateFunction final : public RateFunction {
+ public:
+  /// Defaults reproduce the paper's calibration (~36 Mbps mid-level).
+  explicit CrfRateFunction(double base_mbps = 14.2, double growth = 1.45,
+                           double scale = 1.0);
+
+  double rate(QualityLevel q) const override;
+
+  double base_mbps() const { return base_; }
+  double growth() const { return growth_; }
+  double scale() const { return scale_; }
+
+ private:
+  double base_;
+  double growth_;
+  double scale_;
+};
+
+/// Explicit table of per-level rates (e.g. measured tile sizes).
+class TableRateFunction final : public RateFunction {
+ public:
+  /// `rates_mbps` must have kNumQualityLevels entries, strictly
+  /// increasing and discretely convex; throws std::invalid_argument
+  /// otherwise.
+  explicit TableRateFunction(std::vector<double> rates_mbps);
+
+  double rate(QualityLevel q) const override;
+
+ private:
+  std::vector<double> rates_;
+};
+
+/// Produces per-content rate functions with realistic scene-to-scene
+/// variation (Fig. 1a shows two contents with different magnitudes but
+/// the same convex shape). Deterministic in (seed, content id).
+class ContentRateModel {
+ public:
+  struct Config {
+    double base_mbps = 14.2;
+    double growth = 1.45;
+    double scale_sigma = 0.20;   ///< Log-normal spread of per-content scale.
+    double growth_jitter = 0.05; ///< Uniform +- jitter on the growth factor.
+  };
+
+  ContentRateModel() : ContentRateModel(Config{}, 1) {}
+  explicit ContentRateModel(Config config, std::uint64_t seed);
+
+  /// Rate function for content (scene region) `content_id`.
+  CrfRateFunction for_content(std::uint64_t content_id) const;
+
+ private:
+  Config config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cvr::content

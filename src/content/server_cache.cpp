@@ -1,0 +1,58 @@
+#include "src/content/server_cache.h"
+
+#include <stdexcept>
+
+namespace cvr::content {
+
+ServerTileCache::ServerTileCache(ServerCacheConfig config) : config_(config) {
+  if (config_.capacity_tiles == 0) {
+    throw std::invalid_argument("ServerTileCache: zero capacity");
+  }
+}
+
+void ServerTileCache::advance(const GridCell& center) {
+  const std::int32_t r = config_.window_radius_cells;
+  for (std::int32_t dx = -r; dx <= r; ++dx) {
+    for (std::int32_t dy = -r; dy <= r; ++dy) {
+      const GridCell cell{center.gx + dx, center.gy + dy};
+      for (int tile = 0; tile < kTilesPerFrame; ++tile) {
+        for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+          touch_or_insert(pack_video_id({cell, tile, q}));
+        }
+      }
+    }
+  }
+}
+
+bool ServerTileCache::lookup(VideoId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  touch_or_insert(id);
+  return false;
+}
+
+double ServerTileCache::hit_rate() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void ServerTileCache::touch_or_insert(VideoId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(id);
+  map_[id] = lru_.begin();
+  if (map_.size() > config_.capacity_tiles) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace cvr::content

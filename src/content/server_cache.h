@@ -1,0 +1,57 @@
+// Server-side tile cache.
+//
+// Section V: "the server will hold a buffer in the memory during the
+// runtime to cache some of the tiles ... the server only needs to cache
+// the tiles within a range of the user's current position and dynamically
+// adjust the cached content corresponding to the user's movement."
+//
+// We model it as an LRU cache of video IDs with a position-window
+// prefetch: advance(user position) pulls every tile within the window
+// into the cache so subsequent lookups are hits; anything the window has
+// left behind ages out by LRU.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "src/content/tile.h"
+
+namespace cvr::content {
+
+struct ServerCacheConfig {
+  std::size_t capacity_tiles = 20000;
+  std::int32_t window_radius_cells = 4;  ///< +-20 cm around the user.
+};
+
+class ServerTileCache {
+ public:
+  explicit ServerTileCache(ServerCacheConfig config = {});
+
+  const ServerCacheConfig& config() const { return config_; }
+
+  /// Prefetches all tiles (all indices, all levels) for cells within the
+  /// window around `center`. Bounded by the scene via the caller passing
+  /// only valid cells; the cache itself accepts any key.
+  void advance(const GridCell& center);
+
+  /// Looks a tile up; a hit refreshes recency. A miss simulates the disk
+  /// swap the paper avoids (counted, then inserted).
+  bool lookup(VideoId id);
+
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const;
+
+ private:
+  void touch_or_insert(VideoId id);
+
+  ServerCacheConfig config_;
+  std::list<VideoId> lru_;  // front = most recent
+  std::unordered_map<VideoId, std::list<VideoId>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cvr::content

@@ -1,0 +1,50 @@
+#include "src/content/tile.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::content {
+
+namespace {
+constexpr std::int64_t kBias = std::int64_t{1} << 23;
+}
+
+GridCell cell_for_position(double x_m, double y_m) {
+  return GridCell{
+      static_cast<std::int32_t>(std::llround(x_m / kGridCellMeters)),
+      static_cast<std::int32_t>(std::llround(y_m / kGridCellMeters))};
+}
+
+VideoId pack_video_id(const TileKey& key) {
+  if (!is_valid_level(key.level)) {
+    throw std::out_of_range("pack_video_id: invalid quality level");
+  }
+  if (key.tile_index < 0 || key.tile_index >= kTilesPerFrame) {
+    throw std::out_of_range("pack_video_id: invalid tile index");
+  }
+  const std::int64_t bx = static_cast<std::int64_t>(key.cell.gx) + kBias;
+  const std::int64_t by = static_cast<std::int64_t>(key.cell.gy) + kBias;
+  if (bx < 0 || bx >= (kBias << 1) || by < 0 || by >= (kBias << 1)) {
+    throw std::out_of_range("pack_video_id: grid coordinate out of range");
+  }
+  return static_cast<VideoId>(key.level) |
+         (static_cast<VideoId>(key.tile_index) << 3) |
+         (static_cast<VideoId>(by) << 5) | (static_cast<VideoId>(bx) << 29);
+}
+
+TileKey unpack_video_id(VideoId id) {
+  TileKey key;
+  key.level = static_cast<QualityLevel>(id & 0x7);
+  key.tile_index = static_cast<int>((id >> 3) & 0x3);
+  key.cell.gy = static_cast<std::int32_t>(((id >> 5) & 0xFFFFFF) - kBias);
+  key.cell.gx = static_cast<std::int32_t>(((id >> 29) & 0xFFFFFF) - kBias);
+  return key;
+}
+
+std::string to_string(const TileKey& key) {
+  return "(" + std::to_string(key.cell.gx) + "," + std::to_string(key.cell.gy) +
+         ")#" + std::to_string(key.tile_index) + "@q" +
+         std::to_string(key.level);
+}
+
+}  // namespace cvr::content

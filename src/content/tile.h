@@ -1,0 +1,57 @@
+// Tile identity and video-ID indexing.
+//
+// Section V: the panoramic scene is projected to an equirectangular
+// texture and split into four tiles (Fig. 5); "all the tiles will be
+// indexed by a video ID corresponding to their position, tile ID, and
+// quality. We only need to search the video ID during the runtime."
+// Section VI: the scene is a grid world at 5 cm granularity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/content/quality.h"
+
+namespace cvr::content {
+
+inline constexpr int kTilesPerFrame = 4;  ///< 2 x 2 split (Fig. 5).
+inline constexpr double kGridCellMeters = 0.05;
+
+/// Position in the grid world, in cells.
+struct GridCell {
+  std::int32_t gx = 0;
+  std::int32_t gy = 0;
+
+  friend bool operator==(const GridCell&, const GridCell&) = default;
+};
+
+/// Quantises metric coordinates to a grid cell.
+GridCell cell_for_position(double x_m, double y_m);
+
+/// Identity of one encoded tile.
+struct TileKey {
+  GridCell cell;
+  int tile_index = 0;      ///< 0..3, see equirect.h for the layout.
+  QualityLevel level = 1;  ///< 1..kNumQualityLevels.
+
+  friend bool operator==(const TileKey&, const TileKey&) = default;
+};
+
+/// Packed 64-bit video ID. Layout (LSB to MSB):
+///   bits 0..2   quality level (1..6)
+///   bits 3..4   tile index (0..3)
+///   bits 5..28  gy biased by 2^23
+///   bits 29..52 gx biased by 2^23
+using VideoId = std::uint64_t;
+
+/// Packs a tile key. Throws std::out_of_range if the key does not fit
+/// (|g| >= 2^23, bad tile index, or invalid level).
+VideoId pack_video_id(const TileKey& key);
+
+/// Inverse of pack_video_id.
+TileKey unpack_video_id(VideoId id);
+
+/// Debug representation, e.g. "(12,-3)#2@q5".
+std::string to_string(const TileKey& key);
+
+}  // namespace cvr::content

@@ -1,0 +1,41 @@
+#include "src/core/allocator.h"
+
+#include <stdexcept>
+
+namespace cvr::core {
+
+double evaluate(const SlotProblem& problem,
+                const std::vector<QualityLevel>& levels) {
+  if (levels.size() != problem.users.size()) {
+    throw std::invalid_argument("evaluate: level count mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t n = 0; n < levels.size(); ++n) {
+    total += h_value(problem.users[n], levels[n], problem.params);
+  }
+  return total;
+}
+
+double total_rate(const SlotProblem& problem,
+                  const std::vector<QualityLevel>& levels) {
+  if (levels.size() != problem.users.size()) {
+    throw std::invalid_argument("total_rate: level count mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t n = 0; n < levels.size(); ++n) {
+    total += problem.users[n].rate[static_cast<std::size_t>(levels[n] - 1)];
+  }
+  return total;
+}
+
+bool server_feasible(const SlotProblem& problem,
+                     const std::vector<QualityLevel>& levels) {
+  return total_rate(problem, levels) <= problem.server_bandwidth + 1e-9;
+}
+
+bool user_feasible(const UserSlotContext& user, QualityLevel q) {
+  return user.rate[static_cast<std::size_t>(q - 1)] <=
+         user.user_bandwidth + 1e-9;
+}
+
+}  // namespace cvr::core

@@ -1,0 +1,167 @@
+#include "src/core/dv_greedy.h"
+
+#include <queue>
+#include <vector>
+
+namespace cvr::core {
+
+std::string_view DvGreedyAllocator::name() const {
+  switch (mode_) {
+    case Mode::kDensityOnly:
+      return "density-greedy";
+    case Mode::kValueOnly:
+      return "value-greedy";
+    case Mode::kCombined:
+      return "dv-greedy";
+  }
+  return "dv-greedy";
+}
+
+std::vector<QualityLevel> DvGreedyAllocator::greedy_pass(
+    const SlotProblem& problem, Rank rank) const {
+  const std::size_t n_users = problem.user_count();
+  std::vector<QualityLevel> q(n_users, 1);
+  std::vector<bool> active(n_users, true);
+
+  double used_rate = 0.0;
+  for (std::size_t n = 0; n < n_users; ++n) used_rate += problem.users[n].rate[0];
+
+  // quality_verification(q_n, I) from Algorithm 1, applied *after* a
+  // tentative increment: drop the user at the ceiling; revert and drop
+  // the user whose increment broke a rate constraint.
+  std::size_t active_count = n_users;
+  auto deactivate = [&](std::size_t n) {
+    if (active[n]) {
+      active[n] = false;
+      --active_count;
+    }
+  };
+  while (active_count > 0) {
+    // argmax over active users of the marginal score at q_n -> q_n + 1.
+    double best_score = 0.0;
+    std::size_t best = n_users;
+    for (std::size_t n = 0; n < n_users; ++n) {
+      if (!active[n]) continue;
+      if (q[n] >= kNumQualityLevels) {  // defensive; handled on increment
+        deactivate(n);
+        continue;
+      }
+      const double score =
+          rank == Rank::kDensity
+              ? h_density(problem.users[n], q[n], problem.params)
+              : h_increment(problem.users[n], q[n], problem.params);
+      if (best == n_users || score > best_score) {
+        best_score = score;
+        best = n;
+      }
+    }
+    if (best == n_users) break;
+    if (best_score < 0.0) break;  // "if eta_{n*} < 0 then I = {}"
+
+    // Tentative increment, then quality_verification.
+    const auto& user = problem.users[best];
+    const double inc = user.rate[static_cast<std::size_t>(q[best])] -
+                       user.rate[static_cast<std::size_t>(q[best] - 1)];
+    q[best] += 1;
+    used_rate += inc;
+    bool reverted = false;
+    if (!user_feasible(user, q[best]) ||
+        used_rate > problem.server_bandwidth + 1e-9) {
+      q[best] -= 1;
+      used_rate -= inc;
+      deactivate(best);
+      reverted = true;
+    }
+    if (!reverted && q[best] == kNumQualityLevels) deactivate(best);
+  }
+  return q;
+}
+
+std::vector<QualityLevel> DvGreedyAllocator::greedy_pass_heap(
+    const SlotProblem& problem, Rank rank) const {
+  const std::size_t n_users = problem.user_count();
+  std::vector<QualityLevel> q(n_users, 1);
+  std::vector<bool> active(n_users, true);
+
+  double used_rate = 0.0;
+  for (std::size_t n = 0; n < n_users; ++n) used_rate += problem.users[n].rate[0];
+
+  const auto score_at = [&](std::size_t n) {
+    return rank == Rank::kDensity
+               ? h_density(problem.users[n], q[n], problem.params)
+               : h_increment(problem.users[n], q[n], problem.params);
+  };
+
+  // Heap entries carry the level they were computed at; an entry whose
+  // level no longer matches the user's current level is stale (a fresh
+  // one was pushed after the increment) and is discarded on pop. Ties
+  // break toward the smaller index, matching the scan's first-strict-max.
+  struct Entry {
+    double score;
+    std::size_t user;
+    QualityLevel level;
+  };
+  const auto worse = [](const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.user > b.user;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(worse);
+  for (std::size_t n = 0; n < n_users; ++n) {
+    if (q[n] < kNumQualityLevels) heap.push({score_at(n), n, q[n]});
+  }
+
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    const std::size_t n = top.user;
+    if (!active[n] || top.level != q[n]) continue;  // stale or dead
+    if (top.score < 0.0) break;  // max fresh score negative: stop all
+
+    const auto& user = problem.users[n];
+    const double inc = user.rate[static_cast<std::size_t>(q[n])] -
+                       user.rate[static_cast<std::size_t>(q[n] - 1)];
+    q[n] += 1;
+    used_rate += inc;
+    if (!user_feasible(user, q[n]) ||
+        used_rate > problem.server_bandwidth + 1e-9) {
+      q[n] -= 1;
+      used_rate -= inc;
+      active[n] = false;
+      continue;
+    }
+    if (q[n] == kNumQualityLevels) {
+      active[n] = false;
+      continue;
+    }
+    heap.push({score_at(n), n, q[n]});
+  }
+  return q;
+}
+
+Allocation DvGreedyAllocator::allocate(const SlotProblem& problem) {
+  Allocation result;
+  if (problem.user_count() == 0) return result;
+
+  const auto run_pass = [&](Rank rank) {
+    return strategy_ == Strategy::kHeap ? greedy_pass_heap(problem, rank)
+                                        : greedy_pass(problem, rank);
+  };
+
+  if (mode_ == Mode::kDensityOnly || mode_ == Mode::kCombined) {
+    auto qd = run_pass(Rank::kDensity);
+    const double vd = evaluate(problem, qd);
+    result.levels = std::move(qd);
+    result.objective = vd;
+  }
+  if (mode_ == Mode::kValueOnly || mode_ == Mode::kCombined) {
+    auto qv = run_pass(Rank::kValue);
+    const double vv = evaluate(problem, qv);
+    if (result.levels.empty() || vv > result.objective) {
+      result.levels = std::move(qv);
+      result.objective = vv;
+    }
+  }
+  return result;
+}
+
+}  // namespace cvr::core

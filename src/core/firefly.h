@@ -1,0 +1,40 @@
+// Firefly's Adaptive Quality Control baseline (Liu et al., USENIX ATC'20).
+//
+// Section IV: "Adaptive Quality Control algorithm in Firefly, which uses
+// Least Recently Used (LRU) algorithm to allocate the rate for multiple
+// users. Due to its heuristic property and similar setup in the original
+// paper, it can be directly deployed to our problem without
+// modifications."
+//
+// Reproduction (DESIGN.md Section 5): every user starts each slot at the
+// highest level its own link B_n admits; while the aggregate exceeds
+// B(t), the *least-recently-boosted* user is degraded one level, cycling
+// by LRU. A user whose quality survives a slot un-degraded is "boosted"
+// (moved to the MRU end), so degradation pressure rotates — the LRU
+// rate-allocation heuristic the paper attributes to Firefly. The policy
+// is QoE-oblivious: it never looks at h_n, delay, or variance, which is
+// exactly why it trails the principled algorithms in Figs. 2/3/7 and
+// collapses under the bandwidth variance of Fig. 8.
+#pragma once
+
+#include <list>
+
+#include "src/core/allocator.h"
+
+namespace cvr::core {
+
+class FireflyAllocator final : public Allocator {
+ public:
+  std::string_view name() const override { return "firefly-aqc"; }
+
+  Allocation allocate(const SlotProblem& problem) override;
+
+  void reset() override { lru_.clear(); }
+
+ private:
+  void sync_lru(std::size_t users);
+
+  std::list<std::size_t> lru_;  // front = least recently boosted
+};
+
+}  // namespace cvr::core

@@ -1,0 +1,24 @@
+// Fractional-relaxation upper bound (the V_p of Theorem 1's proof).
+//
+// Allowing a user's final quality increment to be taken fractionally
+// (value and rate interpolated linearly between levels) turns the
+// per-slot knapsack into a problem solved exactly by density-greedy,
+// because h_n is concave and f^R convex (per-user marginal densities are
+// non-increasing). The result upper-bounds the discrete optimum: every
+// discrete feasible point is feasible in the relaxation.
+//
+// Used by the 30-user simulation (where brute force is infeasible) and
+// as the certificate in the Theorem-1 bench:
+//   V_dv >= OPT/2 is implied whenever V_dv >= V_p/2.
+#pragma once
+
+#include "src/core/allocator.h"
+
+namespace cvr::core {
+
+/// Returns the relaxed optimum value (NOT an implementable allocation —
+/// the fractional level has no encoded tile; hence a free function, not
+/// an Allocator).
+double fractional_upper_bound(const SlotProblem& problem);
+
+}  // namespace cvr::core

@@ -1,0 +1,190 @@
+#include "src/core/lagrangian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cvr::core {
+
+namespace {
+
+/// Per-user argmax of h(q) - lambda f(q), subject to (7). Ties break
+/// toward the *lower* level so that usage(lambda) is right-continuous
+/// and bisection lands on a feasible allocation.
+QualityLevel best_level(const UserSlotContext& user, const QoeParams& params,
+                        double lambda) {
+  QualityLevel best_q = 1;
+  double best =
+      h_value(user, 1, params) - lambda * user.rate[0];
+  for (QualityLevel q = 2; q <= kNumQualityLevels; ++q) {
+    if (!user_feasible(user, q)) break;  // rates increase with q
+    const double v = h_value(user, q, params) -
+                     lambda * user.rate[static_cast<std::size_t>(q - 1)];
+    if (v > best + 1e-12) {
+      best = v;
+      best_q = q;
+    }
+  }
+  return best_q;
+}
+
+double usage(const SlotProblem& problem, double lambda,
+             std::vector<QualityLevel>& levels) {
+  double total = 0.0;
+  for (std::size_t n = 0; n < problem.users.size(); ++n) {
+    levels[n] = best_level(problem.users[n], problem.params, lambda);
+    total += problem.users[n].rate[static_cast<std::size_t>(levels[n] - 1)];
+  }
+  return total;
+}
+
+/// Largest marginal density over all users/levels: above this lambda
+/// every user sits at level 1.
+double lambda_ceiling(const SlotProblem& problem) {
+  double ceiling = 0.0;
+  for (const auto& user : problem.users) {
+    for (QualityLevel q = 1; q < kNumQualityLevels; ++q) {
+      const double dr = user.rate[static_cast<std::size_t>(q)] -
+                        user.rate[static_cast<std::size_t>(q - 1)];
+      if (dr <= 0.0) continue;
+      ceiling = std::max(
+          ceiling, std::abs(h_increment(user, q, problem.params)) / dr);
+    }
+  }
+  return ceiling + 1.0;
+}
+
+}  // namespace
+
+LagrangianAllocator::LagrangianAllocator(int iterations)
+    : iterations_(std::max(1, iterations)) {}
+
+Allocation LagrangianAllocator::allocate(const SlotProblem& problem) {
+  Allocation result;
+  const std::size_t n_users = problem.user_count();
+  if (n_users == 0) return result;
+
+  std::vector<QualityLevel> levels(n_users, 1);
+  // lambda = 0: unconstrained optimum. Feasible? Done.
+  if (usage(problem, 0.0, levels) <= problem.server_bandwidth + 1e-9) {
+    result.levels = std::move(levels);
+    result.objective = evaluate(problem, result.levels);
+    return result;
+  }
+
+  double lo = 0.0;                      // infeasible side
+  double hi = lambda_ceiling(problem);  // all-ones side
+  std::vector<QualityLevel> hi_levels(n_users, 1);
+  if (usage(problem, hi, hi_levels) > problem.server_bandwidth + 1e-9) {
+    // Even the all-ones minimum violates (6): mandatory-minimum fallback.
+    result.levels.assign(n_users, 1);
+    result.objective = evaluate(problem, result.levels);
+    return result;
+  }
+
+  std::vector<QualityLevel> feasible = hi_levels;
+  for (int i = 0; i < iterations_; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (usage(problem, mid, levels) <= problem.server_bandwidth + 1e-9) {
+      feasible = levels;
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  // Greedy fill: the crossing lambda can drop several users' levels at
+  // once (the dual's step discontinuity), leaving budget on the table.
+  // Spend it on the best positive-density increments that still fit —
+  // the standard Lagrangian-plus-fill refinement.
+  double used = total_rate(problem, feasible);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    double best_density = 0.0;
+    std::size_t best = n_users;
+    for (std::size_t n = 0; n < n_users; ++n) {
+      if (feasible[n] >= kNumQualityLevels) continue;
+      if (!user_feasible(problem.users[n], feasible[n] + 1)) continue;
+      const double dr =
+          problem.users[n].rate[static_cast<std::size_t>(feasible[n])] -
+          problem.users[n].rate[static_cast<std::size_t>(feasible[n] - 1)];
+      if (used + dr > problem.server_bandwidth + 1e-9) continue;
+      const double density =
+          h_density(problem.users[n], feasible[n], problem.params);
+      if (density > best_density) {
+        best_density = density;
+        best = n;
+      }
+    }
+    if (best != n_users && best_density > 0.0) {
+      used += problem.users[best].rate[static_cast<std::size_t>(feasible[best])] -
+              problem.users[best]
+                  .rate[static_cast<std::size_t>(feasible[best] - 1)];
+      feasible[best] += 1;
+      improved = true;
+    }
+  }
+
+  result.levels = std::move(feasible);
+  result.objective = evaluate(problem, result.levels);
+  return result;
+}
+
+double lagrangian_dual_bound(const SlotProblem& problem, int iterations) {
+  const std::size_t n_users = problem.user_count();
+  if (n_users == 0) return 0.0;
+
+  // Strictly infeasible instance (even all-ones overflows B): the dual
+  // of the strict problem is -infinity, but the library's convention
+  // admits the mandatory minimum — whose value is then the only
+  // admissible outcome, hence also the bound.
+  double min_rate = 0.0;
+  for (const auto& user : problem.users) min_rate += user.rate[0];
+  if (min_rate > problem.server_bandwidth + 1e-9) {
+    return evaluate(problem,
+                    std::vector<QualityLevel>(n_users, 1));
+  }
+
+  auto dual = [&](double lambda) {
+    double total = lambda * problem.server_bandwidth;
+    for (const auto& user : problem.users) {
+      double best = -std::numeric_limits<double>::infinity();
+      for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+        if (q > 1 && !user_feasible(user, q)) break;
+        best = std::max(best,
+                        h_value(user, q, problem.params) -
+                            lambda * user.rate[static_cast<std::size_t>(q - 1)]);
+      }
+      total += best;
+    }
+    return total;
+  };
+
+  // g is convex in lambda: golden-section search over [0, ceiling].
+  constexpr double kGolden = 0.6180339887498949;
+  double lo = 0.0;
+  double hi = lambda_ceiling(problem);
+  double x1 = hi - kGolden * (hi - lo);
+  double x2 = lo + kGolden * (hi - lo);
+  double f1 = dual(x1);
+  double f2 = dual(x2);
+  for (int i = 0; i < iterations; ++i) {
+    if (f1 <= f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kGolden * (hi - lo);
+      f1 = dual(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kGolden * (hi - lo);
+      f2 = dual(x2);
+    }
+  }
+  return std::min({dual(lo), f1, f2, dual(hi)});
+}
+
+}  // namespace cvr::core

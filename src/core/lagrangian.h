@@ -1,0 +1,42 @@
+// Lagrangian-relaxation solver for the per-slot problem (5)-(7).
+//
+// Dualising the shared constraint (6) with multiplier lambda >= 0
+// decouples the users:
+//     g(lambda) = sum_n max_q [ h_n(q) - lambda f_n(q) ] + lambda B(t),
+// a convex piecewise-linear function of lambda with g(lambda) >= OPT for
+// every lambda (weak duality). Because h_n is concave and f_n convex,
+// the per-user argmax is monotone non-increasing in lambda, so total
+// usage is a non-increasing step function and bisection finds the
+// smallest lambda whose allocation is feasible — a primal solution whose
+// gap to OPT is bounded by the duality gap at the crossing point.
+//
+// This is the classical alternative to Algorithm 1 for this problem
+// family (cf. the nonlinear-knapsack survey the paper cites); the
+// `solver_comparison` bench measures value and runtime against
+// DV-greedy, the exact DP, and the fractional bound.
+#pragma once
+
+#include "src/core/allocator.h"
+
+namespace cvr::core {
+
+class LagrangianAllocator final : public Allocator {
+ public:
+  /// `iterations`: bisection steps on lambda (60 reaches double
+  /// precision for any realistic rate scale).
+  explicit LagrangianAllocator(int iterations = 60);
+
+  std::string_view name() const override { return "lagrangian"; }
+
+  Allocation allocate(const SlotProblem& problem) override;
+
+ private:
+  int iterations_;
+};
+
+/// Weak-duality upper bound: min over a lambda sweep of g(lambda).
+/// Always >= OPT of (5)-(7); complements fractional_upper_bound.
+double lagrangian_dual_bound(const SlotProblem& problem,
+                             int iterations = 80);
+
+}  // namespace cvr::core

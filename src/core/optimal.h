@@ -1,0 +1,48 @@
+// Exact solvers for the per-slot problem (5)-(7).
+//
+// Section IV: "when the number of users is small, we can use the brute
+// force method to generate the optimal offline solution of problem
+// (5)-(7)". We provide that brute force (with branch-and-bound pruning on
+// the rate budget) for N <~ 8, plus a pseudo-polynomial dynamic program
+// over a discretised rate budget that scales to dozens of users and is
+// used by the Theorem-1 bench as the reference optimum.
+#pragma once
+
+#include "src/core/allocator.h"
+
+namespace cvr::core {
+
+/// Exhaustive search over the L^N allocations. Exponential — intended
+/// for N <= 8 (6^8 ~ 1.7M). Throws std::invalid_argument beyond
+/// max_users to protect callers.
+class BruteForceAllocator final : public Allocator {
+ public:
+  explicit BruteForceAllocator(std::size_t max_users = 8)
+      : max_users_(max_users) {}
+
+  std::string_view name() const override { return "optimal-bruteforce"; }
+
+  Allocation allocate(const SlotProblem& problem) override;
+
+ private:
+  std::size_t max_users_;
+};
+
+/// Dynamic program over the server budget discretised at `granularity`
+/// Mbps. Rates are rounded *up* to grid units, so the result is always
+/// feasible; the value is exact for the rounded instance and within
+/// O(N * granularity) of the true optimum (equal to it when granularity
+/// divides all rate increments).
+class DpAllocator final : public Allocator {
+ public:
+  explicit DpAllocator(double granularity_mbps = 0.25);
+
+  std::string_view name() const override { return "optimal-dp"; }
+
+  Allocation allocate(const SlotProblem& problem) override;
+
+ private:
+  double granularity_;
+};
+
+}  // namespace cvr::core

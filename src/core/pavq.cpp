@@ -1,0 +1,78 @@
+#include "src/core/pavq.h"
+
+#include <algorithm>
+
+namespace cvr::core {
+
+double PavqAllocator::score(const UserSlotContext& user, QualityLevel q,
+                            const QoeParams& params) {
+  // PAVQ's mean-variability utility with the paper's delay modification
+  // folded into mu_i^P as the user's *average measured delay*: the
+  // original formulation has no delay term, so the retrofit prices delay
+  // per user, not per level. The penalty is therefore flat in q — PAVQ
+  // cannot see that the delay curve steepens near the capacity knee,
+  // which is what Figs. 7/8 punish. delta is forced to 1 (PAVQ predates
+  // FoV prediction).
+  double mean_delay = 0.0;
+  for (double d : user.delay) mean_delay += d;
+  mean_delay /= static_cast<double>(user.delay.size());
+  const double t = user.slot;
+  const double weight = t > 1.0 ? (t - 1.0) / t : 0.0;
+  const double dq = static_cast<double>(q) - user.qbar;
+  return static_cast<double>(q) - params.alpha * mean_delay -
+         params.beta * weight * dq * dq;
+}
+
+UserSlotContext PavqAllocator::smoothed_view(std::size_t n,
+                                             const UserSlotContext& user) {
+  if (smoothed_.size() <= n) smoothed_.resize(n + 1);
+  SmoothedInputs& s = smoothed_[n];
+  if (!s.primed) {
+    s.bandwidth = user.user_bandwidth;
+    for (std::size_t i = 0; i < s.delay.size(); ++i) s.delay[i] = user.delay[i];
+    s.primed = true;
+  } else {
+    s.bandwidth += smoothing_alpha_ * (user.user_bandwidth - s.bandwidth);
+    for (std::size_t i = 0; i < s.delay.size(); ++i) {
+      s.delay[i] += smoothing_alpha_ * (user.delay[i] - s.delay[i]);
+    }
+  }
+  UserSlotContext view = user;
+  view.user_bandwidth = s.bandwidth;
+  view.delay.assign(s.delay.begin(), s.delay.end());
+  return view;
+}
+
+Allocation PavqAllocator::allocate(const SlotProblem& problem) {
+  const std::size_t n_users = problem.user_count();
+  std::vector<QualityLevel> q(n_users, 1);
+
+  // Per-user maximisation of the price-adjusted score under B_n only
+  // (evaluated on the long-run-average view of the network); the shared
+  // constraint (6) is delegated to the dual price.
+  for (std::size_t n = 0; n < n_users; ++n) {
+    const UserSlotContext user = smoothed_view(n, problem.users[n]);
+    double best = score(user, 1, problem.params) - price_ * user.rate[0];
+    for (QualityLevel level = 2; level <= kNumQualityLevels; ++level) {
+      if (!user_feasible(user, level)) break;  // rates increase
+      const double s =
+          score(user, level, problem.params) -
+          price_ * user.rate[static_cast<std::size_t>(level - 1)];
+      if (s > best) {
+        best = s;
+        q[n] = level;
+      }
+    }
+  }
+
+  // Subgradient price update toward the budget.
+  const double used = total_rate(problem, q);
+  price_ = std::max(0.0, price_ + kappa_ * (used - problem.server_bandwidth));
+
+  Allocation result;
+  result.levels = std::move(q);
+  result.objective = evaluate(problem, result.levels);
+  return result;
+}
+
+}  // namespace cvr::core

@@ -1,0 +1,138 @@
+#include "src/core/qoe.h"
+
+#include <stdexcept>
+
+namespace cvr::core {
+
+UserSlotContext UserSlotContext::from_rate_function(
+    const content::RateFunction& f, double user_bandwidth, double delta,
+    double qbar, double slot) {
+  UserSlotContext ctx;
+  ctx.delta = delta;
+  ctx.qbar = qbar;
+  ctx.slot = slot;
+  ctx.user_bandwidth = user_bandwidth;
+  ctx.rate.reserve(kNumQualityLevels);
+  ctx.delay.reserve(kNumQualityLevels);
+  for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+    const double r = f.rate(q);
+    ctx.rate.push_back(r);
+    ctx.delay.push_back(net::mm1_delay(r, user_bandwidth));
+  }
+  return ctx;
+}
+
+double UserSlotContext::effective_delta(QualityLevel q) const {
+  if (frame_loss.empty()) return delta;
+  const auto idx = static_cast<std::size_t>(q - 1);
+  if (idx >= frame_loss.size()) {
+    throw std::out_of_range("effective_delta: frame_loss table too short");
+  }
+  return delta * (1.0 - frame_loss[idx]);
+}
+
+double h_value(const UserSlotContext& user, QualityLevel q,
+               const QoeParams& params) {
+  if (!content::is_valid_level(q)) {
+    throw std::out_of_range("h_value: invalid quality level");
+  }
+  const auto idx = static_cast<std::size_t>(q - 1);
+  if (user.rate.size() != static_cast<std::size_t>(kNumQualityLevels) ||
+      user.delay.size() != static_cast<std::size_t>(kNumQualityLevels)) {
+    throw std::invalid_argument("h_value: context tables incomplete");
+  }
+  const double success = user.effective_delta(q);
+  const double t = user.slot;
+  const double weight = t > 1.0 ? (t - 1.0) / t : 0.0;
+  const double dq = static_cast<double>(q) - user.qbar;
+  const double variance_term =
+      success * weight * dq * dq +
+      (1.0 - success) * weight * user.qbar * user.qbar;
+  return success * static_cast<double>(q) - params.alpha * user.delay[idx] -
+         params.beta * variance_term;
+}
+
+double h_increment(const UserSlotContext& user, QualityLevel q,
+                   const QoeParams& params) {
+  return h_value(user, q + 1, params) - h_value(user, q, params);
+}
+
+bool h_is_concave(const UserSlotContext& user, const QoeParams& params) {
+  // Highest selectable level under constraint (7).
+  QualityLevel max_level = 1;
+  for (QualityLevel q = 2; q <= kNumQualityLevels; ++q) {
+    if (user.rate[static_cast<std::size_t>(q - 1)] >
+        user.user_bandwidth + 1e-9) {
+      break;
+    }
+    max_level = q;
+  }
+  if (max_level < 3) return true;  // fewer than two increments
+  double prev_increment = h_increment(user, 1, params);
+  for (QualityLevel q = 2; q < max_level; ++q) {
+    const double increment = h_increment(user, q, params);
+    if (increment > prev_increment + 1e-9) return false;
+    prev_increment = increment;
+  }
+  return true;
+}
+
+double h_density(const UserSlotContext& user, QualityLevel q,
+                 const QoeParams& params) {
+  const double dr = user.rate[static_cast<std::size_t>(q)] -
+                    user.rate[static_cast<std::size_t>(q - 1)];
+  if (dr <= 0.0) {
+    throw std::logic_error("h_density: rates must be strictly increasing");
+  }
+  return h_increment(user, q, params) / dr;
+}
+
+void UserQoeAccumulator::record(QualityLevel q, bool viewed, double delay) {
+  record_displayed(q, viewed ? static_cast<double>(q) : 0.0, delay);
+}
+
+void UserQoeAccumulator::record_displayed(QualityLevel chosen,
+                                          double displayed_quality,
+                                          double delay) {
+  if (!content::is_valid_level(chosen)) {
+    throw std::out_of_range("UserQoeAccumulator: invalid level");
+  }
+  if (displayed_quality < 0.0 ||
+      displayed_quality > static_cast<double>(kNumQualityLevels)) {
+    throw std::invalid_argument("UserQoeAccumulator: bad displayed quality");
+  }
+  if (delay < 0.0) {
+    throw std::invalid_argument("UserQoeAccumulator: negative delay");
+  }
+  ++slots_;
+  level_sum_ += static_cast<double>(chosen);
+  quality_sum_ += displayed_quality;
+  const double d1 = displayed_quality - quality_mean_;
+  quality_mean_ += d1 / static_cast<double>(slots_);
+  quality_m2_ += d1 * (displayed_quality - quality_mean_);
+  delay_sum_ += delay;
+}
+
+double UserQoeAccumulator::mean_viewed_quality() const {
+  return slots_ == 0 ? 0.0 : quality_sum_ / static_cast<double>(slots_);
+}
+
+double UserQoeAccumulator::mean_level() const {
+  return slots_ == 0 ? 0.0 : level_sum_ / static_cast<double>(slots_);
+}
+
+double UserQoeAccumulator::mean_delay() const {
+  return slots_ == 0 ? 0.0 : delay_sum_ / static_cast<double>(slots_);
+}
+
+double UserQoeAccumulator::variance() const {
+  return slots_ == 0 ? 0.0 : quality_m2_ / static_cast<double>(slots_);
+}
+
+double UserQoeAccumulator::average_qoe(const QoeParams& params) const {
+  if (slots_ == 0) return 0.0;
+  return mean_viewed_quality() - params.alpha * mean_delay() -
+         params.beta * variance();
+}
+
+}  // namespace cvr::core

@@ -1,0 +1,133 @@
+// The QoE model of Section II and its per-slot decomposition (Section III).
+//
+// QoE_n(T) = sum_t ( E[q_n(t) 1_n(t)] - alpha E[d_n(f^R(q_n(t)))] )
+//            - beta T sigma_n^2(T),
+// decomposed via Welford's recurrence (eq. 4) into per-slot terms
+//
+// h_n(q) = delta_n q - alpha E[d_n(f(q))]
+//          - beta ( delta_n (t-1)(q - qbar)^2 / t
+//                 + (1 - delta_n)(t-1) qbar^2 / t ),
+//
+// where delta_n = E[1_n(t)] is the prediction-success probability and
+// qbar = qbar_n(t-1) is the running mean of *successfully viewed* quality.
+//
+// Delay units: the objective uses eq. (13)'s M/M/1 delay
+// d = r / (B_n - r) with rates in Mbps, and we read the value in
+// *milliseconds* — the natural scale of the local-WLAN RTTs in Fig. 1b
+// (equivalently: the queue's mean service time is normalised to 1 ms).
+// With B_n - r ~ 10 Mbps of headroom this gives single-digit-ms delays,
+// matching the paper's measurements.
+#pragma once
+
+#include <vector>
+
+#include "src/content/quality.h"
+#include "src/content/rate_function.h"
+#include "src/net/mm1.h"
+
+namespace cvr::core {
+
+using content::QualityLevel;
+using content::kNumQualityLevels;
+
+/// QoE weights (Section II). alpha scales the delay penalty, beta the
+/// quality-variance penalty. The paper uses (0.02, 0.5) for the
+/// trace-based simulation and (0.1, 0.5) for the real-world system.
+struct QoeParams {
+  double alpha = 0.02;
+  double beta = 0.5;
+};
+
+/// Everything the per-slot problem knows about one user.
+struct UserSlotContext {
+  double delta = 1.0;       ///< Estimated prediction-success probability.
+  double qbar = 0.0;        ///< Running mean of viewed quality, qbar_n(t-1).
+  double slot = 1.0;        ///< Current slot t (1-based) in the horizon.
+  double user_bandwidth = 0.0;  ///< B_n(t), Mbps.
+  std::vector<double> rate;     ///< f_{c(t)}^R(q) per level, index q-1.
+  std::vector<double> delay;    ///< E[d_n(f(q))] per level, index q-1.
+  /// Optional (Section VIII extension): estimated probability that the
+  /// level-q frame is *undecodable* due to RTP packet loss, index q-1.
+  /// Empty means "loss-oblivious" — the paper's published formulation.
+  /// When present, the success probability in h_n becomes
+  /// delta * (1 - frame_loss[q-1]): content is seen iff the prediction
+  /// covers the FoV AND every packet of the frame arrives.
+  std::vector<double> frame_loss;
+
+  /// delta * (1 - frame_loss[q-1]) — the effective probability the
+  /// level-q content is successfully viewed. Equals delta when no loss
+  /// information is attached.
+  double effective_delta(QualityLevel q) const;
+
+  /// Builds the rate/delay tables from a rate function and B_n using the
+  /// analytic M/M/1 delay (the Section IV setting where the server has
+  /// perfect knowledge).
+  static UserSlotContext from_rate_function(const content::RateFunction& f,
+                                            double user_bandwidth,
+                                            double delta, double qbar,
+                                            double slot);
+};
+
+/// h_n(q) of Section III. Precondition: is_valid_level(q) and the context
+/// tables have kNumQualityLevels entries.
+double h_value(const UserSlotContext& user, QualityLevel q,
+               const QoeParams& params);
+
+/// Marginal value v_{n} = h(q+1) - h(q). Requires q+1 valid.
+double h_increment(const UserSlotContext& user, QualityLevel q,
+                   const QoeParams& params);
+
+/// Marginal density eta_n = (h(q+1) - h(q)) / (f(q+1) - f(q)).
+/// Requires strictly increasing rates (guaranteed by RateFunction).
+double h_density(const UserSlotContext& user, QualityLevel q,
+                 const QoeParams& params);
+
+/// Diagnostic: whether h_n is discretely concave over the levels the
+/// user can actually select (f(q) <= B_n — levels beyond the link sit
+/// at the saturated-delay cap, where convexity of d() is deliberately
+/// truncated, and constraint (7) excludes them from every allocator
+/// anyway). Concavity here is the assumption behind Theorem 1's 1/2
+/// guarantee: always true for the published model; the Section-VIII
+/// frame_loss extension can break it — the allocator still runs, but
+/// the formal bound no longer applies.
+bool h_is_concave(const UserSlotContext& user, const QoeParams& params);
+
+/// Tracks one user's realized QoE across a horizon: quality samples
+/// q_n(t) 1_n(t), delay samples, and the exact variance sigma_n^2(T)
+/// computed by Welford's recurrence — by construction identical to the
+/// decomposition the allocator optimises against.
+class UserQoeAccumulator {
+ public:
+  /// Records slot t's outcome: chosen level, whether the content was
+  /// successfully viewed, and the delivery delay.
+  void record(QualityLevel q, bool viewed, double delay);
+
+  /// General form: the user may end up seeing content at a *different*
+  /// quality than chosen — e.g. a level-1 fallback cell after a position
+  /// misprediction (footnote-1 extension). `displayed_quality` is the
+  /// quality sample entering the mean/variance (0 = nothing correct
+  /// seen; must lie in [0, kNumQualityLevels]).
+  void record_displayed(QualityLevel chosen, double displayed_quality,
+                        double delay);
+
+  std::size_t slots() const { return slots_; }
+  /// qbar_n(t): running mean of viewed quality (0 before any slot).
+  double mean_viewed_quality() const;
+  /// Mean *chosen* level (ignores 1_n) — diagnostic, not a QoE term.
+  double mean_level() const;
+  double mean_delay() const;
+  double variance() const;  ///< sigma_n^2(T) so far.
+
+  /// Time-averaged QoE: mean(q 1) - alpha mean(d) - beta sigma^2(T).
+  double average_qoe(const QoeParams& params) const;
+
+ private:
+  std::size_t slots_ = 0;
+  double level_sum_ = 0.0;
+  double quality_sum_ = 0.0;
+  double quality_mean_ = 0.0;  // Welford mean of q*1
+  double quality_m2_ = 0.0;    // Welford M2 of q*1
+  double delay_sum_ = 0.0;
+};
+
+}  // namespace cvr::core

@@ -1,0 +1,72 @@
+#include "src/experiments/ensemble.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "src/core/registry.h"
+#include "src/report/report.h"
+
+namespace cvr::experiments {
+
+std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec) {
+  if (spec.users == 0 || spec.slots == 0 || spec.repeats == 0) {
+    throw std::invalid_argument("EnsembleSpec: zero users/slots/repeats");
+  }
+  if (spec.algorithms.empty()) {
+    throw std::invalid_argument("EnsembleSpec: no algorithms");
+  }
+  if (spec.routers != 1 && spec.routers != 2) {
+    throw std::invalid_argument("EnsembleSpec: routers must be 1 or 2");
+  }
+
+  const core::AllocatorContext context =
+      spec.platform == EnsembleSpec::Platform::kTrace
+          ? core::AllocatorContext::kTraceSimulation
+          : core::AllocatorContext::kSystem;
+  std::vector<std::unique_ptr<core::Allocator>> allocators;
+  std::vector<core::Allocator*> arm_ptrs;
+  for (const std::string& name : spec.algorithms) {
+    auto allocator = core::make_allocator(name, context);
+    if (allocator == nullptr) {
+      throw std::invalid_argument("EnsembleSpec: unknown algorithm '" + name +
+                                  "'");
+    }
+    arm_ptrs.push_back(allocator.get());
+    allocators.push_back(std::move(allocator));
+  }
+
+  std::vector<sim::ArmResult> arms;
+  if (spec.platform == EnsembleSpec::Platform::kTrace) {
+    trace::TraceRepositoryConfig repo_config;
+    const double seconds =
+        static_cast<double>(spec.slots) * cvr::kSlotSeconds;
+    repo_config.fcc.duration_s = seconds;
+    repo_config.lte.duration_s = seconds;
+    const trace::TraceRepository repo(repo_config, spec.seed);
+    sim::TraceSimConfig config;
+    config.users = spec.users;
+    config.slots = spec.slots;
+    config.seed = spec.seed;
+    config.params =
+        core::QoeParams{spec.alpha < 0 ? 0.02 : spec.alpha, spec.beta};
+    const sim::TraceSimulation simulation(config, repo);
+    arms = simulation.compare(arm_ptrs, spec.repeats);
+  } else {
+    system::SystemSimConfig config =
+        spec.routers == 2 ? system::setup_two_routers(spec.users)
+                          : system::setup_one_router(spec.users);
+    config.slots = spec.slots;
+    config.seed = spec.seed;
+    config.server.params =
+        core::QoeParams{spec.alpha < 0 ? 0.1 : spec.alpha, spec.beta};
+    const system::SystemSim simulation(config);
+    arms = simulation.compare(arm_ptrs, spec.repeats);
+  }
+
+  if (!spec.report_prefix.empty()) {
+    report::write_report(arms, spec.report_prefix);
+  }
+  return arms;
+}
+
+}  // namespace cvr::experiments

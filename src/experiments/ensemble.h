@@ -1,0 +1,48 @@
+// Ensemble runner: the one-call experiment API.
+//
+// Every figure bench repeats the same choreography — build the trace
+// repository or the system world, instantiate allocators by name,
+// compare them over repeats, optionally write a report. EnsembleSpec
+// captures that choreography declaratively so downstream users (and our
+// own CLI) can run a full comparison with one call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/metrics.h"
+#include "src/sim/simulation.h"
+#include "src/system/system_sim.h"
+
+namespace cvr::experiments {
+
+struct EnsembleSpec {
+  enum class Platform {
+    kTrace,   ///< Section-IV simulator (perfect knowledge).
+    kSystem,  ///< Sections V-VI emulation (estimates + physics).
+  };
+
+  Platform platform = Platform::kTrace;
+  std::size_t users = 5;
+  std::size_t slots = 1980;
+  std::size_t repeats = 5;
+  /// Registry names ("dv", "pavq", ...); see core::allocator_names().
+  std::vector<std::string> algorithms = {"dv", "pavq", "firefly"};
+  std::uint64_t seed = 2022;
+  /// QoE weights; negative alpha means the platform default
+  /// (0.02 trace / 0.1 system).
+  double alpha = -1.0;
+  double beta = 0.5;
+  /// kSystem only: 2 routers turns interference on.
+  std::size_t routers = 1;
+  /// Optional: write CSV reports under this prefix (empty = none).
+  std::string report_prefix;
+};
+
+/// Runs the ensemble and returns one ArmResult per algorithm, in spec
+/// order. Throws std::invalid_argument on an unknown algorithm name or
+/// inconsistent spec (zero users/slots/repeats, bad router count).
+std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec);
+
+}  // namespace cvr::experiments

@@ -1,0 +1,35 @@
+#include "src/motion/accuracy.h"
+
+#include <stdexcept>
+
+namespace cvr::motion {
+
+AccuracyEstimator::AccuracyEstimator(double prior, double prior_weight)
+    : prior_(prior), prior_weight_(prior_weight) {
+  if (prior < 0.0 || prior > 1.0 || prior_weight < 0.0) {
+    throw std::invalid_argument("AccuracyEstimator: invalid prior");
+  }
+}
+
+void AccuracyEstimator::record(bool hit) {
+  hits_ += hit ? 1.0 : 0.0;
+  ++count_;
+}
+
+double AccuracyEstimator::estimate() const {
+  const double n = static_cast<double>(count_);
+  return (hits_ + prior_ * prior_weight_) / (n + prior_weight_);
+}
+
+EmaAccuracyEstimator::EmaAccuracyEstimator(double alpha, double initial)
+    : alpha_(alpha), value_(initial) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("EmaAccuracyEstimator: alpha out of (0,1]");
+  }
+}
+
+void EmaAccuracyEstimator::record(bool hit) {
+  value_ += alpha_ * ((hit ? 1.0 : 0.0) - value_);
+}
+
+}  // namespace cvr::motion

@@ -1,0 +1,49 @@
+// Online estimation of the prediction-success probability delta_n.
+//
+// Section III: "This successful prediction probability can be estimated
+// via the average prediction probability delta_bar_n(t), which converges
+// to delta_n as t -> infinity." We provide both the running average the
+// paper uses and an EMA variant for non-stationary users, plus an
+// optimistic prior so the very first slots do not see delta = 0.
+#pragma once
+
+#include <cstddef>
+
+namespace cvr::motion {
+
+class AccuracyEstimator {
+ public:
+  /// `prior` is the assumed success probability before any evidence;
+  /// `prior_weight` is how many pseudo-observations it is worth.
+  explicit AccuracyEstimator(double prior = 0.9, double prior_weight = 5.0);
+
+  /// Records whether the delivered portion covered the actual FoV.
+  void record(bool hit);
+
+  /// Running-average estimate delta_bar_n(t) (with prior smoothing).
+  double estimate() const;
+
+  std::size_t observations() const { return count_; }
+
+ private:
+  double prior_;
+  double prior_weight_;
+  double hits_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Exponential-moving-average variant; tracks slow drift in user
+/// predictability (e.g. a user switching from browsing to fast gaming).
+class EmaAccuracyEstimator {
+ public:
+  explicit EmaAccuracyEstimator(double alpha = 0.05, double initial = 0.9);
+
+  void record(bool hit);
+  double estimate() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_;
+};
+
+}  // namespace cvr::motion

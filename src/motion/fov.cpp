@@ -1,0 +1,28 @@
+#include "src/motion/fov.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cvr::motion {
+
+bool covers(const FovSpec& spec, const Pose& predicted, const Pose& actual) {
+  // Location: margin does not help (footnote 1) — the actual location must
+  // fall inside the delivered cell window.
+  if (predicted.position_distance(actual) > spec.position_tolerance_m) {
+    return false;
+  }
+  // Orientation: delivered span per side is FoV/2 + margin; the actual FoV
+  // (FoV/2 per side) is covered iff the view-centre error per axis is at
+  // most the margin.
+  const double yaw_err = std::abs(angular_difference(predicted.yaw, actual.yaw));
+  const double pitch_err = std::abs(predicted.pitch - actual.pitch);
+  return yaw_err <= spec.margin_deg && pitch_err <= spec.margin_deg;
+}
+
+double delivered_panorama_fraction(const FovSpec& spec) {
+  const double h = std::min(360.0, spec.horizontal_deg + 2.0 * spec.margin_deg);
+  const double v = std::min(180.0, spec.vertical_deg + 2.0 * spec.margin_deg);
+  return (h / 360.0) * (v / 180.0);
+}
+
+}  // namespace cvr::motion

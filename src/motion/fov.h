@@ -1,0 +1,35 @@
+// Field-of-view coverage with prediction margin.
+//
+// Section II: the user sees ~20% of the panorama (the FoV); the server
+// delivers the predicted FoV plus a fixed margin, and 1_n(t) = 1 iff the
+// delivered portion covers the *actual* FoV (both virtual location and
+// head orientation). Footnote 1: "The extended margin on FoV only helps
+// in the prediction of 3 DoFs for head orientation" — so the location
+// must land in the delivered content's grid cell window, while yaw/pitch
+// errors are absorbed by the margin.
+#pragma once
+
+#include "src/motion/pose.h"
+
+namespace cvr::motion {
+
+struct FovSpec {
+  double horizontal_deg = 90.0;  ///< Typical mobile-HMD FoV.
+  double vertical_deg = 90.0;
+  double margin_deg = 15.0;      ///< Extra delivered margin per side.
+  /// Delivered content is rendered for a grid cell window around the
+  /// predicted location; the actual location must fall within this radius
+  /// for the content to be usable (the 5 cm grid world of Section VI with
+  /// a small cache window).
+  double position_tolerance_m = 0.10;
+};
+
+/// True iff content delivered for `predicted` (FoV + margin) covers the
+/// user's actual FoV at `actual`.
+bool covers(const FovSpec& spec, const Pose& predicted, const Pose& actual);
+
+/// Fraction of the panorama one delivered portion spans (FoV + margin),
+/// used for sanity checks against the paper's "about 20%" figure.
+double delivered_panorama_fraction(const FovSpec& spec);
+
+}  // namespace cvr::motion

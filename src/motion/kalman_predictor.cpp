@@ -1,0 +1,85 @@
+#include "src/motion/kalman_predictor.h"
+
+namespace cvr::motion {
+
+ScalarKalman::ScalarKalman(double process, double measurement)
+    : process_(process), measurement_(measurement) {}
+
+void ScalarKalman::propagate(double dt) {
+  // x' = x + v dt; v' = v. Covariance: P' = F P F^T + Q with
+  // F = [[1, dt], [0, 1]], Q = q * [[dt^3/3, dt^2/2], [dt^2/2, dt]]
+  // (discretised white-noise acceleration).
+  const double q = process_;
+  x_ += v_ * dt;
+  const double pxx = pxx_ + 2.0 * dt * pxv_ + dt * dt * pvv_;
+  const double pxv = pxv_ + dt * pvv_;
+  pxx_ = pxx + q * dt * dt * dt / 3.0;
+  pxv_ = pxv + q * dt * dt / 2.0;
+  pvv_ = pvv_ + q * dt;
+}
+
+void ScalarKalman::update(double dt, double measurement) {
+  if (!primed_) {
+    x_ = measurement;
+    v_ = 0.0;
+    pxx_ = measurement_;
+    pxv_ = 0.0;
+    pvv_ = 1.0;  // velocity unknown
+    primed_ = true;
+    return;
+  }
+  propagate(dt);
+  const double innovation = measurement - x_;
+  const double s = pxx_ + measurement_;
+  const double kx = pxx_ / s;
+  const double kv = pxv_ / s;
+  x_ += kx * innovation;
+  v_ += kv * innovation;
+  const double pxx = (1.0 - kx) * pxx_;
+  const double pxv = (1.0 - kx) * pxv_;
+  const double pvv = pvv_ - kv * pxv_;
+  pxx_ = pxx;
+  pxv_ = pxv;
+  pvv_ = pvv;
+}
+
+double ScalarKalman::predict(double horizon) const {
+  return x_ + v_ * horizon;
+}
+
+KalmanMotionPredictor::KalmanMotionPredictor(KalmanConfig config)
+    : config_(config),
+      axes_{ScalarKalman(config.position_process, config.position_measurement),
+            ScalarKalman(config.position_process, config.position_measurement),
+            ScalarKalman(config.position_process, config.position_measurement),
+            ScalarKalman(config.angle_process, config.angle_measurement),
+            ScalarKalman(config.angle_process, config.angle_measurement),
+            ScalarKalman(config.angle_process, config.angle_measurement)} {}
+
+void KalmanMotionPredictor::observe(std::size_t t, const Pose& pose) {
+  const Pose p = pose.normalized();
+  std::array<double, 6> values = p.as_array();
+  if (observations_ > 0) {
+    values[3] =
+        last_raw_[3] + angular_difference(p.yaw, wrap_degrees(last_raw_[3]));
+    values[5] =
+        last_raw_[5] + angular_difference(p.roll, wrap_degrees(last_raw_[5]));
+  }
+  const double dt =
+      observations_ == 0 ? 1.0 : static_cast<double>(t - last_t_ == 0 ? 1 : t - last_t_);
+  last_raw_ = values;
+  last_t_ = t;
+  for (std::size_t i = 0; i < 6; ++i) axes_[i].update(dt, values[i]);
+  ++observations_;
+}
+
+Pose KalmanMotionPredictor::predict(std::size_t horizon) const {
+  if (observations_ == 0) return Pose{};
+  std::array<double, 6> values{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    values[i] = axes_[i].predict(static_cast<double>(horizon));
+  }
+  return Pose::from_array(values).normalized();
+}
+
+}  // namespace cvr::motion

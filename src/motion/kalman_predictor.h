@@ -1,0 +1,81 @@
+// Constant-velocity Kalman-filter motion prediction.
+//
+// An alternative predictor for the Section-II hook ("any existing
+// motion prediction model can be applied"). Each of the six axes runs an
+// independent 2-state (position, velocity) Kalman filter with the
+// constant-velocity transition model
+//     x_{t+1} = x_t + v_t,   v_{t+1} = v_t + w,
+// process noise on velocity, and noisy position measurements. Compared
+// to sliding-window linear regression this weights recent evidence
+// smoothly (no window cliff) and is more robust to measurement noise,
+// at the cost of slower adaptation to sharp turns; the
+// `ablation_predictors` bench quantifies the trade-off. Yaw/roll are
+// unwrapped exactly as in LinearMotionPredictor.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "src/motion/pose.h"
+#include "src/motion/predictor_base.h"
+
+namespace cvr::motion {
+
+struct KalmanConfig {
+  // Translation axes (metres): process noise sized for ~0.8 m/s^2 human
+  // acceleration per 15 ms slot; measurement noise for the 5 cm grid
+  // snap of the recorded poses.
+  double position_process = 1e-4;
+  double position_measurement = 3e-4;
+  // Orientation axes (degrees): OU head motion jitters a few degrees
+  // per slot.
+  double angle_process = 2.0;
+  double angle_measurement = 4.0;
+};
+
+/// One scalar constant-velocity Kalman filter (exposed for testing).
+/// `process` is the velocity random-walk variance per slot, `measurement`
+/// the observation variance, in the axis's own units squared.
+class ScalarKalman {
+ public:
+  explicit ScalarKalman(double process = 1e-2, double measurement = 1e-2);
+
+  /// Incorporates a measurement taken `dt` slots after the previous one
+  /// (dt >= 1; gaps are handled by longer propagation).
+  void update(double dt, double measurement);
+
+  /// Predicted position `horizon` slots ahead of the last measurement.
+  double predict(double horizon) const;
+
+  double position() const { return x_; }
+  double velocity() const { return v_; }
+  bool primed() const { return primed_; }
+
+ private:
+  void propagate(double dt);
+
+  double process_;
+  double measurement_;
+  // State estimate and covariance [[pxx, pxv], [pxv, pvv]].
+  double x_ = 0.0, v_ = 0.0;
+  double pxx_ = 1.0, pxv_ = 0.0, pvv_ = 1.0;
+  bool primed_ = false;
+};
+
+class KalmanMotionPredictor final : public MotionPredictor {
+ public:
+  explicit KalmanMotionPredictor(KalmanConfig config = {});
+
+  void observe(std::size_t t, const Pose& pose) override;
+  Pose predict(std::size_t horizon = 1) const override;
+  std::size_t observations() const override { return observations_; }
+
+ private:
+  KalmanConfig config_;
+  std::array<ScalarKalman, 6> axes_;
+  std::array<double, 6> last_raw_{};
+  std::size_t observations_ = 0;
+  std::size_t last_t_ = 0;
+};
+
+}  // namespace cvr::motion

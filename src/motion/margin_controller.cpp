@@ -1,0 +1,44 @@
+#include "src/motion/margin_controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cvr::motion {
+
+MarginController::MarginController(double initial_margin_deg,
+                                   MarginControllerConfig config)
+    : config_(config), margin_(initial_margin_deg) {
+  if (config_.target_low >= config_.target_high ||
+      config_.target_low <= 0.0 || config_.target_high > 1.0 ||
+      config_.step_deg <= 0.0 ||
+      config_.min_margin_deg > config_.max_margin_deg ||
+      config_.patience < 1) {
+    throw std::invalid_argument("MarginControllerConfig: invalid parameters");
+  }
+  margin_ = std::clamp(margin_, config_.min_margin_deg,
+                       config_.max_margin_deg);
+}
+
+double MarginController::update(double delta_estimate) {
+  if (delta_estimate < config_.target_low) {
+    ++below_streak_;
+    above_streak_ = 0;
+    if (below_streak_ >= config_.patience) {
+      margin_ = std::min(margin_ + config_.step_deg, config_.max_margin_deg);
+      below_streak_ = 0;
+    }
+  } else if (delta_estimate > config_.target_high) {
+    ++above_streak_;
+    below_streak_ = 0;
+    if (above_streak_ >= config_.patience) {
+      margin_ = std::max(margin_ - config_.step_deg, config_.min_margin_deg);
+      above_streak_ = 0;
+    }
+  } else {
+    below_streak_ = 0;
+    above_streak_ = 0;
+  }
+  return margin_;
+}
+
+}  // namespace cvr::motion

@@ -1,0 +1,46 @@
+// Adaptive FoV margin.
+//
+// Section II handles prediction error by delivering the FoV "with some
+// fixed margin". The margin is a bandwidth/robustness knob: wider covers
+// more head-motion error (delta up) but grows the delivered tile set.
+// This controller closes the loop the paper leaves open: track the
+// online prediction-success estimate delta_bar and widen the margin when
+// it sags below a target band, narrow it when comfortably above —
+// with hysteresis so the tile set does not flap.
+#pragma once
+
+namespace cvr::motion {
+
+struct MarginControllerConfig {
+  // The band is set high: with quality levels worth ~1 QoE each and the
+  // miss penalty scaling with q, the QoE-optimal coverage sits near
+  // delta ~ 0.97-0.99 — sacrificing coverage to trim margin bandwidth
+  // is a bad trade until delta is nearly perfect.
+  double target_low = 0.93;    ///< Below this delta: widen.
+  double target_high = 0.985;  ///< Above this delta: narrow.
+  double step_deg = 0.5;       ///< Margin change per adjustment.
+  double min_margin_deg = 5.0;
+  double max_margin_deg = 40.0;
+  /// Consecutive out-of-band updates required before acting (hysteresis).
+  int patience = 30;
+};
+
+class MarginController {
+ public:
+  explicit MarginController(double initial_margin_deg = 15.0,
+                            MarginControllerConfig config = {});
+
+  /// Feeds the current delta estimate; returns the (possibly adjusted)
+  /// margin to use for the next slot.
+  double update(double delta_estimate);
+
+  double margin_deg() const { return margin_; }
+
+ private:
+  MarginControllerConfig config_;
+  double margin_;
+  int below_streak_ = 0;
+  int above_streak_ = 0;
+};
+
+}  // namespace cvr::motion

@@ -1,0 +1,106 @@
+#include "src/motion/motion_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::motion {
+
+MotionGenerator::MotionGenerator(MotionGeneratorConfig config)
+    : config_(config) {
+  if (config_.slot_seconds <= 0.0 || config_.scene_width_m <= 0.0 ||
+      config_.scene_depth_m <= 0.0 || config_.max_speed_mps <= 0.0) {
+    throw std::invalid_argument("MotionGeneratorConfig: invalid parameters");
+  }
+}
+
+MotionTrace MotionGenerator::generate(std::uint64_t seed, std::uint64_t user,
+                                      std::size_t slots) const {
+  SplitMix64 mixer(seed ^ (0x6D6F74696F6E0000ull + user * 0x9E3779B97F4A7C15ull));
+  Rng rng(mixer.next());
+  const double dt = config_.slot_seconds;
+
+  // --- Translation state: random waypoint with smooth speed. ---
+  double px = rng.uniform(0.0, config_.scene_width_m);
+  double py = rng.uniform(0.0, config_.scene_depth_m);
+  double wx = rng.uniform(0.0, config_.scene_width_m);
+  double wy = rng.uniform(0.0, config_.scene_depth_m);
+  double speed = 0.0;
+  double target_speed = rng.uniform(0.3, config_.max_speed_mps);
+
+  // --- Orientation state. ---
+  double yaw = rng.uniform(-180.0, 180.0);
+  double pitch = rng.uniform(-10.0, 10.0);
+  double gaze_yaw = yaw;    // OU anchor (drifts with walking direction)
+  double saccade_target_yaw = yaw;
+  bool in_saccade = false;
+
+  MotionTrace trace;
+  trace.reserve(slots);
+  for (std::size_t t = 0; t < slots; ++t) {
+    // Translation: steer toward the waypoint.
+    const double to_wx = wx - px;
+    const double to_wy = wy - py;
+    const double dist = std::hypot(to_wx, to_wy);
+    if (dist < config_.waypoint_tolerance_m) {
+      wx = rng.uniform(0.0, config_.scene_width_m);
+      wy = rng.uniform(0.0, config_.scene_depth_m);
+      target_speed = rng.uniform(0.3, config_.max_speed_mps);
+    } else {
+      // Smooth speed toward the target.
+      const double dv = std::clamp(target_speed - speed,
+                                   -config_.accel_mps2 * dt,
+                                   config_.accel_mps2 * dt);
+      speed = std::clamp(speed + dv, 0.0, config_.max_speed_mps);
+      const double step = std::min(speed * dt, dist);
+      px += step * to_wx / dist;
+      py += step * to_wy / dist;
+    }
+    // Snap to the 5 cm grid world (Section VI) for the recorded pose.
+    const double gx = std::round(px / 0.05) * 0.05;
+    const double gy = std::round(py / 0.05) * 0.05;
+
+    // Orientation: the gaze anchor slowly follows the walking direction.
+    if (dist > 1e-9 && speed > 0.1) {
+      const double heading = std::atan2(to_wy, to_wx) * 180.0 / M_PI;
+      gaze_yaw += 0.5 * dt * angular_difference(heading, gaze_yaw);
+      gaze_yaw = wrap_degrees(gaze_yaw);
+    }
+    if (!in_saccade && rng.bernoulli(config_.saccade_rate_hz * dt)) {
+      in_saccade = true;
+      saccade_target_yaw = wrap_degrees(
+          yaw + rng.uniform(-config_.saccade_span_deg, config_.saccade_span_deg));
+    }
+    if (in_saccade) {
+      const double remaining = angular_difference(saccade_target_yaw, yaw);
+      const double step = config_.saccade_slew_dps * dt;
+      if (std::abs(remaining) <= step) {
+        yaw = saccade_target_yaw;
+        gaze_yaw = yaw;
+        in_saccade = false;
+      } else {
+        yaw = wrap_degrees(yaw + std::copysign(step, remaining));
+      }
+    } else {
+      // OU step: d(yaw) = theta (anchor - yaw) dt + sigma dW.
+      yaw += config_.yaw_ou_theta * angular_difference(gaze_yaw, yaw) * dt +
+             config_.yaw_ou_sigma * std::sqrt(dt) * rng.normal();
+      yaw = wrap_degrees(yaw);
+    }
+    pitch += -config_.pitch_ou_theta * pitch * dt +
+             config_.pitch_ou_sigma * std::sqrt(dt) * rng.normal();
+    pitch = std::clamp(pitch, -config_.pitch_limit_deg, config_.pitch_limit_deg);
+
+    Pose pose;
+    pose.x = gx;
+    pose.y = gy;
+    pose.z = config_.eye_height_m;
+    pose.yaw = yaw;
+    pose.pitch = pitch;
+    pose.roll = 0.0;  // Natural head roll is negligible for FoV coverage.
+    trace.push_back(pose.normalized());
+  }
+  return trace;
+}
+
+}  // namespace cvr::motion

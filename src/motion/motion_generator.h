@@ -1,0 +1,62 @@
+// Synthetic 6-DoF motion traces.
+//
+// Substitute for the Firefly user study dataset (25 users, two large VR
+// scenes) which is not redistributable here — see DESIGN.md Section 3.
+// What the scheduler consumes is the *induced prediction-success process*
+// 1_n(t); to reproduce its statistics the generated motion must be
+// smooth most of the time (so per-axis linear regression predicts well)
+// with occasional rapid head turns and direction changes (so prediction
+// sometimes fails). We use:
+//   * translation: random-waypoint walking on the scene floor with
+//     bounded speed and smooth acceleration, matching the paper's 5 cm
+//     grid world;
+//   * orientation: Ornstein-Uhlenbeck yaw/pitch around a drifting gaze
+//     target plus Poisson "saccade" events that slew the gaze quickly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/motion/pose.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace cvr::motion {
+
+/// One pose per time slot.
+using MotionTrace = std::vector<Pose>;
+
+struct MotionGeneratorConfig {
+  double slot_seconds = cvr::kSlotSeconds;
+  // Scene extent (metres); the walkable floor is [0, width] x [0, depth].
+  double scene_width_m = 10.0;
+  double scene_depth_m = 8.0;
+  double eye_height_m = 1.7;
+  // Translation dynamics.
+  double max_speed_mps = 1.2;      ///< Casual walking speed.
+  double accel_mps2 = 0.8;         ///< Smooth speed changes.
+  double waypoint_tolerance_m = 0.15;
+  // Orientation dynamics (degrees / seconds).
+  double yaw_ou_theta = 1.5;       ///< OU mean-reversion rate (1/s).
+  double yaw_ou_sigma = 25.0;      ///< OU volatility (deg/sqrt(s)).
+  double pitch_ou_theta = 2.0;
+  double pitch_ou_sigma = 12.0;
+  double pitch_limit_deg = 55.0;   ///< People rarely look straight up/down.
+  double saccade_rate_hz = 0.25;   ///< Rapid gaze jump events.
+  double saccade_span_deg = 120.0; ///< Max size of a saccade target jump.
+  double saccade_slew_dps = 240.0; ///< Angular speed during a saccade.
+};
+
+class MotionGenerator {
+ public:
+  explicit MotionGenerator(MotionGeneratorConfig config = {});
+
+  /// Deterministic: same (seed, user, slots) -> same trace.
+  MotionTrace generate(std::uint64_t seed, std::uint64_t user,
+                       std::size_t slots) const;
+
+ private:
+  MotionGeneratorConfig config_;
+};
+
+}  // namespace cvr::motion

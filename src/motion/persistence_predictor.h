@@ -1,0 +1,27 @@
+// Persistence (zero-order-hold) prediction: "the user will be exactly
+// where they were". The weakest sensible baseline for the predictor
+// ablation — any model worth running must beat it at horizon >= 1.
+#pragma once
+
+#include "src/motion/pose.h"
+#include "src/motion/predictor_base.h"
+
+namespace cvr::motion {
+
+class PersistencePredictor final : public MotionPredictor {
+ public:
+  void observe(std::size_t /*t*/, const Pose& pose) override {
+    last_ = pose.normalized();
+    ++observations_;
+  }
+
+  Pose predict(std::size_t /*horizon*/ = 1) const override { return last_; }
+
+  std::size_t observations() const override { return observations_; }
+
+ private:
+  Pose last_{};
+  std::size_t observations_ = 0;
+};
+
+}  // namespace cvr::motion

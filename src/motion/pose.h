@@ -1,0 +1,53 @@
+// 6-Degree-of-Freedom pose: 3 DoF virtual location + 3 DoF head
+// orientation (Section II). Angles are in degrees; yaw/roll live on the
+// circle [-180, 180) and pitch is clamped to [-90, 90].
+#pragma once
+
+#include <array>
+
+namespace cvr::motion {
+
+/// Wraps an angle in degrees into [-180, 180).
+double wrap_degrees(double angle);
+
+/// Signed shortest angular difference a - b, in (-180, 180].
+double angular_difference(double a, double b);
+
+/// Interpolates between two angles along the shortest arc; t in [0, 1]
+/// (clamped). interpolate_degrees(a, b, 0) == wrap(a), ... (a, b, 1) ==
+/// wrap(b).
+double interpolate_degrees(double a, double b, double t);
+
+struct Pose {
+  // Virtual location in metres.
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  // Head orientation in degrees.
+  double yaw = 0.0;    ///< Heading, wrapped to [-180, 180).
+  double pitch = 0.0;  ///< Elevation, clamped to [-90, 90].
+  double roll = 0.0;   ///< Wrapped to [-180, 180).
+
+  /// Normalises angles into their canonical ranges.
+  Pose normalized() const;
+
+  /// Euclidean distance between the two virtual locations.
+  double position_distance(const Pose& other) const;
+
+  /// Great-circle angle (degrees) between the two view directions
+  /// (yaw/pitch only; roll does not move the view centre).
+  double view_angle_to(const Pose& other) const;
+
+  std::array<double, 6> as_array() const { return {x, y, z, yaw, pitch, roll}; }
+
+  static Pose from_array(const std::array<double, 6>& a);
+
+  friend bool operator==(const Pose&, const Pose&) = default;
+};
+
+/// Linear pose interpolation: positions lerp, angles take the shortest
+/// arc. Used to upsample pose streams (headset IMU rate vs slot rate)
+/// and to evaluate mid-slot ground truth. t is clamped to [0, 1].
+Pose interpolate(const Pose& a, const Pose& b, double t);
+
+}  // namespace cvr::motion

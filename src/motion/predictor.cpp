@@ -1,0 +1,42 @@
+#include "src/motion/predictor.h"
+
+namespace cvr::motion {
+
+namespace {
+cvr::SlidingLinearRegressor make_axis(const PredictorConfig& config) {
+  return cvr::SlidingLinearRegressor(config.window);
+}
+}  // namespace
+
+LinearMotionPredictor::LinearMotionPredictor(PredictorConfig config)
+    : config_(config),
+      axes_{make_axis(config), make_axis(config), make_axis(config),
+            make_axis(config), make_axis(config), make_axis(config)} {}
+
+void LinearMotionPredictor::observe(std::size_t t, const Pose& pose) {
+  const Pose p = pose.normalized();
+  std::array<double, 6> values = p.as_array();
+  if (observations_ > 0) {
+    // Unwrap yaw (index 3) and roll (index 5) against the running signal:
+    // advance by the shortest angular difference from the previous sample.
+    values[3] = last_raw_[3] + angular_difference(p.yaw, wrap_degrees(last_raw_[3]));
+    values[5] = last_raw_[5] + angular_difference(p.roll, wrap_degrees(last_raw_[5]));
+  }
+  last_raw_ = values;
+  last_t_ = static_cast<double>(t);
+  for (std::size_t i = 0; i < 6; ++i) axes_[i].add(last_t_, values[i]);
+  ++observations_;
+}
+
+Pose LinearMotionPredictor::predict(std::size_t horizon) const {
+  if (observations_ == 0) return Pose{};
+  const double target = last_t_ + static_cast<double>(horizon);
+  std::array<double, 6> values{};
+  for (std::size_t i = 0; i < 6; ++i) values[i] = axes_[i].predict(target);
+  Pose p = Pose::from_array(values);
+  return p.normalized();
+}
+
+bool LinearMotionPredictor::ready() const { return observations_ >= 2; }
+
+}  // namespace cvr::motion

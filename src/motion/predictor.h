@@ -1,0 +1,47 @@
+// Per-axis linear-regression 6-DoF motion prediction.
+//
+// Section V: "We use linear regression to predict the virtual position
+// and head orientation in each axis independently, which follows the
+// methodology in [Firefly]." Angles are unwrapped into a continuous
+// signal before regression so a head turn crossing +-180 degrees does not
+// corrupt the fit; the prediction is re-wrapped on output.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "src/motion/pose.h"
+#include "src/motion/predictor_base.h"
+#include "src/util/regression.h"
+
+namespace cvr::motion {
+
+struct PredictorConfig {
+  std::size_t window = 20;  ///< Sliding-window length (slots of history).
+};
+
+class LinearMotionPredictor final : public MotionPredictor {
+ public:
+  explicit LinearMotionPredictor(PredictorConfig config = {});
+
+  /// Feeds the pose observed at slot `t`.
+  void observe(std::size_t t, const Pose& pose) override;
+
+  /// Predicts the pose `horizon` slots after the last observation
+  /// (Section V pipelines one slot ahead, so horizon = 1 is typical).
+  /// Before any observation, returns a default pose.
+  Pose predict(std::size_t horizon = 1) const override;
+
+  bool ready() const;
+  std::size_t observations() const override { return observations_; }
+
+ private:
+  PredictorConfig config_;
+  // x, y, z, unwrapped-yaw, pitch, unwrapped-roll.
+  std::array<cvr::SlidingLinearRegressor, 6> axes_;
+  std::array<double, 6> last_raw_{};  ///< Last unwrapped values (yaw/roll).
+  std::size_t observations_ = 0;
+  double last_t_ = 0.0;
+};
+
+}  // namespace cvr::motion

@@ -1,0 +1,51 @@
+// Pluggable motion-prediction interface.
+//
+// Section II: "any existing motion prediction model can be applied to
+// this paper to predict each user's 6-degree-of-freedom motion". The
+// paper's system uses per-axis linear regression (Section V, following
+// Firefly); this interface lets alternatives (Kalman, persistence, ...)
+// drop into the same slot of the pipeline. The ablation bench
+// `ablation_predictors` compares their induced prediction-success rates.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "src/motion/pose.h"
+
+namespace cvr::motion {
+
+class MotionPredictor {
+ public:
+  virtual ~MotionPredictor() = default;
+
+  /// Feeds the pose observed at slot `t` (monotone non-decreasing t).
+  virtual void observe(std::size_t t, const Pose& pose) = 0;
+
+  /// Predicts the pose `horizon` slots after the last observation.
+  /// Must return a sane default before the first observation.
+  virtual Pose predict(std::size_t horizon = 1) const = 0;
+
+  /// Number of poses observed so far.
+  virtual std::size_t observations() const = 0;
+};
+
+/// Factory signature used by configs that want to choose a predictor.
+using PredictorFactory = std::unique_ptr<MotionPredictor> (*)();
+
+/// Config-friendly predictor selection.
+enum class PredictorKind {
+  kLinearRegression,  ///< Section V's per-axis linear regression.
+  kKalman,            ///< Constant-velocity Kalman filter.
+  kPersistence,       ///< Zero-order hold baseline.
+};
+
+/// Instantiates a predictor of the given kind with library defaults.
+/// (Defined in predictor_factory.cpp; the window/noise knobs of the
+/// concrete types remain available by constructing them directly.)
+std::unique_ptr<MotionPredictor> make_predictor(PredictorKind kind);
+
+/// Human-readable name for reports.
+const char* predictor_name(PredictorKind kind);
+
+}  // namespace cvr::motion

@@ -1,0 +1,35 @@
+#include <memory>
+#include <stdexcept>
+
+#include "src/motion/kalman_predictor.h"
+#include "src/motion/persistence_predictor.h"
+#include "src/motion/predictor.h"
+#include "src/motion/predictor_base.h"
+
+namespace cvr::motion {
+
+std::unique_ptr<MotionPredictor> make_predictor(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kLinearRegression:
+      return std::make_unique<LinearMotionPredictor>();
+    case PredictorKind::kKalman:
+      return std::make_unique<KalmanMotionPredictor>();
+    case PredictorKind::kPersistence:
+      return std::make_unique<PersistencePredictor>();
+  }
+  throw std::invalid_argument("make_predictor: unknown kind");
+}
+
+const char* predictor_name(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kLinearRegression:
+      return "linear-regression";
+    case PredictorKind::kKalman:
+      return "kalman-cv";
+    case PredictorKind::kPersistence:
+      return "persistence";
+  }
+  return "?";
+}
+
+}  // namespace cvr::motion

@@ -1,0 +1,10 @@
+#include "src/net/ack_channel.h"
+
+// AckChannel is a template; this translation unit exists to anchor the
+// target and instantiate a common specialisation for faster builds.
+
+namespace cvr::net {
+
+template class AckChannel<unsigned long long>;
+
+}  // namespace cvr::net

@@ -1,0 +1,48 @@
+// Reliable TCP-like side channel for ACKs and pose uploads.
+//
+// Section V: delivery/release acknowledgments and motion uploads travel
+// over TCP (reliable, in order) while tiles go over RTP. We model the
+// side channel as a FIFO with a fixed latency in slots: a message sent in
+// slot t is readable at slot t + latency.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace cvr::net {
+
+template <typename Message>
+class AckChannel {
+ public:
+  explicit AckChannel(std::size_t latency_slots = 1)
+      : latency_(latency_slots) {}
+
+  /// Enqueues a message in slot `now`.
+  void send(std::size_t now, Message message) {
+    queue_.push_back({now + latency_, std::move(message)});
+  }
+
+  /// Pops every message that has arrived by slot `now` (in send order).
+  std::vector<Message> receive(std::size_t now) {
+    std::vector<Message> out;
+    while (!queue_.empty() && queue_.front().deliver_at <= now) {
+      out.push_back(std::move(queue_.front().payload));
+      queue_.pop_front();
+    }
+    return out;
+  }
+
+  std::size_t in_flight() const { return queue_.size(); }
+  std::size_t latency() const { return latency_; }
+
+ private:
+  struct Entry {
+    std::size_t deliver_at;
+    Message payload;
+  };
+  std::size_t latency_;
+  std::deque<Entry> queue_;
+};
+
+}  // namespace cvr::net

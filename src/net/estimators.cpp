@@ -1,0 +1,48 @@
+#include "src/net/estimators.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/net/mm1.h"
+#include "src/util/units.h"
+
+namespace cvr::net {
+
+EmaThroughputEstimator::EmaThroughputEstimator(double alpha,
+                                               double initial_mbps)
+    : alpha_(alpha), value_(initial_mbps) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("EmaThroughputEstimator: alpha out of (0,1]");
+  }
+}
+
+void EmaThroughputEstimator::observe(double mbps) {
+  if (mbps < 0.0) {
+    throw std::invalid_argument("EmaThroughputEstimator: negative sample");
+  }
+  value_ += alpha_ * (mbps - value_);
+  ++count_;
+}
+
+DelayPredictor::DelayPredictor(std::size_t history) : poly_(2, history) {}
+
+void DelayPredictor::observe(double rate_mbps, double delay_ms) {
+  if (rate_mbps < 0.0 || delay_ms < 0.0) {
+    throw std::invalid_argument("DelayPredictor: negative sample");
+  }
+  poly_.add(rate_mbps, delay_ms);
+}
+
+double DelayPredictor::predict_ms(double rate_mbps, double bandwidth_mbps) {
+  if (!trained()) {
+    // Cold start: analytic M/M/1 in slot-delay units scaled to ms.
+    return mm1_delay(rate_mbps, bandwidth_mbps) * cvr::kSlotMillis;
+  }
+  return std::max(0.0, poly_.predict(rate_mbps));
+}
+
+bool DelayPredictor::trained() const {
+  return poly_.size() >= 8;  // enough samples for a stable quadratic
+}
+
+}  // namespace cvr::net

@@ -1,0 +1,52 @@
+// Online estimators used by the real system (Section V):
+//
+// * "We estimate the available bandwidth for each user using Exponential
+//   Moving Average (EMA)" — EmaThroughputEstimator.
+// * "we use polynomial regression to predict the delay instead of linear
+//   regression" — DelayPredictor, a degree-2 fit of measured delay vs
+//   sent rate, with the analytic M/M/1 curve as a cold-start fallback.
+#pragma once
+
+#include <cstddef>
+
+#include "src/util/regression.h"
+
+namespace cvr::net {
+
+class EmaThroughputEstimator {
+ public:
+  explicit EmaThroughputEstimator(double alpha = 0.2, double initial_mbps = 40.0);
+
+  /// Records the throughput observed in the last slot (Mbps).
+  void observe(double mbps);
+
+  double estimate_mbps() const { return value_; }
+  std::size_t observations() const { return count_; }
+
+ private:
+  double alpha_;
+  double value_;
+  std::size_t count_ = 0;
+};
+
+class DelayPredictor {
+ public:
+  /// `history`: how many (rate, delay) samples the regression retains.
+  explicit DelayPredictor(std::size_t history = 256);
+
+  /// Records a measured delivery delay (ms) for a slot where `rate_mbps`
+  /// was sent.
+  void observe(double rate_mbps, double delay_ms);
+
+  /// Predicted delay (ms) of sending at `rate_mbps` given an estimated
+  /// link bandwidth `bandwidth_mbps` (used only for the cold-start
+  /// analytic fallback). Never negative.
+  double predict_ms(double rate_mbps, double bandwidth_mbps);
+
+  bool trained() const;
+
+ private:
+  cvr::PolynomialRegressor poly_;
+};
+
+}  // namespace cvr::net

@@ -1,0 +1,37 @@
+#include "src/net/loss_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::net {
+
+LossEstimator::LossEstimator(std::size_t window, double prior_base)
+    : fit_(window), prior_base_(prior_base) {
+  if (prior_base < 0.0 || prior_base >= 1.0) {
+    throw std::invalid_argument("LossEstimator: bad prior");
+  }
+}
+
+void LossEstimator::observe(double utilization, double loss_fraction) {
+  if (loss_fraction < 0.0 || loss_fraction > 1.0) {
+    throw std::invalid_argument("LossEstimator: loss fraction out of [0,1]");
+  }
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  fit_.add(u * u * u, loss_fraction);
+  ++samples_;
+}
+
+double LossEstimator::packet_loss(double utilization) {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  if (!trained()) return prior_base_;
+  return std::clamp(fit_.predict(u * u * u), 0.0, 0.9);
+}
+
+double LossEstimator::frame_loss(double utilization, double packets) {
+  if (packets <= 0.0) return 0.0;
+  const double p = packet_loss(utilization);
+  return 1.0 - std::pow(1.0 - p, packets);
+}
+
+}  // namespace cvr::net

@@ -1,0 +1,46 @@
+// Online packet-loss estimation (Section VIII extension).
+//
+// The paper leaves packet loss out of the published formulation but
+// notes the algorithm "can be further improved by accounting for such
+// information". The dominant loss mechanism on a saturating WLAN is
+// congestion, which grows superlinearly with utilisation; we fit the
+// two-parameter model
+//     p(u) = a + b u^3
+// to observed (utilisation, loss-fraction) samples by linear regression
+// in the u^3 feature — the same family the RTP transport model uses, but
+// learned purely from what the server can measure (ACK gaps per slot).
+#pragma once
+
+#include <cstddef>
+
+#include "src/util/regression.h"
+
+namespace cvr::net {
+
+class LossEstimator {
+ public:
+  /// `window`: number of recent slots retained; `prior_base`: assumed
+  /// quiet-link loss before any evidence.
+  explicit LossEstimator(std::size_t window = 512, double prior_base = 0.002);
+
+  /// Records one slot's observation: link utilisation in [0, 1] and the
+  /// fraction of packets lost in that slot.
+  void observe(double utilization, double loss_fraction);
+
+  /// Estimated per-packet loss probability at the given utilisation,
+  /// clamped to [0, 0.9]. Falls back to the prior until enough samples.
+  double packet_loss(double utilization);
+
+  /// Probability a frame of `packets` packets arrives incomplete.
+  double frame_loss(double utilization, double packets);
+
+  bool trained() const { return samples_ >= 16; }
+  std::size_t samples() const { return samples_; }
+
+ private:
+  cvr::SlidingLinearRegressor fit_;  // loss vs u^3
+  double prior_base_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace cvr::net

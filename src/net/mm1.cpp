@@ -1,0 +1,74 @@
+#include "src/net/mm1.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/stats.h"
+
+namespace cvr::net {
+
+double mm1_delay(double rate, double bandwidth) {
+  if (rate < 0.0 || bandwidth < 0.0) {
+    throw std::invalid_argument("mm1_delay: negative rate or bandwidth");
+  }
+  if (rate == 0.0) return 0.0;
+  if (rate >= bandwidth) return kSaturatedDelay;
+  const double d = rate / (bandwidth - rate);
+  return std::min(d, kSaturatedDelay);
+}
+
+double mm1_mean_sojourn_ms(double offered_mbps, double capacity_mbps,
+                           double packet_bits) {
+  if (offered_mbps <= 0.0) return 0.0;
+  if (offered_mbps >= capacity_mbps) return kSaturatedDelay;
+  // lambda, mu in packets per millisecond (Mbps = kb/ms).
+  const double lambda = offered_mbps * 1000.0 / packet_bits;
+  const double mu = capacity_mbps * 1000.0 / packet_bits;
+  return 1.0 / (mu - lambda);
+}
+
+std::vector<double> Mm1Simulator::sojourn_samples(double offered_mbps,
+                                                  double capacity_mbps,
+                                                  std::size_t packets,
+                                                  std::uint64_t seed,
+                                                  double packet_bits) {
+  if (offered_mbps <= 0.0 || capacity_mbps <= 0.0) {
+    throw std::invalid_argument("Mm1Simulator: non-positive rates");
+  }
+  cvr::Rng rng(seed);
+  const double lambda = offered_mbps * 1000.0 / packet_bits;  // pkt/ms
+  const double mu = capacity_mbps * 1000.0 / packet_bits;
+
+  std::vector<double> sojourns;
+  sojourns.reserve(packets);
+  double clock_ms = 0.0;
+  double server_free_at = 0.0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    clock_ms += rng.exponential(lambda);
+    const double start = std::max(clock_ms, server_free_at);
+    const double service = rng.exponential(mu);
+    server_free_at = start + service;
+    sojourns.push_back(server_free_at - clock_ms);
+  }
+  return sojourns;
+}
+
+Mm1Simulator::Result Mm1Simulator::run(double offered_mbps,
+                                       double capacity_mbps,
+                                       std::size_t packets, std::uint64_t seed,
+                                       double packet_bits) {
+  const auto samples =
+      sojourn_samples(offered_mbps, capacity_mbps, packets, seed, packet_bits);
+  Result result;
+  result.samples = samples.size();
+  if (samples.empty()) return result;
+  cvr::RunningStat stat;
+  for (double s : samples) stat.add(s);
+  cvr::Cdf cdf(samples);
+  result.mean_sojourn_ms = stat.mean();
+  result.p95_sojourn_ms = cdf.quantile(0.95);
+  result.max_sojourn_ms = stat.max();
+  return result;
+}
+
+}  // namespace cvr::net

@@ -1,0 +1,60 @@
+// M/M/1 queueing delay model and a packet-level queue simulator.
+//
+// Section IV, eq. (13): the content delivery delay is modelled as
+//   d_n(r) = r / (B_n - r),
+// the mean sojourn time of an M/M/1 queue with offered load r and
+// capacity B_n (up to the service-time scale), "usually used to model the
+// queueing delay in wireless transmission".
+//
+// Mm1Simulator generates actual per-packet sojourn times (Poisson
+// arrivals, exponential service) — this is how we regenerate Fig. 1b's
+// RTT-vs-rate convexity from first principles instead of asserting it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cvr::net {
+
+/// Analytic normalised M/M/1 delay (eq. 13). `rate` and `bandwidth` in
+/// the same units (Mbps). Saturated or over-committed queues (rate >=
+/// bandwidth) return kSaturatedDelay, a large finite penalty that keeps
+/// objective arithmetic well-behaved.
+inline constexpr double kSaturatedDelay = 1e3;
+
+double mm1_delay(double rate, double bandwidth);
+
+/// Mean sojourn time (ms) of an M/M/1 queue with Poisson packet arrivals
+/// at `offered_mbps`, capacity `capacity_mbps`, packets of
+/// `packet_bits` each: W = 1 / (mu - lambda).
+double mm1_mean_sojourn_ms(double offered_mbps, double capacity_mbps,
+                           double packet_bits = 12000.0);
+
+/// Discrete-event single-server FIFO queue, exponential service.
+class Mm1Simulator {
+ public:
+  struct Result {
+    double mean_sojourn_ms = 0.0;
+    double p95_sojourn_ms = 0.0;
+    double max_sojourn_ms = 0.0;
+    std::size_t samples = 0;
+  };
+
+  /// Simulates `packets` Poisson arrivals and returns sojourn statistics.
+  /// Requires offered < capacity for a stable queue, but an unstable
+  /// configuration still terminates (delays just grow with the horizon).
+  static Result run(double offered_mbps, double capacity_mbps,
+                    std::size_t packets, std::uint64_t seed,
+                    double packet_bits = 12000.0);
+
+  /// Raw sojourn samples (ms), for CDF-style reporting.
+  static std::vector<double> sojourn_samples(double offered_mbps,
+                                             double capacity_mbps,
+                                             std::size_t packets,
+                                             std::uint64_t seed,
+                                             double packet_bits = 12000.0);
+};
+
+}  // namespace cvr::net

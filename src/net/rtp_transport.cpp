@@ -1,0 +1,69 @@
+#include "src/net/rtp_transport.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::net {
+
+RtpTransport::RtpTransport(RtpConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.packet_bits <= 0.0 || config_.base_loss < 0.0 ||
+      config_.base_loss >= 1.0 || config_.congestion_loss < 0.0) {
+    throw std::invalid_argument("RtpConfig: invalid parameters");
+  }
+}
+
+double RtpTransport::loss_probability(double utilization) const {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  return std::min(
+      0.9, config_.base_loss +
+               config_.congestion_loss * std::pow(u, config_.congestion_exponent));
+}
+
+TileTransmission RtpTransport::send_tile(double megabits, double utilization) {
+  if (megabits < 0.0) {
+    throw std::invalid_argument("RtpTransport: negative tile size");
+  }
+  TileTransmission tx;
+  tx.packets = static_cast<std::uint32_t>(
+      std::ceil(megabits * 1e6 / config_.packet_bits));
+  const double p = loss_probability(utilization);
+  for (std::uint32_t i = 0; i < tx.packets; ++i) {
+    if (rng_.bernoulli(p)) ++tx.lost_packets;
+  }
+  packets_sent_ += tx.packets;
+  packets_lost_ += tx.lost_packets;
+  return tx;
+}
+
+TileTransmission RtpTransport::send_tile_with_retx(double megabits,
+                                                   double utilization,
+                                                   int rounds,
+                                                   double rate_mbps,
+                                                   double rtt_ms) {
+  if (rounds < 0 || rate_mbps < 0.0 || rtt_ms < 0.0) {
+    throw std::invalid_argument("RtpTransport: bad retransmission arguments");
+  }
+  TileTransmission tx = send_tile(megabits, utilization);
+  const double p = loss_probability(utilization);
+  for (int round = 0; round < rounds && tx.lost_packets > 0; ++round) {
+    const std::uint32_t resend = tx.lost_packets;
+    tx.retransmitted += resend;
+    packets_sent_ += resend;
+    tx.lost_packets = 0;
+    for (std::uint32_t i = 0; i < resend; ++i) {
+      if (rng_.bernoulli(p)) ++tx.lost_packets;
+    }
+    packets_lost_ += tx.lost_packets;
+    // Detect-and-resend costs one RTT plus the resent packets' airtime.
+    const double airtime_ms =
+        rate_mbps > 1e-9
+            ? resend * config_.packet_bits / (rate_mbps * 1e3)
+            : 0.0;
+    tx.extra_delay_ms += rtt_ms + airtime_ms;
+  }
+  return tx;
+}
+
+}  // namespace cvr::net

@@ -1,0 +1,65 @@
+// RTP-over-UDP tile transport (packet level).
+//
+// Section V: "we use Real-Time Transport Protocol (RTP) in our system
+// instead of traditional TCP ... RTP is built upon UDP such that we can
+// concisely control the sending rate of the tiles and either retransmit
+// the tiles or not." Section VIII: packet loss is inevitable and not
+// compensated — a tile with any lost packet cannot be decoded that slot.
+//
+// The model: a tile of S megabits becomes ceil(S / packet_size) packets;
+// each packet is lost i.i.d. with a probability that grows with link
+// utilisation (collisions/queue overflow dominate near saturation).
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace cvr::net {
+
+struct RtpConfig {
+  double packet_bits = 9600.0;     ///< 1200-byte RTP payloads.
+  double base_loss = 0.002;        ///< Loss floor on a quiet link.
+  double congestion_loss = 0.08;   ///< Extra loss at 100% utilisation.
+  double congestion_exponent = 3.0;///< Loss ramps sharply near saturation.
+};
+
+/// Outcome of transmitting one tile in one slot.
+struct TileTransmission {
+  std::uint32_t packets = 0;
+  std::uint32_t lost_packets = 0;       ///< Still missing after all rounds.
+  std::uint32_t retransmitted = 0;      ///< Packets sent again (retx mode).
+  double extra_delay_ms = 0.0;          ///< Added by retransmission rounds.
+  bool complete() const { return packets > 0 && lost_packets == 0; }
+};
+
+class RtpTransport {
+ public:
+  RtpTransport(RtpConfig config, std::uint64_t seed);
+
+  /// Per-packet loss probability at the given utilisation (granted rate /
+  /// capacity, clamped to [0,1]). Pure; exposed for testing.
+  double loss_probability(double utilization) const;
+
+  /// Transmits a tile of `megabits` over a link at `utilization`.
+  TileTransmission send_tile(double megabits, double utilization);
+
+  /// Section V: RTP lets the sender "either retransmit the tiles or
+  /// not". This variant retries lost packets for up to `rounds` extra
+  /// rounds within the slot; each round adds one local-WLAN RTT of
+  /// delay plus the retransmitted packets' airtime at `rate_mbps`.
+  TileTransmission send_tile_with_retx(double megabits, double utilization,
+                                       int rounds, double rate_mbps,
+                                       double rtt_ms = 2.0);
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_lost() const { return packets_lost_; }
+
+ private:
+  RtpConfig config_;
+  cvr::Rng rng_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_lost_ = 0;
+};
+
+}  // namespace cvr::net

@@ -1,0 +1,33 @@
+#include "src/net/token_bucket.h"
+
+#include <algorithm>
+
+namespace cvr::net {
+
+TokenBucket::TokenBucket(double rate_mbps, double burst_megabits)
+    : rate_(rate_mbps), burst_(burst_megabits), tokens_(burst_megabits) {
+  if (rate_mbps <= 0.0 || burst_megabits <= 0.0) {
+    throw std::invalid_argument("TokenBucket: non-positive rate or burst");
+  }
+}
+
+void TokenBucket::tick(double seconds) {
+  if (seconds < 0.0) throw std::invalid_argument("TokenBucket: negative tick");
+  tokens_ = std::min(burst_, tokens_ + rate_ * seconds);
+}
+
+double TokenBucket::consume(double megabits) {
+  if (megabits < 0.0) {
+    throw std::invalid_argument("TokenBucket: negative consume");
+  }
+  const double granted = std::min(megabits, tokens_);
+  tokens_ -= granted;
+  return granted;
+}
+
+void TokenBucket::set_rate(double rate_mbps) {
+  if (rate_mbps <= 0.0) throw std::invalid_argument("TokenBucket: bad rate");
+  rate_ = rate_mbps;
+}
+
+}  // namespace cvr::net

@@ -1,0 +1,40 @@
+// Token-bucket traffic shaper — the Linux TC emulation.
+//
+// Section VI throttles each phone with `tc` to one of
+// {40, 45, 50, 55, 60} Mbps. A token bucket with a small burst allowance
+// is exactly what tc's tbf qdisc implements; we expose a slot-granular
+// consume() so the system emulation can ask "how many megabits may user n
+// push this slot".
+#pragma once
+
+#include <stdexcept>
+
+namespace cvr::net {
+
+class TokenBucket {
+ public:
+  /// `rate_mbps`: steady-state shaping rate; `burst_megabits`: bucket
+  /// depth (defaults to ~one slot of tokens at 60 Mbps).
+  explicit TokenBucket(double rate_mbps, double burst_megabits = 1.0);
+
+  /// Advances time, accruing tokens.
+  void tick(double seconds);
+
+  /// Attempts to consume `megabits`; returns the amount actually granted
+  /// (all of it, or whatever tokens remain).
+  double consume(double megabits);
+
+  double available_megabits() const { return tokens_; }
+  double rate_mbps() const { return rate_; }
+
+  /// Reconfigures the shaping rate (used when an experiment reassigns
+  /// throttles between runs).
+  void set_rate(double rate_mbps);
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+};
+
+}  // namespace cvr::net

@@ -1,0 +1,141 @@
+#include "src/proto/codec.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace cvr::proto {
+
+void Writer::u8(std::uint8_t v) { out_->push_back(v); }
+
+void Writer::u16(std::uint16_t v) {
+  out_->push_back(static_cast<std::uint8_t>(v));
+  out_->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::bytes(const std::uint8_t* data, std::size_t size) {
+  u32(static_cast<std::uint32_t>(size));
+  out_->insert(out_->end(), data, data + size);
+}
+
+void Reader::need(std::size_t n) const {
+  if (pos_ + n > size_) {
+    throw std::out_of_range("proto::Reader: truncated input");
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Buffer Reader::bytes() {
+  const std::uint32_t size = u32();
+  need(size);
+  Buffer out(data_ + pos_, data_ + pos_ + size);
+  pos_ += size;
+  return out;
+}
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Buffer frame(const Buffer& payload) {
+  Buffer out;
+  out.reserve(payload.size() + 8);
+  Writer writer(out);
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  writer.u32(crc32(payload));
+  return out;
+}
+
+Buffer unframe(Reader& reader) {
+  const std::uint32_t size = reader.u32();
+  if (size > reader.remaining()) {
+    throw std::runtime_error("proto::unframe: length exceeds input");
+  }
+  Buffer payload;
+  payload.reserve(size);
+  for (std::uint32_t i = 0; i < size; ++i) payload.push_back(reader.u8());
+  const std::uint32_t expected = reader.u32();
+  if (crc32(payload) != expected) {
+    throw std::runtime_error("proto::unframe: CRC mismatch");
+  }
+  return payload;
+}
+
+}  // namespace cvr::proto

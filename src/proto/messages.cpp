@@ -1,0 +1,174 @@
+#include "src/proto/messages.h"
+
+#include <stdexcept>
+
+namespace cvr::proto {
+
+namespace {
+
+Buffer payload_with_tag(MessageType type) {
+  Buffer payload;
+  Writer writer(payload);
+  writer.u8(static_cast<std::uint8_t>(type));
+  return payload;
+}
+
+Reader open_payload(const Buffer& framed, MessageType expected,
+                    Buffer& storage) {
+  Reader framed_reader(framed);
+  storage = unframe(framed_reader);
+  if (!framed_reader.done()) {
+    throw std::runtime_error("proto: trailing bytes after frame");
+  }
+  Reader reader(storage);
+  const auto tag = reader.u8();
+  if (tag != static_cast<std::uint8_t>(expected)) {
+    throw std::runtime_error("proto: unexpected message type");
+  }
+  return reader;
+}
+
+void write_pose(Writer& writer, const motion::Pose& pose) {
+  writer.f64(pose.x);
+  writer.f64(pose.y);
+  writer.f64(pose.z);
+  writer.f64(pose.yaw);
+  writer.f64(pose.pitch);
+  writer.f64(pose.roll);
+}
+
+motion::Pose read_pose(Reader& reader) {
+  motion::Pose pose;
+  pose.x = reader.f64();
+  pose.y = reader.f64();
+  pose.z = reader.f64();
+  pose.yaw = reader.f64();
+  pose.pitch = reader.f64();
+  pose.roll = reader.f64();
+  return pose;
+}
+
+void write_tiles(Writer& writer, const std::vector<content::VideoId>& tiles) {
+  writer.u32(static_cast<std::uint32_t>(tiles.size()));
+  for (content::VideoId id : tiles) writer.u64(id);
+}
+
+std::vector<content::VideoId> read_tiles(Reader& reader) {
+  const std::uint32_t count = reader.u32();
+  std::vector<content::VideoId> tiles;
+  tiles.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const content::VideoId id = reader.u64();
+    // Validate the packed key (throws out_of_range if malformed levels /
+    // tile indices were smuggled in); re-packing must be the identity.
+    const content::TileKey key = content::unpack_video_id(id);
+    if (!content::is_valid_level(key.level)) {
+      throw std::runtime_error("proto: invalid quality level in tile id");
+    }
+    tiles.push_back(id);
+  }
+  return tiles;
+}
+
+}  // namespace
+
+Buffer encode(const PoseUpdate& message) {
+  Buffer payload = payload_with_tag(MessageType::kPoseUpdate);
+  Writer writer(payload);
+  writer.u32(message.user);
+  writer.u64(message.slot);
+  write_pose(writer, message.pose);
+  return frame(payload);
+}
+
+Buffer encode(const DeliveryAck& message) {
+  Buffer payload = payload_with_tag(MessageType::kDeliveryAck);
+  Writer writer(payload);
+  writer.u32(message.user);
+  writer.u64(message.slot);
+  write_tiles(writer, message.tiles);
+  return frame(payload);
+}
+
+Buffer encode(const ReleaseAck& message) {
+  Buffer payload = payload_with_tag(MessageType::kReleaseAck);
+  Writer writer(payload);
+  writer.u32(message.user);
+  writer.u64(message.slot);
+  write_tiles(writer, message.tiles);
+  return frame(payload);
+}
+
+Buffer encode(const TileHeader& message) {
+  if (message.packet_index >= message.packet_count) {
+    throw std::invalid_argument("proto: packet_index >= packet_count");
+  }
+  Buffer payload = payload_with_tag(MessageType::kTileHeader);
+  Writer writer(payload);
+  writer.u64(message.video_id);
+  writer.u32(message.packet_index);
+  writer.u32(message.packet_count);
+  writer.u64(message.slot);
+  return frame(payload);
+}
+
+MessageType peek_type(const Buffer& framed) {
+  Reader framed_reader(framed);
+  const Buffer payload = unframe(framed_reader);
+  Reader reader(payload);
+  const auto tag = reader.u8();
+  if (tag < 1 || tag > 4) {
+    throw std::runtime_error("proto: unknown message type tag");
+  }
+  return static_cast<MessageType>(tag);
+}
+
+PoseUpdate decode_pose_update(const Buffer& framed) {
+  Buffer storage;
+  Reader reader = open_payload(framed, MessageType::kPoseUpdate, storage);
+  PoseUpdate message;
+  message.user = reader.u32();
+  message.slot = reader.u64();
+  message.pose = read_pose(reader);
+  if (!reader.done()) throw std::runtime_error("proto: trailing payload bytes");
+  return message;
+}
+
+DeliveryAck decode_delivery_ack(const Buffer& framed) {
+  Buffer storage;
+  Reader reader = open_payload(framed, MessageType::kDeliveryAck, storage);
+  DeliveryAck message;
+  message.user = reader.u32();
+  message.slot = reader.u64();
+  message.tiles = read_tiles(reader);
+  if (!reader.done()) throw std::runtime_error("proto: trailing payload bytes");
+  return message;
+}
+
+ReleaseAck decode_release_ack(const Buffer& framed) {
+  Buffer storage;
+  Reader reader = open_payload(framed, MessageType::kReleaseAck, storage);
+  ReleaseAck message;
+  message.user = reader.u32();
+  message.slot = reader.u64();
+  message.tiles = read_tiles(reader);
+  if (!reader.done()) throw std::runtime_error("proto: trailing payload bytes");
+  return message;
+}
+
+TileHeader decode_tile_header(const Buffer& framed) {
+  Buffer storage;
+  Reader reader = open_payload(framed, MessageType::kTileHeader, storage);
+  TileHeader message;
+  message.video_id = reader.u64();
+  message.packet_index = reader.u32();
+  message.packet_count = reader.u32();
+  message.slot = reader.u64();
+  if (!reader.done()) throw std::runtime_error("proto: trailing payload bytes");
+  if (message.packet_index >= message.packet_count) {
+    throw std::runtime_error("proto: packet_index >= packet_count");
+  }
+  return message;
+}
+
+}  // namespace cvr::proto

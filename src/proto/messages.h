@@ -1,0 +1,85 @@
+// Protocol messages of the Section-V system.
+//
+//   * PoseUpdate   — client -> server over TCP: "Users will replay real
+//     users' motion traces and upload the trace to the server through
+//     TCP periodically."
+//   * DeliveryAck  — client -> server over TCP: "we manually send
+//     acknowledgments (ACK) from the user to the server through TCP."
+//   * ReleaseAck   — client -> server over TCP: "The user also sends
+//     ACKs to let the server know when the tiles are released."
+//   * TileHeader   — server -> client, prefixed to every RTP payload:
+//     which video ID this packet belongs to and where it sits in the
+//     tile, so the decoder can detect completeness.
+//
+// Every message carries a 1-byte type tag; encode/decode round-trip via
+// the codec's framed wire format. Decoding validates the tag and all
+// invariants (valid quality levels, packet index < count, ...).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/content/tile.h"
+#include "src/motion/pose.h"
+#include "src/proto/codec.h"
+
+namespace cvr::proto {
+
+enum class MessageType : std::uint8_t {
+  kPoseUpdate = 1,
+  kDeliveryAck = 2,
+  kReleaseAck = 3,
+  kTileHeader = 4,
+};
+
+struct PoseUpdate {
+  std::uint32_t user = 0;
+  std::uint64_t slot = 0;
+  motion::Pose pose;
+
+  friend bool operator==(const PoseUpdate&, const PoseUpdate&) = default;
+};
+
+struct DeliveryAck {
+  std::uint32_t user = 0;
+  std::uint64_t slot = 0;
+  std::vector<content::VideoId> tiles;
+
+  friend bool operator==(const DeliveryAck&, const DeliveryAck&) = default;
+};
+
+struct ReleaseAck {
+  std::uint32_t user = 0;
+  std::uint64_t slot = 0;
+  std::vector<content::VideoId> tiles;
+
+  friend bool operator==(const ReleaseAck&, const ReleaseAck&) = default;
+};
+
+struct TileHeader {
+  content::VideoId video_id = 0;
+  std::uint32_t packet_index = 0;
+  std::uint32_t packet_count = 0;
+  std::uint64_t slot = 0;
+
+  friend bool operator==(const TileHeader&, const TileHeader&) = default;
+};
+
+// Encoders: framed buffers ready for the wire.
+Buffer encode(const PoseUpdate& message);
+Buffer encode(const DeliveryAck& message);
+Buffer encode(const ReleaseAck& message);
+Buffer encode(const TileHeader& message);
+
+/// Peeks the type tag of a framed message without fully decoding it.
+/// Throws std::runtime_error on framing/CRC errors or unknown tags.
+MessageType peek_type(const Buffer& framed);
+
+// Decoders: throw std::runtime_error on wrong tag, framing error, CRC
+// mismatch, or invariant violation (e.g. packet_index >= packet_count).
+PoseUpdate decode_pose_update(const Buffer& framed);
+DeliveryAck decode_delivery_ack(const Buffer& framed);
+ReleaseAck decode_release_ack(const Buffer& framed);
+TileHeader decode_tile_header(const Buffer& framed);
+
+}  // namespace cvr::proto

@@ -1,0 +1,91 @@
+#include "src/render/render_farm.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace cvr::render {
+
+RenderFarm::RenderFarm(RenderFarmConfig config) : config_(config) {
+  if (config_.gpus <= 0 || config_.render_ms_per_tile <= 0.0 ||
+      config_.encode_ms_base < 0.0 || config_.encode_ms_per_level < 0.0 ||
+      config_.slot_budget_ms <= 0.0) {
+    throw std::invalid_argument("RenderFarmConfig: invalid parameters");
+  }
+}
+
+double RenderFarm::encode_ms(content::QualityLevel level) const {
+  if (!content::is_valid_level(level)) {
+    throw std::out_of_range("RenderFarm::encode_ms: invalid level");
+  }
+  return config_.encode_ms_base +
+         config_.encode_ms_per_level * static_cast<double>(level);
+}
+
+double RenderFarm::stream_ms(std::size_t tiles,
+                             content::QualityLevel level) const {
+  if (tiles == 0) return 0.0;
+  const double render = config_.render_ms_per_tile;
+  const double encode = encode_ms(level);
+  if (!config_.pipelined) {
+    return static_cast<double>(tiles) * (render + encode);
+  }
+  // Two-stage pipeline: total = fill (first render) + (tiles) x
+  // bottleneck stage + drain (last encode if encode isn't the
+  // bottleneck... classic formula: r + max(r,e)*(n-1) + e).
+  return render + encode +
+         std::max(render, encode) * static_cast<double>(tiles - 1);
+}
+
+RenderOutcome RenderFarm::schedule(const std::vector<RenderJob>& jobs) const {
+  RenderOutcome outcome;
+  outcome.user_completion_ms.assign(jobs.size(), 0.0);
+  outcome.on_time.assign(jobs.size(), true);
+
+  // LPT: sort job indices by stream cost descending, place each on the
+  // least-loaded GPU.
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> cost(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    cost[i] = stream_ms(jobs[i].tiles, jobs[i].level);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cost[a] > cost[b];
+  });
+
+  std::vector<double> gpu_load(static_cast<std::size_t>(config_.gpus), 0.0);
+  for (std::size_t idx : order) {
+    auto lightest =
+        std::min_element(gpu_load.begin(), gpu_load.end()) - gpu_load.begin();
+    gpu_load[static_cast<std::size_t>(lightest)] += cost[idx];
+    outcome.user_completion_ms[idx] =
+        gpu_load[static_cast<std::size_t>(lightest)];
+    outcome.on_time[idx] =
+        outcome.user_completion_ms[idx] <= config_.slot_budget_ms + 1e-9;
+  }
+  outcome.makespan_ms =
+      jobs.empty() ? 0.0 : *std::max_element(gpu_load.begin(), gpu_load.end());
+  return outcome;
+}
+
+std::size_t RenderFarm::max_tiles_per_user(std::size_t users,
+                                           content::QualityLevel level) const {
+  if (users == 0) return 0;
+  std::size_t best = 0;
+  for (std::size_t tiles = 1; tiles <= 64; ++tiles) {
+    std::vector<RenderJob> jobs;
+    jobs.reserve(users);
+    for (std::size_t u = 0; u < users; ++u) jobs.push_back({u, tiles, level});
+    const RenderOutcome outcome = schedule(jobs);
+    if (std::all_of(outcome.on_time.begin(), outcome.on_time.end(),
+                    [](bool ok) { return ok; })) {
+      best = tiles;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace cvr::render

@@ -1,0 +1,80 @@
+// Online rendering and encoding (Section VIII, "Online rendering and
+// encoding").
+//
+// The shipped system renders and encodes every tile offline because
+// "the overhead of rendering and encoding for multiple quality levels
+// makes it difficult to meet the synchronization performance required by
+// the collaborative VR application. One possible solution is to
+// coordinate multiple GPUs in a server to enable multiple encoders
+// working in parallel with the rendering, which is also left for future
+// work."
+//
+// This module models that future-work server: a farm of G GPUs, each
+// with a renderer and a hardware encoder (NVENC-style). A slot's work is
+// the set of (user, tile, level) jobs chosen by the allocator; tiles are
+// scheduled across GPUs longest-processing-time-first. Per tile:
+//   * sequential mode:  render_ms + encode_ms(level)  on one GPU;
+//   * pipelined mode:   the encoder runs in parallel with the renderer,
+//     so a stream of tiles costs max(render, encode) per tile after the
+//     first (the Section-VIII proposal).
+// The `ablation_online_rendering` bench sweeps GPU counts and shows when
+// the farm meets the 15 ms slot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/content/quality.h"
+
+namespace cvr::render {
+
+struct RenderFarmConfig {
+  int gpus = 4;                      ///< The paper's server has 4 GPUs.
+  double render_ms_per_tile = 1.6;   ///< Scene raster cost per tile.
+  double encode_ms_base = 0.9;       ///< Encoder session overhead per tile.
+  double encode_ms_per_level = 0.35; ///< Higher quality = slower encode.
+  bool pipelined = true;             ///< Encoder parallel to renderer.
+  double slot_budget_ms = 15.15;     ///< One slot at 66 FPS.
+};
+
+/// One user's slot workload: how many tiles at which level.
+struct RenderJob {
+  std::size_t user = 0;
+  std::size_t tiles = 0;
+  content::QualityLevel level = 1;
+};
+
+/// Result of scheduling one slot of jobs.
+struct RenderOutcome {
+  std::vector<double> user_completion_ms;  ///< Indexed by job order.
+  std::vector<bool> on_time;               ///< completion <= budget.
+  double makespan_ms = 0.0;                ///< Farm-wide finish time.
+};
+
+class RenderFarm {
+ public:
+  explicit RenderFarm(RenderFarmConfig config = {});
+
+  const RenderFarmConfig& config() const { return config_; }
+
+  /// Encode time of one tile at the given level.
+  double encode_ms(content::QualityLevel level) const;
+
+  /// Cost of a stream of `tiles` tiles at `level` on one GPU.
+  double stream_ms(std::size_t tiles, content::QualityLevel level) const;
+
+  /// Schedules the jobs for one slot: each job stays on a single GPU
+  /// (tiles of one user/level form one encoder stream); jobs are placed
+  /// LPT onto the least-loaded GPU. Returns per-job completion times.
+  RenderOutcome schedule(const std::vector<RenderJob>& jobs) const;
+
+  /// Largest per-user tile count the farm can sustain for `users` users
+  /// all at `level`, within the slot budget. 0 if even one tile misses.
+  std::size_t max_tiles_per_user(std::size_t users,
+                                 content::QualityLevel level) const;
+
+ private:
+  RenderFarmConfig config_;
+};
+
+}  // namespace cvr::render

@@ -1,0 +1,78 @@
+#include "src/report/report.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cvr::report {
+
+namespace {
+
+cvr::Cdf metric_cdf(const sim::ArmResult& arm, const std::string& metric) {
+  if (metric == "qoe") return arm.qoe_cdf();
+  if (metric == "quality") return arm.quality_cdf();
+  if (metric == "delay_ms") return arm.delay_ms_cdf();
+  if (metric == "variance") return arm.variance_cdf();
+  throw std::invalid_argument("report: unknown metric '" + metric + "'");
+}
+
+}  // namespace
+
+CsvTable outcomes_table(const std::vector<sim::ArmResult>& arms) {
+  CsvTable table;
+  table.header = {"arm",        "avg_qoe",  "avg_quality",
+                  "avg_level",  "avg_delay_ms", "variance",
+                  "prediction_accuracy", "fps"};
+  // The arm name is a string; numeric-only CsvTable rows carry an arm
+  // index instead, with the mapping in a comment-friendly header order.
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (const auto& o : arms[a].outcomes) {
+      table.rows.push_back({static_cast<double>(a), o.avg_qoe, o.avg_quality,
+                            o.avg_level, o.avg_delay_ms, o.variance,
+                            o.prediction_accuracy, o.fps});
+    }
+  }
+  return table;
+}
+
+CsvTable cdf_table(const std::vector<sim::ArmResult>& arms,
+                   const std::string& metric, std::size_t points) {
+  CsvTable table;
+  table.header = {"arm", "value", "cumulative_probability"};
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    const cvr::Cdf cdf = metric_cdf(arms[a], metric);
+    for (const auto& [value, p] : cdf.curve(points)) {
+      table.rows.push_back({static_cast<double>(a), value, p});
+    }
+  }
+  return table;
+}
+
+std::string summary_markdown(const std::vector<sim::ArmResult>& arms) {
+  std::ostringstream out;
+  out << "| algorithm | avg QoE | avg quality | avg delay (ms) | variance | "
+         "FPS |\n";
+  out << "|---|---|---|---|---|---|\n";
+  out.precision(4);
+  for (const auto& arm : arms) {
+    out << "| " << arm.algorithm << " | " << arm.mean_qoe() << " | "
+        << arm.mean_quality() << " | " << arm.mean_delay_ms() << " | "
+        << arm.mean_variance() << " | " << arm.mean_fps() << " |\n";
+  }
+  return out.str();
+}
+
+std::vector<std::string> write_report(const std::vector<sim::ArmResult>& arms,
+                                      const std::string& prefix) {
+  std::vector<std::string> written;
+  const std::string outcomes_path = prefix + "_outcomes.csv";
+  write_csv_file(outcomes_path, outcomes_table(arms));
+  written.push_back(outcomes_path);
+  for (const char* metric : {"qoe", "quality", "delay_ms", "variance"}) {
+    const std::string path = prefix + "_cdf_" + metric + ".csv";
+    write_csv_file(path, cdf_table(arms, metric));
+    written.push_back(path);
+  }
+  return written;
+}
+
+}  // namespace cvr::report

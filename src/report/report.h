@@ -1,0 +1,35 @@
+// Experiment reporting: turn ArmResults into machine-readable CSV and
+// human-readable markdown, so downstream users can regenerate the
+// paper's plots (CDF panels of Figs. 2/3, bar charts of Figs. 7/8) with
+// their own tooling instead of scraping bench stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/metrics.h"
+#include "src/util/csv.h"
+
+namespace cvr::report {
+
+/// Per-(run x user) outcome rows:
+/// algorithm,avg_qoe,avg_quality,avg_level,avg_delay_ms,variance,
+/// prediction_accuracy,fps — one row per outcome per arm.
+CsvTable outcomes_table(const std::vector<sim::ArmResult>& arms);
+
+/// CDF curve rows for one metric: algorithm,value,cumulative_probability.
+/// `metric` is one of "qoe", "quality", "delay_ms", "variance".
+/// Throws std::invalid_argument on an unknown metric.
+CsvTable cdf_table(const std::vector<sim::ArmResult>& arms,
+                   const std::string& metric, std::size_t points = 101);
+
+/// Summary (means) as a markdown table, Figs. 7/8 style.
+std::string summary_markdown(const std::vector<sim::ArmResult>& arms);
+
+/// Writes both the outcome CSV and the four CDF CSVs under `prefix`
+/// (prefix + "_outcomes.csv", prefix + "_cdf_<metric>.csv"). Returns the
+/// written paths.
+std::vector<std::string> write_report(const std::vector<sim::ArmResult>& arms,
+                                      const std::string& prefix);
+
+}  // namespace cvr::report

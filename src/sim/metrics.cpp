@@ -1,0 +1,90 @@
+#include "src/sim/metrics.h"
+
+#include <stdexcept>
+
+namespace cvr::sim {
+
+namespace {
+template <typename Getter>
+cvr::Cdf build_cdf(const std::vector<UserOutcome>& outcomes, Getter get) {
+  std::vector<double> samples;
+  samples.reserve(outcomes.size());
+  for (const auto& o : outcomes) samples.push_back(get(o));
+  return cvr::Cdf(std::move(samples));
+}
+
+template <typename Getter>
+double mean_of(const std::vector<UserOutcome>& outcomes, Getter get) {
+  if (outcomes.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& o : outcomes) total += get(o);
+  return total / static_cast<double>(outcomes.size());
+}
+}  // namespace
+
+cvr::Cdf ArmResult::qoe_cdf() const {
+  return build_cdf(outcomes, [](const UserOutcome& o) { return o.avg_qoe; });
+}
+cvr::Cdf ArmResult::quality_cdf() const {
+  return build_cdf(outcomes, [](const UserOutcome& o) { return o.avg_quality; });
+}
+cvr::Cdf ArmResult::delay_ms_cdf() const {
+  return build_cdf(outcomes, [](const UserOutcome& o) { return o.avg_delay_ms; });
+}
+cvr::Cdf ArmResult::variance_cdf() const {
+  return build_cdf(outcomes, [](const UserOutcome& o) { return o.variance; });
+}
+
+double ArmResult::mean_qoe() const {
+  return mean_of(outcomes, [](const UserOutcome& o) { return o.avg_qoe; });
+}
+double ArmResult::mean_quality() const {
+  return mean_of(outcomes, [](const UserOutcome& o) { return o.avg_quality; });
+}
+double ArmResult::mean_delay_ms() const {
+  return mean_of(outcomes, [](const UserOutcome& o) { return o.avg_delay_ms; });
+}
+double ArmResult::mean_variance() const {
+  return mean_of(outcomes, [](const UserOutcome& o) { return o.variance; });
+}
+double ArmResult::mean_fps() const {
+  return mean_of(outcomes, [](const UserOutcome& o) { return o.fps; });
+}
+
+double jains_index(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double total = 0.0;
+  double total_sq = 0.0;
+  for (double x : values) {
+    if (x < 0.0) {
+      throw std::invalid_argument("jains_index: negative value");
+    }
+    total += x;
+    total_sq += x * x;
+  }
+  if (total_sq == 0.0) return 1.0;
+  return total * total / (static_cast<double>(values.size()) * total_sq);
+}
+
+double quality_fairness(const ArmResult& arm) {
+  std::vector<double> qualities;
+  qualities.reserve(arm.outcomes.size());
+  for (const auto& o : arm.outcomes) qualities.push_back(o.avg_quality);
+  return jains_index(qualities);
+}
+
+UserOutcome make_outcome(const cvr::core::UserQoeAccumulator& acc,
+                         const cvr::core::QoeParams& params, double hit_rate,
+                         double fps) {
+  UserOutcome o;
+  o.avg_qoe = acc.average_qoe(params);
+  o.avg_quality = acc.mean_viewed_quality();
+  o.avg_level = acc.mean_level();
+  o.avg_delay_ms = acc.mean_delay();
+  o.variance = acc.variance();
+  o.prediction_accuracy = hit_rate;
+  o.fps = fps;
+  return o;
+}
+
+}  // namespace cvr::sim

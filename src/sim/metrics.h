@@ -1,0 +1,60 @@
+// Metric collection for the trace-based simulation (Section IV) and the
+// system emulation (Section VI). The paper's Figs. 2/3 plot CDFs over
+// (run x user) samples of four per-horizon quantities; Figs. 7/8 plot
+// their means. This module owns those definitions so every experiment
+// measures exactly the same thing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/qoe.h"
+#include "src/util/stats.h"
+
+namespace cvr::sim {
+
+/// Per-user, per-horizon outcome (one CDF sample in Figs. 2/3).
+struct UserOutcome {
+  double avg_qoe = 0.0;       ///< QoE_n(T)/T.
+  double avg_quality = 0.0;   ///< mean of q_n(t) 1_n(t).
+  double avg_level = 0.0;     ///< mean *chosen* level q_n(t) (diagnostic).
+  double avg_delay_ms = 0.0;  ///< mean delivery delay, eq. (13) in ms.
+  double variance = 0.0;      ///< sigma_n^2(T).
+  double prediction_accuracy = 0.0;  ///< realized mean of 1_n(t).
+  double fps = 0.0;           ///< displayed frames per second (system only).
+};
+
+/// All outcomes of one experiment arm (one algorithm across runs).
+struct ArmResult {
+  std::string algorithm;
+  std::vector<UserOutcome> outcomes;  ///< run-major, user-minor.
+
+  cvr::Cdf qoe_cdf() const;
+  cvr::Cdf quality_cdf() const;
+  cvr::Cdf delay_ms_cdf() const;
+  cvr::Cdf variance_cdf() const;
+
+  double mean_qoe() const;
+  double mean_quality() const;
+  double mean_delay_ms() const;
+  double mean_variance() const;
+  double mean_fps() const;
+};
+
+/// Builds a UserOutcome from an accumulator and the realized hit count.
+UserOutcome make_outcome(const cvr::core::UserQoeAccumulator& acc,
+                         const cvr::core::QoeParams& params, double hit_rate,
+                         double fps);
+
+/// Jain's fairness index (sum x)^2 / (n sum x^2), in (0, 1]; 1 = all
+/// equal. The standard fairness measure for a shared-resource scheduler
+/// — relevant here because the collaborative setting wants *every*
+/// student served, not a high mean. Values must be non-negative;
+/// returns 1.0 for empty or all-zero inputs (vacuously fair).
+double jains_index(const std::vector<double>& values);
+
+/// Jain's index over an arm's per-(run x user) average quality — the
+/// "did anyone get starved" view of an algorithm.
+double quality_fairness(const ArmResult& arm);
+
+}  // namespace cvr::sim

@@ -1,0 +1,188 @@
+#include "src/sim/simulation.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/net/mm1.h"
+
+namespace cvr::sim {
+
+namespace {
+
+/// Clamps a metric position into the content DB's rendered scene.
+content::GridCell clamped_cell(const content::ContentDb& db, double x,
+                               double y) {
+  content::GridCell cell = content::cell_for_position(x, y);
+  cell.gx = std::clamp(cell.gx, 0, db.config().grid_width - 1);
+  cell.gy = std::clamp(cell.gy, 0, db.config().grid_height - 1);
+  return cell;
+}
+
+}  // namespace
+
+TraceSimulation::TraceSimulation(TraceSimConfig config,
+                                 const trace::TraceRepository& repository)
+    : config_(config),
+      repository_(&repository),
+      motion_generator_(config.motion) {
+  if (config_.users == 0 || config_.slots == 0 || config_.scenes == 0) {
+    throw std::invalid_argument("TraceSimConfig: zero users/slots/scenes");
+  }
+  scenes_.reserve(config_.scenes);
+  for (std::size_t s = 0; s < config_.scenes; ++s) {
+    content::ContentDbConfig scene_config = config_.content;
+    scene_config.seed = config_.content.seed + 1000003 * s;
+    scenes_.emplace_back(scene_config);
+  }
+}
+
+std::vector<UserOutcome> TraceSimulation::run(
+    core::Allocator& allocator, std::size_t run,
+    std::vector<TraceSlotRecord>* log) const {
+  const std::size_t n_users = config_.users;
+  allocator.reset();
+
+  struct UserState {
+    motion::MotionTrace trace;
+    trace::SlotMapper bandwidth;
+    std::unique_ptr<motion::MotionPredictor> predictor;
+    motion::AccuracyEstimator accuracy;
+    motion::MarginController margin;
+    core::UserQoeAccumulator qoe;
+    std::size_t hits = 0;
+  };
+
+  auto make_predictor = [&]() -> std::unique_ptr<motion::MotionPredictor> {
+    if (config_.predictor_kind == motion::PredictorKind::kLinearRegression) {
+      return std::make_unique<motion::LinearMotionPredictor>(
+          config_.predictor);
+    }
+    return motion::make_predictor(config_.predictor_kind);
+  };
+
+  std::vector<UserState> users;
+  users.reserve(n_users);
+  const auto traces = repository_->assign_all(run, n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    users.push_back(UserState{
+        motion_generator_.generate(config_.seed + 1000 * (run + 1), u,
+                                   config_.slots),
+        trace::SlotMapper(*traces[u], config_.motion.slot_seconds),
+        make_predictor(),
+        motion::AccuracyEstimator(),
+        motion::MarginController(config_.fov.margin_deg,
+                                 config_.margin_controller),
+        core::UserQoeAccumulator(), 0});
+  }
+
+  const double server_bandwidth =
+      config_.server_mbps_per_user * static_cast<double>(n_users);
+
+  for (std::size_t t = 0; t < config_.slots; ++t) {
+    core::SlotProblem problem;
+    problem.params = config_.params;
+    problem.server_bandwidth = server_bandwidth;
+    problem.users.reserve(n_users);
+
+    std::vector<bool> hit(n_users, false);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      UserState& user = users[u];
+      const motion::Pose& actual = user.trace[t];
+      // The server only has poses up to t-1; before the predictor is
+      // primed, delivering for the last observed pose is the system's
+      // cold-start behaviour (first slot: the pose uploaded on session
+      // join, which we model as a hit).
+      const motion::Pose predicted =
+          user.predictor->observations() > 0 ? user.predictor->predict(1) : actual;
+      motion::FovSpec user_fov = config_.fov;
+      if (config_.adaptive_margin) {
+        user_fov.margin_deg = user.margin.margin_deg();
+      }
+      hit[u] = motion::covers(user_fov, predicted, actual);
+
+      // The delivered portion's size follows the margin: scale the rate
+      // function by the panorama fraction relative to the reference
+      // margin (a no-op when margins match the reference).
+      motion::FovSpec reference_fov = config_.fov;
+      reference_fov.margin_deg = config_.reference_margin_deg;
+      const double margin_scale =
+          motion::delivered_panorama_fraction(user_fov) /
+          motion::delivered_panorama_fraction(reference_fov);
+
+      const double b_n = user.bandwidth.bandwidth_for_slot(t);
+      const content::ContentDb& scene = scenes_[u % scenes_.size()];
+      const content::GridCell cell =
+          clamped_cell(scene, predicted.x, predicted.y);
+      const content::CrfRateFunction base_f = scene.frame_rate_function(cell);
+      const content::CrfRateFunction f(base_f.base_mbps(), base_f.growth(),
+                                       base_f.scale() * margin_scale);
+      problem.users.push_back(core::UserSlotContext::from_rate_function(
+          f, b_n, user.accuracy.estimate(), user.qoe.mean_viewed_quality(),
+          static_cast<double>(t + 1)));
+    }
+
+    const core::Allocation allocation = allocator.allocate(problem);
+    if (allocation.levels.size() != n_users) {
+      throw std::logic_error("allocator returned wrong level count");
+    }
+
+    for (std::size_t u = 0; u < n_users; ++u) {
+      UserState& user = users[u];
+      const core::QualityLevel q = allocation.levels[u];
+      const double delay =
+          problem.users[u].delay[static_cast<std::size_t>(q - 1)];
+      if (log != nullptr) {
+        TraceSlotRecord record;
+        record.slot = t;
+        record.user = u;
+        record.level = q;
+        record.bandwidth_mbps = problem.users[u].user_bandwidth;
+        record.rate_mbps =
+            problem.users[u].rate[static_cast<std::size_t>(q - 1)];
+        record.delay_ms = delay;
+        record.hit = hit[u];
+        record.delta_estimate = problem.users[u].delta;
+        record.qbar = problem.users[u].qbar;
+        log->push_back(record);
+      }
+      user.qoe.record(q, hit[u], delay);
+      user.accuracy.record(hit[u]);
+      if (config_.adaptive_margin) {
+        user.margin.update(user.accuracy.estimate());
+      }
+      if (hit[u]) ++user.hits;
+      user.predictor->observe(t, user.trace[t]);
+    }
+  }
+
+  std::vector<UserOutcome> outcomes;
+  outcomes.reserve(n_users);
+  for (const auto& user : users) {
+    const double hit_rate =
+        static_cast<double>(user.hits) / static_cast<double>(config_.slots);
+    outcomes.push_back(make_outcome(user.qoe, config_.params, hit_rate, 0.0));
+  }
+  return outcomes;
+}
+
+std::vector<ArmResult> TraceSimulation::compare(
+    const std::vector<core::Allocator*>& allocators, std::size_t runs) const {
+  std::vector<ArmResult> results;
+  results.reserve(allocators.size());
+  for (core::Allocator* allocator : allocators) {
+    if (allocator == nullptr) {
+      throw std::invalid_argument("compare: null allocator");
+    }
+    ArmResult arm;
+    arm.algorithm = std::string(allocator->name());
+    for (std::size_t r = 0; r < runs; ++r) {
+      auto outcomes = run(*allocator, r);
+      arm.outcomes.insert(arm.outcomes.end(), outcomes.begin(), outcomes.end());
+    }
+    results.push_back(std::move(arm));
+  }
+  return results;
+}
+
+}  // namespace cvr::sim

@@ -1,0 +1,33 @@
+#include "src/system/decoder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::system {
+
+DecoderPool::DecoderPool(DecoderPoolConfig config) : config_(config) {
+  if (config_.decoders <= 0 || config_.decode_ms_per_tile <= 0.0 ||
+      config_.stage_budget_ms <= 0.0) {
+    throw std::invalid_argument("DecoderPoolConfig: invalid parameters");
+  }
+}
+
+double DecoderPool::decode_time_ms(std::size_t tiles) const {
+  if (tiles == 0) return 0.0;
+  const std::size_t waves =
+      (tiles + static_cast<std::size_t>(config_.decoders) - 1) /
+      static_cast<std::size_t>(config_.decoders);
+  return static_cast<double>(waves) * config_.decode_ms_per_tile;
+}
+
+bool DecoderPool::on_time(std::size_t tiles) const {
+  return decode_time_ms(tiles) <= config_.stage_budget_ms + 1e-9;
+}
+
+std::size_t DecoderPool::max_tiles_per_slot() const {
+  const auto waves = static_cast<std::size_t>(
+      std::floor(config_.stage_budget_ms / config_.decode_ms_per_tile + 1e-9));
+  return waves * static_cast<std::size_t>(config_.decoders);
+}
+
+}  // namespace cvr::system

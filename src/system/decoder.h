@@ -1,0 +1,41 @@
+// Hardware decoder pool model.
+//
+// Section VI: "Android Media Codec is used to accelerate the decoding of
+// the delivered tile by using multiple parallel decoders ... we set the
+// number to 5 during the experiment to avoid the performance degradation
+// caused by the decoding." Each decoder decodes one tile at a time; a
+// slot's tile batch is decoded in parallel waves and must finish within
+// the decode-stage budget (one slot, per the Section V pipeline).
+#pragma once
+
+#include <cstddef>
+
+namespace cvr::system {
+
+struct DecoderPoolConfig {
+  int decoders = 5;
+  double decode_ms_per_tile = 2.5;  ///< Hardware-decode latency per tile.
+  double stage_budget_ms = 15.15;   ///< One slot at 66 FPS.
+};
+
+class DecoderPool {
+ public:
+  explicit DecoderPool(DecoderPoolConfig config = {});
+
+  const DecoderPoolConfig& config() const { return config_; }
+
+  /// Time to decode `tiles` tiles with the parallel pool (ceil(tiles /
+  /// decoders) sequential waves).
+  double decode_time_ms(std::size_t tiles) const;
+
+  /// True iff the batch decodes within the stage budget.
+  bool on_time(std::size_t tiles) const;
+
+  /// Largest batch that decodes within budget.
+  std::size_t max_tiles_per_slot() const;
+
+ private:
+  DecoderPoolConfig config_;
+};
+
+}  // namespace cvr::system

@@ -1,0 +1,48 @@
+#include "src/system/device.h"
+
+#include <stdexcept>
+
+namespace cvr::system {
+
+ClientConfig DeviceProfile::client_config(double display_deadline_ms) const {
+  ClientConfig config;
+  config.buffer_threshold = buffer_threshold;
+  config.decoder.decoders = decoders;
+  config.decoder.decode_ms_per_tile = decode_ms_per_tile;
+  config.decoder.stage_budget_ms = display_deadline_ms;
+  config.display_deadline_ms = display_deadline_ms;
+  return config;
+}
+
+DeviceProfile pixel6() {
+  return DeviceProfile{"pixel6", 5, 2.2, 700};
+}
+
+DeviceProfile pixel5() {
+  return DeviceProfile{"pixel5", 4, 3.0, 500};
+}
+
+DeviceProfile pixel4() {
+  return DeviceProfile{"pixel4", 3, 3.8, 400};
+}
+
+std::vector<DeviceProfile> paper_fleet() {
+  std::vector<DeviceProfile> fleet;
+  for (int i = 0; i < 10; ++i) fleet.push_back(pixel6());
+  for (int i = 0; i < 2; ++i) fleet.push_back(pixel5());
+  for (int i = 0; i < 3; ++i) fleet.push_back(pixel4());
+  return fleet;
+}
+
+std::vector<DeviceProfile> assign_devices(
+    const std::vector<DeviceProfile>& fleet, std::size_t users) {
+  if (fleet.empty()) {
+    throw std::invalid_argument("assign_devices: empty fleet");
+  }
+  std::vector<DeviceProfile> out;
+  out.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) out.push_back(fleet[u % fleet.size()]);
+  return out;
+}
+
+}  // namespace cvr::system

@@ -1,0 +1,47 @@
+// Heterogeneous client devices.
+//
+// Section VI's testbed is not uniform: "fifteen off-the-shelf commercial
+// smartphones (including ten Google Pixel 6, two Google Pixel 5 and
+// three Google Pixel 4)", and Section V notes the number of hardware
+// decoders and the tile-buffer threshold are device-dependent. A
+// DeviceProfile bundles those per-device parameters; the paper-mix
+// helper reproduces the 10/2/3 fleet.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/system/client.h"
+
+namespace cvr::system {
+
+struct DeviceProfile {
+  std::string name = "generic";
+  int decoders = 5;                 ///< Parallel hardware decoders.
+  double decode_ms_per_tile = 2.5;  ///< Per-tile hardware decode latency.
+  std::size_t buffer_threshold = 600;  ///< RAM-bounded tile residency.
+
+  /// Client configuration this device implies, on top of the shared
+  /// display deadline.
+  ClientConfig client_config(double display_deadline_ms = 15.15) const;
+};
+
+/// The paper's devices (decoder/latency figures are representative of
+/// each generation's MediaCodec capability; the paper pins 5 decoders on
+/// the Pixel 6 "to avoid the performance degradation caused by the
+/// decoding").
+DeviceProfile pixel6();
+DeviceProfile pixel5();
+DeviceProfile pixel4();
+
+/// The Section-VI fleet: ten Pixel 6, two Pixel 5, three Pixel 4
+/// (teacher first, on the strongest device).
+std::vector<DeviceProfile> paper_fleet();
+
+/// Repeats/truncates a device list to cover `users` clients
+/// round-robin. Throws std::invalid_argument on an empty list.
+std::vector<DeviceProfile> assign_devices(
+    const std::vector<DeviceProfile>& fleet, std::size_t users);
+
+}  // namespace cvr::system

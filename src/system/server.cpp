@@ -1,0 +1,247 @@
+#include "src/system/server.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/util/units.h"
+
+namespace cvr::system {
+
+Server::UserState::UserState(const ServerConfig& config)
+    : predictor(config.predictor_kind ==
+                        motion::PredictorKind::kLinearRegression
+                    ? std::make_unique<motion::LinearMotionPredictor>(
+                          config.predictor)
+                    : motion::make_predictor(config.predictor_kind)),
+      accuracy(),
+      base_accuracy(),
+      bandwidth(config.ema_alpha, config.initial_bandwidth_estimate_mbps),
+      delay(),
+      loss(),
+      margin(config.fov.margin_deg, config.margin_controller),
+      delivered(),
+      cache(config.cache) {}
+
+Server::Server(ServerConfig config, std::size_t users)
+    : config_(config), content_db_(config.content) {
+  if (users == 0) throw std::invalid_argument("Server: zero users");
+  users_.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) users_.emplace_back(config_);
+}
+
+void Server::on_pose(std::size_t u, std::size_t t, const motion::Pose& pose) {
+  UserState& user = users_.at(u);
+  user.predictor->observe(t, pose);
+  user.last_pose = pose;
+  user.has_pose = true;
+}
+
+motion::Pose Server::predict_pose(std::size_t u) const {
+  const UserState& user = users_.at(u);
+  if (!user.has_pose) return motion::Pose{};
+  // Poses arrive one slot late; the content is displayed one slot after
+  // transmission (Section V pipeline), so predict two slots ahead of the
+  // newest pose on record.
+  return user.predictor->predict(2);
+}
+
+void Server::on_bandwidth_sample(std::size_t u, double mbps) {
+  users_.at(u).bandwidth.observe(mbps);
+}
+
+void Server::on_delay_sample(std::size_t u, double rate_mbps,
+                             double delay_ms) {
+  users_.at(u).delay.observe(rate_mbps, delay_ms);
+}
+
+void Server::on_loss_sample(std::size_t u, double utilization,
+                            double loss_fraction) {
+  users_.at(u).loss.observe(utilization, loss_fraction);
+}
+
+void Server::on_coverage_outcome(std::size_t u, bool hit) {
+  UserState& user = users_.at(u);
+  user.accuracy.record(hit);
+  if (config_.adaptive_margin) {
+    user.margin.update(user.accuracy.estimate());
+  }
+}
+
+motion::FovSpec Server::fov_for(std::size_t u) const {
+  motion::FovSpec spec = config_.fov;
+  if (config_.adaptive_margin) {
+    spec.margin_deg = users_.at(u).margin.margin_deg();
+  }
+  return spec;
+}
+
+void Server::on_base_outcome(std::size_t u, bool hit) {
+  users_.at(u).base_accuracy.record(hit);
+}
+
+void Server::on_displayed_quality(std::size_t u, double displayed_quality) {
+  UserState& user = users_.at(u);
+  user.viewed_quality_sum += displayed_quality;
+  ++user.viewed_slots;
+}
+
+void Server::on_delivery_acks(std::size_t u,
+                              const std::vector<content::VideoId>& acks) {
+  UserState& user = users_.at(u);
+  for (content::VideoId id : acks) user.delivered.mark_delivered(id);
+}
+
+void Server::on_release_acks(std::size_t u,
+                             const std::vector<content::VideoId>& acks) {
+  users_.at(u).delivered.mark_released(acks);
+}
+
+content::GridCell Server::clamped_cell(double x, double y) const {
+  content::GridCell cell = content::cell_for_position(x, y);
+  cell.gx = std::clamp(cell.gx, 0, content_db_.config().grid_width - 1);
+  cell.gy = std::clamp(cell.gy, 0, content_db_.config().grid_height - 1);
+  return cell;
+}
+
+core::SlotProblem Server::build_problem(std::size_t t) {
+  core::SlotProblem problem;
+  problem.params = config_.params;
+  problem.server_bandwidth = config_.server_bandwidth_mbps;
+  problem.users.reserve(users_.size());
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    UserState& user = users_[u];
+    const motion::Pose predicted = predict_pose(u);
+    const content::GridCell cell = clamped_cell(predicted.x, predicted.y);
+    const content::CrfRateFunction f = content_db_.frame_rate_function(cell);
+    const double b_hat = user.bandwidth.estimate_mbps();
+    const double qbar =
+        user.viewed_slots == 0
+            ? 0.0
+            : user.viewed_quality_sum / static_cast<double>(user.viewed_slots);
+
+    core::UserSlotContext ctx;
+    // Loss-aware mode decomposes success into (loss-free base) x
+    // (1 - frame_loss); the published mode folds everything into delta.
+    ctx.delta = config_.loss_aware ? user.base_accuracy.estimate()
+                                   : user.accuracy.estimate();
+    ctx.qbar = qbar;
+    ctx.slot = static_cast<double>(t);
+    ctx.user_bandwidth = b_hat;
+    ctx.rate.reserve(core::kNumQualityLevels);
+    ctx.delay.reserve(core::kNumQualityLevels);
+    for (core::QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
+      const double r = f.rate(q);
+      ctx.rate.push_back(r);
+      ctx.delay.push_back(user.delay.predict_ms(r, b_hat));
+      if (config_.loss_aware) {
+        // Frame-loss estimate at this level: utilisation the level would
+        // induce on the estimated link, times the packets actually at
+        // risk (repetition suppression retransmits only a fraction of
+        // the tile set each slot).
+        const double util = b_hat > 1e-9 ? std::min(1.0, r / b_hat) : 1.0;
+        const double packets = user.transmit_fraction * r *
+                               cvr::kSlotSeconds * 1e6 /
+                               config_.rtp_packet_bits;
+        ctx.frame_loss.push_back(user.loss.frame_loss(util, packets));
+      }
+    }
+    problem.users.push_back(std::move(ctx));
+  }
+  return problem;
+}
+
+TileRequest Server::make_request(std::size_t u, core::QualityLevel level) {
+  UserState& user = users_.at(u);
+  if (!content::is_valid_level(level)) {
+    throw std::out_of_range("Server::make_request: invalid level");
+  }
+  const motion::Pose predicted = predict_pose(u);
+  const content::GridCell cell = clamped_cell(predicted.x, predicted.y);
+  if (!user.cache_primed || !(cell == user.cached_cell)) {
+    user.cache.advance(cell);
+    user.cached_cell = cell;
+    user.cache_primed = true;
+  }
+
+  TileRequest request;
+  request.level = level;
+  const auto tile_indices = content::tiles_for_view(fov_for(u), predicted);
+  request.full_set.reserve(tile_indices.size());
+  for (int tile : tile_indices) {
+    const content::TileKey key{cell, tile, level};
+    const content::VideoId id = content::pack_video_id(key);
+    user.cache.lookup(id);
+    request.full_set.push_back(id);
+  }
+  request.tiles = config_.repetition_suppression
+                      ? user.delivered.filter_needed(request.full_set)
+                      : request.full_set;
+
+  auto set_megabits = [&](const std::vector<content::VideoId>& ids) {
+    double total = 0.0;
+    for (content::VideoId id : ids) {
+      total += content_db_.tile_size_megabits(content::unpack_video_id(id));
+    }
+    return total;
+  };
+
+  if (config_.fallback_prefetch) {
+    // Directional level-1 fallback: the cell one step along the user's
+    // estimated motion. A wrong-cell prediction then lands on content
+    // that is at least viewable at the lowest level (footnote 1).
+    const motion::Pose ahead = user.predictor->predict(6);
+    const double dx = ahead.x - predicted.x;
+    const double dy = ahead.y - predicted.y;
+    content::GridCell fallback = cell;
+    if (std::abs(dx) > std::abs(dy)) {
+      fallback.gx += dx > 0 ? 1 : -1;
+    } else if (std::abs(dy) > 0.0) {
+      fallback.gy += dy > 0 ? 1 : -1;
+    }
+    fallback.gx = std::clamp(fallback.gx, 0, content_db_.config().grid_width - 1);
+    fallback.gy = std::clamp(fallback.gy, 0, content_db_.config().grid_height - 1);
+    if (!(fallback == cell)) {
+      std::vector<content::VideoId> fallback_set;
+      for (int tile : tile_indices) {
+        fallback_set.push_back(content::pack_video_id({fallback, tile, 1}));
+      }
+      const auto needed = user.delivered.filter_needed(fallback_set);
+      // Insurance only when the link has headroom: never push the slot
+      // past the configured fraction of the bandwidth estimate.
+      const double with_fallback = cvr::megabits_to_slot_rate(
+          set_megabits(request.tiles) + set_megabits(needed));
+      if (with_fallback <= config_.fallback_headroom_fraction *
+                               user.bandwidth.estimate_mbps()) {
+        request.fallback_set = std::move(fallback_set);
+        request.tiles.insert(request.tiles.end(), needed.begin(), needed.end());
+      }
+    }
+  }
+
+  const double megabits = set_megabits(request.tiles);
+  request.demand_mbps = cvr::megabits_to_slot_rate(megabits);
+
+  // Track what fraction of the full tile set actually goes on the air
+  // (repetition suppression), for the loss-aware packet estimates.
+  double full_megabits = 0.0;
+  for (content::VideoId id : request.full_set) {
+    full_megabits += content_db_.tile_size_megabits(content::unpack_video_id(id));
+  }
+  if (full_megabits > 1e-12) {
+    constexpr double kFractionAlpha = 0.05;
+    user.transmit_fraction +=
+        kFractionAlpha * (megabits / full_megabits - user.transmit_fraction);
+  }
+  return request;
+}
+
+const content::ServerTileCache& Server::cache(std::size_t u) const {
+  return users_.at(u).cache;
+}
+
+double Server::bandwidth_estimate(std::size_t u) const {
+  return users_.at(u).bandwidth.estimate_mbps();
+}
+
+}  // namespace cvr::system

@@ -1,0 +1,184 @@
+// Server-side model: prediction, estimation, request generation.
+//
+// Owns, per user: the 6-DoF linear-regression predictor (fed by poses
+// arriving over the TCP side channel one slot late), the EMA bandwidth
+// estimator and polynomial delay predictor (Section V), the online
+// prediction-accuracy estimate delta_bar_n, the delivered-tile tracker
+// (repetitive-tile suppression), and the in-memory tile cache window.
+// Unlike the Section-IV simulator, everything the allocator sees here is
+// an *estimate* — this is where the robustness differences of Figs. 7/8
+// come from.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/content/content_db.h"
+#include "src/content/delivered_tracker.h"
+#include "src/content/equirect.h"
+#include "src/content/server_cache.h"
+#include "src/core/allocator.h"
+#include "src/motion/accuracy.h"
+#include "src/motion/fov.h"
+#include "src/motion/predictor.h"
+#include "src/motion/margin_controller.h"
+#include "src/net/estimators.h"
+#include "src/net/loss_estimator.h"
+
+namespace cvr::system {
+
+struct ServerConfig {
+  motion::FovSpec fov;
+  motion::PredictorConfig predictor;
+  /// Which prediction model drives the pipeline (Section II: "any
+  /// existing motion prediction model can be applied"). The linear kind
+  /// honours `predictor`; other kinds use their own defaults.
+  motion::PredictorKind predictor_kind =
+      motion::PredictorKind::kLinearRegression;
+  content::ContentDbConfig content;
+  content::ServerCacheConfig cache;
+  double ema_alpha = 0.2;
+  double initial_bandwidth_estimate_mbps = 40.0;
+  double server_bandwidth_mbps = 400.0;  ///< Nominal router aggregate.
+  core::QoeParams params{0.1, 0.5};      ///< Section VI values.
+  /// Section VIII extension: attach estimated per-level frame-loss
+  /// probabilities to the slot problem so loss-aware allocators can
+  /// discount undecodable frames. Off by default (the published model).
+  bool loss_aware = false;
+  double rtp_packet_bits = 9600.0;  ///< For packets-per-frame estimates.
+  /// Footnote-1 extension: also transmit the predicted-FoV tiles of the
+  /// *next cell along the user's motion direction* at the lowest quality
+  /// level, so a virtual-location misprediction degrades the frame to
+  /// level 1 instead of dropping it. Off by default (the paper leaves
+  /// location-error handling as future work).
+  bool fallback_prefetch = false;
+  /// The fallback is insurance, not load: it is only transmitted when
+  /// the slot's total demand stays under this fraction of the user's
+  /// estimated bandwidth (keeps the link away from the M/M/1 knee).
+  double fallback_headroom_fraction = 0.7;
+  /// Adaptive-margin extension: instead of the fixed margin of Section
+  /// II, each user's delivered margin tracks their measured prediction
+  /// success (see motion::MarginController). Off by default.
+  bool adaptive_margin = false;
+  motion::MarginControllerConfig margin_controller;
+  /// Section V "Handling repetitive tiles": skip retransmitting tiles
+  /// the client already holds. On by default (the shipped system);
+  /// turning it off quantifies the mechanism's bandwidth savings
+  /// (`bench/ablation_repetition`).
+  bool repetition_suppression = true;
+};
+
+/// One user's tile request for a slot.
+struct TileRequest {
+  core::QualityLevel level = 1;
+  std::vector<content::VideoId> tiles;      ///< After repetition filtering.
+  std::vector<content::VideoId> full_set;   ///< Before filtering.
+  /// Fallback-prefetch extension: the level-1 tile set of the next cell
+  /// along the motion direction (unfiltered; its filtered members are
+  /// already merged into `tiles`). Empty when the feature is off or the
+  /// user is stationary.
+  std::vector<content::VideoId> fallback_set;
+  double demand_mbps = 0.0;                 ///< Rate to send `tiles` this slot.
+};
+
+class Server {
+ public:
+  Server(ServerConfig config, std::size_t users);
+
+  std::size_t user_count() const { return users_.size(); }
+
+  /// Ingests the pose user `u` reported for slot `t` (already delayed by
+  /// the side channel).
+  void on_pose(std::size_t u, std::size_t t, const motion::Pose& pose);
+
+  /// Server-side pose prediction for the upcoming slot.
+  motion::Pose predict_pose(std::size_t u) const;
+
+  /// Feeds the bandwidth sample measured for user `u` (Mbps).
+  void on_bandwidth_sample(std::size_t u, double mbps);
+
+  /// Feeds a measured delivery delay for a slot where `rate_mbps` was sent.
+  void on_delay_sample(std::size_t u, double rate_mbps, double delay_ms);
+
+  /// Feeds a measured packet-loss fraction at the given utilisation
+  /// (Section VIII extension; harmless to call when loss_aware is off).
+  void on_loss_sample(std::size_t u, double utilization,
+                      double loss_fraction);
+
+  /// Feeds the realized viewing outcome (updates delta_bar_n). In the
+  /// published model this is the full "content correctly seen" signal —
+  /// prediction, loss, and deadline folded together.
+  void on_coverage_outcome(std::size_t u, bool hit);
+
+  /// Loss-aware mode only: the loss-free base outcome (prediction
+  /// coverage AND on-time display), so that packet loss is carried
+  /// exclusively by the per-level frame_loss table instead of being
+  /// double-counted inside delta_bar.
+  void on_base_outcome(std::size_t u, bool hit);
+
+  /// Updates qbar bookkeeping with the realized displayed-quality sample
+  /// (0 = nothing correct seen; may be a fallback level below the chosen
+  /// one).
+  void on_displayed_quality(std::size_t u, double displayed_quality);
+
+  /// Processes delivery / release ACKs from the client.
+  void on_delivery_acks(std::size_t u,
+                        const std::vector<content::VideoId>& acks);
+  void on_release_acks(std::size_t u,
+                       const std::vector<content::VideoId>& acks);
+
+  /// Builds the slot problem for slot `t` (1-based) from current
+  /// estimates. Delay tables come from each user's polynomial delay
+  /// predictor (M/M/1 analytic fallback until trained).
+  core::SlotProblem build_problem(std::size_t t);
+
+  /// Generates user `u`'s tile request at `level` for its predicted
+  /// pose: predicted-FoV tiles at that level, minus already-delivered
+  /// ones, priced via the content DB (also advances the tile cache).
+  TileRequest make_request(std::size_t u, core::QualityLevel level);
+
+  const content::ContentDb& content_db() const { return content_db_; }
+  const content::ServerTileCache& cache(std::size_t u) const;
+  double bandwidth_estimate(std::size_t u) const;
+
+  /// The FoV spec currently in force for user `u` (config fov with the
+  /// user's adaptive margin substituted when adaptive_margin is on).
+  motion::FovSpec fov_for(std::size_t u) const;
+
+ private:
+  struct UserState {
+    std::unique_ptr<motion::MotionPredictor> predictor;
+    motion::AccuracyEstimator accuracy;
+    motion::AccuracyEstimator base_accuracy;  ///< Loss-free (loss-aware mode).
+    net::EmaThroughputEstimator bandwidth;
+    net::DelayPredictor delay;
+    net::LossEstimator loss;
+    motion::MarginController margin;
+    content::DeliveredTileTracker delivered;
+    content::ServerTileCache cache;
+    // Running mean of viewed quality (qbar_n) via simple accumulation.
+    double viewed_quality_sum = 0.0;
+    std::size_t viewed_slots = 0;
+    motion::Pose last_pose;
+    bool has_pose = false;
+    // Cache-window anchoring: advance() is O(window^2) and only needed
+    // when the user enters a new cell.
+    content::GridCell cached_cell{};
+    bool cache_primed = false;
+    // EMA of (transmitted rate) / (full tile-set rate): repetition
+    // suppression means only this fraction of a frame's packets is at
+    // loss risk in a slot.
+    double transmit_fraction = 1.0;
+
+    explicit UserState(const ServerConfig& config);
+  };
+
+  content::GridCell clamped_cell(double x, double y) const;
+
+  ServerConfig config_;
+  content::ContentDb content_db_;
+  std::vector<UserState> users_;
+};
+
+}  // namespace cvr::system

@@ -1,0 +1,400 @@
+#include "src/system/system_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/net/mm1.h"
+#include "src/proto/messages.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace cvr::system {
+
+SystemSimConfig setup_one_router(std::size_t users) {
+  SystemSimConfig config;
+  config.users = users;
+  config.routers = 1;
+  config.router_aggregate_mbps = 400.0;
+  config.channel.interference = false;
+  // Section VI's heterogeneous handset fleet (Pixel 6/5/4).
+  config.devices = assign_devices(paper_fleet(), users);
+  return config;
+}
+
+SystemSimConfig setup_two_routers(std::size_t users) {
+  SystemSimConfig config;
+  config.users = users;
+  config.routers = 2;
+  config.router_aggregate_mbps = 400.0;  // 800 Mbps total across both.
+  config.channel.interference = true;
+  config.devices = assign_devices(paper_fleet(), users);
+  return config;
+}
+
+SystemSim::SystemSim(SystemSimConfig config) : config_(std::move(config)) {
+  if (config_.users == 0 || config_.routers == 0 || config_.slots == 0) {
+    throw std::invalid_argument("SystemSimConfig: zero users/routers/slots");
+  }
+  if (config_.throttle_pool_mbps.empty()) {
+    throw std::invalid_argument("SystemSimConfig: empty throttle pool");
+  }
+  if (config_.pose_upload_period == 0) {
+    throw std::invalid_argument("SystemSimConfig: zero pose upload period");
+  }
+}
+
+std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
+                                             std::size_t repeat,
+                                             Timeline* timeline) const {
+  const std::size_t n_users = config_.users;
+  const std::size_t n_routers = config_.routers;
+  allocator.reset();
+
+  cvr::SplitMix64 mixer(config_.seed ^
+                        (0x5957E3Cull + repeat * 0x9E3779B97F4A7C15ull));
+  cvr::Rng rng(mixer.next());
+
+  // Randomly assign TC throttles from the pool (Section VI).
+  std::vector<double> throttles(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(config_.throttle_pool_mbps.size()) - 1));
+    throttles[u] = config_.throttle_pool_mbps[pick];
+  }
+
+  // Users onto routers: the paper's contiguous group split, or
+  // round-robin interleaving.
+  std::vector<std::size_t> router_of(n_users);
+  std::vector<std::vector<std::size_t>> router_users(n_routers);
+  const std::size_t group = (n_users + n_routers - 1) / n_routers;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    const std::size_t r =
+        config_.router_assignment == RouterAssignment::kSplit
+            ? std::min(u / group, n_routers - 1)
+            : u % n_routers;
+    router_of[u] = r;
+    router_users[r].push_back(u);
+  }
+  std::vector<net::Router> routers;
+  routers.reserve(n_routers);
+  for (std::size_t r = 0; r < n_routers; ++r) {
+    std::vector<double> member_throttles;
+    for (std::size_t u : router_users[r]) member_throttles.push_back(throttles[u]);
+    routers.emplace_back(config_.router_aggregate_mbps,
+                         std::move(member_throttles), config_.channel,
+                         config_.seed + 7919 * (repeat + 1) + r);
+  }
+
+  // Server with the nominal aggregate the operator knows (Section VI).
+  ServerConfig server_config = config_.server;
+  server_config.server_bandwidth_mbps =
+      config_.router_aggregate_mbps * static_cast<double>(n_routers);
+  Server server(server_config, n_users);
+
+  motion::MotionGenerator motion_gen(config_.motion);
+  motion::FovSpec unmargined = server_config.fov;
+  unmargined.margin_deg = 0.0;
+
+  struct UserWorld {
+    motion::MotionTrace trace;
+    Client client;
+    net::RtpTransport transport;
+    core::UserQoeAccumulator qoe;
+    std::size_t hits = 0;
+  };
+  std::vector<UserWorld> worlds;
+  worlds.reserve(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    // Lecture mode: everyone replays the teacher's (user 0's) motion.
+    const std::uint64_t motion_user = config_.lecture_mode ? 0 : u;
+    const ClientConfig client_config =
+        config_.devices.empty()
+            ? config_.client
+            : config_.devices[u % config_.devices.size()].client_config(
+                  config_.client.display_deadline_ms);
+    worlds.push_back(UserWorld{
+        motion_gen.generate(config_.seed + 5000 * (repeat + 1), motion_user,
+                            config_.slots),
+        Client(client_config),
+        net::RtpTransport(config_.rtp,
+                          config_.seed + 31 * (repeat + 1) + 1000 + u),
+        core::UserQoeAccumulator(), 0});
+  }
+
+  for (std::size_t t = 0; t < config_.slots; ++t) {
+    for (auto& router : routers) router.step();
+
+    // Pose upload over the TCP side channel: one slot of latency, every
+    // pose_upload_period-th slot ("upload the trace to the server
+    // through TCP periodically"). The message rides the real wire format
+    // (encode -> decode), so the protocol codec is exercised by every
+    // simulated upload.
+    if (t >= 1 && (t - 1) % config_.pose_upload_period == 0) {
+      for (std::size_t u = 0; u < n_users; ++u) {
+        proto::PoseUpdate upload;
+        upload.user = static_cast<std::uint32_t>(u);
+        upload.slot = t - 1;
+        upload.pose = worlds[u].trace[t - 1];
+        const proto::PoseUpdate received =
+            proto::decode_pose_update(proto::encode(upload));
+        server.on_pose(received.user, received.slot, received.pose);
+      }
+    }
+
+    // Allocation from estimates only.
+    core::SlotProblem problem = server.build_problem(t + 1);
+    const core::Allocation allocation = allocator.allocate(problem);
+    if (allocation.levels.size() != n_users) {
+      throw std::logic_error("allocator returned wrong level count");
+    }
+
+    // Tile requests (repetition-filtered) and per-router service.
+    std::vector<TileRequest> requests;
+    requests.reserve(n_users);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      requests.push_back(server.make_request(u, allocation.levels[u]));
+    }
+
+    // Online rendering (Section VIII): tiles must be rendered+encoded
+    // within the slot before they can be transmitted; a late job ships
+    // nothing this slot.
+    if (config_.online_rendering) {
+      const render::RenderFarm farm(config_.render_farm);
+      std::vector<render::RenderJob> jobs;
+      jobs.reserve(n_users);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        jobs.push_back({u, requests[u].tiles.size(), allocation.levels[u]});
+      }
+      const render::RenderOutcome rendered = farm.schedule(jobs);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        if (!rendered.on_time[u]) {
+          requests[u].tiles.clear();
+          requests[u].fallback_set.clear();
+          requests[u].demand_mbps = 0.0;
+        }
+      }
+    }
+    std::vector<double> granted(n_users, 0.0);
+    for (std::size_t r = 0; r < n_routers; ++r) {
+      std::vector<double> demands;
+      demands.reserve(router_users[r].size());
+      for (std::size_t u : router_users[r]) {
+        demands.push_back(requests[u].demand_mbps);
+      }
+      const auto grants = routers[r].serve(demands);
+      for (std::size_t i = 0; i < router_users[r].size(); ++i) {
+        granted[router_users[r][i]] = grants[i];
+      }
+    }
+
+    for (std::size_t u = 0; u < n_users; ++u) {
+      UserWorld& world = worlds[u];
+      const TileRequest& request = requests[u];
+      const net::Router& router = routers[router_of[u]];
+      const double capacity = [&] {
+        const auto& members = router_users[router_of[u]];
+        const auto it = std::find(members.begin(), members.end(), u);
+        return router.per_user_capacity(
+            static_cast<std::size_t>(it - members.begin()));
+      }();
+
+      // Realized delivery delay (ms): M/M/1 on the live link if the
+      // router granted the full demand, saturated otherwise.
+      double delay_ms = 0.0;
+      if (request.demand_mbps > 1e-9) {
+        const bool fully_granted =
+            granted[u] + 1e-9 >= request.demand_mbps;
+        delay_ms = fully_granted
+                       ? net::mm1_delay(request.demand_mbps, capacity)
+                       : net::kSaturatedDelay;
+      }
+
+      // RTP transmission of each (filtered) tile.
+      const double utilization =
+          capacity > 1e-9
+              ? std::clamp(request.demand_mbps / capacity, 0.0, 1.0)
+              : 1.0;
+      SlotDelivery delivery;
+      delivery.delay_ms = delay_ms;
+      delivery.tiles = request.tiles;
+      delivery.complete.reserve(request.tiles.size());
+      std::uint64_t slot_packets = 0;
+      std::uint64_t slot_lost = 0;
+      double retx_delay_ms = 0.0;
+      for (content::VideoId id : request.tiles) {
+        const double megabits = server.content_db().tile_size_megabits(
+            content::unpack_video_id(id));
+        const auto tx =
+            config_.retransmit_rounds > 0
+                ? world.transport.send_tile_with_retx(
+                      megabits, utilization, config_.retransmit_rounds,
+                      granted[u])
+                : world.transport.send_tile(megabits, utilization);
+        slot_packets += tx.packets + tx.retransmitted;
+        slot_lost += tx.lost_packets;
+        retx_delay_ms = std::max(retx_delay_ms, tx.extra_delay_ms);
+        delivery.complete.push_back(tx.complete());
+      }
+      delivery.delay_ms += retx_delay_ms;
+      delay_ms += retx_delay_ms;
+
+      // Ground truth for this frame (evaluated against the margin
+      // actually delivered, which may be per-user when adaptive).
+      const motion::Pose& actual = world.trace[t];
+      const motion::Pose predicted = server.predict_pose(u);
+      const motion::FovSpec user_fov = server.fov_for(u);
+      const bool coverage_hit = motion::covers(user_fov, predicted, actual);
+
+      // Needed tiles: the actual FoV's (unmargined) tile indices, looked
+      // up at the *delivered* cell, gated separately by the position
+      // tolerance (footnote 1: the margin never fixes position misses).
+      const bool position_ok =
+          predicted.position_distance(actual) <= user_fov.position_tolerance_m;
+      std::vector<content::VideoId> needed;
+      if (!request.full_set.empty()) {
+        const content::TileKey delivered_key =
+            content::unpack_video_id(request.full_set.front());
+        for (int tile : content::tiles_for_view(unmargined, actual)) {
+          needed.push_back(content::pack_video_id(
+              {delivered_key.cell, tile, allocation.levels[u]}));
+        }
+      }
+
+      const DisplayOutcome outcome = world.client.process_slot(delivery, needed);
+      const bool viewed = outcome.correct_content && position_ok;
+
+      // Footnote-1 fallback: on a position miss, the frame can still
+      // show the prefetched next cell at level 1 if the user actually
+      // moved there and its tiles are resident.
+      double displayed_quality =
+          viewed ? static_cast<double>(allocation.levels[u]) : 0.0;
+      if (!viewed && outcome.frame_on_time && !request.fallback_set.empty()) {
+        const content::TileKey fallback_key =
+            content::unpack_video_id(request.fallback_set.front());
+        const double cell_m = content::kGridCellMeters;
+        const double fx = fallback_key.cell.gx * cell_m;
+        const double fy = fallback_key.cell.gy * cell_m;
+        const double dist = std::hypot(actual.x - fx, actual.y - fy);
+        const bool orientation_ok =
+            std::abs(motion::angular_difference(predicted.yaw, actual.yaw)) <=
+                user_fov.margin_deg &&
+            std::abs(predicted.pitch - actual.pitch) <= user_fov.margin_deg;
+        if (dist <= user_fov.position_tolerance_m && orientation_ok) {
+          bool resident = true;
+          for (int tile : content::tiles_for_view(unmargined, actual)) {
+            if (!world.client.buffer().contains(content::pack_video_id(
+                    {fallback_key.cell, tile, 1}))) {
+              resident = false;
+              break;
+            }
+          }
+          if (resident) displayed_quality = 1.0;
+        }
+      }
+
+      // QoE bookkeeping (accounting delay capped; see config).
+      world.qoe.record_displayed(
+          allocation.levels[u], displayed_quality,
+          std::min(delay_ms, config_.delay_accounting_cap_ms));
+      if (coverage_hit) ++world.hits;
+
+      // Feedback to the server. The coverage outcome the real client can
+      // report is whether the *delivered* portion covered what the user
+      // actually saw — prediction misses AND loss/deadline casualties
+      // both surface here. Feeding the realized outcome into delta_bar
+      // is the negative-feedback loop that makes the delta-aware
+      // allocator robust to network degradation (Fig. 8) while
+      // delta-oblivious baselines keep overcommitting.
+      server.on_coverage_outcome(u, viewed);
+      // Loss-free base channel for the loss-aware decomposition:
+      // prediction covered AND the frame displayed on time.
+      server.on_base_outcome(u, coverage_hit && outcome.frame_on_time);
+      server.on_displayed_quality(u, displayed_quality);
+      // ACKs also cross the TCP side channel in wire format.
+      if (!outcome.delivery_acks.empty()) {
+        proto::DeliveryAck ack;
+        ack.user = static_cast<std::uint32_t>(u);
+        ack.slot = t;
+        ack.tiles = outcome.delivery_acks;
+        server.on_delivery_acks(
+            u, proto::decode_delivery_ack(proto::encode(ack)).tiles);
+      }
+      if (!outcome.release_acks.empty()) {
+        proto::ReleaseAck ack;
+        ack.user = static_cast<std::uint32_t>(u);
+        ack.slot = t;
+        ack.tiles = outcome.release_acks;
+        server.on_release_acks(
+            u, proto::decode_release_ack(proto::encode(ack)).tiles);
+      }
+      if (request.demand_mbps > 1e-9) {
+        server.on_delay_sample(
+            u, request.demand_mbps,
+            std::min(delay_ms, config_.delay_measurement_window_ms));
+      }
+      if (slot_packets > 0) {
+        server.on_loss_sample(u, utilization,
+                              static_cast<double>(slot_lost) /
+                                  static_cast<double>(slot_packets));
+      }
+      // Bandwidth measurement: the achieved rate during the busy period
+      // tracks the live capacity, observed with multiplicative noise.
+      const double measured =
+          capacity * rng.lognormal(0.0, config_.bandwidth_measurement_sigma);
+      server.on_bandwidth_sample(u, measured);
+
+      if (timeline != nullptr) {
+        SlotRecord record;
+        record.slot = t;
+        record.user = u;
+        record.level = allocation.levels[u];
+        record.delta_estimate = problem.users[u].delta;
+        record.bandwidth_estimate_mbps = problem.users[u].user_bandwidth;
+        record.demand_mbps = request.demand_mbps;
+        record.granted_mbps = granted[u];
+        record.capacity_mbps = capacity;
+        record.delay_ms = delay_ms;
+        record.packets = slot_packets;
+        record.packets_lost = slot_lost;
+        record.frame_on_time = outcome.frame_on_time;
+        record.displayed_quality = displayed_quality;
+        timeline->add(record);
+      }
+    }
+  }
+
+  std::vector<sim::UserOutcome> outcomes;
+  outcomes.reserve(n_users);
+  for (const auto& world : worlds) {
+    const double hit_rate =
+        static_cast<double>(world.hits) / static_cast<double>(config_.slots);
+    const double fps = static_cast<double>(world.client.frames_displayed()) /
+                       static_cast<double>(config_.slots) / cvr::kSlotSeconds;
+    outcomes.push_back(sim::make_outcome(world.qoe, config_.server.params,
+                                         hit_rate, fps));
+  }
+  return outcomes;
+}
+
+std::vector<sim::ArmResult> SystemSim::compare(
+    const std::vector<core::Allocator*>& allocators,
+    std::size_t repeats) const {
+  std::vector<sim::ArmResult> results;
+  results.reserve(allocators.size());
+  for (core::Allocator* allocator : allocators) {
+    if (allocator == nullptr) {
+      throw std::invalid_argument("compare: null allocator");
+    }
+    sim::ArmResult arm;
+    arm.algorithm = std::string(allocator->name());
+    for (std::size_t r = 0; r < repeats; ++r) {
+      auto outcomes = run(*allocator, r);
+      arm.outcomes.insert(arm.outcomes.end(), outcomes.begin(), outcomes.end());
+    }
+    results.push_back(std::move(arm));
+  }
+  return results;
+}
+
+}  // namespace cvr::system

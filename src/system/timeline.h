@@ -1,0 +1,103 @@
+// Per-slot instrumentation of the system emulation.
+//
+// When a Timeline is attached to SystemSim::run, every (slot, user) pair
+// appends one record of what the scheduler saw (estimates), what it
+// decided (level, demand), and what the network did to it (granted rate,
+// delay, loss, display outcome). This is the flight recorder you reach
+// for when a QoE regression needs explaining — and the raw material for
+// time-series plots the aggregate metrics can't show.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/content/quality.h"
+#include "src/util/csv.h"
+
+namespace cvr::system {
+
+struct SlotRecord {
+  std::size_t slot = 0;
+  std::size_t user = 0;
+  content::QualityLevel level = 1;       ///< Allocator's choice.
+  double delta_estimate = 0.0;           ///< delta_bar fed to h_n.
+  double bandwidth_estimate_mbps = 0.0;  ///< EMA the allocator saw.
+  double demand_mbps = 0.0;              ///< After repetition filtering.
+  double granted_mbps = 0.0;             ///< Router's max-min grant.
+  double capacity_mbps = 0.0;            ///< True air-link capacity.
+  double delay_ms = 0.0;                 ///< Realized delivery delay.
+  std::size_t packets = 0;               ///< RTP packets sent (incl. retx).
+  std::size_t packets_lost = 0;
+  bool frame_on_time = false;
+  double displayed_quality = 0.0;        ///< 0, fallback, or level.
+};
+
+class Timeline {
+ public:
+  void add(const SlotRecord& record) { records_.push_back(record); }
+  void clear() { records_.clear(); }
+
+  const std::vector<SlotRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Records of one user, in slot order.
+  std::vector<SlotRecord> for_user(std::size_t user) const {
+    std::vector<SlotRecord> out;
+    for (const auto& r : records_) {
+      if (r.user == user) out.push_back(r);
+    }
+    return out;
+  }
+
+  /// Fraction of records where the link was saturated (demand exceeded
+  /// the grant) — the congestion indicator for a run.
+  double saturation_fraction() const {
+    if (records_.empty()) return 0.0;
+    std::size_t saturated = 0;
+    for (const auto& r : records_) {
+      if (r.demand_mbps > r.granted_mbps + 1e-9) ++saturated;
+    }
+    return static_cast<double>(saturated) /
+           static_cast<double>(records_.size());
+  }
+
+  /// Mean absolute bandwidth-estimation error (estimate vs true
+  /// capacity): the "imperfect information" a run suffered.
+  double mean_bandwidth_error_mbps() const {
+    if (records_.empty()) return 0.0;
+    double total = 0.0;
+    for (const auto& r : records_) {
+      total += std::abs(r.bandwidth_estimate_mbps - r.capacity_mbps);
+    }
+    return total / static_cast<double>(records_.size());
+  }
+
+  /// Full dump: one CSV row per record, headered.
+  CsvTable to_csv() const {
+    CsvTable table;
+    table.header = {"slot",         "user",          "level",
+                    "delta_est",    "bandwidth_est", "demand_mbps",
+                    "granted_mbps", "capacity_mbps", "delay_ms",
+                    "packets",      "packets_lost",  "frame_on_time",
+                    "displayed_quality"};
+    table.rows.reserve(records_.size());
+    for (const auto& r : records_) {
+      table.rows.push_back({static_cast<double>(r.slot),
+                            static_cast<double>(r.user),
+                            static_cast<double>(r.level), r.delta_estimate,
+                            r.bandwidth_estimate_mbps, r.demand_mbps,
+                            r.granted_mbps, r.capacity_mbps, r.delay_ms,
+                            static_cast<double>(r.packets),
+                            static_cast<double>(r.packets_lost),
+                            r.frame_on_time ? 1.0 : 0.0,
+                            r.displayed_quality});
+    }
+    return table;
+  }
+
+ private:
+  std::vector<SlotRecord> records_;
+};
+
+}  // namespace cvr::system

@@ -1,0 +1,45 @@
+#include "src/trace/fcc_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::trace {
+
+FccGenerator::FccGenerator(FccGeneratorConfig config) : config_(config) {
+  if (config_.duration_s <= 0.0 || config_.min_mbps < 0.0 ||
+      config_.max_mbps <= config_.min_mbps || config_.mean_dwell_s <= 0.0) {
+    throw std::invalid_argument("FccGeneratorConfig: invalid parameters");
+  }
+}
+
+NetworkTrace FccGenerator::generate(std::uint64_t seed,
+                                    std::uint64_t index) const {
+  // Mix seed and index so per-user traces are independent streams.
+  SplitMix64 mixer(seed ^ (0xA5A5A5A5DEADBEEFull + index * 0x9E3779B97F4A7C15ull));
+  Rng rng(mixer.next());
+
+  const double mu = std::log(config_.median_mbps);
+  std::vector<TraceSegment> segments;
+  double elapsed = 0.0;
+  double log_level = rng.normal(mu, config_.sigma_log);
+  while (elapsed < config_.duration_s) {
+    const double dwell = std::max(
+        config_.min_dwell_s, rng.exponential(1.0 / config_.mean_dwell_s));
+    const double take = std::min(dwell, config_.duration_s - elapsed);
+    const double mbps =
+        std::clamp(std::exp(log_level), config_.min_mbps, config_.max_mbps);
+    segments.push_back({take, mbps});
+    elapsed += take;
+    // AR(1) in log domain: rho * previous + innovation.
+    const double rho = config_.level_correlation;
+    const double innovation =
+        rng.normal(mu, config_.sigma_log) - mu;
+    log_level = mu + rho * (log_level - mu) +
+                std::sqrt(std::max(0.0, 1.0 - rho * rho)) * innovation;
+  }
+  return NetworkTrace("fcc-" + std::to_string(seed) + "-" + std::to_string(index),
+                      std::move(segments));
+}
+
+}  // namespace cvr::trace

@@ -1,0 +1,44 @@
+// Synthetic FCC-broadband-style throughput traces.
+//
+// The paper draws half of its traces from the "Web browsing" category of
+// the FCC Measuring Broadband America raw data (March 2021 collection).
+// Those logs are per-connection throughput samples where a measured level
+// persists for several seconds. We reproduce the statistical shape the
+// simulation consumes (DESIGN.md Section 3): piecewise-constant levels
+// with multi-second dwell times, a heavy-tailed (log-normal) level
+// distribution, mild autocorrelation between consecutive levels, clipped
+// to the paper's 20-100 Mbps working range.
+#pragma once
+
+#include <cstdint>
+
+#include "src/trace/network_trace.h"
+#include "src/util/rng.h"
+
+namespace cvr::trace {
+
+struct FccGeneratorConfig {
+  double duration_s = 300.0;   ///< Section IV uses 300 s traces.
+  double min_mbps = 20.0;      ///< Clip floor ("avoid trivial selection").
+  double max_mbps = 100.0;     ///< Clip ceiling.
+  double median_mbps = 55.0;   ///< Log-normal median of the level process.
+  double sigma_log = 0.45;     ///< Log-domain spread (heavy tail).
+  double mean_dwell_s = 5.0;   ///< Mean seconds a level persists.
+  double min_dwell_s = 1.0;    ///< Floor on dwell time.
+  double level_correlation = 0.3;  ///< AR(1) mixing of consecutive levels.
+};
+
+/// Deterministic generator: the same (config, seed, index) triple always
+/// produces the same trace.
+class FccGenerator {
+ public:
+  explicit FccGenerator(FccGeneratorConfig config = {});
+
+  /// Generates the `index`-th trace of the stream identified by `seed`.
+  NetworkTrace generate(std::uint64_t seed, std::uint64_t index = 0) const;
+
+ private:
+  FccGeneratorConfig config_;
+};
+
+}  // namespace cvr::trace

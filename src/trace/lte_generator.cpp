@@ -1,0 +1,50 @@
+#include "src/trace/lte_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::trace {
+
+LteGenerator::LteGenerator(LteGeneratorConfig config) : config_(config) {
+  if (config_.duration_s <= 0.0 || config_.sample_period_s <= 0.0 ||
+      config_.max_mbps <= config_.min_mbps ||
+      config_.ar_coefficient < 0.0 || config_.ar_coefficient >= 1.0) {
+    throw std::invalid_argument("LteGeneratorConfig: invalid parameters");
+  }
+}
+
+NetworkTrace LteGenerator::generate(std::uint64_t seed,
+                                    std::uint64_t index) const {
+  SplitMix64 mixer(seed ^ (0xC3C3C3C35A5A5A5Aull + index * 0xD1B54A32D192ED03ull));
+  Rng rng(mixer.next());
+
+  const double mu = std::log(config_.median_mbps);
+  const double rho = config_.ar_coefficient;
+  const double innovation_sigma =
+      config_.sigma_log * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+
+  std::vector<TraceSegment> segments;
+  double log_level = rng.normal(mu, config_.sigma_log);
+  bool fading = false;
+  double elapsed = 0.0;
+  while (elapsed < config_.duration_s) {
+    const double take =
+        std::min(config_.sample_period_s, config_.duration_s - elapsed);
+    if (fading) {
+      if (rng.bernoulli(config_.fade_exit_prob)) fading = false;
+    } else if (rng.bernoulli(config_.fade_enter_prob)) {
+      fading = true;
+    }
+    double mbps = std::exp(log_level);
+    if (fading) mbps *= config_.fade_depth;
+    mbps = std::clamp(mbps, config_.min_mbps, config_.max_mbps);
+    segments.push_back({take, mbps});
+    elapsed += take;
+    log_level = mu + rho * (log_level - mu) + rng.normal(0.0, innovation_sigma);
+  }
+  return NetworkTrace("lte-" + std::to_string(seed) + "-" + std::to_string(index),
+                      std::move(segments));
+}
+
+}  // namespace cvr::trace

@@ -1,0 +1,41 @@
+// Synthetic 4G/LTE (Ghent-dataset-style) throughput traces.
+//
+// The other half of the paper's traces come from the Ghent University
+// HTTP/2-over-LTE dataset (40 logs, ~5 h total; the paper reuses logs
+// because the dataset is small). Mobile LTE throughput differs from fixed
+// broadband: sampled at ~1 s granularity, strongly autocorrelated, with
+// occasional deep fades (handover / coverage dips). We reproduce that
+// shape with an AR(1)-in-log process plus a two-state fade chain.
+#pragma once
+
+#include <cstdint>
+
+#include "src/trace/network_trace.h"
+#include "src/util/rng.h"
+
+namespace cvr::trace {
+
+struct LteGeneratorConfig {
+  double duration_s = 300.0;
+  double sample_period_s = 1.0;  ///< Ghent logs are per-second.
+  double min_mbps = 20.0;
+  double max_mbps = 100.0;
+  double median_mbps = 45.0;
+  double sigma_log = 0.35;
+  double ar_coefficient = 0.85;   ///< Strong temporal correlation.
+  double fade_enter_prob = 0.02;  ///< Per-sample chance to enter a fade.
+  double fade_exit_prob = 0.25;   ///< Per-sample chance to leave a fade.
+  double fade_depth = 0.45;       ///< Multiplier applied while fading.
+};
+
+class LteGenerator {
+ public:
+  explicit LteGenerator(LteGeneratorConfig config = {});
+
+  NetworkTrace generate(std::uint64_t seed, std::uint64_t index = 0) const;
+
+ private:
+  LteGeneratorConfig config_;
+};
+
+}  // namespace cvr::trace

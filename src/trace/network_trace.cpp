@@ -1,0 +1,161 @@
+#include "src/trace/network_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace cvr::trace {
+
+NetworkTrace::NetworkTrace(std::string name, std::vector<TraceSegment> segments)
+    : name_(std::move(name)), segments_(std::move(segments)) {
+  for (const auto& seg : segments_) {
+    if (!std::isfinite(seg.duration_s) || seg.duration_s <= 0.0) {
+      throw std::invalid_argument("NetworkTrace: non-positive segment duration");
+    }
+    if (!std::isfinite(seg.mbps) || seg.mbps < 0.0) {
+      throw std::invalid_argument(
+          "NetworkTrace: negative or non-finite throughput");
+    }
+    total_duration_ += seg.duration_s;
+  }
+}
+
+double NetworkTrace::bandwidth_at(double time_s) const {
+  if (segments_.empty()) {
+    throw std::logic_error("NetworkTrace::bandwidth_at on empty trace");
+  }
+  double t = std::fmod(time_s, total_duration_);
+  if (t < 0.0) t += total_duration_;
+  for (const auto& seg : segments_) {
+    if (t < seg.duration_s) return seg.mbps;
+    t -= seg.duration_s;
+  }
+  return segments_.back().mbps;  // floating-point edge at exactly the end
+}
+
+double NetworkTrace::mean_mbps() const {
+  if (segments_.empty() || total_duration_ <= 0.0) return 0.0;
+  double weighted = 0.0;
+  for (const auto& seg : segments_) weighted += seg.duration_s * seg.mbps;
+  return weighted / total_duration_;
+}
+
+void NetworkTrace::clip(double lo_mbps, double hi_mbps) {
+  for (auto& seg : segments_) seg.mbps = std::clamp(seg.mbps, lo_mbps, hi_mbps);
+}
+
+NetworkTrace NetworkTrace::resampled_to(double seconds) const {
+  if (segments_.empty()) {
+    throw std::logic_error("NetworkTrace::resampled_to on empty trace");
+  }
+  std::vector<TraceSegment> out;
+  double remaining = seconds;
+  std::size_t i = 0;
+  while (remaining > 1e-12) {
+    const TraceSegment& seg = segments_[i % segments_.size()];
+    const double take = std::min(seg.duration_s, remaining);
+    out.push_back({take, seg.mbps});
+    remaining -= take;
+    ++i;
+  }
+  return NetworkTrace(name_ + "@" + std::to_string(seconds) + "s", std::move(out));
+}
+
+TraceStats summarize_trace(const NetworkTrace& trace) {
+  if (trace.empty()) {
+    throw std::invalid_argument("summarize_trace: empty trace");
+  }
+  TraceStats stats;
+  stats.duration_s = trace.duration_s();
+  stats.segments = trace.segments().size();
+  stats.mean_mbps = trace.mean_mbps();
+
+  double weighted_sq = 0.0;
+  double dwell_sum = 0.0;
+  stats.min_mbps = trace.segments().front().mbps;
+  stats.max_mbps = stats.min_mbps;
+  for (const auto& seg : trace.segments()) {
+    const double dev = seg.mbps - stats.mean_mbps;
+    weighted_sq += seg.duration_s * dev * dev;
+    dwell_sum += seg.duration_s;
+    stats.min_mbps = std::min(stats.min_mbps, seg.mbps);
+    stats.max_mbps = std::max(stats.max_mbps, seg.mbps);
+    stats.max_dwell_s = std::max(stats.max_dwell_s, seg.duration_s);
+  }
+  stats.std_mbps = std::sqrt(weighted_sq / stats.duration_s);
+  stats.mean_dwell_s = dwell_sum / static_cast<double>(stats.segments);
+
+  // Time-weighted median: sort segments by mbps, walk until half the
+  // duration is covered.
+  std::vector<TraceSegment> sorted(trace.segments());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceSegment& a, const TraceSegment& b) {
+              return a.mbps < b.mbps;
+            });
+  double covered = 0.0;
+  stats.p50_mbps = sorted.back().mbps;
+  for (const auto& seg : sorted) {
+    covered += seg.duration_s;
+    if (covered >= stats.duration_s / 2.0) {
+      stats.p50_mbps = seg.mbps;
+      break;
+    }
+  }
+  return stats;
+}
+
+NetworkTrace scaled(const NetworkTrace& trace, double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("scaled: non-positive factor");
+  }
+  std::vector<TraceSegment> segments = trace.segments();
+  for (auto& seg : segments) seg.mbps *= factor;
+  return NetworkTrace(trace.name() + "*" + std::to_string(factor),
+                      std::move(segments));
+}
+
+NetworkTrace concatenated(const NetworkTrace& a, const NetworkTrace& b) {
+  std::vector<TraceSegment> segments = a.segments();
+  segments.insert(segments.end(), b.segments().begin(), b.segments().end());
+  return NetworkTrace(a.name() + "+" + b.name(), std::move(segments));
+}
+
+NetworkTrace with_noise(const NetworkTrace& trace, double sigma,
+                        std::uint64_t seed) {
+  if (sigma < 0.0) {
+    throw std::invalid_argument("with_noise: negative sigma");
+  }
+  cvr::Rng rng(seed);
+  std::vector<TraceSegment> segments = trace.segments();
+  for (auto& seg : segments) seg.mbps *= rng.lognormal(0.0, sigma);
+  return NetworkTrace(trace.name() + "~" + std::to_string(sigma),
+                      std::move(segments));
+}
+
+SlotMapper::SlotMapper(const NetworkTrace& trace, double slot_seconds)
+    : trace_(&trace), slot_seconds_(slot_seconds) {
+  if (trace.empty()) {
+    throw std::invalid_argument("SlotMapper: empty trace");
+  }
+  if (slot_seconds <= 0.0) {
+    throw std::invalid_argument("SlotMapper: non-positive slot duration");
+  }
+}
+
+double SlotMapper::bandwidth_for_slot(std::size_t slot) const {
+  // A slot takes the bandwidth active at its start time, matching the
+  // paper's "multiple continuous slots share the same bandwidth".
+  return trace_->bandwidth_at(static_cast<double>(slot) * slot_seconds_);
+}
+
+std::vector<double> SlotMapper::series(std::size_t slots) const {
+  std::vector<double> out;
+  out.reserve(slots);
+  for (std::size_t t = 0; t < slots; ++t) out.push_back(bandwidth_for_slot(t));
+  return out;
+}
+
+}  // namespace cvr::trace

@@ -1,0 +1,116 @@
+// Network throughput traces.
+//
+// Section IV: "the network throughput in the dataset usually lasts for
+// several seconds for each point, which is far larger than the interval
+// between each time slot (15ms under 66 FPS). Therefore, we just let
+// multiple continuous slots share the same bandwidth until their
+// cumulative time reaches the trace's duration."
+//
+// A NetworkTrace is a piecewise-constant throughput signal: an ordered
+// list of (duration seconds, Mbps) segments. SlotMapper converts it to a
+// per-slot bandwidth series exactly as described above, wrapping around
+// when the simulated horizon outlives the trace (the paper reuses short
+// Ghent logs the same way).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace cvr::trace {
+
+struct TraceSegment {
+  double duration_s = 0.0;  ///< How long this throughput level persists.
+  double mbps = 0.0;        ///< Available throughput during the segment.
+};
+
+class NetworkTrace {
+ public:
+  NetworkTrace() = default;
+  NetworkTrace(std::string name, std::vector<TraceSegment> segments);
+
+  const std::string& name() const { return name_; }
+  const std::vector<TraceSegment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+  /// Total wall-clock length of the trace in seconds.
+  double duration_s() const { return total_duration_; }
+
+  /// Throughput at absolute time t (seconds), wrapping past the end.
+  /// Requires a non-empty trace.
+  double bandwidth_at(double time_s) const;
+
+  /// Time-weighted mean throughput. 0 for an empty trace.
+  double mean_mbps() const;
+
+  /// Clips every segment's throughput into [lo, hi] Mbps (Section IV sets
+  /// 20..100 "to avoid trivial video quality selection").
+  void clip(double lo_mbps, double hi_mbps);
+
+  /// Truncates or extends (by wrapping) the trace to exactly `seconds`.
+  NetworkTrace resampled_to(double seconds) const;
+
+ private:
+  std::string name_;
+  std::vector<TraceSegment> segments_;
+  double total_duration_ = 0.0;
+};
+
+/// Workload-characterisation statistics of a trace (the "dataset table"
+/// of a networking paper): time-weighted bandwidth moments and dwell-
+/// time distribution.
+struct TraceStats {
+  double duration_s = 0.0;
+  std::size_t segments = 0;
+  double mean_mbps = 0.0;      ///< Time-weighted.
+  double std_mbps = 0.0;       ///< Time-weighted.
+  double min_mbps = 0.0;
+  double p50_mbps = 0.0;       ///< Time-weighted median.
+  double max_mbps = 0.0;
+  double mean_dwell_s = 0.0;   ///< Mean segment duration.
+  double max_dwell_s = 0.0;
+};
+
+/// Computes TraceStats. Throws std::invalid_argument on an empty trace.
+TraceStats summarize_trace(const NetworkTrace& trace);
+
+// ---- Trace transformations (what-if experiment building blocks) ----
+
+/// Multiplies every segment's throughput by `factor` (> 0): "what if
+/// the network were 2x faster / half as fast".
+NetworkTrace scaled(const NetworkTrace& trace, double factor);
+
+/// Plays `a`, then `b`: regime-change experiments (e.g. broadband at
+/// home, LTE on the move).
+NetworkTrace concatenated(const NetworkTrace& a, const NetworkTrace& b);
+
+/// Multiplies each segment's throughput by an independent log-normal
+/// factor exp(N(0, sigma^2)): measurement jitter / small-scale fading on
+/// top of a measured trace. Deterministic in `seed`.
+NetworkTrace with_noise(const NetworkTrace& trace, double sigma,
+                        std::uint64_t seed);
+
+/// Walks a trace slot by slot. Consecutive slots share a segment's
+/// bandwidth until the cumulative slot time exhausts the segment.
+class SlotMapper {
+ public:
+  explicit SlotMapper(const NetworkTrace& trace,
+                      double slot_seconds = kSlotSeconds);
+
+  /// Bandwidth (Mbps) of slot `t` (0-based). Wraps around trace end.
+  double bandwidth_for_slot(std::size_t slot) const;
+
+  /// Materialises the first `slots` slots.
+  std::vector<double> series(std::size_t slots) const;
+
+  double slot_seconds() const { return slot_seconds_; }
+
+ private:
+  const NetworkTrace* trace_;
+  double slot_seconds_;
+};
+
+}  // namespace cvr::trace

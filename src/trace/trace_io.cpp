@@ -1,0 +1,78 @@
+#include "src/trace/trace_io.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/csv.h"
+
+namespace cvr::trace {
+
+NetworkTrace trace_from_csv(const std::string& name, const std::string& text) {
+  const CsvTable table = parse_csv(text);
+  std::vector<TraceSegment> segments;
+  segments.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    if (row.size() != 2) {
+      throw std::runtime_error("trace csv: expected 2 columns, got " +
+                               std::to_string(row.size()));
+    }
+    segments.push_back({row[0], row[1]});
+  }
+  return NetworkTrace(name, std::move(segments));
+}
+
+NetworkTrace load_trace(const std::string& path) {
+  const CsvTable table = read_csv_file(path);
+  std::vector<TraceSegment> segments;
+  segments.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    if (row.size() != 2) {
+      throw std::runtime_error("trace csv: expected 2 columns in " + path);
+    }
+    segments.push_back({row[0], row[1]});
+  }
+  return NetworkTrace(path, std::move(segments));
+}
+
+std::string trace_to_csv(const NetworkTrace& trace) {
+  CsvTable table;
+  table.header = {"duration_s", "mbps"};
+  table.rows.reserve(trace.segments().size());
+  for (const auto& seg : trace.segments()) {
+    table.rows.push_back({seg.duration_s, seg.mbps});
+  }
+  return to_csv(table);
+}
+
+void save_trace(const std::string& path, const NetworkTrace& trace) {
+  CsvTable table;
+  table.header = {"duration_s", "mbps"};
+  for (const auto& seg : trace.segments()) {
+    table.rows.push_back({seg.duration_s, seg.mbps});
+  }
+  write_csv_file(path, table);
+}
+
+std::vector<NetworkTrace> load_trace_directory(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    throw std::runtime_error("load_trace_directory: not a directory: " +
+                             directory);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<NetworkTrace> traces;
+  traces.reserve(paths.size());
+  for (const auto& path : paths) traces.push_back(load_trace(path));
+  return traces;
+}
+
+}  // namespace cvr::trace

@@ -1,0 +1,32 @@
+// CSV import/export for network traces, so users can feed real FCC/Ghent
+// logs into the simulator instead of the synthetic generators. Format:
+// two numeric columns `duration_s,mbps` (header optional, # comments ok).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/trace/network_trace.h"
+
+namespace cvr::trace {
+
+/// Parses a trace from CSV text. Throws std::runtime_error on malformed
+/// input (wrong column count, non-positive durations, negative rates).
+NetworkTrace trace_from_csv(const std::string& name, const std::string& text);
+
+/// Loads a trace from a CSV file; the trace name is the path.
+NetworkTrace load_trace(const std::string& path);
+
+/// Serialises a trace to CSV text with a header row.
+std::string trace_to_csv(const NetworkTrace& trace);
+
+/// Writes a trace to a CSV file.
+void save_trace(const std::string& path, const NetworkTrace& trace);
+
+/// Loads every `*.csv` file in a directory (non-recursive, sorted by
+/// filename for determinism) as a trace pool. Throws std::runtime_error
+/// if the directory is unreadable or any file is malformed; returns an
+/// empty vector for a directory with no CSV files.
+std::vector<NetworkTrace> load_trace_directory(const std::string& directory);
+
+}  // namespace cvr::trace

@@ -1,0 +1,60 @@
+#include "src/trace/trace_repository.h"
+
+#include <stdexcept>
+
+namespace cvr::trace {
+
+TraceRepository::TraceRepository(TraceRepositoryConfig config,
+                                 std::uint64_t seed) {
+  if (config.fcc_pool_size == 0 || config.lte_pool_size == 0) {
+    throw std::invalid_argument("TraceRepository: empty pool");
+  }
+  FccGenerator fcc_gen(config.fcc);
+  LteGenerator lte_gen(config.lte);
+  fcc_pool_.reserve(config.fcc_pool_size);
+  for (std::size_t i = 0; i < config.fcc_pool_size; ++i) {
+    fcc_pool_.push_back(fcc_gen.generate(seed, i));
+  }
+  lte_pool_.reserve(config.lte_pool_size);
+  for (std::size_t i = 0; i < config.lte_pool_size; ++i) {
+    lte_pool_.push_back(lte_gen.generate(seed + 1, i));
+  }
+}
+
+TraceRepository::TraceRepository(std::vector<NetworkTrace> fcc_pool,
+                                 std::vector<NetworkTrace> lte_pool)
+    : fcc_pool_(std::move(fcc_pool)), lte_pool_(std::move(lte_pool)) {
+  if (fcc_pool_.empty() || lte_pool_.empty()) {
+    throw std::invalid_argument("TraceRepository: empty external pool");
+  }
+  for (const auto& pool : {&fcc_pool_, &lte_pool_}) {
+    for (const auto& trace : *pool) {
+      if (trace.empty()) {
+        throw std::invalid_argument("TraceRepository: empty trace in pool");
+      }
+    }
+  }
+}
+
+const NetworkTrace& TraceRepository::assign(std::size_t run,
+                                            std::size_t user) const {
+  // Even users -> FCC pool, odd users -> LTE pool ("half ... half").
+  // The rotation uses a large odd stride so consecutive runs do not walk
+  // the pools in lockstep.
+  if (user % 2 == 0) {
+    const std::size_t idx = (user / 2 + run * 31) % fcc_pool_.size();
+    return fcc_pool_[idx];
+  }
+  const std::size_t idx = (user / 2 + run * 17) % lte_pool_.size();
+  return lte_pool_[idx];
+}
+
+std::vector<const NetworkTrace*> TraceRepository::assign_all(
+    std::size_t run, std::size_t users) const {
+  std::vector<const NetworkTrace*> out;
+  out.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) out.push_back(&assign(run, u));
+  return out;
+}
+
+}  // namespace cvr::trace

@@ -1,0 +1,58 @@
+// Trace repository: the Section-IV dataset layer.
+//
+// "We randomly generate half of the requested traces from the 'Web
+// browsing' category of the FCC dataset ... The other half of the
+// requested traces are generated from Ghent's dataset."
+//
+// The repository pre-builds a pool of FCC-style and LTE-style traces and
+// hands out per-(run, user) assignments: even user indices draw from the
+// FCC pool and odd ones from the LTE pool, with a run-dependent rotation
+// so the 100 runs of an experiment see 100 different trace combinations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/fcc_generator.h"
+#include "src/trace/lte_generator.h"
+#include "src/trace/network_trace.h"
+
+namespace cvr::trace {
+
+struct TraceRepositoryConfig {
+  std::size_t fcc_pool_size = 100;
+  std::size_t lte_pool_size = 40;  ///< Ghent has 40 logs; reuse is expected.
+  FccGeneratorConfig fcc;
+  LteGeneratorConfig lte;
+};
+
+class TraceRepository {
+ public:
+  TraceRepository(TraceRepositoryConfig config, std::uint64_t seed);
+
+  /// Builds a repository from externally supplied pools — e.g. real FCC
+  /// and Ghent logs loaded with load_trace_directory(). Both pools must
+  /// be non-empty (throws std::invalid_argument otherwise).
+  TraceRepository(std::vector<NetworkTrace> fcc_pool,
+                  std::vector<NetworkTrace> lte_pool);
+
+  std::size_t fcc_count() const { return fcc_pool_.size(); }
+  std::size_t lte_count() const { return lte_pool_.size(); }
+
+  const NetworkTrace& fcc(std::size_t i) const { return fcc_pool_.at(i); }
+  const NetworkTrace& lte(std::size_t i) const { return lte_pool_.at(i); }
+
+  /// Trace for user `user` in run `run`: users alternate between the two
+  /// datasets; the run index rotates through each pool deterministically.
+  const NetworkTrace& assign(std::size_t run, std::size_t user) const;
+
+  /// Convenience: one trace per user for a run.
+  std::vector<const NetworkTrace*> assign_all(std::size_t run,
+                                              std::size_t users) const;
+
+ private:
+  std::vector<NetworkTrace> fcc_pool_;
+  std::vector<NetworkTrace> lte_pool_;
+};
+
+}  // namespace cvr::trace

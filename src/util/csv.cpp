@@ -1,0 +1,134 @@
+#include "src/util/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cvr {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool parse_double(std::string_view field, double& out) {
+  field = trim(field);
+  if (field.empty()) return false;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv_line(std::string_view line, char delim) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(delim, start);
+    const std::string_view raw =
+        pos == std::string_view::npos
+            ? line.substr(start)
+            : line.substr(start, pos - start);
+    fields.emplace_back(trim(raw));
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return fields;
+}
+
+CsvTable parse_csv(std::string_view text, char delim) {
+  CsvTable table;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  bool first_content_line = true;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    auto fields = split_csv_line(line, delim);
+    if (first_content_line) {
+      first_content_line = false;
+      bool all_numeric = true;
+      double ignored;
+      for (const auto& f : fields) {
+        if (!parse_double(f, ignored)) {
+          all_numeric = false;
+          break;
+        }
+      }
+      if (!all_numeric) {
+        table.header = std::move(fields);
+        continue;
+      }
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) {
+      double value;
+      if (!parse_double(f, value)) {
+        throw std::runtime_error("csv: bad numeric field '" + f + "' at line " +
+                                 std::to_string(line_no));
+      }
+      row.push_back(value);
+    }
+    if (!table.rows.empty() && row.size() != table.rows.front().size()) {
+      throw std::runtime_error("csv: ragged row at line " +
+                               std::to_string(line_no));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path, char delim) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csv: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str(), delim);
+}
+
+std::string to_csv(const CsvTable& table, char delim) {
+  std::ostringstream out;
+  if (!table.header.empty()) {
+    for (std::size_t i = 0; i < table.header.size(); ++i) {
+      if (i) out << delim;
+      out << table.header[i];
+    }
+    out << '\n';
+  }
+  out.precision(12);
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << delim;
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table,
+                    char delim) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("csv: cannot open for write " + path);
+  out << to_csv(table, delim);
+  if (!out) throw std::runtime_error("csv: write failed " + path);
+}
+
+}  // namespace cvr

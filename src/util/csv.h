@@ -1,0 +1,36 @@
+// Minimal CSV reader/writer used for trace import/export and for dumping
+// benchmark series. Handles comments (#), blank lines, and numeric fields;
+// this is deliberately not a general-purpose quoting CSV parser — traces
+// in this project are purely numeric tables with an optional header row.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvr {
+
+struct CsvTable {
+  std::vector<std::string> header;       // empty if the file had none
+  std::vector<std::vector<double>> rows;
+};
+
+/// Splits a line on `delim`, trimming surrounding whitespace per field.
+std::vector<std::string> split_csv_line(std::string_view line, char delim = ',');
+
+/// Parses CSV text. If the first non-comment line contains any
+/// non-numeric field it is treated as a header. Throws std::runtime_error
+/// on a malformed numeric field in a data row or on ragged rows.
+CsvTable parse_csv(std::string_view text, char delim = ',');
+
+/// Reads and parses a CSV file. Throws std::runtime_error if unreadable.
+CsvTable read_csv_file(const std::string& path, char delim = ',');
+
+/// Serialises a table (header optional) to CSV text.
+std::string to_csv(const CsvTable& table, char delim = ',');
+
+/// Writes a table to a file. Throws std::runtime_error on I/O failure.
+void write_csv_file(const std::string& path, const CsvTable& table,
+                    char delim = ',');
+
+}  // namespace cvr

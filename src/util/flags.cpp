@@ -1,0 +1,170 @@
+#include "src/util/flags.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace cvr {
+
+namespace {
+
+std::string repr(const std::variant<bool*, std::int64_t*, double*,
+                                    std::string*>& binding) {
+  std::ostringstream out;
+  if (auto* b = std::get_if<bool*>(&binding)) {
+    out << (**b ? "true" : "false");
+  } else if (auto* i = std::get_if<std::int64_t*>(&binding)) {
+    out << **i;
+  } else if (auto* d = std::get_if<double*>(&binding)) {
+    out << **d;
+  } else if (auto* s = std::get_if<std::string*>(&binding)) {
+    out << '"' << **s << '"';
+  }
+  return out.str();
+}
+
+const char* type_name(const std::variant<bool*, std::int64_t*, double*,
+                                         std::string*>& binding) {
+  switch (binding.index()) {
+    case 0:
+      return "bool";
+    case 1:
+      return "int";
+    case 2:
+      return "float";
+    default:
+      return "string";
+  }
+}
+
+}  // namespace
+
+void FlagParser::register_flag(const std::string& name, Binding binding,
+                               const std::string& help) {
+  if (name.empty()) throw std::invalid_argument("flag name empty");
+  if (flags_.contains(name)) {
+    throw std::invalid_argument("duplicate flag --" + name);
+  }
+  flags_[name] = Flag{binding, help, repr(binding)};
+}
+
+void FlagParser::add(const std::string& name, bool* value,
+                     const std::string& help) {
+  register_flag(name, value, help);
+}
+void FlagParser::add(const std::string& name, std::int64_t* value,
+                     const std::string& help) {
+  register_flag(name, value, help);
+}
+void FlagParser::add(const std::string& name, double* value,
+                     const std::string& help) {
+  register_flag(name, value, help);
+}
+void FlagParser::add(const std::string& name, std::string* value,
+                     const std::string& help) {
+  register_flag(name, value, help);
+}
+
+bool FlagParser::assign(const std::string& name, Flag& flag,
+                        const std::string& value) {
+  if (auto* b = std::get_if<bool*>(&flag.binding)) {
+    if (value == "true" || value == "1") {
+      **b = true;
+    } else if (value == "false" || value == "0") {
+      **b = false;
+    } else {
+      errors_.push_back("--" + name + ": expected bool, got '" + value + "'");
+      return false;
+    }
+    return true;
+  }
+  if (auto* i = std::get_if<std::int64_t*>(&flag.binding)) {
+    std::int64_t parsed{};
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      errors_.push_back("--" + name + ": expected int, got '" + value + "'");
+      return false;
+    }
+    **i = parsed;
+    return true;
+  }
+  if (auto* d = std::get_if<double*>(&flag.binding)) {
+    double parsed{};
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      errors_.push_back("--" + name + ": expected float, got '" + value + "'");
+      return false;
+    }
+    **d = parsed;
+    return true;
+  }
+  **std::get_if<std::string*>(&flag.binding) = value;
+  return true;
+}
+
+bool FlagParser::parse(int argc, const char* const* argv) {
+  errors_.clear();
+  positionals_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+
+    auto it = flags_.find(arg);
+    // `--no-foo` negates a registered boolean `foo`.
+    if (it == flags_.end() && arg.rfind("no-", 0) == 0) {
+      auto base = flags_.find(arg.substr(3));
+      if (base != flags_.end() &&
+          std::holds_alternative<bool*>(base->second.binding)) {
+        if (has_value) {
+          errors_.push_back("--" + arg + ": negated flag takes no value");
+        } else {
+          *std::get<bool*>(base->second.binding) = false;
+        }
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      errors_.push_back("unknown flag --" + arg);
+      continue;
+    }
+
+    if (std::holds_alternative<bool*>(it->second.binding) && !has_value) {
+      *std::get<bool*>(it->second.binding) = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        errors_.push_back("--" + arg + ": missing value");
+        continue;
+      }
+      value = argv[++i];
+    }
+    assign(arg, it->second, value);
+  }
+  return errors_.empty();
+}
+
+std::string FlagParser::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << " <" << type_name(flag.binding)
+        << ">  " << flag.help << " (default " << flag.default_repr << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace cvr

@@ -1,0 +1,55 @@
+// Minimal command-line flag parsing for the example/CLI binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name` /
+// `--no-name`. Unknown flags and malformed values are collected as
+// errors rather than aborting, so callers can print usage and exit
+// cleanly. Deliberately tiny — no subcommands, no repeated flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cvr {
+
+class FlagParser {
+ public:
+  /// Registers a flag bound to caller-owned storage. The bound variable
+  /// keeps its current value as the default. Names must be unique and
+  /// non-empty; registering a duplicate throws std::invalid_argument.
+  void add(const std::string& name, bool* value, const std::string& help);
+  void add(const std::string& name, std::int64_t* value, const std::string& help);
+  void add(const std::string& name, double* value, const std::string& help);
+  void add(const std::string& name, std::string* value, const std::string& help);
+
+  /// Parses argv (skipping argv[0]). Returns true iff no errors.
+  /// Positional (non-flag) arguments are collected into positionals().
+  bool parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& errors() const { return errors_; }
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// Usage text listing every flag, its type, default, and help string.
+  std::string usage(const std::string& program) const;
+
+ private:
+  using Binding = std::variant<bool*, std::int64_t*, double*, std::string*>;
+
+  struct Flag {
+    Binding binding;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void register_flag(const std::string& name, Binding binding,
+                     const std::string& help);
+  bool assign(const std::string& name, Flag& flag, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> errors_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace cvr

@@ -1,0 +1,50 @@
+// Tiny leveled logger. The simulators are single-threaded by design, so
+// no synchronisation is needed; the level gate makes disabled logging
+// nearly free on hot paths.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cvr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn
+/// so tests and benches stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cvr
+
+#define CVR_LOG(level)                      \
+  if (::cvr::log_level() > (level)) {       \
+  } else                                    \
+    ::cvr::detail::LogLine(level)
+
+#define CVR_DEBUG CVR_LOG(::cvr::LogLevel::kDebug)
+#define CVR_INFO CVR_LOG(::cvr::LogLevel::kInfo)
+#define CVR_WARN CVR_LOG(::cvr::LogLevel::kWarn)
+#define CVR_ERROR CVR_LOG(::cvr::LogLevel::kError)

@@ -1,0 +1,138 @@
+#include "src/util/regression.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace cvr {
+
+SlidingLinearRegressor::SlidingLinearRegressor(std::size_t window)
+    : window_(window == 0 ? 1 : window) {}
+
+void SlidingLinearRegressor::add(double x, double y) {
+  points_.emplace_back(x, y);
+  sx_ += x;
+  sy_ += y;
+  sxx_ += x * x;
+  sxy_ += x * y;
+  if (points_.size() > window_) {
+    auto [ox, oy] = points_.front();
+    points_.pop_front();
+    sx_ -= ox;
+    sy_ -= oy;
+    sxx_ -= ox * ox;
+    sxy_ -= ox * oy;
+  }
+}
+
+double SlidingLinearRegressor::slope() const {
+  const double n = static_cast<double>(points_.size());
+  const double denom = n * sxx_ - sx_ * sx_;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return (n * sxy_ - sx_ * sy_) / denom;
+}
+
+double SlidingLinearRegressor::intercept() const {
+  if (points_.empty()) return 0.0;
+  const double n = static_cast<double>(points_.size());
+  return (sy_ - slope() * sx_) / n;
+}
+
+double SlidingLinearRegressor::predict(double x) const {
+  if (points_.empty()) return 0.0;
+  if (points_.size() == 1) return points_.back().second;
+  return intercept() + slope() * x;
+}
+
+PolynomialRegressor::PolynomialRegressor(int degree, std::size_t max_history)
+    : degree_(degree < 0 ? 0 : degree),
+      max_history_(max_history == 0 ? 1 : max_history) {}
+
+void PolynomialRegressor::add(double x, double y) {
+  xs_.push_back(x);
+  ys_.push_back(y);
+  if (xs_.size() > max_history_) {
+    xs_.pop_front();
+    ys_.pop_front();
+  }
+  dirty_ = true;
+}
+
+bool PolynomialRegressor::ready() const {
+  return xs_.size() >= static_cast<std::size_t>(degree_) + 1;
+}
+
+void PolynomialRegressor::fit() {
+  if (!dirty_) return;
+  dirty_ = false;
+  coeffs_.clear();
+  if (!ready()) return;
+  const std::size_t dim = static_cast<std::size_t>(degree_) + 1;
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  std::vector<double> ata(dim * dim, 0.0);
+  std::vector<double> aty(dim, 0.0);
+  for (std::size_t k = 0; k < xs_.size(); ++k) {
+    double powers_i = 1.0;
+    std::vector<double> pows(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      pows[i] = powers_i;
+      powers_i *= xs_[k];
+    }
+    for (std::size_t i = 0; i < dim; ++i) {
+      aty[i] += pows[i] * ys_[k];
+      for (std::size_t j = 0; j < dim; ++j) ata[i * dim + j] += pows[i] * pows[j];
+    }
+  }
+  if (solve_linear_system(ata, aty, dim)) {
+    coeffs_ = aty;
+  }
+}
+
+double PolynomialRegressor::predict(double x) {
+  fit();
+  if (coeffs_.empty()) {
+    if (ys_.empty()) return 0.0;
+    double total = 0.0;
+    for (double y : ys_) total += y;
+    return total / static_cast<double>(ys_.size());
+  }
+  double result = 0.0;
+  double power = 1.0;
+  for (double c : coeffs_) {
+    result += c * power;
+    power *= x;
+  }
+  return result;
+}
+
+std::vector<double> PolynomialRegressor::coefficients() {
+  fit();
+  return coeffs_;
+}
+
+bool solve_linear_system(std::vector<double>& a, std::vector<double>& b,
+                         std::size_t n) {
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) pivot = row;
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a[col * n + j], a[pivot * n + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      for (std::size_t j = col; j < n; ++j) a[row * n + j] -= factor * a[col * n + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double total = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) total -= a[i * n + j] * b[j];
+    b[i] = total / a[i * n + i];
+  }
+  return true;
+}
+
+}  // namespace cvr

@@ -1,0 +1,91 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library draws from an explicitly
+// seeded engine so that simulations and benchmarks are exactly
+// reproducible across runs (DESIGN.md Section 5). We implement the
+// distributions ourselves (Box-Muller, inversion) instead of using
+// <random> distributions, whose output is implementation-defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cvr {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 256-bit state.
+/// Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full state via SplitMix64, as recommended by the authors.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Equivalent to 2^128 calls to operator(); used to derive independent
+  /// per-component streams from one master seed.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Convenience wrapper bundling an engine with deterministic, portable
+/// distribution implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Derives an independent child stream (jump + perturb).
+  Rng fork();
+
+  Xoshiro256& engine() { return engine_; }
+
+ private:
+  Xoshiro256 engine_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cvr

@@ -1,0 +1,136 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::population_variance() const {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::sample_variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(population_variance()); }
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  sorted_ = false;
+  ensure_sorted();
+}
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double p) const {
+  if (samples_.empty()) throw std::logic_error("Cdf::quantile on empty set");
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty()) return out;
+  if (points < 2 || samples_.size() <= points) {
+    out.reserve(samples_.size());
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+      out.emplace_back(samples_[i], static_cast<double>(i + 1) /
+                                        static_cast<double>(samples_.size()));
+    }
+    return out;
+  }
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(quantile(p), p);
+  }
+  return out;
+}
+
+const std::vector<double>& Cdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  RunningStat rs;
+  for (double x : samples) rs.add(x);
+  Cdf cdf(samples);
+  s.count = samples.size();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.p25 = cdf.quantile(0.25);
+  s.median = cdf.quantile(0.5);
+  s.p75 = cdf.quantile(0.75);
+  s.max = rs.max();
+  return s;
+}
+
+}  // namespace cvr

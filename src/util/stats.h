@@ -1,0 +1,92 @@
+// Streaming and batch statistics.
+//
+// RunningStat implements Welford's online algorithm [Welford 1962], the
+// same recurrence the paper's variance decomposition (Appendix A) is built
+// on, so the simulator's bookkeeping matches the math in Section III.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cvr {
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const RunningStat& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divide by n), matching sigma_n^2(T) in Section II.
+  double population_variance() const;
+
+  /// Sample variance (divide by n-1).
+  double sample_variance() const;
+
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  void reset();
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical CDF over a batch of samples.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// P(X <= x), 0 if empty.
+  double at(double x) const;
+
+  /// Inverse CDF; p in [0, 1]. Linear interpolation between order
+  /// statistics. Requires at least one sample.
+  double quantile(double p) const;
+
+  double median() const { return quantile(0.5); }
+  double mean() const;
+
+  /// Evenly spaced (value, cumulative probability) points for plotting;
+  /// `points` >= 2. Returns the full sorted sample set if smaller.
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Five-number-plus-mean summary used by the bench harnesses.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+}  // namespace cvr

@@ -1,0 +1,38 @@
+// Units and time-slot conventions shared across the library.
+//
+// The paper (Section II) unifies content size and network throughput by
+// fixing the time-slot duration: "we unify the units of content size
+// f_c^R(q) and the network throughput by fixing each time slot duration".
+// We follow the same convention:
+//
+//   * throughput is expressed in Mbps,
+//   * a content "size" f_c^R(q) is expressed as the sending rate in Mbps
+//     required to deliver it within one slot,
+//   * delays are in milliseconds.
+//
+// The display runs at 66 FPS nominal (Section IV), i.e. a ~15 ms slot.
+#pragma once
+
+namespace cvr {
+
+/// Nominal slot duration (seconds). 66 FPS as in Section IV of the paper.
+inline constexpr double kSlotSeconds = 1.0 / 66.0;
+
+/// Nominal slot duration in milliseconds.
+inline constexpr double kSlotMillis = 1000.0 / 66.0;
+
+/// Target display rate the system is provisioned for (Section II).
+inline constexpr double kTargetFps = 60.0;
+
+/// Converts a size in megabits to the Mbps sending rate that delivers it
+/// within exactly one slot.
+constexpr double megabits_to_slot_rate(double megabits) {
+  return megabits / kSlotSeconds;
+}
+
+/// Converts a slot-normalised rate (Mbps) back to megabits per slot.
+constexpr double slot_rate_to_megabits(double mbps) {
+  return mbps * kSlotSeconds;
+}
+
+}  // namespace cvr

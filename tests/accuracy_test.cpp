@@ -1,0 +1,84 @@
+#include "src/motion/accuracy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace cvr::motion {
+namespace {
+
+TEST(AccuracyEstimator, PriorBeforeEvidence) {
+  AccuracyEstimator est(0.9, 5.0);
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.9);
+  EXPECT_EQ(est.observations(), 0u);
+}
+
+TEST(AccuracyEstimator, ConvergesToTrueRate) {
+  // Section III: delta_bar converges to delta.
+  AccuracyEstimator est;
+  cvr::Rng rng(1);
+  const double true_delta = 0.85;
+  for (int i = 0; i < 20000; ++i) est.record(rng.bernoulli(true_delta));
+  EXPECT_NEAR(est.estimate(), true_delta, 0.01);
+}
+
+TEST(AccuracyEstimator, AllHitsApproachesOne) {
+  AccuracyEstimator est(0.5, 2.0);
+  for (int i = 0; i < 1000; ++i) est.record(true);
+  EXPECT_GT(est.estimate(), 0.99);
+  EXPECT_LT(est.estimate(), 1.0);  // prior keeps it strictly below 1
+}
+
+TEST(AccuracyEstimator, AllMissesApproachesZero) {
+  AccuracyEstimator est(0.5, 2.0);
+  for (int i = 0; i < 1000; ++i) est.record(false);
+  EXPECT_LT(est.estimate(), 0.01);
+  EXPECT_GT(est.estimate(), 0.0);
+}
+
+TEST(AccuracyEstimator, PriorSmoothsEarlySamples) {
+  AccuracyEstimator est(0.9, 10.0);
+  est.record(false);  // one miss should barely move a strong prior
+  EXPECT_GT(est.estimate(), 0.8);
+}
+
+TEST(AccuracyEstimator, RejectsInvalidPrior) {
+  EXPECT_THROW(AccuracyEstimator(1.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(AccuracyEstimator(0.5, -1.0), std::invalid_argument);
+}
+
+TEST(EmaAccuracyEstimator, TracksRegimeChange) {
+  EmaAccuracyEstimator est(0.05, 0.9);
+  for (int i = 0; i < 500; ++i) est.record(true);
+  EXPECT_GT(est.estimate(), 0.95);
+  for (int i = 0; i < 500; ++i) est.record(false);
+  EXPECT_LT(est.estimate(), 0.05);
+}
+
+TEST(EmaAccuracyEstimator, FasterAlphaAdaptsFaster) {
+  EmaAccuracyEstimator slow(0.01, 1.0);
+  EmaAccuracyEstimator fast(0.2, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    slow.record(false);
+    fast.record(false);
+  }
+  EXPECT_LT(fast.estimate(), slow.estimate());
+}
+
+TEST(EmaAccuracyEstimator, RejectsBadAlpha) {
+  EXPECT_THROW(EmaAccuracyEstimator(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(EmaAccuracyEstimator(1.5, 0.5), std::invalid_argument);
+}
+
+TEST(EmaAccuracyEstimator, StaysInUnitInterval) {
+  EmaAccuracyEstimator est(0.3, 0.5);
+  cvr::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    est.record(rng.bernoulli(0.5));
+    EXPECT_GE(est.estimate(), 0.0);
+    EXPECT_LE(est.estimate(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cvr::motion

@@ -1,0 +1,69 @@
+#include "src/net/ack_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cvr::net {
+namespace {
+
+TEST(AckChannel, DeliversAfterLatency) {
+  AckChannel<int> ch(2);
+  ch.send(0, 42);
+  EXPECT_TRUE(ch.receive(0).empty());
+  EXPECT_TRUE(ch.receive(1).empty());
+  const auto got = ch.receive(2);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 42);
+}
+
+TEST(AckChannel, ZeroLatencyIsImmediate) {
+  AckChannel<int> ch(0);
+  ch.send(5, 1);
+  const auto got = ch.receive(5);
+  ASSERT_EQ(got.size(), 1u);
+}
+
+TEST(AckChannel, PreservesSendOrder) {
+  AckChannel<int> ch(1);
+  ch.send(0, 1);
+  ch.send(0, 2);
+  ch.send(1, 3);
+  const auto got = ch.receive(10);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 2);
+  EXPECT_EQ(got[2], 3);
+}
+
+TEST(AckChannel, PartialDrain) {
+  AckChannel<int> ch(1);
+  ch.send(0, 1);
+  ch.send(5, 2);
+  const auto first = ch.receive(1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], 1);
+  EXPECT_EQ(ch.in_flight(), 1u);
+  const auto second = ch.receive(6);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], 2);
+  EXPECT_EQ(ch.in_flight(), 0u);
+}
+
+TEST(AckChannel, ReceiveIsDestructive) {
+  AckChannel<int> ch(0);
+  ch.send(0, 9);
+  EXPECT_EQ(ch.receive(0).size(), 1u);
+  EXPECT_TRUE(ch.receive(0).empty());
+}
+
+TEST(AckChannel, MoveOnlyFriendlyPayloads) {
+  AckChannel<std::string> ch(1);
+  ch.send(0, std::string(1000, 'x'));
+  const auto got = ch.receive(1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].size(), 1000u);
+}
+
+}  // namespace
+}  // namespace cvr::net

@@ -1,0 +1,64 @@
+#include "src/core/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+
+namespace cvr::core {
+namespace {
+
+using testutil::make_crf_user;
+using testutil::make_user;
+
+SlotProblem two_user_problem() {
+  SlotProblem problem;
+  problem.params = QoeParams{0.0, 0.0};
+  problem.users.push_back(make_user({10, 15, 22, 31, 44, 60},
+                                    {0, 0, 0, 0, 0, 0}, 50.0));
+  problem.users.push_back(make_user({10, 15, 22, 31, 44, 60},
+                                    {0, 0, 0, 0, 0, 0}, 25.0));
+  problem.server_bandwidth = 40.0;
+  return problem;
+}
+
+TEST(Evaluate, SumsPerUserH) {
+  const SlotProblem problem = two_user_problem();
+  // alpha = beta = 0, delta = 1 -> h(q) = q.
+  EXPECT_DOUBLE_EQ(evaluate(problem, {3, 5}), 8.0);
+  EXPECT_DOUBLE_EQ(evaluate(problem, {1, 1}), 2.0);
+}
+
+TEST(Evaluate, SizeMismatchThrows) {
+  const SlotProblem problem = two_user_problem();
+  EXPECT_THROW(evaluate(problem, {1}), std::invalid_argument);
+}
+
+TEST(TotalRate, SumsSelectedRates) {
+  const SlotProblem problem = two_user_problem();
+  EXPECT_DOUBLE_EQ(total_rate(problem, {1, 1}), 20.0);
+  EXPECT_DOUBLE_EQ(total_rate(problem, {2, 3}), 15.0 + 22.0);
+}
+
+TEST(ServerFeasible, ChecksConstraint6) {
+  const SlotProblem problem = two_user_problem();
+  EXPECT_TRUE(server_feasible(problem, {1, 1}));       // 20 <= 40
+  EXPECT_TRUE(server_feasible(problem, {2, 3}));       // 37 <= 40
+  EXPECT_FALSE(server_feasible(problem, {3, 3}));      // 44 > 40
+}
+
+TEST(UserFeasible, ChecksConstraint7) {
+  const auto user = make_user({10, 15, 22, 31, 44, 60}, {0, 0, 0, 0, 0, 0},
+                              25.0);
+  EXPECT_TRUE(user_feasible(user, 1));
+  EXPECT_TRUE(user_feasible(user, 3));   // 22 <= 25
+  EXPECT_FALSE(user_feasible(user, 4));  // 31 > 25
+}
+
+TEST(UserFeasible, BoundaryWithinEpsilon) {
+  const auto user = make_user({10, 15, 22, 31, 44, 60}, {0, 0, 0, 0, 0, 0},
+                              22.0);
+  EXPECT_TRUE(user_feasible(user, 3));  // exactly at the cap
+}
+
+}  // namespace
+}  // namespace cvr::core

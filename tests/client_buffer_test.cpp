@@ -1,0 +1,90 @@
+#include "src/content/client_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr::content {
+namespace {
+
+VideoId id(int n) { return pack_video_id({{n, 0}, 0, 1}); }
+
+TEST(ClientTileBuffer, InsertBelowThresholdReleasesNothing) {
+  ClientTileBuffer buffer(3);
+  EXPECT_TRUE(buffer.insert(id(1)).empty());
+  EXPECT_TRUE(buffer.insert(id(2)).empty());
+  EXPECT_TRUE(buffer.insert(id(3)).empty());
+  EXPECT_EQ(buffer.size(), 3u);
+}
+
+TEST(ClientTileBuffer, OverflowReleasesLru) {
+  ClientTileBuffer buffer(3);
+  buffer.insert(id(1));
+  buffer.insert(id(2));
+  buffer.insert(id(3));
+  const auto released = buffer.insert(id(4));
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], id(1));
+  EXPECT_FALSE(buffer.contains(id(1)));
+  EXPECT_TRUE(buffer.contains(id(4)));
+  EXPECT_EQ(buffer.released_total(), 1u);
+}
+
+TEST(ClientTileBuffer, ReinsertRefreshesRecency) {
+  ClientTileBuffer buffer(3);
+  buffer.insert(id(1));
+  buffer.insert(id(2));
+  buffer.insert(id(3));
+  buffer.insert(id(1));  // refresh 1: now 2 is LRU
+  const auto released = buffer.insert(id(4));
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], id(2));
+}
+
+TEST(ClientTileBuffer, TouchRefreshesRecency) {
+  ClientTileBuffer buffer(3);
+  buffer.insert(id(1));
+  buffer.insert(id(2));
+  buffer.insert(id(3));
+  EXPECT_TRUE(buffer.touch(id(1)));
+  const auto released = buffer.insert(id(4));
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], id(2));
+}
+
+TEST(ClientTileBuffer, TouchMissingReturnsFalse) {
+  ClientTileBuffer buffer(3);
+  EXPECT_FALSE(buffer.touch(id(9)));
+}
+
+TEST(ClientTileBuffer, DuplicateInsertDoesNotGrow) {
+  ClientTileBuffer buffer(3);
+  buffer.insert(id(1));
+  buffer.insert(id(1));
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(ClientTileBuffer, ThresholdOneKeepsNewestOnly) {
+  ClientTileBuffer buffer(1);
+  buffer.insert(id(1));
+  const auto released = buffer.insert(id(2));
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], id(1));
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(ClientTileBuffer, RejectsZeroThreshold) {
+  EXPECT_THROW(ClientTileBuffer{0}, std::invalid_argument);
+}
+
+TEST(ClientTileBuffer, ManyInsertsStayBounded) {
+  ClientTileBuffer buffer(50);
+  for (int i = 0; i < 1000; ++i) buffer.insert(id(i));
+  EXPECT_EQ(buffer.size(), 50u);
+  EXPECT_EQ(buffer.released_total(), 950u);
+  // Most recent 50 resident.
+  EXPECT_TRUE(buffer.contains(id(999)));
+  EXPECT_TRUE(buffer.contains(id(950)));
+  EXPECT_FALSE(buffer.contains(id(949)));
+}
+
+}  // namespace
+}  // namespace cvr::content

@@ -1,0 +1,129 @@
+#include "src/content/content_db.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/units.h"
+
+namespace cvr::content {
+namespace {
+
+TEST(ContentDb, ContainsSceneBounds) {
+  const ContentDb db;
+  EXPECT_TRUE(db.contains({0, 0}));
+  EXPECT_TRUE(db.contains({199, 159}));
+  EXPECT_FALSE(db.contains({200, 0}));
+  EXPECT_FALSE(db.contains({0, 160}));
+  EXPECT_FALSE(db.contains({-1, 0}));
+}
+
+TEST(ContentDb, ContentIdUniquePerCell) {
+  const ContentDb db;
+  EXPECT_NE(db.content_id({0, 0}), db.content_id({1, 0}));
+  EXPECT_NE(db.content_id({0, 0}), db.content_id({0, 1}));
+  EXPECT_EQ(db.content_id({5, 7}), db.content_id({5, 7}));
+}
+
+TEST(ContentDb, ContentIdThrowsOutsideScene) {
+  const ContentDb db;
+  EXPECT_THROW(db.content_id({-1, 0}), std::out_of_range);
+}
+
+TEST(ContentDb, FrameRateFunctionConvexEverywhere) {
+  const ContentDb db;
+  for (std::int32_t gx = 0; gx < 200; gx += 37) {
+    for (std::int32_t gy = 0; gy < 160; gy += 29) {
+      EXPECT_TRUE(db.frame_rate_function({gx, gy}).is_convex_increasing());
+    }
+  }
+}
+
+TEST(ContentDb, TileSizesSumToFrameSize) {
+  const ContentDb db;
+  const GridCell cell{10, 10};
+  const auto f = db.frame_rate_function(cell);
+  for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+    double tiles_total = 0.0;
+    for (int tile = 0; tile < kTilesPerFrame; ++tile) {
+      tiles_total += db.tile_size_megabits({cell, tile, q});
+    }
+    EXPECT_NEAR(tiles_total, cvr::slot_rate_to_megabits(f.rate(q)), 1e-9);
+  }
+}
+
+TEST(ContentDb, TileWeightsSumToOne) {
+  const ContentDb db;
+  for (std::int32_t gx = 0; gx < 200; gx += 53) {
+    for (std::int32_t gy = 0; gy < 160; gy += 41) {
+      double total = 0.0;
+      for (int tile = 0; tile < kTilesPerFrame; ++tile) {
+        const double w = db.tile_weight({gx, gy}, tile);
+        EXPECT_GT(w, 0.05);  // no degenerate tile
+        EXPECT_LT(w, 0.60);
+        total += w;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ContentDb, TileWeightsVaryAcrossTilesAndCells) {
+  const ContentDb db;
+  // Within a frame the four weights are not all equal...
+  EXPECT_NE(db.tile_weight({10, 10}, 0), db.tile_weight({10, 10}, 1));
+  // ...and the same tile index differs across cells.
+  EXPECT_NE(db.tile_weight({10, 10}, 0), db.tile_weight({11, 10}, 0));
+}
+
+TEST(ContentDb, TileWeightBadIndexThrows) {
+  const ContentDb db;
+  EXPECT_THROW(db.tile_weight({0, 0}, -1), std::out_of_range);
+  EXPECT_THROW(db.tile_weight({0, 0}, 4), std::out_of_range);
+}
+
+TEST(ContentDb, TileSizeIncreasesWithLevel) {
+  const ContentDb db;
+  const GridCell cell{42, 99};
+  for (QualityLevel q = 1; q < kNumQualityLevels; ++q) {
+    EXPECT_LT(db.tile_size_megabits({cell, 0, q}),
+              db.tile_size_megabits({cell, 0, q + 1}));
+  }
+}
+
+TEST(ContentDb, TileSizeBadIndexThrows) {
+  const ContentDb db;
+  EXPECT_THROW(db.tile_size_megabits({{0, 0}, 4, 1}), std::out_of_range);
+  EXPECT_THROW(db.tile_size_megabits({{999, 0}, 0, 1}), std::out_of_range);
+}
+
+TEST(ContentDb, EntryCount) {
+  ContentDbConfig config;
+  config.grid_width = 10;
+  config.grid_height = 5;
+  const ContentDb db(config);
+  EXPECT_EQ(db.entry_count(),
+            10ull * 5ull * kTilesPerFrame * kNumQualityLevels);
+}
+
+TEST(ContentDb, StoreFootprintNearPaper) {
+  // Section VI: "The content database capacity is about 171 GB."
+  const ContentDb db;  // default 10 m x 8 m scene
+  const double gb = db.estimated_store_gb();
+  EXPECT_GT(gb, 100.0);
+  EXPECT_LT(gb, 300.0);
+}
+
+TEST(ContentDb, RejectsBadConfig) {
+  ContentDbConfig bad;
+  bad.grid_width = 0;
+  EXPECT_THROW(ContentDb{bad}, std::invalid_argument);
+}
+
+TEST(ContentDb, DeterministicAcrossInstances) {
+  const ContentDb a;
+  const ContentDb b;
+  EXPECT_DOUBLE_EQ(a.tile_size_megabits({{7, 9}, 1, 4}),
+                   b.tile_size_megabits({{7, 9}, 1, 4}));
+}
+
+}  // namespace
+}  // namespace cvr::content

@@ -1,0 +1,60 @@
+// Shared helpers for the core allocator tests: hand-built and random
+// SlotProblem instances.
+#pragma once
+
+#include <vector>
+
+#include "src/content/rate_function.h"
+#include "src/core/allocator.h"
+#include "src/util/rng.h"
+
+namespace cvr::core::testutil {
+
+/// A user context with explicit per-level rate/delay tables.
+inline UserSlotContext make_user(std::vector<double> rates,
+                                 std::vector<double> delays,
+                                 double user_bandwidth, double delta = 1.0,
+                                 double qbar = 0.0, double slot = 1.0) {
+  UserSlotContext user;
+  user.rate = std::move(rates);
+  user.delay = std::move(delays);
+  user.user_bandwidth = user_bandwidth;
+  user.delta = delta;
+  user.qbar = qbar;
+  user.slot = slot;
+  return user;
+}
+
+/// A user built from the paper-calibrated CRF rate function and the
+/// analytic M/M/1 delay, like the Section-IV simulator does.
+inline UserSlotContext make_crf_user(double user_bandwidth, double delta = 1.0,
+                                     double qbar = 0.0, double slot = 1.0,
+                                     double scale = 1.0) {
+  const content::CrfRateFunction f(14.2, 1.45, scale);
+  return UserSlotContext::from_rate_function(f, user_bandwidth, delta, qbar,
+                                             slot);
+}
+
+/// Random feasible-ish problem for property sweeps. Deterministic in
+/// `seed`. Mix of deltas, qbars, slots, per-content scales, bandwidths.
+inline SlotProblem random_problem(std::uint64_t seed, std::size_t users,
+                                  double alpha = 0.02, double beta = 0.5) {
+  cvr::Rng rng(seed);
+  SlotProblem problem;
+  problem.params = QoeParams{alpha, beta};
+  double total_min_rate = 0.0;
+  for (std::size_t n = 0; n < users; ++n) {
+    const double scale = rng.lognormal(0.0, 0.25);
+    const double bandwidth = rng.uniform(20.0, 100.0);
+    const double delta = rng.uniform(0.6, 1.0);
+    const double qbar = rng.uniform(0.0, 6.0);
+    const double slot = rng.uniform(1.0, 500.0);
+    problem.users.push_back(make_crf_user(bandwidth, delta, qbar, slot, scale));
+    total_min_rate += problem.users.back().rate[0];
+  }
+  // Server budget between "tight" and "roomy".
+  problem.server_bandwidth = total_min_rate * rng.uniform(1.0, 3.5);
+  return problem;
+}
+
+}  // namespace cvr::core::testutil

@@ -1,0 +1,110 @@
+// Cross-platform consistency: the Section-IV simulator and the
+// Sections-V/VI system emulation are two views of the same world. When
+// the system's imperfections are dialled down (no fading, no loss, no
+// measurement noise, generous estimation), its behaviour must approach
+// the idealised simulator's; and on default settings the two platforms
+// must agree on the algorithm ranking.
+#include <gtest/gtest.h>
+
+#include "src/core/dv_greedy.h"
+#include "src/core/firefly.h"
+#include "src/core/pavq.h"
+#include "src/sim/simulation.h"
+#include "src/system/system_sim.h"
+
+namespace cvr {
+namespace {
+
+system::SystemSimConfig idealized(std::size_t users, std::size_t slots) {
+  system::SystemSimConfig config = system::setup_one_router(users);
+  config.slots = slots;
+  config.channel.fading_sigma = 1e-6;           // still, quiet air
+  config.bandwidth_measurement_sigma = 1e-6;    // clean measurements
+  config.rtp.base_loss = 0.0;
+  config.rtp.congestion_loss = 0.0;
+  return config;
+}
+
+TEST(CrossPlatform, IdealizedSystemApproachesTraceQuality) {
+  // In the clean world the system's viewed quality should land in the
+  // same band the trace platform reports for comparable provisioning.
+  const std::size_t users = 4;
+  system::SystemSimConfig clean = idealized(users, 600);
+  core::DvGreedyAllocator a;
+  double system_quality = 0.0, system_acc = 0.0;
+  for (const auto& o : system::SystemSim(clean).run(a, 0)) {
+    system_quality += o.avg_quality;
+    system_acc += o.prediction_accuracy;
+  }
+  system_quality /= static_cast<double>(users);
+  system_acc /= static_cast<double>(users);
+
+  trace::TraceRepositoryConfig repo_config;
+  repo_config.fcc.duration_s = 10.0;
+  repo_config.lte.duration_s = 10.0;
+  const trace::TraceRepository repo(repo_config, 3);
+  sim::TraceSimConfig trace_config;
+  trace_config.users = users;
+  trace_config.slots = 600;
+  trace_config.server_mbps_per_user = 100.0;  // ample, like the 400/4 router
+  core::DvGreedyAllocator b;
+  double trace_quality = 0.0;
+  const sim::TraceSimulation simulation(trace_config, repo);
+  for (const auto& o : simulation.run(b, 0)) trace_quality += o.avg_quality;
+  trace_quality /= static_cast<double>(users);
+
+  EXPECT_GT(system_acc, 0.95);  // clean world: prediction dominates
+  // Same ballpark (the platforms differ in content granularity and
+  // per-user bandwidth processes, so a band, not equality).
+  EXPECT_GT(system_quality, 0.6 * trace_quality);
+  EXPECT_LT(system_quality, 1.5 * trace_quality);
+}
+
+TEST(CrossPlatform, PlatformsAgreeOnAlgorithmRanking) {
+  core::DvGreedyAllocator ours_t, ours_s;
+  core::FireflyAllocator firefly_t, firefly_s;
+  core::PavqAllocator pavq_t = core::PavqAllocator::perfect_knowledge();
+  core::PavqAllocator pavq_s;
+
+  trace::TraceRepositoryConfig repo_config;
+  repo_config.fcc.duration_s = 20.0;
+  repo_config.lte.duration_s = 20.0;
+  const trace::TraceRepository repo(repo_config, 5);
+  sim::TraceSimConfig trace_config;
+  trace_config.users = 5;
+  trace_config.slots = 1000;
+  const sim::TraceSimulation trace_sim(trace_config, repo);
+  const auto trace_arms =
+      trace_sim.compare({&ours_t, &pavq_t, &firefly_t}, 4);
+
+  system::SystemSimConfig system_config = system::setup_one_router(5);
+  system_config.slots = 1000;
+  const system::SystemSim system_sim(system_config);
+  const auto system_arms =
+      system_sim.compare({&ours_s, &pavq_s, &firefly_s}, 2);
+
+  // Both platforms: ours >= PAVQ >= Firefly on mean QoE.
+  EXPECT_GE(trace_arms[0].mean_qoe(), trace_arms[1].mean_qoe() - 0.05);
+  EXPECT_GT(trace_arms[1].mean_qoe(), trace_arms[2].mean_qoe());
+  EXPECT_GT(system_arms[0].mean_qoe(), system_arms[1].mean_qoe());
+  EXPECT_GT(system_arms[1].mean_qoe(), system_arms[2].mean_qoe());
+}
+
+TEST(CrossPlatform, SystemImperfectionsOnlyHurt) {
+  // Turning the real world's teeth back on can only lower QoE relative
+  // to the idealized configuration.
+  core::DvGreedyAllocator a, b;
+  double clean_qoe = 0.0, real_qoe = 0.0;
+  for (const auto& o : system::SystemSim(idealized(4, 500)).run(a, 0)) {
+    clean_qoe += o.avg_qoe;
+  }
+  system::SystemSimConfig real = system::setup_one_router(4);
+  real.slots = 500;
+  for (const auto& o : system::SystemSim(real).run(b, 0)) {
+    real_qoe += o.avg_qoe;
+  }
+  EXPECT_GE(clean_qoe, real_qoe - 0.2);
+}
+
+}  // namespace
+}  // namespace cvr

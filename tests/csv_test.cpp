@@ -1,0 +1,107 @@
+#include "src/util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace cvr {
+namespace {
+
+TEST(SplitCsvLine, BasicAndTrims) {
+  const auto fields = split_csv_line("  a , b,c ,  d  ");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+  EXPECT_EQ(fields[3], "d");
+}
+
+TEST(SplitCsvLine, EmptyFieldsPreserved) {
+  const auto fields = split_csv_line("1,,3");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(SplitCsvLine, AlternateDelimiter) {
+  const auto fields = split_csv_line("1;2;3", ';');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "3");
+}
+
+TEST(ParseCsv, NumericNoHeader) {
+  const CsvTable t = parse_csv("1,2\n3,4\n");
+  EXPECT_TRUE(t.header.empty());
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.rows[1][1], 4.0);
+}
+
+TEST(ParseCsv, HeaderDetected) {
+  const CsvTable t = parse_csv("duration_s,mbps\n1.5,40\n");
+  ASSERT_EQ(t.header.size(), 2u);
+  EXPECT_EQ(t.header[0], "duration_s");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.rows[0][0], 1.5);
+}
+
+TEST(ParseCsv, CommentsAndBlanksSkipped) {
+  const CsvTable t = parse_csv("# comment\n\n1,2\n\n# another\n3,4\n");
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(ParseCsv, MissingTrailingNewlineOk) {
+  const CsvTable t = parse_csv("1,2\n3,4");
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(ParseCsv, BadNumericThrows) {
+  EXPECT_THROW(parse_csv("1,2\n3,oops\n"), std::runtime_error);
+}
+
+TEST(ParseCsv, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("1,2\n3\n"), std::runtime_error);
+}
+
+TEST(ParseCsv, NegativeAndScientific) {
+  const CsvTable t = parse_csv("-1.5,2e3\n");
+  EXPECT_DOUBLE_EQ(t.rows[0][0], -1.5);
+  EXPECT_DOUBLE_EQ(t.rows[0][1], 2000.0);
+}
+
+TEST(ParseCsv, EmptyInputYieldsEmptyTable) {
+  const CsvTable t = parse_csv("");
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_TRUE(t.rows.empty());
+}
+
+TEST(ToCsv, RoundTrips) {
+  CsvTable t;
+  t.header = {"a", "b"};
+  t.rows = {{1.0, 2.5}, {3.0, 4.0}};
+  const CsvTable back = parse_csv(to_csv(t));
+  ASSERT_EQ(back.header.size(), 2u);
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.rows[0][1], 2.5);
+}
+
+TEST(CsvFile, WriteReadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cvr_csv_test.csv").string();
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{1.0, 2.0}, {3.0, 4.0}};
+  write_csv_file(path, t);
+  const CsvTable back = read_csv_file(path);
+  EXPECT_EQ(back.rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/definitely_missing.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cvr

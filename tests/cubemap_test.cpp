@@ -1,0 +1,144 @@
+#include "src/content/cubemap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace cvr::content {
+namespace {
+
+using cvr::motion::FovSpec;
+using cvr::motion::Pose;
+
+TEST(Cubemap, AxisDirectionsHitExpectedFaces) {
+  EXPECT_EQ(project_cubemap(0.0, 0.0).face, CubeFace::kFront);
+  EXPECT_EQ(project_cubemap(90.0, 0.0).face, CubeFace::kRight);
+  EXPECT_EQ(project_cubemap(180.0, 0.0).face, CubeFace::kBack);
+  EXPECT_EQ(project_cubemap(-180.0, 0.0).face, CubeFace::kBack);
+  EXPECT_EQ(project_cubemap(-90.0, 0.0).face, CubeFace::kLeft);
+  EXPECT_EQ(project_cubemap(0.0, 90.0).face, CubeFace::kUp);
+  EXPECT_EQ(project_cubemap(0.0, -90.0).face, CubeFace::kDown);
+}
+
+TEST(Cubemap, FaceCentersProjectToOrigin) {
+  for (double yaw : {0.0, 90.0, 180.0, -90.0}) {
+    const CubeCoord c = project_cubemap(yaw, 0.0);
+    EXPECT_NEAR(c.u, 0.0, 1e-12) << yaw;
+    EXPECT_NEAR(c.v, 0.0, 1e-12) << yaw;
+  }
+}
+
+TEST(Cubemap, CoordinatesBounded) {
+  cvr::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const CubeCoord c = rng.uniform() < 0.5
+                            ? project_cubemap(rng.uniform(-180.0, 180.0),
+                                              rng.uniform(-90.0, 90.0))
+                            : project_cubemap(rng.uniform(-180.0, 180.0),
+                                              rng.uniform(-89.0, 89.0));
+    EXPECT_GE(c.u, -1.0 - 1e-12);
+    EXPECT_LE(c.u, 1.0 + 1e-12);
+    EXPECT_GE(c.v, -1.0 - 1e-12);
+    EXPECT_LE(c.v, 1.0 + 1e-12);
+  }
+}
+
+TEST(Cubemap, ProjectUnprojectRoundTrip) {
+  cvr::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double yaw = rng.uniform(-180.0, 180.0);
+    const double pitch = rng.uniform(-89.0, 89.0);
+    const auto back = unproject_cubemap(project_cubemap(yaw, pitch));
+    EXPECT_NEAR(back[0], yaw, 1e-9) << yaw << " " << pitch;
+    EXPECT_NEAR(back[1], pitch, 1e-9) << yaw << " " << pitch;
+  }
+}
+
+FovSpec narrow() {
+  FovSpec spec;
+  spec.horizontal_deg = 40.0;
+  spec.vertical_deg = 40.0;
+  spec.margin_deg = 5.0;
+  return spec;
+}
+
+TEST(CubemapFaces, FaceCenterViewNeedsOneFace) {
+  Pose view;  // yaw 0, pitch 0: centre of the front face
+  const auto faces = faces_for_view(narrow(), view);
+  EXPECT_EQ(faces, (std::vector<int>{static_cast<int>(CubeFace::kFront)}));
+}
+
+TEST(CubemapFaces, EdgeViewNeedsTwoFaces) {
+  Pose view;
+  view.yaw = 45.0;  // front/right edge
+  const auto faces = faces_for_view(narrow(), view);
+  EXPECT_EQ(faces, (std::vector<int>{static_cast<int>(CubeFace::kFront),
+                                     static_cast<int>(CubeFace::kRight)}));
+}
+
+TEST(CubemapFaces, CornerViewNeedsThreeFaces) {
+  Pose view;
+  view.yaw = 45.0;
+  view.pitch = 45.0;  // front/right/up corner (cube corner at ~35.26 deg)
+  const auto faces = faces_for_view(narrow(), view);
+  EXPECT_EQ(faces.size(), 3u);
+}
+
+TEST(CubemapFaces, AntimeridianHandled) {
+  Pose view;
+  view.yaw = 179.0;
+  const auto faces = faces_for_view(narrow(), view);
+  EXPECT_EQ(faces, (std::vector<int>{static_cast<int>(CubeFace::kBack)}));
+}
+
+TEST(CubemapFaces, PoleViewSelectsUpFace) {
+  Pose view;
+  view.pitch = 85.0;
+  const auto faces = faces_for_view(narrow(), view);
+  EXPECT_TRUE(std::find(faces.begin(), faces.end(),
+                        static_cast<int>(CubeFace::kUp)) != faces.end());
+}
+
+TEST(CubemapFaces, DeliveredCoversOwnFov) {
+  // Self-coverage property across a dense view sweep.
+  FovSpec spec;
+  spec.margin_deg = 10.0;
+  for (int yi = 0; yi < 24; ++yi) {
+    for (int pi = 0; pi < 11; ++pi) {
+      Pose view;
+      view.yaw = -180.0 + 15.0 * yi;
+      view.pitch = -75.0 + 15.0 * pi;
+      const auto delivered = faces_for_view(spec, view);
+      EXPECT_TRUE(faces_cover(delivered, spec, view))
+          << view.yaw << " " << view.pitch;
+    }
+  }
+}
+
+TEST(CubemapFaces, MissingFaceFailsCoverage) {
+  Pose view;
+  view.yaw = 45.0;  // needs front + right
+  const FovSpec spec = narrow();
+  EXPECT_FALSE(faces_cover({static_cast<int>(CubeFace::kFront)}, spec, view));
+  EXPECT_TRUE(faces_cover({static_cast<int>(CubeFace::kFront),
+                           static_cast<int>(CubeFace::kRight)},
+                          spec, view));
+}
+
+TEST(CubemapFaces, WideWindowNeverExceedsSixFaces) {
+  FovSpec wide;
+  wide.horizontal_deg = 200.0;
+  wide.vertical_deg = 160.0;
+  wide.margin_deg = 30.0;
+  Pose view;
+  view.yaw = 10.0;
+  view.pitch = 10.0;
+  const auto faces = faces_for_view(wide, view);
+  EXPECT_LE(faces.size(), 6u);
+  EXPECT_GE(faces.size(), 4u);
+}
+
+}  // namespace
+}  // namespace cvr::content

@@ -1,0 +1,65 @@
+#include "src/system/decoder.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr::system {
+namespace {
+
+TEST(DecoderPool, ZeroTilesIsInstant) {
+  DecoderPool pool;
+  EXPECT_DOUBLE_EQ(pool.decode_time_ms(0), 0.0);
+  EXPECT_TRUE(pool.on_time(0));
+}
+
+TEST(DecoderPool, SingleWaveForUpToFiveTiles) {
+  DecoderPool pool;  // 5 decoders, 2.5 ms/tile
+  for (std::size_t tiles = 1; tiles <= 5; ++tiles) {
+    EXPECT_DOUBLE_EQ(pool.decode_time_ms(tiles), 2.5) << tiles;
+  }
+  EXPECT_DOUBLE_EQ(pool.decode_time_ms(6), 5.0);
+  EXPECT_DOUBLE_EQ(pool.decode_time_ms(11), 7.5);
+}
+
+TEST(DecoderPool, PaperConfigHandlesAFrameEasily) {
+  // Four tiles, five decoders: one wave, well within a slot — the paper
+  // sets 5 decoders "to avoid the performance degradation caused by the
+  // decoding".
+  DecoderPool pool;
+  EXPECT_TRUE(pool.on_time(4));
+}
+
+TEST(DecoderPool, BudgetBoundary) {
+  DecoderPoolConfig config;
+  config.decoders = 2;
+  config.decode_ms_per_tile = 5.0;
+  config.stage_budget_ms = 10.0;
+  DecoderPool pool(config);
+  EXPECT_TRUE(pool.on_time(4));   // 2 waves x 5 ms = 10 ms: exactly fits
+  EXPECT_FALSE(pool.on_time(5));  // 3 waves = 15 ms
+  EXPECT_EQ(pool.max_tiles_per_slot(), 4u);
+}
+
+TEST(DecoderPool, SingleDecoderSerializes) {
+  DecoderPoolConfig config;
+  config.decoders = 1;
+  config.decode_ms_per_tile = 3.0;
+  DecoderPool pool(config);
+  EXPECT_DOUBLE_EQ(pool.decode_time_ms(4), 12.0);
+}
+
+TEST(DecoderPool, MaxTilesPerSlotDefault) {
+  DecoderPool pool;  // floor(15.15/2.5) = 6 waves x 5 decoders
+  EXPECT_EQ(pool.max_tiles_per_slot(), 30u);
+}
+
+TEST(DecoderPool, RejectsBadConfig) {
+  DecoderPoolConfig bad;
+  bad.decoders = 0;
+  EXPECT_THROW(DecoderPool{bad}, std::invalid_argument);
+  DecoderPoolConfig bad2;
+  bad2.decode_ms_per_tile = 0.0;
+  EXPECT_THROW(DecoderPool{bad2}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvr::system

@@ -1,0 +1,99 @@
+#include "src/system/device.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/dv_greedy.h"
+#include "src/system/system_sim.h"
+
+namespace cvr::system {
+namespace {
+
+TEST(DeviceProfile, ClientConfigCarriesDeviceParameters) {
+  const DeviceProfile device{"test", 2, 4.5, 123};
+  const ClientConfig config = device.client_config(12.0);
+  EXPECT_EQ(config.decoder.decoders, 2);
+  EXPECT_DOUBLE_EQ(config.decoder.decode_ms_per_tile, 4.5);
+  EXPECT_EQ(config.buffer_threshold, 123u);
+  EXPECT_DOUBLE_EQ(config.display_deadline_ms, 12.0);
+  EXPECT_DOUBLE_EQ(config.decoder.stage_budget_ms, 12.0);
+}
+
+TEST(DeviceProfile, GenerationsOrderedByCapability) {
+  EXPECT_GT(pixel6().decoders, pixel4().decoders);
+  EXPECT_LT(pixel6().decode_ms_per_tile, pixel4().decode_ms_per_tile);
+  EXPECT_GT(pixel6().buffer_threshold, pixel4().buffer_threshold);
+  EXPECT_GE(pixel5().decoders, pixel4().decoders);
+}
+
+TEST(PaperFleet, MatchesSectionSixCounts) {
+  const auto fleet = paper_fleet();
+  ASSERT_EQ(fleet.size(), 15u);
+  std::size_t p6 = 0, p5 = 0, p4 = 0;
+  for (const auto& d : fleet) {
+    if (d.name == "pixel6") ++p6;
+    if (d.name == "pixel5") ++p5;
+    if (d.name == "pixel4") ++p4;
+  }
+  EXPECT_EQ(p6, 10u);
+  EXPECT_EQ(p5, 2u);
+  EXPECT_EQ(p4, 3u);
+}
+
+TEST(AssignDevices, RoundRobinAndTruncation) {
+  const std::vector<DeviceProfile> fleet = {pixel6(), pixel4()};
+  const auto assigned = assign_devices(fleet, 5);
+  ASSERT_EQ(assigned.size(), 5u);
+  EXPECT_EQ(assigned[0].name, "pixel6");
+  EXPECT_EQ(assigned[1].name, "pixel4");
+  EXPECT_EQ(assigned[4].name, "pixel6");
+  EXPECT_TRUE(assign_devices(fleet, 0).empty());
+}
+
+TEST(AssignDevices, EmptyFleetThrows) {
+  EXPECT_THROW(assign_devices({}, 3), std::invalid_argument);
+}
+
+TEST(SystemSimDevices, HeterogeneousFleetRuns) {
+  SystemSimConfig config = setup_two_routers(15);
+  config.slots = 200;
+  config.devices = paper_fleet();
+  core::DvGreedyAllocator alloc;
+  const auto outcomes = SystemSim(config).run(alloc, 0);
+  ASSERT_EQ(outcomes.size(), 15u);
+  for (const auto& o : outcomes) {
+    EXPECT_GE(o.fps, 0.0);
+    EXPECT_LE(o.fps, 66.1);
+  }
+}
+
+TEST(SystemSimDevices, WeakDeviceDropsMoreFramesUnderDecodeLoad) {
+  // Give every device a heavy tile stream; the 1-decoder "ancient"
+  // profile must show a lower frame rate than the strong one.
+  SystemSimConfig config = setup_one_router(2);
+  config.slots = 500;
+  DeviceProfile strong{"strong", 5, 2.0, 700};
+  DeviceProfile weak{"weak", 1, 8.0, 100};
+  config.devices = {strong, weak};
+  core::DvGreedyAllocator alloc;
+  const auto outcomes = SystemSim(config).run(alloc, 0);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_GE(outcomes[0].fps, outcomes[1].fps);
+}
+
+TEST(SystemSimDevices, EmptyDeviceListUsesSharedClientConfig) {
+  SystemSimConfig a = setup_one_router(2);
+  a.slots = 150;
+  SystemSimConfig b = a;
+  b.devices = {DeviceProfile{"same", a.client.decoder.decoders,
+                             a.client.decoder.decode_ms_per_tile,
+                             a.client.buffer_threshold}};
+  core::DvGreedyAllocator x, y;
+  const auto oa = SystemSim(a).run(x, 0);
+  const auto ob = SystemSim(b).run(y, 0);
+  for (std::size_t u = 0; u < oa.size(); ++u) {
+    EXPECT_DOUBLE_EQ(oa[u].avg_qoe, ob[u].avg_qoe);
+  }
+}
+
+}  // namespace
+}  // namespace cvr::system

@@ -1,0 +1,116 @@
+// Cross-module integration: the paper's headline orderings at reduced
+// scale. These are the qualitative claims EXPERIMENTS.md quantifies with
+// the full bench binaries.
+#include <gtest/gtest.h>
+
+#include "src/core/dv_greedy.h"
+#include "src/core/firefly.h"
+#include "src/core/optimal.h"
+#include "src/core/pavq.h"
+#include "src/sim/simulation.h"
+#include "src/system/system_sim.h"
+
+namespace cvr {
+namespace {
+
+trace::TraceRepositoryConfig repo_config() {
+  trace::TraceRepositoryConfig config;
+  config.fcc_pool_size = 10;
+  config.lte_pool_size = 5;
+  config.fcc.duration_s = 40.0;
+  config.lte.duration_s = 40.0;
+  return config;
+}
+
+TEST(EndToEnd, Fig2OrderingAtSmallScale) {
+  // 4 users so the offline per-slot optimum is cheap; 6 runs.
+  const trace::TraceRepository repo(repo_config(), 1);
+  sim::TraceSimConfig config;
+  config.users = 4;
+  config.slots = 600;
+  const sim::TraceSimulation simulation(config, repo);
+
+  core::DvGreedyAllocator ours;
+  core::BruteForceAllocator optimal;
+  core::FireflyAllocator firefly;
+  core::PavqAllocator pavq = core::PavqAllocator::perfect_knowledge();
+  const auto arms = simulation.compare({&ours, &optimal, &firefly, &pavq}, 6);
+
+  const double qoe_ours = arms[0].mean_qoe();
+  const double qoe_opt = arms[1].mean_qoe();
+  const double qoe_firefly = arms[2].mean_qoe();
+  const double qoe_pavq = arms[3].mean_qoe();
+
+  // Ours ~ per-slot optimal. Note the "optimal" arm is optimal per slot
+  // given its own realized history; over a horizon the trajectories are
+  // path-dependent, so tiny crossings are possible — we assert closeness,
+  // not dominance (Fig. 2a shows them overlapping).
+  EXPECT_NEAR(qoe_ours, qoe_opt, 0.05 * std::abs(qoe_opt));
+  // Ours beats Firefly clearly; PAVQ is the stronger baseline and sits
+  // within a few percent (Fig. 2a).
+  EXPECT_GT(qoe_ours, qoe_firefly);
+  EXPECT_GT(qoe_ours, qoe_pavq - 0.05 * std::abs(qoe_pavq));
+  EXPECT_GT(qoe_pavq, qoe_firefly);
+}
+
+TEST(EndToEnd, FireflyTradesVarianceForQuality) {
+  // Fig. 2b-2d: Firefly chases quality and pays in delay/variance.
+  const trace::TraceRepository repo(repo_config(), 2);
+  sim::TraceSimConfig config;
+  config.users = 4;
+  config.slots = 600;
+  const sim::TraceSimulation simulation(config, repo);
+
+  core::DvGreedyAllocator ours;
+  core::FireflyAllocator firefly;
+  const auto arms = simulation.compare({&ours, &firefly}, 4);
+  // Firefly's quality is at least comparable (it chases quality), while
+  // its delay and variance are clearly worse — the Fig. 2b-2d trade-off.
+  EXPECT_GE(arms[1].mean_quality(), arms[0].mean_quality() - 0.15);
+  EXPECT_GT(arms[1].mean_delay_ms(), arms[0].mean_delay_ms());
+  EXPECT_GT(arms[1].mean_variance(), arms[0].mean_variance());
+}
+
+TEST(EndToEnd, SystemSetupOneOrdering) {
+  // Fig. 7a ordering at reduced scale: ours > PAVQ > Firefly.
+  system::SystemSimConfig config = system::setup_one_router(4);
+  config.slots = 500;
+  const system::SystemSim sim(config);
+  core::DvGreedyAllocator ours;
+  core::PavqAllocator pavq;
+  core::FireflyAllocator firefly;
+  const auto arms = sim.compare({&ours, &pavq, &firefly}, 3);
+  EXPECT_GT(arms[0].mean_qoe(), arms[1].mean_qoe());
+  EXPECT_GT(arms[1].mean_qoe(), arms[2].mean_qoe());
+}
+
+TEST(EndToEnd, SystemSetupTwoRobustness) {
+  // Fig. 8: under two-router interference ours stays clearly ahead of
+  // PAVQ and Firefly collapses hardest.
+  system::SystemSimConfig config = system::setup_two_routers(6);
+  config.slots = 500;
+  const system::SystemSim sim(config);
+  core::DvGreedyAllocator ours;
+  core::PavqAllocator pavq;
+  core::FireflyAllocator firefly;
+  const auto arms = sim.compare({&ours, &pavq, &firefly}, 3);
+  EXPECT_GT(arms[0].mean_qoe(), arms[1].mean_qoe());
+  EXPECT_GT(arms[0].mean_qoe(), arms[2].mean_qoe());
+  EXPECT_GE(arms[1].mean_qoe(), arms[2].mean_qoe() - 1e-9);
+}
+
+TEST(EndToEnd, OursSustainsBestFrameRate) {
+  // Fig. 7c: best FPS among the three algorithms.
+  system::SystemSimConfig config = system::setup_one_router(4);
+  config.slots = 400;
+  const system::SystemSim sim(config);
+  core::DvGreedyAllocator ours;
+  core::PavqAllocator pavq;
+  core::FireflyAllocator firefly;
+  const auto arms = sim.compare({&ours, &pavq, &firefly}, 2);
+  EXPECT_GE(arms[0].mean_fps(), arms[1].mean_fps() - 1e-9);
+  EXPECT_GT(arms[0].mean_fps(), arms[2].mean_fps());
+}
+
+}  // namespace
+}  // namespace cvr

@@ -1,0 +1,101 @@
+#include "src/experiments/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace cvr::experiments {
+namespace {
+
+EnsembleSpec small_trace_spec() {
+  EnsembleSpec spec;
+  spec.platform = EnsembleSpec::Platform::kTrace;
+  spec.users = 3;
+  spec.slots = 200;
+  spec.repeats = 2;
+  spec.algorithms = {"dv", "firefly"};
+  return spec;
+}
+
+TEST(Ensemble, TracePlatformRuns) {
+  const auto arms = run_ensemble(small_trace_spec());
+  ASSERT_EQ(arms.size(), 2u);
+  EXPECT_EQ(arms[0].algorithm, "dv-greedy");
+  EXPECT_EQ(arms[1].algorithm, "firefly-aqc");
+  EXPECT_EQ(arms[0].outcomes.size(), 3u * 2u);
+}
+
+TEST(Ensemble, SystemPlatformRuns) {
+  EnsembleSpec spec = small_trace_spec();
+  spec.platform = EnsembleSpec::Platform::kSystem;
+  spec.routers = 2;
+  const auto arms = run_ensemble(spec);
+  ASSERT_EQ(arms.size(), 2u);
+  EXPECT_GT(arms[0].mean_fps(), 0.0);  // FPS only exists on this platform
+}
+
+TEST(Ensemble, Deterministic) {
+  const auto a = run_ensemble(small_trace_spec());
+  const auto b = run_ensemble(small_trace_spec());
+  EXPECT_DOUBLE_EQ(a[0].mean_qoe(), b[0].mean_qoe());
+}
+
+TEST(Ensemble, SeedChangesOutcomes) {
+  EnsembleSpec other = small_trace_spec();
+  other.seed = 9999;
+  EXPECT_NE(run_ensemble(small_trace_spec())[0].mean_qoe(),
+            run_ensemble(other)[0].mean_qoe());
+}
+
+TEST(Ensemble, CustomWeightsApplied) {
+  EnsembleSpec heavy_beta = small_trace_spec();
+  heavy_beta.algorithms = {"dv"};
+  heavy_beta.slots = 600;
+  heavy_beta.beta = 5.0;
+  EnsembleSpec no_beta = heavy_beta;
+  no_beta.beta = 0.0;
+  EXPECT_LT(run_ensemble(heavy_beta)[0].mean_variance(),
+            run_ensemble(no_beta)[0].mean_variance());
+}
+
+TEST(Ensemble, WritesReports) {
+  EnsembleSpec spec = small_trace_spec();
+  spec.report_prefix =
+      (std::filesystem::temp_directory_path() / "cvr_ensemble_test").string();
+  run_ensemble(spec);
+  for (const char* suffix :
+       {"_outcomes.csv", "_cdf_qoe.csv", "_cdf_quality.csv",
+        "_cdf_delay_ms.csv", "_cdf_variance.csv"}) {
+    const std::string path = spec.report_prefix + suffix;
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Ensemble, RejectsBadSpecs) {
+  EnsembleSpec spec = small_trace_spec();
+  spec.algorithms = {"nope"};
+  EXPECT_THROW(run_ensemble(spec), std::invalid_argument);
+  spec = small_trace_spec();
+  spec.users = 0;
+  EXPECT_THROW(run_ensemble(spec), std::invalid_argument);
+  spec = small_trace_spec();
+  spec.algorithms.clear();
+  EXPECT_THROW(run_ensemble(spec), std::invalid_argument);
+  spec = small_trace_spec();
+  spec.routers = 3;
+  EXPECT_THROW(run_ensemble(spec), std::invalid_argument);
+}
+
+TEST(Ensemble, PavqVariantFollowsPlatform) {
+  // Smoke: "pavq" resolves on both platforms without manual variants.
+  EnsembleSpec spec = small_trace_spec();
+  spec.algorithms = {"pavq"};
+  EXPECT_EQ(run_ensemble(spec).size(), 1u);
+  spec.platform = EnsembleSpec::Platform::kSystem;
+  EXPECT_EQ(run_ensemble(spec).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cvr::experiments

@@ -1,0 +1,168 @@
+#include "src/content/equirect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cvr::content {
+namespace {
+
+using cvr::motion::FovSpec;
+using cvr::motion::Pose;
+
+TEST(Equirect, ProjectCenter) {
+  const TexCoord tc = project_equirect(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(tc.u, 0.5);
+  EXPECT_DOUBLE_EQ(tc.v, 0.5);
+}
+
+TEST(Equirect, ProjectCorners) {
+  EXPECT_DOUBLE_EQ(project_equirect(-180.0, 90.0).u, 0.0);
+  EXPECT_DOUBLE_EQ(project_equirect(-180.0, 90.0).v, 0.0);
+  EXPECT_DOUBLE_EQ(project_equirect(0.0, -90.0).v, 1.0);
+  // +180 wraps to -180 -> u = 0.
+  EXPECT_DOUBLE_EQ(project_equirect(180.0, 0.0).u, 0.0);
+}
+
+TEST(Equirect, UnprojectRoundTrip) {
+  for (double yaw : {-170.0, -90.0, 0.0, 45.0, 135.0}) {
+    for (double pitch : {-80.0, -30.0, 0.0, 30.0, 80.0}) {
+      const auto back = unproject_equirect(project_equirect(yaw, pitch));
+      EXPECT_NEAR(back[0], yaw, 1e-9);
+      EXPECT_NEAR(back[1], pitch, 1e-9);
+    }
+  }
+}
+
+TEST(Equirect, PitchClamped) {
+  EXPECT_DOUBLE_EQ(project_equirect(0.0, 120.0).v, 0.0);
+  EXPECT_DOUBLE_EQ(project_equirect(0.0, -120.0).v, 1.0);
+}
+
+FovSpec narrow_spec() {
+  FovSpec spec;
+  spec.horizontal_deg = 60.0;
+  spec.vertical_deg = 40.0;
+  spec.margin_deg = 5.0;
+  return spec;
+}
+
+TEST(TilesForView, CenterOfLeftTopTile) {
+  // Left column: yaw in [-180, 0); top row: pitch > 0.
+  Pose view;
+  view.yaw = -90.0;
+  view.pitch = 45.0;
+  const auto tiles = tiles_for_view(narrow_spec(), view);
+  EXPECT_EQ(tiles, (std::vector<int>{0}));
+}
+
+TEST(TilesForView, CenterOfRightBottomTile) {
+  Pose view;
+  view.yaw = 90.0;
+  view.pitch = -45.0;
+  const auto tiles = tiles_for_view(narrow_spec(), view);
+  EXPECT_EQ(tiles, (std::vector<int>{3}));
+}
+
+TEST(TilesForView, HorizonSpansBothRows) {
+  Pose view;
+  view.yaw = -90.0;
+  view.pitch = 0.0;
+  const auto tiles = tiles_for_view(narrow_spec(), view);
+  EXPECT_EQ(tiles, (std::vector<int>{0, 2}));
+}
+
+TEST(TilesForView, ColumnBoundarySpansBothColumns) {
+  Pose view;
+  view.yaw = 0.0;  // on the column boundary
+  view.pitch = 45.0;
+  const auto tiles = tiles_for_view(narrow_spec(), view);
+  EXPECT_EQ(tiles, (std::vector<int>{0, 1}));
+}
+
+TEST(TilesForView, AntimeridianSpansBothColumns) {
+  Pose view;
+  view.yaw = 179.0;  // straddles +-180, which is also a column boundary
+  view.pitch = 45.0;
+  const auto tiles = tiles_for_view(narrow_spec(), view);
+  EXPECT_EQ(tiles, (std::vector<int>{0, 1}));
+}
+
+TEST(TilesForView, CenterViewNeedsAllFour) {
+  Pose view;  // yaw 0 pitch 0: both boundaries
+  const auto tiles = tiles_for_view(narrow_spec(), view);
+  EXPECT_EQ(tiles, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TilesForView, WideWindowSelectsBothColumns) {
+  FovSpec wide;
+  wide.horizontal_deg = 200.0;
+  wide.vertical_deg = 40.0;
+  wide.margin_deg = 0.0;
+  Pose view;
+  view.yaw = -90.0;
+  view.pitch = 45.0;
+  const auto tiles = tiles_for_view(wide, view);
+  EXPECT_EQ(tiles, (std::vector<int>{0, 1}));
+}
+
+TEST(TilesForView, MarginGrowsSelection) {
+  // A view near the column boundary: without margin one column, with a
+  // large margin both.
+  FovSpec no_margin = narrow_spec();
+  no_margin.margin_deg = 0.0;
+  FovSpec with_margin = narrow_spec();
+  with_margin.margin_deg = 30.0;
+  Pose view;
+  view.yaw = -35.0;
+  view.pitch = 60.0;  // high enough that even the margin stays in row 0
+  EXPECT_EQ(tiles_for_view(no_margin, view).size(), 1u);
+  EXPECT_EQ(tiles_for_view(with_margin, view).size(), 2u);
+}
+
+TEST(TilesCover, DeliveredSupersetCovers) {
+  const FovSpec spec = narrow_spec();
+  Pose actual;
+  actual.yaw = -90.0;
+  actual.pitch = 45.0;
+  EXPECT_TRUE(tiles_cover({0, 1, 2, 3}, spec, actual));
+  EXPECT_TRUE(tiles_cover({0}, spec, actual));
+}
+
+TEST(TilesCover, MissingTileFails) {
+  const FovSpec spec = narrow_spec();
+  Pose actual;
+  actual.yaw = -90.0;
+  actual.pitch = 0.0;  // needs tiles 0 and 2
+  EXPECT_FALSE(tiles_cover({0}, spec, actual));
+  EXPECT_TRUE(tiles_cover({0, 2}, spec, actual));
+}
+
+TEST(TilesCover, EmptyDeliveryFails) {
+  const FovSpec spec = narrow_spec();
+  Pose actual;
+  actual.yaw = -90.0;
+  actual.pitch = 45.0;
+  EXPECT_FALSE(tiles_cover({}, spec, actual));
+}
+
+// Property: the delivered set for a view always covers that same view's
+// unmargined needs.
+class SelfCoverage : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelfCoverage, DeliveredCoversOwnFov) {
+  const int i = GetParam();
+  FovSpec spec;
+  spec.margin_deg = 10.0;
+  Pose view;
+  view.yaw = -180.0 + 17.0 * i;
+  view.pitch = -80.0 + 13.0 * i;
+  const auto delivered = tiles_for_view(spec, view);
+  EXPECT_TRUE(tiles_cover(delivered, spec, view))
+      << "yaw " << view.yaw << " pitch " << view.pitch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SelfCoverage, ::testing::Range(0, 13));
+
+}  // namespace
+}  // namespace cvr::content

@@ -1,0 +1,110 @@
+#include "src/net/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/mm1.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace cvr::net {
+namespace {
+
+TEST(EmaThroughputEstimator, StartsAtInitial) {
+  EmaThroughputEstimator est(0.2, 40.0);
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 40.0);
+}
+
+TEST(EmaThroughputEstimator, ConvergesToConstantSignal) {
+  EmaThroughputEstimator est(0.2, 40.0);
+  for (int i = 0; i < 200; ++i) est.observe(60.0);
+  EXPECT_NEAR(est.estimate_mbps(), 60.0, 0.01);
+}
+
+TEST(EmaThroughputEstimator, SingleStepIsConvexCombination) {
+  EmaThroughputEstimator est(0.25, 40.0);
+  est.observe(80.0);
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 0.75 * 40.0 + 0.25 * 80.0);
+}
+
+TEST(EmaThroughputEstimator, LagsStepChange) {
+  // The estimation-lag behaviour that hurts aggressive allocators: after
+  // a sudden capacity drop the estimate stays optimistic for a while.
+  EmaThroughputEstimator est(0.1, 60.0);
+  for (int i = 0; i < 100; ++i) est.observe(60.0);
+  est.observe(20.0);
+  est.observe(20.0);
+  EXPECT_GT(est.estimate_mbps(), 40.0);  // still far above reality
+}
+
+TEST(EmaThroughputEstimator, SmoothsNoise) {
+  cvr::Rng rng(1);
+  EmaThroughputEstimator est(0.05, 50.0);
+  double min_seen = 1e9, max_seen = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    est.observe(50.0 + rng.normal(0.0, 10.0));
+    min_seen = std::min(min_seen, est.estimate_mbps());
+    max_seen = std::max(max_seen, est.estimate_mbps());
+  }
+  EXPECT_GT(min_seen, 40.0);
+  EXPECT_LT(max_seen, 60.0);
+}
+
+TEST(EmaThroughputEstimator, RejectsBadInput) {
+  EXPECT_THROW(EmaThroughputEstimator(0.0, 40.0), std::invalid_argument);
+  EXPECT_THROW(EmaThroughputEstimator(1.1, 40.0), std::invalid_argument);
+  EmaThroughputEstimator est(0.2, 40.0);
+  EXPECT_THROW(est.observe(-1.0), std::invalid_argument);
+}
+
+TEST(DelayPredictor, ColdStartUsesAnalyticMm1) {
+  DelayPredictor pred;
+  EXPECT_FALSE(pred.trained());
+  const double expected = mm1_delay(20.0, 40.0) * cvr::kSlotMillis;
+  EXPECT_DOUBLE_EQ(pred.predict_ms(20.0, 40.0), expected);
+}
+
+TEST(DelayPredictor, LearnsQuadraticDelayCurve) {
+  DelayPredictor pred;
+  // Feed a synthetic convex delay curve; the quadratic fit should track
+  // it well inside the observed range.
+  auto truth = [](double r) { return 0.5 + 0.02 * r + 0.004 * r * r; };
+  for (double r = 5.0; r <= 50.0; r += 1.0) pred.observe(r, truth(r));
+  EXPECT_TRUE(pred.trained());
+  for (double r : {10.0, 25.0, 40.0}) {
+    EXPECT_NEAR(pred.predict_ms(r, 60.0), truth(r), 0.05);
+  }
+}
+
+TEST(DelayPredictor, PredictionNeverNegative) {
+  DelayPredictor pred;
+  // Decreasing-looking noise could yield a negative quadratic somewhere.
+  for (double r = 5.0; r <= 20.0; r += 1.0) pred.observe(r, 0.01);
+  EXPECT_GE(pred.predict_ms(0.0, 60.0), 0.0);
+  EXPECT_GE(pred.predict_ms(100.0, 60.0), 0.0);
+}
+
+TEST(DelayPredictor, RejectsNegativeSamples) {
+  DelayPredictor pred;
+  EXPECT_THROW(pred.observe(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(pred.observe(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(DelayPredictor, NoisyMm1SamplesStillTrackAnalytic) {
+  cvr::Rng rng(2);
+  DelayPredictor pred;
+  const double bandwidth = 50.0;
+  for (int i = 0; i < 300; ++i) {
+    const double r = rng.uniform(5.0, 40.0);
+    const double d = mm1_delay(r, bandwidth) * (1.0 + rng.normal(0.0, 0.1));
+    pred.observe(r, std::max(0.0, d));
+  }
+  // Mid-range prediction within a factor ~2 of the analytic value
+  // (quadratic approximation of a hyperbola over the sampled range).
+  const double analytic = mm1_delay(25.0, bandwidth);
+  const double predicted = pred.predict_ms(25.0, bandwidth);
+  EXPECT_GT(predicted, analytic * 0.4);
+  EXPECT_LT(predicted, analytic * 2.5);
+}
+
+}  // namespace
+}  // namespace cvr::net

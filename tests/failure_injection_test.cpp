@@ -1,0 +1,180 @@
+// Failure injection: the system must degrade gracefully — never crash,
+// never emit out-of-range metrics — under hostile network conditions,
+// degenerate traces, and pathological allocator inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core_test_util.h"
+#include "src/core/dv_greedy.h"
+#include "src/core/firefly.h"
+#include "src/core/lagrangian.h"
+#include "src/core/pavq.h"
+#include "src/sim/simulation.h"
+#include "src/system/system_sim.h"
+
+namespace cvr {
+namespace {
+
+using core::testutil::make_crf_user;
+
+void expect_sane(const sim::UserOutcome& o) {
+  EXPECT_TRUE(std::isfinite(o.avg_qoe));
+  EXPECT_GE(o.avg_quality, 0.0);
+  EXPECT_LE(o.avg_quality, 6.0);
+  EXPECT_GE(o.avg_delay_ms, 0.0);
+  EXPECT_GE(o.variance, 0.0);
+  EXPECT_LE(o.variance, 9.0);
+  EXPECT_GE(o.fps, 0.0);
+  EXPECT_LE(o.fps, 66.1);
+}
+
+TEST(FailureInjection, NearTotalInterferenceCollapse) {
+  // Interference bursts that kill 95% of capacity and barely ever end.
+  system::SystemSimConfig config = system::setup_two_routers(4);
+  config.slots = 400;
+  config.channel.interference_prob = 0.5;
+  config.channel.interference_depth = 0.05;
+  config.channel.interference_exit = 0.02;
+  core::DvGreedyAllocator alloc;
+  for (const auto& o : system::SystemSim(config).run(alloc, 0)) {
+    expect_sane(o);
+    EXPECT_LT(o.avg_qoe, 1.0);  // the world is genuinely terrible
+  }
+}
+
+TEST(FailureInjection, LossStorm) {
+  system::SystemSimConfig config = system::setup_one_router(4);
+  config.slots = 400;
+  config.rtp.base_loss = 0.3;  // 30% of packets vanish even when idle
+  core::DvGreedyAllocator alloc;
+  for (const auto& o : system::SystemSim(config).run(alloc, 0)) {
+    expect_sane(o);
+    EXPECT_LT(o.avg_quality, 1.0);  // nearly nothing decodes
+  }
+}
+
+TEST(FailureInjection, CrippledDecoder) {
+  system::SystemSimConfig config = system::setup_one_router(3);
+  config.slots = 300;
+  config.devices.clear();  // use the shared client config below
+  config.client.decoder.decoders = 1;
+  config.client.decoder.decode_ms_per_tile = 9.0;  // 2 tiles already late
+  core::DvGreedyAllocator alloc;
+  double fps = 0.0;
+  const auto outcomes = system::SystemSim(config).run(alloc, 0);
+  for (const auto& o : outcomes) {
+    expect_sane(o);
+    fps += o.fps;
+  }
+  fps /= static_cast<double>(outcomes.size());
+  EXPECT_LT(fps, 55.0);  // decode stage becomes the bottleneck
+}
+
+TEST(FailureInjection, TinyClientBufferThrashes) {
+  system::SystemSimConfig config = system::setup_one_router(3);
+  config.slots = 300;
+  config.devices.clear();
+  config.client.buffer_threshold = 2;  // evicts almost everything
+  core::DvGreedyAllocator alloc;
+  for (const auto& o : system::SystemSim(config).run(alloc, 0)) {
+    expect_sane(o);
+  }
+}
+
+TEST(FailureInjection, StarvedUplinkTraceSim) {
+  // Server budget far below even the all-ones minimum.
+  trace::TraceRepositoryConfig repo_config;
+  repo_config.fcc.duration_s = 10.0;
+  repo_config.lte.duration_s = 10.0;
+  const trace::TraceRepository repo(repo_config, 1);
+  sim::TraceSimConfig config;
+  config.users = 4;
+  config.slots = 300;
+  config.server_mbps_per_user = 1.0;
+  const sim::TraceSimulation simulation(config, repo);
+  core::DvGreedyAllocator alloc;
+  for (const auto& o : simulation.run(alloc, 0)) {
+    expect_sane(o);
+    EXPECT_LE(o.avg_quality, 1.0 + 1e-9);  // pinned at the minimum
+  }
+}
+
+TEST(FailureInjection, AllocatorsSurvivePathologicalContexts) {
+  // delta = 0 (prediction never works), qbar at the ceiling, huge slot
+  // index, saturated delay on every level.
+  core::SlotProblem problem;
+  problem.params = core::QoeParams{0.5, 5.0};
+  for (int i = 0; i < 4; ++i) {
+    auto user = make_crf_user(15.0, 0.0, 6.0, 1e9);
+    for (auto& d : user.delay) d = net::kSaturatedDelay;
+    problem.users.push_back(std::move(user));
+  }
+  problem.server_bandwidth = 30.0;
+
+  core::DvGreedyAllocator dv;
+  core::FireflyAllocator firefly;
+  core::PavqAllocator pavq;
+  core::LagrangianAllocator lagrangian;
+  core::Allocator* allocators[] = {&dv, &firefly, &pavq, &lagrangian};
+  for (core::Allocator* alloc : allocators) {
+    const core::Allocation a = alloc->allocate(problem);
+    ASSERT_EQ(a.levels.size(), 4u);
+    for (core::QualityLevel q : a.levels) {
+      EXPECT_TRUE(content::is_valid_level(q));
+    }
+    EXPECT_TRUE(std::isfinite(a.objective));
+  }
+}
+
+TEST(FailureInjection, UserCountChangesMidStream) {
+  // A student joins / leaves between slots: stateful allocators must
+  // resync instead of crashing or mis-indexing.
+  core::FireflyAllocator firefly;
+  core::PavqAllocator pavq;
+  core::DvGreedyAllocator dv;
+  for (std::size_t users : {3, 5, 2, 8, 1, 6}) {
+    core::SlotProblem problem;
+    problem.params = core::QoeParams{0.02, 0.5};
+    for (std::size_t n = 0; n < users; ++n) {
+      problem.users.push_back(make_crf_user(50.0, 0.9, 2.0, 10.0));
+    }
+    problem.server_bandwidth = 36.0 * static_cast<double>(users);
+    core::Allocator* allocators[] = {&firefly, &pavq, &dv};
+    for (core::Allocator* alloc : allocators) {
+      EXPECT_EQ(alloc->allocate(problem).levels.size(), users);
+    }
+  }
+}
+
+TEST(FailureInjection, ZeroBandwidthEstimates) {
+  // An EMA driven to (near) zero must not divide-by-zero anywhere.
+  core::SlotProblem problem;
+  problem.params = core::QoeParams{0.1, 0.5};
+  problem.users.push_back(make_crf_user(1e-6, 0.9, 2.0, 10.0));
+  problem.server_bandwidth = 100.0;
+  core::DvGreedyAllocator dv;
+  const auto a = dv.allocate(problem);
+  EXPECT_EQ(a.levels[0], 1);  // nothing above the minimum is feasible
+  EXPECT_TRUE(std::isfinite(a.objective));
+}
+
+TEST(FailureInjection, ExtremeWeights) {
+  for (double alpha : {0.0, 1e6}) {
+    for (double beta : {0.0, 1e6}) {
+      core::SlotProblem problem;
+      problem.params = core::QoeParams{alpha, beta};
+      for (int i = 0; i < 3; ++i) {
+        problem.users.push_back(make_crf_user(60.0, 0.9, 3.0, 50.0));
+      }
+      problem.server_bandwidth = 150.0;
+      core::DvGreedyAllocator dv;
+      const auto a = dv.allocate(problem);
+      EXPECT_TRUE(core::server_feasible(problem, a.levels));
+      EXPECT_TRUE(std::isfinite(a.objective));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvr

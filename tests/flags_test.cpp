@@ -1,0 +1,123 @@
+#include "src/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr {
+namespace {
+
+TEST(FlagParser, ParsesAllTypes) {
+  bool flag_b = false;
+  std::int64_t flag_i = 1;
+  double flag_d = 0.5;
+  std::string flag_s = "x";
+  FlagParser parser;
+  parser.add("b", &flag_b, "bool");
+  parser.add("i", &flag_i, "int");
+  parser.add("d", &flag_d, "double");
+  parser.add("s", &flag_s, "string");
+  const char* argv[] = {"prog", "--b", "--i", "42", "--d=2.5", "--s", "hello"};
+  ASSERT_TRUE(parser.parse(7, argv));
+  EXPECT_TRUE(flag_b);
+  EXPECT_EQ(flag_i, 42);
+  EXPECT_DOUBLE_EQ(flag_d, 2.5);
+  EXPECT_EQ(flag_s, "hello");
+}
+
+TEST(FlagParser, DefaultsPreservedWhenAbsent) {
+  std::int64_t flag_i = 7;
+  FlagParser parser;
+  parser.add("i", &flag_i, "int");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(flag_i, 7);
+}
+
+TEST(FlagParser, BoolExplicitValueAndNegation) {
+  bool verbose = true;
+  FlagParser parser;
+  parser.add("verbose", &verbose, "");
+  const char* off[] = {"prog", "--no-verbose"};
+  ASSERT_TRUE(parser.parse(2, off));
+  EXPECT_FALSE(verbose);
+  const char* on[] = {"prog", "--verbose=true"};
+  ASSERT_TRUE(parser.parse(2, on));
+  EXPECT_TRUE(verbose);
+  const char* zero[] = {"prog", "--verbose=0"};
+  ASSERT_TRUE(parser.parse(2, zero));
+  EXPECT_FALSE(verbose);
+}
+
+TEST(FlagParser, UnknownFlagIsError) {
+  FlagParser parser;
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  ASSERT_EQ(parser.errors().size(), 1u);
+  EXPECT_NE(parser.errors()[0].find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagParser, BadValuesCollected) {
+  std::int64_t flag_i = 0;
+  double flag_d = 0.0;
+  FlagParser parser;
+  parser.add("i", &flag_i, "");
+  parser.add("d", &flag_d, "");
+  const char* argv[] = {"prog", "--i", "abc", "--d=xyz"};
+  EXPECT_FALSE(parser.parse(4, argv));
+  EXPECT_EQ(parser.errors().size(), 2u);
+}
+
+TEST(FlagParser, MissingValueIsError) {
+  std::int64_t flag_i = 0;
+  FlagParser parser;
+  parser.add("i", &flag_i, "");
+  const char* argv[] = {"prog", "--i"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(FlagParser, PositionalsCollected) {
+  FlagParser parser;
+  const char* argv[] = {"prog", "input.csv", "more"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  ASSERT_EQ(parser.positionals().size(), 2u);
+  EXPECT_EQ(parser.positionals()[0], "input.csv");
+}
+
+TEST(FlagParser, DuplicateRegistrationThrows) {
+  bool a = false, b = false;
+  FlagParser parser;
+  parser.add("x", &a, "");
+  EXPECT_THROW(parser.add("x", &b, ""), std::invalid_argument);
+}
+
+TEST(FlagParser, UsageMentionsFlagsAndDefaults) {
+  std::int64_t users = 8;
+  FlagParser parser;
+  parser.add("users", &users, "number of users");
+  const std::string usage = parser.usage("cvr_sim");
+  EXPECT_NE(usage.find("--users"), std::string::npos);
+  EXPECT_NE(usage.find("number of users"), std::string::npos);
+  EXPECT_NE(usage.find("default 8"), std::string::npos);
+}
+
+TEST(FlagParser, ReparseClearsState) {
+  std::int64_t flag_i = 0;
+  FlagParser parser;
+  parser.add("i", &flag_i, "");
+  const char* bad[] = {"prog", "--i", "zz"};
+  EXPECT_FALSE(parser.parse(3, bad));
+  const char* good[] = {"prog", "--i", "3"};
+  EXPECT_TRUE(parser.parse(3, good));
+  EXPECT_TRUE(parser.errors().empty());
+  EXPECT_EQ(flag_i, 3);
+}
+
+TEST(FlagParser, NegatedNonBoolIsUnknown) {
+  std::int64_t flag_i = 0;
+  FlagParser parser;
+  parser.add("i", &flag_i, "");
+  const char* argv[] = {"prog", "--no-i"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+}  // namespace
+}  // namespace cvr

@@ -1,0 +1,118 @@
+#include "src/motion/fov.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr::motion {
+namespace {
+
+FovSpec default_spec() { return FovSpec{}; }
+
+TEST(FovCovers, PerfectPredictionCovers) {
+  const FovSpec spec = default_spec();
+  Pose p;
+  p.x = 1.0;
+  p.yaw = 30.0;
+  EXPECT_TRUE(covers(spec, p, p));
+}
+
+TEST(FovCovers, YawWithinMarginCovers) {
+  const FovSpec spec = default_spec();  // margin 15 deg
+  Pose predicted, actual;
+  actual.yaw = 14.9;
+  EXPECT_TRUE(covers(spec, predicted, actual));
+  actual.yaw = 15.1;
+  EXPECT_FALSE(covers(spec, predicted, actual));
+}
+
+TEST(FovCovers, PitchWithinMarginCovers) {
+  const FovSpec spec = default_spec();
+  Pose predicted, actual;
+  actual.pitch = -14.0;
+  EXPECT_TRUE(covers(spec, predicted, actual));
+  actual.pitch = -16.0;
+  EXPECT_FALSE(covers(spec, predicted, actual));
+}
+
+TEST(FovCovers, YawWrapAroundHandled) {
+  const FovSpec spec = default_spec();
+  Pose predicted, actual;
+  predicted.yaw = 175.0;
+  actual.yaw = -175.0;  // only 10 degrees away
+  EXPECT_TRUE(covers(spec, predicted, actual));
+}
+
+TEST(FovCovers, PositionToleranceGates) {
+  // Footnote 1: the margin does NOT absorb location errors.
+  const FovSpec spec = default_spec();  // tolerance 0.10 m
+  Pose predicted, actual;
+  actual.x = 0.09;
+  EXPECT_TRUE(covers(spec, predicted, actual));
+  actual.x = 0.11;
+  EXPECT_FALSE(covers(spec, predicted, actual));
+}
+
+TEST(FovCovers, PositionIn3d) {
+  const FovSpec spec = default_spec();
+  Pose predicted, actual;
+  actual.x = 0.06;
+  actual.y = 0.06;
+  actual.z = 0.06;  // distance ~0.104 > 0.10
+  EXPECT_FALSE(covers(spec, predicted, actual));
+}
+
+TEST(FovCovers, CombinedOrientationAndPosition) {
+  const FovSpec spec = default_spec();
+  Pose predicted, actual;
+  actual.x = 0.05;
+  actual.yaw = 10.0;
+  actual.pitch = -10.0;
+  EXPECT_TRUE(covers(spec, predicted, actual));
+}
+
+TEST(FovCovers, ZeroMarginRequiresExactOrientation) {
+  FovSpec spec = default_spec();
+  spec.margin_deg = 0.0;
+  Pose predicted, actual;
+  EXPECT_TRUE(covers(spec, predicted, actual));
+  actual.yaw = 0.5;
+  EXPECT_FALSE(covers(spec, predicted, actual));
+}
+
+TEST(DeliveredFraction, DefaultNearPaperTwentyPercent) {
+  // 90+2*15 = 120 deg of 360; 90+2*15 = 120 of 180 -> 1/3 * 2/3 = 2/9.
+  const double fraction = delivered_panorama_fraction(default_spec());
+  EXPECT_NEAR(fraction, 2.0 / 9.0, 1e-12);
+  // The paper says the FoV itself is ~20%; FoV+margin a bit more.
+  EXPECT_GT(fraction, 0.1);
+  EXPECT_LT(fraction, 0.35);
+}
+
+TEST(DeliveredFraction, CapsAtWholePanorama) {
+  FovSpec spec;
+  spec.horizontal_deg = 350.0;
+  spec.vertical_deg = 170.0;
+  spec.margin_deg = 30.0;
+  EXPECT_DOUBLE_EQ(delivered_panorama_fraction(spec), 1.0);
+}
+
+// Sweep: coverage must be monotone in the margin.
+class MarginMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(MarginMonotonicity, BiggerMarginNeverHurts) {
+  const double yaw_err = GetParam();
+  FovSpec small;
+  small.margin_deg = 5.0;
+  FovSpec large;
+  large.margin_deg = 25.0;
+  Pose predicted, actual;
+  actual.yaw = yaw_err;
+  if (covers(small, predicted, actual)) {
+    EXPECT_TRUE(covers(large, predicted, actual));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(YawErrors, MarginMonotonicity,
+                         ::testing::Values(0.0, 3.0, 7.0, 12.0, 20.0, 40.0));
+
+}  // namespace
+}  // namespace cvr::motion

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/motion/pose.h"
+#include "src/trace/network_trace.h"
+
+namespace cvr {
+namespace {
+
+using motion::interpolate;
+using motion::interpolate_degrees;
+using motion::Pose;
+
+TEST(InterpolateDegrees, Endpoints) {
+  EXPECT_DOUBLE_EQ(interpolate_degrees(10.0, 50.0, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(interpolate_degrees(10.0, 50.0, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(interpolate_degrees(10.0, 50.0, 0.5), 30.0);
+}
+
+TEST(InterpolateDegrees, ShortestArcThroughWrap) {
+  // 170 -> -170: shortest path crosses +-180 (20 degrees), not 340.
+  EXPECT_DOUBLE_EQ(interpolate_degrees(170.0, -170.0, 0.5), 180.0 * -1.0);
+  EXPECT_DOUBLE_EQ(interpolate_degrees(170.0, -170.0, 0.25), 175.0);
+  EXPECT_DOUBLE_EQ(interpolate_degrees(170.0, -170.0, 0.75), -175.0);
+}
+
+TEST(InterpolateDegrees, ClampsT) {
+  EXPECT_DOUBLE_EQ(interpolate_degrees(0.0, 10.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interpolate_degrees(0.0, 10.0, 2.0), 10.0);
+}
+
+TEST(InterpolatePose, PositionsLerp) {
+  Pose a, b;
+  a.x = 1.0;
+  b.x = 3.0;
+  a.y = -2.0;
+  b.y = 2.0;
+  const Pose mid = interpolate(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 2.0);
+  EXPECT_DOUBLE_EQ(mid.y, 0.0);
+}
+
+TEST(InterpolatePose, YawTakesShortestArc) {
+  Pose a, b;
+  a.yaw = 175.0;
+  b.yaw = -175.0;
+  const Pose mid = interpolate(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.yaw, -180.0);
+}
+
+TEST(InterpolatePose, PitchStaysClamped) {
+  Pose a, b;
+  a.pitch = 80.0;
+  b.pitch = 95.0;  // will be clamped by normalized()
+  const Pose out = interpolate(a, b, 1.0);
+  EXPECT_LE(out.pitch, 90.0);
+}
+
+TEST(InterpolatePose, EndpointsExact) {
+  Pose a, b;
+  a.x = 1.0;
+  a.yaw = -30.0;
+  b.x = 5.0;
+  b.yaw = 140.0;
+  EXPECT_EQ(interpolate(a, b, 0.0), a.normalized());
+  EXPECT_EQ(interpolate(a, b, 1.0), b.normalized());
+}
+
+// ---------- TraceStats ----------
+
+TEST(TraceStats, HandComputedValues) {
+  const trace::NetworkTrace t("t", {{2.0, 40.0}, {2.0, 60.0}});
+  const auto stats = trace::summarize_trace(t);
+  EXPECT_DOUBLE_EQ(stats.duration_s, 4.0);
+  EXPECT_EQ(stats.segments, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_mbps, 50.0);
+  EXPECT_DOUBLE_EQ(stats.std_mbps, 10.0);
+  EXPECT_DOUBLE_EQ(stats.min_mbps, 40.0);
+  EXPECT_DOUBLE_EQ(stats.max_mbps, 60.0);
+  EXPECT_DOUBLE_EQ(stats.p50_mbps, 40.0);  // half the time at 40
+  EXPECT_DOUBLE_EQ(stats.mean_dwell_s, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max_dwell_s, 2.0);
+}
+
+TEST(TraceStats, TimeWeightingMatters) {
+  // 9 s at 20 Mbps, 1 s at 120 Mbps: unweighted mean would be 70.
+  const trace::NetworkTrace t("t", {{9.0, 20.0}, {1.0, 120.0}});
+  const auto stats = trace::summarize_trace(t);
+  EXPECT_DOUBLE_EQ(stats.mean_mbps, 30.0);
+  EXPECT_DOUBLE_EQ(stats.p50_mbps, 20.0);
+}
+
+TEST(TraceStats, ConstantTraceHasZeroStd) {
+  const trace::NetworkTrace t("t", {{5.0, 42.0}});
+  const auto stats = trace::summarize_trace(t);
+  EXPECT_DOUBLE_EQ(stats.std_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p50_mbps, 42.0);
+}
+
+TEST(TraceStats, EmptyThrows) {
+  trace::NetworkTrace empty;
+  EXPECT_THROW(trace::summarize_trace(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvr

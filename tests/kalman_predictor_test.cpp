@@ -1,0 +1,184 @@
+#include "src/motion/kalman_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/motion/fov.h"
+#include "src/motion/motion_generator.h"
+#include "src/motion/persistence_predictor.h"
+#include "src/util/rng.h"
+
+namespace cvr::motion {
+namespace {
+
+TEST(ScalarKalman, FirstMeasurementPrimes) {
+  ScalarKalman kf;
+  EXPECT_FALSE(kf.primed());
+  kf.update(1.0, 5.0);
+  EXPECT_TRUE(kf.primed());
+  EXPECT_DOUBLE_EQ(kf.position(), 5.0);
+  EXPECT_DOUBLE_EQ(kf.velocity(), 0.0);
+}
+
+TEST(ScalarKalman, ConvergesOnLinearMotion) {
+  ScalarKalman kf;
+  for (int t = 0; t < 100; ++t) kf.update(1.0, 2.0 + 0.5 * t);
+  EXPECT_NEAR(kf.velocity(), 0.5, 0.01);
+  EXPECT_NEAR(kf.predict(4.0), 2.0 + 0.5 * 99 + 2.0, 0.1);
+}
+
+TEST(ScalarKalman, ConstantSignalHasZeroVelocity) {
+  ScalarKalman kf;
+  for (int t = 0; t < 200; ++t) kf.update(1.0, 7.0);
+  EXPECT_NEAR(kf.velocity(), 0.0, 1e-6);
+  EXPECT_NEAR(kf.predict(100.0), 7.0, 1e-3);
+}
+
+TEST(ScalarKalman, FiltersNoiseBetterThanRawMeasurement) {
+  cvr::Rng rng(1);
+  ScalarKalman kf;
+  double err_kf = 0.0, err_raw = 0.0;
+  int count = 0;
+  double last_measurement = 0.0;
+  for (int t = 0; t < 2000; ++t) {
+    const double truth = 0.3 * t;
+    const double measurement = truth + rng.normal(0.0, 0.5);
+    if (t > 50) {
+      err_kf += std::abs(kf.predict(1.0) - (truth + 0.3));
+      err_raw += std::abs(last_measurement - (truth + 0.3));
+      ++count;
+    }
+    kf.update(1.0, measurement);
+    last_measurement = measurement;
+  }
+  EXPECT_LT(err_kf / count, err_raw / count);
+}
+
+TEST(ScalarKalman, AdaptsAfterTurn) {
+  ScalarKalman kf;
+  for (int t = 0; t < 100; ++t) kf.update(1.0, 0.5 * t);
+  // Reverse direction; within a few tens of updates velocity flips.
+  double x = 0.5 * 99;
+  for (int t = 0; t < 60; ++t) {
+    x -= 0.5;
+    kf.update(1.0, x);
+  }
+  EXPECT_LT(kf.velocity(), 0.0);
+}
+
+TEST(ScalarKalman, HandlesMeasurementGaps) {
+  ScalarKalman kf;
+  kf.update(1.0, 0.0);
+  kf.update(1.0, 1.0);
+  kf.update(5.0, 6.0);  // gap of 5 slots, consistent with v = 1
+  EXPECT_NEAR(kf.predict(1.0), 7.0, 0.5);
+}
+
+TEST(KalmanMotionPredictor, DefaultBeforeObservations) {
+  KalmanMotionPredictor pred;
+  const Pose p = pred.predict(1);
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_EQ(pred.observations(), 0u);
+}
+
+TEST(KalmanMotionPredictor, TracksLinearWalk) {
+  KalmanMotionPredictor pred;
+  for (std::size_t t = 0; t < 60; ++t) {
+    Pose p;
+    p.x = 0.02 * static_cast<double>(t);
+    p.y = 1.0;
+    pred.observe(t, p);
+  }
+  const Pose out = pred.predict(2);
+  EXPECT_NEAR(out.x, 0.02 * 61, 0.01);
+  EXPECT_NEAR(out.y, 1.0, 0.01);
+}
+
+TEST(KalmanMotionPredictor, YawUnwrapsAcrossBoundary) {
+  KalmanMotionPredictor pred;
+  for (std::size_t t = 0; t < 80; ++t) {
+    Pose p;
+    p.yaw = wrap_degrees(170.0 + 2.0 * static_cast<double>(t));
+    pred.observe(t, p);
+  }
+  EXPECT_NEAR(pred.predict(1).yaw, wrap_degrees(170.0 + 2.0 * 80), 1.0);
+}
+
+TEST(KalmanMotionPredictor, AnglesStayCanonical) {
+  KalmanMotionPredictor pred;
+  cvr::Rng rng(3);
+  for (std::size_t t = 0; t < 500; ++t) {
+    Pose p;
+    p.yaw = rng.uniform(-180.0, 180.0);
+    p.pitch = rng.uniform(-90.0, 90.0);
+    pred.observe(t, p);
+    const Pose out = pred.predict(1);
+    EXPECT_GE(out.yaw, -180.0);
+    EXPECT_LT(out.yaw, 180.0);
+    EXPECT_GE(out.pitch, -90.0);
+    EXPECT_LE(out.pitch, 90.0);
+  }
+}
+
+TEST(KalmanMotionPredictor, BeatsPersistenceOnSustainedVelocity) {
+  // Constant-velocity segments are where a CV filter must win: a user
+  // walking steadily at 2 cm/slot, observed through the 5 cm grid snap.
+  KalmanMotionPredictor kalman;
+  PersistencePredictor persistence;
+  double err_kalman = 0.0, err_persist = 0.0;
+  int count = 0;
+  for (std::size_t t = 0; t < 400; ++t) {
+    Pose snapped;
+    const double true_x = 0.02 * static_cast<double>(t);
+    snapped.x = std::round(true_x / 0.05) * 0.05;
+    kalman.observe(t, snapped);
+    persistence.observe(t, snapped);
+    if (t < 50) continue;
+    const double future_x = 0.02 * static_cast<double>(t + 4);
+    err_kalman += std::abs(kalman.predict(4).x - future_x);
+    err_persist += std::abs(persistence.predict(4).x - future_x);
+    ++count;
+  }
+  EXPECT_LT(err_kalman / count, err_persist / count);
+}
+
+TEST(KalmanMotionPredictor, ComparableToPersistenceOnRealisticMotion) {
+  // On the full synthetic ensemble (grid-snapped, slow, saccadic) the
+  // short-horizon coverage of both predictors is near-perfect — the
+  // regime the paper's pipeline operates in. Pin that both stay > 0.98
+  // at the pipeline horizon.
+  MotionGenerator gen;
+  const MotionTrace trace = gen.generate(77, 0, 3000);
+  const FovSpec fov;
+  KalmanMotionPredictor kalman;
+  PersistencePredictor persistence;
+  std::size_t hits_kalman = 0, hits_persist = 0, total = 0;
+  for (std::size_t t = 0; t + 2 < trace.size(); ++t) {
+    kalman.observe(t, trace[t]);
+    persistence.observe(t, trace[t]);
+    if (t < 50) continue;
+    const Pose& actual = trace[t + 2];
+    hits_kalman += covers(fov, kalman.predict(2), actual) ? 1 : 0;
+    hits_persist += covers(fov, persistence.predict(2), actual) ? 1 : 0;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(hits_kalman) / total, 0.98);
+  EXPECT_GT(static_cast<double>(hits_persist) / total, 0.98);
+}
+
+TEST(MotionPredictorInterface, PolymorphicUse) {
+  KalmanMotionPredictor kalman;
+  PersistencePredictor persistence;
+  MotionPredictor* predictors[] = {&kalman, &persistence};
+  Pose p;
+  p.x = 1.0;
+  for (MotionPredictor* pred : predictors) {
+    pred->observe(0, p);
+    EXPECT_EQ(pred->observations(), 1u);
+    EXPECT_DOUBLE_EQ(pred->predict(1).x, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cvr::motion

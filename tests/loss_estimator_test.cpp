@@ -1,0 +1,84 @@
+#include "src/net/loss_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace cvr::net {
+namespace {
+
+TEST(LossEstimator, PriorBeforeTraining) {
+  LossEstimator est(128, 0.002);
+  EXPECT_FALSE(est.trained());
+  EXPECT_DOUBLE_EQ(est.packet_loss(0.5), 0.002);
+}
+
+TEST(LossEstimator, LearnsCubicLossCurve) {
+  LossEstimator est;
+  auto truth = [](double u) { return 0.002 + 0.08 * u * u * u; };
+  for (int i = 0; i < 200; ++i) {
+    const double u = (i % 100) / 100.0;
+    est.observe(u, truth(u));
+  }
+  EXPECT_TRUE(est.trained());
+  for (double u : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(est.packet_loss(u), truth(u), 0.003) << u;
+  }
+}
+
+TEST(LossEstimator, NoisyBernoulliSamplesStillConverge) {
+  cvr::Rng rng(5);
+  LossEstimator est;
+  auto truth = [](double u) { return 0.002 + 0.08 * u * u * u; };
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.uniform(0.0, 1.0);
+    // Empirical loss over a 40-packet slot.
+    int lost = 0;
+    for (int p = 0; p < 40; ++p) lost += rng.bernoulli(truth(u)) ? 1 : 0;
+    est.observe(u, lost / 40.0);
+  }
+  EXPECT_NEAR(est.packet_loss(0.9), truth(0.9), 0.02);
+  EXPECT_LT(est.packet_loss(0.1), 0.02);
+}
+
+TEST(LossEstimator, PredictionsClamped) {
+  LossEstimator est;
+  // Pathological training data can produce negative or >1 fits.
+  for (int i = 0; i < 50; ++i) est.observe(i % 2 ? 1.0 : 0.0, i % 2 ? 0.0 : 1.0);
+  EXPECT_GE(est.packet_loss(0.5), 0.0);
+  EXPECT_LE(est.packet_loss(2.0), 0.9);
+}
+
+TEST(LossEstimator, FrameLossGrowsWithPackets) {
+  LossEstimator est;
+  auto truth = [](double u) { return 0.01 + 0.0 * u; };
+  for (int i = 0; i < 100; ++i) est.observe(i / 100.0, truth(i / 100.0));
+  const double small = est.frame_loss(0.5, 5.0);
+  const double large = est.frame_loss(0.5, 50.0);
+  EXPECT_GT(large, small);
+  EXPECT_NEAR(small, 1.0 - std::pow(1.0 - est.packet_loss(0.5), 5.0), 1e-12);
+}
+
+TEST(LossEstimator, ZeroPacketsNoLoss) {
+  LossEstimator est;
+  EXPECT_DOUBLE_EQ(est.frame_loss(0.9, 0.0), 0.0);
+}
+
+TEST(LossEstimator, RejectsBadInput) {
+  EXPECT_THROW(LossEstimator(10, 1.5), std::invalid_argument);
+  LossEstimator est;
+  EXPECT_THROW(est.observe(0.5, -0.1), std::invalid_argument);
+  EXPECT_THROW(est.observe(0.5, 1.1), std::invalid_argument);
+}
+
+TEST(LossEstimator, UtilizationClamped) {
+  LossEstimator est;
+  for (int i = 0; i < 100; ++i) est.observe(i / 100.0, 0.01 * i / 100.0);
+  EXPECT_DOUBLE_EQ(est.packet_loss(-1.0), est.packet_loss(0.0));
+  EXPECT_DOUBLE_EQ(est.packet_loss(5.0), est.packet_loss(1.0));
+}
+
+}  // namespace
+}  // namespace cvr::net

@@ -1,0 +1,120 @@
+#include "src/motion/margin_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "src/system/server.h"
+
+namespace cvr::motion {
+namespace {
+
+MarginControllerConfig fast_config() {
+  MarginControllerConfig config;
+  config.patience = 1;   // act immediately (tests control the cadence)
+  config.step_deg = 1.0; // whole-degree steps for crisp expectations
+  return config;
+}
+
+TEST(MarginController, StartsAtInitialClamped) {
+  MarginController c(15.0);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 15.0);
+  MarginController low(1.0);
+  EXPECT_DOUBLE_EQ(low.margin_deg(), 5.0);  // clamped to min
+  MarginController high(90.0);
+  EXPECT_DOUBLE_EQ(high.margin_deg(), 40.0);  // clamped to max
+}
+
+TEST(MarginController, WidensWhenDeltaLow) {
+  MarginController c(15.0, fast_config());
+  c.update(0.5);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 16.0);
+  c.update(0.5);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 17.0);
+}
+
+TEST(MarginController, NarrowsWhenDeltaHigh) {
+  MarginController c(15.0, fast_config());
+  c.update(0.99);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 14.0);
+}
+
+TEST(MarginController, HoldsInsideTargetBand) {
+  MarginController c(15.0, fast_config());
+  for (int i = 0; i < 100; ++i) c.update(0.93);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 15.0);
+}
+
+TEST(MarginController, RespectsBounds) {
+  MarginController c(15.0, fast_config());
+  for (int i = 0; i < 200; ++i) c.update(0.1);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 40.0);
+  for (int i = 0; i < 200; ++i) c.update(1.0);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 5.0);
+}
+
+TEST(MarginController, PatienceGatesAdjustment) {
+  MarginControllerConfig config;
+  config.patience = 5;
+  config.step_deg = 1.0;
+  MarginController c(15.0, config);
+  for (int i = 0; i < 4; ++i) c.update(0.5);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 15.0);  // streak not long enough
+  c.update(0.5);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 16.0);
+}
+
+TEST(MarginController, BandVisitResetsStreak) {
+  MarginControllerConfig config;
+  config.patience = 3;
+  config.step_deg = 1.0;
+  MarginController c(15.0, config);
+  c.update(0.5);
+  c.update(0.5);
+  c.update(0.93);  // back in band: streak resets
+  c.update(0.5);
+  c.update(0.5);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 15.0);
+  c.update(0.5);
+  EXPECT_DOUBLE_EQ(c.margin_deg(), 16.0);
+}
+
+TEST(MarginController, RejectsBadConfig) {
+  MarginControllerConfig bad;
+  bad.target_low = 0.97;
+  bad.target_high = 0.9;
+  EXPECT_THROW(MarginController(15.0, bad), std::invalid_argument);
+  MarginControllerConfig bad2;
+  bad2.patience = 0;
+  EXPECT_THROW(MarginController(15.0, bad2), std::invalid_argument);
+}
+
+TEST(ServerAdaptiveMargin, MarginGrowsUnderSustainedMisses) {
+  cvr::system::ServerConfig config;
+  config.adaptive_margin = true;
+  config.margin_controller.patience = 5;
+  cvr::system::Server server(config, 1);
+  EXPECT_DOUBLE_EQ(server.fov_for(0).margin_deg, config.fov.margin_deg);
+  for (int i = 0; i < 400; ++i) server.on_coverage_outcome(0, false);
+  EXPECT_GT(server.fov_for(0).margin_deg, config.fov.margin_deg);
+}
+
+TEST(ServerAdaptiveMargin, OffByDefault) {
+  cvr::system::ServerConfig config;
+  cvr::system::Server server(config, 1);
+  for (int i = 0; i < 400; ++i) server.on_coverage_outcome(0, false);
+  EXPECT_DOUBLE_EQ(server.fov_for(0).margin_deg, config.fov.margin_deg);
+}
+
+TEST(ServerAdaptiveMargin, PerUserIndependence) {
+  cvr::system::ServerConfig config;
+  config.adaptive_margin = true;
+  config.margin_controller.patience = 5;
+  cvr::system::Server server(config, 2);
+  for (int i = 0; i < 400; ++i) {
+    server.on_coverage_outcome(0, false);
+    server.on_coverage_outcome(1, true);
+  }
+  EXPECT_GT(server.fov_for(0).margin_deg, server.fov_for(1).margin_deg);
+}
+
+}  // namespace
+}  // namespace cvr::motion

@@ -1,0 +1,123 @@
+#include "src/proto/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace cvr::proto {
+namespace {
+
+content::VideoId vid(int n, content::QualityLevel q = 3) {
+  return content::pack_video_id({{n, n + 1}, n % 4, q});
+}
+
+TEST(Messages, PoseUpdateRoundTrip) {
+  PoseUpdate message;
+  message.user = 7;
+  message.slot = 123456789ull;
+  message.pose.x = 1.25;
+  message.pose.yaw = -123.5;
+  message.pose.pitch = 42.0;
+  const Buffer wire = encode(message);
+  EXPECT_EQ(peek_type(wire), MessageType::kPoseUpdate);
+  EXPECT_EQ(decode_pose_update(wire), message);
+}
+
+TEST(Messages, DeliveryAckRoundTrip) {
+  DeliveryAck message;
+  message.user = 3;
+  message.slot = 42;
+  message.tiles = {vid(1), vid(2, 6), vid(3, 1)};
+  const Buffer wire = encode(message);
+  EXPECT_EQ(peek_type(wire), MessageType::kDeliveryAck);
+  EXPECT_EQ(decode_delivery_ack(wire), message);
+}
+
+TEST(Messages, ReleaseAckRoundTripEmpty) {
+  ReleaseAck message;
+  message.user = 1;
+  message.slot = 9;
+  const Buffer wire = encode(message);
+  EXPECT_EQ(decode_release_ack(wire), message);
+}
+
+TEST(Messages, TileHeaderRoundTrip) {
+  TileHeader message;
+  message.video_id = vid(5, 4);
+  message.packet_index = 3;
+  message.packet_count = 17;
+  message.slot = 1000;
+  const Buffer wire = encode(message);
+  EXPECT_EQ(peek_type(wire), MessageType::kTileHeader);
+  EXPECT_EQ(decode_tile_header(wire), message);
+}
+
+TEST(Messages, TileHeaderInvariantEnforced) {
+  TileHeader bad;
+  bad.video_id = vid(1);
+  bad.packet_index = 5;
+  bad.packet_count = 5;
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+}
+
+TEST(Messages, WrongTypeDecodingThrows) {
+  PoseUpdate pose;
+  const Buffer wire = encode(pose);
+  EXPECT_THROW(decode_delivery_ack(wire), std::runtime_error);
+  EXPECT_THROW(decode_tile_header(wire), std::runtime_error);
+}
+
+TEST(Messages, CorruptedWireDetected) {
+  DeliveryAck message;
+  message.tiles = {vid(1)};
+  Buffer wire = encode(message);
+  wire[wire.size() / 2] ^= 0xFF;
+  EXPECT_THROW(decode_delivery_ack(wire), std::runtime_error);
+}
+
+TEST(Messages, TrailingBytesRejected) {
+  PoseUpdate message;
+  Buffer wire = encode(message);
+  wire.push_back(0);  // junk after the frame
+  EXPECT_THROW(decode_pose_update(wire), std::runtime_error);
+}
+
+TEST(Messages, InvalidTileIdRejected) {
+  // Hand-craft a delivery ACK whose tile id has quality level 0.
+  Buffer payload;
+  Writer writer(payload);
+  writer.u8(static_cast<std::uint8_t>(MessageType::kDeliveryAck));
+  writer.u32(1);
+  writer.u64(1);
+  writer.u32(1);
+  writer.u64(0);  // level bits = 0: invalid
+  const Buffer wire = frame(payload);
+  EXPECT_THROW(decode_delivery_ack(wire), std::runtime_error);
+}
+
+TEST(Messages, PeekUnknownTagThrows) {
+  Buffer payload;
+  Writer writer(payload);
+  writer.u8(99);
+  const Buffer wire = frame(payload);
+  EXPECT_THROW(peek_type(wire), std::runtime_error);
+}
+
+TEST(Messages, RandomisedRoundTripSweep) {
+  cvr::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    DeliveryAck message;
+    message.user = static_cast<std::uint32_t>(rng.uniform_int(0, 1000));
+    message.slot = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+    const int count = static_cast<int>(rng.uniform_int(0, 12));
+    for (int k = 0; k < count; ++k) {
+      message.tiles.push_back(
+          vid(static_cast<int>(rng.uniform_int(0, 500)),
+              static_cast<content::QualityLevel>(rng.uniform_int(1, 6))));
+    }
+    EXPECT_EQ(decode_delivery_ack(encode(message)), message);
+  }
+}
+
+}  // namespace
+}  // namespace cvr::proto

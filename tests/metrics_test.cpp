@@ -1,0 +1,96 @@
+#include "src/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr::sim {
+namespace {
+
+UserOutcome outcome(double qoe, double quality, double delay_ms,
+                    double variance, double fps = 0.0) {
+  UserOutcome o;
+  o.avg_qoe = qoe;
+  o.avg_quality = quality;
+  o.avg_delay_ms = delay_ms;
+  o.variance = variance;
+  o.fps = fps;
+  return o;
+}
+
+TEST(ArmResult, MeansOverOutcomes) {
+  ArmResult arm;
+  arm.algorithm = "x";
+  arm.outcomes = {outcome(1.0, 2.0, 3.0, 0.5, 60.0),
+                  outcome(3.0, 4.0, 5.0, 1.5, 50.0)};
+  EXPECT_DOUBLE_EQ(arm.mean_qoe(), 2.0);
+  EXPECT_DOUBLE_EQ(arm.mean_quality(), 3.0);
+  EXPECT_DOUBLE_EQ(arm.mean_delay_ms(), 4.0);
+  EXPECT_DOUBLE_EQ(arm.mean_variance(), 1.0);
+  EXPECT_DOUBLE_EQ(arm.mean_fps(), 55.0);
+}
+
+TEST(ArmResult, EmptyMeansAreZero) {
+  ArmResult arm;
+  EXPECT_DOUBLE_EQ(arm.mean_qoe(), 0.0);
+  EXPECT_DOUBLE_EQ(arm.mean_fps(), 0.0);
+}
+
+TEST(ArmResult, CdfsBuiltFromRightFields) {
+  ArmResult arm;
+  arm.outcomes = {outcome(1.0, 6.0, 10.0, 0.1),
+                  outcome(2.0, 5.0, 20.0, 0.2),
+                  outcome(3.0, 4.0, 30.0, 0.3)};
+  EXPECT_DOUBLE_EQ(arm.qoe_cdf().median(), 2.0);
+  EXPECT_DOUBLE_EQ(arm.quality_cdf().median(), 5.0);
+  EXPECT_DOUBLE_EQ(arm.delay_ms_cdf().median(), 20.0);
+  EXPECT_DOUBLE_EQ(arm.variance_cdf().median(), 0.2);
+}
+
+TEST(JainsIndex, EqualSharesArePerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jains_index({3.0, 3.0, 3.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jains_index({5.0}), 1.0);
+}
+
+TEST(JainsIndex, KnownValues) {
+  // One user gets everything among n: index = 1/n.
+  EXPECT_DOUBLE_EQ(jains_index({1.0, 0.0, 0.0, 0.0}), 0.25);
+  // {1, 3}: (4)^2 / (2 * 10) = 0.8.
+  EXPECT_DOUBLE_EQ(jains_index({1.0, 3.0}), 0.8);
+}
+
+TEST(JainsIndex, ScaleInvariant) {
+  const std::vector<double> xs = {1.0, 2.0, 5.0};
+  std::vector<double> scaled;
+  for (double x : xs) scaled.push_back(7.0 * x);
+  EXPECT_NEAR(jains_index(xs), jains_index(scaled), 1e-12);
+}
+
+TEST(JainsIndex, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jains_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jains_index({0.0, 0.0}), 1.0);
+  EXPECT_THROW(jains_index({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(QualityFairness, UsesAvgQuality) {
+  ArmResult arm;
+  arm.outcomes = {outcome(0, 2.0, 0, 0), outcome(0, 2.0, 0, 0)};
+  EXPECT_DOUBLE_EQ(quality_fairness(arm), 1.0);
+  arm.outcomes.push_back(outcome(0, 6.0, 0, 0));
+  EXPECT_LT(quality_fairness(arm), 1.0);
+}
+
+TEST(MakeOutcome, PullsFromAccumulator) {
+  cvr::core::UserQoeAccumulator acc;
+  acc.record(4, true, 2.0);
+  acc.record(2, true, 4.0);
+  const cvr::core::QoeParams params{0.1, 0.5};
+  const UserOutcome o = make_outcome(acc, params, 0.9, 59.5);
+  EXPECT_DOUBLE_EQ(o.avg_quality, 3.0);
+  EXPECT_DOUBLE_EQ(o.avg_delay_ms, 3.0);
+  EXPECT_DOUBLE_EQ(o.variance, 1.0);
+  EXPECT_DOUBLE_EQ(o.avg_qoe, acc.average_qoe(params));
+  EXPECT_DOUBLE_EQ(o.prediction_accuracy, 0.9);
+  EXPECT_DOUBLE_EQ(o.fps, 59.5);
+}
+
+}  // namespace
+}  // namespace cvr::sim

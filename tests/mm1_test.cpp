@@ -1,0 +1,123 @@
+#include "src/net/mm1.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/stats.h"
+
+namespace cvr::net {
+namespace {
+
+TEST(Mm1Delay, MatchesEquation13) {
+  // d(r) = r / (B - r).
+  EXPECT_DOUBLE_EQ(mm1_delay(10.0, 50.0), 0.25);
+  EXPECT_DOUBLE_EQ(mm1_delay(25.0, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(mm1_delay(40.0, 50.0), 4.0);
+}
+
+TEST(Mm1Delay, ZeroRateIsZeroDelay) {
+  EXPECT_DOUBLE_EQ(mm1_delay(0.0, 50.0), 0.0);
+}
+
+TEST(Mm1Delay, SaturationReturnsCap) {
+  EXPECT_DOUBLE_EQ(mm1_delay(50.0, 50.0), kSaturatedDelay);
+  EXPECT_DOUBLE_EQ(mm1_delay(60.0, 50.0), kSaturatedDelay);
+  EXPECT_DOUBLE_EQ(mm1_delay(1.0, 0.0), kSaturatedDelay);
+}
+
+TEST(Mm1Delay, NearSaturationCapped) {
+  EXPECT_LE(mm1_delay(49.9999999, 50.0), kSaturatedDelay);
+}
+
+TEST(Mm1Delay, NegativeInputsThrow) {
+  EXPECT_THROW(mm1_delay(-1.0, 50.0), std::invalid_argument);
+  EXPECT_THROW(mm1_delay(1.0, -50.0), std::invalid_argument);
+}
+
+TEST(Mm1Delay, IncreasingInRate) {
+  double prev = 0.0;
+  for (double r = 1.0; r < 50.0; r += 1.0) {
+    const double d = mm1_delay(r, 50.0);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Mm1Delay, ConvexInRate) {
+  // Discrete convexity check of Fig. 1b's property.
+  const double bandwidth = 50.0;
+  double prev_inc = 0.0;
+  for (double r = 1.0; r + 1.0 < bandwidth; r += 1.0) {
+    const double inc = mm1_delay(r + 1.0, bandwidth) - mm1_delay(r, bandwidth);
+    EXPECT_GE(inc, prev_inc);
+    prev_inc = inc;
+  }
+}
+
+TEST(Mm1Delay, DecreasingInBandwidth) {
+  EXPECT_GT(mm1_delay(10.0, 20.0), mm1_delay(10.0, 40.0));
+}
+
+TEST(Mm1MeanSojourn, AnalyticFormula) {
+  // lambda = 15 Mbps / 12 kb = 1.25 pkt/ms; mu = 2.5 pkt/ms -> W = 0.8 ms.
+  EXPECT_NEAR(mm1_mean_sojourn_ms(15.0, 30.0, 12000.0), 0.8, 1e-12);
+}
+
+TEST(Mm1MeanSojourn, SaturatedReturnsCap) {
+  EXPECT_DOUBLE_EQ(mm1_mean_sojourn_ms(30.0, 30.0), kSaturatedDelay);
+}
+
+TEST(Mm1Simulator, MatchesAnalyticMean) {
+  const double offered = 10.0, capacity = 15.0;
+  const auto result = Mm1Simulator::run(offered, capacity, 200000, 42);
+  const double analytic = mm1_mean_sojourn_ms(offered, capacity);
+  EXPECT_EQ(result.samples, 200000u);
+  EXPECT_NEAR(result.mean_sojourn_ms, analytic, analytic * 0.05);
+}
+
+TEST(Mm1Simulator, Deterministic) {
+  const auto a = Mm1Simulator::run(10.0, 15.0, 1000, 7);
+  const auto b = Mm1Simulator::run(10.0, 15.0, 1000, 7);
+  EXPECT_DOUBLE_EQ(a.mean_sojourn_ms, b.mean_sojourn_ms);
+}
+
+TEST(Mm1Simulator, HigherLoadHigherDelay) {
+  const auto low = Mm1Simulator::run(5.0, 15.0, 50000, 3);
+  const auto high = Mm1Simulator::run(13.0, 15.0, 50000, 3);
+  EXPECT_GT(high.mean_sojourn_ms, low.mean_sojourn_ms);
+}
+
+TEST(Mm1Simulator, TailAboveMean) {
+  const auto result = Mm1Simulator::run(10.0, 15.0, 50000, 9);
+  EXPECT_GT(result.p95_sojourn_ms, result.mean_sojourn_ms);
+  EXPECT_GE(result.max_sojourn_ms, result.p95_sojourn_ms);
+}
+
+TEST(Mm1Simulator, ConvexMeanDelayCurve) {
+  // The simulated curve over offered load must be convex — this is the
+  // property Fig. 1b demonstrates with real RTT measurements.
+  const double capacity = 15.0;
+  std::vector<double> means;
+  for (double offered = 2.0; offered <= 14.0; offered += 2.0) {
+    means.push_back(
+        Mm1Simulator::run(offered, capacity, 100000, 11).mean_sojourn_ms);
+  }
+  for (std::size_t i = 2; i < means.size(); ++i) {
+    const double inc_prev = means[i - 1] - means[i - 2];
+    const double inc = means[i] - means[i - 1];
+    EXPECT_GT(inc, inc_prev * 0.8);  // allow sampling noise
+  }
+}
+
+TEST(Mm1Simulator, RejectsNonPositiveRates) {
+  EXPECT_THROW(Mm1Simulator::run(0.0, 15.0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(Mm1Simulator::run(10.0, 0.0, 10, 1), std::invalid_argument);
+}
+
+TEST(Mm1Simulator, UnstableQueueStillTerminates) {
+  const auto result = Mm1Simulator::run(20.0, 15.0, 5000, 5);
+  EXPECT_EQ(result.samples, 5000u);
+  EXPECT_GT(result.mean_sojourn_ms, mm1_mean_sojourn_ms(14.0, 15.0));
+}
+
+}  // namespace
+}  // namespace cvr::net

@@ -1,0 +1,137 @@
+#include "src/motion/motion_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvr::motion {
+namespace {
+
+TEST(MotionGenerator, Deterministic) {
+  MotionGenerator gen;
+  const MotionTrace a = gen.generate(1, 0, 500);
+  const MotionTrace b = gen.generate(1, 0, 500);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].yaw, b[i].yaw);
+  }
+}
+
+TEST(MotionGenerator, UsersDiffer) {
+  MotionGenerator gen;
+  const MotionTrace a = gen.generate(1, 0, 100);
+  const MotionTrace b = gen.generate(1, 1, 100);
+  EXPECT_NE(a[0].x, b[0].x);
+}
+
+TEST(MotionGenerator, RequestedLength) {
+  MotionGenerator gen;
+  EXPECT_EQ(gen.generate(1, 0, 321).size(), 321u);
+  EXPECT_TRUE(gen.generate(1, 0, 0).empty());
+}
+
+TEST(MotionGenerator, StaysInsideScene) {
+  MotionGeneratorConfig config;
+  MotionGenerator gen(config);
+  const MotionTrace t = gen.generate(2, 3, 5000);
+  for (const Pose& p : t) {
+    EXPECT_GE(p.x, -0.026);  // half-cell slack from grid snapping
+    EXPECT_LE(p.x, config.scene_width_m + 0.026);
+    EXPECT_GE(p.y, -0.026);
+    EXPECT_LE(p.y, config.scene_depth_m + 0.026);
+    EXPECT_DOUBLE_EQ(p.z, config.eye_height_m);
+  }
+}
+
+TEST(MotionGenerator, PositionsAreGridSnapped) {
+  MotionGenerator gen;
+  const MotionTrace t = gen.generate(4, 0, 200);
+  for (const Pose& p : t) {
+    const double rx = p.x / 0.05;
+    EXPECT_NEAR(rx, std::round(rx), 1e-9);
+    const double ry = p.y / 0.05;
+    EXPECT_NEAR(ry, std::round(ry), 1e-9);
+  }
+}
+
+TEST(MotionGenerator, SpeedBounded) {
+  MotionGeneratorConfig config;
+  MotionGenerator gen(config);
+  const MotionTrace t = gen.generate(5, 0, 3000);
+  const double max_step =
+      config.max_speed_mps * config.slot_seconds + 0.1;  // + grid snap slack
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t[i].position_distance(t[i - 1]), max_step) << "slot " << i;
+  }
+}
+
+TEST(MotionGenerator, AnglesCanonical) {
+  MotionGenerator gen;
+  const MotionTrace t = gen.generate(6, 0, 2000);
+  for (const Pose& p : t) {
+    EXPECT_GE(p.yaw, -180.0);
+    EXPECT_LT(p.yaw, 180.0);
+    EXPECT_GE(p.pitch, -90.0);
+    EXPECT_LE(p.pitch, 90.0);
+  }
+}
+
+TEST(MotionGenerator, PitchRespectsConfiguredLimit) {
+  MotionGeneratorConfig config;
+  config.pitch_limit_deg = 30.0;
+  MotionGenerator gen(config);
+  const MotionTrace t = gen.generate(7, 0, 3000);
+  for (const Pose& p : t) {
+    EXPECT_LE(std::abs(p.pitch), 30.0 + 1e-9);
+  }
+}
+
+TEST(MotionGenerator, UserActuallyMoves) {
+  MotionGenerator gen;
+  const MotionTrace t = gen.generate(8, 0, 5000);
+  double total = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    total += t[i].position_distance(t[i - 1]);
+  }
+  EXPECT_GT(total, 1.0);  // walks at least a metre over ~75 s
+}
+
+TEST(MotionGenerator, HeadTurns) {
+  MotionGenerator gen;
+  const MotionTrace t = gen.generate(9, 0, 5000);
+  double max_yaw_excursion = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    max_yaw_excursion = std::max(
+        max_yaw_excursion, std::abs(angular_difference(t[i].yaw, t[0].yaw)));
+  }
+  EXPECT_GT(max_yaw_excursion, 30.0);
+}
+
+TEST(MotionGenerator, MostMotionIsSmooth) {
+  // Prediction needs smoothness: the vast majority of per-slot yaw steps
+  // should be small even though saccades exist.
+  MotionGeneratorConfig config;
+  MotionGenerator gen(config);
+  const MotionTrace t = gen.generate(10, 0, 5000);
+  std::size_t small_steps = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (std::abs(angular_difference(t[i].yaw, t[i - 1].yaw)) < 6.0) {
+      ++small_steps;
+    }
+  }
+  EXPECT_GT(static_cast<double>(small_steps) / static_cast<double>(t.size()),
+            0.9);
+}
+
+TEST(MotionGenerator, RejectsBadConfig) {
+  MotionGeneratorConfig bad;
+  bad.scene_width_m = 0.0;
+  EXPECT_THROW(MotionGenerator{bad}, std::invalid_argument);
+  MotionGeneratorConfig bad2;
+  bad2.slot_seconds = -1.0;
+  EXPECT_THROW(MotionGenerator{bad2}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvr::motion

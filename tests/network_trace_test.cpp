@@ -1,0 +1,133 @@
+#include "src/trace/network_trace.h"
+
+#include "src/trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace cvr::trace {
+namespace {
+
+NetworkTrace make_simple() {
+  return NetworkTrace("t", {{2.0, 40.0}, {3.0, 60.0}, {1.0, 20.0}});
+}
+
+TEST(NetworkTrace, DurationAndMean) {
+  const NetworkTrace t = make_simple();
+  EXPECT_DOUBLE_EQ(t.duration_s(), 6.0);
+  // Time-weighted mean: (2*40 + 3*60 + 1*20) / 6.
+  EXPECT_NEAR(t.mean_mbps(), 280.0 / 6.0, 1e-12);
+}
+
+TEST(NetworkTrace, BandwidthAtSegments) {
+  const NetworkTrace t = make_simple();
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(0.0), 40.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(1.99), 40.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(2.0), 60.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(4.999), 60.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(5.5), 20.0);
+}
+
+TEST(NetworkTrace, BandwidthWrapsAround) {
+  const NetworkTrace t = make_simple();
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(6.0), 40.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(8.5), 60.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(-1.0), 20.0);  // negative wraps too
+}
+
+TEST(NetworkTrace, EmptyTraceThrowsOnQuery) {
+  NetworkTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW(t.bandwidth_at(0.0), std::logic_error);
+  EXPECT_DOUBLE_EQ(t.mean_mbps(), 0.0);
+}
+
+TEST(NetworkTrace, RejectsNonPositiveDuration) {
+  EXPECT_THROW(NetworkTrace("bad", {{0.0, 10.0}}), std::invalid_argument);
+  EXPECT_THROW(NetworkTrace("bad", {{-1.0, 10.0}}), std::invalid_argument);
+}
+
+TEST(NetworkTrace, RejectsNegativeThroughput) {
+  EXPECT_THROW(NetworkTrace("bad", {{1.0, -5.0}}), std::invalid_argument);
+}
+
+TEST(NetworkTrace, RejectsNonFiniteValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(NetworkTrace("bad", {{1.0, inf}}), std::invalid_argument);
+  EXPECT_THROW(NetworkTrace("bad", {{1.0, nan}}), std::invalid_argument);
+  EXPECT_THROW(NetworkTrace("bad", {{inf, 10.0}}), std::invalid_argument);
+  EXPECT_THROW(NetworkTrace("bad", {{nan, 10.0}}), std::invalid_argument);
+}
+
+TEST(NetworkTrace, CsvWithInfRejectedEndToEnd) {
+  // "inf" parses as a valid double in from_chars; the trace layer is
+  // the backstop that keeps it out of the simulators.
+  EXPECT_THROW(trace_from_csv("bad", "1.0,inf\n"), std::invalid_argument);
+}
+
+TEST(NetworkTrace, ClipBoundsThroughput) {
+  NetworkTrace t("t", {{1.0, 5.0}, {1.0, 500.0}, {1.0, 50.0}});
+  t.clip(20.0, 100.0);
+  EXPECT_DOUBLE_EQ(t.segments()[0].mbps, 20.0);
+  EXPECT_DOUBLE_EQ(t.segments()[1].mbps, 100.0);
+  EXPECT_DOUBLE_EQ(t.segments()[2].mbps, 50.0);
+}
+
+TEST(NetworkTrace, ResampleTruncates) {
+  const NetworkTrace t = make_simple();
+  const NetworkTrace r = t.resampled_to(3.0);
+  EXPECT_NEAR(r.duration_s(), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.bandwidth_at(0.5), 40.0);
+  EXPECT_DOUBLE_EQ(r.bandwidth_at(2.5), 60.0);
+}
+
+TEST(NetworkTrace, ResampleExtendsByWrapping) {
+  const NetworkTrace t = make_simple();
+  const NetworkTrace r = t.resampled_to(13.0);
+  EXPECT_NEAR(r.duration_s(), 13.0, 1e-9);
+  // Second cycle starts at 6 s: same pattern.
+  EXPECT_DOUBLE_EQ(r.bandwidth_at(6.5), 40.0);
+  EXPECT_DOUBLE_EQ(r.bandwidth_at(12.5), 40.0);  // third cycle begins at 12
+}
+
+TEST(SlotMapper, SharesBandwidthAcrossSlots) {
+  // Paper: consecutive slots share a segment's bandwidth until its
+  // duration is used up.
+  const NetworkTrace t("t", {{0.1, 30.0}, {0.1, 70.0}});
+  const SlotMapper mapper(t, 0.015);
+  // Slot starts: 0.000..0.090 -> 30; 0.105.. -> 70 (slot 7 starts 0.105).
+  for (std::size_t s = 0; s <= 6; ++s) {
+    EXPECT_DOUBLE_EQ(mapper.bandwidth_for_slot(s), 30.0) << s;
+  }
+  EXPECT_DOUBLE_EQ(mapper.bandwidth_for_slot(7), 70.0);
+}
+
+TEST(SlotMapper, SeriesMatchesPointQueries) {
+  const NetworkTrace t = make_simple();
+  const SlotMapper mapper(t);
+  const auto series = mapper.series(100);
+  ASSERT_EQ(series.size(), 100u);
+  for (std::size_t s = 0; s < 100; ++s) {
+    EXPECT_DOUBLE_EQ(series[s], mapper.bandwidth_for_slot(s));
+  }
+}
+
+TEST(SlotMapper, RejectsEmptyTraceAndBadSlot) {
+  NetworkTrace empty;
+  EXPECT_THROW(SlotMapper{empty}, std::invalid_argument);
+  const NetworkTrace t = make_simple();
+  EXPECT_THROW(SlotMapper(t, 0.0), std::invalid_argument);
+}
+
+TEST(SlotMapper, WrapsPastTraceEnd) {
+  const NetworkTrace t("t", {{0.03, 25.0}});
+  const SlotMapper mapper(t, 0.015);
+  EXPECT_DOUBLE_EQ(mapper.bandwidth_for_slot(0), 25.0);
+  EXPECT_DOUBLE_EQ(mapper.bandwidth_for_slot(1000), 25.0);
+}
+
+}  // namespace
+}  // namespace cvr::trace

@@ -1,0 +1,142 @@
+#include "src/motion/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/motion/motion_generator.h"
+
+namespace cvr::motion {
+namespace {
+
+TEST(LinearMotionPredictor, DefaultPoseBeforeObservations) {
+  LinearMotionPredictor pred;
+  const Pose p = pred.predict(1);
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.yaw, 0.0);
+  EXPECT_FALSE(pred.ready());
+}
+
+TEST(LinearMotionPredictor, SingleObservationIsPersistence) {
+  LinearMotionPredictor pred;
+  Pose p;
+  p.x = 2.0;
+  p.yaw = 45.0;
+  pred.observe(0, p);
+  const Pose out = pred.predict(5);
+  EXPECT_DOUBLE_EQ(out.x, 2.0);
+  EXPECT_DOUBLE_EQ(out.yaw, 45.0);
+}
+
+TEST(LinearMotionPredictor, ExtrapolatesLinearMotion) {
+  LinearMotionPredictor pred;
+  for (std::size_t t = 0; t < 10; ++t) {
+    Pose p;
+    p.x = 0.1 * static_cast<double>(t);
+    p.y = 1.0 - 0.05 * static_cast<double>(t);
+    pred.observe(t, p);
+  }
+  const Pose out = pred.predict(2);  // t = 11
+  EXPECT_NEAR(out.x, 1.1, 1e-9);
+  EXPECT_NEAR(out.y, 1.0 - 0.55, 1e-9);
+}
+
+TEST(LinearMotionPredictor, ExtrapolatesLinearYaw) {
+  LinearMotionPredictor pred;
+  for (std::size_t t = 0; t < 10; ++t) {
+    Pose p;
+    p.yaw = 3.0 * static_cast<double>(t);
+    pred.observe(t, p);
+  }
+  EXPECT_NEAR(pred.predict(1).yaw, 30.0, 1e-9);
+}
+
+TEST(LinearMotionPredictor, YawUnwrapsAcrossBoundary) {
+  // Steady rotation through +-180: naive regression on wrapped angles
+  // would explode; the unwrapped fit must continue smoothly.
+  LinearMotionPredictor pred;
+  for (std::size_t t = 0; t < 40; ++t) {
+    Pose p;
+    p.yaw = wrap_degrees(170.0 + 2.0 * static_cast<double>(t));
+    pred.observe(t, p);
+  }
+  // Next value: 170 + 2*40 = 250 -> wraps to -110.
+  EXPECT_NEAR(pred.predict(1).yaw, wrap_degrees(250.0), 1e-6);
+}
+
+TEST(LinearMotionPredictor, NegativeDirectionWrap) {
+  LinearMotionPredictor pred;
+  for (std::size_t t = 0; t < 40; ++t) {
+    Pose p;
+    p.yaw = wrap_degrees(-170.0 - 2.0 * static_cast<double>(t));
+    pred.observe(t, p);
+  }
+  EXPECT_NEAR(pred.predict(1).yaw, wrap_degrees(-170.0 - 80.0), 1e-6);
+}
+
+TEST(LinearMotionPredictor, PitchStaysClamped) {
+  LinearMotionPredictor pred;
+  for (std::size_t t = 0; t < 10; ++t) {
+    Pose p;
+    p.pitch = 10.0 * static_cast<double>(t);  // would extrapolate past 90
+    pred.observe(t, p);
+  }
+  EXPECT_LE(pred.predict(5).pitch, 90.0);
+}
+
+TEST(LinearMotionPredictor, WindowAdaptsToTurn) {
+  PredictorConfig config;
+  config.window = 5;
+  LinearMotionPredictor pred(config);
+  // Long history going right, then an abrupt turn going left: with a
+  // window of 5 the prediction must follow the new direction.
+  std::size_t t = 0;
+  for (; t < 50; ++t) {
+    Pose p;
+    p.x = 0.01 * static_cast<double>(t);
+    pred.observe(t, p);
+  }
+  const double turn_x = 0.01 * 49;
+  for (; t < 60; ++t) {
+    Pose p;
+    p.x = turn_x - 0.02 * static_cast<double>(t - 49);
+    pred.observe(t, p);
+  }
+  const Pose out = pred.predict(1);
+  EXPECT_LT(out.x, turn_x - 0.02 * 10);
+}
+
+TEST(LinearMotionPredictor, HighAccuracyOnGeneratedMotion) {
+  // End-to-end sanity: on realistic synthetic motion, one-slot-ahead
+  // prediction error should be small most of the time (the "high
+  // accuracy" regime the paper relies on).
+  MotionGenerator gen;
+  const MotionTrace trace = gen.generate(42, 0, 3000);
+  LinearMotionPredictor pred;
+  std::size_t good = 0;
+  std::size_t evaluated = 0;
+  for (std::size_t t = 0; t + 1 < trace.size(); ++t) {
+    pred.observe(t, trace[t]);
+    if (t < 20) continue;
+    const Pose predicted = pred.predict(1);
+    const Pose& actual = trace[t + 1];
+    ++evaluated;
+    const bool pos_ok = predicted.position_distance(actual) < 0.10;
+    const bool yaw_ok =
+        std::abs(angular_difference(predicted.yaw, actual.yaw)) < 15.0;
+    if (pos_ok && yaw_ok) ++good;
+  }
+  EXPECT_GT(static_cast<double>(good) / static_cast<double>(evaluated), 0.8);
+}
+
+TEST(LinearMotionPredictor, ObservationCountTracked) {
+  LinearMotionPredictor pred;
+  EXPECT_EQ(pred.observations(), 0u);
+  pred.observe(0, Pose{});
+  pred.observe(1, Pose{});
+  EXPECT_EQ(pred.observations(), 2u);
+  EXPECT_TRUE(pred.ready());
+}
+
+}  // namespace
+}  // namespace cvr::motion

@@ -1,0 +1,45 @@
+#include "src/content/quality.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr::content {
+namespace {
+
+TEST(Quality, LevelValidity) {
+  EXPECT_FALSE(is_valid_level(0));
+  EXPECT_TRUE(is_valid_level(1));
+  EXPECT_TRUE(is_valid_level(6));
+  EXPECT_FALSE(is_valid_level(7));
+  EXPECT_FALSE(is_valid_level(-1));
+}
+
+TEST(Quality, CrfMappingMatchesPaper) {
+  // Section VI: CRF {15,19,23,27,31,35} <-> levels {6,5,4,3,2,1}.
+  EXPECT_EQ(crf_for_level(1), 35);
+  EXPECT_EQ(crf_for_level(2), 31);
+  EXPECT_EQ(crf_for_level(3), 27);
+  EXPECT_EQ(crf_for_level(4), 23);
+  EXPECT_EQ(crf_for_level(5), 19);
+  EXPECT_EQ(crf_for_level(6), 15);
+}
+
+TEST(Quality, CrfDecreasesWithLevel) {
+  for (QualityLevel q = 1; q < kNumQualityLevels; ++q) {
+    EXPECT_GT(crf_for_level(q), crf_for_level(q + 1));
+  }
+}
+
+TEST(Quality, LevelForCrfIsInverse) {
+  for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+    EXPECT_EQ(level_for_crf(crf_for_level(q)), q);
+  }
+}
+
+TEST(Quality, UnknownCrfIsZero) {
+  EXPECT_EQ(level_for_crf(0), 0);
+  EXPECT_EQ(level_for_crf(22), 0);
+  EXPECT_EQ(level_for_crf(100), 0);
+}
+
+}  // namespace
+}  // namespace cvr::content

@@ -1,0 +1,125 @@
+#include "src/content/rate_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvr::content {
+namespace {
+
+TEST(CrfRateFunction, DefaultCalibration) {
+  // DESIGN.md: geometric mean of levels 3 and 4 ~ 36 Mbps (the paper's
+  // per-user medium-quality provisioning).
+  const CrfRateFunction f;
+  const double mid = std::sqrt(f.rate(3) * f.rate(4));
+  EXPECT_NEAR(mid, 36.0, 2.0);
+}
+
+TEST(CrfRateFunction, ConvexIncreasing) {
+  const CrfRateFunction f;
+  EXPECT_TRUE(f.is_convex_increasing());
+}
+
+TEST(CrfRateFunction, GeometricGrowth) {
+  const CrfRateFunction f(10.0, 1.5, 1.0);
+  EXPECT_DOUBLE_EQ(f.rate(1), 10.0);
+  EXPECT_DOUBLE_EQ(f.rate(2), 15.0);
+  EXPECT_NEAR(f.rate(6), 10.0 * std::pow(1.5, 5), 1e-9);
+}
+
+TEST(CrfRateFunction, ScaleIsLinear) {
+  const CrfRateFunction base(10.0, 1.4, 1.0);
+  const CrfRateFunction scaled(10.0, 1.4, 2.5);
+  for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+    EXPECT_NEAR(scaled.rate(q), 2.5 * base.rate(q), 1e-9);
+  }
+}
+
+TEST(CrfRateFunction, IncrementMatchesDifference) {
+  const CrfRateFunction f;
+  for (QualityLevel q = 1; q < kNumQualityLevels; ++q) {
+    EXPECT_DOUBLE_EQ(f.increment(q), f.rate(q + 1) - f.rate(q));
+  }
+}
+
+TEST(CrfRateFunction, InvalidLevelThrows) {
+  const CrfRateFunction f;
+  EXPECT_THROW(f.rate(0), std::out_of_range);
+  EXPECT_THROW(f.rate(7), std::out_of_range);
+}
+
+TEST(CrfRateFunction, RejectsBadParameters) {
+  EXPECT_THROW(CrfRateFunction(-1.0, 1.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(CrfRateFunction(10.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CrfRateFunction(10.0, 1.5, 0.0), std::invalid_argument);
+}
+
+TEST(TableRateFunction, AcceptsValidTable) {
+  const TableRateFunction f({10, 15, 22, 31, 44, 60});
+  EXPECT_DOUBLE_EQ(f.rate(1), 10.0);
+  EXPECT_DOUBLE_EQ(f.rate(6), 60.0);
+  EXPECT_TRUE(f.is_convex_increasing());
+}
+
+TEST(TableRateFunction, RejectsWrongSize) {
+  EXPECT_THROW(TableRateFunction({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TableRateFunction, RejectsNonIncreasing) {
+  EXPECT_THROW(TableRateFunction({10, 15, 14, 31, 44, 60}),
+               std::invalid_argument);
+}
+
+TEST(TableRateFunction, RejectsNonConvex) {
+  // Increments 5, 10, 2: not convex.
+  EXPECT_THROW(TableRateFunction({10, 15, 25, 27, 44, 60}),
+               std::invalid_argument);
+}
+
+TEST(TableRateFunction, RejectsNonPositive) {
+  EXPECT_THROW(TableRateFunction({0, 15, 22, 31, 44, 60}),
+               std::invalid_argument);
+}
+
+TEST(ContentRateModel, Deterministic) {
+  const ContentRateModel model({}, 5);
+  const auto a = model.for_content(17);
+  const auto b = model.for_content(17);
+  for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+    EXPECT_DOUBLE_EQ(a.rate(q), b.rate(q));
+  }
+}
+
+TEST(ContentRateModel, ContentsDiffer) {
+  const ContentRateModel model({}, 5);
+  EXPECT_NE(model.for_content(1).rate(3), model.for_content(2).rate(3));
+}
+
+TEST(ContentRateModel, AllContentsConvexIncreasing) {
+  // Fig. 1a property holds for every generated content.
+  const ContentRateModel model({}, 5);
+  for (std::uint64_t c = 0; c < 200; ++c) {
+    EXPECT_TRUE(model.for_content(c).is_convex_increasing()) << c;
+  }
+}
+
+TEST(ContentRateModel, ScaleSpreadIsModerate) {
+  const ContentRateModel model({}, 5);
+  double lo = 1e18, hi = 0.0;
+  for (std::uint64_t c = 0; c < 500; ++c) {
+    const double r = model.for_content(c).rate(3);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_GT(lo, 5.0);
+  EXPECT_LT(hi, 120.0);
+}
+
+TEST(ContentRateModel, RejectsBadConfig) {
+  ContentRateModel::Config bad;
+  bad.growth_jitter = 0.5;  // >= growth - 1
+  EXPECT_THROW(ContentRateModel(bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvr::content

@@ -1,0 +1,174 @@
+#include "src/util/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace cvr {
+namespace {
+
+TEST(SlidingLinearRegressor, RecoversExactLine) {
+  SlidingLinearRegressor reg(10);
+  for (int i = 0; i < 10; ++i) reg.add(i, 2.0 * i + 1.0);
+  EXPECT_NEAR(reg.slope(), 2.0, 1e-9);
+  EXPECT_NEAR(reg.intercept(), 1.0, 1e-9);
+  EXPECT_NEAR(reg.predict(20.0), 41.0, 1e-9);
+}
+
+TEST(SlidingLinearRegressor, EmptyPredictsZero) {
+  SlidingLinearRegressor reg(5);
+  EXPECT_DOUBLE_EQ(reg.predict(3.0), 0.0);
+  EXPECT_FALSE(reg.ready());
+}
+
+TEST(SlidingLinearRegressor, SinglePointIsPersistence) {
+  SlidingLinearRegressor reg(5);
+  reg.add(0.0, 7.0);
+  EXPECT_DOUBLE_EQ(reg.predict(100.0), 7.0);
+}
+
+TEST(SlidingLinearRegressor, WindowForgetsOldRegime) {
+  SlidingLinearRegressor reg(5);
+  // Old regime: slope 0 at level 0.
+  for (int i = 0; i < 50; ++i) reg.add(i, 0.0);
+  // New regime: slope 1; the window only sees the last 5 points.
+  for (int i = 50; i < 55; ++i) reg.add(i, static_cast<double>(i));
+  EXPECT_NEAR(reg.slope(), 1.0, 1e-9);
+  EXPECT_NEAR(reg.predict(60.0), 60.0, 1e-9);
+}
+
+TEST(SlidingLinearRegressor, ConstantSignalHasZeroSlope) {
+  SlidingLinearRegressor reg(8);
+  for (int i = 0; i < 20; ++i) reg.add(i, 5.5);
+  EXPECT_NEAR(reg.slope(), 0.0, 1e-9);
+  EXPECT_NEAR(reg.predict(1000.0), 5.5, 1e-9);
+}
+
+TEST(SlidingLinearRegressor, DegenerateIdenticalXs) {
+  SlidingLinearRegressor reg(5);
+  reg.add(1.0, 2.0);
+  reg.add(1.0, 4.0);
+  // Vertical data: slope defined as 0, prediction = mean.
+  EXPECT_DOUBLE_EQ(reg.slope(), 0.0);
+  EXPECT_NEAR(reg.predict(1.0), 3.0, 1e-9);
+}
+
+TEST(SlidingLinearRegressor, NoisyLineRecoveredApproximately) {
+  Rng rng(3);
+  SlidingLinearRegressor reg(200);
+  for (int i = 0; i < 200; ++i) {
+    reg.add(i, 3.0 * i - 7.0 + rng.normal(0.0, 0.5));
+  }
+  EXPECT_NEAR(reg.slope(), 3.0, 0.05);
+  EXPECT_NEAR(reg.intercept(), -7.0, 2.0);
+}
+
+TEST(SlidingLinearRegressor, ZeroWindowClampedToOne) {
+  SlidingLinearRegressor reg(0);
+  reg.add(0.0, 1.0);
+  reg.add(1.0, 2.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(PolynomialRegressor, RecoversQuadratic) {
+  PolynomialRegressor reg(2, 100);
+  for (int i = -5; i <= 5; ++i) {
+    const double x = i;
+    reg.add(x, 2.0 * x * x - 3.0 * x + 1.0);
+  }
+  EXPECT_TRUE(reg.ready());
+  EXPECT_NEAR(reg.predict(10.0), 171.0, 1e-6);
+  const auto coeffs = reg.coefficients();
+  ASSERT_EQ(coeffs.size(), 3u);
+  EXPECT_NEAR(coeffs[0], 1.0, 1e-6);
+  EXPECT_NEAR(coeffs[1], -3.0, 1e-6);
+  EXPECT_NEAR(coeffs[2], 2.0, 1e-6);
+}
+
+TEST(PolynomialRegressor, UnderdeterminedFallsBackToMean) {
+  PolynomialRegressor reg(2, 100);
+  reg.add(1.0, 4.0);
+  reg.add(2.0, 6.0);
+  EXPECT_FALSE(reg.ready());
+  EXPECT_NEAR(reg.predict(50.0), 5.0, 1e-9);
+}
+
+TEST(PolynomialRegressor, EmptyPredictsZero) {
+  PolynomialRegressor reg(2, 10);
+  EXPECT_DOUBLE_EQ(reg.predict(1.0), 0.0);
+}
+
+TEST(PolynomialRegressor, HistoryBoundForgetsOldData) {
+  PolynomialRegressor reg(1, 10);
+  for (int i = 0; i < 100; ++i) reg.add(i, 0.0);
+  for (int i = 100; i < 110; ++i) reg.add(i, static_cast<double>(i));
+  EXPECT_EQ(reg.size(), 10u);
+  EXPECT_NEAR(reg.predict(120.0), 120.0, 1e-6);
+}
+
+TEST(PolynomialRegressor, DegreeZeroIsMean) {
+  PolynomialRegressor reg(0, 100);
+  reg.add(0.0, 2.0);
+  reg.add(1.0, 4.0);
+  reg.add(2.0, 6.0);
+  EXPECT_NEAR(reg.predict(123.0), 4.0, 1e-9);
+}
+
+TEST(SolveLinearSystem, TwoByTwo) {
+  std::vector<double> a = {2.0, 1.0, 1.0, 3.0};
+  std::vector<double> b = {5.0, 10.0};
+  ASSERT_TRUE(solve_linear_system(a, b, 2));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularReturnsFalse) {
+  std::vector<double> a = {1.0, 2.0, 2.0, 4.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_FALSE(solve_linear_system(a, b, 2));
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  std::vector<double> a = {0.0, 1.0, 1.0, 0.0};
+  std::vector<double> b = {2.0, 3.0};
+  ASSERT_TRUE(solve_linear_system(a, b, 2));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+// Property: a degree-d regressor interpolates any polynomial of degree
+// <= d exactly when given >= d+1 distinct points.
+class PolyExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyExactness, InterpolatesOwnDegree) {
+  const int degree = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(degree));
+  std::vector<double> coeffs;
+  for (int i = 0; i <= degree; ++i) coeffs.push_back(rng.uniform(-2.0, 2.0));
+  PolynomialRegressor reg(degree, 64);
+  for (int i = 0; i <= degree + 5; ++i) {
+    const double x = i * 0.7 - 2.0;
+    double y = 0.0, p = 1.0;
+    for (double c : coeffs) {
+      y += c * p;
+      p *= x;
+    }
+    reg.add(x, y);
+  }
+  for (double x : {-3.0, 0.0, 4.2}) {
+    double y = 0.0, p = 1.0;
+    for (double c : coeffs) {
+      y += c * p;
+      p *= x;
+    }
+    EXPECT_NEAR(reg.predict(x), y, 1e-5) << "degree " << degree;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyExactness, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace cvr

@@ -1,0 +1,83 @@
+#include "src/report/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace cvr::report {
+namespace {
+
+sim::UserOutcome outcome(double qoe, double quality) {
+  sim::UserOutcome o;
+  o.avg_qoe = qoe;
+  o.avg_quality = quality;
+  o.avg_level = quality + 0.3;
+  o.avg_delay_ms = 5.0;
+  o.variance = 0.5;
+  o.prediction_accuracy = 0.9;
+  o.fps = 60.0;
+  return o;
+}
+
+std::vector<sim::ArmResult> two_arms() {
+  sim::ArmResult a, b;
+  a.algorithm = "dv-greedy";
+  a.outcomes = {outcome(2.0, 3.0), outcome(2.5, 3.5)};
+  b.algorithm = "firefly";
+  b.outcomes = {outcome(1.0, 3.2)};
+  return {a, b};
+}
+
+TEST(Report, OutcomesTableShape) {
+  const CsvTable table = outcomes_table(two_arms());
+  EXPECT_EQ(table.header.size(), 8u);
+  ASSERT_EQ(table.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(table.rows[0][0], 0.0);  // arm index
+  EXPECT_DOUBLE_EQ(table.rows[2][0], 1.0);
+  EXPECT_DOUBLE_EQ(table.rows[1][1], 2.5);  // qoe
+}
+
+TEST(Report, CdfTableMonotone) {
+  const CsvTable table = cdf_table(two_arms(), "qoe", 11);
+  ASSERT_FALSE(table.rows.empty());
+  double prev_p = -1.0;
+  for (const auto& row : table.rows) {
+    if (row[0] != 0.0) break;  // first arm only
+    EXPECT_GE(row[2], prev_p);
+    prev_p = row[2];
+  }
+}
+
+TEST(Report, CdfTableUnknownMetricThrows) {
+  EXPECT_THROW(cdf_table(two_arms(), "nope"), std::invalid_argument);
+}
+
+TEST(Report, CdfTableAllMetricsWork) {
+  for (const char* metric : {"qoe", "quality", "delay_ms", "variance"}) {
+    EXPECT_FALSE(cdf_table(two_arms(), metric).rows.empty()) << metric;
+  }
+}
+
+TEST(Report, SummaryMarkdownContainsArmsAndMeans) {
+  const std::string md = summary_markdown(two_arms());
+  EXPECT_NE(md.find("dv-greedy"), std::string::npos);
+  EXPECT_NE(md.find("firefly"), std::string::npos);
+  EXPECT_NE(md.find("2.25"), std::string::npos);  // mean of 2.0 and 2.5
+  EXPECT_NE(md.find("| algorithm |"), std::string::npos);
+}
+
+TEST(Report, WriteReportCreatesFiles) {
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "cvr_report_test").string();
+  const auto written = write_report(two_arms(), prefix);
+  ASSERT_EQ(written.size(), 5u);
+  for (const auto& path : written) {
+    const CsvTable back = read_csv_file(path);
+    EXPECT_FALSE(back.rows.empty()) << path;
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace cvr::report

@@ -1,0 +1,107 @@
+#include "src/net/rtp_transport.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr::net {
+namespace {
+
+TEST(RtpTransport, LossProbabilityFloorsAndRamps) {
+  RtpTransport transport({}, 1);
+  const double quiet = transport.loss_probability(0.0);
+  const double half = transport.loss_probability(0.5);
+  const double full = transport.loss_probability(1.0);
+  EXPECT_NEAR(quiet, 0.002, 1e-12);
+  EXPECT_GT(half, quiet);
+  EXPECT_GT(full, half);
+  EXPECT_NEAR(full, 0.002 + 0.08, 1e-12);
+}
+
+TEST(RtpTransport, LossProbabilityClampsUtilization) {
+  RtpTransport transport({}, 1);
+  EXPECT_DOUBLE_EQ(transport.loss_probability(-1.0),
+                   transport.loss_probability(0.0));
+  EXPECT_DOUBLE_EQ(transport.loss_probability(5.0),
+                   transport.loss_probability(1.0));
+}
+
+TEST(RtpTransport, PacketizationCeils) {
+  RtpConfig config;
+  config.packet_bits = 9600.0;
+  config.base_loss = 0.0;
+  config.congestion_loss = 0.0;
+  RtpTransport transport(config, 1);
+  // 0.02 Mb = 20000 bits -> ceil(20000/9600) = 3 packets.
+  const auto tx = transport.send_tile(0.02, 0.0);
+  EXPECT_EQ(tx.packets, 3u);
+  EXPECT_TRUE(tx.complete());
+}
+
+TEST(RtpTransport, ZeroSizeTileIncomplete) {
+  RtpTransport transport({}, 1);
+  const auto tx = transport.send_tile(0.0, 0.0);
+  EXPECT_EQ(tx.packets, 0u);
+  EXPECT_FALSE(tx.complete());  // nothing sent = nothing decodable
+}
+
+TEST(RtpTransport, NoLossWhenProbabilityZero) {
+  RtpConfig config;
+  config.base_loss = 0.0;
+  config.congestion_loss = 0.0;
+  RtpTransport transport(config, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(transport.send_tile(0.2, 1.0).complete());
+  }
+}
+
+TEST(RtpTransport, LossRateMatchesProbability) {
+  RtpConfig config;
+  config.base_loss = 0.05;
+  config.congestion_loss = 0.0;
+  RtpTransport transport(config, 2);
+  for (int i = 0; i < 500; ++i) transport.send_tile(0.5, 0.0);
+  const double observed =
+      static_cast<double>(transport.packets_lost()) /
+      static_cast<double>(transport.packets_sent());
+  EXPECT_NEAR(observed, 0.05, 0.01);
+}
+
+TEST(RtpTransport, CongestionBreaksFrames) {
+  // Near saturation a multi-packet tile should frequently lose packets.
+  RtpTransport transport({}, 3);
+  int broken = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!transport.send_tile(0.2, 1.0).complete()) ++broken;
+  }
+  EXPECT_GT(broken, 100);  // ~8% per packet over ~21 packets
+}
+
+TEST(RtpTransport, QuietLinkMostlyIntact) {
+  RtpTransport transport({}, 4);
+  int intact = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (transport.send_tile(0.2, 0.1).complete()) ++intact;
+  }
+  EXPECT_GT(intact, 170);
+}
+
+TEST(RtpTransport, Deterministic) {
+  RtpTransport a({}, 5), b({}, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.send_tile(0.3, 0.5).lost_packets,
+              b.send_tile(0.3, 0.5).lost_packets);
+  }
+}
+
+TEST(RtpTransport, RejectsBadConfigAndInput) {
+  RtpConfig bad;
+  bad.packet_bits = 0.0;
+  EXPECT_THROW(RtpTransport(bad, 1), std::invalid_argument);
+  RtpConfig bad_loss;
+  bad_loss.base_loss = 1.0;
+  EXPECT_THROW(RtpTransport(bad_loss, 1), std::invalid_argument);
+  RtpTransport transport({}, 1);
+  EXPECT_THROW(transport.send_tile(-1.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvr::net

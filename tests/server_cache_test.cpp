@@ -1,0 +1,69 @@
+#include "src/content/server_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr::content {
+namespace {
+
+TEST(ServerTileCache, AdvancePrefetchesWindow) {
+  ServerCacheConfig config;
+  config.window_radius_cells = 1;
+  config.capacity_tiles = 100000;
+  ServerTileCache cache(config);
+  cache.advance({10, 10});
+  // 3x3 cells x 4 tiles x 6 levels = 216 entries.
+  EXPECT_EQ(cache.size(), 9u * 4u * 6u);
+  // Everything inside the window is a hit.
+  EXPECT_TRUE(cache.lookup(pack_video_id({{9, 9}, 0, 1})));
+  EXPECT_TRUE(cache.lookup(pack_video_id({{11, 11}, 3, 6})));
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 1.0);
+}
+
+TEST(ServerTileCache, MissOutsideWindowThenCached) {
+  ServerCacheConfig config;
+  config.window_radius_cells = 1;
+  ServerTileCache cache(config);
+  cache.advance({10, 10});
+  const VideoId far = pack_video_id({{50, 50}, 0, 1});
+  EXPECT_FALSE(cache.lookup(far));  // miss: simulated swap-in
+  EXPECT_TRUE(cache.lookup(far));   // now resident
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ServerTileCache, LruEvictionAtCapacity) {
+  ServerCacheConfig config;
+  config.capacity_tiles = 24;  // exactly one cell's tiles (4 x 6)
+  config.window_radius_cells = 0;
+  ServerTileCache cache(config);
+  cache.advance({0, 0});
+  EXPECT_EQ(cache.size(), 24u);
+  cache.advance({100, 100});  // displaces the first cell entirely
+  EXPECT_EQ(cache.size(), 24u);
+  EXPECT_FALSE(cache.lookup(pack_video_id({{0, 0}, 0, 1})));
+}
+
+TEST(ServerTileCache, MovementKeepsOverlapResident) {
+  ServerCacheConfig config;
+  config.window_radius_cells = 2;
+  config.capacity_tiles = 1000;
+  ServerTileCache cache(config);
+  cache.advance({10, 10});
+  cache.advance({11, 10});  // one cell step: overlap stays hot
+  EXPECT_TRUE(cache.lookup(pack_video_id({{11, 11}, 0, 3})));
+  EXPECT_TRUE(cache.lookup(pack_video_id({{9, 10}, 0, 3})));
+}
+
+TEST(ServerTileCache, HitRateZeroWhenNoLookups) {
+  ServerTileCache cache;
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+TEST(ServerTileCache, RejectsZeroCapacity) {
+  ServerCacheConfig bad;
+  bad.capacity_tiles = 0;
+  EXPECT_THROW(ServerTileCache{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvr::content

@@ -1,0 +1,84 @@
+// Long-horizon soak: several simulated minutes through both platforms —
+// no drift, no NaN, no metric leaving its physical range, bookkeeping
+// exactly consistent at the end. Deliberately the slowest test in the
+// suite (a few seconds); everything else stays fast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/dv_greedy.h"
+#include "src/core/pavq.h"
+#include "src/sim/simulation.h"
+#include "src/system/system_sim.h"
+#include "src/system/timeline.h"
+
+namespace cvr {
+namespace {
+
+TEST(Soak, TraceSimulationFiveMinutes) {
+  trace::TraceRepositoryConfig repo_config;
+  const trace::TraceRepository repo(repo_config, 9);  // full 300 s traces
+  sim::TraceSimConfig config;
+  config.users = 5;
+  config.slots = 19800;  // 300 s at 66 FPS — the paper's full horizon
+  const sim::TraceSimulation simulation(config, repo);
+  core::DvGreedyAllocator alloc;
+  const auto outcomes = simulation.run(alloc, 0);
+  ASSERT_EQ(outcomes.size(), 5u);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(std::isfinite(o.avg_qoe));
+    EXPECT_GT(o.avg_qoe, -5.0);
+    EXPECT_LT(o.avg_qoe, 6.0);
+    EXPECT_GE(o.avg_quality, 1.0 * o.prediction_accuracy - 1e-9);
+    EXPECT_LE(o.avg_quality, 6.0);
+    EXPECT_GT(o.prediction_accuracy, 0.7);
+  }
+}
+
+TEST(Soak, SystemSimulationTwoMinutes) {
+  system::SystemSimConfig config = system::setup_two_routers(8);
+  config.slots = 7920;  // 120 s
+  const system::SystemSim sim(config);
+  core::PavqAllocator alloc;  // the stateful price path gets soaked too
+  system::Timeline timeline;
+  const auto outcomes = sim.run(alloc, 0, &timeline);
+  ASSERT_EQ(outcomes.size(), 8u);
+  EXPECT_EQ(timeline.size(), 7920u * 8u);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(std::isfinite(o.avg_qoe));
+    EXPECT_GE(o.fps, 30.0);  // never collapses to a slideshow
+    EXPECT_LE(o.fps, 66.1);
+  }
+  // Timeline bookkeeping stays physical across the whole horizon.
+  for (const auto& r : timeline.records()) {
+    EXPECT_TRUE(std::isfinite(r.delay_ms));
+    EXPECT_GE(r.delay_ms, 0.0);
+    EXPECT_LE(r.granted_mbps, r.demand_mbps + 1e-9);
+    EXPECT_LE(r.packets_lost, r.packets);
+  }
+}
+
+TEST(Soak, LongHorizonVarianceBookkeepingExact) {
+  // After 300 s the Welford-based accumulator must still agree with a
+  // naive two-pass variance to machine precision (no drift).
+  core::UserQoeAccumulator acc;
+  std::vector<double> samples;
+  cvr::Rng rng(4);
+  for (int t = 0; t < 19800; ++t) {
+    const auto q = static_cast<core::QualityLevel>(rng.uniform_int(1, 6));
+    const bool viewed = rng.bernoulli(0.93);
+    acc.record(q, viewed, rng.uniform(0.0, 10.0));
+    samples.push_back(viewed ? static_cast<double>(q) : 0.0);
+  }
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double s : samples) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(samples.size());
+  EXPECT_NEAR(acc.variance(), var, 1e-9);
+  EXPECT_NEAR(acc.mean_viewed_quality(), mean, 1e-12);
+}
+
+}  // namespace
+}  // namespace cvr

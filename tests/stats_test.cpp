@@ -1,0 +1,197 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cvr {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, MatchesClosedForm) {
+  RunningStat s;
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6};
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  // Population variance of 1..6 is 35/12.
+  EXPECT_NEAR(s.population_variance(), 35.0 / 12.0, 1e-12);
+  EXPECT_NEAR(s.sample_variance(), 3.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 21.0);
+}
+
+TEST(RunningStat, WelfordIsNumericallyStableForLargeOffsets) {
+  RunningStat s;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), offset, 1e-3);
+  EXPECT_NEAR(s.population_variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStat all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    all.add(x);
+    (i < 200 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.population_variance(), all.population_variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStat, ResetClears) {
+  RunningStat s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Cdf, AtOnKnownSamples) {
+  Cdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(Cdf, QuantileInterpolates) {
+  Cdf cdf({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+}
+
+TEST(Cdf, QuantileClampsP) {
+  Cdf cdf({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.5), 2.0);
+}
+
+TEST(Cdf, QuantileThrowsOnEmpty) {
+  Cdf cdf;
+  EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+}
+
+TEST(Cdf, AddKeepsOrderInvariant) {
+  Cdf cdf;
+  cdf.add(3.0);
+  cdf.add(1.0);
+  cdf.add(2.0);
+  const auto& sorted = cdf.sorted_samples();
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.0);
+}
+
+TEST(Cdf, MeanMatches) {
+  Cdf cdf({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.0);
+}
+
+TEST(Cdf, CurveEndpointsAndMonotonicity) {
+  Rng rng(6);
+  Cdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.normal());
+  const auto curve = cdf.curve(33);
+  ASSERT_EQ(curve.size(), 33u);
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LT(curve[i - 1].second, curve[i].second);
+  }
+}
+
+TEST(Cdf, CurveSmallSampleReturnsAll) {
+  Cdf cdf({5.0, 1.0});
+  const auto curve = cdf.curve(10);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].second, 1.0);
+}
+
+TEST(Summary, FiveNumber) {
+  const Summary s = summarize({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(Summary, EmptyIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+// Property sweep: population variance from RunningStat equals the naive
+// two-pass formula for random data.
+class WelfordPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelfordPropertyTest, MatchesTwoPassVariance) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  RunningStat s;
+  const int n = 100 + GetParam() * 37;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0) + rng.uniform(-1.0, 1.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= n;
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.population_variance(), var, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelfordPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace cvr

@@ -1,0 +1,219 @@
+// Integration tests for the system-level extensions: RTP retransmission,
+// online rendering, and fallback prefetch inside the full SystemSim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/dv_greedy.h"
+#include "src/net/rtp_transport.h"
+#include "src/system/system_sim.h"
+
+namespace cvr {
+namespace {
+
+system::SystemSimConfig tiny(std::size_t users = 3, std::size_t slots = 400) {
+  system::SystemSimConfig config = system::setup_one_router(users);
+  config.slots = slots;
+  return config;
+}
+
+// ---------- RTP retransmission primitive ----------
+
+TEST(RtpRetransmission, RecoversLostPackets) {
+  net::RtpConfig config;
+  config.base_loss = 0.2;
+  config.congestion_loss = 0.0;
+  net::RtpTransport transport(config, 7);
+  int complete_no_retx = 0, complete_retx = 0;
+  net::RtpTransport plain(config, 7);
+  for (int i = 0; i < 300; ++i) {
+    if (plain.send_tile(0.2, 0.0).complete()) ++complete_no_retx;
+    if (transport.send_tile_with_retx(0.2, 0.0, 2, 40.0).complete()) {
+      ++complete_retx;
+    }
+  }
+  EXPECT_GT(complete_retx, complete_no_retx * 2);
+}
+
+TEST(RtpRetransmission, AddsDelayOnlyWhenLossOccurs) {
+  net::RtpConfig lossless;
+  lossless.base_loss = 0.0;
+  lossless.congestion_loss = 0.0;
+  net::RtpTransport transport(lossless, 1);
+  const auto tx = transport.send_tile_with_retx(0.2, 0.0, 3, 40.0);
+  EXPECT_TRUE(tx.complete());
+  EXPECT_EQ(tx.retransmitted, 0u);
+  EXPECT_DOUBLE_EQ(tx.extra_delay_ms, 0.0);
+}
+
+TEST(RtpRetransmission, DelayGrowsWithRounds) {
+  net::RtpConfig lossy;
+  lossy.base_loss = 0.5;
+  lossy.congestion_loss = 0.0;
+  net::RtpTransport transport(lossy, 3);
+  double total_delay = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    total_delay += transport.send_tile_with_retx(0.2, 0.0, 2, 40.0).extra_delay_ms;
+  }
+  EXPECT_GT(total_delay, 0.0);
+}
+
+TEST(RtpRetransmission, ZeroRoundsEqualsPlainSend) {
+  net::RtpTransport a({}, 9), b({}, 9);
+  for (int i = 0; i < 50; ++i) {
+    const auto plain = a.send_tile(0.3, 0.4);
+    const auto retx = b.send_tile_with_retx(0.3, 0.4, 0, 40.0);
+    EXPECT_EQ(plain.lost_packets, retx.lost_packets);
+    EXPECT_DOUBLE_EQ(retx.extra_delay_ms, 0.0);
+  }
+}
+
+TEST(RtpRetransmission, RejectsBadArguments) {
+  net::RtpTransport transport({}, 1);
+  EXPECT_THROW(transport.send_tile_with_retx(0.1, 0.0, -1, 40.0),
+               std::invalid_argument);
+  EXPECT_THROW(transport.send_tile_with_retx(0.1, 0.0, 1, -1.0),
+               std::invalid_argument);
+}
+
+// ---------- System integration ----------
+
+TEST(SystemExtensions, RetransmissionImprovesViewedQuality) {
+  system::SystemSimConfig base = tiny(4, 500);
+  base.rtp.base_loss = 0.01;  // visible loss floor
+  system::SystemSimConfig retx = base;
+  retx.retransmit_rounds = 1;
+  core::DvGreedyAllocator a, b;
+  double q_base = 0.0, q_retx = 0.0;
+  for (const auto& o : system::SystemSim(base).run(a, 0)) q_base += o.avg_quality;
+  for (const auto& o : system::SystemSim(retx).run(b, 0)) q_retx += o.avg_quality;
+  EXPECT_GT(q_retx, q_base);
+}
+
+TEST(SystemExtensions, OnlineRenderingDeterministic) {
+  system::SystemSimConfig config = tiny();
+  config.online_rendering = true;
+  config.render_farm.gpus = 2;
+  core::DvGreedyAllocator a, b;
+  const auto x = system::SystemSim(config).run(a, 1);
+  const auto y = system::SystemSim(config).run(b, 1);
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    EXPECT_DOUBLE_EQ(x[u].avg_qoe, y[u].avg_qoe);
+  }
+}
+
+TEST(SystemExtensions, StarvedRenderFarmTanksQuality) {
+  system::SystemSimConfig offline = tiny(6, 400);
+  system::SystemSimConfig starved = offline;
+  starved.online_rendering = true;
+  starved.render_farm.gpus = 1;
+  starved.render_farm.render_ms_per_tile = 6.0;  // hopeless farm
+  core::DvGreedyAllocator a, b;
+  double q_offline = 0.0, q_starved = 0.0;
+  for (const auto& o : system::SystemSim(offline).run(a, 0)) {
+    q_offline += o.avg_quality;
+  }
+  for (const auto& o : system::SystemSim(starved).run(b, 0)) {
+    q_starved += o.avg_quality;
+  }
+  EXPECT_LT(q_starved, 0.5 * q_offline);
+}
+
+TEST(SystemExtensions, AmpleRenderFarmMatchesOffline) {
+  system::SystemSimConfig offline = tiny(3, 400);
+  system::SystemSimConfig farm = offline;
+  farm.online_rendering = true;
+  farm.render_farm.gpus = 16;
+  core::DvGreedyAllocator a, b;
+  double q_offline = 0.0, q_farm = 0.0;
+  for (const auto& o : system::SystemSim(offline).run(a, 0)) {
+    q_offline += o.avg_quality;
+  }
+  for (const auto& o : system::SystemSim(farm).run(b, 0)) q_farm += o.avg_quality;
+  EXPECT_NEAR(q_farm, q_offline, 0.15 * q_offline);
+}
+
+TEST(SystemExtensions, FallbackPrefetchRunsEndToEnd) {
+  system::SystemSimConfig config = tiny(3, 400);
+  config.server.fallback_prefetch = true;
+  config.motion.max_speed_mps = 4.0;
+  core::DvGreedyAllocator alloc;
+  for (const auto& o : system::SystemSim(config).run(alloc, 0)) {
+    EXPECT_TRUE(std::isfinite(o.avg_qoe));
+    EXPECT_GE(o.avg_quality, 0.0);
+  }
+}
+
+TEST(SystemExtensions, LectureModeSharesTeacherViewpoint) {
+  // Everyone replays the teacher's motion: the server-side predictors
+  // see identical pose streams, so coverage outcomes coincide exactly.
+  system::SystemSimConfig config = tiny(4, 300);
+  config.lecture_mode = true;
+  core::DvGreedyAllocator alloc;
+  const auto outcomes = system::SystemSim(config).run(alloc, 0);
+  for (std::size_t u = 1; u < outcomes.size(); ++u) {
+    EXPECT_DOUBLE_EQ(outcomes[u].prediction_accuracy,
+                     outcomes[0].prediction_accuracy);
+  }
+}
+
+TEST(SystemExtensions, FreeRoamUsersDiffer) {
+  system::SystemSimConfig config = tiny(4, 300);
+  config.lecture_mode = false;
+  core::DvGreedyAllocator alloc;
+  const auto outcomes = system::SystemSim(config).run(alloc, 0);
+  bool any_diff = false;
+  for (std::size_t u = 1; u < outcomes.size(); ++u) {
+    if (outcomes[u].avg_qoe != outcomes[0].avg_qoe) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SystemExtensions, RepetitionSuppressionSavesBandwidth) {
+  system::SystemSimConfig on = tiny(3, 400);
+  system::SystemSimConfig off = on;
+  off.server.repetition_suppression = false;
+  core::DvGreedyAllocator a, b;
+  system::Timeline tl_on, tl_off;
+  system::SystemSim(on).run(a, 0, &tl_on);
+  system::SystemSim(off).run(b, 0, &tl_off);
+  double demand_on = 0.0, demand_off = 0.0;
+  for (const auto& r : tl_on.records()) demand_on += r.demand_mbps;
+  for (const auto& r : tl_off.records()) demand_off += r.demand_mbps;
+  EXPECT_LT(demand_on, 0.6 * demand_off);  // "significantly save"
+}
+
+TEST(SystemExtensions, SparsePoseUploadsDegradePrediction) {
+  system::SystemSimConfig dense = tiny(3, 500);
+  system::SystemSimConfig sparse = dense;
+  sparse.pose_upload_period = 8;
+  core::DvGreedyAllocator a, b;
+  double acc_dense = 0.0, acc_sparse = 0.0;
+  for (const auto& o : system::SystemSim(dense).run(a, 0)) {
+    acc_dense += o.prediction_accuracy;
+  }
+  for (const auto& o : system::SystemSim(sparse).run(b, 0)) {
+    acc_sparse += o.prediction_accuracy;
+  }
+  EXPECT_LT(acc_sparse, acc_dense);
+}
+
+TEST(SystemExtensions, ZeroPoseUploadPeriodRejected) {
+  system::SystemSimConfig config = tiny();
+  config.pose_upload_period = 0;
+  EXPECT_THROW(system::SystemSim{config}, std::invalid_argument);
+}
+
+TEST(SystemExtensions, LossAwareModeDeterministic) {
+  system::SystemSimConfig config = tiny();
+  config.server.loss_aware = true;
+  core::DvGreedyAllocator a, b;
+  const auto x = system::SystemSim(config).run(a, 2);
+  const auto y = system::SystemSim(config).run(b, 2);
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    EXPECT_DOUBLE_EQ(x[u].avg_qoe, y[u].avg_qoe);
+  }
+}
+
+}  // namespace
+}  // namespace cvr

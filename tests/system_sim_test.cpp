@@ -1,0 +1,130 @@
+#include "src/system/system_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/dv_greedy.h"
+#include "src/core/firefly.h"
+#include "src/core/pavq.h"
+
+namespace cvr::system {
+namespace {
+
+SystemSimConfig tiny(std::size_t users = 3, std::size_t slots = 300) {
+  SystemSimConfig config = setup_one_router(users);
+  config.slots = slots;
+  return config;
+}
+
+TEST(SetupHelpers, MatchPaperParameters) {
+  const SystemSimConfig one = setup_one_router();
+  EXPECT_EQ(one.users, 8u);
+  EXPECT_EQ(one.routers, 1u);
+  EXPECT_DOUBLE_EQ(one.router_aggregate_mbps, 400.0);
+  EXPECT_FALSE(one.channel.interference);
+  EXPECT_DOUBLE_EQ(one.server.params.alpha, 0.1);
+  EXPECT_DOUBLE_EQ(one.server.params.beta, 0.5);
+
+  const SystemSimConfig two = setup_two_routers();
+  EXPECT_EQ(two.users, 15u);
+  EXPECT_EQ(two.routers, 2u);
+  EXPECT_TRUE(two.channel.interference);
+  // 800 Mbps total across the two bridged routers.
+  EXPECT_DOUBLE_EQ(two.router_aggregate_mbps * 2, 800.0);
+}
+
+TEST(SystemSim, OutcomePerUserWithFps) {
+  const SystemSim sim(tiny());
+  core::DvGreedyAllocator alloc;
+  const auto outcomes = sim.run(alloc, 0);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto& o : outcomes) {
+    EXPECT_GE(o.fps, 0.0);
+    EXPECT_LE(o.fps, 66.1);
+    EXPECT_GE(o.avg_quality, 0.0);
+    EXPECT_LE(o.avg_quality, 6.0);
+    EXPECT_GE(o.avg_delay_ms, 0.0);
+  }
+}
+
+TEST(SystemSim, Deterministic) {
+  const SystemSim sim(tiny());
+  core::DvGreedyAllocator a, b;
+  const auto x = sim.run(a, 1);
+  const auto y = sim.run(b, 1);
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    EXPECT_DOUBLE_EQ(x[u].avg_qoe, y[u].avg_qoe);
+    EXPECT_DOUBLE_EQ(x[u].fps, y[u].fps);
+  }
+}
+
+TEST(SystemSim, RepeatsDiffer) {
+  const SystemSim sim(tiny());
+  core::DvGreedyAllocator alloc;
+  const auto x = sim.run(alloc, 0);
+  const auto y = sim.run(alloc, 1);
+  EXPECT_NE(x[0].avg_qoe, y[0].avg_qoe);
+}
+
+TEST(SystemSim, OurAllocatorReachesHighFps) {
+  // Fig. 7c: the DV-greedy system sustains ~60 FPS.
+  SystemSimConfig config = tiny(4, 600);
+  const SystemSim sim(config);
+  core::DvGreedyAllocator alloc;
+  double fps = 0.0;
+  for (const auto& o : sim.run(alloc, 0)) fps += o.fps;
+  fps /= 4.0;
+  EXPECT_GT(fps, 50.0);
+}
+
+TEST(SystemSim, CompareRunsArms) {
+  const SystemSim sim(tiny(2, 200));
+  core::DvGreedyAllocator ours;
+  core::FireflyAllocator firefly;
+  const auto arms = sim.compare({&ours, &firefly}, 2);
+  ASSERT_EQ(arms.size(), 2u);
+  EXPECT_EQ(arms[0].outcomes.size(), 4u);
+}
+
+TEST(SystemSim, RejectsBadConfig) {
+  SystemSimConfig bad = tiny();
+  bad.users = 0;
+  EXPECT_THROW(SystemSim{bad}, std::invalid_argument);
+  SystemSimConfig bad2 = tiny();
+  bad2.throttle_pool_mbps.clear();
+  EXPECT_THROW(SystemSim{bad2}, std::invalid_argument);
+}
+
+TEST(SystemSim, TwoRouterSetupRunsAllUsers) {
+  SystemSimConfig config = setup_two_routers(5);
+  config.slots = 200;
+  const SystemSim sim(config);
+  core::DvGreedyAllocator alloc;
+  EXPECT_EQ(sim.run(alloc, 0).size(), 5u);
+}
+
+TEST(SystemSim, InterferenceHurtsEveryone) {
+  // Same seed/users: the two-router interference world must yield a
+  // lower mean QoE than the quiet single-router world scaled to the same
+  // per-router population.
+  SystemSimConfig quiet = tiny(4, 500);
+  SystemSimConfig noisy = quiet;
+  noisy.channel.interference = true;
+  core::DvGreedyAllocator a, b;
+  double q = 0.0, n = 0.0;
+  for (const auto& o : SystemSim(quiet).run(a, 0)) q += o.avg_qoe;
+  for (const auto& o : SystemSim(noisy).run(b, 0)) n += o.avg_qoe;
+  EXPECT_LT(n, q);
+}
+
+TEST(SystemSim, DvGreedyBeatsFireflyOnQoe) {
+  // The headline ordering of Fig. 7a, checked at reduced scale.
+  SystemSimConfig config = tiny(4, 500);
+  const SystemSim sim(config);
+  core::DvGreedyAllocator ours;
+  core::FireflyAllocator firefly;
+  const auto arms = sim.compare({&ours, &firefly}, 2);
+  EXPECT_GT(arms[0].mean_qoe(), arms[1].mean_qoe());
+}
+
+}  // namespace
+}  // namespace cvr::system

@@ -1,0 +1,61 @@
+#include "src/content/tile.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr::content {
+namespace {
+
+TEST(GridCell, QuantisesToFiveCentimetres) {
+  EXPECT_EQ(cell_for_position(0.0, 0.0), (GridCell{0, 0}));
+  EXPECT_EQ(cell_for_position(0.024, 0.026), (GridCell{0, 1}));
+  EXPECT_EQ(cell_for_position(1.0, -1.0), (GridCell{20, -20}));
+  EXPECT_EQ(cell_for_position(0.076, 0.0).gx, 2);  // rounds to nearest cell
+}
+
+TEST(VideoId, RoundTripsAllFields) {
+  const TileKey key{{123, -456}, 2, 5};
+  const TileKey back = unpack_video_id(pack_video_id(key));
+  EXPECT_EQ(back, key);
+}
+
+TEST(VideoId, RoundTripsExtremes) {
+  for (int tile = 0; tile < kTilesPerFrame; ++tile) {
+    for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+      const TileKey key{{-100000, 100000}, tile, q};
+      EXPECT_EQ(unpack_video_id(pack_video_id(key)), key);
+    }
+  }
+}
+
+TEST(VideoId, DistinctKeysDistinctIds) {
+  const VideoId a = pack_video_id({{1, 2}, 0, 1});
+  const VideoId b = pack_video_id({{1, 2}, 1, 1});
+  const VideoId c = pack_video_id({{1, 2}, 0, 2});
+  const VideoId d = pack_video_id({{2, 2}, 0, 1});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_NE(b, c);
+}
+
+TEST(VideoId, RejectsInvalidLevel) {
+  EXPECT_THROW(pack_video_id({{0, 0}, 0, 0}), std::out_of_range);
+  EXPECT_THROW(pack_video_id({{0, 0}, 0, 7}), std::out_of_range);
+}
+
+TEST(VideoId, RejectsInvalidTileIndex) {
+  EXPECT_THROW(pack_video_id({{0, 0}, -1, 1}), std::out_of_range);
+  EXPECT_THROW(pack_video_id({{0, 0}, 4, 1}), std::out_of_range);
+}
+
+TEST(VideoId, RejectsOutOfRangeCell) {
+  EXPECT_THROW(pack_video_id({{1 << 23, 0}, 0, 1}), std::out_of_range);
+  EXPECT_THROW(pack_video_id({{0, -(1 << 23) - 1}, 0, 1}), std::out_of_range);
+}
+
+TEST(TileKey, ToStringReadable) {
+  EXPECT_EQ(to_string(TileKey{{12, -3}, 2, 5}), "(12,-3)#2@q5");
+}
+
+}  // namespace
+}  // namespace cvr::content

@@ -1,0 +1,124 @@
+#include "src/system/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/dv_greedy.h"
+#include "src/system/system_sim.h"
+
+namespace cvr::system {
+namespace {
+
+SlotRecord record(std::size_t slot, std::size_t user, double demand,
+                  double granted, double estimate, double capacity) {
+  SlotRecord r;
+  r.slot = slot;
+  r.user = user;
+  r.demand_mbps = demand;
+  r.granted_mbps = granted;
+  r.bandwidth_estimate_mbps = estimate;
+  r.capacity_mbps = capacity;
+  return r;
+}
+
+TEST(Timeline, EmptySummaries) {
+  Timeline timeline;
+  EXPECT_EQ(timeline.size(), 0u);
+  EXPECT_DOUBLE_EQ(timeline.saturation_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.mean_bandwidth_error_mbps(), 0.0);
+}
+
+TEST(Timeline, SaturationFraction) {
+  Timeline timeline;
+  timeline.add(record(0, 0, 10.0, 10.0, 40.0, 40.0));  // fully granted
+  timeline.add(record(1, 0, 20.0, 15.0, 40.0, 40.0));  // saturated
+  timeline.add(record(2, 0, 0.0, 0.0, 40.0, 40.0));    // idle
+  timeline.add(record(3, 0, 30.0, 12.0, 40.0, 40.0));  // saturated
+  EXPECT_DOUBLE_EQ(timeline.saturation_fraction(), 0.5);
+}
+
+TEST(Timeline, BandwidthError) {
+  Timeline timeline;
+  timeline.add(record(0, 0, 0, 0, 50.0, 40.0));  // +10
+  timeline.add(record(1, 0, 0, 0, 30.0, 40.0));  // -10
+  EXPECT_DOUBLE_EQ(timeline.mean_bandwidth_error_mbps(), 10.0);
+}
+
+TEST(Timeline, ForUserFilters) {
+  Timeline timeline;
+  timeline.add(record(0, 0, 0, 0, 0, 0));
+  timeline.add(record(0, 1, 0, 0, 0, 0));
+  timeline.add(record(1, 0, 0, 0, 0, 0));
+  const auto user0 = timeline.for_user(0);
+  ASSERT_EQ(user0.size(), 2u);
+  EXPECT_EQ(user0[1].slot, 1u);
+}
+
+TEST(Timeline, CsvShape) {
+  Timeline timeline;
+  timeline.add(record(3, 1, 5.0, 5.0, 40.0, 42.0));
+  const CsvTable table = timeline.to_csv();
+  EXPECT_EQ(table.header.size(), 13u);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0].size(), 13u);
+  EXPECT_DOUBLE_EQ(table.rows[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(table.rows[0][1], 1.0);
+}
+
+TEST(Timeline, SystemSimFillsOneRecordPerSlotUser) {
+  SystemSimConfig config = setup_one_router(3);
+  config.slots = 200;
+  const SystemSim sim(config);
+  core::DvGreedyAllocator alloc;
+  Timeline timeline;
+  sim.run(alloc, 0, &timeline);
+  EXPECT_EQ(timeline.size(), 200u * 3u);
+
+  for (const auto& r : timeline.records()) {
+    EXPECT_LT(r.slot, 200u);
+    EXPECT_LT(r.user, 3u);
+    EXPECT_TRUE(content::is_valid_level(r.level));
+    EXPECT_GE(r.granted_mbps, 0.0);
+    EXPECT_LE(r.granted_mbps, r.demand_mbps + 1e-9);  // grant <= demand
+    EXPECT_GE(r.delta_estimate, 0.0);
+    EXPECT_LE(r.delta_estimate, 1.0);
+    EXPECT_GE(r.packets_lost, 0u);
+    EXPECT_LE(r.packets_lost, r.packets);
+    EXPECT_GE(r.displayed_quality, 0.0);
+    EXPECT_LE(r.displayed_quality, static_cast<double>(r.level));
+  }
+}
+
+TEST(Timeline, AttachedRunMatchesPlainRun) {
+  // Instrumentation must not perturb the simulation.
+  SystemSimConfig config = setup_one_router(2);
+  config.slots = 150;
+  const SystemSim sim(config);
+  core::DvGreedyAllocator a, b;
+  Timeline timeline;
+  const auto with = sim.run(a, 1, &timeline);
+  const auto without = sim.run(b, 1);
+  for (std::size_t u = 0; u < with.size(); ++u) {
+    EXPECT_DOUBLE_EQ(with[u].avg_qoe, without[u].avg_qoe);
+  }
+}
+
+TEST(Timeline, InterferenceRaisesSaturationAndError) {
+  core::DvGreedyAllocator a, b;
+  SystemSimConfig quiet = setup_one_router(4);
+  quiet.slots = 400;
+  Timeline quiet_tl;
+  SystemSim(quiet).run(a, 0, &quiet_tl);
+
+  SystemSimConfig noisy = quiet;
+  noisy.channel.interference = true;
+  Timeline noisy_tl;
+  SystemSim(noisy).run(b, 0, &noisy_tl);
+
+  EXPECT_GE(noisy_tl.saturation_fraction(),
+            quiet_tl.saturation_fraction());
+  EXPECT_GT(noisy_tl.mean_bandwidth_error_mbps(),
+            quiet_tl.mean_bandwidth_error_mbps());
+}
+
+}  // namespace
+}  // namespace cvr::system

@@ -1,0 +1,65 @@
+#include "src/net/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr::net {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb(40.0, 2.0);
+  EXPECT_DOUBLE_EQ(tb.available_megabits(), 2.0);
+}
+
+TEST(TokenBucket, ConsumeGrantsUpToTokens) {
+  TokenBucket tb(40.0, 2.0);
+  EXPECT_DOUBLE_EQ(tb.consume(1.5), 1.5);
+  EXPECT_DOUBLE_EQ(tb.consume(1.0), 0.5);  // only 0.5 left
+  EXPECT_DOUBLE_EQ(tb.consume(1.0), 0.0);
+}
+
+TEST(TokenBucket, TickAccruesAtRate) {
+  TokenBucket tb(40.0, 10.0);
+  tb.consume(10.0);
+  tb.tick(0.1);  // 40 Mbps * 0.1 s = 4 Mb
+  EXPECT_NEAR(tb.available_megabits(), 4.0, 1e-12);
+}
+
+TEST(TokenBucket, BurstCapsAccrual) {
+  TokenBucket tb(40.0, 1.0);
+  tb.tick(100.0);
+  EXPECT_DOUBLE_EQ(tb.available_megabits(), 1.0);
+}
+
+TEST(TokenBucket, LongRunThroughputMatchesRate) {
+  // Shaping property: over many slots the granted volume approaches
+  // rate x time, regardless of burst demand.
+  TokenBucket tb(45.0, 0.8);
+  const double slot = 1.0 / 66.0;
+  double granted = 0.0;
+  for (int i = 0; i < 6600; ++i) {  // 100 s
+    tb.tick(slot);
+    granted += tb.consume(10.0);  // demand far above rate
+  }
+  const double achieved_mbps = granted / 100.0;
+  EXPECT_NEAR(achieved_mbps, 45.0, 0.5);
+}
+
+TEST(TokenBucket, SetRateChangesShaping) {
+  TokenBucket tb(40.0, 1.0);
+  tb.consume(1.0);
+  tb.set_rate(80.0);
+  tb.tick(0.01);
+  EXPECT_NEAR(tb.available_megabits(), 0.8, 1e-12);
+}
+
+TEST(TokenBucket, RejectsBadArguments) {
+  EXPECT_THROW(TokenBucket(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(10.0, 0.0), std::invalid_argument);
+  TokenBucket tb(10.0, 1.0);
+  EXPECT_THROW(tb.tick(-1.0), std::invalid_argument);
+  EXPECT_THROW(tb.consume(-1.0), std::invalid_argument);
+  EXPECT_THROW(tb.set_rate(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvr::net

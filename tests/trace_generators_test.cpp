@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "src/trace/fcc_generator.h"
+#include "src/trace/lte_generator.h"
+#include "src/util/stats.h"
+
+namespace cvr::trace {
+namespace {
+
+TEST(FccGenerator, Deterministic) {
+  FccGenerator gen;
+  const NetworkTrace a = gen.generate(42, 3);
+  const NetworkTrace b = gen.generate(42, 3);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.segments()[i].mbps, b.segments()[i].mbps);
+    EXPECT_DOUBLE_EQ(a.segments()[i].duration_s, b.segments()[i].duration_s);
+  }
+}
+
+TEST(FccGenerator, DifferentIndicesDiffer) {
+  FccGenerator gen;
+  const NetworkTrace a = gen.generate(42, 0);
+  const NetworkTrace b = gen.generate(42, 1);
+  bool any_diff = a.segments().size() != b.segments().size();
+  for (std::size_t i = 0; !any_diff && i < a.segments().size(); ++i) {
+    any_diff = a.segments()[i].mbps != b.segments()[i].mbps;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FccGenerator, DurationMatchesConfig) {
+  FccGeneratorConfig config;
+  config.duration_s = 123.0;
+  FccGenerator gen(config);
+  EXPECT_NEAR(gen.generate(1).duration_s(), 123.0, 1e-9);
+}
+
+TEST(FccGenerator, ThroughputWithinClipRange) {
+  FccGenerator gen;  // defaults: 20..100 Mbps (Section IV)
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const NetworkTrace t = gen.generate(7, i);
+    for (const auto& seg : t.segments()) {
+      EXPECT_GE(seg.mbps, 20.0);
+      EXPECT_LE(seg.mbps, 100.0);
+    }
+  }
+}
+
+TEST(FccGenerator, DwellTimesAreMultiSecond) {
+  FccGenerator gen;
+  const NetworkTrace t = gen.generate(9);
+  cvr::RunningStat dwell;
+  for (const auto& seg : t.segments()) dwell.add(seg.duration_s);
+  EXPECT_GE(dwell.min(), 1.0);   // configured floor
+  EXPECT_GT(dwell.mean(), 2.0);  // multi-second on average
+}
+
+TEST(FccGenerator, RejectsBadConfig) {
+  FccGeneratorConfig bad;
+  bad.duration_s = -1.0;
+  EXPECT_THROW(FccGenerator{bad}, std::invalid_argument);
+  FccGeneratorConfig inverted;
+  inverted.min_mbps = 50.0;
+  inverted.max_mbps = 40.0;
+  EXPECT_THROW(FccGenerator{inverted}, std::invalid_argument);
+}
+
+TEST(LteGenerator, Deterministic) {
+  LteGenerator gen;
+  const NetworkTrace a = gen.generate(5, 2);
+  const NetworkTrace b = gen.generate(5, 2);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.segments()[i].mbps, b.segments()[i].mbps);
+  }
+}
+
+TEST(LteGenerator, PerSecondSampling) {
+  LteGenerator gen;
+  const NetworkTrace t = gen.generate(1);
+  ASSERT_FALSE(t.segments().empty());
+  for (std::size_t i = 0; i + 1 < t.segments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.segments()[i].duration_s, 1.0);
+  }
+  EXPECT_NEAR(t.duration_s(), 300.0, 1e-9);
+}
+
+TEST(LteGenerator, WithinClipRange) {
+  LteGenerator gen;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const NetworkTrace t = gen.generate(11, i);
+    for (const auto& seg : t.segments()) {
+      EXPECT_GE(seg.mbps, 20.0);
+      EXPECT_LE(seg.mbps, 100.0);
+    }
+  }
+}
+
+TEST(LteGenerator, StrongAutocorrelation) {
+  // Lag-1 autocorrelation of the per-second series should be clearly
+  // positive (AR(1) with rho = 0.85, fades only strengthen it).
+  LteGenerator gen;
+  const NetworkTrace t = gen.generate(3);
+  const auto& segs = t.segments();
+  ASSERT_GT(segs.size(), 100u);
+  cvr::RunningStat stat;
+  for (const auto& seg : segs) stat.add(seg.mbps);
+  double cov = 0.0;
+  for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+    cov += (segs[i].mbps - stat.mean()) * (segs[i + 1].mbps - stat.mean());
+  }
+  cov /= static_cast<double>(segs.size() - 1);
+  const double rho = cov / stat.population_variance();
+  EXPECT_GT(rho, 0.5);
+}
+
+TEST(LteGenerator, FadesProduceLowTail) {
+  // With fade depth 0.45 the distribution should reach well below the
+  // median occasionally.
+  LteGeneratorConfig config;
+  config.fade_enter_prob = 0.1;  // more fades for a robust test
+  LteGenerator gen(config);
+  double min_seen = 1e9;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const NetworkTrace t = gen.generate(17, i);
+    for (const auto& seg : t.segments()) min_seen = std::min(min_seen, seg.mbps);
+  }
+  EXPECT_LE(min_seen, 25.0);
+}
+
+TEST(LteGenerator, RejectsBadConfig) {
+  LteGeneratorConfig bad;
+  bad.ar_coefficient = 1.5;
+  EXPECT_THROW(LteGenerator{bad}, std::invalid_argument);
+}
+
+TEST(Generators, FccIsBurstierPerLevelThanLte) {
+  // FCC levels are nearly independent (rho 0.3) while LTE is strongly
+  // correlated per second; comparing consecutive-sample absolute jumps,
+  // normalised by spread, FCC should jump more.
+  FccGenerator fcc;
+  LteGenerator lte;
+  auto mean_jump = [](const NetworkTrace& t) {
+    const auto& segs = t.segments();
+    double jump = 0.0;
+    for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+      jump += std::abs(segs[i + 1].mbps - segs[i].mbps);
+    }
+    return jump / static_cast<double>(segs.size() - 1);
+  };
+  double fcc_jump = 0.0, lte_jump = 0.0;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    fcc_jump += mean_jump(fcc.generate(23, i));
+    lte_jump += mean_jump(lte.generate(23, i));
+  }
+  EXPECT_GT(fcc_jump, lte_jump);
+}
+
+}  // namespace
+}  // namespace cvr::trace

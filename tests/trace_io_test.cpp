@@ -1,0 +1,110 @@
+#include "src/trace/trace_io.h"
+
+#include "src/trace/trace_repository.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace cvr::trace {
+namespace {
+
+TEST(TraceIo, FromCsvBasic) {
+  const NetworkTrace t = trace_from_csv("x", "2.0,40\n3.0,60\n");
+  EXPECT_EQ(t.name(), "x");
+  ASSERT_EQ(t.segments().size(), 2u);
+  EXPECT_DOUBLE_EQ(t.segments()[1].mbps, 60.0);
+  EXPECT_DOUBLE_EQ(t.duration_s(), 5.0);
+}
+
+TEST(TraceIo, FromCsvWithHeaderAndComments) {
+  const NetworkTrace t =
+      trace_from_csv("x", "# trace\nduration_s,mbps\n1,30\n");
+  ASSERT_EQ(t.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.segments()[0].mbps, 30.0);
+}
+
+TEST(TraceIo, WrongColumnCountThrows) {
+  EXPECT_THROW(trace_from_csv("x", "1,2,3\n"), std::runtime_error);
+}
+
+TEST(TraceIo, InvalidSegmentThrows) {
+  // Zero duration is rejected by NetworkTrace's own validation.
+  EXPECT_THROW(trace_from_csv("x", "0,40\n"), std::invalid_argument);
+}
+
+TEST(TraceIo, ToCsvRoundTrip) {
+  const NetworkTrace t("orig", {{1.5, 45.0}, {2.0, 55.5}});
+  const NetworkTrace back = trace_from_csv("copy", trace_to_csv(t));
+  ASSERT_EQ(back.segments().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.segments()[0].duration_s, 1.5);
+  EXPECT_DOUBLE_EQ(back.segments()[1].mbps, 55.5);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cvr_trace_io_test.csv")
+          .string();
+  const NetworkTrace t("orig", {{1.0, 20.0}, {2.0, 80.0}});
+  save_trace(path, t);
+  const NetworkTrace back = load_trace(path);
+  ASSERT_EQ(back.segments().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.mean_mbps(), t.mean_mbps());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, LoadDirectorySortedAndFiltered) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "cvr_trace_dir_test";
+  fs::create_directories(dir);
+  save_trace((dir / "b.csv").string(), NetworkTrace("b", {{1.0, 20.0}}));
+  save_trace((dir / "a.csv").string(), NetworkTrace("a", {{1.0, 30.0}}));
+  {
+    std::ofstream junk(dir / "notes.txt");
+    junk << "not a trace";
+  }
+  const auto traces = load_trace_directory(dir.string());
+  ASSERT_EQ(traces.size(), 2u);  // .txt ignored
+  // Sorted by filename: a.csv first.
+  EXPECT_DOUBLE_EQ(traces[0].segments()[0].mbps, 30.0);
+  EXPECT_DOUBLE_EQ(traces[1].segments()[0].mbps, 20.0);
+  fs::remove_all(dir);
+}
+
+TEST(TraceIo, LoadDirectoryEmptyOk) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "cvr_trace_dir_empty";
+  fs::create_directories(dir);
+  EXPECT_TRUE(load_trace_directory(dir.string()).empty());
+  fs::remove_all(dir);
+}
+
+TEST(TraceIo, LoadDirectoryMissingThrows) {
+  EXPECT_THROW(load_trace_directory("/nonexistent/dir"), std::runtime_error);
+}
+
+TEST(TraceIo, ExternalPoolsDriveRepository) {
+  std::vector<NetworkTrace> fcc = {NetworkTrace("f0", {{10.0, 50.0}}),
+                                   NetworkTrace("f1", {{10.0, 70.0}})};
+  std::vector<NetworkTrace> lte = {NetworkTrace("l0", {{10.0, 30.0}})};
+  const TraceRepository repo(std::move(fcc), std::move(lte));
+  EXPECT_EQ(repo.fcc_count(), 2u);
+  EXPECT_EQ(repo.lte_count(), 1u);
+  // Even users draw from the external FCC pool, odd from LTE.
+  EXPECT_EQ(repo.assign(0, 0).name().rfind("f", 0), 0u);
+  EXPECT_EQ(repo.assign(0, 1).name().rfind("l", 0), 0u);
+}
+
+TEST(TraceIo, ExternalEmptyPoolRejected) {
+  std::vector<NetworkTrace> fcc = {NetworkTrace("f0", {{10.0, 50.0}})};
+  EXPECT_THROW(TraceRepository(std::move(fcc), {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvr::trace

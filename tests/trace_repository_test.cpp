@@ -1,0 +1,76 @@
+#include "src/trace/trace_repository.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr::trace {
+namespace {
+
+TraceRepositoryConfig small_config() {
+  TraceRepositoryConfig config;
+  config.fcc_pool_size = 10;
+  config.lte_pool_size = 4;
+  config.fcc.duration_s = 10.0;
+  config.lte.duration_s = 10.0;
+  return config;
+}
+
+TEST(TraceRepository, PoolSizesMatchConfig) {
+  const TraceRepository repo(small_config(), 1);
+  EXPECT_EQ(repo.fcc_count(), 10u);
+  EXPECT_EQ(repo.lte_count(), 4u);
+}
+
+TEST(TraceRepository, RejectsEmptyPool) {
+  TraceRepositoryConfig config = small_config();
+  config.fcc_pool_size = 0;
+  EXPECT_THROW(TraceRepository(config, 1), std::invalid_argument);
+}
+
+TEST(TraceRepository, HalfFccHalfLte) {
+  // Paper: half of the requested traces from FCC, half from Ghent.
+  const TraceRepository repo(small_config(), 1);
+  const auto traces = repo.assign_all(0, 6);
+  for (std::size_t u = 0; u < 6; ++u) {
+    const std::string& name = traces[u]->name();
+    if (u % 2 == 0) {
+      EXPECT_EQ(name.rfind("fcc-", 0), 0u) << name;
+    } else {
+      EXPECT_EQ(name.rfind("lte-", 0), 0u) << name;
+    }
+  }
+}
+
+TEST(TraceRepository, AssignmentDeterministic) {
+  const TraceRepository repo(small_config(), 1);
+  EXPECT_EQ(&repo.assign(3, 2), &repo.assign(3, 2));
+}
+
+TEST(TraceRepository, DifferentRunsRotateTraces) {
+  const TraceRepository repo(small_config(), 1);
+  // Across several runs the same user should not always get the same
+  // trace (run rotation).
+  bool any_diff = false;
+  const NetworkTrace* first = &repo.assign(0, 0);
+  for (std::size_t run = 1; run < 5; ++run) {
+    if (&repo.assign(run, 0) != first) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TraceRepository, LtePoolReuseIsGraceful) {
+  // More odd users than LTE traces: reuse expected, no crash.
+  const TraceRepository repo(small_config(), 1);
+  const auto traces = repo.assign_all(0, 30);
+  EXPECT_EQ(traces.size(), 30u);
+  for (const auto* t : traces) EXPECT_FALSE(t->empty());
+}
+
+TEST(TraceRepository, SeedChangesPools) {
+  const TraceRepository a(small_config(), 1);
+  const TraceRepository b(small_config(), 2);
+  EXPECT_NE(a.fcc(0).segments().front().mbps,
+            b.fcc(0).segments().front().mbps);
+}
+
+}  // namespace
+}  // namespace cvr::trace

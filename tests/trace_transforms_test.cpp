@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "src/trace/network_trace.h"
+
+namespace cvr::trace {
+namespace {
+
+NetworkTrace base() {
+  return NetworkTrace("base", {{2.0, 40.0}, {3.0, 60.0}});
+}
+
+TEST(Scaled, MultipliesThroughputOnly) {
+  const NetworkTrace t = scaled(base(), 2.0);
+  EXPECT_DOUBLE_EQ(t.duration_s(), 5.0);
+  EXPECT_DOUBLE_EQ(t.segments()[0].mbps, 80.0);
+  EXPECT_DOUBLE_EQ(t.segments()[1].mbps, 120.0);
+  EXPECT_DOUBLE_EQ(t.mean_mbps(), 2.0 * base().mean_mbps());
+}
+
+TEST(Scaled, FractionalFactor) {
+  const NetworkTrace t = scaled(base(), 0.5);
+  EXPECT_DOUBLE_EQ(t.segments()[0].mbps, 20.0);
+}
+
+TEST(Scaled, RejectsNonPositive) {
+  EXPECT_THROW(scaled(base(), 0.0), std::invalid_argument);
+  EXPECT_THROW(scaled(base(), -1.0), std::invalid_argument);
+}
+
+TEST(Concatenated, PlaysInOrder) {
+  const NetworkTrace a("a", {{1.0, 10.0}});
+  const NetworkTrace b("b", {{1.0, 90.0}});
+  const NetworkTrace ab = concatenated(a, b);
+  EXPECT_DOUBLE_EQ(ab.duration_s(), 2.0);
+  EXPECT_DOUBLE_EQ(ab.bandwidth_at(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(ab.bandwidth_at(1.5), 90.0);
+}
+
+TEST(Concatenated, RegimeChangeVisibleInStats) {
+  const NetworkTrace ab =
+      concatenated(NetworkTrace("a", {{10.0, 80.0}}),
+                   NetworkTrace("b", {{10.0, 20.0}}));
+  const auto stats = summarize_trace(ab);
+  EXPECT_DOUBLE_EQ(stats.mean_mbps, 50.0);
+  EXPECT_DOUBLE_EQ(stats.std_mbps, 30.0);
+}
+
+TEST(WithNoise, Deterministic) {
+  const NetworkTrace a = with_noise(base(), 0.2, 7);
+  const NetworkTrace b = with_noise(base(), 0.2, 7);
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.segments()[i].mbps, b.segments()[i].mbps);
+  }
+}
+
+TEST(WithNoise, SeedsDiffer) {
+  const NetworkTrace a = with_noise(base(), 0.2, 7);
+  const NetworkTrace b = with_noise(base(), 0.2, 8);
+  EXPECT_NE(a.segments()[0].mbps, b.segments()[0].mbps);
+}
+
+TEST(WithNoise, ZeroSigmaIsIdentity) {
+  const NetworkTrace t = with_noise(base(), 0.0, 1);
+  EXPECT_DOUBLE_EQ(t.segments()[0].mbps, 40.0);
+  EXPECT_DOUBLE_EQ(t.segments()[1].mbps, 60.0);
+}
+
+TEST(WithNoise, StaysPositiveAndBoundedInPractice) {
+  const NetworkTrace t = with_noise(base(), 0.3, 3);
+  for (const auto& seg : t.segments()) {
+    EXPECT_GT(seg.mbps, 0.0);
+    EXPECT_LT(seg.mbps, 400.0);
+  }
+}
+
+TEST(WithNoise, RejectsNegativeSigma) {
+  EXPECT_THROW(with_noise(base(), -0.1, 1), std::invalid_argument);
+}
+
+TEST(Transforms, Compose) {
+  const NetworkTrace t =
+      with_noise(scaled(concatenated(base(), base()), 1.5), 0.1, 2);
+  EXPECT_DOUBLE_EQ(t.duration_s(), 10.0);
+  EXPECT_EQ(t.segments().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cvr::trace

@@ -1,0 +1,44 @@
+// Compile-and-smoke test of the umbrella header: every public subsystem
+// reachable from one include, with one touch per namespace.
+#include "src/cvr.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EverySubsystemReachable) {
+  cvr::Rng rng(1);
+  EXPECT_GE(rng.uniform(), 0.0);
+
+  const cvr::trace::NetworkTrace trace("t", {{1.0, 50.0}});
+  EXPECT_DOUBLE_EQ(cvr::trace::summarize_trace(trace).mean_mbps, 50.0);
+
+  cvr::motion::Pose pose;
+  EXPECT_DOUBLE_EQ(pose.x, 0.0);
+
+  const cvr::content::CrfRateFunction rate_function;
+  EXPECT_TRUE(rate_function.is_convex_increasing());
+
+  EXPECT_GT(cvr::net::mm1_delay(10.0, 20.0), 0.0);
+
+  const cvr::render::RenderFarm farm;
+  EXPECT_GT(farm.encode_ms(3), 0.0);
+
+  cvr::proto::PoseUpdate message;
+  EXPECT_EQ(cvr::proto::decode_pose_update(cvr::proto::encode(message)),
+            message);
+
+  cvr::core::DvGreedyAllocator allocator;
+  EXPECT_EQ(allocator.name(), "dv-greedy");
+
+  cvr::sim::UserOutcome outcome;
+  EXPECT_DOUBLE_EQ(outcome.avg_qoe, 0.0);
+
+  const cvr::system::SystemSimConfig config = cvr::system::setup_one_router();
+  EXPECT_EQ(config.users, 8u);
+
+  EXPECT_FALSE(
+      cvr::report::summary_markdown({}).empty());  // header row only
+}
+
+}  // namespace
