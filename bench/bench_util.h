@@ -45,4 +45,23 @@ inline double improvement_pct(double ours, double baseline) {
   return 100.0 * (ours / baseline - 1.0);
 }
 
+/// Prints the ensemble timing block: per-arm mean/total run wall-clock
+/// plus the end-to-end elapsed time, so serial vs --threads=N speedups
+/// are visible straight from the harness output.
+inline void print_timing(const std::vector<cvr::sim::ArmResult>& arms,
+                         double elapsed_ms, std::size_t threads) {
+  std::printf("\nwall clock (threads=%zu):\n", threads);
+  double cells_ms = 0.0;
+  for (const auto& arm : arms) {
+    if (arm.run_wall_ms.empty()) continue;
+    cells_ms += arm.total_wall_ms();
+    std::printf("  %-16s %zu runs  mean=%9.1f ms  total=%9.1f ms\n",
+                arm.algorithm.c_str(), arm.run_wall_ms.size(),
+                arm.mean_wall_ms(), arm.total_wall_ms());
+  }
+  std::printf("  %-16s cells=%9.1f ms  elapsed=%9.1f ms  (speedup vs serial"
+              " = serial elapsed / this elapsed)\n",
+              "ensemble", cells_ms, elapsed_ms);
+}
+
 }  // namespace cvr::bench

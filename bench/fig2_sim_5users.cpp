@@ -6,54 +6,57 @@
 // Paper setup: 100 traces/user, 300 s each, FCC+LTE mix, alpha = 0.02,
 // beta = 0.5, server budget 36 Mbps x N. We run a reduced-but-faithful
 // 20 runs x 30 s so the harness finishes in seconds; pass `--full` for
-// the paper-scale sweep.
+// the paper-scale sweep and `--threads=N` to spread the (algorithm,
+// run) cells over N workers (0 = all hardware threads; output is
+// bit-identical to serial).
+#include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "bench_util.h"
-#include "src/core/dv_greedy.h"
-#include "src/core/firefly.h"
-#include "src/core/optimal.h"
-#include "src/core/pavq.h"
+#include "src/experiments/ensemble.h"
 #include "src/report/report.h"
-#include "src/sim/simulation.h"
+#include "src/util/flags.h"
 
 int main(int argc, char** argv) {
   using namespace cvr;
   bool full = false;
+  std::int64_t threads = 1;
   std::string report_prefix;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) full = true;
-    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
-      report_prefix = argv[++i];
+  FlagParser flags;
+  flags.add("full", &full, "paper-scale sweep (100 runs x 300 s)");
+  flags.add("threads", &threads,
+            "ensemble workers (0 = all hardware threads, 1 = serial)");
+  flags.add("report", &report_prefix, "write CSV reports under this prefix");
+  if (!flags.parse(argc, argv)) {
+    for (const auto& error : flags.errors()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
     }
+    std::fputs(flags.usage(argv[0]).c_str(), stderr);
+    return 1;
   }
 
   bench::print_header("Fig. 2 — trace-based simulation, 5 users");
 
-  trace::TraceRepositoryConfig repo_config;
-  if (!full) {
-    repo_config.fcc.duration_s = 30.0;
-    repo_config.lte.duration_s = 30.0;
-  }
-  const trace::TraceRepository repo(repo_config, 2022);
+  experiments::EnsembleSpec spec;
+  spec.platform = experiments::EnsembleSpec::Platform::kTrace;
+  spec.users = 5;
+  spec.slots = full ? 19800 : 1980;  // 300 s vs 30 s at 66 FPS
+  spec.repeats = full ? 100 : 20;
+  spec.algorithms = {"dv", "optimal", "firefly", "pavq"};
+  spec.seed = 2022;
+  spec.alpha = 0.02;
+  spec.beta = 0.5;
+  spec.threads = threads < 0 ? 0 : static_cast<std::size_t>(threads);
 
-  sim::TraceSimConfig config;
-  config.users = 5;
-  config.slots = full ? 19800 : 1980;  // 300 s vs 30 s at 66 FPS
-  config.params = core::QoeParams{0.02, 0.5};
-  const std::size_t runs = full ? 100 : 20;
-  const sim::TraceSimulation simulation(config, repo);
-
-  core::DvGreedyAllocator ours;
-  core::BruteForceAllocator optimal;
-  core::FireflyAllocator firefly;
-  core::PavqAllocator pavq = core::PavqAllocator::perfect_knowledge();
-  const auto arms = simulation.compare({&ours, &optimal, &firefly, &pavq}, runs);
+  const auto start = std::chrono::steady_clock::now();
+  const auto arms = experiments::run_ensemble(spec);
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
 
   std::printf("(%zu runs x %zu users x %zu slots; alpha=0.02 beta=0.5)\n\n",
-              runs, config.users, config.slots);
+              spec.repeats, spec.users, spec.slots);
   for (const auto& arm : arms) bench::print_arm_cdfs(arm);
 
   std::printf("\nsummary (means):\n");
@@ -70,6 +73,8 @@ int main(int argc, char** argv) {
       "\npaper shape: ours ~ optimal; PAVQ close behind with a different\n"
       "allocation strategy (higher quality, higher delay/variance);\n"
       "Firefly clearly worse on QoE\n");
+
+  bench::print_timing(arms, elapsed_ms, spec.threads);
 
   if (!report_prefix.empty()) {
     for (const auto& path : report::write_report(arms, report_prefix)) {

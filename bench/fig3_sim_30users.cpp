@@ -3,51 +3,59 @@
 // the comparison set is our allocator vs Firefly and modified PAVQ
 // (Theorem 1's fractional certificate covers optimality at this scale;
 // see bench/theorem1_approx_ratio).
+//
+// `--threads=N` spreads the (algorithm, run) cells over N pool workers
+// (0 = all hardware threads); the outcomes are bit-identical to serial,
+// only the wall clock changes — this is the headline harness for the
+// ensemble speedup (see docs/running_benchmarks.md).
+#include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "bench_util.h"
-#include "src/core/dv_greedy.h"
-#include "src/core/firefly.h"
-#include "src/core/pavq.h"
+#include "src/experiments/ensemble.h"
 #include "src/report/report.h"
-#include "src/sim/simulation.h"
+#include "src/util/flags.h"
 
 int main(int argc, char** argv) {
   using namespace cvr;
   bool full = false;
+  std::int64_t threads = 1;
   std::string report_prefix;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) full = true;
-    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
-      report_prefix = argv[++i];
+  FlagParser flags;
+  flags.add("full", &full, "paper-scale sweep (100 runs x 300 s)");
+  flags.add("threads", &threads,
+            "ensemble workers (0 = all hardware threads, 1 = serial)");
+  flags.add("report", &report_prefix, "write CSV reports under this prefix");
+  if (!flags.parse(argc, argv)) {
+    for (const auto& error : flags.errors()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
     }
+    std::fputs(flags.usage(argv[0]).c_str(), stderr);
+    return 1;
   }
 
   bench::print_header("Fig. 3 — trace-based simulation, 30 users");
 
-  trace::TraceRepositoryConfig repo_config;
-  if (!full) {
-    repo_config.fcc.duration_s = 30.0;
-    repo_config.lte.duration_s = 30.0;
-  }
-  const trace::TraceRepository repo(repo_config, 2022);
+  experiments::EnsembleSpec spec;
+  spec.platform = experiments::EnsembleSpec::Platform::kTrace;
+  spec.users = 30;
+  spec.slots = full ? 19800 : 1980;
+  spec.repeats = full ? 100 : 10;
+  spec.algorithms = {"dv", "firefly", "pavq"};
+  spec.seed = 2022;
+  spec.alpha = 0.02;
+  spec.beta = 0.5;
+  spec.threads = threads < 0 ? 0 : static_cast<std::size_t>(threads);
 
-  sim::TraceSimConfig config;
-  config.users = 30;
-  config.slots = full ? 19800 : 1980;
-  config.params = core::QoeParams{0.02, 0.5};
-  const std::size_t runs = full ? 100 : 10;
-  const sim::TraceSimulation simulation(config, repo);
-
-  core::DvGreedyAllocator ours;
-  core::FireflyAllocator firefly;
-  core::PavqAllocator pavq = core::PavqAllocator::perfect_knowledge();
-  const auto arms = simulation.compare({&ours, &firefly, &pavq}, runs);
+  const auto start = std::chrono::steady_clock::now();
+  const auto arms = experiments::run_ensemble(spec);
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
 
   std::printf("(%zu runs x %zu users x %zu slots; alpha=0.02 beta=0.5)\n\n",
-              runs, config.users, config.slots);
+              spec.repeats, spec.users, spec.slots);
   for (const auto& arm : arms) bench::print_arm_cdfs(arm);
 
   std::printf("\nsummary (means):\n");
@@ -61,6 +69,8 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper shape: same ordering as the 5-user case — ours best, PAVQ\n"
       "close with a different quality/delay/variance mix, Firefly worst\n");
+
+  bench::print_timing(arms, elapsed_ms, spec.threads);
 
   if (!report_prefix.empty()) {
     for (const auto& path : report::write_report(arms, report_prefix)) {

@@ -1,39 +1,144 @@
 #include "src/experiments/ensemble.h"
 
+#include <chrono>
+#include <future>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "src/core/registry.h"
 #include "src/report/report.h"
+#include "src/util/thread_pool.h"
 
 namespace cvr::experiments {
 
-std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec) {
-  if (spec.users == 0 || spec.slots == 0 || spec.repeats == 0) {
-    throw std::invalid_argument("EnsembleSpec: zero users/slots/repeats");
+namespace {
+
+std::string known_names_list() {
+  std::ostringstream out;
+  const std::vector<std::string> names = core::allocator_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << names[i];
+  }
+  return out.str();
+}
+
+void validate(const EnsembleSpec& spec) {
+  if (spec.users == 0) {
+    throw std::invalid_argument("EnsembleSpec: users must be >= 1 (got 0)");
+  }
+  if (spec.slots == 0) {
+    throw std::invalid_argument("EnsembleSpec: slots must be >= 1 (got 0)");
+  }
+  if (spec.repeats == 0) {
+    throw std::invalid_argument("EnsembleSpec: repeats must be >= 1 (got 0)");
   }
   if (spec.algorithms.empty()) {
-    throw std::invalid_argument("EnsembleSpec: no algorithms");
+    throw std::invalid_argument(
+        "EnsembleSpec: algorithms must name at least one allocator (got an "
+        "empty list); known names: " +
+        known_names_list());
   }
   if (spec.routers != 1 && spec.routers != 2) {
-    throw std::invalid_argument("EnsembleSpec: routers must be 1 or 2");
+    throw std::invalid_argument("EnsembleSpec: routers must be 1 or 2 (got " +
+                                std::to_string(spec.routers) + ")");
   }
+}
 
-  const core::AllocatorContext context =
-      spec.platform == EnsembleSpec::Platform::kTrace
-          ? core::AllocatorContext::kTraceSimulation
-          : core::AllocatorContext::kSystem;
+struct CellOutput {
+  std::vector<sim::UserOutcome> outcomes;
+  double wall_ms = 0.0;
+};
+
+template <typename RunRepeat>
+CellOutput timed_cell(core::Allocator& allocator, std::size_t repeat,
+                      const RunRepeat& run_repeat) {
+  const auto start = std::chrono::steady_clock::now();
+  CellOutput cell;
+  cell.outcomes = run_repeat(allocator, repeat);
+  cell.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return cell;
+}
+
+/// Executes the (algorithm, repeat) cell grid and reduces it into one
+/// ArmResult per algorithm, in spec order. `run_repeat` is the platform
+/// binding: (allocator, repeat) -> per-user outcomes, deterministic in
+/// (spec.seed, repeat) alone — see the execution-model note in
+/// ensemble.h for why that makes the reduction order the only thing
+/// parallelism has to preserve.
+template <typename RunRepeat>
+std::vector<sim::ArmResult> run_cells(const EnsembleSpec& spec,
+                                      core::AllocatorContext context,
+                                      const RunRepeat& run_repeat) {
   std::vector<std::unique_ptr<core::Allocator>> allocators;
-  std::vector<core::Allocator*> arm_ptrs;
-  for (const std::string& name : spec.algorithms) {
-    auto allocator = core::make_allocator(name, context);
+  allocators.reserve(spec.algorithms.size());
+  for (std::size_t i = 0; i < spec.algorithms.size(); ++i) {
+    auto allocator = core::make_allocator(spec.algorithms[i], context);
     if (allocator == nullptr) {
-      throw std::invalid_argument("EnsembleSpec: unknown algorithm '" + name +
-                                  "'");
+      throw std::invalid_argument(
+          "EnsembleSpec: unknown algorithm '" + spec.algorithms[i] +
+          "' (algorithms[" + std::to_string(i) +
+          "]); known names: " + known_names_list());
     }
-    arm_ptrs.push_back(allocator.get());
     allocators.push_back(std::move(allocator));
   }
+
+  std::vector<sim::ArmResult> arms(allocators.size());
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    arms[a].algorithm = std::string(allocators[a]->name());
+    arms[a].outcomes.reserve(spec.repeats * spec.users);
+    arms[a].run_wall_ms.reserve(spec.repeats);
+  }
+  auto reduce = [&arms](std::size_t a, CellOutput cell) {
+    arms[a].outcomes.insert(arms[a].outcomes.end(), cell.outcomes.begin(),
+                            cell.outcomes.end());
+    arms[a].run_wall_ms.push_back(cell.wall_ms);
+  };
+
+  const std::size_t threads = resolve_thread_count(spec.threads);
+  if (threads <= 1) {
+    // The serial oracle: exactly the legacy compare() loop — one
+    // allocator instance per arm, reset by run() between repeats, cells
+    // executed in spec order on the calling thread.
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      for (std::size_t r = 0; r < spec.repeats; ++r) {
+        reduce(a, timed_cell(*allocators[a], r, run_repeat));
+      }
+    }
+    return arms;
+  }
+
+  // Parallel path: each cell runs a *fresh* allocator instance (run()
+  // resets its argument, so fresh == reset) so cells share no mutable
+  // state; getting the futures in submission order reduces arm-major,
+  // repeat-minor — bit-identical to the serial oracle.
+  ThreadPool pool(threads);
+  std::vector<std::future<CellOutput>> cells;
+  cells.reserve(arms.size() * spec.repeats);
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (std::size_t r = 0; r < spec.repeats; ++r) {
+      cells.push_back(pool.submit([&spec, &run_repeat, context, a, r] {
+        const auto allocator = core::make_allocator(spec.algorithms[a], context);
+        return timed_cell(*allocator, r, run_repeat);
+      }));
+    }
+  }
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (std::size_t r = 0; r < spec.repeats; ++r) {
+      reduce(a, cells[a * spec.repeats + r].get());
+    }
+  }
+  return arms;
+}
+
+}  // namespace
+
+std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec) {
+  validate(spec);
 
   std::vector<sim::ArmResult> arms;
   if (spec.platform == EnsembleSpec::Platform::kTrace) {
@@ -50,7 +155,10 @@ std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec) {
     config.params =
         core::QoeParams{spec.alpha < 0 ? 0.02 : spec.alpha, spec.beta};
     const sim::TraceSimulation simulation(config, repo);
-    arms = simulation.compare(arm_ptrs, spec.repeats);
+    arms = run_cells(spec, core::AllocatorContext::kTraceSimulation,
+                     [&simulation](core::Allocator& allocator, std::size_t r) {
+                       return simulation.run(allocator, r);
+                     });
   } else {
     system::SystemSimConfig config =
         spec.routers == 2 ? system::setup_two_routers(spec.users)
@@ -60,7 +168,10 @@ std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec) {
     config.server.params =
         core::QoeParams{spec.alpha < 0 ? 0.1 : spec.alpha, spec.beta};
     const system::SystemSim simulation(config);
-    arms = simulation.compare(arm_ptrs, spec.repeats);
+    arms = run_cells(spec, core::AllocatorContext::kSystem,
+                     [&simulation](core::Allocator& allocator, std::size_t r) {
+                       return simulation.run(allocator, r);
+                     });
   }
 
   if (!spec.report_prefix.empty()) {

@@ -5,6 +5,20 @@
 // compare them over repeats, optionally write a report. EnsembleSpec
 // captures that choreography declaratively so downstream users (and our
 // own CLI) can run a full comparison with one call.
+//
+// Execution model: the ensemble is a grid of (algorithm, repeat) cells.
+// Each cell is an independent unit of work — a fresh allocator run over
+// one repeat of the platform — whose randomness is derived entirely
+// from (spec.seed, repeat): both platforms split the master seed into
+// per-repeat streams (SystemSim via SplitMix64 mixing of the repeat
+// index, TraceSimulation via per-run offsets expanded through
+// SplitMix64 engine seeding), so a cell's result never depends on when
+// or on which thread it executes. The repeat — and deliberately *not*
+// the algorithm — keys the stream: all arms of a repeat see identical
+// motion and network traces, preserving the paper's paired-comparison
+// design. With threads > 1 the cells run on a cvr::ThreadPool and the
+// results are reduced in spec order (algorithm-major, repeat-minor),
+// making parallel output bit-identical to the serial oracle.
 #pragma once
 
 #include <cstdint>
@@ -38,11 +52,35 @@ struct EnsembleSpec {
   std::size_t routers = 1;
   /// Optional: write CSV reports under this prefix (empty = none).
   std::string report_prefix;
+  /// Worker threads for the (algorithm, repeat) cell grid:
+  ///   1 (default) — the legacy serial path, kept as the determinism
+  ///                 oracle: one allocator instance per arm, reset
+  ///                 between repeats, cells run in spec order on the
+  ///                 calling thread;
+  ///   0           — one worker per hardware thread;
+  ///   N > 1       — N pool workers, each cell on a fresh allocator
+  ///                 instance, results reduced in spec order.
+  /// Any value yields bit-identical ArmResult::outcomes; only the
+  /// wall-clock timings differ.
+  std::size_t threads = 1;
 };
 
 /// Runs the ensemble and returns one ArmResult per algorithm, in spec
-/// order. Throws std::invalid_argument on an unknown algorithm name or
-/// inconsistent spec (zero users/slots/repeats, bad router count).
+/// order, with per-repeat wall-clock timings in ArmResult::run_wall_ms.
+///
+/// Validation contract — throws std::invalid_argument, naming the
+/// offending field and value, iff any of:
+///   * users == 0, slots == 0, or repeats == 0;
+///   * algorithms is empty, or contains a name unknown to
+///     core::make_allocator() (the message lists the known names);
+///   * routers is neither 1 nor 2 (checked on both platforms even
+///     though only kSystem consumes it, so a bad spec fails fast).
+/// Everything else is accepted as-is: alpha/beta are not range-checked
+/// (negative alpha selects the platform default; any beta is a valid
+/// variance weight), threads has no invalid values (see the knob
+/// docs), and report_prefix is only touched when non-empty. Errors
+/// from deeper layers (e.g. an unwritable report path) propagate
+/// unchanged.
 std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec);
 
 }  // namespace cvr::experiments

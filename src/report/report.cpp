@@ -47,16 +47,33 @@ CsvTable cdf_table(const std::vector<sim::ArmResult>& arms,
   return table;
 }
 
+CsvTable timing_table(const std::vector<sim::ArmResult>& arms) {
+  CsvTable table;
+  table.header = {"arm", "run", "wall_ms"};
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (std::size_t r = 0; r < arms[a].run_wall_ms.size(); ++r) {
+      table.rows.push_back({static_cast<double>(a), static_cast<double>(r),
+                            arms[a].run_wall_ms[r]});
+    }
+  }
+  return table;
+}
+
 std::string summary_markdown(const std::vector<sim::ArmResult>& arms) {
+  bool timed = false;
+  for (const auto& arm : arms) timed = timed || !arm.run_wall_ms.empty();
   std::ostringstream out;
   out << "| algorithm | avg QoE | avg quality | avg delay (ms) | variance | "
-         "FPS |\n";
-  out << "|---|---|---|---|---|---|\n";
+         "FPS |"
+      << (timed ? " mean run wall (ms) |" : "") << "\n";
+  out << "|---|---|---|---|---|---|" << (timed ? "---|" : "") << "\n";
   out.precision(4);
   for (const auto& arm : arms) {
     out << "| " << arm.algorithm << " | " << arm.mean_qoe() << " | "
         << arm.mean_quality() << " | " << arm.mean_delay_ms() << " | "
-        << arm.mean_variance() << " | " << arm.mean_fps() << " |\n";
+        << arm.mean_variance() << " | " << arm.mean_fps() << " |";
+    if (timed) out << " " << arm.mean_wall_ms() << " |";
+    out << "\n";
   }
   return out.str();
 }
@@ -70,6 +87,12 @@ std::vector<std::string> write_report(const std::vector<sim::ArmResult>& arms,
   for (const char* metric : {"qoe", "quality", "delay_ms", "variance"}) {
     const std::string path = prefix + "_cdf_" + metric + ".csv";
     write_csv_file(path, cdf_table(arms, metric));
+    written.push_back(path);
+  }
+  const CsvTable timings = timing_table(arms);
+  if (!timings.rows.empty()) {
+    const std::string path = prefix + "_timing.csv";
+    write_csv_file(path, timings);
     written.push_back(path);
   }
   return written;

@@ -23,11 +23,19 @@ CsvTable outcomes_table(const std::vector<sim::ArmResult>& arms);
 CsvTable cdf_table(const std::vector<sim::ArmResult>& arms,
                    const std::string& metric, std::size_t points = 101);
 
-/// Summary (means) as a markdown table, Figs. 7/8 style.
+/// Per-run wall-clock rows: arm,run,wall_ms — one row per entry of each
+/// arm's ArmResult::run_wall_ms (arms without timings contribute no
+/// rows). This is the series behind the ensemble speedup measurements
+/// in docs/running_benchmarks.md.
+CsvTable timing_table(const std::vector<sim::ArmResult>& arms);
+
+/// Summary (means) as a markdown table, Figs. 7/8 style. Arms carrying
+/// run timings get a "mean run wall (ms)" column.
 std::string summary_markdown(const std::vector<sim::ArmResult>& arms);
 
 /// Writes both the outcome CSV and the four CDF CSVs under `prefix`
-/// (prefix + "_outcomes.csv", prefix + "_cdf_<metric>.csv"). Returns the
+/// (prefix + "_outcomes.csv", prefix + "_cdf_<metric>.csv"), plus
+/// prefix + "_timing.csv" when any arm carries run timings. Returns the
 /// written paths.
 std::vector<std::string> write_report(const std::vector<sim::ArmResult>& arms,
                                       const std::string& prefix);

@@ -51,6 +51,17 @@ double ArmResult::mean_fps() const {
   return mean_of(outcomes, [](const UserOutcome& o) { return o.fps; });
 }
 
+double ArmResult::total_wall_ms() const {
+  double total = 0.0;
+  for (double ms : run_wall_ms) total += ms;
+  return total;
+}
+
+double ArmResult::mean_wall_ms() const {
+  if (run_wall_ms.empty()) return 0.0;
+  return total_wall_ms() / static_cast<double>(run_wall_ms.size());
+}
+
 double jains_index(const std::vector<double>& values) {
   if (values.empty()) return 1.0;
   double total = 0.0;

@@ -28,6 +28,12 @@ struct UserOutcome {
 struct ArmResult {
   std::string algorithm;
   std::vector<UserOutcome> outcomes;  ///< run-major, user-minor.
+  /// Wall-clock of each run of this arm, in run order, as measured by
+  /// the experiment driver (experiments::run_ensemble); empty when the
+  /// arm was produced without timing (e.g. plain compare()). Timing is
+  /// measurement metadata: determinism guarantees cover `outcomes`
+  /// only, never these values.
+  std::vector<double> run_wall_ms;
 
   cvr::Cdf qoe_cdf() const;
   cvr::Cdf quality_cdf() const;
@@ -39,6 +45,10 @@ struct ArmResult {
   double mean_delay_ms() const;
   double mean_variance() const;
   double mean_fps() const;
+
+  /// Sum / mean of run_wall_ms; 0 when no timings were recorded.
+  double total_wall_ms() const;
+  double mean_wall_ms() const;
 };
 
 /// Builds a UserOutcome from an accumulator and the realized hit count.

@@ -1,0 +1,48 @@
+#include "src/util/thread_pool.h"
+
+namespace cvr {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    throw std::invalid_argument(
+        "ThreadPool: threads must be >= 1 (got 0); use "
+        "resolve_thread_count() to map 0 to the hardware");
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Graceful shutdown: only exit once the queue is empty, so every
+      // submitted task's future becomes ready.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into the future
+  }
+}
+
+}  // namespace cvr

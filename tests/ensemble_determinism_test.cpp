@@ -1,0 +1,142 @@
+// Determinism must survive parallelism: the (algorithm, repeat) cell
+// grid of experiments::run_ensemble produces bit-identical outcomes
+// whether the cells run serially (threads = 1, the legacy oracle:
+// one allocator per arm, reset between repeats) or on a thread pool
+// (threads >= 2, a fresh allocator per cell, spec-order reduction).
+// These suites are also the TSan workload CI runs against the pool
+// (see CONTRIBUTING.md).
+#include "src/experiments/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cvr::experiments {
+namespace {
+
+EnsembleSpec trace_spec() {
+  EnsembleSpec spec;
+  spec.platform = EnsembleSpec::Platform::kTrace;
+  spec.users = 3;
+  spec.slots = 150;
+  spec.repeats = 3;
+  spec.algorithms = {"dv", "firefly", "pavq"};
+  return spec;
+}
+
+EnsembleSpec system_spec() {
+  EnsembleSpec spec = trace_spec();
+  spec.platform = EnsembleSpec::Platform::kSystem;
+  spec.routers = 2;  // interference on: the noisier platform
+  return spec;
+}
+
+// Bit-identical on every semantic field; wall-clock timings are
+// measurement metadata and deliberately excluded (only their shape is
+// checked).
+void expect_identical_arms(const std::vector<sim::ArmResult>& serial,
+                           const std::vector<sim::ArmResult>& parallel,
+                           std::size_t repeats) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t a = 0; a < serial.size(); ++a) {
+    SCOPED_TRACE("arm " + serial[a].algorithm);
+    EXPECT_EQ(serial[a].algorithm, parallel[a].algorithm);
+    EXPECT_EQ(serial[a].run_wall_ms.size(), repeats);
+    EXPECT_EQ(parallel[a].run_wall_ms.size(), repeats);
+    ASSERT_EQ(serial[a].outcomes.size(), parallel[a].outcomes.size());
+    for (std::size_t o = 0; o < serial[a].outcomes.size(); ++o) {
+      const sim::UserOutcome& x = serial[a].outcomes[o];
+      const sim::UserOutcome& y = parallel[a].outcomes[o];
+      EXPECT_EQ(x.avg_qoe, y.avg_qoe) << "outcome " << o;
+      EXPECT_EQ(x.avg_quality, y.avg_quality) << "outcome " << o;
+      EXPECT_EQ(x.avg_level, y.avg_level) << "outcome " << o;
+      EXPECT_EQ(x.avg_delay_ms, y.avg_delay_ms) << "outcome " << o;
+      EXPECT_EQ(x.variance, y.variance) << "outcome " << o;
+      EXPECT_EQ(x.prediction_accuracy, y.prediction_accuracy)
+          << "outcome " << o;
+      EXPECT_EQ(x.fps, y.fps) << "outcome " << o;
+    }
+  }
+}
+
+TEST(EnsembleDeterminism, TraceParallelMatchesSerialOracle) {
+  EnsembleSpec serial = trace_spec();
+  serial.threads = 1;
+  EnsembleSpec parallel = trace_spec();
+  parallel.threads = 4;
+  expect_identical_arms(run_ensemble(serial), run_ensemble(parallel),
+                        serial.repeats);
+}
+
+TEST(EnsembleDeterminism, SystemParallelMatchesSerialOracle) {
+  EnsembleSpec serial = system_spec();
+  serial.threads = 1;
+  EnsembleSpec parallel = system_spec();
+  parallel.threads = 4;
+  expect_identical_arms(run_ensemble(serial), run_ensemble(parallel),
+                        serial.repeats);
+}
+
+TEST(EnsembleDeterminism, HardwareThreadsMatchSerialOracle) {
+  EnsembleSpec serial = trace_spec();
+  serial.threads = 1;
+  EnsembleSpec hardware = trace_spec();
+  hardware.threads = 0;  // resolve to hardware_concurrency
+  expect_identical_arms(run_ensemble(serial), run_ensemble(hardware),
+                        serial.repeats);
+}
+
+TEST(EnsembleDeterminism, ParallelRunsAreRepeatable) {
+  EnsembleSpec spec = system_spec();
+  spec.threads = 3;
+  expect_identical_arms(run_ensemble(spec), run_ensemble(spec), spec.repeats);
+}
+
+TEST(EnsembleDeterminism, TimingIsRecordedPerRepeat) {
+  EnsembleSpec spec = trace_spec();
+  spec.threads = 2;
+  const auto arms = run_ensemble(spec);
+  for (const auto& arm : arms) {
+    ASSERT_EQ(arm.run_wall_ms.size(), spec.repeats);
+    for (double ms : arm.run_wall_ms) EXPECT_GE(ms, 0.0);
+    EXPECT_GT(arm.total_wall_ms(), 0.0);
+    EXPECT_NEAR(arm.mean_wall_ms(),
+                arm.total_wall_ms() / static_cast<double>(spec.repeats),
+                1e-9);
+  }
+}
+
+TEST(EnsembleDeterminism, NamedFieldValidationMessages) {
+  EnsembleSpec spec = trace_spec();
+  spec.users = 0;
+  try {
+    run_ensemble(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("users"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("0"), std::string::npos);
+  }
+  spec = trace_spec();
+  spec.routers = 3;
+  try {
+    run_ensemble(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("routers"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("3"), std::string::npos);
+  }
+  spec = trace_spec();
+  spec.algorithms = {"dv", "nope"};
+  try {
+    run_ensemble(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("'nope'"), std::string::npos);
+    EXPECT_NE(what.find("algorithms[1]"), std::string::npos);
+    EXPECT_NE(what.find("firefly"), std::string::npos);  // known-name list
+  }
+}
+
+}  // namespace
+}  // namespace cvr::experiments

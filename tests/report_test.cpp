@@ -67,6 +67,35 @@ TEST(Report, SummaryMarkdownContainsArmsAndMeans) {
   EXPECT_NE(md.find("| algorithm |"), std::string::npos);
 }
 
+TEST(Report, TimingTableEmptyWithoutTimings) {
+  EXPECT_TRUE(timing_table(two_arms()).rows.empty());
+  // No timings -> no timing column and no timing CSV.
+  EXPECT_EQ(summary_markdown(two_arms()).find("wall"), std::string::npos);
+}
+
+TEST(Report, TimingSurfacesWhenRecorded) {
+  auto arms = two_arms();
+  arms[0].run_wall_ms = {10.0, 30.0};
+  arms[1].run_wall_ms = {5.0};
+  const CsvTable table = timing_table(arms);
+  ASSERT_EQ(table.rows.size(), 3u);
+  EXPECT_EQ(table.header.size(), 3u);
+  EXPECT_DOUBLE_EQ(table.rows[1][2], 30.0);
+  EXPECT_DOUBLE_EQ(table.rows[2][0], 1.0);  // arm index
+  EXPECT_DOUBLE_EQ(arms[0].total_wall_ms(), 40.0);
+  EXPECT_DOUBLE_EQ(arms[0].mean_wall_ms(), 20.0);
+  EXPECT_NE(summary_markdown(arms).find("mean run wall (ms)"),
+            std::string::npos);
+
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "cvr_report_timing_test")
+          .string();
+  const auto written = write_report(arms, prefix);
+  ASSERT_EQ(written.size(), 6u);
+  EXPECT_NE(written.back().find("_timing.csv"), std::string::npos);
+  for (const auto& path : written) std::remove(path.c_str());
+}
+
 TEST(Report, WriteReportCreatesFiles) {
   const std::string prefix =
       (std::filesystem::temp_directory_path() / "cvr_report_test").string();
