@@ -1,0 +1,143 @@
+// Resilience under chaos — fault-intensity sweep (docs/resilience.md).
+//
+// The paper's evaluation stresses the allocators with *continuous*
+// degradation (fading, interference, loss). This harness adds the
+// *discrete* failure modes a deployed classroom actually sees — client
+// churn, pose blackouts, ACK-channel stalls, router bandwidth cliffs,
+// server cache flushes — generated deterministically at a swept
+// intensity, and reports the recovery metrics the QoE means hide:
+// time-to-recover, quality-dip depth, frames dropped inside fault
+// windows. Intensity 0 is the control arm: it must reproduce the
+// fault-free ensemble bit-for-bit (the empty schedule is inert).
+//
+// `--report=PREFIX` writes the standard CSV set per intensity under
+// PREFIX_i<percent> (e.g. PREFIX_i150_resilience.csv at intensity 1.5);
+// see EXPERIMENTS.md for the column layout.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "src/experiments/ensemble.h"
+#include "src/faults/fault_schedule.h"
+#include "src/util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace cvr;
+  bool full = false;
+  std::int64_t threads = 1;
+  std::string report;
+  FlagParser flags;
+  flags.add("full", &full, "paper-scale sweep (30 s x 5 repeats per cell)");
+  flags.add("threads", &threads,
+            "ensemble workers (0 = all hardware threads, 1 = serial)");
+  flags.add("report", &report,
+            "CSV prefix; writes <prefix>_i<percent>_{outcomes,resilience,...}"
+            ".csv per intensity");
+  if (!flags.parse(argc, argv)) {
+    for (const auto& error : flags.errors()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
+    std::fputs(flags.usage(argv[0]).c_str(), stderr);
+    return 1;
+  }
+
+  bench::print_header(
+      "Resilience — graceful degradation under churn/blackouts/outages");
+
+  // CI-friendly by default (10 s horizons, 2 repeats); --full restores
+  // the paper's 30 s x 5.
+  const std::size_t slots = full ? 1980 : 660;
+  const std::size_t repeats = full ? 5 : 2;
+  const std::vector<double> intensities = {0.0, 0.5, 1.0, 2.0};
+
+  std::printf("(8 users, 1 router, %zu slots, %zu repeats per cell;\n"
+              " deterministic fault schedules, seed-locked per intensity)\n",
+              slots, repeats);
+
+  struct Row {
+    double intensity;
+    std::string algorithm;
+    double qoe, ttr, dip, dropped, fault_slots;
+  };
+  std::vector<Row> summary;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (double intensity : intensities) {
+    faults::FaultScheduleConfig chaos;
+    chaos.users = 8;
+    chaos.routers = 1;
+    chaos.slots = slots;
+    chaos.seed = 2022;  // same schedule for every arm: paired comparison
+    chaos.intensity = intensity;
+
+    experiments::EnsembleSpec spec;
+    spec.platform = experiments::EnsembleSpec::Platform::kSystem;
+    spec.users = 8;
+    spec.routers = 1;
+    spec.slots = slots;
+    spec.repeats = repeats;
+    spec.algorithms = {"dv", "pavq", "firefly"};
+    spec.seed = 11;
+    spec.alpha = 0.1;
+    spec.beta = 0.5;
+    spec.threads = threads < 0 ? 0 : static_cast<std::size_t>(threads);
+    spec.faults = faults::generate_schedule(chaos);
+    if (!report.empty()) {
+      spec.report_prefix =
+          report + "_i" + std::to_string(static_cast<int>(intensity * 100));
+    }
+
+    std::printf("\nintensity %.2f  (%zu fault events)\n", intensity,
+                spec.faults.size());
+    const auto arms = experiments::run_ensemble(spec);
+    for (const auto& arm : arms) {
+      std::printf("  %-16s qoe=%8.3f  fault_slots=%7.1f  ttr=%6.1f slots  "
+                  "dip=%6.3f  dropped=%7.1f\n",
+                  arm.algorithm.c_str(), arm.mean_qoe(),
+                  arm.mean_fault_slots(), arm.mean_time_to_recover(),
+                  arm.mean_qoe_dip(), arm.mean_frames_dropped_in_fault());
+      summary.push_back({intensity, arm.algorithm, arm.mean_qoe(),
+                         arm.mean_time_to_recover(), arm.mean_qoe_dip(),
+                         arm.mean_frames_dropped_in_fault(),
+                         arm.mean_fault_slots()});
+    }
+  }
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+
+  std::printf("\nQoE vs fault intensity (graceful degradation = a slope,"
+              " not a cliff):\n");
+  std::printf("  %-16s", "algorithm");
+  for (double i : intensities) std::printf("  i=%.2f  ", i);
+  std::printf("\n");
+  std::vector<std::string> algorithm_names;  // display names, spec order
+  for (const Row& row : summary) {
+    bool seen = false;
+    for (const std::string& name : algorithm_names) {
+      seen = seen || name == row.algorithm;
+    }
+    if (!seen) algorithm_names.push_back(row.algorithm);
+  }
+  for (const std::string& algorithm : algorithm_names) {
+    std::printf("  %-16s", algorithm.c_str());
+    for (double i : intensities) {
+      for (const Row& row : summary) {
+        if (row.algorithm == algorithm && row.intensity == i) {
+          std::printf("  %7.3f ", row.qoe);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nelapsed: %.1f ms (threads=%lld)\n", elapsed_ms,
+              static_cast<long long>(threads));
+  if (!report.empty()) {
+    std::printf("CSV reports written under %s_i*<suffix>.csv\n",
+                report.c_str());
+  }
+  return 0;
+}

@@ -45,6 +45,13 @@ void validate(const EnsembleSpec& spec) {
     throw std::invalid_argument("EnsembleSpec: routers must be 1 or 2 (got " +
                                 std::to_string(spec.routers) + ")");
   }
+  if (spec.platform == EnsembleSpec::Platform::kTrace &&
+      !spec.faults.empty()) {
+    throw std::invalid_argument(
+        "EnsembleSpec: faults requires Platform::kSystem (the Section-IV "
+        "trace simulator has no churn/blackout machinery; got " +
+        std::to_string(spec.faults.size()) + " events on kTrace)");
+  }
 }
 
 struct CellOutput {
@@ -167,6 +174,7 @@ std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec) {
     config.seed = spec.seed;
     config.server.params =
         core::QoeParams{spec.alpha < 0 ? 0.1 : spec.alpha, spec.beta};
+    config.faults = spec.faults;
     const system::SystemSim simulation(config);
     arms = run_cells(spec, core::AllocatorContext::kSystem,
                      [&simulation](core::Allocator& allocator, std::size_t r) {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/faults/fault_schedule.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulation.h"
 #include "src/system/system_sim.h"
@@ -63,6 +64,12 @@ struct EnsembleSpec {
   /// Any value yields bit-identical ArmResult::outcomes; only the
   /// wall-clock timings differ.
   std::size_t threads = 1;
+  /// kSystem only: discrete fault injection (docs/resilience.md). Every
+  /// arm and repeat replays the same schedule, preserving the paired
+  /// design; the default empty schedule leaves every cell bit-identical
+  /// to a fault-free run. Rejected (throws) on kTrace, which has no
+  /// churn/blackout machinery to honour it.
+  faults::FaultSchedule faults;
 };
 
 /// Runs the ensemble and returns one ArmResult per algorithm, in spec
@@ -74,7 +81,9 @@ struct EnsembleSpec {
 ///   * algorithms is empty, or contains a name unknown to
 ///     core::make_allocator() (the message lists the known names);
 ///   * routers is neither 1 nor 2 (checked on both platforms even
-///     though only kSystem consumes it, so a bad spec fails fast).
+///     though only kSystem consumes it, so a bad spec fails fast);
+///   * faults is non-empty on Platform::kTrace (fault injection is a
+///     system-emulation feature).
 /// Everything else is accepted as-is: alpha/beta are not range-checked
 /// (negative alpha selects the platform default; any beta is a valid
 /// variance weight), threads has no invalid values (see the knob

@@ -1,0 +1,201 @@
+#include "src/faults/fault_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace cvr::faults {
+
+void FaultSchedule::add(FaultEvent event) {
+  if (event.duration_slots == 0) {
+    throw std::invalid_argument("FaultSchedule: zero-duration event");
+  }
+  if (event.start_slot >
+      std::numeric_limits<std::size_t>::max() - event.duration_slots) {
+    throw std::invalid_argument("FaultSchedule: start + duration overflows");
+  }
+  if (event.type == FaultType::kRouterOutage &&
+      (!std::isfinite(event.severity) || event.severity < 0.0 ||
+       event.severity >= 1.0)) {
+    throw std::invalid_argument(
+        "FaultSchedule: router outage severity must be in [0, 1)");
+  }
+  const auto at = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) {
+        return a.start_slot < b.start_slot;
+      });
+  events_.insert(at, event);
+}
+
+namespace {
+bool user_event_active(const std::vector<FaultEvent>& events, FaultType type,
+                       std::size_t target, std::size_t slot) {
+  for (const FaultEvent& e : events) {
+    if (e.start_slot > slot) break;  // sorted by start_slot
+    if (e.type == type && e.target == target && e.active_at(slot)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool FaultSchedule::user_disconnected(std::size_t user,
+                                      std::size_t slot) const {
+  return user_event_active(events_, FaultType::kUserDisconnect, user, slot);
+}
+
+bool FaultSchedule::pose_blackout(std::size_t user, std::size_t slot) const {
+  return user_event_active(events_, FaultType::kPoseBlackout, user, slot);
+}
+
+bool FaultSchedule::ack_stalled(std::size_t user, std::size_t slot) const {
+  return user_event_active(events_, FaultType::kAckStall, user, slot);
+}
+
+double FaultSchedule::router_capacity_multiplier(std::size_t router,
+                                                 std::size_t slot) const {
+  double multiplier = 1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.start_slot > slot) break;
+    if (e.type == FaultType::kRouterOutage && e.target == router &&
+        e.active_at(slot)) {
+      multiplier *= e.severity;
+    }
+  }
+  return multiplier;
+}
+
+bool FaultSchedule::cache_flush_at(std::size_t slot) const {
+  for (const FaultEvent& e : events_) {
+    if (e.start_slot > slot) break;
+    if (e.type == FaultType::kCacheFlush && e.start_slot == slot) return true;
+  }
+  return false;
+}
+
+bool FaultSchedule::any_fault_for_user(std::size_t user, std::size_t router,
+                                       std::size_t slot) const {
+  for (const FaultEvent& e : events_) {
+    if (e.start_slot > slot) break;
+    if (!e.active_at(slot)) continue;
+    switch (e.type) {
+      case FaultType::kUserDisconnect:
+      case FaultType::kPoseBlackout:
+      case FaultType::kAckStall:
+        if (e.target == user) return true;
+        break;
+      case FaultType::kRouterOutage:
+        if (e.target == router) return true;
+        break;
+      case FaultType::kCacheFlush:
+        return true;
+    }
+  }
+  return false;
+}
+
+std::size_t FaultSchedule::horizon() const {
+  std::size_t end = 0;
+  for (const FaultEvent& e : events_) end = std::max(end, e.end_slot());
+  return end;
+}
+
+namespace {
+void validate(const FaultScheduleConfig& config) {
+  if (config.users == 0 || config.routers == 0 || config.slots == 0) {
+    throw std::invalid_argument(
+        "FaultScheduleConfig: zero users/routers/slots");
+  }
+  if (config.mean_duration_slots == 0) {
+    throw std::invalid_argument("FaultScheduleConfig: zero mean duration");
+  }
+  const double rates[] = {config.intensity, config.churn_rate,
+                          config.pose_blackout_rate, config.ack_stall_rate,
+                          config.router_outage_rate, config.cache_flush_rate};
+  for (double r : rates) {
+    if (!std::isfinite(r) || r < 0.0) {
+      throw std::invalid_argument(
+          "FaultScheduleConfig: rates and intensity must be finite and >= 0");
+    }
+  }
+  if (!std::isfinite(config.outage_depth) || config.outage_depth < 0.0 ||
+      config.outage_depth >= 1.0) {
+    throw std::invalid_argument(
+        "FaultScheduleConfig: outage_depth must be in [0, 1)");
+  }
+}
+
+/// Deterministic expected-count rounding: floor(expected) events plus
+/// one more with probability frac(expected) — drawn from `rng`, so the
+/// count itself is part of the seeded stream.
+std::size_t draw_count(cvr::Rng& rng, double expected) {
+  const double floor_part = std::floor(expected);
+  std::size_t count = static_cast<std::size_t>(floor_part);
+  if (rng.uniform() < expected - floor_part) ++count;
+  return count;
+}
+}  // namespace
+
+FaultSchedule generate_schedule(const FaultScheduleConfig& config) {
+  validate(config);
+  FaultSchedule schedule;
+  cvr::SplitMix64 mixer(config.seed ^ 0xFA017ull);
+  cvr::Rng rng(mixer.next());
+  const double slots_k = static_cast<double>(config.slots) / 1000.0;
+
+  auto draw_duration = [&rng, &config]() {
+    const std::int64_t hi =
+        2 * static_cast<std::int64_t>(config.mean_duration_slots) - 1;
+    return static_cast<std::size_t>(rng.uniform_int(1, std::max<std::int64_t>(1, hi)));
+  };
+  auto draw_start = [&rng, &config]() {
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(config.slots) - 1));
+  };
+
+  struct PerTarget {
+    FaultType type;
+    double rate;
+    std::size_t targets;
+  };
+  const PerTarget user_types[] = {
+      {FaultType::kUserDisconnect, config.churn_rate, config.users},
+      {FaultType::kPoseBlackout, config.pose_blackout_rate, config.users},
+      {FaultType::kAckStall, config.ack_stall_rate, config.users},
+      {FaultType::kRouterOutage, config.router_outage_rate, config.routers},
+  };
+  // Fixed draw order (type-major, target-minor) keeps the stream
+  // deterministic: same config => same events, independent of use.
+  for (const PerTarget& t : user_types) {
+    for (std::size_t target = 0; target < t.targets; ++target) {
+      const std::size_t count =
+          draw_count(rng, t.rate * config.intensity * slots_k);
+      for (std::size_t i = 0; i < count; ++i) {
+        FaultEvent event;
+        event.type = t.type;
+        event.target = target;
+        event.start_slot = draw_start();
+        event.duration_slots = draw_duration();
+        if (t.type == FaultType::kRouterOutage) {
+          event.severity = config.outage_depth;
+        }
+        schedule.add(event);
+      }
+    }
+  }
+  const std::size_t flushes =
+      draw_count(rng, config.cache_flush_rate * config.intensity * slots_k);
+  for (std::size_t i = 0; i < flushes; ++i) {
+    FaultEvent event;
+    event.type = FaultType::kCacheFlush;
+    event.start_slot = draw_start();
+    event.duration_slots = config.mean_duration_slots;  // accounting window
+    schedule.add(event);
+  }
+  return schedule;
+}
+
+}  // namespace cvr::faults

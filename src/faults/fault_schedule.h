@@ -1,0 +1,135 @@
+// Deterministic fault injection for the system emulation.
+//
+// The paper's robustness story (Figs. 7/8) exercises *continuous* stress
+// — fading, interference bursts, RTP loss. Real deployments also face
+// *discrete* faults: clients disconnecting and rejoining, pose-upload
+// blackouts, ACK side-channel stalls, bandwidth cliffs, and server
+// restarts that wipe warm caches. A FaultSchedule is a typed, sorted
+// list of such events that system::SystemSim consumes per slot; the
+// schedule is pure data, so the same schedule replays bit-identically
+// and an *empty* schedule leaves the emulation byte-for-byte unchanged
+// (faults are strictly opt-in).
+//
+// Schedules can be hand-built (add()) or generated deterministically
+// from a seed + intensity (generate_schedule()), the knob
+// bench/resilience_chaos sweeps. See docs/resilience.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cvr::faults {
+
+enum class FaultType {
+  /// The user's device drops off the network entirely for the window:
+  /// no pose uploads, no tile delivery, no feedback of any kind. The
+  /// reconnect is the window's end — disconnect/reconnect churn is one
+  /// event, not two.
+  kUserDisconnect,
+  /// Pose uploads from the user are lost for the window; tiles and
+  /// feedback still flow. This is the fault the pose-staleness watchdog
+  /// (system::Server) exists for.
+  kPoseBlackout,
+  /// The client->server TCP side channel stalls: delivery/release ACKs
+  /// and all measurement feedback (bandwidth, delay, loss, coverage)
+  /// are lost for the window. Exercises the stale-estimate hold.
+  kAckStall,
+  /// The router's capacity collapses to `severity` x nominal for the
+  /// window (0 = total outage, 0.1 = a 90% cliff). Targets a router, so
+  /// it hits every user behind it at once.
+  kRouterOutage,
+  /// The server loses its warm state at start_slot: per-user tile
+  /// caches and delivered-tile trackers are flushed (a crash-restart
+  /// that keeps the allocator's estimators alive). Instantaneous;
+  /// duration_slots only widens the recovery-accounting window.
+  kCacheFlush,
+};
+
+/// One typed fault. `target` is a user index (kUserDisconnect,
+/// kPoseBlackout, kAckStall), a router index (kRouterOutage), or unused
+/// (kCacheFlush). The event is active on slots
+/// [start_slot, start_slot + duration_slots).
+struct FaultEvent {
+  FaultType type = FaultType::kPoseBlackout;
+  std::size_t target = 0;
+  std::size_t start_slot = 0;
+  std::size_t duration_slots = 1;
+  /// kRouterOutage only: capacity multiplier during the window, in
+  /// [0, 1). Ignored by the other types.
+  double severity = 0.0;
+
+  std::size_t end_slot() const { return start_slot + duration_slots; }
+  bool active_at(std::size_t slot) const {
+    return slot >= start_slot && slot < end_slot();
+  }
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Appends an event, keeping the list sorted by start_slot (stable —
+  /// ties keep insertion order). Throws std::invalid_argument on
+  /// duration_slots == 0, a non-finite or out-of-[0,1) severity on a
+  /// router outage, or a start_slot + duration_slots overflow.
+  void add(FaultEvent event);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Per-slot queries, all O(events). An empty schedule answers false /
+  /// 1.0 everywhere.
+  bool user_disconnected(std::size_t user, std::size_t slot) const;
+  bool pose_blackout(std::size_t user, std::size_t slot) const;
+  bool ack_stalled(std::size_t user, std::size_t slot) const;
+  /// Product of the severities of every outage active on the router
+  /// this slot; 1.0 when none.
+  double router_capacity_multiplier(std::size_t router,
+                                    std::size_t slot) const;
+  /// True iff a kCacheFlush fires exactly at `slot`.
+  bool cache_flush_at(std::size_t slot) const;
+
+  /// Fault-window indicator for recovery accounting: true iff any event
+  /// touching this user is active — a user-targeted event, an outage on
+  /// the user's router, or a cache flush (which hits everyone).
+  bool any_fault_for_user(std::size_t user, std::size_t router,
+                          std::size_t slot) const;
+
+  /// Largest end_slot across events (0 when empty).
+  std::size_t horizon() const;
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by start_slot
+};
+
+/// Deterministic schedule generation: same config (seed included) =>
+/// the same event stream, independent of platform or call site. Event
+/// counts scale linearly with `intensity` (0 => an empty schedule); the
+/// per-type rates are expected events per 1000 slots per target at
+/// intensity 1.
+struct FaultScheduleConfig {
+  std::size_t users = 8;
+  std::size_t routers = 1;
+  std::size_t slots = 1980;
+  std::uint64_t seed = 2022;
+  double intensity = 1.0;
+  double churn_rate = 0.4;          ///< kUserDisconnect, per user.
+  double pose_blackout_rate = 0.4;  ///< kPoseBlackout, per user.
+  double ack_stall_rate = 0.4;      ///< kAckStall, per user.
+  double router_outage_rate = 0.5;  ///< kRouterOutage, per router.
+  double cache_flush_rate = 0.2;    ///< kCacheFlush, global.
+  /// Mean fault duration; actual durations are uniform in
+  /// [1, 2 * mean_duration_slots - 1].
+  std::size_t mean_duration_slots = 40;
+  /// Severity used for generated router outages.
+  double outage_depth = 0.1;
+};
+
+/// Throws std::invalid_argument on zero users/routers/slots, a negative
+/// or non-finite intensity or rate, a zero mean duration, or an
+/// out-of-range outage_depth.
+FaultSchedule generate_schedule(const FaultScheduleConfig& config);
+
+}  // namespace cvr::faults

@@ -1,0 +1,73 @@
+#include "src/faults/recovery.h"
+
+#include <algorithm>
+
+namespace cvr::faults {
+
+void RecoveryTracker::record_slot(bool in_fault, bool viewed,
+                                  double displayed_quality,
+                                  bool frame_shown) {
+  if (in_fault) {
+    // A fault starting while a previous recovery is still open merges
+    // the windows: the pending counter is discarded and the eventual
+    // recovery is measured from the *last* window's end.
+    state_ = State::kFault;
+    ++fault_slots_;
+    if (!frame_shown) ++frames_dropped_;
+    degraded_quality_sum_ += displayed_quality;
+    ++degraded_slots_;
+    return;
+  }
+  if (state_ == State::kFault) {
+    state_ = State::kRecovering;
+    pending_recovery_ = 0;
+  }
+  if (state_ == State::kRecovering) {
+    ++pending_recovery_;
+    degraded_quality_sum_ += displayed_quality;
+    ++degraded_slots_;
+    if (viewed) {
+      recoveries_.push_back(pending_recovery_);
+      pending_recovery_ = 0;
+      state_ = State::kHealthy;
+    }
+    return;
+  }
+  healthy_quality_sum_ += displayed_quality;
+  ++healthy_slots_;
+}
+
+void RecoveryTracker::finalize() {
+  if (state_ == State::kRecovering || state_ == State::kFault) {
+    // Censored: the horizon ended before the user re-viewed content.
+    recoveries_.push_back(pending_recovery_);
+    pending_recovery_ = 0;
+    state_ = State::kHealthy;
+  }
+}
+
+double RecoveryTracker::mean_time_to_recover_slots() const {
+  if (recoveries_.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t r : recoveries_) total += static_cast<double>(r);
+  return total / static_cast<double>(recoveries_.size());
+}
+
+double RecoveryTracker::max_time_to_recover_slots() const {
+  std::size_t worst = 0;
+  for (std::size_t r : recoveries_) worst = std::max(worst, r);
+  return static_cast<double>(worst);
+}
+
+double RecoveryTracker::quality_dip_depth() const {
+  if (degraded_slots_ == 0) return 0.0;
+  const double healthy =
+      healthy_slots_ == 0
+          ? 0.0
+          : healthy_quality_sum_ / static_cast<double>(healthy_slots_);
+  const double degraded =
+      degraded_quality_sum_ / static_cast<double>(degraded_slots_);
+  return std::max(0.0, healthy - degraded);
+}
+
+}  // namespace cvr::faults

@@ -1,0 +1,63 @@
+// Per-user recovery accounting for fault-injection runs.
+//
+// Fed once per slot by system::SystemSim with the slot's fault-window
+// indicator and display outcome, a RecoveryTracker measures what the
+// aggregate QoE metrics hide: how long after a fault window the user
+// stayed degraded (time-to-recover), how deep the quality dip was, and
+// how many frames the fault windows cost. All quantities are zero for a
+// run with an empty FaultSchedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cvr::faults {
+
+class RecoveryTracker {
+ public:
+  /// Records one slot. `in_fault`: the user sits inside a fault window
+  /// this slot (FaultSchedule::any_fault_for_user). `viewed`: correct
+  /// content was displayed. `displayed_quality`: the quality sample the
+  /// QoE accumulator saw (0 when nothing correct was shown).
+  /// `frame_shown`: the frame made the display deadline (FPS
+  /// accounting).
+  void record_slot(bool in_fault, bool viewed, double displayed_quality,
+                   bool frame_shown);
+
+  /// Closes an open recovery window at the end of the horizon (a user
+  /// that never re-viewed content counts the remaining slots —
+  /// censored, not dropped). Call once, after the last record_slot.
+  void finalize();
+
+  std::size_t fault_slots() const { return fault_slots_; }
+  std::uint64_t frames_dropped_in_fault() const { return frames_dropped_; }
+  /// Completed fault episodes (contiguous fault windows that ended).
+  std::size_t episodes() const { return recoveries_.size(); }
+
+  /// Mean slots from a fault window's end until the first slot with
+  /// correct content displayed (1 = recovered immediately on the first
+  /// post-fault slot). 0 when the run had no fault episodes.
+  double mean_time_to_recover_slots() const;
+  double max_time_to_recover_slots() const;
+
+  /// Quality-dip depth: mean displayed quality over healthy slots minus
+  /// mean displayed quality over fault + recovery slots, floored at 0.
+  /// 0 when the run had no fault slots.
+  double quality_dip_depth() const;
+
+ private:
+  enum class State { kHealthy, kFault, kRecovering };
+  State state_ = State::kHealthy;
+  std::size_t pending_recovery_ = 0;
+  std::vector<std::size_t> recoveries_;
+
+  std::size_t fault_slots_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  double degraded_quality_sum_ = 0.0;  // fault + recovery slots
+  std::size_t degraded_slots_ = 0;
+  double healthy_quality_sum_ = 0.0;
+  std::size_t healthy_slots_ = 0;
+};
+
+}  // namespace cvr::faults

@@ -4,10 +4,16 @@
 // over TCP (reliable, in order) while tiles go over RTP. We model the
 // side channel as a FIFO with a fixed latency in slots: a message sent in
 // slot t is readable at slot t + latency.
+//
+// Fault injection can black the channel out (drop_until): while a
+// blackout is in force, sends are lost and so is anything in flight that
+// would have delivered inside the blackout window — modelling the side
+// channel's socket going down, not merely slowing.
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <stdexcept>
 #include <vector>
 
 namespace cvr::net {
@@ -18,13 +24,25 @@ class AckChannel {
   explicit AckChannel(std::size_t latency_slots = 1)
       : latency_(latency_slots) {}
 
-  /// Enqueues a message in slot `now`.
+  /// Enqueues a message in slot `now`. Dropped silently if `now` falls
+  /// inside an active blackout (see drop_until).
   void send(std::size_t now, Message message) {
+    if (now < blackout_until_) return;  // channel is down: message lost
     queue_.push_back({now + latency_, std::move(message)});
   }
 
   /// Pops every message that has arrived by slot `now` (in send order).
+  ///
+  /// `now` must be monotonically non-decreasing across calls: the
+  /// channel models wall-clock slots, and winding the clock backwards
+  /// would silently re-order deliveries relative to earlier receives.
+  /// Throws std::logic_error on a regression rather than reordering.
   std::vector<Message> receive(std::size_t now) {
+    if (now < last_receive_slot_) {
+      throw std::logic_error(
+          "AckChannel::receive: non-monotonic now (clock went backwards)");
+    }
+    last_receive_slot_ = now;
     std::vector<Message> out;
     while (!queue_.empty() && queue_.front().deliver_at <= now) {
       out.push_back(std::move(queue_.front().payload));
@@ -33,8 +51,22 @@ class AckChannel {
     return out;
   }
 
+  /// Blackout hook for fault injection: the channel is down until
+  /// `slot` (exclusive). Messages sent while `now < slot` are lost, and
+  /// in-flight messages that would deliver before `slot` are dropped
+  /// immediately. Calling with an earlier slot than a previous blackout
+  /// never shortens it.
+  void drop_until(std::size_t slot) {
+    if (slot <= blackout_until_) return;
+    blackout_until_ = slot;
+    std::erase_if(queue_, [slot](const Entry& e) {
+      return e.deliver_at < slot;
+    });
+  }
+
   std::size_t in_flight() const { return queue_.size(); }
   std::size_t latency() const { return latency_; }
+  std::size_t blackout_until() const { return blackout_until_; }
 
  private:
   struct Entry {
@@ -42,6 +74,8 @@ class AckChannel {
     Message payload;
   };
   std::size_t latency_;
+  std::size_t blackout_until_ = 0;
+  std::size_t last_receive_slot_ = 0;
   std::deque<Entry> queue_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/net/estimators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "src/net/mm1.h"
@@ -17,20 +18,17 @@ EmaThroughputEstimator::EmaThroughputEstimator(double alpha,
 }
 
 void EmaThroughputEstimator::observe(double mbps) {
-  if (mbps < 0.0) {
-    throw std::invalid_argument("EmaThroughputEstimator: negative sample");
-  }
-  value_ += alpha_ * (mbps - value_);
+  if (!std::isfinite(mbps)) return;  // a corrupt measurement is no measurement
+  const double sample = std::max(0.0, mbps);
+  value_ += alpha_ * (sample - value_);
   ++count_;
 }
 
 DelayPredictor::DelayPredictor(std::size_t history) : poly_(2, history) {}
 
 void DelayPredictor::observe(double rate_mbps, double delay_ms) {
-  if (rate_mbps < 0.0 || delay_ms < 0.0) {
-    throw std::invalid_argument("DelayPredictor: negative sample");
-  }
-  poly_.add(rate_mbps, delay_ms);
+  if (!std::isfinite(rate_mbps) || !std::isfinite(delay_ms)) return;
+  poly_.add(std::max(0.0, rate_mbps), std::max(0.0, delay_ms));
 }
 
 double DelayPredictor::predict_ms(double rate_mbps, double bandwidth_mbps) {
@@ -43,6 +41,16 @@ double DelayPredictor::predict_ms(double rate_mbps, double bandwidth_mbps) {
 
 bool DelayPredictor::trained() const {
   return poly_.size() >= 8;  // enough samples for a stable quadratic
+}
+
+double apply_stale_hold(double estimate_mbps, std::size_t silent_slots,
+                        const StaleHoldConfig& config) {
+  if (silent_slots <= config.hold_slots) return estimate_mbps;
+  const double decayed =
+      estimate_mbps *
+      std::pow(config.decay_per_slot,
+               static_cast<double>(silent_slots - config.hold_slots));
+  return std::max(std::min(estimate_mbps, config.floor_mbps), decayed);
 }
 
 }  // namespace cvr::net

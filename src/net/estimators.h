@@ -5,6 +5,14 @@
 // * "we use polynomial regression to predict the delay instead of linear
 //   regression" — DelayPredictor, a degree-2 fit of measured delay vs
 //   sent rate, with the analytic M/M/1 curve as a cold-start fallback.
+//
+// Both estimators are hardened against hostile measurements: a
+// non-finite sample is discarded and a negative one clamps to zero, so
+// a single corrupt report can never poison the estimate (observe() used
+// to throw, which turned one bad packet into a crashed server loop).
+// apply_stale_hold() is the companion policy for *missing* measurements
+// — hold the last estimate briefly, then decay it toward a conservative
+// re-probe floor (docs/resilience.md).
 #pragma once
 
 #include <cstddef>
@@ -18,6 +26,8 @@ class EmaThroughputEstimator {
   explicit EmaThroughputEstimator(double alpha = 0.2, double initial_mbps = 40.0);
 
   /// Records the throughput observed in the last slot (Mbps).
+  /// Non-finite samples are ignored (not counted); negative ones clamp
+  /// to 0.
   void observe(double mbps);
 
   double estimate_mbps() const { return value_; }
@@ -35,7 +45,8 @@ class DelayPredictor {
   explicit DelayPredictor(std::size_t history = 256);
 
   /// Records a measured delivery delay (ms) for a slot where `rate_mbps`
-  /// was sent.
+  /// was sent. A sample with a non-finite rate or delay is ignored;
+  /// negative components clamp to 0.
   void observe(double rate_mbps, double delay_ms);
 
   /// Predicted delay (ms) of sending at `rate_mbps` given an estimated
@@ -48,5 +59,24 @@ class DelayPredictor {
  private:
   cvr::PolynomialRegressor poly_;
 };
+
+/// Stale-estimate policy: what an estimate is worth after `silent_slots`
+/// slots without a fresh measurement. The estimate is held as-is for
+/// `hold_slots` (measurement gaps of a few slots are normal), then
+/// decays exponentially toward `floor_mbps` — the conservative rate the
+/// server re-probes at once the silence ends, so a user coming back
+/// from an outage ramps up instead of slamming a possibly-degraded link
+/// with a pre-outage estimate.
+struct StaleHoldConfig {
+  std::size_t hold_slots = 33;   ///< ~0.5 s at 66 FPS.
+  double decay_per_slot = 0.93;  ///< Estimate halves every ~10 slots.
+  double floor_mbps = 1.0;       ///< Re-probe rate; never decays below.
+};
+
+/// Pure: estimate after the hold-then-decay policy. Returns the
+/// estimate unchanged while silent_slots <= hold_slots; never returns
+/// less than min(estimate, floor).
+double apply_stale_hold(double estimate_mbps, std::size_t silent_slots,
+                        const StaleHoldConfig& config);
 
 }  // namespace cvr::net

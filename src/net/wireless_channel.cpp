@@ -41,6 +41,13 @@ Router::Router(double aggregate_mbps, std::vector<double> user_throttles_mbps,
   step();
 }
 
+void Router::set_capacity_multiplier(double multiplier) {
+  if (!std::isfinite(multiplier) || multiplier < 0.0) {
+    throw std::invalid_argument("Router: bad capacity multiplier");
+  }
+  outage_multiplier_ = multiplier;
+}
+
 void Router::step() {
   if (config_.interference) {
     if (interference_burst_) {
@@ -50,7 +57,8 @@ void Router::step() {
     }
   }
   const double burst_mult =
-      interference_burst_ ? config_.interference_depth : 1.0;
+      (interference_burst_ ? config_.interference_depth : 1.0) *
+      outage_multiplier_;
   effective_aggregate_ = aggregate_ * burst_mult;
   for (std::size_t u = 0; u < throttles_.size(); ++u) {
     effective_user_[u] = throttles_[u] * fading_[u].step() * burst_mult;

@@ -64,6 +64,14 @@ class Router {
   /// the slot's effective limits.
   void step();
 
+  /// Fault-injection hook: scales the *next* step()'s effective
+  /// aggregate and per-user capacities by `multiplier` (a bandwidth
+  /// outage or cliff; 0 = total blackout). 1.0 — the default — is the
+  /// healthy channel, and leaves every computation bit-identical.
+  /// Throws std::invalid_argument on a negative or non-finite value.
+  void set_capacity_multiplier(double multiplier);
+  double capacity_multiplier() const { return outage_multiplier_; }
+
   /// Effective per-user air-link capacity (Mbps) this slot.
   double per_user_capacity(std::size_t user) const;
 
@@ -81,6 +89,7 @@ class Router {
   std::vector<FadingProcess> fading_;
   cvr::Rng rng_;
   bool interference_burst_ = false;
+  double outage_multiplier_ = 1.0;
   double effective_aggregate_ = 0.0;
   std::vector<double> effective_user_;
 };

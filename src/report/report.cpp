@@ -47,6 +47,33 @@ CsvTable cdf_table(const std::vector<sim::ArmResult>& arms,
   return table;
 }
 
+CsvTable resilience_table(const std::vector<sim::ArmResult>& arms) {
+  CsvTable table;
+  table.header = {"arm", "user_sample", "fault_slots", "time_to_recover_slots",
+                  "qoe_dip", "frames_dropped_in_fault"};
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (std::size_t i = 0; i < arms[a].outcomes.size(); ++i) {
+      const auto& o = arms[a].outcomes[i];
+      table.rows.push_back({static_cast<double>(a), static_cast<double>(i),
+                            o.fault_slots, o.time_to_recover_slots, o.qoe_dip,
+                            o.frames_dropped_in_fault});
+    }
+  }
+  return table;
+}
+
+bool has_resilience_data(const std::vector<sim::ArmResult>& arms) {
+  for (const auto& arm : arms) {
+    for (const auto& o : arm.outcomes) {
+      if (o.fault_slots != 0.0 || o.time_to_recover_slots != 0.0 ||
+          o.qoe_dip != 0.0 || o.frames_dropped_in_fault != 0.0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 CsvTable timing_table(const std::vector<sim::ArmResult>& arms) {
   CsvTable table;
   table.header = {"arm", "run", "wall_ms"};
@@ -93,6 +120,11 @@ std::vector<std::string> write_report(const std::vector<sim::ArmResult>& arms,
   if (!timings.rows.empty()) {
     const std::string path = prefix + "_timing.csv";
     write_csv_file(path, timings);
+    written.push_back(path);
+  }
+  if (has_resilience_data(arms)) {
+    const std::string path = prefix + "_resilience.csv";
+    write_csv_file(path, resilience_table(arms));
     written.push_back(path);
   }
   return written;

@@ -23,6 +23,17 @@ CsvTable outcomes_table(const std::vector<sim::ArmResult>& arms);
 CsvTable cdf_table(const std::vector<sim::ArmResult>& arms,
                    const std::string& metric, std::size_t points = 101);
 
+/// Recovery accounting rows for fault-injection runs (see
+/// docs/resilience.md): arm,user_sample,fault_slots,
+/// time_to_recover_slots,qoe_dip,frames_dropped_in_fault — one row per
+/// outcome per arm. `user_sample` is the outcome's index within the arm
+/// (run-major, user-minor, like outcomes_table rows).
+CsvTable resilience_table(const std::vector<sim::ArmResult>& arms);
+
+/// True iff any outcome of any arm carries non-zero recovery accounting
+/// (i.e. the arms were produced under a non-empty FaultSchedule).
+bool has_resilience_data(const std::vector<sim::ArmResult>& arms);
+
 /// Per-run wall-clock rows: arm,run,wall_ms — one row per entry of each
 /// arm's ArmResult::run_wall_ms (arms without timings contribute no
 /// rows). This is the series behind the ensemble speedup measurements
@@ -35,8 +46,10 @@ std::string summary_markdown(const std::vector<sim::ArmResult>& arms);
 
 /// Writes both the outcome CSV and the four CDF CSVs under `prefix`
 /// (prefix + "_outcomes.csv", prefix + "_cdf_<metric>.csv"), plus
-/// prefix + "_timing.csv" when any arm carries run timings. Returns the
-/// written paths.
+/// prefix + "_timing.csv" when any arm carries run timings and
+/// prefix + "_resilience.csv" when any arm carries recovery accounting
+/// (fault-free reports keep their exact historical file set). Returns
+/// the written paths.
 std::vector<std::string> write_report(const std::vector<sim::ArmResult>& arms,
                                       const std::string& prefix);
 

@@ -51,6 +51,21 @@ double ArmResult::mean_fps() const {
   return mean_of(outcomes, [](const UserOutcome& o) { return o.fps; });
 }
 
+double ArmResult::mean_fault_slots() const {
+  return mean_of(outcomes, [](const UserOutcome& o) { return o.fault_slots; });
+}
+double ArmResult::mean_time_to_recover() const {
+  return mean_of(outcomes,
+                 [](const UserOutcome& o) { return o.time_to_recover_slots; });
+}
+double ArmResult::mean_qoe_dip() const {
+  return mean_of(outcomes, [](const UserOutcome& o) { return o.qoe_dip; });
+}
+double ArmResult::mean_frames_dropped_in_fault() const {
+  return mean_of(outcomes,
+                 [](const UserOutcome& o) { return o.frames_dropped_in_fault; });
+}
+
 double ArmResult::total_wall_ms() const {
   double total = 0.0;
   for (double ms : run_wall_ms) total += ms;

@@ -22,6 +22,14 @@ struct UserOutcome {
   double variance = 0.0;      ///< sigma_n^2(T).
   double prediction_accuracy = 0.0;  ///< realized mean of 1_n(t).
   double fps = 0.0;           ///< displayed frames per second (system only).
+
+  // Recovery accounting (fault-injection runs only; all zero for a run
+  // with an empty FaultSchedule — see faults::RecoveryTracker for the
+  // definitions).
+  double fault_slots = 0.0;             ///< Slots inside fault windows.
+  double time_to_recover_slots = 0.0;   ///< Mean per fault episode.
+  double qoe_dip = 0.0;                 ///< Quality-dip depth.
+  double frames_dropped_in_fault = 0.0; ///< Missed frames in fault windows.
 };
 
 /// All outcomes of one experiment arm (one algorithm across runs).
@@ -45,6 +53,13 @@ struct ArmResult {
   double mean_delay_ms() const;
   double mean_variance() const;
   double mean_fps() const;
+
+  /// Resilience means (bench/resilience_chaos): all zero for arms run
+  /// without faults.
+  double mean_fault_slots() const;
+  double mean_time_to_recover() const;
+  double mean_qoe_dip() const;
+  double mean_frames_dropped_in_fault() const;
 
   /// Sum / mean of run_wall_ms; 0 when no timings were recorded.
   double total_wall_ms() const;

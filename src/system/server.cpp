@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "src/net/mm1.h"
 #include "src/util/units.h"
 
 namespace cvr::system {
@@ -35,11 +36,16 @@ void Server::on_pose(std::size_t u, std::size_t t, const motion::Pose& pose) {
   user.predictor->observe(t, pose);
   user.last_pose = pose;
   user.has_pose = true;
+  user.last_pose_slot = t;
 }
 
 motion::Pose Server::predict_pose(std::size_t u) const {
   const UserState& user = users_.at(u);
   if (!user.has_pose) return motion::Pose{};
+  // Persistence fallback: extrapolating a regression fitted to
+  // pre-blackout motion diverges without bound as the gap grows, so a
+  // pose-stale user is predicted exactly where they were last seen.
+  if (user.pose_stale) return user.last_pose;
   // Poses arrive one slot late; the content is displayed one slot after
   // transmission (Section V pipeline), so predict two slots ahead of the
   // newest pose on record.
@@ -47,12 +53,16 @@ motion::Pose Server::predict_pose(std::size_t u) const {
 }
 
 void Server::on_bandwidth_sample(std::size_t u, double mbps) {
-  users_.at(u).bandwidth.observe(mbps);
+  UserState& user = users_.at(u);
+  user.bandwidth.observe(mbps);
+  user.last_feedback_slot = clock_;
 }
 
 void Server::on_delay_sample(std::size_t u, double rate_mbps,
                              double delay_ms) {
-  users_.at(u).delay.observe(rate_mbps, delay_ms);
+  UserState& user = users_.at(u);
+  user.delay.observe(rate_mbps, delay_ms);
+  user.last_feedback_slot = clock_;
 }
 
 void Server::on_loss_sample(std::size_t u, double utilization,
@@ -62,6 +72,10 @@ void Server::on_loss_sample(std::size_t u, double utilization,
 
 void Server::on_coverage_outcome(std::size_t u, bool hit) {
   UserState& user = users_.at(u);
+  // Frozen delta_bar: outcomes produced while the user is degraded by a
+  // watchdog measure the fault, not the predictor — folding them in
+  // would poison the accuracy estimate long past recovery.
+  if (user.safe_mode) return;
   user.accuracy.record(hit);
   if (config_.adaptive_margin) {
     user.margin.update(user.accuracy.estimate());
@@ -77,7 +91,9 @@ motion::FovSpec Server::fov_for(std::size_t u) const {
 }
 
 void Server::on_base_outcome(std::size_t u, bool hit) {
-  users_.at(u).base_accuracy.record(hit);
+  UserState& user = users_.at(u);
+  if (user.safe_mode) return;  // see on_coverage_outcome
+  user.base_accuracy.record(hit);
 }
 
 void Server::on_displayed_quality(std::size_t u, double displayed_quality) {
@@ -105,16 +121,36 @@ content::GridCell Server::clamped_cell(double x, double y) const {
 }
 
 core::SlotProblem Server::build_problem(std::size_t t) {
+  clock_ = t;
   core::SlotProblem problem;
   problem.params = config_.params;
   problem.server_bandwidth = config_.server_bandwidth_mbps;
   problem.users.reserve(users_.size());
   for (std::size_t u = 0; u < users_.size(); ++u) {
     UserState& user = users_[u];
+
+    // Watchdogs. Both are quiescent in a healthy run: poses refresh
+    // last_pose_slot every upload period and every measurement refreshes
+    // last_feedback_slot, so neither age ever crosses its threshold.
+    const std::size_t pose_age = user.has_pose
+                                     ? t - std::min(t, user.last_pose_slot)
+                                     : t;
+    user.pose_stale = pose_age > config_.pose_staleness_slots;
+    const std::size_t silent = t - std::min(t, user.last_feedback_slot);
+    const bool feedback_stale = silent > config_.feedback_staleness_slots;
+    user.safe_mode = user.pose_stale || feedback_stale;
+    if (user.safe_mode) ++user.safe_mode_slot_count;
+
     const motion::Pose predicted = predict_pose(u);
     const content::GridCell cell = clamped_cell(predicted.x, predicted.y);
     const content::CrfRateFunction f = content_db_.frame_rate_function(cell);
-    const double b_hat = user.bandwidth.estimate_mbps();
+    double b_hat = user.bandwidth.estimate_mbps();
+    if (feedback_stale) {
+      // Bounded hold, then exponential decay toward the re-probe floor:
+      // an estimate nobody has confirmed for `silent` slots is worth
+      // less every slot it stays unconfirmed.
+      b_hat = net::apply_stale_hold(b_hat, silent, config_.stale_hold);
+    }
     const double qbar =
         user.viewed_slots == 0
             ? 0.0
@@ -128,12 +164,25 @@ core::SlotProblem Server::build_problem(std::size_t t) {
     ctx.qbar = qbar;
     ctx.slot = static_cast<double>(t);
     ctx.user_bandwidth = b_hat;
+    if (user.safe_mode && config_.safe_mode_pin_level) {
+      // Pin to level 1 through constraint (7): with B_n clamped to the
+      // level-1 rate, no allocator can pick a higher level, so the
+      // faulted user's stale estimates stop competing for the shared
+      // server budget. Level 1 itself is the mandatory minimum and
+      // stays allocated regardless (Allocator contract).
+      ctx.user_bandwidth = std::min(ctx.user_bandwidth, f.rate(1));
+    }
     ctx.rate.reserve(core::kNumQualityLevels);
     ctx.delay.reserve(core::kNumQualityLevels);
     for (core::QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
       const double r = f.rate(q);
       ctx.rate.push_back(r);
-      ctx.delay.push_back(user.delay.predict_ms(r, b_hat));
+      // A trained delay polynomial describes the regime its samples came
+      // from; after prolonged silence that regime is suspect, so fall
+      // back to the analytic M/M/1 curve on the held bandwidth.
+      ctx.delay.push_back(feedback_stale
+                              ? net::mm1_delay(r, b_hat) * cvr::kSlotMillis
+                              : user.delay.predict_ms(r, b_hat));
       if (config_.loss_aware) {
         // Frame-loss estimate at this level: utilisation the level would
         // induce on the estimated link, times the packets actually at
@@ -242,6 +291,22 @@ const content::ServerTileCache& Server::cache(std::size_t u) const {
 
 double Server::bandwidth_estimate(std::size_t u) const {
   return users_.at(u).bandwidth.estimate_mbps();
+}
+
+void Server::flush_caches() {
+  for (UserState& user : users_) {
+    user.cache = content::ServerTileCache(config_.cache);
+    user.cache_primed = false;
+    user.delivered = content::DeliveredTileTracker();
+  }
+}
+
+bool Server::in_safe_mode(std::size_t u) const {
+  return users_.at(u).safe_mode;
+}
+
+std::size_t Server::safe_mode_slots(std::size_t u) const {
+  return users_.at(u).safe_mode_slot_count;
 }
 
 }  // namespace cvr::system

@@ -67,6 +67,33 @@ struct ServerConfig {
   /// turning it off quantifies the mechanism's bandwidth savings
   /// (`bench/ablation_repetition`).
   bool repetition_suppression = true;
+
+  /// Graceful-degradation watchdogs (docs/resilience.md). Quiescent in a
+  /// healthy run — poses arrive every pose-upload period and
+  /// measurements every slot, so neither threshold is ever crossed and
+  /// the allocation path is byte-identical to the unhardened server.
+  ///
+  /// Slots without a fresh pose before the user enters safe mode:
+  /// persistence prediction (hold the last pose instead of extrapolating
+  /// stale motion), frozen delta_bar (blackout misses must not poison
+  /// the accuracy estimate), and — when safe_mode_pin_level is on — the
+  /// quality level pinned to 1. SystemSim raises this to at least
+  /// 2 x pose_upload_period + 2 so sparse-but-healthy uploads never
+  /// trigger it.
+  std::size_t pose_staleness_slots = 12;
+  /// Slots without any client measurement (bandwidth/delay feedback)
+  /// before the EMA and delay estimates are treated as stale: the
+  /// bandwidth estimate goes through the stale-hold decay and the delay
+  /// table falls back to the analytic M/M/1 curve (the trained
+  /// polynomial regressor may describe a regime that no longer exists).
+  std::size_t feedback_staleness_slots = 12;
+  net::StaleHoldConfig stale_hold;
+  /// Safe-mode allocation path: clamp a faulted user's B_n below the
+  /// level-2 rate so constraint (7) leaves only level 1 feasible — in
+  /// every allocator, without touching any of them. A silent user's
+  /// stale estimates then cannot starve healthy users through the
+  /// shared sum f(q) <= B budget.
+  bool safe_mode_pin_level = true;
 };
 
 /// One user's tile request for a slot.
@@ -142,6 +169,18 @@ class Server {
   const content::ServerTileCache& cache(std::size_t u) const;
   double bandwidth_estimate(std::size_t u) const;
 
+  /// Fault-injection hook (faults::FaultType::kCacheFlush): drops every
+  /// user's warm tile cache and delivered-tile tracker, as a server
+  /// crash-restart would. Estimators and predictors survive (they live
+  /// in the allocator tier of a real deployment).
+  void flush_caches();
+
+  /// Whether user `u` is currently degraded by a watchdog (as of the
+  /// last build_problem call).
+  bool in_safe_mode(std::size_t u) const;
+  /// Total slots user `u` has spent in safe mode (diagnostic).
+  std::size_t safe_mode_slots(std::size_t u) const;
+
   /// The FoV spec currently in force for user `u` (config fov with the
   /// user's adaptive margin substituted when adaptive_margin is on).
   motion::FovSpec fov_for(std::size_t u) const;
@@ -162,6 +201,12 @@ class Server {
     std::size_t viewed_slots = 0;
     motion::Pose last_pose;
     bool has_pose = false;
+    // Watchdog clocks (slot numbers on the build_problem timeline).
+    std::size_t last_pose_slot = 0;
+    std::size_t last_feedback_slot = 0;
+    bool safe_mode = false;
+    bool pose_stale = false;
+    std::size_t safe_mode_slot_count = 0;
     // Cache-window anchoring: advance() is O(window^2) and only needed
     // when the user enters a new cell.
     content::GridCell cached_cell{};
@@ -179,6 +224,9 @@ class Server {
   ServerConfig config_;
   content::ContentDb content_db_;
   std::vector<UserState> users_;
+  /// Latest slot seen by build_problem — the watchdogs' clock. Feedback
+  /// callbacks stamp last_feedback_slot with it.
+  std::size_t clock_ = 0;
 };
 
 }  // namespace cvr::system

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/faults/recovery.h"
+#include "src/net/ack_channel.h"
 #include "src/net/mm1.h"
 #include "src/proto/messages.h"
 #include "src/util/rng.h"
@@ -90,6 +92,11 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
   ServerConfig server_config = config_.server;
   server_config.server_bandwidth_mbps =
       config_.router_aggregate_mbps * static_cast<double>(n_routers);
+  // A sparse-but-healthy pose cadence must never look like a blackout:
+  // keep the staleness threshold clear of the configured upload period.
+  server_config.pose_staleness_slots =
+      std::max(server_config.pose_staleness_slots,
+               2 * config_.pose_upload_period + 2);
   Server server(server_config, n_users);
 
   motion::MotionGenerator motion_gen(config_.motion);
@@ -102,6 +109,12 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
     net::RtpTransport transport;
     core::UserQoeAccumulator qoe;
     std::size_t hits = 0;
+    // ACKs ride a zero-latency side channel so a fault can black it
+    // out; with no blackout the send/receive round-trip inside one slot
+    // is exactly the old direct call.
+    net::AckChannel<proto::DeliveryAck> delivery_channel{0};
+    net::AckChannel<proto::ReleaseAck> release_channel{0};
+    faults::RecoveryTracker recovery;
   };
   std::vector<UserWorld> worlds;
   worlds.reserve(n_users);
@@ -122,8 +135,19 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
         core::UserQoeAccumulator(), 0});
   }
 
+  const faults::FaultSchedule& faults = config_.faults;
+
   for (std::size_t t = 0; t < config_.slots; ++t) {
-    for (auto& router : routers) router.step();
+    for (std::size_t r = 0; r < n_routers; ++r) {
+      routers[r].set_capacity_multiplier(
+          faults.router_capacity_multiplier(r, t));
+      routers[r].step();
+    }
+
+    // Server crash-restart: warm tile caches and delivered-tile state
+    // vanish; estimators survive (the process kept its learned state,
+    // the content cache did not).
+    if (faults.cache_flush_at(t)) server.flush_caches();
 
     // Pose upload over the TCP side channel: one slot of latency, every
     // pose_upload_period-th slot ("upload the trace to the server
@@ -132,6 +156,11 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
     // simulated upload.
     if (t >= 1 && (t - 1) % config_.pose_upload_period == 0) {
       for (std::size_t u = 0; u < n_users; ++u) {
+        // A disconnected or pose-blacked-out user uploads nothing; the
+        // server's staleness watchdog takes it from here.
+        if (faults.user_disconnected(u, t) || faults.pose_blackout(u, t)) {
+          continue;
+        }
         proto::PoseUpdate upload;
         upload.user = static_cast<std::uint32_t>(u);
         upload.slot = t - 1;
@@ -153,6 +182,14 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
     std::vector<TileRequest> requests;
     requests.reserve(n_users);
     for (std::size_t u = 0; u < n_users; ++u) {
+      if (faults.user_disconnected(u, t)) {
+        // No device on the network: nothing to request, zero demand, and
+        // the server's per-user caches stay untouched for the window.
+        TileRequest idle;
+        idle.level = allocation.levels[u];
+        requests.push_back(std::move(idle));
+        continue;
+      }
       requests.push_back(server.make_request(u, allocation.levels[u]));
     }
 
@@ -190,6 +227,27 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
 
     for (std::size_t u = 0; u < n_users; ++u) {
       UserWorld& world = worlds[u];
+      const bool disconnected = faults.user_disconnected(u, t);
+      const bool ack_stalled = faults.ack_stalled(u, t);
+      const bool in_fault = faults.any_fault_for_user(u, router_of[u], t);
+      if (disconnected) {
+        // Off the network: nothing delivered, nothing displayed, no
+        // feedback of any kind. The chosen level still enters the level
+        // average (the allocator did budget for it) with zero displayed
+        // quality; the missed frame depresses FPS naturally.
+        world.qoe.record_displayed(allocation.levels[u], 0.0, 0.0);
+        world.recovery.record_slot(true, false, 0.0, false);
+        if (timeline != nullptr) {
+          SlotRecord record;
+          record.slot = t;
+          record.user = u;
+          record.level = allocation.levels[u];
+          record.delta_estimate = problem.users[u].delta;
+          record.bandwidth_estimate_mbps = problem.users[u].user_bandwidth;
+          timeline->add(record);
+        }
+        continue;
+      }
       const TileRequest& request = requests[u];
       const net::Router& router = routers[router_of[u]];
       const double capacity = [&] {
@@ -298,6 +356,8 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
           allocation.levels[u], displayed_quality,
           std::min(delay_ms, config_.delay_accounting_cap_ms));
       if (coverage_hit) ++world.hits;
+      world.recovery.record_slot(in_fault, viewed, displayed_quality,
+                                 outcome.frame_on_time);
 
       // Feedback to the server. The coverage outcome the real client can
       // report is whether the *delivered* portion covered what the user
@@ -306,43 +366,62 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
       // is the negative-feedback loop that makes the delta-aware
       // allocator robust to network degradation (Fig. 8) while
       // delta-oblivious baselines keep overcommitting.
-      server.on_coverage_outcome(u, viewed);
-      // Loss-free base channel for the loss-aware decomposition:
-      // prediction covered AND the frame displayed on time.
-      server.on_base_outcome(u, coverage_hit && outcome.frame_on_time);
-      server.on_displayed_quality(u, displayed_quality);
-      // ACKs also cross the TCP side channel in wire format.
+      if (!ack_stalled) {
+        server.on_coverage_outcome(u, viewed);
+        // Loss-free base channel for the loss-aware decomposition:
+        // prediction covered AND the frame displayed on time.
+        server.on_base_outcome(u, coverage_hit && outcome.frame_on_time);
+        server.on_displayed_quality(u, displayed_quality);
+      } else {
+        // The TCP side channel's socket is down: every client->server
+        // measurement this slot is lost, and so are in-flight ACKs. The
+        // server's feedback-silence watchdog covers the gap.
+        world.delivery_channel.drop_until(t + 1);
+        world.release_channel.drop_until(t + 1);
+      }
+      // ACKs cross the TCP side channel in wire format; with the default
+      // zero-latency channel a healthy slot's send/receive round-trip is
+      // exactly a direct delivery.
       if (!outcome.delivery_acks.empty()) {
         proto::DeliveryAck ack;
         ack.user = static_cast<std::uint32_t>(u);
         ack.slot = t;
         ack.tiles = outcome.delivery_acks;
-        server.on_delivery_acks(
-            u, proto::decode_delivery_ack(proto::encode(ack)).tiles);
+        world.delivery_channel.send(
+            t, proto::decode_delivery_ack(proto::encode(ack)));
       }
       if (!outcome.release_acks.empty()) {
         proto::ReleaseAck ack;
         ack.user = static_cast<std::uint32_t>(u);
         ack.slot = t;
         ack.tiles = outcome.release_acks;
-        server.on_release_acks(
-            u, proto::decode_release_ack(proto::encode(ack)).tiles);
+        world.release_channel.send(
+            t, proto::decode_release_ack(proto::encode(ack)));
       }
-      if (request.demand_mbps > 1e-9) {
-        server.on_delay_sample(
-            u, request.demand_mbps,
-            std::min(delay_ms, config_.delay_measurement_window_ms));
+      for (const proto::DeliveryAck& ack : world.delivery_channel.receive(t)) {
+        server.on_delivery_acks(u, ack.tiles);
       }
-      if (slot_packets > 0) {
-        server.on_loss_sample(u, utilization,
-                              static_cast<double>(slot_lost) /
-                                  static_cast<double>(slot_packets));
+      for (const proto::ReleaseAck& ack : world.release_channel.receive(t)) {
+        server.on_release_acks(u, ack.tiles);
       }
-      // Bandwidth measurement: the achieved rate during the busy period
-      // tracks the live capacity, observed with multiplicative noise.
-      const double measured =
-          capacity * rng.lognormal(0.0, config_.bandwidth_measurement_sigma);
-      server.on_bandwidth_sample(u, measured);
+      if (!ack_stalled) {
+        if (request.demand_mbps > 1e-9) {
+          server.on_delay_sample(
+              u, request.demand_mbps,
+              std::min(delay_ms, config_.delay_measurement_window_ms));
+        }
+        if (slot_packets > 0) {
+          server.on_loss_sample(u, utilization,
+                                static_cast<double>(slot_lost) /
+                                    static_cast<double>(slot_packets));
+        }
+        // Bandwidth measurement: the achieved rate during the busy
+        // period tracks the live capacity, observed with multiplicative
+        // noise.
+        const double measured =
+            capacity * rng.lognormal(0.0, config_.bandwidth_measurement_sigma);
+        server.on_bandwidth_sample(u, measured);
+      }
 
       if (timeline != nullptr) {
         SlotRecord record;
@@ -366,13 +445,21 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
 
   std::vector<sim::UserOutcome> outcomes;
   outcomes.reserve(n_users);
-  for (const auto& world : worlds) {
+  for (auto& world : worlds) {
     const double hit_rate =
         static_cast<double>(world.hits) / static_cast<double>(config_.slots);
     const double fps = static_cast<double>(world.client.frames_displayed()) /
                        static_cast<double>(config_.slots) / cvr::kSlotSeconds;
-    outcomes.push_back(sim::make_outcome(world.qoe, config_.server.params,
-                                         hit_rate, fps));
+    sim::UserOutcome outcome = sim::make_outcome(
+        world.qoe, config_.server.params, hit_rate, fps);
+    world.recovery.finalize();
+    outcome.fault_slots = static_cast<double>(world.recovery.fault_slots());
+    outcome.time_to_recover_slots =
+        world.recovery.mean_time_to_recover_slots();
+    outcome.qoe_dip = world.recovery.quality_dip_depth();
+    outcome.frames_dropped_in_fault =
+        static_cast<double>(world.recovery.frames_dropped_in_fault());
+    outcomes.push_back(outcome);
   }
   return outcomes;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/allocator.h"
+#include "src/faults/fault_schedule.h"
 #include "src/motion/motion_generator.h"
 #include "src/net/rtp_transport.h"
 #include "src/net/wireless_channel.h"
@@ -92,6 +93,14 @@ struct SystemSimConfig {
   /// transmits nothing (the frame falls back to stale content).
   bool online_rendering = false;
   render::RenderFarmConfig render_farm;
+
+  /// Discrete fault injection (docs/resilience.md): churn, blackouts,
+  /// side-channel stalls, bandwidth cliffs, cache flushes, consumed per
+  /// slot. The default (empty) schedule is strictly inert — every
+  /// query answers "healthy" and the run is bit-identical to a build
+  /// without the subsystem. Faulted runs fill the recovery-accounting
+  /// fields of sim::UserOutcome.
+  faults::FaultSchedule faults;
 };
 
 /// Convenience constructors for the paper's two setups.

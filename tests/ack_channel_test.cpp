@@ -57,6 +57,55 @@ TEST(AckChannel, ReceiveIsDestructive) {
   EXPECT_TRUE(ch.receive(0).empty());
 }
 
+TEST(AckChannel, ReceiveThrowsOnClockRegression) {
+  AckChannel<int> ch(0);
+  ch.receive(5);
+  EXPECT_THROW(ch.receive(4), std::logic_error);
+  // The same slot is fine (non-decreasing, not strictly increasing).
+  EXPECT_NO_THROW(ch.receive(5));
+}
+
+TEST(AckChannel, DropUntilLosesSendsDuringBlackout) {
+  AckChannel<int> ch(0);
+  ch.drop_until(10);
+  EXPECT_EQ(ch.blackout_until(), 10u);
+  ch.send(5, 1);  // lost: the channel is down
+  EXPECT_TRUE(ch.receive(9).empty());
+  ch.send(10, 2);  // blackout over (exclusive bound)
+  const auto got = ch.receive(10);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 2);
+}
+
+TEST(AckChannel, DropUntilKillsInFlightMessages) {
+  AckChannel<int> ch(3);
+  ch.send(0, 1);  // would deliver at 3 — inside the blackout, dropped
+  ch.send(0, 2);
+  EXPECT_EQ(ch.in_flight(), 2u);
+  ch.drop_until(5);
+  EXPECT_EQ(ch.in_flight(), 0u);
+  EXPECT_TRUE(ch.receive(4).empty());
+}
+
+TEST(AckChannel, DropUntilSparesMessagesDeliveringAfterBlackout) {
+  AckChannel<int> ch(4);
+  ch.send(0, 7);  // delivers at 4, exactly when the channel is back up
+  ch.drop_until(4);
+  EXPECT_EQ(ch.in_flight(), 1u);
+  const auto got = ch.receive(4);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 7);
+}
+
+TEST(AckChannel, DropUntilNeverShortensABlackout) {
+  AckChannel<int> ch(0);
+  ch.drop_until(10);
+  ch.drop_until(3);  // no-op: earlier than the standing blackout
+  EXPECT_EQ(ch.blackout_until(), 10u);
+  ch.send(5, 1);
+  EXPECT_TRUE(ch.receive(9).empty());
+}
+
 TEST(AckChannel, MoveOnlyFriendlyPayloads) {
   AckChannel<std::string> ch(1);
   ch.send(0, std::string(1000, 'x'));

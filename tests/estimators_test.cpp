@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/net/mm1.h"
 #include "src/util/rng.h"
 #include "src/util/units.h"
@@ -52,8 +55,26 @@ TEST(EmaThroughputEstimator, SmoothsNoise) {
 TEST(EmaThroughputEstimator, RejectsBadInput) {
   EXPECT_THROW(EmaThroughputEstimator(0.0, 40.0), std::invalid_argument);
   EXPECT_THROW(EmaThroughputEstimator(1.1, 40.0), std::invalid_argument);
-  EmaThroughputEstimator est(0.2, 40.0);
-  EXPECT_THROW(est.observe(-1.0), std::invalid_argument);
+}
+
+TEST(EmaThroughputEstimator, NegativeSampleClampsToZero) {
+  // One corrupt report must never crash the server loop: a negative
+  // sample behaves as a measured zero.
+  EmaThroughputEstimator est(0.25, 40.0);
+  est.observe(-1.0);
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 0.75 * 40.0);
+  EXPECT_EQ(est.observations(), 1u);
+}
+
+TEST(EmaThroughputEstimator, NonFiniteSamplesIgnored) {
+  EmaThroughputEstimator est(0.25, 40.0);
+  est.observe(std::numeric_limits<double>::quiet_NaN());
+  est.observe(std::numeric_limits<double>::infinity());
+  est.observe(-std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 40.0);
+  EXPECT_EQ(est.observations(), 0u);
+  est.observe(60.0);  // still alive and learning afterwards
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 0.75 * 40.0 + 0.25 * 60.0);
 }
 
 TEST(DelayPredictor, ColdStartUsesAnalyticMm1) {
@@ -83,10 +104,52 @@ TEST(DelayPredictor, PredictionNeverNegative) {
   EXPECT_GE(pred.predict_ms(100.0, 60.0), 0.0);
 }
 
-TEST(DelayPredictor, RejectsNegativeSamples) {
+TEST(DelayPredictor, NegativeSamplesClampToZero) {
+  DelayPredictor a;
+  DelayPredictor b;
+  for (double r = 5.0; r <= 20.0; r += 1.0) {
+    a.observe(r, 1.0);
+    b.observe(r, 1.0);
+  }
+  // A negative component clamps to zero rather than throwing.
+  a.observe(-3.0, -7.0);
+  b.observe(0.0, 0.0);
+  EXPECT_TRUE(a.trained());
+  EXPECT_DOUBLE_EQ(a.predict_ms(10.0, 60.0), b.predict_ms(10.0, 60.0));
+}
+
+TEST(DelayPredictor, NonFiniteSamplesIgnored) {
   DelayPredictor pred;
-  EXPECT_THROW(pred.observe(-1.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(pred.observe(1.0, -1.0), std::invalid_argument);
+  pred.observe(std::numeric_limits<double>::quiet_NaN(), 1.0);
+  pred.observe(1.0, std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(pred.trained());
+  // Predictions stay on the analytic cold-start path and stay finite.
+  EXPECT_TRUE(std::isfinite(pred.predict_ms(20.0, 40.0)));
+}
+
+TEST(StaleHold, HoldsThenDecaysTowardFloor) {
+  const StaleHoldConfig config;  // hold 33, decay 0.93, floor 1.0
+  // Inside the hold window the estimate is untouched.
+  EXPECT_DOUBLE_EQ(apply_stale_hold(60.0, 0, config), 60.0);
+  EXPECT_DOUBLE_EQ(apply_stale_hold(60.0, config.hold_slots, config), 60.0);
+  // Past the hold it decays monotonically...
+  double prev = 60.0;
+  for (std::size_t s = config.hold_slots + 1; s < config.hold_slots + 200;
+       ++s) {
+    const double held = apply_stale_hold(60.0, s, config);
+    EXPECT_LE(held, prev);
+    EXPECT_GE(held, config.floor_mbps);
+    prev = held;
+  }
+  // ...and long silence lands on the re-probe floor.
+  EXPECT_DOUBLE_EQ(apply_stale_hold(60.0, 100000, config), config.floor_mbps);
+}
+
+TEST(StaleHold, FloorNeverInflatesASmallEstimate) {
+  StaleHoldConfig config;
+  config.floor_mbps = 10.0;
+  // An estimate already below the floor must not be *raised* by decay.
+  EXPECT_LE(apply_stale_hold(2.0, 1000, config), 2.0);
 }
 
 TEST(DelayPredictor, NoisyMm1SamplesStillTrackAnalytic) {

@@ -10,6 +10,7 @@
 #include "src/core/firefly.h"
 #include "src/core/lagrangian.h"
 #include "src/core/pavq.h"
+#include "src/faults/fault_schedule.h"
 #include "src/sim/simulation.h"
 #include "src/system/system_sim.h"
 
@@ -27,6 +28,26 @@ void expect_sane(const sim::UserOutcome& o) {
   EXPECT_LE(o.variance, 9.0);
   EXPECT_GE(o.fps, 0.0);
   EXPECT_LE(o.fps, 66.1);
+  EXPECT_TRUE(std::isfinite(o.fault_slots));
+  EXPECT_GE(o.fault_slots, 0.0);
+  EXPECT_TRUE(std::isfinite(o.time_to_recover_slots));
+  EXPECT_GE(o.time_to_recover_slots, 0.0);
+  EXPECT_TRUE(std::isfinite(o.qoe_dip));
+  EXPECT_GE(o.qoe_dip, 0.0);
+  EXPECT_TRUE(std::isfinite(o.frames_dropped_in_fault));
+  EXPECT_GE(o.frames_dropped_in_fault, 0.0);
+}
+
+faults::FaultEvent make_fault(faults::FaultType type, std::size_t target,
+                              std::size_t start, std::size_t duration,
+                              double severity = 0.0) {
+  faults::FaultEvent e;
+  e.type = type;
+  e.target = target;
+  e.start_slot = start;
+  e.duration_slots = duration;
+  e.severity = severity;
+  return e;
 }
 
 TEST(FailureInjection, NearTotalInterferenceCollapse) {
@@ -97,6 +118,164 @@ TEST(FailureInjection, StarvedUplinkTraceSim) {
   for (const auto& o : simulation.run(alloc, 0)) {
     expect_sane(o);
     EXPECT_LE(o.avg_quality, 1.0 + 1e-9);  // pinned at the minimum
+  }
+}
+
+TEST(FaultInjection, EmptyScheduleLeavesRecoveryAccountingZero) {
+  system::SystemSimConfig config = system::setup_one_router(3);
+  config.slots = 300;
+  core::DvGreedyAllocator alloc;
+  for (const auto& o : system::SystemSim(config).run(alloc, 0)) {
+    expect_sane(o);
+    EXPECT_DOUBLE_EQ(o.fault_slots, 0.0);
+    EXPECT_DOUBLE_EQ(o.time_to_recover_slots, 0.0);
+    EXPECT_DOUBLE_EQ(o.qoe_dip, 0.0);
+    EXPECT_DOUBLE_EQ(o.frames_dropped_in_fault, 0.0);
+  }
+}
+
+TEST(FaultInjection, FaultsBeyondHorizonAreInert) {
+  // A schedule whose every window starts after the horizon must leave
+  // the run bit-identical to an empty schedule: the queries are pure.
+  system::SystemSimConfig baseline = system::setup_one_router(3);
+  baseline.slots = 300;
+  system::SystemSimConfig faulted = baseline;
+  faulted.faults.add(
+      make_fault(faults::FaultType::kUserDisconnect, 0, 1000, 60));
+  faulted.faults.add(
+      make_fault(faults::FaultType::kRouterOutage, 0, 2000, 60, 0.1));
+  faulted.faults.add(make_fault(faults::FaultType::kCacheFlush, 0, 3000, 1));
+  core::DvGreedyAllocator a1;
+  core::DvGreedyAllocator a2;
+  const auto base = system::SystemSim(baseline).run(a1, 0);
+  const auto with = system::SystemSim(faulted).run(a2, 0);
+  ASSERT_EQ(base.size(), with.size());
+  for (std::size_t u = 0; u < base.size(); ++u) {
+    EXPECT_DOUBLE_EQ(base[u].avg_qoe, with[u].avg_qoe);
+    EXPECT_DOUBLE_EQ(base[u].avg_quality, with[u].avg_quality);
+    EXPECT_DOUBLE_EQ(base[u].avg_delay_ms, with[u].avg_delay_ms);
+    EXPECT_DOUBLE_EQ(base[u].variance, with[u].variance);
+    EXPECT_DOUBLE_EQ(base[u].fps, with[u].fps);
+    EXPECT_DOUBLE_EQ(with[u].fault_slots, 0.0);
+    EXPECT_DOUBLE_EQ(with[u].time_to_recover_slots, 0.0);
+  }
+}
+
+TEST(FaultInjection, ChurnedUserReconnectsAndRecovers) {
+  system::SystemSimConfig config = system::setup_one_router(4);
+  config.slots = 600;
+  config.faults.add(
+      make_fault(faults::FaultType::kUserDisconnect, 1, 200, 60));
+  core::DvGreedyAllocator alloc;
+  const auto outcomes = system::SystemSim(config).run(alloc, 0);
+  for (const auto& o : outcomes) expect_sane(o);
+  // The churned user's fault accounting matches the window exactly; the
+  // bystanders saw no fault at all.
+  EXPECT_DOUBLE_EQ(outcomes[1].fault_slots, 60.0);
+  EXPECT_DOUBLE_EQ(outcomes[1].frames_dropped_in_fault, 60.0);
+  for (std::size_t u : {0u, 2u, 3u}) {
+    EXPECT_DOUBLE_EQ(outcomes[u].fault_slots, 0.0);
+  }
+  // Reconnect works: recovery is bounded, not censored-to-horizon.
+  EXPECT_GT(outcomes[1].time_to_recover_slots, 0.0);
+  EXPECT_LE(outcomes[1].time_to_recover_slots, 150.0);
+  EXPECT_GT(outcomes[1].qoe_dip, 0.0);  // disconnection genuinely hurt
+}
+
+TEST(FaultInjection, PoseBlackoutDegradesOnlyTheSilentUser) {
+  // The ISSUE acceptance scenario: a 60-slot mid-run pose blackout for
+  // one user. Paired against the fault-free run of the same seed, the
+  // silent user must pay more QoE than any bystander, recover within a
+  // bounded window, and keep every outcome finite.
+  system::SystemSimConfig baseline = system::setup_one_router(6);
+  baseline.slots = 600;
+  system::SystemSimConfig faulted = baseline;
+  faulted.faults.add(
+      make_fault(faults::FaultType::kPoseBlackout, 2, 250, 60));
+  core::DvGreedyAllocator a1;
+  core::DvGreedyAllocator a2;
+  const auto base = system::SystemSim(baseline).run(a1, 0);
+  const auto with = system::SystemSim(faulted).run(a2, 0);
+  ASSERT_EQ(base.size(), with.size());
+  for (const auto& o : with) expect_sane(o);
+
+  const double victim_drop = base[2].avg_qoe - with[2].avg_qoe;
+  EXPECT_GT(victim_drop, 0.0);  // silence costs the silent user QoE
+  for (std::size_t u = 0; u < with.size(); ++u) {
+    if (u == 2) continue;
+    // Graceful degradation: no bystander loses as much as the victim
+    // (safe-mode pinning keeps the victim's stale estimates from
+    // starving the healthy users through the shared budget).
+    EXPECT_LT(base[u].avg_qoe - with[u].avg_qoe, victim_drop);
+  }
+  EXPECT_DOUBLE_EQ(with[2].fault_slots, 60.0);
+  EXPECT_GT(with[2].time_to_recover_slots, 0.0);
+  EXPECT_LE(with[2].time_to_recover_slots, 150.0);
+}
+
+TEST(FaultInjection, RouterOutageHitsEveryUserBehindIt) {
+  system::SystemSimConfig config = system::setup_one_router(4);
+  config.slots = 600;
+  // 90% capacity cliff for 80 slots: everyone shares the pain, nobody
+  // crashes, and the run still produces in-range metrics.
+  config.faults.add(
+      make_fault(faults::FaultType::kRouterOutage, 0, 200, 80, 0.1));
+  core::DvGreedyAllocator alloc;
+  const auto outcomes = system::SystemSim(config).run(alloc, 0);
+  for (const auto& o : outcomes) {
+    expect_sane(o);
+    EXPECT_DOUBLE_EQ(o.fault_slots, 80.0);
+    EXPECT_LE(o.time_to_recover_slots, 200.0);
+  }
+}
+
+TEST(FaultInjection, AckStallStarvesFeedbackNotDelivery) {
+  system::SystemSimConfig config = system::setup_one_router(4);
+  config.slots = 600;
+  config.faults.add(make_fault(faults::FaultType::kAckStall, 0, 150, 120));
+  core::DvGreedyAllocator alloc;
+  const auto outcomes = system::SystemSim(config).run(alloc, 0);
+  for (const auto& o : outcomes) expect_sane(o);
+  EXPECT_DOUBLE_EQ(outcomes[0].fault_slots, 120.0);
+  // Tiles still flow during the stall — the user keeps displaying
+  // frames, so the stall costs far fewer frames than its window length.
+  EXPECT_LT(outcomes[0].frames_dropped_in_fault, 120.0);
+}
+
+TEST(FaultInjection, CacheFlushIsASurvivableBlip) {
+  system::SystemSimConfig config = system::setup_one_router(4);
+  config.slots = 600;
+  config.faults.add(make_fault(faults::FaultType::kCacheFlush, 0, 300, 1));
+  core::DvGreedyAllocator alloc;
+  const auto outcomes = system::SystemSim(config).run(alloc, 0);
+  for (const auto& o : outcomes) {
+    expect_sane(o);
+    EXPECT_DOUBLE_EQ(o.fault_slots, 1.0);  // the flush touches everyone
+    EXPECT_LE(o.time_to_recover_slots, 100.0);
+  }
+}
+
+TEST(FaultInjection, GeneratedChaosScheduleSurvivesAllAllocators) {
+  faults::FaultScheduleConfig chaos;
+  chaos.users = 4;
+  chaos.routers = 1;
+  chaos.slots = 500;
+  chaos.intensity = 2.0;
+  chaos.seed = 7;
+  system::SystemSimConfig config = system::setup_one_router(4);
+  config.slots = 500;
+  config.faults = faults::generate_schedule(chaos);
+  ASSERT_FALSE(config.faults.empty());
+  core::DvGreedyAllocator dv;
+  core::FireflyAllocator firefly;
+  core::PavqAllocator pavq;
+  for (core::Allocator* alloc :
+       {static_cast<core::Allocator*>(&dv),
+        static_cast<core::Allocator*>(&firefly),
+        static_cast<core::Allocator*>(&pavq)}) {
+    for (const auto& o : system::SystemSim(config).run(*alloc, 0)) {
+      expect_sane(o);
+    }
   }
 }
 

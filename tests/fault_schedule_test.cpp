@@ -1,0 +1,230 @@
+#include "src/faults/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/faults/recovery.h"
+
+namespace cvr::faults {
+namespace {
+
+FaultEvent make_event(FaultType type, std::size_t target, std::size_t start,
+                      std::size_t duration, double severity = 0.0) {
+  FaultEvent e;
+  e.type = type;
+  e.target = target;
+  e.start_slot = start;
+  e.duration_slots = duration;
+  e.severity = severity;
+  return e;
+}
+
+TEST(FaultSchedule, EmptyScheduleAnswersHealthyEverywhere) {
+  const FaultSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  for (std::size_t slot : {0u, 1u, 500u, 100000u}) {
+    EXPECT_FALSE(schedule.user_disconnected(0, slot));
+    EXPECT_FALSE(schedule.pose_blackout(3, slot));
+    EXPECT_FALSE(schedule.ack_stalled(7, slot));
+    EXPECT_DOUBLE_EQ(schedule.router_capacity_multiplier(0, slot), 1.0);
+    EXPECT_FALSE(schedule.cache_flush_at(slot));
+    EXPECT_FALSE(schedule.any_fault_for_user(0, 0, slot));
+  }
+  EXPECT_EQ(schedule.horizon(), 0u);
+}
+
+TEST(FaultSchedule, WindowBoundsAreHalfOpen) {
+  FaultSchedule schedule;
+  schedule.add(make_event(FaultType::kUserDisconnect, 2, 10, 5));
+  EXPECT_FALSE(schedule.user_disconnected(2, 9));
+  EXPECT_TRUE(schedule.user_disconnected(2, 10));
+  EXPECT_TRUE(schedule.user_disconnected(2, 14));
+  EXPECT_FALSE(schedule.user_disconnected(2, 15));  // reconnect slot
+  EXPECT_FALSE(schedule.user_disconnected(1, 12));  // wrong user
+  EXPECT_EQ(schedule.horizon(), 15u);
+}
+
+TEST(FaultSchedule, QueriesAreTypeSpecific) {
+  FaultSchedule schedule;
+  schedule.add(make_event(FaultType::kPoseBlackout, 1, 5, 10));
+  schedule.add(make_event(FaultType::kAckStall, 1, 5, 10));
+  EXPECT_TRUE(schedule.pose_blackout(1, 7));
+  EXPECT_TRUE(schedule.ack_stalled(1, 7));
+  EXPECT_FALSE(schedule.user_disconnected(1, 7));
+}
+
+TEST(FaultSchedule, OverlappingOutagesMultiply) {
+  FaultSchedule schedule;
+  schedule.add(make_event(FaultType::kRouterOutage, 0, 0, 10, 0.5));
+  schedule.add(make_event(FaultType::kRouterOutage, 0, 5, 10, 0.2));
+  EXPECT_DOUBLE_EQ(schedule.router_capacity_multiplier(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.router_capacity_multiplier(0, 7), 0.1);
+  EXPECT_DOUBLE_EQ(schedule.router_capacity_multiplier(0, 12), 0.2);
+  EXPECT_DOUBLE_EQ(schedule.router_capacity_multiplier(1, 7), 1.0);
+}
+
+TEST(FaultSchedule, CacheFlushFiresOnlyAtItsStartSlot) {
+  FaultSchedule schedule;
+  schedule.add(make_event(FaultType::kCacheFlush, 0, 30, 8));
+  EXPECT_FALSE(schedule.cache_flush_at(29));
+  EXPECT_TRUE(schedule.cache_flush_at(30));
+  EXPECT_FALSE(schedule.cache_flush_at(31));  // instantaneous event
+  // ...but the accounting window spans the whole duration for everyone.
+  EXPECT_TRUE(schedule.any_fault_for_user(4, 1, 35));
+  EXPECT_FALSE(schedule.any_fault_for_user(4, 1, 38));
+}
+
+TEST(FaultSchedule, AnyFaultSeesRouterOutagesThroughTheUsersRouter) {
+  FaultSchedule schedule;
+  schedule.add(make_event(FaultType::kRouterOutage, 1, 10, 5, 0.0));
+  EXPECT_TRUE(schedule.any_fault_for_user(3, /*router=*/1, 12));
+  EXPECT_FALSE(schedule.any_fault_for_user(3, /*router=*/0, 12));
+}
+
+TEST(FaultSchedule, ValidatesEvents) {
+  FaultSchedule schedule;
+  EXPECT_THROW(schedule.add(make_event(FaultType::kPoseBlackout, 0, 0, 0)),
+               std::invalid_argument);  // zero duration
+  EXPECT_THROW(
+      schedule.add(make_event(FaultType::kRouterOutage, 0, 0, 5, 1.0)),
+      std::invalid_argument);  // severity must be < 1 (that's "no outage")
+  EXPECT_THROW(
+      schedule.add(make_event(FaultType::kRouterOutage, 0, 0, 5, -0.1)),
+      std::invalid_argument);
+  EXPECT_TRUE(schedule.empty());  // nothing was half-added
+}
+
+TEST(GenerateSchedule, SameConfigSameStream) {
+  FaultScheduleConfig config;
+  config.users = 6;
+  config.routers = 2;
+  config.seed = 99;
+  config.intensity = 2.0;
+  const FaultSchedule a = generate_schedule(config);
+  const FaultSchedule b = generate_schedule(config);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_GT(a.size(), 0u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].type, b.events()[i].type);
+    EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+    EXPECT_EQ(a.events()[i].start_slot, b.events()[i].start_slot);
+    EXPECT_EQ(a.events()[i].duration_slots, b.events()[i].duration_slots);
+    EXPECT_DOUBLE_EQ(a.events()[i].severity, b.events()[i].severity);
+  }
+}
+
+TEST(GenerateSchedule, SeedChangesStream) {
+  FaultScheduleConfig config;
+  config.intensity = 2.0;
+  config.seed = 1;
+  const FaultSchedule a = generate_schedule(config);
+  config.seed = 2;
+  const FaultSchedule b = generate_schedule(config);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.events()[i].start_slot != b.events()[i].start_slot ||
+              a.events()[i].target != b.events()[i].target;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GenerateSchedule, ZeroIntensityIsEmpty) {
+  FaultScheduleConfig config;
+  config.intensity = 0.0;
+  EXPECT_TRUE(generate_schedule(config).empty());
+}
+
+TEST(GenerateSchedule, IntensityScalesEventCount) {
+  FaultScheduleConfig low;
+  low.slots = 5000;
+  low.intensity = 0.5;
+  FaultScheduleConfig high = low;
+  high.intensity = 4.0;
+  EXPECT_GT(generate_schedule(high).size(), generate_schedule(low).size());
+}
+
+TEST(GenerateSchedule, EventsRespectTargetAndSlotRanges) {
+  FaultScheduleConfig config;
+  config.users = 5;
+  config.routers = 2;
+  config.slots = 600;
+  config.intensity = 3.0;
+  const FaultSchedule schedule = generate_schedule(config);
+  for (const FaultEvent& e : schedule.events()) {
+    EXPECT_LT(e.start_slot, config.slots);
+    EXPECT_GE(e.duration_slots, 1u);
+    switch (e.type) {
+      case FaultType::kRouterOutage:
+        EXPECT_LT(e.target, config.routers);
+        EXPECT_GE(e.severity, 0.0);
+        EXPECT_LT(e.severity, 1.0);
+        break;
+      case FaultType::kCacheFlush:
+        break;
+      default:
+        EXPECT_LT(e.target, config.users);
+    }
+  }
+}
+
+TEST(GenerateSchedule, RejectsBadConfigs) {
+  FaultScheduleConfig config;
+  config.users = 0;
+  EXPECT_THROW(generate_schedule(config), std::invalid_argument);
+  config = FaultScheduleConfig{};
+  config.intensity = -1.0;
+  EXPECT_THROW(generate_schedule(config), std::invalid_argument);
+  config = FaultScheduleConfig{};
+  config.mean_duration_slots = 0;
+  EXPECT_THROW(generate_schedule(config), std::invalid_argument);
+  config = FaultScheduleConfig{};
+  config.outage_depth = 1.5;
+  EXPECT_THROW(generate_schedule(config), std::invalid_argument);
+}
+
+TEST(RecoveryTracker, HealthyRunStaysAllZero) {
+  RecoveryTracker tracker;
+  for (int i = 0; i < 100; ++i) tracker.record_slot(false, true, 3.0, true);
+  tracker.finalize();
+  EXPECT_EQ(tracker.fault_slots(), 0u);
+  EXPECT_EQ(tracker.episodes(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.mean_time_to_recover_slots(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.quality_dip_depth(), 0.0);
+  EXPECT_EQ(tracker.frames_dropped_in_fault(), 0u);
+}
+
+TEST(RecoveryTracker, MeasuresRecoveryAfterFaultWindow) {
+  RecoveryTracker tracker;
+  for (int i = 0; i < 10; ++i) tracker.record_slot(false, true, 4.0, true);
+  // A 5-slot fault: nothing displayed, frames dropped.
+  for (int i = 0; i < 5; ++i) tracker.record_slot(true, false, 0.0, false);
+  // Two degraded post-fault slots, then the first correct view.
+  tracker.record_slot(false, false, 0.0, true);
+  tracker.record_slot(false, false, 0.0, true);
+  tracker.record_slot(false, true, 4.0, true);  // recovered (3rd slot after)
+  for (int i = 0; i < 10; ++i) tracker.record_slot(false, true, 4.0, true);
+  tracker.finalize();
+  EXPECT_EQ(tracker.fault_slots(), 5u);
+  EXPECT_EQ(tracker.frames_dropped_in_fault(), 5u);
+  ASSERT_EQ(tracker.episodes(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.mean_time_to_recover_slots(), 3.0);
+  EXPECT_DOUBLE_EQ(tracker.max_time_to_recover_slots(), 3.0);
+  EXPECT_GT(tracker.quality_dip_depth(), 0.0);
+}
+
+TEST(RecoveryTracker, CensorsRecoveryAtHorizon) {
+  RecoveryTracker tracker;
+  tracker.record_slot(false, true, 4.0, true);
+  for (int i = 0; i < 3; ++i) tracker.record_slot(true, false, 0.0, false);
+  // The horizon ends with the user still degraded: the open recovery
+  // window is counted (censored), not dropped.
+  tracker.record_slot(false, false, 0.0, false);
+  tracker.record_slot(false, false, 0.0, false);
+  tracker.finalize();
+  ASSERT_EQ(tracker.episodes(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.mean_time_to_recover_slots(), 2.0);
+}
+
+}  // namespace
+}  // namespace cvr::faults
