@@ -5,7 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "src/experiments/ensemble.h"
 #include "src/sim/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/flags.h"
 #include "src/util/stats.h"
 
 namespace cvr::bench {
@@ -43,6 +46,81 @@ inline void print_arm_bars(const cvr::sim::ArmResult& arm) {
 
 inline double improvement_pct(double ours, double baseline) {
   return 100.0 * (ours / baseline - 1.0);
+}
+
+/// The shared observability CLI surface of the figure benches
+/// (docs/observability.md): --telemetry off|counters|trace selects the
+/// collection mode, --trace-out <path> captures a Chrome trace (and
+/// implies trace mode), --perf-out overrides the default
+/// BENCH_<name>.json baseline path, --machine annotates the baseline
+/// with the capture environment. With everything at defaults the bench
+/// output — stdout and report files — is byte-identical to a binary
+/// without these flags.
+struct TelemetryOptions {
+  std::string mode_text = "off";
+  std::string trace_out;
+  std::string perf_out;
+  std::string machine;
+
+  void register_flags(cvr::FlagParser& flags) {
+    flags.add("telemetry", &mode_text,
+              "telemetry mode: off, counters, or trace");
+    flags.add("trace-out", &trace_out,
+              "write a chrome://tracing JSON here (implies --telemetry=trace)");
+    flags.add("perf-out", &perf_out,
+              "perf baseline JSON path (default BENCH_<bench>.json)");
+    flags.add("machine", &machine,
+              "capture-machine note recorded in the perf baseline");
+  }
+
+  /// The resolved mode; throws std::invalid_argument on a bad
+  /// --telemetry value (catch after parse() for a clean usage exit).
+  cvr::telemetry::Mode mode() const {
+    if (!trace_out.empty()) return cvr::telemetry::Mode::kTrace;
+    return cvr::telemetry::parse_mode(mode_text);
+  }
+
+  /// Copies the resolved telemetry settings into an ensemble spec.
+  void apply(cvr::experiments::EnsembleSpec& spec) const {
+    spec.telemetry = mode();
+    spec.trace_out = trace_out;
+  }
+
+  /// Writes the BENCH_<bench>.json baseline and announces the artifact
+  /// paths. No-op when telemetry was off (perf is empty), keeping the
+  /// default stdout byte-identical.
+  void write_baseline(const cvr::telemetry::PerfReport& perf,
+                      const std::string& bench) const {
+    if (perf.empty()) return;
+    const std::string path =
+        perf_out.empty() ? "BENCH_" + bench + ".json" : perf_out;
+    cvr::telemetry::write_perf_json(path, perf, bench, machine);
+    std::printf("\nperf baseline written: %s\n", path.c_str());
+    if (!trace_out.empty()) {
+      std::printf("chrome trace written: %s\n", trace_out.c_str());
+    }
+  }
+};
+
+/// Prints the per-phase latency block of a perf report (p50/p95/p99 in
+/// microseconds plus slots/sec), the human-readable view of the
+/// BENCH_<name>.json baseline.
+inline void print_perf(const cvr::telemetry::PerfReport& perf) {
+  if (perf.empty()) return;
+  std::printf("\nphase latencies (%s):\n",
+              cvr::telemetry::mode_name(perf.mode));
+  for (const auto& arm : perf.arms) {
+    std::printf("  %-16s %8.0f slots/s  alloc iters=%llu\n",
+                arm.algorithm.c_str(), arm.slots_per_sec,
+                static_cast<unsigned long long>(arm.alloc_iterations));
+    for (const auto& phase : arm.phases) {
+      std::printf("    %-14s n=%9llu  p50=%9.2f us  p95=%9.2f us  "
+                  "p99=%9.2f us\n",
+                  phase.phase.c_str(),
+                  static_cast<unsigned long long>(phase.count), phase.p50_us,
+                  phase.p95_us, phase.p99_us);
+    }
+  }
 }
 
 /// Prints the ensemble timing block: per-arm mean/total run wall-clock

@@ -10,6 +10,7 @@
 // ensemble speedup (see docs/running_benchmarks.md).
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "bench_util.h"
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
   flags.add("threads", &threads,
             "ensemble workers (0 = all hardware threads, 1 = serial)");
   flags.add("report", &report_prefix, "write CSV reports under this prefix");
+  bench::TelemetryOptions telemetry;
+  telemetry.register_flags(flags);
   if (!flags.parse(argc, argv)) {
     for (const auto& error : flags.errors()) {
       std::fprintf(stderr, "%s\n", error.c_str());
@@ -47,9 +50,16 @@ int main(int argc, char** argv) {
   spec.alpha = 0.02;
   spec.beta = 0.5;
   spec.threads = threads < 0 ? 0 : static_cast<std::size_t>(threads);
+  try {
+    telemetry.apply(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 
   const auto start = std::chrono::steady_clock::now();
-  const auto arms = experiments::run_ensemble(spec);
+  const auto run = experiments::run_ensemble_with_perf(spec);
+  const auto& arms = run.arms;
   const double elapsed_ms = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - start)
                                 .count();
@@ -71,10 +81,17 @@ int main(int argc, char** argv) {
       "close with a different quality/delay/variance mix, Firefly worst\n");
 
   bench::print_timing(arms, elapsed_ms, spec.threads);
+  bench::print_perf(run.perf);
+  telemetry.write_baseline(run.perf, "fig3");
 
   if (!report_prefix.empty()) {
     for (const auto& path : report::write_report(arms, report_prefix)) {
       std::printf("wrote %s\n", path.c_str());
+    }
+    if (!run.perf.arms.empty()) {
+      const std::string perf_path = report_prefix + "_perf.csv";
+      report::write_perf_csv(perf_path, run.perf);
+      std::printf("wrote %s\n", perf_path.c_str());
     }
   }
   return 0;

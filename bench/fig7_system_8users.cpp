@@ -11,6 +11,7 @@
 // (0 = all hardware threads); outcomes are bit-identical to serial.
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 
 #include "bench_util.h"
 #include "src/experiments/ensemble.h"
@@ -20,10 +21,12 @@ int main(int argc, char** argv) {
   using namespace cvr;
   bool full = false;
   std::int64_t threads = 1;
+  bench::TelemetryOptions telemetry;
   FlagParser flags;
   flags.add("full", &full, "paper-scale sweep (300 s per repeat)");
   flags.add("threads", &threads,
             "ensemble workers (0 = all hardware threads, 1 = serial)");
+  telemetry.register_flags(flags);
   if (!flags.parse(argc, argv)) {
     for (const auto& error : flags.errors()) {
       std::fprintf(stderr, "%s\n", error.c_str());
@@ -45,9 +48,16 @@ int main(int argc, char** argv) {
   spec.alpha = 0.1;
   spec.beta = 0.5;
   spec.threads = threads < 0 ? 0 : static_cast<std::size_t>(threads);
+  try {
+    telemetry.apply(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 
   const auto start = std::chrono::steady_clock::now();
-  const auto arms = experiments::run_ensemble(spec);
+  const auto run = experiments::run_ensemble_with_perf(spec);
+  const auto& arms = run.arms;
   const double elapsed_ms = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - start)
                                 .count();
@@ -66,5 +76,7 @@ int main(int argc, char** argv) {
               arms[0].mean_fps());
 
   bench::print_timing(arms, elapsed_ms, spec.threads);
+  bench::print_perf(run.perf);
+  telemetry.write_baseline(run.perf, "fig7");
   return 0;
 }

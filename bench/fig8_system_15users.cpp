@@ -10,6 +10,7 @@
 // (0 = all hardware threads); outcomes are bit-identical to serial.
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 
 #include "bench_util.h"
 #include "src/experiments/ensemble.h"
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
   flags.add("full", &full, "paper-scale sweep (300 s per repeat)");
   flags.add("threads", &threads,
             "ensemble workers (0 = all hardware threads, 1 = serial)");
+  bench::TelemetryOptions telemetry;
+  telemetry.register_flags(flags);
   if (!flags.parse(argc, argv)) {
     for (const auto& error : flags.errors()) {
       std::fprintf(stderr, "%s\n", error.c_str());
@@ -44,9 +47,16 @@ int main(int argc, char** argv) {
   spec.alpha = 0.1;
   spec.beta = 0.5;
   spec.threads = threads < 0 ? 0 : static_cast<std::size_t>(threads);
+  try {
+    telemetry.apply(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 
   const auto start = std::chrono::steady_clock::now();
-  const auto arms = experiments::run_ensemble(spec);
+  const auto run = experiments::run_ensemble_with_perf(spec);
+  const auto& arms = run.arms;
   const double elapsed_ms = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - start)
                                 .count();
@@ -67,5 +77,7 @@ int main(int argc, char** argv) {
       "variance (inaccurate throughput estimation); ours stays robust\n");
 
   bench::print_timing(arms, elapsed_ms, spec.threads);
+  bench::print_perf(run.perf);
+  telemetry.write_baseline(run.perf, "fig8");
   return 0;
 }

@@ -3,7 +3,18 @@
 // users on the server; these benches show the allocator is orders of
 // magnitude below that budget even at hundreds of users, and compare it
 // against the baselines and exact solvers.
+//
+// `--perf-out=PATH` additionally writes a machine-readable
+// BENCH_micro_allocator.json-style baseline (schema cvr-bench-perf-v1,
+// measured with telemetry::ScopedTimer over a fixed iteration count —
+// independent of google-benchmark's adaptive timing);
+// `--machine=NOTE` annotates it with the capture environment.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/content/rate_function.h"
 #include "src/core/dv_greedy.h"
@@ -11,6 +22,7 @@
 #include "src/core/fractional.h"
 #include "src/core/optimal.h"
 #include "src/core/pavq.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -97,6 +109,103 @@ void BM_FractionalBound(benchmark::State& state) {
 }
 BENCHMARK(BM_FractionalBound)->Arg(5)->Arg(30)->Arg(120);
 
+/// Times `allocator` over each user count with ScopedTimer into a fresh
+/// registry, and folds the percentiles into one perf-report arm whose
+/// "phases" are the user counts ("allocate_n<N>").
+telemetry::ArmPerf measure_arm(const std::string& name,
+                               core::Allocator& allocator,
+                               const std::vector<std::size_t>& sizes) {
+  constexpr std::size_t kIters = 200;
+  telemetry::MetricsRegistry registry;
+  telemetry::ArmPerf arm;
+  arm.algorithm = name;
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::size_t n : sizes) {
+    const SlotProblem problem = make_problem(n);
+    const auto id =
+        registry.histogram("allocate_n" + std::to_string(n) + "_us",
+                           telemetry::default_duration_edges_us());
+    allocator.reset();
+    for (std::size_t i = 0; i < kIters; ++i) {
+      telemetry::ScopedTimer timer(&registry, id);
+      benchmark::DoNotOptimize(allocator.allocate(problem));
+    }
+    arm.slots += kIters;
+  }
+  arm.wall_ms_total = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  if (arm.wall_ms_total > 0.0) {
+    arm.slots_per_sec =
+        static_cast<double>(arm.slots) / (arm.wall_ms_total / 1000.0);
+  }
+  arm.snapshot = registry.snapshot();
+  for (const std::size_t n : sizes) {
+    const auto it = arm.snapshot.histograms.find("allocate_n" +
+                                                 std::to_string(n) + "_us");
+    if (it == arm.snapshot.histograms.end()) continue;
+    telemetry::PhasePerf perf;
+    perf.phase = it->first.substr(0, it->first.size() - 3);  // drop "_us"
+    perf.count = it->second.count;
+    perf.p50_us = it->second.quantile(0.50);
+    perf.p95_us = it->second.quantile(0.95);
+    perf.p99_us = it->second.quantile(0.99);
+    perf.mean_us = it->second.mean();
+    perf.total_ms = it->second.sum / 1000.0;
+    arm.phases.push_back(std::move(perf));
+  }
+  return arm;
+}
+
+void write_perf_baseline(const std::string& path, const std::string& machine) {
+  telemetry::PerfReport report;
+  report.mode = telemetry::Mode::kCounters;
+  const std::vector<std::size_t> sizes = {5, 15, 30, 120};
+  {
+    DvGreedyAllocator alloc;
+    report.arms.push_back(measure_arm("dv", alloc, sizes));
+  }
+  {
+    DvGreedyAllocator alloc(DvGreedyAllocator::Mode::kCombined,
+                            DvGreedyAllocator::Strategy::kHeap);
+    report.arms.push_back(measure_arm("dv_heap", alloc, sizes));
+  }
+  {
+    PavqAllocator alloc;
+    report.arms.push_back(measure_arm("pavq", alloc, sizes));
+  }
+  {
+    FireflyAllocator alloc;
+    report.arms.push_back(measure_arm("firefly", alloc, sizes));
+  }
+  telemetry::write_perf_json(path, report, "micro_allocator", machine);
+  std::printf("perf baseline written: %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string perf_out;
+  std::string machine;
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--perf-out=", 0) == 0) {
+      perf_out = arg.substr(11);
+    } else if (arg.rfind("--machine=", 0) == 0) {
+      machine = arg.substr(10);
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!perf_out.empty()) write_perf_baseline(perf_out, machine);
+  return 0;
+}

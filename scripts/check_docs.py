@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Docs honesty checker (CI: the "docs" step).
+
+Two invariants keep the documentation tree from drifting away from the
+code:
+
+1. Subsystem coverage — every `src/<subsystem>/` directory must be
+   mentioned in docs/architecture.md (the module map is the canonical
+   "what lives where" index; a new subsystem that never lands there is
+   invisible to readers).
+2. Link integrity — every intra-repository markdown link, in every
+   tracked *.md file, must resolve to an existing file (anchors are
+   stripped; external http(s)/mailto links are ignored).
+
+Exit status 0 when both hold, 1 otherwise, with one line per violation
+so the CI log names the stale subsystem or dangling link directly.
+
+Usage: python3 scripts/check_docs.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+
+# Markdown links: [text](target). Images ![alt](target) share the same
+# tail and are checked too. Reference-style links are rare enough here
+# that inline links are the contract.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# Directories whose markdown is not part of the documentation contract.
+_SKIP_DIRS = {".git", "build", "third_party", ".github"}
+
+
+def repo_markdown_files(root: str) -> list[str]:
+    files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in _SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def subsystems(root: str) -> list[str]:
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        return []
+    return sorted(
+        name
+        for name in os.listdir(src)
+        if os.path.isdir(os.path.join(src, name))
+    )
+
+
+def check_subsystem_coverage(root: str) -> list[str]:
+    """Every src/<subsystem>/ must appear in docs/architecture.md."""
+    architecture = os.path.join(root, "docs", "architecture.md")
+    if not os.path.isfile(architecture):
+        return ["docs/architecture.md is missing (subsystem map lives there)"]
+    with open(architecture, encoding="utf-8") as f:
+        text = f.read()
+    errors = []
+    for subsystem in subsystems(root):
+        # Accept "src/<name>/" or "`<name>/`" style mentions.
+        if f"src/{subsystem}" not in text and f"`{subsystem}/`" not in text:
+            errors.append(
+                f"docs/architecture.md never mentions src/{subsystem}/ "
+                f"(add it to the module map)"
+            )
+    return errors
+
+
+def check_markdown_links(root: str) -> list[str]:
+    """Every intra-repo markdown link must resolve to an existing file."""
+    errors = []
+    for md_path in repo_markdown_files(root):
+        with open(md_path, encoding="utf-8") as f:
+            text = f.read()
+        base = os.path.dirname(md_path)
+        rel_md = os.path.relpath(md_path, root)
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            if target.startswith("/"):
+                resolved = os.path.join(root, target.lstrip("/"))
+            else:
+                resolved = os.path.join(base, target)
+            if not os.path.exists(resolved):
+                errors.append(f"{rel_md}: dangling link -> {match.group(1)}")
+    return errors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = check_subsystem_coverage(root) + check_markdown_links(root)
+    for error in errors:
+        print(f"check_docs: {error}", file=sys.stderr)
+    if errors:
+        print(f"check_docs: FAILED ({len(errors)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print("check_docs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

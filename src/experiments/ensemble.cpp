@@ -52,7 +52,44 @@ void validate(const EnsembleSpec& spec) {
         "trace simulator has no churn/blackout machinery; got " +
         std::to_string(spec.faults.size()) + " events on kTrace)");
   }
+  if (!spec.trace_out.empty() &&
+      spec.telemetry != telemetry::Mode::kTrace) {
+    throw std::invalid_argument(
+        "EnsembleSpec: trace_out ('" + spec.trace_out +
+        "') requires telemetry == kTrace (got mode '" +
+        telemetry::mode_name(spec.telemetry) + "')");
+  }
 }
+
+/// Per-arm telemetry sinks. One MetricsRegistry per arm (its lock-free
+/// shards absorb every repeat, on any worker thread); one TraceBuffer
+/// per arm, fed only by repeat 0 so each buffer keeps a single writer.
+struct TelemetrySinks {
+  telemetry::Mode mode = telemetry::Mode::kOff;
+  std::vector<std::unique_ptr<telemetry::MetricsRegistry>> registries;
+  std::vector<std::unique_ptr<telemetry::TraceBuffer>> traces;
+
+  explicit TelemetrySinks(const EnsembleSpec& spec) : mode(spec.telemetry) {
+    if (mode == telemetry::Mode::kOff) return;
+    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+      registries.push_back(std::make_unique<telemetry::MetricsRegistry>());
+      if (mode == telemetry::Mode::kTrace) {
+        traces.push_back(std::make_unique<telemetry::TraceBuffer>());
+      }
+    }
+  }
+
+  /// The trace sink for cell (arm, repeat): repeat 0 only.
+  telemetry::TraceBuffer* trace_for(std::size_t arm,
+                                    std::size_t repeat) const {
+    if (mode != telemetry::Mode::kTrace || repeat != 0) return nullptr;
+    return traces[arm].get();
+  }
+
+  telemetry::MetricsRegistry* registry_for(std::size_t arm) const {
+    return mode == telemetry::Mode::kOff ? nullptr : registries[arm].get();
+  }
+};
 
 struct CellOutput {
   std::vector<sim::UserOutcome> outcomes;
@@ -60,11 +97,11 @@ struct CellOutput {
 };
 
 template <typename RunRepeat>
-CellOutput timed_cell(core::Allocator& allocator, std::size_t repeat,
-                      const RunRepeat& run_repeat) {
+CellOutput timed_cell(core::Allocator& allocator, std::size_t arm,
+                      std::size_t repeat, const RunRepeat& run_repeat) {
   const auto start = std::chrono::steady_clock::now();
   CellOutput cell;
-  cell.outcomes = run_repeat(allocator, repeat);
+  cell.outcomes = run_repeat(allocator, arm, repeat);
   cell.wall_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - start)
                      .count();
@@ -73,10 +110,11 @@ CellOutput timed_cell(core::Allocator& allocator, std::size_t repeat,
 
 /// Executes the (algorithm, repeat) cell grid and reduces it into one
 /// ArmResult per algorithm, in spec order. `run_repeat` is the platform
-/// binding: (allocator, repeat) -> per-user outcomes, deterministic in
-/// (spec.seed, repeat) alone — see the execution-model note in
-/// ensemble.h for why that makes the reduction order the only thing
-/// parallelism has to preserve.
+/// binding: (allocator, arm, repeat) -> per-user outcomes, deterministic
+/// in (spec.seed, repeat) alone — the arm index only routes telemetry to
+/// the arm's sinks, never into simulation input — see the
+/// execution-model note in ensemble.h for why that makes the reduction
+/// order the only thing parallelism has to preserve.
 template <typename RunRepeat>
 std::vector<sim::ArmResult> run_cells(const EnsembleSpec& spec,
                                       core::AllocatorContext context,
@@ -113,7 +151,7 @@ std::vector<sim::ArmResult> run_cells(const EnsembleSpec& spec,
     // executed in spec order on the calling thread.
     for (std::size_t a = 0; a < arms.size(); ++a) {
       for (std::size_t r = 0; r < spec.repeats; ++r) {
-        reduce(a, timed_cell(*allocators[a], r, run_repeat));
+        reduce(a, timed_cell(*allocators[a], a, r, run_repeat));
       }
     }
     return arms;
@@ -130,7 +168,7 @@ std::vector<sim::ArmResult> run_cells(const EnsembleSpec& spec,
     for (std::size_t r = 0; r < spec.repeats; ++r) {
       cells.push_back(pool.submit([&spec, &run_repeat, context, a, r] {
         const auto allocator = core::make_allocator(spec.algorithms[a], context);
-        return timed_cell(*allocator, r, run_repeat);
+        return timed_cell(*allocator, a, r, run_repeat);
       }));
     }
   }
@@ -144,10 +182,11 @@ std::vector<sim::ArmResult> run_cells(const EnsembleSpec& spec,
 
 }  // namespace
 
-std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec) {
+EnsembleRun run_ensemble_with_perf(const EnsembleSpec& spec) {
   validate(spec);
+  const TelemetrySinks sinks(spec);
 
-  std::vector<sim::ArmResult> arms;
+  EnsembleRun run;
   if (spec.platform == EnsembleSpec::Platform::kTrace) {
     trace::TraceRepositoryConfig repo_config;
     const double seconds =
@@ -162,10 +201,17 @@ std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec) {
     config.params =
         core::QoeParams{spec.alpha < 0 ? 0.02 : spec.alpha, spec.beta};
     const sim::TraceSimulation simulation(config, repo);
-    arms = run_cells(spec, core::AllocatorContext::kTraceSimulation,
-                     [&simulation](core::Allocator& allocator, std::size_t r) {
-                       return simulation.run(allocator, r);
-                     });
+    run.arms = run_cells(
+        spec, core::AllocatorContext::kTraceSimulation,
+        [&simulation, &sinks](core::Allocator& allocator, std::size_t a,
+                              std::size_t r) {
+          if (sinks.mode == telemetry::Mode::kOff) {
+            return simulation.run(allocator, r);
+          }
+          telemetry::Collector collector(sinks.mode, sinks.registry_for(a),
+                                         sinks.trace_for(a, r));
+          return simulation.run(allocator, r, nullptr, &collector);
+        });
   } else {
     system::SystemSimConfig config =
         spec.routers == 2 ? system::setup_two_routers(spec.users)
@@ -176,16 +222,52 @@ std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec) {
         core::QoeParams{spec.alpha < 0 ? 0.1 : spec.alpha, spec.beta};
     config.faults = spec.faults;
     const system::SystemSim simulation(config);
-    arms = run_cells(spec, core::AllocatorContext::kSystem,
-                     [&simulation](core::Allocator& allocator, std::size_t r) {
-                       return simulation.run(allocator, r);
-                     });
+    run.arms = run_cells(
+        spec, core::AllocatorContext::kSystem,
+        [&simulation, &sinks](core::Allocator& allocator, std::size_t a,
+                              std::size_t r) {
+          if (sinks.mode == telemetry::Mode::kOff) {
+            return simulation.run(allocator, r);
+          }
+          telemetry::Collector collector(sinks.mode, sinks.registry_for(a),
+                                         sinks.trace_for(a, r));
+          return simulation.run(allocator, r, nullptr, &collector);
+        });
+  }
+
+  if (sinks.mode != telemetry::Mode::kOff) {
+    run.perf.mode = sinks.mode;
+    for (std::size_t a = 0; a < run.arms.size(); ++a) {
+      double wall_ms = 0.0;
+      for (const double ms : run.arms[a].run_wall_ms) wall_ms += ms;
+      run.perf.arms.push_back(telemetry::summarize_arm(
+          run.arms[a].algorithm, sinks.registries[a]->snapshot(), wall_ms));
+    }
+  }
+
+  if (sinks.mode == telemetry::Mode::kTrace && !spec.trace_out.empty()) {
+    telemetry::TraceBuffer merged;
+    const std::uint32_t pids_per_arm =
+        static_cast<std::uint32_t>(spec.users) + 1;
+    for (std::size_t a = 0; a < run.arms.size(); ++a) {
+      merged.append(*sinks.traces[a],
+                    static_cast<std::uint32_t>(a) * pids_per_arm,
+                    run.arms[a].algorithm);
+    }
+    merged.write(spec.trace_out);
   }
 
   if (!spec.report_prefix.empty()) {
-    report::write_report(arms, spec.report_prefix);
+    report::write_report(run.arms, spec.report_prefix);
+    if (!run.perf.empty()) {
+      report::write_perf_csv(spec.report_prefix + "_perf.csv", run.perf);
+    }
   }
-  return arms;
+  return run;
+}
+
+std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec) {
+  return run_ensemble_with_perf(spec).arms;
 }
 
 }  // namespace cvr::experiments

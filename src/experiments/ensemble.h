@@ -29,6 +29,7 @@
 #include "src/sim/metrics.h"
 #include "src/sim/simulation.h"
 #include "src/system/system_sim.h"
+#include "src/telemetry/telemetry.h"
 
 namespace cvr::experiments {
 
@@ -38,12 +39,17 @@ struct EnsembleSpec {
     kSystem,  ///< Sections V-VI emulation (estimates + physics).
   };
 
+  /// Which evaluation platform runs the cells.
   Platform platform = Platform::kTrace;
+  /// Concurrent users per repeat (the N of the slot problem).
   std::size_t users = 5;
+  /// Slots per repeat (1980 = 30 s at 66 FPS).
   std::size_t slots = 1980;
+  /// Independent repeats per algorithm; outcomes pool run-major.
   std::size_t repeats = 5;
   /// Registry names ("dv", "pavq", ...); see core::allocator_names().
   std::vector<std::string> algorithms = {"dv", "pavq", "firefly"};
+  /// Master seed; each cell derives its stream from (seed, repeat) only.
   std::uint64_t seed = 2022;
   /// QoE weights; negative alpha means the platform default
   /// (0.02 trace / 0.1 system).
@@ -70,6 +76,18 @@ struct EnsembleSpec {
   /// to a fault-free run. Rejected (throws) on kTrace, which has no
   /// churn/blackout machinery to honour it.
   faults::FaultSchedule faults;
+  /// Observability mode (docs/observability.md): kOff (default) leaves
+  /// the hot path untouched and the outputs byte-identical to a build
+  /// without the subsystem; kCounters collects per-arm counters and
+  /// phase-duration histograms; kTrace additionally captures a Chrome
+  /// trace of repeat 0 of every arm. Outcomes are bit-identical across
+  /// all three modes — telemetry is measurement metadata, never input.
+  telemetry::Mode telemetry = telemetry::Mode::kOff;
+  /// Optional Chrome trace output path (chrome://tracing / Perfetto
+  /// JSON). Arms appear as process groups "<algorithm>/server" and
+  /// "<algorithm>/user k". Requires telemetry == kTrace (else the spec
+  /// is rejected); empty = no trace file.
+  std::string trace_out;
 };
 
 /// Runs the ensemble and returns one ArmResult per algorithm, in spec
@@ -83,7 +101,9 @@ struct EnsembleSpec {
 ///   * routers is neither 1 nor 2 (checked on both platforms even
 ///     though only kSystem consumes it, so a bad spec fails fast);
 ///   * faults is non-empty on Platform::kTrace (fault injection is a
-///     system-emulation feature).
+///     system-emulation feature);
+///   * trace_out is non-empty while telemetry != kTrace (a trace file
+///     needs trace capture on).
 /// Everything else is accepted as-is: alpha/beta are not range-checked
 /// (negative alpha selects the platform default; any beta is a valid
 /// variance weight), threads has no invalid values (see the knob
@@ -91,5 +111,25 @@ struct EnsembleSpec {
 /// from deeper layers (e.g. an unwritable report path) propagate
 /// unchanged.
 std::vector<sim::ArmResult> run_ensemble(const EnsembleSpec& spec);
+
+/// An ensemble's results plus its telemetry summary.
+struct EnsembleRun {
+  /// One ArmResult per algorithm, spec order — exactly run_ensemble()'s
+  /// return value (bit-identical regardless of telemetry mode).
+  std::vector<sim::ArmResult> arms;
+  /// Per-arm perf summary; empty() when spec.telemetry == kOff.
+  telemetry::PerfReport perf;
+};
+
+/// run_ensemble() plus telemetry: when spec.telemetry != kOff, each arm
+/// collects into its own MetricsRegistry (merged across repeats and
+/// worker threads), summarized into EnsembleRun::perf; with a non-empty
+/// report_prefix the summary is also written as
+/// "<prefix>_perf.csv" (report::write_perf_csv). When spec.telemetry ==
+/// kTrace and trace_out is non-empty, repeat 0 of every arm is captured
+/// and the merged Chrome trace written to trace_out (arm a's processes
+/// get pid offset a * (users + 1) and an "<algorithm>/" name prefix).
+/// Same validation contract as run_ensemble().
+EnsembleRun run_ensemble_with_perf(const EnsembleSpec& spec);
 
 }  // namespace cvr::experiments

@@ -51,15 +51,25 @@ enum class FaultType {
 /// (kCacheFlush). The event is active on slots
 /// [start_slot, start_slot + duration_slots).
 struct FaultEvent {
+  /// Which failure this event injects; selects how `target` and
+  /// `severity` are interpreted (see FaultType).
   FaultType type = FaultType::kPoseBlackout;
+  /// User index for user-targeted types, router index for
+  /// kRouterOutage, ignored for kCacheFlush.
   std::size_t target = 0;
+  /// First slot (inclusive) on which the fault is active.
   std::size_t start_slot = 0;
+  /// Window length in slots; must be >= 1 (enforced by
+  /// FaultSchedule::add). For kCacheFlush the flush itself fires only
+  /// at start_slot — the duration just widens recovery accounting.
   std::size_t duration_slots = 1;
   /// kRouterOutage only: capacity multiplier during the window, in
   /// [0, 1). Ignored by the other types.
   double severity = 0.0;
 
+  /// One past the last active slot.
   std::size_t end_slot() const { return start_slot + duration_slots; }
+  /// True iff `slot` falls in [start_slot, end_slot()).
   bool active_at(std::size_t slot) const {
     return slot >= start_slot && slot < end_slot();
   }
@@ -110,10 +120,12 @@ class FaultSchedule {
 /// per-type rates are expected events per 1000 slots per target at
 /// intensity 1.
 struct FaultScheduleConfig {
-  std::size_t users = 8;
-  std::size_t routers = 1;
-  std::size_t slots = 1980;
-  std::uint64_t seed = 2022;
+  std::size_t users = 8;     ///< Users to draw user-targeted events for.
+  std::size_t routers = 1;   ///< Routers to draw outages for.
+  std::size_t slots = 1980;  ///< Horizon; events start in [0, slots).
+  std::uint64_t seed = 2022; ///< RNG seed; same seed => same schedule.
+  /// Global event-count multiplier: expected counts scale linearly and
+  /// 0 produces an empty (strictly inert) schedule.
   double intensity = 1.0;
   double churn_rate = 0.4;          ///< kUserDisconnect, per user.
   double pose_blackout_rate = 0.4;  ///< kPoseBlackout, per user.

@@ -1,5 +1,6 @@
 #include "src/report/report.h"
 
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -128,6 +129,33 @@ std::vector<std::string> write_report(const std::vector<sim::ArmResult>& arms,
     written.push_back(path);
   }
   return written;
+}
+
+void write_perf_csv(const std::string& path,
+                    const telemetry::PerfReport& report) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("report: cannot open '" + path +
+                             "' for writing");
+  }
+  file << "arm,algorithm,slots,wall_ms_total,slots_per_sec,"
+          "alloc_invocations,alloc_iterations,phase,count,p50_us,p95_us,"
+          "p99_us,mean_us,total_ms\n";
+  file.precision(6);
+  for (std::size_t a = 0; a < report.arms.size(); ++a) {
+    const telemetry::ArmPerf& arm = report.arms[a];
+    for (const telemetry::PhasePerf& phase : arm.phases) {
+      file << a << ',' << arm.algorithm << ',' << arm.slots << ','
+           << arm.wall_ms_total << ',' << arm.slots_per_sec << ','
+           << arm.alloc_invocations << ',' << arm.alloc_iterations << ','
+           << phase.phase << ',' << phase.count << ',' << phase.p50_us << ','
+           << phase.p95_us << ',' << phase.p99_us << ',' << phase.mean_us
+           << ',' << phase.total_ms << '\n';
+    }
+  }
+  if (!file) {
+    throw std::runtime_error("report: write to '" + path + "' failed");
+  }
 }
 
 }  // namespace cvr::report

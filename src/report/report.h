@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/sim/metrics.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/csv.h"
 
 namespace cvr::report {
@@ -52,5 +53,14 @@ std::string summary_markdown(const std::vector<sim::ArmResult>& arms);
 /// the written paths.
 std::vector<std::string> write_report(const std::vector<sim::ArmResult>& arms,
                                       const std::string& prefix);
+
+/// Writes a telemetry PerfReport as flat CSV, one row per (arm, phase):
+/// arm,algorithm,slots,wall_ms_total,slots_per_sec,alloc_invocations,
+/// alloc_iterations,phase,count,p50_us,p95_us,p99_us,mean_us,total_ms.
+/// Arm-level columns repeat on every row of the arm so the file stays a
+/// single flat table (CsvTable is numeric-only, hence the bespoke
+/// writer). Throws std::runtime_error on I/O failure.
+void write_perf_csv(const std::string& path,
+                    const telemetry::PerfReport& report);
 
 }  // namespace cvr::report

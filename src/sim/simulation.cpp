@@ -39,9 +39,18 @@ TraceSimulation::TraceSimulation(TraceSimConfig config,
 
 std::vector<UserOutcome> TraceSimulation::run(
     core::Allocator& allocator, std::size_t run,
-    std::vector<TraceSlotRecord>* log) const {
+    std::vector<TraceSlotRecord>* log,
+    telemetry::Collector* telemetry) const {
   const std::size_t n_users = config_.users;
   allocator.reset();
+  if (telemetry != nullptr && !telemetry->counting()) telemetry = nullptr;
+  if (telemetry != nullptr && telemetry->tracing()) {
+    telemetry->label_process(telemetry::Collector::kServerPid, "server");
+    for (std::size_t u = 0; u < n_users; ++u) {
+      telemetry->label_process(telemetry::Collector::user_pid(u),
+                               "user " + std::to_string(u));
+    }
+  }
 
   struct UserState {
     motion::MotionTrace trace;
@@ -80,80 +89,113 @@ std::vector<UserOutcome> TraceSimulation::run(
       config_.server_mbps_per_user * static_cast<double>(n_users);
 
   for (std::size_t t = 0; t < config_.slots; ++t) {
+    const std::int64_t slot = static_cast<std::int64_t>(t);
+    telemetry::PhaseSpan slot_span(telemetry, telemetry::Phase::kSlot,
+                                   telemetry::Collector::kServerPid, slot);
     core::SlotProblem problem;
     problem.params = config_.params;
     problem.server_bandwidth = server_bandwidth;
     problem.users.reserve(n_users);
 
     std::vector<bool> hit(n_users, false);
-    for (std::size_t u = 0; u < n_users; ++u) {
-      UserState& user = users[u];
-      const motion::Pose& actual = user.trace[t];
-      // The server only has poses up to t-1; before the predictor is
-      // primed, delivering for the last observed pose is the system's
-      // cold-start behaviour (first slot: the pose uploaded on session
-      // join, which we model as a hit).
-      const motion::Pose predicted =
-          user.predictor->observations() > 0 ? user.predictor->predict(1) : actual;
-      motion::FovSpec user_fov = config_.fov;
-      if (config_.adaptive_margin) {
-        user_fov.margin_deg = user.margin.margin_deg();
+    {
+      telemetry::PhaseSpan build_span(telemetry,
+                                      telemetry::Phase::kProblemBuild,
+                                      telemetry::Collector::kServerPid, slot);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        UserState& user = users[u];
+        const motion::Pose& actual = user.trace[t];
+        // The server only has poses up to t-1; before the predictor is
+        // primed, delivering for the last observed pose is the system's
+        // cold-start behaviour (first slot: the pose uploaded on session
+        // join, which we model as a hit).
+        motion::Pose predicted;
+        {
+          telemetry::PhaseSpan predict_span(
+              telemetry, telemetry::Phase::kPredict,
+              telemetry::Collector::user_pid(u), slot);
+          predicted = user.predictor->observations() > 0
+                          ? user.predictor->predict(1)
+                          : actual;
+        }
+        motion::FovSpec user_fov = config_.fov;
+        if (config_.adaptive_margin) {
+          user_fov.margin_deg = user.margin.margin_deg();
+        }
+        hit[u] = motion::covers(user_fov, predicted, actual);
+
+        // The delivered portion's size follows the margin: scale the rate
+        // function by the panorama fraction relative to the reference
+        // margin (a no-op when margins match the reference).
+        motion::FovSpec reference_fov = config_.fov;
+        reference_fov.margin_deg = config_.reference_margin_deg;
+        const double margin_scale =
+            motion::delivered_panorama_fraction(user_fov) /
+            motion::delivered_panorama_fraction(reference_fov);
+
+        const double b_n = user.bandwidth.bandwidth_for_slot(t);
+        const content::ContentDb& scene = scenes_[u % scenes_.size()];
+        const content::GridCell cell =
+            clamped_cell(scene, predicted.x, predicted.y);
+        const content::CrfRateFunction base_f = scene.frame_rate_function(cell);
+        const content::CrfRateFunction f(base_f.base_mbps(), base_f.growth(),
+                                         base_f.scale() * margin_scale);
+        problem.users.push_back(core::UserSlotContext::from_rate_function(
+            f, b_n, user.accuracy.estimate(), user.qoe.mean_viewed_quality(),
+            static_cast<double>(t + 1)));
       }
-      hit[u] = motion::covers(user_fov, predicted, actual);
-
-      // The delivered portion's size follows the margin: scale the rate
-      // function by the panorama fraction relative to the reference
-      // margin (a no-op when margins match the reference).
-      motion::FovSpec reference_fov = config_.fov;
-      reference_fov.margin_deg = config_.reference_margin_deg;
-      const double margin_scale =
-          motion::delivered_panorama_fraction(user_fov) /
-          motion::delivered_panorama_fraction(reference_fov);
-
-      const double b_n = user.bandwidth.bandwidth_for_slot(t);
-      const content::ContentDb& scene = scenes_[u % scenes_.size()];
-      const content::GridCell cell =
-          clamped_cell(scene, predicted.x, predicted.y);
-      const content::CrfRateFunction base_f = scene.frame_rate_function(cell);
-      const content::CrfRateFunction f(base_f.base_mbps(), base_f.growth(),
-                                       base_f.scale() * margin_scale);
-      problem.users.push_back(core::UserSlotContext::from_rate_function(
-          f, b_n, user.accuracy.estimate(), user.qoe.mean_viewed_quality(),
-          static_cast<double>(t + 1)));
     }
 
-    const core::Allocation allocation = allocator.allocate(problem);
+    core::Allocation allocation;
+    {
+      telemetry::PhaseSpan solve_span(telemetry, telemetry::Phase::kAllocSolve,
+                                      telemetry::Collector::kServerPid, slot);
+      allocation = allocator.allocate(problem);
+    }
     if (allocation.levels.size() != n_users) {
       throw std::logic_error("allocator returned wrong level count");
     }
-
-    for (std::size_t u = 0; u < n_users; ++u) {
-      UserState& user = users[u];
-      const core::QualityLevel q = allocation.levels[u];
-      const double delay =
-          problem.users[u].delay[static_cast<std::size_t>(q - 1)];
-      if (log != nullptr) {
-        TraceSlotRecord record;
-        record.slot = t;
-        record.user = u;
-        record.level = q;
-        record.bandwidth_mbps = problem.users[u].user_bandwidth;
-        record.rate_mbps =
-            problem.users[u].rate[static_cast<std::size_t>(q - 1)];
-        record.delay_ms = delay;
-        record.hit = hit[u];
-        record.delta_estimate = problem.users[u].delta;
-        record.qbar = problem.users[u].qbar;
-        log->push_back(record);
-      }
-      user.qoe.record(q, hit[u], delay);
-      user.accuracy.record(hit[u]);
-      if (config_.adaptive_margin) {
-        user.margin.update(user.accuracy.estimate());
-      }
-      if (hit[u]) ++user.hits;
-      user.predictor->observe(t, user.trace[t]);
+    if (telemetry != nullptr) {
+      telemetry->count_allocation(allocation.levels);
     }
+
+    {
+      telemetry::PhaseSpan realize_span(telemetry, telemetry::Phase::kRealize,
+                                        telemetry::Collector::kServerPid, slot);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        UserState& user = users[u];
+        const core::QualityLevel q = allocation.levels[u];
+        const double delay =
+            problem.users[u].delay[static_cast<std::size_t>(q - 1)];
+        if (log != nullptr) {
+          TraceSlotRecord record;
+          record.slot = t;
+          record.user = u;
+          record.level = q;
+          record.bandwidth_mbps = problem.users[u].user_bandwidth;
+          record.rate_mbps =
+              problem.users[u].rate[static_cast<std::size_t>(q - 1)];
+          record.delay_ms = delay;
+          record.hit = hit[u];
+          record.delta_estimate = problem.users[u].delta;
+          record.qbar = problem.users[u].qbar;
+          log->push_back(record);
+        }
+        user.qoe.record(q, hit[u], delay);
+        user.accuracy.record(hit[u]);
+        if (config_.adaptive_margin) {
+          user.margin.update(user.accuracy.estimate());
+        }
+        if (hit[u]) {
+          ++user.hits;
+          if (telemetry != nullptr) {
+            telemetry->count(telemetry::Counter::kCoverageHits);
+          }
+        }
+        user.predictor->observe(t, user.trace[t]);
+      }
+    }
+    if (telemetry != nullptr) telemetry->count(telemetry::Counter::kSlots);
   }
 
   std::vector<UserOutcome> outcomes;

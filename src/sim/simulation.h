@@ -29,6 +29,7 @@
 #include "src/motion/motion_generator.h"
 #include "src/motion/predictor.h"
 #include "src/sim/metrics.h"
+#include "src/telemetry/telemetry.h"
 #include "src/trace/trace_repository.h"
 
 namespace cvr::sim {
@@ -82,9 +83,13 @@ class TraceSimulation {
 
   /// Runs one allocator over run index `run` (fresh allocator state);
   /// returns one outcome per user. When `log` is non-null, appends one
-  /// TraceSlotRecord per (slot, user).
+  /// TraceSlotRecord per (slot, user). When `telemetry` is non-null (and
+  /// not kOff), per-slot phase timings and counters are recorded —
+  /// measurement metadata only, never part of the outcome: results are
+  /// bit-identical for every telemetry mode (docs/observability.md).
   std::vector<UserOutcome> run(core::Allocator& allocator, std::size_t run,
-                               std::vector<TraceSlotRecord>* log = nullptr)
+                               std::vector<TraceSlotRecord>* log = nullptr,
+                               telemetry::Collector* telemetry = nullptr)
       const;
 
   /// Runs several allocators over `runs` independent runs each; all arms

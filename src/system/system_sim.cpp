@@ -46,12 +46,20 @@ SystemSim::SystemSim(SystemSimConfig config) : config_(std::move(config)) {
   }
 }
 
-std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
-                                             std::size_t repeat,
-                                             Timeline* timeline) const {
+std::vector<sim::UserOutcome> SystemSim::run(
+    core::Allocator& allocator, std::size_t repeat, Timeline* timeline,
+    telemetry::Collector* telemetry) const {
   const std::size_t n_users = config_.users;
   const std::size_t n_routers = config_.routers;
   allocator.reset();
+  if (telemetry != nullptr && !telemetry->counting()) telemetry = nullptr;
+  if (telemetry != nullptr && telemetry->tracing()) {
+    telemetry->label_process(telemetry::Collector::kServerPid, "server");
+    for (std::size_t u = 0; u < n_users; ++u) {
+      telemetry->label_process(telemetry::Collector::user_pid(u),
+                               "user " + std::to_string(u));
+    }
+  }
 
   cvr::SplitMix64 mixer(config_.seed ^
                         (0x5957E3Cull + repeat * 0x9E3779B97F4A7C15ull));
@@ -138,6 +146,9 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
   const faults::FaultSchedule& faults = config_.faults;
 
   for (std::size_t t = 0; t < config_.slots; ++t) {
+    const std::int64_t slot = static_cast<std::int64_t>(t);
+    telemetry::PhaseSpan slot_span(telemetry, telemetry::Phase::kSlot,
+                                   telemetry::Collector::kServerPid, slot);
     for (std::size_t r = 0; r < n_routers; ++r) {
       routers[r].set_capacity_multiplier(
           faults.router_capacity_multiplier(r, t));
@@ -155,6 +166,9 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
     // (encode -> decode), so the protocol codec is exercised by every
     // simulated upload.
     if (t >= 1 && (t - 1) % config_.pose_upload_period == 0) {
+      telemetry::PhaseSpan ingest_span(telemetry,
+                                       telemetry::Phase::kPoseIngest,
+                                       telemetry::Collector::kServerPid, slot);
       for (std::size_t u = 0; u < n_users; ++u) {
         // A disconnected or pose-blacked-out user uploads nothing; the
         // server's staleness watchdog takes it from here.
@@ -168,29 +182,55 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
         const proto::PoseUpdate received =
             proto::decode_pose_update(proto::encode(upload));
         server.on_pose(received.user, received.slot, received.pose);
+        if (telemetry != nullptr) {
+          telemetry->count(telemetry::Counter::kPoseUploads);
+        }
       }
     }
 
     // Allocation from estimates only.
-    core::SlotProblem problem = server.build_problem(t + 1);
-    const core::Allocation allocation = allocator.allocate(problem);
+    core::SlotProblem problem;
+    {
+      telemetry::PhaseSpan build_span(telemetry,
+                                      telemetry::Phase::kProblemBuild,
+                                      telemetry::Collector::kServerPid, slot);
+      problem = server.build_problem(t + 1);
+    }
+    core::Allocation allocation;
+    {
+      telemetry::PhaseSpan solve_span(telemetry, telemetry::Phase::kAllocSolve,
+                                      telemetry::Collector::kServerPid, slot);
+      allocation = allocator.allocate(problem);
+    }
     if (allocation.levels.size() != n_users) {
       throw std::logic_error("allocator returned wrong level count");
+    }
+    if (telemetry != nullptr) {
+      telemetry->count_allocation(allocation.levels);
     }
 
     // Tile requests (repetition-filtered) and per-router service.
     std::vector<TileRequest> requests;
     requests.reserve(n_users);
-    for (std::size_t u = 0; u < n_users; ++u) {
-      if (faults.user_disconnected(u, t)) {
-        // No device on the network: nothing to request, zero demand, and
-        // the server's per-user caches stay untouched for the window.
-        TileRequest idle;
-        idle.level = allocation.levels[u];
-        requests.push_back(std::move(idle));
-        continue;
+    {
+      telemetry::PhaseSpan fetch_span(telemetry,
+                                      telemetry::Phase::kContentFetch,
+                                      telemetry::Collector::kServerPid, slot);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        if (faults.user_disconnected(u, t)) {
+          // No device on the network: nothing to request, zero demand, and
+          // the server's per-user caches stay untouched for the window.
+          TileRequest idle;
+          idle.level = allocation.levels[u];
+          requests.push_back(std::move(idle));
+          continue;
+        }
+        requests.push_back(server.make_request(u, allocation.levels[u]));
+        if (telemetry != nullptr) {
+          telemetry->count(telemetry::Counter::kTilesRequested,
+                           requests.back().tiles.size());
+        }
       }
-      requests.push_back(server.make_request(u, allocation.levels[u]));
     }
 
     // Online rendering (Section VIII): tiles must be rendered+encoded
@@ -213,15 +253,19 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
       }
     }
     std::vector<double> granted(n_users, 0.0);
-    for (std::size_t r = 0; r < n_routers; ++r) {
-      std::vector<double> demands;
-      demands.reserve(router_users[r].size());
-      for (std::size_t u : router_users[r]) {
-        demands.push_back(requests[u].demand_mbps);
-      }
-      const auto grants = routers[r].serve(demands);
-      for (std::size_t i = 0; i < router_users[r].size(); ++i) {
-        granted[router_users[r][i]] = grants[i];
+    {
+      telemetry::PhaseSpan serve_span(telemetry, telemetry::Phase::kTransport,
+                                      telemetry::Collector::kServerPid, slot);
+      for (std::size_t r = 0; r < n_routers; ++r) {
+        std::vector<double> demands;
+        demands.reserve(router_users[r].size());
+        for (std::size_t u : router_users[r]) {
+          demands.push_back(requests[u].demand_mbps);
+        }
+        const auto grants = routers[r].serve(demands);
+        for (std::size_t i = 0; i < router_users[r].size(); ++i) {
+          granted[router_users[r][i]] = grants[i];
+        }
       }
     }
 
@@ -280,29 +324,46 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
       std::uint64_t slot_packets = 0;
       std::uint64_t slot_lost = 0;
       double retx_delay_ms = 0.0;
-      for (content::VideoId id : request.tiles) {
-        const double megabits = server.content_db().tile_size_megabits(
-            content::unpack_video_id(id));
-        const auto tx =
-            config_.retransmit_rounds > 0
-                ? world.transport.send_tile_with_retx(
-                      megabits, utilization, config_.retransmit_rounds,
-                      granted[u])
-                : world.transport.send_tile(megabits, utilization);
-        slot_packets += tx.packets + tx.retransmitted;
-        slot_lost += tx.lost_packets;
-        retx_delay_ms = std::max(retx_delay_ms, tx.extra_delay_ms);
-        delivery.complete.push_back(tx.complete());
+      {
+        telemetry::PhaseSpan tx_span(telemetry, telemetry::Phase::kTransport,
+                                     telemetry::Collector::user_pid(u), slot);
+        for (content::VideoId id : request.tiles) {
+          const double megabits = server.content_db().tile_size_megabits(
+              content::unpack_video_id(id));
+          const auto tx =
+              config_.retransmit_rounds > 0
+                  ? world.transport.send_tile_with_retx(
+                        megabits, utilization, config_.retransmit_rounds,
+                        granted[u])
+                  : world.transport.send_tile(megabits, utilization);
+          slot_packets += tx.packets + tx.retransmitted;
+          slot_lost += tx.lost_packets;
+          retx_delay_ms = std::max(retx_delay_ms, tx.extra_delay_ms);
+          delivery.complete.push_back(tx.complete());
+        }
       }
       delivery.delay_ms += retx_delay_ms;
       delay_ms += retx_delay_ms;
+      if (telemetry != nullptr) {
+        telemetry->count(telemetry::Counter::kPacketsSent, slot_packets);
+        telemetry->count(telemetry::Counter::kPacketsLost, slot_lost);
+      }
 
       // Ground truth for this frame (evaluated against the margin
       // actually delivered, which may be per-user when adaptive).
       const motion::Pose& actual = world.trace[t];
-      const motion::Pose predicted = server.predict_pose(u);
-      const motion::FovSpec user_fov = server.fov_for(u);
-      const bool coverage_hit = motion::covers(user_fov, predicted, actual);
+      motion::Pose predicted;
+      motion::FovSpec user_fov;
+      bool coverage_hit = false;
+      {
+        telemetry::PhaseSpan predict_span(telemetry,
+                                          telemetry::Phase::kPredict,
+                                          telemetry::Collector::user_pid(u),
+                                          slot);
+        predicted = server.predict_pose(u);
+        user_fov = server.fov_for(u);
+        coverage_hit = motion::covers(user_fov, predicted, actual);
+      }
 
       // Needed tiles: the actual FoV's (unmargined) tile indices, looked
       // up at the *delivered* cell, gated separately by the position
@@ -319,7 +380,13 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
         }
       }
 
-      const DisplayOutcome outcome = world.client.process_slot(delivery, needed);
+      DisplayOutcome outcome;
+      {
+        telemetry::PhaseSpan decode_span(telemetry, telemetry::Phase::kDecode,
+                                         telemetry::Collector::user_pid(u),
+                                         slot);
+        outcome = world.client.process_slot(delivery, needed);
+      }
       const bool viewed = outcome.correct_content && position_ok;
 
       // Footnote-1 fallback: on a position miss, the frame can still
@@ -358,6 +425,16 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
       if (coverage_hit) ++world.hits;
       world.recovery.record_slot(in_fault, viewed, displayed_quality,
                                  outcome.frame_on_time);
+      if (telemetry != nullptr) {
+        if (coverage_hit) telemetry->count(telemetry::Counter::kCoverageHits);
+        if (outcome.frame_on_time) {
+          telemetry->count(telemetry::Counter::kFramesOnTime);
+        }
+      }
+      telemetry::PhaseSpan feedback_span(telemetry,
+                                         telemetry::Phase::kFeedback,
+                                         telemetry::Collector::user_pid(u),
+                                         slot);
 
       // Feedback to the server. The coverage outcome the real client can
       // report is whether the *delivered* portion covered what the user
@@ -441,6 +518,7 @@ std::vector<sim::UserOutcome> SystemSim::run(core::Allocator& allocator,
         timeline->add(record);
       }
     }
+    if (telemetry != nullptr) telemetry->count(telemetry::Counter::kSlots);
   }
 
   std::vector<sim::UserOutcome> outcomes;

@@ -26,6 +26,7 @@
 #include "src/render/render_farm.h"
 #include "src/sim/metrics.h"
 #include "src/system/client.h"
+#include "src/telemetry/telemetry.h"
 #include "src/system/device.h"
 #include "src/system/server.h"
 #include "src/system/timeline.h"
@@ -114,10 +115,15 @@ class SystemSim {
   /// Runs one repeat (fresh world, deterministic in (config.seed,
   /// repeat)); returns one outcome per user, FPS included. When
   /// `timeline` is non-null, one SlotRecord per (slot, user) is appended
-  /// to it (the flight recorder; see timeline.h).
-  std::vector<sim::UserOutcome> run(core::Allocator& allocator,
-                                    std::size_t repeat,
-                                    Timeline* timeline = nullptr) const;
+  /// to it (the flight recorder; see timeline.h). When `telemetry` is
+  /// non-null (and not kOff), per-slot phase timings and counters are
+  /// recorded — measurement metadata only, never simulation input:
+  /// outcomes are bit-identical across telemetry modes
+  /// (docs/observability.md).
+  std::vector<sim::UserOutcome> run(
+      core::Allocator& allocator, std::size_t repeat,
+      Timeline* timeline = nullptr,
+      telemetry::Collector* telemetry = nullptr) const;
 
   /// Runs each allocator over `repeats` repeats; outcomes pooled.
   std::vector<sim::ArmResult> compare(

@@ -1,0 +1,139 @@
+// MetricsRegistry: named counters and fixed-bucket histograms with
+// lock-free per-thread shards.
+//
+// Design constraints (docs/observability.md):
+//   * recording must never serialize the ensemble's worker threads —
+//     each thread writes to its own shard (plain relaxed atomics, no
+//     CAS loops on the hot path except min/max), so a parallel run's
+//     counter totals merge to exactly the serial totals;
+//   * recording must never perturb simulation results — the registry
+//     holds measurement metadata only, like sim::ArmResult::run_wall_ms;
+//   * snapshot() is the one synchronization point: it locks the shard
+//     list and merges every shard into plain value types the report
+//     sinks can serialize.
+//
+// Registration contract: register every metric (counter()/histogram())
+// before the first add()/record() on any thread. Late registration is
+// supported — a shard that predates the metric grows on demand under
+// the registry mutex — but the grow path is slow, so hot loops should
+// pre-register.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cvr::telemetry {
+
+/// Merged view of one histogram: fixed bucket edges plus per-bucket
+/// counts, with exact count/sum/min/max kept alongside so quantiles can
+/// interpolate inside the under/overflow buckets.
+struct HistogramData {
+  /// Ascending bucket edges e_0 < ... < e_{k-1}. Bucket i (for
+  /// 0 < i < k) covers [e_{i-1}, e_i); bucket 0 is the underflow
+  /// (-inf, e_0) and bucket k the overflow [e_{k-1}, +inf), so
+  /// counts.size() == edges.size() + 1.
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< Meaningless when count == 0.
+  double max = 0.0;  ///< Meaningless when count == 0.
+
+  double mean() const;
+  /// Inverse CDF estimate for p in [0, 1]: finds the bucket holding the
+  /// p-th sample and interpolates linearly between its bounds (the
+  /// underflow bucket interpolates from `min`, the overflow bucket up
+  /// to `max`). Returns 0 when empty.
+  double quantile(double p) const;
+};
+
+/// One merged snapshot of a registry, keyed by metric name. Plain data:
+/// safe to copy, serialize, or compare after the run.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramData> histograms;
+
+  std::uint64_t counter_or(const std::string& name,
+                           std::uint64_t fallback = 0) const;
+};
+
+/// `count` geometrically spaced edges starting at `first` with ratio
+/// `factor` — the default layout for duration histograms (microseconds).
+std::vector<double> exponential_edges(double first, double factor,
+                                      std::size_t count);
+
+class MetricsRegistry {
+ public:
+  using CounterId = std::size_t;
+  using HistogramId = std::size_t;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or looks up) a counter by name. Idempotent: the same
+  /// name always maps to the same id.
+  CounterId counter(const std::string& name);
+
+  /// Registers (or looks up) a histogram. `edges` must be strictly
+  /// ascending and non-empty (throws std::invalid_argument otherwise);
+  /// re-registering an existing name ignores `edges` and returns the
+  /// original id.
+  HistogramId histogram(const std::string& name, std::vector<double> edges);
+
+  /// Adds `delta` to the calling thread's shard of the counter.
+  /// Lock-free after the thread's shard covers the id.
+  void add(CounterId id, std::uint64_t delta = 1);
+
+  /// Records one sample into the calling thread's shard of the
+  /// histogram. Lock-free after the thread's shard covers the id.
+  void record(HistogramId id, double value);
+
+  /// Merges every thread's shard into one snapshot. Safe to call while
+  /// other threads keep recording (their writes are relaxed atomics);
+  /// for exact totals call it after joining the writers, as
+  /// experiments::run_ensemble does.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct HistShard {
+    /// Stable heap-allocated edge list owned by the registry, so the
+    /// lock-free record path never touches a registry vector that a
+    /// concurrent late registration could reallocate.
+    const std::vector<double>* edges;
+    std::vector<std::atomic<std::uint64_t>> buckets;  // edges->size() + 1
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+
+    explicit HistShard(const std::vector<double>* e)
+        : edges(e), buckets(e->size() + 1) {}
+  };
+  struct Shard {
+    std::vector<std::atomic<std::uint64_t>> counters;
+    std::vector<std::unique_ptr<HistShard>> hists;
+  };
+
+  Shard& local_shard();
+  void sync_shard(Shard& shard);  // grows `shard` to the registered sizes
+
+  const std::uint64_t uid_;  ///< Process-unique; keys the thread cache.
+  mutable std::mutex mutex_;
+  std::map<std::string, CounterId> counter_ids_;
+  std::map<std::string, HistogramId> histogram_ids_;
+  std::vector<std::string> counter_names_;    // by id
+  std::vector<std::string> histogram_names_;  // by id
+  /// Edge lists by id; unique_ptr keeps each list at a stable address
+  /// across registrations (HistShard::edges points into these).
+  std::vector<std::unique_ptr<const std::vector<double>>> histogram_edges_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace cvr::telemetry

@@ -1,0 +1,289 @@
+#include "src/telemetry/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace cvr::telemetry {
+
+namespace {
+
+std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Mode parse_mode(const std::string& text) {
+  if (text == "off") return Mode::kOff;
+  if (text == "counters") return Mode::kCounters;
+  if (text == "trace") return Mode::kTrace;
+  throw std::invalid_argument("telemetry: unknown mode '" + text +
+                              "' (expected off, counters, or trace)");
+}
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kCounters:
+      return "counters";
+    case Mode::kTrace:
+      return "trace";
+  }
+  return "off";
+}
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kSlot:
+      return "slot";
+    case Phase::kPoseIngest:
+      return "pose_ingest";
+    case Phase::kPredict:
+      return "predict";
+    case Phase::kProblemBuild:
+      return "problem_build";
+    case Phase::kAllocSolve:
+      return "alloc_solve";
+    case Phase::kContentFetch:
+      return "content_fetch";
+    case Phase::kTransport:
+      return "transport";
+    case Phase::kDecode:
+      return "decode";
+    case Phase::kFeedback:
+      return "feedback";
+    case Phase::kRealize:
+      return "realize";
+  }
+  return "unknown";
+}
+
+const char* counter_name(Counter counter) {
+  switch (counter) {
+    case Counter::kSlots:
+      return "slots_processed";
+    case Counter::kAllocInvocations:
+      return "alloc_invocations";
+    case Counter::kAllocIterations:
+      return "alloc_iterations";
+    case Counter::kPoseUploads:
+      return "pose_uploads";
+    case Counter::kTilesRequested:
+      return "tiles_requested";
+    case Counter::kPacketsSent:
+      return "packets_sent";
+    case Counter::kPacketsLost:
+      return "packets_lost";
+    case Counter::kCoverageHits:
+      return "coverage_hits";
+    case Counter::kFramesOnTime:
+      return "frames_on_time";
+  }
+  return "unknown";
+}
+
+std::vector<double> default_duration_edges_us() {
+  return exponential_edges(0.25, 1.5, 48);
+}
+
+std::string phase_histogram_name(Phase phase) {
+  return std::string("phase_") + phase_name(phase) + "_us";
+}
+
+Collector::Collector(Mode mode, MetricsRegistry* registry, TraceBuffer* trace)
+    : mode_(mode),
+      registry_(mode == Mode::kOff ? nullptr : registry),
+      trace_(mode == Mode::kTrace ? trace : nullptr),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (mode_ != Mode::kOff && registry_ == nullptr) {
+    throw std::invalid_argument("telemetry::Collector: mode '" +
+                                std::string(mode_name(mode_)) +
+                                "' requires a MetricsRegistry");
+  }
+  if (registry_ == nullptr) return;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    phase_hist_[p] = registry_->histogram(
+        phase_histogram_name(static_cast<Phase>(p)),
+        default_duration_edges_us());
+  }
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    counter_ids_[c] = registry_->counter(counter_name(static_cast<Counter>(c)));
+  }
+}
+
+void Collector::count(Counter counter, std::uint64_t delta) {
+  if (registry_ == nullptr || delta == 0) return;
+  registry_->add(counter_ids_[static_cast<std::size_t>(counter)], delta);
+}
+
+void Collector::count_allocation(const std::vector<int>& levels) {
+  if (registry_ == nullptr) return;
+  std::uint64_t raises = 0;
+  for (const int level : levels) {
+    if (level > 1) raises += static_cast<std::uint64_t>(level - 1);
+  }
+  count(Counter::kAllocInvocations, 1);
+  count(Counter::kAllocIterations, raises);
+}
+
+void Collector::label_process(std::uint32_t pid, const std::string& name) {
+  if (tracing()) trace_->set_process_name(pid, name);
+}
+
+double Collector::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+PhaseSpan::PhaseSpan(Collector* collector, Phase phase, std::uint32_t pid,
+                     std::int64_t slot)
+    : collector_(collector != nullptr && collector->counting() ? collector
+                                                               : nullptr),
+      phase_(phase),
+      pid_(pid),
+      slot_(slot) {
+  if (collector_ != nullptr) start_us_ = collector_->now_us();
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (collector_ == nullptr) return;
+  const double end_us = collector_->now_us();
+  const double dur_us = end_us - start_us_;
+  collector_->registry_->record(
+      collector_->phase_hist_[static_cast<std::size_t>(phase_)], dur_us);
+  if (collector_->tracing()) {
+    TraceEvent event;
+    event.pid = pid_;
+    event.tid = static_cast<std::uint32_t>(phase_);
+    event.name = phase_name(phase_);
+    event.ts_us = start_us_;
+    event.dur_us = dur_us;
+    event.slot = slot_;
+    collector_->trace_->set_thread_name(pid_, event.tid, event.name);
+    collector_->trace_->add(std::move(event));
+  }
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry* registry,
+                         MetricsRegistry::HistogramId id)
+    : registry_(registry), id_(id), start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ == nullptr) return;
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  registry_->record(id_, us);
+}
+
+ArmPerf summarize_arm(const std::string& algorithm,
+                      const MetricsSnapshot& snapshot, double wall_ms_total) {
+  ArmPerf arm;
+  arm.algorithm = algorithm;
+  arm.snapshot = snapshot;
+  arm.wall_ms_total = wall_ms_total;
+  arm.slots = snapshot.counter_or(counter_name(Counter::kSlots));
+  arm.alloc_invocations =
+      snapshot.counter_or(counter_name(Counter::kAllocInvocations));
+  arm.alloc_iterations =
+      snapshot.counter_or(counter_name(Counter::kAllocIterations));
+  if (wall_ms_total > 0.0) {
+    arm.slots_per_sec =
+        static_cast<double>(arm.slots) / (wall_ms_total / 1000.0);
+  }
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    const auto it = snapshot.histograms.find(phase_histogram_name(phase));
+    if (it == snapshot.histograms.end() || it->second.count == 0) continue;
+    const HistogramData& hist = it->second;
+    PhasePerf perf;
+    perf.phase = phase_name(phase);
+    perf.count = hist.count;
+    perf.p50_us = hist.quantile(0.50);
+    perf.p95_us = hist.quantile(0.95);
+    perf.p99_us = hist.quantile(0.99);
+    perf.mean_us = hist.mean();
+    perf.total_ms = hist.sum / 1000.0;
+    arm.phases.push_back(std::move(perf));
+  }
+  return arm;
+}
+
+std::string perf_report_json(const PerfReport& report, const std::string& bench,
+                             const std::string& machine) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"cvr-bench-perf-v1\",\n";
+  out += "  \"bench\": " + json_string(bench) + ",\n";
+  out += "  \"mode\": " + json_string(mode_name(report.mode)) + ",\n";
+  if (!machine.empty()) {
+    out += "  \"machine\": " + json_string(machine) + ",\n";
+  }
+  out += "  \"arms\": [\n";
+  for (std::size_t a = 0; a < report.arms.size(); ++a) {
+    const ArmPerf& arm = report.arms[a];
+    out += "    {\n";
+    out += "      \"algorithm\": " + json_string(arm.algorithm) + ",\n";
+    out += "      \"slots\": " + std::to_string(arm.slots) + ",\n";
+    out += "      \"wall_ms_total\": " + json_number(arm.wall_ms_total) + ",\n";
+    out += "      \"slots_per_sec\": " + json_number(arm.slots_per_sec) + ",\n";
+    out += "      \"alloc_invocations\": " +
+           std::to_string(arm.alloc_invocations) + ",\n";
+    out += "      \"alloc_iterations\": " +
+           std::to_string(arm.alloc_iterations) + ",\n";
+    out += "      \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : arm.snapshot.counters) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "        " + json_string(name) + ": " + std::to_string(value);
+    }
+    out += first ? "},\n" : "\n      },\n";
+    out += "      \"phases\": [";
+    for (std::size_t p = 0; p < arm.phases.size(); ++p) {
+      const PhasePerf& perf = arm.phases[p];
+      out += p == 0 ? "\n" : ",\n";
+      out += "        {\"phase\": " + json_string(perf.phase) +
+             ", \"count\": " + std::to_string(perf.count) +
+             ", \"p50_us\": " + json_number(perf.p50_us) +
+             ", \"p95_us\": " + json_number(perf.p95_us) +
+             ", \"p99_us\": " + json_number(perf.p99_us) +
+             ", \"mean_us\": " + json_number(perf.mean_us) +
+             ", \"total_ms\": " + json_number(perf.total_ms) + "}";
+    }
+    out += arm.phases.empty() ? "]\n" : "\n      ]\n";
+    out += a + 1 == report.arms.size() ? "    }\n" : "    },\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void write_perf_json(const std::string& path, const PerfReport& report,
+                     const std::string& bench, const std::string& machine) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("telemetry: cannot open '" + path +
+                             "' for writing");
+  }
+  file << perf_report_json(report, bench, machine);
+  if (!file) {
+    throw std::runtime_error("telemetry: write to '" + path + "' failed");
+  }
+}
+
+}  // namespace cvr::telemetry

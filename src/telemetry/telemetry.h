@@ -1,0 +1,226 @@
+// Observability layer: phase-level timing, counters, and perf baselines
+// for the two evaluation platforms.
+//
+// Three modes (EnsembleSpec::telemetry, docs/observability.md):
+//   * kOff      — every hook is a null-pointer check; the platforms run
+//                 byte-identical to a build without the subsystem;
+//   * kCounters — counters and per-phase duration histograms into a
+//                 MetricsRegistry (lock-free per-thread shards);
+//   * kTrace    — kCounters plus per-span events into a TraceBuffer,
+//                 exported as chrome://tracing / Perfetto JSON.
+//
+// Determinism contract: telemetry reads clocks and writes to its own
+// sinks, never into simulation state — enabling any mode changes no
+// sim::UserOutcome bit (enforced by tests/telemetry_test.cpp).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace cvr::telemetry {
+
+enum class Mode {
+  kOff,       ///< No collection; hooks compile to a null check.
+  kCounters,  ///< Counters + duration histograms.
+  kTrace,     ///< kCounters + Chrome trace events.
+};
+
+/// Parses "off" / "counters" / "trace" (the bench `--telemetry` flag).
+/// Throws std::invalid_argument on anything else, naming the value.
+Mode parse_mode(const std::string& text);
+const char* mode_name(Mode mode);
+
+/// The per-slot pipeline phases both platforms instrument. Histogram
+/// names are "phase_<name>_us"; docs/observability.md carries the
+/// catalogue of which platform emits which phase.
+enum class Phase : std::uint8_t {
+  kSlot,          ///< Whole slot, server track (slots/sec comes from here).
+  kPoseIngest,    ///< System: pose upload decode + server ingest.
+  kPredict,       ///< Trace: per-user pose extrapolation.
+  kProblemBuild,  ///< Slot-problem assembly from state/estimates.
+  kAllocSolve,    ///< The allocator under test (Algorithm 1 vs baselines).
+  kContentFetch,  ///< System: tile lookup/request build (+ render farm).
+  kTransport,     ///< System: router service + RTP transmission.
+  kDecode,        ///< System: client decode + display deadline check.
+  kFeedback,      ///< System: ACK decode + estimator updates.
+  kRealize,       ///< Trace: outcome realization + QoE bookkeeping.
+};
+inline constexpr std::size_t kPhaseCount = 10;
+const char* phase_name(Phase phase);
+
+/// Counters both platforms maintain (registered by every Collector up
+/// front, so incrementing never touches the registry mutex; the name
+/// catalogue lives in docs/observability.md).
+enum class Counter : std::uint8_t {
+  kSlots,            ///< "slots_processed"
+  kAllocInvocations,  ///< "alloc_invocations"
+  kAllocIterations,  ///< "alloc_iterations"
+  kPoseUploads,      ///< "pose_uploads" (system)
+  kTilesRequested,   ///< "tiles_requested" (system)
+  kPacketsSent,      ///< "packets_sent" (system)
+  kPacketsLost,      ///< "packets_lost" (system)
+  kCoverageHits,     ///< "coverage_hits"
+  kFramesOnTime,     ///< "frames_on_time" (system)
+};
+inline constexpr std::size_t kCounterCount = 9;
+const char* counter_name(Counter counter);
+
+class PhaseSpan;
+
+/// Per-run collection handle: one Collector per platform run (one
+/// ensemble cell), pointing at the arm's shared MetricsRegistry and —
+/// in kTrace mode — at a TraceBuffer owned by that run alone. Cheap to
+/// construct; pre-registers every phase histogram and counter so the
+/// hot path never takes the registry mutex.
+class Collector {
+ public:
+  /// pid convention for spans and trace processes.
+  static constexpr std::uint32_t kServerPid = 0;
+  static std::uint32_t user_pid(std::size_t user) {
+    return static_cast<std::uint32_t>(user + 1);
+  }
+
+  /// `registry` must outlive the collector and be non-null unless
+  /// `mode` is kOff; `trace` may be null in any mode below kTrace.
+  Collector(Mode mode, MetricsRegistry* registry, TraceBuffer* trace = nullptr);
+
+  Mode mode() const { return mode_; }
+  bool counting() const { return mode_ != Mode::kOff; }
+  bool tracing() const { return mode_ == Mode::kTrace && trace_ != nullptr; }
+
+  /// Adds to a standard counter (no-op when kOff; lock-free — ids are
+  /// cached at construction).
+  void count(Counter counter, std::uint64_t delta = 1);
+
+  /// Convenience: alloc_invocations + alloc_iterations from an
+  /// allocation's accepted level-raises (sum of levels above the
+  /// all-ones base — the accepted ascent steps of Algorithm 1).
+  void count_allocation(const std::vector<int>& levels);
+
+  /// Labels a trace process (no-op unless tracing).
+  void label_process(std::uint32_t pid, const std::string& name);
+
+  MetricsRegistry* registry() const { return registry_; }
+  TraceBuffer* trace() const { return trace_; }
+
+  /// Microseconds since this collector's epoch (construction time).
+  double now_us() const;
+
+ private:
+  friend class PhaseSpan;
+
+  Mode mode_;
+  MetricsRegistry* registry_;
+  TraceBuffer* trace_;
+  std::chrono::steady_clock::time_point epoch_;
+  MetricsRegistry::HistogramId phase_hist_[kPhaseCount] = {};
+  MetricsRegistry::CounterId counter_ids_[kCounterCount] = {};
+};
+
+/// RAII phase timer (the ScopedTimer/TraceSpan of the design docs): on
+/// destruction records the elapsed microseconds into the phase
+/// histogram and — when tracing — emits one complete trace event on
+/// (pid, tid = phase). A null collector (or kOff) makes construction
+/// and destruction a branch each, so instrumentation can stay in place
+/// unconditionally.
+class PhaseSpan {
+ public:
+  PhaseSpan(Collector* collector, Phase phase, std::uint32_t pid,
+            std::int64_t slot = -1);
+  ~PhaseSpan();
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  Collector* collector_;
+  Phase phase_;
+  std::uint32_t pid_;
+  std::int64_t slot_;
+  double start_us_ = 0.0;
+};
+
+/// ScopedTimer: times an arbitrary named histogram in a registry —
+/// the standalone building block micro benches use (PhaseSpan is the
+/// platform-phase specialization).
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, MetricsRegistry::HistogramId id);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  MetricsRegistry::HistogramId id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Default duration-histogram layout: 48 geometric edges from 0.25 us
+/// with ratio 1.5 (~0.25 us .. ~44 s), shared by every phase histogram
+/// so BENCH_*.json percentiles are comparable across phases.
+std::vector<double> default_duration_edges_us();
+
+/// The histogram name a phase records under.
+std::string phase_histogram_name(Phase phase);
+
+// ---------------------------------------------------------------------------
+// Perf report: the machine-readable baseline (BENCH_<name>.json and
+// <prefix>_perf.csv via report::write_perf_csv).
+
+/// One phase's duration summary within one arm.
+struct PhasePerf {
+  std::string phase;  ///< phase_name() string.
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double total_ms = 0.0;
+};
+
+/// One arm's (algorithm's) perf summary.
+struct ArmPerf {
+  std::string algorithm;
+  std::uint64_t slots = 0;
+  double wall_ms_total = 0.0;  ///< Sum of the arm's per-run wall clocks.
+  double slots_per_sec = 0.0;  ///< slots / wall_ms_total.
+  std::uint64_t alloc_invocations = 0;
+  std::uint64_t alloc_iterations = 0;
+  MetricsSnapshot snapshot;     ///< Full counter/histogram detail.
+  std::vector<PhasePerf> phases;  ///< Phases with samples, enum order.
+};
+
+/// The whole run's perf report.
+struct PerfReport {
+  Mode mode = Mode::kOff;
+  std::vector<ArmPerf> arms;
+
+  bool empty() const { return arms.empty(); }
+};
+
+/// Builds one arm's summary from its registry snapshot.
+ArmPerf summarize_arm(const std::string& algorithm,
+                      const MetricsSnapshot& snapshot, double wall_ms_total);
+
+/// Serializes a PerfReport as deterministic JSON (schema
+/// "cvr-bench-perf-v1"; see docs/observability.md for the field list).
+/// `bench` names the producing bench binary; `machine` is a free-form
+/// capture-environment note (may be empty).
+std::string perf_report_json(const PerfReport& report,
+                             const std::string& bench,
+                             const std::string& machine = "");
+
+/// Writes perf_report_json() to `path` ("BENCH_<name>.json" by
+/// convention). Throws std::runtime_error on I/O failure.
+void write_perf_json(const std::string& path, const PerfReport& report,
+                     const std::string& bench,
+                     const std::string& machine = "");
+
+}  // namespace cvr::telemetry

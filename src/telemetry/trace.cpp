@@ -1,0 +1,130 @@
+#include "src/telemetry/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace cvr::telemetry {
+
+namespace {
+
+/// Minimal JSON string escaping — metric/phase/process names are ASCII
+/// identifiers, but user-supplied algorithm names ride into process
+/// labels, so quotes/backslashes/control bytes must not break the file.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_us(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace
+
+void TraceBuffer::set_process_name(std::uint32_t pid, const std::string& name) {
+  process_names_[pid] = name;
+}
+
+void TraceBuffer::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                  const std::string& name) {
+  thread_names_[{pid, tid}] = name;
+}
+
+void TraceBuffer::add(TraceEvent event) { events_.push_back(std::move(event)); }
+
+void TraceBuffer::append(const TraceBuffer& other, std::uint32_t pid_offset,
+                         const std::string& process_prefix) {
+  for (const auto& [pid, name] : other.process_names_) {
+    process_names_[pid + pid_offset] =
+        process_prefix.empty() ? name : process_prefix + "/" + name;
+  }
+  for (const auto& [key, name] : other.thread_names_) {
+    thread_names_[{key.first + pid_offset, key.second}] = name;
+  }
+  events_.reserve(events_.size() + other.events_.size());
+  for (TraceEvent event : other.events_) {
+    event.pid += pid_offset;
+    events_.push_back(std::move(event));
+  }
+}
+
+std::string TraceBuffer::to_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+           json_escape(name) + "\"}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(key.first) +
+           ",\"tid\":" + std::to_string(key.second) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           json_escape(name) + "\"}}";
+  }
+  for (const TraceEvent& event : events_) {
+    comma();
+    out += "{\"ph\":\"X\",\"pid\":" + std::to_string(event.pid) +
+           ",\"tid\":" + std::to_string(event.tid) + ",\"name\":\"" +
+           json_escape(event.name) + "\",\"cat\":\"phase\",\"ts\":" +
+           format_us(event.ts_us) + ",\"dur\":" + format_us(event.dur_us);
+    if (event.slot >= 0) {
+      out += ",\"args\":{\"slot\":" + std::to_string(event.slot) + "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void TraceBuffer::write(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("TraceBuffer: cannot open '" + path +
+                             "' for writing");
+  }
+  file << to_json();
+  if (!file) {
+    throw std::runtime_error("TraceBuffer: write to '" + path + "' failed");
+  }
+}
+
+}  // namespace cvr::telemetry

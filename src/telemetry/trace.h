@@ -1,0 +1,73 @@
+// Chrome trace-event capture: per-run buffers of complete ("ph":"X")
+// spans serialized as chrome://tracing / Perfetto JSON.
+//
+// Convention (docs/observability.md): within one run, pid identifies
+// the actor — pid 0 is the server/slot track, pid u+1 is user u — and
+// tid identifies the pipeline phase, so the trace viewer shows one
+// process per user with one track per phase. When an ensemble merges
+// the traces of several arms, each arm's pids are shifted by a fixed
+// offset and its process names prefixed with the algorithm
+// (TraceBuffer::append), keeping every (arm, user) pair a distinct
+// process in the viewer.
+//
+// The buffer is intentionally single-writer: one run (one ensemble
+// cell) owns one TraceBuffer; merging happens after the cells join.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cvr::telemetry {
+
+/// One complete span. Timestamps are microseconds relative to the
+/// owning collector's epoch (the run start).
+struct TraceEvent {
+  std::uint32_t pid = 0;     ///< Actor: 0 = server, u+1 = user u.
+  std::uint32_t tid = 0;     ///< Track within the actor (the phase).
+  std::string name;          ///< Span label (the phase name).
+  double ts_us = 0.0;        ///< Start, microseconds from the epoch.
+  double dur_us = 0.0;       ///< Duration, microseconds.
+  std::int64_t slot = -1;    ///< Slot index carried into args (-1 = none).
+};
+
+class TraceBuffer {
+ public:
+  /// Labels a pid (emitted as a process_name metadata event). Last
+  /// write wins; labelling is idempotent.
+  void set_process_name(std::uint32_t pid, const std::string& name);
+
+  /// Labels a (pid, tid) track (emitted as a thread_name metadata event).
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                       const std::string& name);
+
+  void add(TraceEvent event);
+
+  /// Appends another buffer with every pid shifted by `pid_offset` and
+  /// process names prefixed "`process_prefix`/" — how run_ensemble
+  /// folds per-arm captures into one viewable file.
+  void append(const TraceBuffer& other, std::uint32_t pid_offset,
+              const std::string& process_prefix);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Serializes to Chrome trace JSON (object form with a "traceEvents"
+  /// array, loadable by chrome://tracing and Perfetto). Deterministic
+  /// for identical buffer contents: metadata events in pid/tid order,
+  /// span events in insertion order, fixed float formatting.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; throws std::runtime_error on I/O error.
+  void write(const std::string& path) const;
+
+ private:
+  std::map<std::uint32_t, std::string> process_names_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> thread_names_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cvr::telemetry
