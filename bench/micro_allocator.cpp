@@ -48,7 +48,10 @@ SlotProblem make_problem(std::size_t users, std::uint64_t seed = 99) {
 
 void BM_DvGreedy(benchmark::State& state) {
   const SlotProblem problem = make_problem(static_cast<std::size_t>(state.range(0)));
-  DvGreedyAllocator alloc;
+  // Pinned to the paper-literal scan so this stays a scan-vs-heap
+  // comparison now that the default strategy is kHeap.
+  DvGreedyAllocator alloc(DvGreedyAllocator::Mode::kCombined,
+                          DvGreedyAllocator::Strategy::kScan);
   for (auto _ : state) {
     benchmark::DoNotOptimize(alloc.allocate(problem));
   }
@@ -162,7 +165,8 @@ void write_perf_baseline(const std::string& path, const std::string& machine) {
   report.mode = telemetry::Mode::kCounters;
   const std::vector<std::size_t> sizes = {5, 15, 30, 120};
   {
-    DvGreedyAllocator alloc;
+    DvGreedyAllocator alloc(DvGreedyAllocator::Mode::kCombined,
+                            DvGreedyAllocator::Strategy::kScan);
     report.arms.push_back(measure_arm("dv", alloc, sizes));
   }
   {

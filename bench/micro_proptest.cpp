@@ -1,0 +1,98 @@
+// Micro-benchmarks (google-benchmark) for the property-testing harness
+// itself: generator throughput, property iteration cost, and shrink
+// latency. These bound how expensive the nightly 50k-iteration sweep is
+// and catch generator regressions (e.g. a combinator that starts
+// allocating per draw) before they bloat CI time.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/proptest/domain.h"
+#include "src/proptest/property.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace cvr::proptest;
+
+void BM_GenSlotProblemTieHeavy(benchmark::State& state) {
+  const SlotProblemGenConfig config = tie_heavy_config();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cvr::Rng rng(seed++);
+    benchmark::DoNotOptimize(gen_slot_problem(rng, config));
+  }
+}
+BENCHMARK(BM_GenSlotProblemTieHeavy);
+
+void BM_GenWireMessage(benchmark::State& state) {
+  const auto gen = wire_messages();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cvr::Rng rng(seed++);
+    benchmark::DoNotOptimize(encode_wire_message(gen(rng)));
+  }
+}
+BENCHMARK(BM_GenWireMessage);
+
+void BM_GenFaultScheduleConfig(benchmark::State& state) {
+  const auto gen = fault_schedule_configs();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cvr::Rng rng(seed++);
+    benchmark::DoNotOptimize(gen(rng));
+  }
+}
+BENCHMARK(BM_GenFaultScheduleConfig);
+
+/// Cost of one full property iteration (generate + check) for the two
+/// headline differential oracles, i.e. the per-iteration price of the
+/// nightly sweep.
+void BM_PropertyIterScanHeap(benchmark::State& state) {
+  const PropertyBase* property =
+      Registry::instance().find("core.dv_scan_heap_identical");
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(property->run(seed++, 1));
+  }
+}
+BENCHMARK(BM_PropertyIterScanHeap);
+
+void BM_PropertyIterTheorem1(benchmark::State& state) {
+  const PropertyBase* property =
+      Registry::instance().find("core.dv_theorem1_half_approx");
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(property->run(seed++, 1));
+  }
+}
+BENCHMARK(BM_PropertyIterTheorem1);
+
+void BM_PropertyIterProtoRoundtrip(benchmark::State& state) {
+  const PropertyBase* property = Registry::instance().find("proto.roundtrip");
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(property->run(seed++, 1));
+  }
+}
+BENCHMARK(BM_PropertyIterProtoRoundtrip);
+
+/// Worst-case shrink latency: an instance that always fails, so the
+/// shrinker walks its full greedy descent every time.
+void BM_ShrinkSlotProblem(benchmark::State& state) {
+  SlotProblemGenConfig config;
+  config.min_users = 8;
+  config.max_users = 8;
+  cvr::Rng rng(1234);
+  const cvr::core::SlotProblem failing = gen_slot_problem(rng, config);
+  const auto fails = [](const cvr::core::SlotProblem&) { return true; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shrink_to_minimal(failing, fails));
+  }
+}
+BENCHMARK(BM_ShrinkSlotProblem);
+
+}  // namespace
+
+BENCHMARK_MAIN();

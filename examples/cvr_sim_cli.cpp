@@ -39,9 +39,9 @@ std::vector<std::unique_ptr<core::Allocator>> make_allocators(
   }
   for (const std::string& name : core::allocator_names()) {
     // "all" means the comparison set, not every solver: skip the exact
-    // methods unless they are cheap enough to include, and the heap
-    // variant (identical results to "dv").
-    if (name == "dp" || name == "dv-heap") continue;
+    // methods unless they are cheap enough to include, and the argmax
+    // variants (identical results to "dv").
+    if (name == "dp" || name == "dv-heap" || name == "dv-scan") continue;
     if (name == "optimal" && !(trace_mode && users <= 6)) continue;
     out.push_back(core::make_allocator(name, context));
   }

@@ -7,10 +7,13 @@ code:
 1. Subsystem coverage — every `src/<subsystem>/` directory must be
    mentioned in docs/architecture.md (the module map is the canonical
    "what lives where" index; a new subsystem that never lands there is
-   invisible to readers).
+   invisible to readers). This is discovery-based: e.g. src/proptest/
+   became part of the contract the moment the directory appeared.
 2. Link integrity — every intra-repository markdown link, in every
    tracked *.md file, must resolve to an existing file (anchors are
    stripped; external http(s)/mailto links are ignored).
+3. Index coverage — every docs/*.md must be linked from docs/README.md
+   (the documentation index), so no document can land unindexed.
 
 Exit status 0 when both hold, 1 otherwise, with one line per violation
 so the CI log names the stale subsystem or dangling link directly.
@@ -101,9 +104,38 @@ def check_markdown_links(root: str) -> list[str]:
     return errors
 
 
+def check_docs_index(root: str) -> list[str]:
+    """Every docs/*.md must be linked from the docs/README.md index."""
+    docs = os.path.join(root, "docs")
+    index = os.path.join(docs, "README.md")
+    if not os.path.isdir(docs):
+        return []
+    if not os.path.isfile(index):
+        return ["docs/README.md is missing (the documentation index)"]
+    with open(index, encoding="utf-8") as f:
+        targets = {
+            match.group(1).split("#", 1)[0]
+            for match in _LINK_RE.finditer(f.read())
+        }
+    errors = []
+    for name in sorted(os.listdir(docs)):
+        if not name.endswith(".md") or name == "README.md":
+            continue
+        if name not in targets:
+            errors.append(
+                f"docs/README.md never links docs/{name} "
+                f"(add it to the index table)"
+            )
+    return errors
+
+
 def main() -> int:
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
-    errors = check_subsystem_coverage(root) + check_markdown_links(root)
+    errors = (
+        check_subsystem_coverage(root)
+        + check_markdown_links(root)
+        + check_docs_index(root)
+    )
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if errors:

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for src/core/ (CI: the "coverage" job).
+
+Measures line coverage of the allocator core from the .gcda files of a
+--coverage build (gcov --json-format; no gcovr needed, so the committed
+baseline is reproducible anywhere gcc is), then compares it against the
+floor recorded in tests/coverage_baseline.txt:
+
+    python3 scripts/coverage_gate.py build-cov            # gate
+    python3 scripts/coverage_gate.py build-cov --update   # refresh floor
+
+A line counts as covered if ANY translation unit executed it (headers
+are compiled into many TUs; their counts are OR-ed). The gate fails
+when measured coverage drops more than --tolerance (default 0.5 pt,
+absorbing gcov-version variance) below the baseline. After genuinely
+improving coverage, re-run with --update and commit the new floor.
+
+Exit status: 0 gate passed (or baseline updated), 1 gate failed,
+2 usage/measurement error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir: str) -> list[str]:
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.abspath(build_dir)):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def measure(build_dir: str, repo_root: str, source_filter: str):
+    """Return (covered, total) line counts for sources under the filter."""
+    gcda = find_gcda(build_dir)
+    if not gcda:
+        raise RuntimeError(
+            f"no .gcda files under {build_dir} — build with --coverage and "
+            f"run ctest first"
+        )
+    prefix = os.path.join(os.path.abspath(repo_root), source_filter, "")
+    # line -> covered, OR-ed across every translation unit that compiled
+    # the file (inline code in headers shows up many times).
+    lines: dict[tuple[str, int], bool] = {}
+    # One gcov invocation per object directory keeps the process count
+    # down; --stdout avoids scattering *.gcov files around.
+    by_dir: dict[str, list[str]] = {}
+    for path in gcda:
+        by_dir.setdefault(os.path.dirname(path), []).append(path)
+    for obj_dir, files in by_dir.items():
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout",
+             *[os.path.basename(f) for f in files]],
+            capture_output=True, text=True, cwd=obj_dir, check=False,
+        )
+        for line in proc.stdout.splitlines():
+            if not line.startswith("{"):
+                continue
+            record = json.loads(line)
+            cwd = record.get("current_working_directory", obj_dir)
+            for entry in record.get("files", []):
+                source = entry["file"]
+                if not os.path.isabs(source):
+                    source = os.path.join(cwd, source)
+                source = os.path.realpath(source)
+                if not source.startswith(prefix):
+                    continue
+                for info in entry.get("lines", []):
+                    key = (source, info["line_number"])
+                    lines[key] = lines.get(key, False) or info["count"] > 0
+    covered = sum(1 for hit in lines.values() if hit)
+    return covered, len(lines)
+
+
+def read_baseline(path: str, source_filter: str) -> float:
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.partition(" ")
+            if name == source_filter:
+                return float(value)
+    raise RuntimeError(f"{path} has no entry for {source_filter}")
+
+
+def write_baseline(path: str, source_filter: str, percent: float) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(
+            "# Line-coverage floor, enforced by scripts/coverage_gate.py\n"
+            "# (CI \"coverage\" job). Refresh with:\n"
+            "#   python3 scripts/coverage_gate.py <coverage-build-dir> "
+            "--update\n"
+            "# Format: <source-filter> <percent-at-merge>\n"
+            f"{source_filter} {percent:.1f}\n"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir", help="coverage-instrumented build dir")
+    parser.add_argument("--filter", default="src/core",
+                        help="source subtree to measure (default: src/core)")
+    parser.add_argument("--baseline", default="tests/coverage_baseline.txt")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed drop in points before failing")
+    parser.add_argument("--update", action="store_true",
+                        help="write the measured value as the new baseline")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        covered, total = measure(args.build_dir, repo_root, args.filter)
+    except RuntimeError as error:
+        print(f"coverage_gate: {error}", file=sys.stderr)
+        return 2
+    if total == 0:
+        print(f"coverage_gate: no measurable lines under {args.filter}",
+              file=sys.stderr)
+        return 2
+    percent = 100.0 * covered / total
+    print(f"coverage_gate: {args.filter} line coverage "
+          f"{percent:.2f}% ({covered}/{total} lines)")
+
+    baseline_path = os.path.join(repo_root, args.baseline)
+    if args.update:
+        write_baseline(baseline_path, args.filter, percent)
+        print(f"coverage_gate: baseline updated -> {args.baseline} "
+              f"({percent:.1f})")
+        return 0
+    try:
+        baseline = read_baseline(baseline_path, args.filter)
+    except (OSError, RuntimeError, ValueError) as error:
+        print(f"coverage_gate: {error}", file=sys.stderr)
+        return 2
+    floor = baseline - args.tolerance
+    if percent < floor:
+        print(f"coverage_gate: FAILED — {percent:.2f}% is below the "
+              f"committed floor {baseline:.1f}% (tolerance "
+              f"{args.tolerance}); add tests or, if the drop is "
+              f"deliberate, refresh with --update", file=sys.stderr)
+        return 1
+    print(f"coverage_gate: OK (floor {baseline:.1f}%, tolerance "
+          f"{args.tolerance})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,12 +30,27 @@ double total_rate(const SlotProblem& problem,
 
 bool server_feasible(const SlotProblem& problem,
                      const std::vector<QualityLevel>& levels) {
-  return total_rate(problem, levels) <= problem.server_bandwidth + 1e-9;
+  return total_rate(problem, levels) <=
+         problem.server_bandwidth + kFeasibilityEpsilon;
 }
 
 bool user_feasible(const UserSlotContext& user, QualityLevel q) {
   return user.rate[static_cast<std::size_t>(q - 1)] <=
-         user.user_bandwidth + 1e-9;
+         user.user_bandwidth + kFeasibilityEpsilon;
+}
+
+bool allocation_feasible(const SlotProblem& problem,
+                         const std::vector<QualityLevel>& levels) {
+  if (levels.size() != problem.users.size()) return false;
+  bool all_ones = true;
+  for (std::size_t n = 0; n < levels.size(); ++n) {
+    if (!content::is_valid_level(levels[n])) return false;
+    if (levels[n] > 1) {
+      all_ones = false;
+      if (!user_feasible(problem.users[n], levels[n])) return false;
+    }
+  }
+  return all_ones || server_feasible(problem, levels);
 }
 
 }  // namespace cvr::core

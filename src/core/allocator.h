@@ -44,6 +44,13 @@ bool server_feasible(const SlotProblem& problem,
 /// True iff f(q) <= B_n for this user (constraint (7)).
 bool user_feasible(const UserSlotContext& user, QualityLevel q);
 
+/// Full feasibility oracle for differential tests: every level valid,
+/// every non-minimum level within its user's B_n, and — unless the
+/// allocation is the all-ones mandatory minimum — the server budget (6)
+/// holds. Mirrors the Allocator feasibility contract below.
+bool allocation_feasible(const SlotProblem& problem,
+                         const std::vector<QualityLevel>& levels);
+
 /// Base class for all quality-level allocation policies. Allocators may
 /// keep cross-slot state (e.g. Firefly's LRU queue); reset() clears it
 /// between independent runs.

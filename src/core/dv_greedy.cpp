@@ -66,7 +66,7 @@ std::vector<QualityLevel> DvGreedyAllocator::greedy_pass(
     used_rate += inc;
     bool reverted = false;
     if (!user_feasible(user, q[best]) ||
-        used_rate > problem.server_bandwidth + 1e-9) {
+        used_rate > problem.server_bandwidth + kFeasibilityEpsilon) {
       q[best] -= 1;
       used_rate -= inc;
       deactivate(best);
@@ -123,7 +123,7 @@ std::vector<QualityLevel> DvGreedyAllocator::greedy_pass_heap(
     q[n] += 1;
     used_rate += inc;
     if (!user_feasible(user, q[n]) ||
-        used_rate > problem.server_bandwidth + 1e-9) {
+        used_rate > problem.server_bandwidth + kFeasibilityEpsilon) {
       q[n] -= 1;
       used_rate -= inc;
       active[n] = false;

@@ -16,8 +16,9 @@
 // negligible at the paper's N <= 30 but quadratic pain at hundreds of
 // users. Because an increment changes only the chosen user's own
 // marginal (h_n depends only on user n's state), a lazy max-heap gives
-// the EXACT same ascent in O(N L log N); `Strategy::kHeap` selects it
-// and the tests pin bitwise-identical allocations against the scan.
+// the EXACT same ascent in O(N L log N); `Strategy::kHeap` is the
+// default, with the scan kept as the paper-literal reference and the
+// tests pinning bitwise-identical allocations between the two.
 #pragma once
 
 #include "src/core/allocator.h"
@@ -30,10 +31,23 @@ class DvGreedyAllocator final : public Allocator {
   enum class Mode { kDensityOnly, kValueOnly, kCombined };
 
   /// Argmax implementation; identical results, different complexity.
+  ///
+  /// Tie-break contract: when several users share the best marginal
+  /// score, the ascent raises the user with the SMALLEST index. kScan
+  /// keeps the first strict maximum of a forward scan; kHeap's
+  /// comparator orders equal scores by index, and stale entries are
+  /// re-pushed before they can displace an equally-scored fresh one.
+  /// This contract is what makes the two strategies bit-identical —
+  /// same levels, same objective — which the property
+  /// `core.dv_scan_heap_identical` pins across 10k tie-heavy instances
+  /// (duplicated users, quantized rates, boundary-exact budgets).
+  /// kHeap is the default: O(N L log N) vs the scan's O(N^2 L), with
+  /// the scan kept as the paper-literal reference implementation
+  /// (registry name "dv-scan").
   enum class Strategy { kScan, kHeap };
 
   explicit DvGreedyAllocator(Mode mode = Mode::kCombined,
-                             Strategy strategy = Strategy::kScan)
+                             Strategy strategy = Strategy::kHeap)
       : mode_(mode), strategy_(strategy) {}
 
   std::string_view name() const override;

@@ -28,7 +28,7 @@ Allocation FireflyAllocator::allocate(const SlotProblem& problem) {
   // Degrade by LRU until the aggregate fits B(t) (or everyone is at 1).
   double used = total_rate(problem, q);
   bool any_degradable = true;
-  while (used > problem.server_bandwidth + 1e-9 && any_degradable) {
+  while (used > problem.server_bandwidth + kFeasibilityEpsilon && any_degradable) {
     any_degradable = false;
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
       const std::size_t n = *it;

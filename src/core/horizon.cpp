@@ -41,7 +41,7 @@ bool slot_feasible(const SlotProblem& slot,
       break;
     }
   }
-  return all_ones || total <= slot.server_bandwidth + 1e-9;
+  return all_ones || total <= slot.server_bandwidth + kFeasibilityEpsilon;
 }
 
 }  // namespace

@@ -66,7 +66,7 @@ Allocation LagrangianAllocator::allocate(const SlotProblem& problem) {
 
   std::vector<QualityLevel> levels(n_users, 1);
   // lambda = 0: unconstrained optimum. Feasible? Done.
-  if (usage(problem, 0.0, levels) <= problem.server_bandwidth + 1e-9) {
+  if (usage(problem, 0.0, levels) <= problem.server_bandwidth + kFeasibilityEpsilon) {
     result.levels = std::move(levels);
     result.objective = evaluate(problem, result.levels);
     return result;
@@ -75,7 +75,7 @@ Allocation LagrangianAllocator::allocate(const SlotProblem& problem) {
   double lo = 0.0;                      // infeasible side
   double hi = lambda_ceiling(problem);  // all-ones side
   std::vector<QualityLevel> hi_levels(n_users, 1);
-  if (usage(problem, hi, hi_levels) > problem.server_bandwidth + 1e-9) {
+  if (usage(problem, hi, hi_levels) > problem.server_bandwidth + kFeasibilityEpsilon) {
     // Even the all-ones minimum violates (6): mandatory-minimum fallback.
     result.levels.assign(n_users, 1);
     result.objective = evaluate(problem, result.levels);
@@ -85,7 +85,7 @@ Allocation LagrangianAllocator::allocate(const SlotProblem& problem) {
   std::vector<QualityLevel> feasible = hi_levels;
   for (int i = 0; i < iterations_; ++i) {
     const double mid = 0.5 * (lo + hi);
-    if (usage(problem, mid, levels) <= problem.server_bandwidth + 1e-9) {
+    if (usage(problem, mid, levels) <= problem.server_bandwidth + kFeasibilityEpsilon) {
       feasible = levels;
       hi = mid;
     } else {
@@ -109,7 +109,7 @@ Allocation LagrangianAllocator::allocate(const SlotProblem& problem) {
       const double dr =
           problem.users[n].rate[static_cast<std::size_t>(feasible[n])] -
           problem.users[n].rate[static_cast<std::size_t>(feasible[n] - 1)];
-      if (used + dr > problem.server_bandwidth + 1e-9) continue;
+      if (used + dr > problem.server_bandwidth + kFeasibilityEpsilon) continue;
       const double density =
           h_density(problem.users[n], feasible[n], problem.params);
       if (density > best_density) {
@@ -141,7 +141,7 @@ double lagrangian_dual_bound(const SlotProblem& problem, int iterations) {
   // admissible outcome, hence also the bound.
   double min_rate = 0.0;
   for (const auto& user : problem.users) min_rate += user.rate[0];
-  if (min_rate > problem.server_bandwidth + 1e-9) {
+  if (min_rate > problem.server_bandwidth + kFeasibilityEpsilon) {
     return evaluate(problem,
                     std::vector<QualityLevel>(n_users, 1));
   }

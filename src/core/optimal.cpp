@@ -78,7 +78,7 @@ Allocation BruteForceAllocator::allocate(const SlotProblem& problem) {
       // levels must leave room for the remaining users' minima.
       if (level > 1 &&
           used + r + min_rate_suffix[depth + 1] >
-              problem.server_bandwidth + 1e-9) {
+              problem.server_bandwidth + kFeasibilityEpsilon) {
         break;  // rates increase with level
       }
       q[depth] = level;

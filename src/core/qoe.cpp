@@ -62,7 +62,7 @@ bool h_is_concave(const UserSlotContext& user, const QoeParams& params) {
   QualityLevel max_level = 1;
   for (QualityLevel q = 2; q <= kNumQualityLevels; ++q) {
     if (user.rate[static_cast<std::size_t>(q - 1)] >
-        user.user_bandwidth + 1e-9) {
+        user.user_bandwidth + kFeasibilityEpsilon) {
       break;
     }
     max_level = q;

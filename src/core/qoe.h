@@ -30,6 +30,14 @@ namespace cvr::core {
 using content::QualityLevel;
 using content::kNumQualityLevels;
 
+/// Tolerance used by EVERY feasibility comparison in the allocator
+/// stack — the greedy passes, the exact solvers, h_is_concave's level
+/// ceiling, and the free-function oracles in allocator.h all accept
+/// rate <= budget + kFeasibilityEpsilon, so an allocation sitting
+/// exactly on a cap is feasible for all of them and differential tests
+/// can compare solvers bit-for-bit at the boundary.
+inline constexpr double kFeasibilityEpsilon = 1e-9;
+
 /// QoE weights (Section II). alpha scales the delay penalty, beta the
 /// quality-variance penalty. The paper uses (0.02, 0.5) for the
 /// trace-based simulation and (0.1, 0.5) for the real-world system.

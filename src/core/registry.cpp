@@ -9,8 +9,8 @@
 namespace cvr::core {
 
 std::vector<std::string> allocator_names() {
-  return {"dv",   "dv-heap",    "density", "value",   "firefly",
-          "pavq", "lagrangian", "optimal", "dp"};
+  return {"dv",      "dv-heap", "dv-scan",    "density", "value",
+          "firefly", "pavq",    "lagrangian", "optimal", "dp"};
 }
 
 std::unique_ptr<Allocator> make_allocator(const std::string& name,
@@ -20,6 +20,13 @@ std::unique_ptr<Allocator> make_allocator(const std::string& name,
     return std::make_unique<DvGreedyAllocator>(
         DvGreedyAllocator::Mode::kCombined,
         DvGreedyAllocator::Strategy::kHeap);
+  }
+  if (name == "dv-scan") {
+    // The paper-literal O(N^2 L) argmax scan, kept as the differential
+    // reference for the heap default (see dv_greedy.h).
+    return std::make_unique<DvGreedyAllocator>(
+        DvGreedyAllocator::Mode::kCombined,
+        DvGreedyAllocator::Strategy::kScan);
   }
   if (name == "density") {
     return std::make_unique<DvGreedyAllocator>(

@@ -1,0 +1,686 @@
+#include "src/proptest/domain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/content/rate_function.h"
+#include "src/content/tile.h"
+
+namespace cvr::proptest {
+
+namespace {
+
+using core::SlotProblem;
+using core::UserSlotContext;
+
+double quantize_up(double value, double grid) {
+  return std::ceil(value / grid) * grid;
+}
+
+/// A user with arbitrary strictly increasing rates and arbitrary
+/// non-negative delays — exercises shapes the analytic tables never
+/// produce (concave rate curves, non-monotone delays).
+UserSlotContext gen_table_user(cvr::Rng& rng) {
+  UserSlotContext user;
+  user.delta = rng.uniform(0.3, 1.0);
+  user.qbar = rng.uniform(0.0, 6.0);
+  user.slot = std::floor(rng.uniform(1.0, 500.0));
+  double rate = rng.uniform(1.0, 20.0);
+  for (int q = 0; q < content::kNumQualityLevels; ++q) {
+    user.rate.push_back(rate);
+    user.delay.push_back(rng.uniform(0.0, 30.0));
+    rate += rng.uniform(0.5, 15.0);
+  }
+  // Bandwidth anywhere from "level 1 only" to "all levels affordable".
+  user.user_bandwidth = rng.uniform(user.rate[0] * 0.9, rate * 1.2);
+  return user;
+}
+
+UserSlotContext gen_analytic_user(cvr::Rng& rng) {
+  // Draws hoisted into statements: argument evaluation order is
+  // unspecified, and instance determinism must not depend on it.
+  const content::CrfRateFunction f(14.2, 1.45, rng.lognormal(0.0, 0.25));
+  const double bandwidth = rng.uniform(15.0, 120.0);
+  const double delta = rng.uniform(0.3, 1.0);
+  const double qbar = rng.uniform(0.0, 6.0);
+  const double slot = std::floor(rng.uniform(1.0, 500.0));
+  return UserSlotContext::from_rate_function(f, bandwidth, delta, qbar, slot);
+}
+
+void quantize_user(UserSlotContext& user) {
+  constexpr double kGrid = 0.25;
+  double floor_rate = 0.0;
+  for (double& r : user.rate) {
+    r = std::max(quantize_up(r, kGrid), floor_rate + kGrid);
+    floor_rate = r;
+  }
+  user.user_bandwidth = quantize_up(user.user_bandwidth, kGrid);
+}
+
+double min_rate_sum(const SlotProblem& problem) {
+  double total = 0.0;
+  for (const auto& user : problem.users) total += user.rate[0];
+  return total;
+}
+
+}  // namespace
+
+SlotProblemGenConfig small_exact_config() {
+  SlotProblemGenConfig config;
+  config.max_users = 6;
+  config.quantize_probability = 0.25;
+  return config;
+}
+
+SlotProblemGenConfig tie_heavy_config() {
+  SlotProblemGenConfig config;
+  config.max_users = 12;
+  config.duplicate_user_probability = 0.5;
+  config.quantize_probability = 0.6;
+  config.loss_aware_probability = 0.2;
+  config.min_tightness = 0.8;
+  return config;
+}
+
+SlotProblemGenConfig published_model_config() {
+  SlotProblemGenConfig config;
+  config.analytic_tables_only = true;
+  return config;
+}
+
+core::SlotProblem gen_slot_problem(cvr::Rng& rng,
+                                   const SlotProblemGenConfig& config) {
+  SlotProblem problem;
+  problem.params.alpha =
+      std::vector<double>{0.0, 0.02, 0.1, 0.5}[static_cast<std::size_t>(
+          rng.uniform_int(0, 3))];
+  problem.params.beta =
+      std::vector<double>{0.0, 0.5, 2.0, 5.0}[static_cast<std::size_t>(
+          rng.uniform_int(0, 3))];
+
+  const auto users = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(config.min_users),
+                      static_cast<std::int64_t>(config.max_users)));
+  const bool quantize = rng.bernoulli(config.quantize_probability);
+  for (std::size_t n = 0; n < users; ++n) {
+    if (n > 0 && rng.bernoulli(config.duplicate_user_probability)) {
+      // Byte-identical copy: exact score ties at every level.
+      problem.users.push_back(problem.users[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))]);
+      continue;
+    }
+    UserSlotContext user = config.analytic_tables_only || rng.bernoulli(0.5)
+                               ? gen_analytic_user(rng)
+                               : gen_table_user(rng);
+    if (quantize) quantize_user(user);
+    if (rng.bernoulli(config.loss_aware_probability)) {
+      user.frame_loss.resize(content::kNumQualityLevels);
+      for (double& loss : user.frame_loss) loss = rng.uniform(0.0, 0.7);
+    }
+    problem.users.push_back(std::move(user));
+  }
+
+  if (quantize && rng.bernoulli(0.3) && !problem.users.empty()) {
+    // Boundary instance: the budget is EXACTLY the rate of a random
+    // allocation, so feasibility decisions sit on the epsilon edge.
+    double exact = 0.0;
+    for (const auto& user : problem.users) {
+      exact += user.rate[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    }
+    problem.server_bandwidth = exact;
+  } else {
+    problem.server_bandwidth =
+        min_rate_sum(problem) *
+        rng.uniform(config.min_tightness, config.max_tightness);
+  }
+  return problem;
+}
+
+Gen<core::SlotProblem> slot_problems(SlotProblemGenConfig config) {
+  return [config](cvr::Rng& rng) { return gen_slot_problem(rng, config); };
+}
+
+std::vector<core::SlotProblem> ShrinkTraits<core::SlotProblem>::candidates(
+    const core::SlotProblem& problem) {
+  std::vector<SlotProblem> out;
+  const std::size_t n_users = problem.users.size();
+
+  // Drop each user.
+  for (std::size_t i = 0; i < n_users; ++i) {
+    SlotProblem smaller = problem;
+    smaller.users.erase(smaller.users.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(smaller));
+  }
+
+  // Simplify each user's history state (delta/qbar/slot/frame_loss).
+  for (std::size_t i = 0; i < n_users; ++i) {
+    const UserSlotContext& user = problem.users[i];
+    if (user.delta != 1.0 || user.qbar != 0.0 || user.slot != 1.0 ||
+        !user.frame_loss.empty()) {
+      SlotProblem simpler = problem;
+      simpler.users[i].delta = 1.0;
+      simpler.users[i].qbar = 0.0;
+      simpler.users[i].slot = 1.0;
+      simpler.users[i].frame_loss.clear();
+      out.push_back(std::move(simpler));
+    }
+  }
+
+  // Lower each user's level ceiling to the mandatory minimum.
+  for (std::size_t i = 0; i < n_users; ++i) {
+    if (problem.users[i].user_bandwidth > problem.users[i].rate[0]) {
+      SlotProblem capped = problem;
+      capped.users[i].user_bandwidth = capped.users[i].rate[0];
+      out.push_back(std::move(capped));
+    }
+  }
+
+  // Halve the budget headroom; then remove it entirely.
+  const double minimum = min_rate_sum(problem);
+  const double headroom = problem.server_bandwidth - minimum;
+  if (headroom > 1e-6) {
+    SlotProblem halved = problem;
+    halved.server_bandwidth = minimum + headroom / 2.0;
+    out.push_back(std::move(halved));
+    SlotProblem tight = problem;
+    tight.server_bandwidth = minimum;
+    out.push_back(std::move(tight));
+  }
+
+  // Neutralize the QoE weights.
+  if (problem.params.alpha != 0.0 || problem.params.beta != 0.0) {
+    SlotProblem plain = problem;
+    plain.params = core::QoeParams{0.0, 0.0};
+    out.push_back(std::move(plain));
+  }
+  return out;
+}
+
+std::string FixtureTraits<core::SlotProblem>::show(
+    const core::SlotProblem& problem) {
+  std::string out;
+  out += "core::SlotProblem problem;\n";
+  out += "problem.params = core::QoeParams{" +
+         show_double(problem.params.alpha) + ", " +
+         show_double(problem.params.beta) + "};\n";
+  out += "problem.server_bandwidth = " +
+         show_double(problem.server_bandwidth) + ";\n";
+  for (const auto& user : problem.users) {
+    out += "{\n  core::UserSlotContext user;\n";
+    out += "  user.delta = " + show_double(user.delta) + ";\n";
+    out += "  user.qbar = " + show_double(user.qbar) + ";\n";
+    out += "  user.slot = " + show_double(user.slot) + ";\n";
+    out += "  user.user_bandwidth = " + show_double(user.user_bandwidth) +
+           ";\n";
+    out += "  user.rate = " + show_double_list(user.rate) + ";\n";
+    out += "  user.delay = " + show_double_list(user.delay) + ";\n";
+    if (!user.frame_loss.empty()) {
+      out += "  user.frame_loss = " + show_double_list(user.frame_loss) +
+             ";\n";
+    }
+    out += "  problem.users.push_back(user);\n}\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fault schedules
+
+Gen<faults::FaultScheduleConfig> fault_schedule_configs() {
+  return [](cvr::Rng& rng) {
+    faults::FaultScheduleConfig config;
+    config.users = static_cast<std::size_t>(rng.uniform_int(1, 16));
+    config.routers = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    config.slots = static_cast<std::size_t>(rng.uniform_int(50, 3000));
+    config.seed = rng.engine()();
+    config.intensity = rng.bernoulli(0.15) ? 0.0 : rng.uniform(0.0, 3.0);
+    config.churn_rate = rng.uniform(0.0, 1.5);
+    config.pose_blackout_rate = rng.uniform(0.0, 1.5);
+    config.ack_stall_rate = rng.uniform(0.0, 1.5);
+    config.router_outage_rate = rng.uniform(0.0, 1.5);
+    config.cache_flush_rate = rng.uniform(0.0, 1.0);
+    config.mean_duration_slots =
+        static_cast<std::size_t>(rng.uniform_int(1, 80));
+    config.outage_depth = rng.uniform(0.0, 0.95);
+    return config;
+  };
+}
+
+std::vector<faults::FaultScheduleConfig>
+ShrinkTraits<faults::FaultScheduleConfig>::candidates(
+    const faults::FaultScheduleConfig& config) {
+  std::vector<faults::FaultScheduleConfig> out;
+  const auto push_if = [&](bool changed, faults::FaultScheduleConfig next) {
+    if (changed) out.push_back(next);
+  };
+  auto c = config;
+  c.users = std::max<std::size_t>(1, config.users / 2);
+  push_if(c.users != config.users, c);
+  c = config;
+  c.routers = 1;
+  push_if(config.routers != 1, c);
+  c = config;
+  c.slots = std::max<std::size_t>(1, config.slots / 2);
+  push_if(c.slots != config.slots, c);
+  c = config;
+  c.intensity = 0.0;
+  push_if(config.intensity != 0.0, c);
+  c = config;
+  c.intensity = config.intensity / 2.0;
+  push_if(config.intensity > 1e-3, c);
+  c = config;
+  c.mean_duration_slots = 1;
+  push_if(config.mean_duration_slots != 1, c);
+  for (auto rate : {&faults::FaultScheduleConfig::churn_rate,
+                    &faults::FaultScheduleConfig::pose_blackout_rate,
+                    &faults::FaultScheduleConfig::ack_stall_rate,
+                    &faults::FaultScheduleConfig::router_outage_rate,
+                    &faults::FaultScheduleConfig::cache_flush_rate}) {
+    c = config;
+    c.*rate = 0.0;
+    push_if(config.*rate != 0.0, c);
+  }
+  return out;
+}
+
+std::string FixtureTraits<faults::FaultScheduleConfig>::show(
+    const faults::FaultScheduleConfig& config) {
+  std::string out = "faults::FaultScheduleConfig config;\n";
+  out += "config.users = " + std::to_string(config.users) + ";\n";
+  out += "config.routers = " + std::to_string(config.routers) + ";\n";
+  out += "config.slots = " + std::to_string(config.slots) + ";\n";
+  out += "config.seed = " + std::to_string(config.seed) + "ull;\n";
+  out += "config.intensity = " + show_double(config.intensity) + ";\n";
+  out += "config.churn_rate = " + show_double(config.churn_rate) + ";\n";
+  out += "config.pose_blackout_rate = " +
+         show_double(config.pose_blackout_rate) + ";\n";
+  out += "config.ack_stall_rate = " + show_double(config.ack_stall_rate) +
+         ";\n";
+  out += "config.router_outage_rate = " +
+         show_double(config.router_outage_rate) + ";\n";
+  out += "config.cache_flush_rate = " + show_double(config.cache_flush_rate) +
+         ";\n";
+  out += "config.mean_duration_slots = " +
+         std::to_string(config.mean_duration_slots) + ";\n";
+  out += "config.outage_depth = " + show_double(config.outage_depth) + ";\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages
+
+namespace {
+
+content::VideoId gen_video_id(cvr::Rng& rng) {
+  content::TileKey key;
+  key.cell.gx = static_cast<std::int32_t>(rng.uniform_int(-(1 << 22),
+                                                          (1 << 22)));
+  key.cell.gy = static_cast<std::int32_t>(rng.uniform_int(-(1 << 22),
+                                                          (1 << 22)));
+  key.tile_index = static_cast<int>(rng.uniform_int(0, 3));
+  key.level = static_cast<content::QualityLevel>(rng.uniform_int(1, 6));
+  return content::pack_video_id(key);
+}
+
+double gen_coordinate(cvr::Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return rng.uniform(-180.0, 180.0);
+    case 2:
+      return rng.uniform(-1e6, 1e6);
+    default:
+      return rng.normal(0.0, 1e-6);  // subnormal-adjacent magnitudes
+  }
+}
+
+std::vector<content::VideoId> gen_tiles(cvr::Rng& rng) {
+  std::vector<content::VideoId> tiles;
+  const auto count = static_cast<std::size_t>(rng.uniform_int(0, 20));
+  tiles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) tiles.push_back(gen_video_id(rng));
+  return tiles;
+}
+
+}  // namespace
+
+WireMessage gen_wire_message(cvr::Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0: {
+      proto::PoseUpdate message;
+      message.user = static_cast<std::uint32_t>(rng.engine()());
+      message.slot = rng.engine()();
+      message.pose.x = gen_coordinate(rng);
+      message.pose.y = gen_coordinate(rng);
+      message.pose.z = gen_coordinate(rng);
+      message.pose.yaw = gen_coordinate(rng);
+      message.pose.pitch = gen_coordinate(rng);
+      message.pose.roll = gen_coordinate(rng);
+      return message;
+    }
+    case 1: {
+      proto::DeliveryAck message;
+      message.user = static_cast<std::uint32_t>(rng.engine()());
+      message.slot = rng.engine()();
+      message.tiles = gen_tiles(rng);
+      return message;
+    }
+    case 2: {
+      proto::ReleaseAck message;
+      message.user = static_cast<std::uint32_t>(rng.engine()());
+      message.slot = rng.engine()();
+      message.tiles = gen_tiles(rng);
+      return message;
+    }
+    default: {
+      proto::TileHeader message;
+      message.video_id = gen_video_id(rng);
+      message.packet_count =
+          static_cast<std::uint32_t>(rng.uniform_int(1, 64));
+      message.packet_index = static_cast<std::uint32_t>(
+          rng.uniform_int(0, message.packet_count - 1));
+      message.slot = rng.engine()();
+      return message;
+    }
+  }
+}
+
+Gen<WireMessage> wire_messages() {
+  return [](cvr::Rng& rng) { return gen_wire_message(rng); };
+}
+
+proto::Buffer encode_wire_message(const WireMessage& message) {
+  return std::visit([](const auto& m) { return proto::encode(m); }, message);
+}
+
+std::vector<WireMessage> ShrinkTraits<WireMessage>::candidates(
+    const WireMessage& message) {
+  std::vector<WireMessage> out;
+  if (const auto* pose = std::get_if<proto::PoseUpdate>(&message)) {
+    if (!(*pose == proto::PoseUpdate{})) out.push_back(proto::PoseUpdate{});
+  } else if (const auto* ack = std::get_if<proto::DeliveryAck>(&message)) {
+    for (auto tiles :
+         ShrinkTraits<std::vector<content::VideoId>>::candidates(ack->tiles)) {
+      proto::DeliveryAck smaller = *ack;
+      smaller.tiles = std::move(tiles);
+      out.push_back(std::move(smaller));
+    }
+    if (ack->user != 0 || ack->slot != 0) {
+      proto::DeliveryAck zeroed = *ack;
+      zeroed.user = 0;
+      zeroed.slot = 0;
+      out.push_back(std::move(zeroed));
+    }
+  } else if (const auto* release = std::get_if<proto::ReleaseAck>(&message)) {
+    for (auto tiles : ShrinkTraits<std::vector<content::VideoId>>::candidates(
+             release->tiles)) {
+      proto::ReleaseAck smaller = *release;
+      smaller.tiles = std::move(tiles);
+      out.push_back(std::move(smaller));
+    }
+    if (release->user != 0 || release->slot != 0) {
+      proto::ReleaseAck zeroed = *release;
+      zeroed.user = 0;
+      zeroed.slot = 0;
+      out.push_back(std::move(zeroed));
+    }
+  } else if (const auto* header = std::get_if<proto::TileHeader>(&message)) {
+    if (header->packet_count != 1 || header->packet_index != 0 ||
+        header->slot != 0) {
+      proto::TileHeader minimal = *header;
+      minimal.packet_count = 1;
+      minimal.packet_index = 0;
+      minimal.slot = 0;
+      out.push_back(std::move(minimal));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string show_tiles(const std::vector<content::VideoId>& tiles) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(tiles[i]) + "ull";
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string FixtureTraits<WireMessage>::show(const WireMessage& message) {
+  std::string out;
+  if (const auto* pose = std::get_if<proto::PoseUpdate>(&message)) {
+    out += "proto::PoseUpdate message;\n";
+    out += "message.user = " + std::to_string(pose->user) + ";\n";
+    out += "message.slot = " + std::to_string(pose->slot) + "ull;\n";
+    out += "message.pose.x = " + show_double(pose->pose.x) + ";\n";
+    out += "message.pose.y = " + show_double(pose->pose.y) + ";\n";
+    out += "message.pose.z = " + show_double(pose->pose.z) + ";\n";
+    out += "message.pose.yaw = " + show_double(pose->pose.yaw) + ";\n";
+    out += "message.pose.pitch = " + show_double(pose->pose.pitch) + ";\n";
+    out += "message.pose.roll = " + show_double(pose->pose.roll) + ";\n";
+  } else if (const auto* ack = std::get_if<proto::DeliveryAck>(&message)) {
+    out += "proto::DeliveryAck message;\n";
+    out += "message.user = " + std::to_string(ack->user) + ";\n";
+    out += "message.slot = " + std::to_string(ack->slot) + "ull;\n";
+    out += "message.tiles = " + show_tiles(ack->tiles) + ";\n";
+  } else if (const auto* release = std::get_if<proto::ReleaseAck>(&message)) {
+    out += "proto::ReleaseAck message;\n";
+    out += "message.user = " + std::to_string(release->user) + ";\n";
+    out += "message.slot = " + std::to_string(release->slot) + "ull;\n";
+    out += "message.tiles = " + show_tiles(release->tiles) + ";\n";
+  } else if (const auto* header = std::get_if<proto::TileHeader>(&message)) {
+    out += "proto::TileHeader message;\n";
+    out += "message.video_id = " + std::to_string(header->video_id) +
+           "ull;\n";
+    out += "message.packet_index = " + std::to_string(header->packet_index) +
+           ";\n";
+    out += "message.packet_count = " + std::to_string(header->packet_count) +
+           ";\n";
+    out += "message.slot = " + std::to_string(header->slot) + "ull;\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-bytes corpus
+
+proto::Buffer MutationCase::mutated() const {
+  proto::Buffer frame = encode_wire_message(message);
+  switch (op) {
+    case Op::kOverwriteByte:
+      if (!frame.empty()) frame[position % frame.size()] = value;
+      break;
+    case Op::kTruncate:
+      frame.resize(position % std::max<std::size_t>(1, frame.size()));
+      break;
+    case Op::kAppend:
+      frame.push_back(value);
+      break;
+  }
+  return frame;
+}
+
+bool MutationCase::is_noop() const {
+  return mutated() == encode_wire_message(message);
+}
+
+MutationCase gen_mutation_case(cvr::Rng& rng) {
+  MutationCase mutation;
+  mutation.message = gen_wire_message(rng);
+  const proto::Buffer frame = encode_wire_message(mutation.message);
+  const double roll = rng.uniform();
+  if (roll < 0.6) {
+    mutation.op = MutationCase::Op::kOverwriteByte;
+    mutation.position = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+    mutation.value = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  } else if (roll < 0.85) {
+    mutation.op = MutationCase::Op::kTruncate;
+    mutation.position = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+  } else {
+    mutation.op = MutationCase::Op::kAppend;
+    mutation.value = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return mutation;
+}
+
+Gen<MutationCase> mutation_cases() {
+  return [](cvr::Rng& rng) { return gen_mutation_case(rng); };
+}
+
+std::vector<MutationCase> ShrinkTraits<MutationCase>::candidates(
+    const MutationCase& mutation) {
+  std::vector<MutationCase> out;
+  for (auto& message : ShrinkTraits<WireMessage>::candidates(mutation.message)) {
+    MutationCase smaller = mutation;
+    smaller.message = std::move(message);
+    out.push_back(std::move(smaller));
+  }
+  if (mutation.position != 0) {
+    MutationCase front = mutation;
+    front.position = 0;
+    out.push_back(std::move(front));
+  }
+  if (mutation.value != 0) {
+    MutationCase zero = mutation;
+    zero.value = 0;
+    out.push_back(std::move(zero));
+  }
+  return out;
+}
+
+std::string FixtureTraits<MutationCase>::show(const MutationCase& mutation) {
+  std::string out = FixtureTraits<WireMessage>::show(mutation.message);
+  out += "// mutation: ";
+  switch (mutation.op) {
+    case MutationCase::Op::kOverwriteByte:
+      out += "overwrite frame[" + std::to_string(mutation.position) +
+             "] = " + std::to_string(mutation.value);
+      break;
+    case MutationCase::Op::kTruncate:
+      out += "truncate frame to " + std::to_string(mutation.position) +
+             " byte(s)";
+      break;
+    case MutationCase::Op::kAppend:
+      out += "append byte " + std::to_string(mutation.value);
+      break;
+  }
+  out += "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sample streams / QoE traces
+
+Gen<SampleStream> sample_streams(std::size_t max_len) {
+  return [max_len](cvr::Rng& rng) {
+    SampleStream stream;
+    const auto len = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+    stream.samples.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!stream.samples.empty() && rng.bernoulli(0.15)) {
+        // Exact repeats: zero-variance runs and catastrophic
+        // cancellation bait for naive two-pass formulas.
+        stream.samples.push_back(stream.samples.back());
+        continue;
+      }
+      const double magnitude = std::pow(10.0, rng.uniform(-6.0, 9.0));
+      const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      stream.samples.push_back(sign * magnitude * rng.uniform(1.0, 10.0));
+    }
+    stream.split = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(len)));
+    return stream;
+  };
+}
+
+std::vector<SampleStream> ShrinkTraits<SampleStream>::candidates(
+    const SampleStream& stream) {
+  std::vector<SampleStream> out;
+  for (auto& samples :
+       ShrinkTraits<std::vector<double>>::candidates(stream.samples)) {
+    SampleStream smaller;
+    smaller.split = std::min(stream.split, samples.size());
+    smaller.samples = std::move(samples);
+    out.push_back(std::move(smaller));
+  }
+  const std::size_t to_zero = std::min<std::size_t>(stream.samples.size(), 16);
+  for (std::size_t i = 0; i < to_zero; ++i) {
+    if (stream.samples[i] == 0.0) continue;
+    SampleStream zeroed = stream;
+    zeroed.samples[i] = 0.0;
+    out.push_back(std::move(zeroed));
+  }
+  return out;
+}
+
+std::string FixtureTraits<SampleStream>::show(const SampleStream& stream) {
+  return "std::vector<double> samples = " + show_double_list(stream.samples) +
+         ";\nstd::size_t split = " + std::to_string(stream.split) + ";\n";
+}
+
+Gen<QoeTrace> qoe_traces(std::size_t max_len) {
+  return [max_len](cvr::Rng& rng) {
+    QoeTrace trace;
+    const auto len = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+    trace.steps.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      QoeTrace::Step step;
+      step.chosen = static_cast<int>(rng.uniform_int(1, 6));
+      if (rng.bernoulli(0.3)) {
+        step.displayed = 0.0;  // prediction miss
+      } else if (rng.bernoulli(0.2)) {
+        step.displayed = rng.uniform(0.0, 6.0);  // fallback-cell quality
+      } else {
+        step.displayed = static_cast<double>(step.chosen);
+      }
+      step.delay = rng.bernoulli(0.1) ? 0.0 : rng.uniform(0.0, 50.0);
+      trace.steps.push_back(step);
+    }
+    return trace;
+  };
+}
+
+std::vector<QoeTrace> ShrinkTraits<QoeTrace>::candidates(
+    const QoeTrace& trace) {
+  std::vector<QoeTrace> out;
+  for (auto& steps :
+       ShrinkTraits<std::vector<QoeTrace::Step>>::candidates(trace.steps)) {
+    QoeTrace smaller;
+    smaller.steps = std::move(steps);
+    out.push_back(std::move(smaller));
+  }
+  const std::size_t to_simplify = std::min<std::size_t>(trace.steps.size(), 16);
+  for (std::size_t i = 0; i < to_simplify; ++i) {
+    const QoeTrace::Step& step = trace.steps[i];
+    if (step.chosen == 1 && step.displayed == 0.0 && step.delay == 0.0) {
+      continue;
+    }
+    QoeTrace simpler = trace;
+    simpler.steps[i] = QoeTrace::Step{};
+    out.push_back(std::move(simpler));
+  }
+  return out;
+}
+
+std::string FixtureTraits<QoeTrace>::show(const QoeTrace& trace) {
+  std::string out = "core::UserQoeAccumulator acc;\n";
+  for (const auto& step : trace.steps) {
+    out += "acc.record_displayed(" + std::to_string(step.chosen) + ", " +
+           show_double(step.displayed) + ", " + show_double(step.delay) +
+           ");\n";
+  }
+  return out;
+}
+
+}  // namespace cvr::proptest

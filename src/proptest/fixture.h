@@ -1,0 +1,64 @@
+// Counterexample rendering for the property-based testing harness.
+//
+// FixtureTraits<T>::show() turns a (shrunk) failing instance into a
+// literal C++ fixture — code a developer can paste into a regression
+// test verbatim, with doubles printed at max_digits10 so the pasted
+// instance is bit-identical to the failing one. Domain types get
+// hand-written printers in domain.h; everything else falls back to
+// operator<< when available, or an opaque placeholder.
+#pragma once
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cvr::proptest {
+
+/// Exact decimal rendering of a double: round-trips through parsing.
+inline std::string show_double(double value) {
+  std::ostringstream out;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10)
+      << value;
+  return out.str();
+}
+
+/// `{a, b, c}` initializer list of exact doubles.
+inline std::string show_double_list(const std::vector<double>& values) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ", ";
+    out += show_double(values[i]);
+  }
+  out += "}";
+  return out;
+}
+
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& value) {
+  { os << value };
+};
+
+template <typename T>
+struct FixtureTraits {
+  static std::string show(const T& value) {
+    if constexpr (Streamable<T>) {
+      std::ostringstream out;
+      out << std::setprecision(std::numeric_limits<double>::max_digits10)
+          << value;
+      return out.str();
+    } else {
+      return "<no fixture printer for this type>";
+    }
+  }
+};
+
+template <>
+struct FixtureTraits<std::vector<double>> {
+  static std::string show(const std::vector<double>& value) {
+    return "std::vector<double> samples = " + show_double_list(value) + ";";
+  }
+};
+
+}  // namespace cvr::proptest

@@ -1,0 +1,89 @@
+// Generator combinators for the property-based testing harness.
+//
+// A Gen<T> is a deterministic recipe: given the harness's seeded
+// cvr::Rng it produces one random instance of T. Generators compose —
+// vector_of(uniform_real(0, 1), 1, 8) is a generator of small double
+// vectors — and every instance is a pure function of the Rng stream,
+// so a failing instance is reproducible from its seed alone (see
+// property.h for how seeds are derived and reported).
+//
+// The combinators deliberately mirror QuickCheck/Hypothesis at the
+// smallest useful surface: constant, uniform scalars, choice, vectors,
+// map. Domain-specific generators (SlotProblem, fault schedules, wire
+// messages) live in domain.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cvr::proptest {
+
+template <typename T>
+using Gen = std::function<T(cvr::Rng&)>;
+
+/// Always produces `value`.
+template <typename T>
+Gen<T> constant(T value) {
+  return [value](cvr::Rng&) { return value; };
+}
+
+/// Uniform double in [lo, hi).
+inline Gen<double> uniform_real(double lo, double hi) {
+  return [lo, hi](cvr::Rng& rng) { return rng.uniform(lo, hi); };
+}
+
+/// Uniform integer in [lo, hi] (inclusive).
+inline Gen<std::int64_t> uniform_int(std::int64_t lo, std::int64_t hi) {
+  return [lo, hi](cvr::Rng& rng) { return rng.uniform_int(lo, hi); };
+}
+
+/// Picks one of the given values uniformly. Requires non-empty choices.
+template <typename T>
+Gen<T> element_of(std::vector<T> choices) {
+  return [choices = std::move(choices)](cvr::Rng& rng) {
+    const auto index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(choices.size()) - 1));
+    return choices[index];
+  };
+}
+
+/// Runs one of the given sub-generators, picked uniformly.
+template <typename T>
+Gen<T> one_of(std::vector<Gen<T>> alternatives) {
+  return [alternatives = std::move(alternatives)](cvr::Rng& rng) {
+    const auto index = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(alternatives.size()) - 1));
+    return alternatives[index](rng);
+  };
+}
+
+/// Vector with uniformly chosen size in [min_size, max_size], elements
+/// drawn independently from `item`.
+template <typename T>
+Gen<std::vector<T>> vector_of(Gen<T> item, std::size_t min_size,
+                              std::size_t max_size) {
+  return [item = std::move(item), min_size, max_size](cvr::Rng& rng) {
+    const auto size = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(min_size),
+                        static_cast<std::int64_t>(max_size)));
+    std::vector<T> out;
+    out.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) out.push_back(item(rng));
+    return out;
+  };
+}
+
+/// Applies `f` to each generated value.
+template <typename T, typename F>
+auto map(Gen<T> gen, F f) -> Gen<decltype(f(std::declval<T>()))> {
+  using U = decltype(f(std::declval<T>()));
+  return Gen<U>([gen = std::move(gen), f = std::move(f)](cvr::Rng& rng) {
+    return f(gen(rng));
+  });
+}
+
+}  // namespace cvr::proptest

@@ -1,0 +1,770 @@
+// The built-in property set: differential oracles over the allocator
+// stack, the QoE decomposition, the fault-schedule generator, and the
+// wire codec.
+//
+// Everything registers through register_builtin_properties() — a plain
+// function called from Registry::instance(), NOT static initializers —
+// so linking cvr_proptest as a static library can never silently drop a
+// property. Each property is deterministic in the instance seed; see
+// property.h for the replay contract.
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "src/core/dv_greedy.h"
+#include "src/core/fractional.h"
+#include "src/core/optimal.h"
+#include "src/faults/fault_schedule.h"
+#include "src/net/mm1.h"
+#include "src/proptest/domain.h"
+#include "src/proptest/property.h"
+#include "src/util/stats.h"
+
+namespace cvr::proptest {
+
+namespace {
+
+using core::Allocation;
+using core::BruteForceAllocator;
+using core::DvGreedyAllocator;
+using core::QualityLevel;
+using core::SlotProblem;
+
+std::string show_levels(const std::vector<QualityLevel>& levels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(levels[i]);
+  }
+  return out + "}";
+}
+
+double base_value(const SlotProblem& problem) {
+  return core::evaluate(problem,
+                        std::vector<QualityLevel>(problem.users.size(), 1));
+}
+
+// ---------------------------------------------------------------------------
+// Core: DV-greedy differential oracles
+
+/// Oracle 1: the lazy-heap argmax is bit-identical to the paper's plain
+/// scan — same levels, same objective — including exact score ties
+/// (tie_heavy_config duplicates users and quantizes rates to force
+/// them). Both implementations must break ties toward the smaller user
+/// index for this to hold.
+CheckResult check_scan_heap_identical(const SlotProblem& problem) {
+  using Mode = DvGreedyAllocator::Mode;
+  using Strategy = DvGreedyAllocator::Strategy;
+  for (Mode mode : {Mode::kDensityOnly, Mode::kValueOnly, Mode::kCombined}) {
+    DvGreedyAllocator scan(mode, Strategy::kScan);
+    DvGreedyAllocator heap(mode, Strategy::kHeap);
+    const Allocation a = scan.allocate(problem);
+    const Allocation b = heap.allocate(problem);
+    if (a.levels != b.levels) {
+      std::ostringstream note;
+      note << "mode " << static_cast<int>(mode) << ": scan "
+           << show_levels(a.levels) << " != heap " << show_levels(b.levels);
+      return fail(note.str());
+    }
+    if (a.objective != b.objective) {
+      return fail("objectives differ: scan " + show_double(a.objective) +
+                  " vs heap " + show_double(b.objective));
+    }
+  }
+  return pass();
+}
+
+/// Oracle 2 (Theorem 1): on the published model the combined greedy's
+/// gain over the all-ones base is at least half the exact optimum's
+/// gain. Gains, not absolute objectives: level-1 values can be negative
+/// through the constant miss-variance term, and the gain is what the
+/// paper's proof bounds (see approx_ratio_test.cpp).
+CheckResult check_theorem1(const SlotProblem& problem) {
+  BruteForceAllocator brute;
+  DvGreedyAllocator greedy;
+  const double base = base_value(problem);
+  const double opt_gain = brute.allocate(problem).objective - base;
+  const double greedy_gain = greedy.allocate(problem).objective - base;
+  if (opt_gain < -1e-9) {
+    return fail("exact optimum below the all-ones base: gain " +
+                show_double(opt_gain));
+  }
+  if (greedy_gain < 0.5 * opt_gain - 1e-9) {
+    return fail("greedy gain " + show_double(greedy_gain) +
+                " < half of optimal gain " + show_double(opt_gain));
+  }
+  return pass();
+}
+
+/// Oracle 3: fractional relaxation >= exact optimum >= dv-greedy. The
+/// left inequality needs concave h (published model); the right holds
+/// because greedy's allocation is feasible and brute force is exact.
+CheckResult check_bounds_sandwich(const SlotProblem& problem) {
+  BruteForceAllocator brute;
+  DvGreedyAllocator greedy;
+  const double upper = core::fractional_upper_bound(problem);
+  const double exact = brute.allocate(problem).objective;
+  const double dv = greedy.allocate(problem).objective;
+  if (upper < exact - 1e-9) {
+    return fail("fractional bound " + show_double(upper) +
+                " below exact optimum " + show_double(exact));
+  }
+  if (exact < dv - 1e-9) {
+    return fail("exact optimum " + show_double(exact) +
+                " below dv-greedy " + show_double(dv));
+  }
+  return pass();
+}
+
+/// Every strategy/mode combination returns one valid level per user, a
+/// feasible allocation (per-user caps, server budget unless all-ones),
+/// an objective matching evaluate(), and never less than the mandatory
+/// all-ones base it starts from.
+CheckResult check_allocation_feasible(const SlotProblem& problem) {
+  using Mode = DvGreedyAllocator::Mode;
+  using Strategy = DvGreedyAllocator::Strategy;
+  const double base = base_value(problem);
+  for (Strategy strategy : {Strategy::kScan, Strategy::kHeap}) {
+    for (Mode mode :
+         {Mode::kDensityOnly, Mode::kValueOnly, Mode::kCombined}) {
+      DvGreedyAllocator allocator(mode, strategy);
+      const Allocation allocation = allocator.allocate(problem);
+      if (allocation.levels.size() != problem.users.size()) {
+        return fail("wrong level count: " +
+                    std::to_string(allocation.levels.size()));
+      }
+      if (!core::allocation_feasible(problem, allocation.levels)) {
+        return fail("infeasible allocation " +
+                    show_levels(allocation.levels));
+      }
+      const double evaluated = core::evaluate(problem, allocation.levels);
+      if (std::abs(allocation.objective - evaluated) >
+          1e-9 * std::max(1.0, std::abs(evaluated))) {
+        return fail("reported objective " + show_double(allocation.objective) +
+                    " != evaluate() " + show_double(evaluated));
+      }
+      if (allocation.objective < base - 1e-9 * std::max(1.0, std::abs(base))) {
+        return fail("objective " + show_double(allocation.objective) +
+                    " below the all-ones base " + show_double(base));
+      }
+    }
+  }
+  return pass();
+}
+
+/// kCombined is exactly "run both passes, keep the better" — its
+/// objective equals max(density-only, value-only) bit for bit, for both
+/// strategies.
+CheckResult check_combined_best_of_passes(const SlotProblem& problem) {
+  using Mode = DvGreedyAllocator::Mode;
+  using Strategy = DvGreedyAllocator::Strategy;
+  for (Strategy strategy : {Strategy::kScan, Strategy::kHeap}) {
+    const double density =
+        DvGreedyAllocator(Mode::kDensityOnly, strategy).allocate(problem)
+            .objective;
+    const double value =
+        DvGreedyAllocator(Mode::kValueOnly, strategy).allocate(problem)
+            .objective;
+    const double combined =
+        DvGreedyAllocator(Mode::kCombined, strategy).allocate(problem)
+            .objective;
+    if (combined != std::max(density, value)) {
+      return fail("combined " + show_double(combined) +
+                  " != max(density " + show_double(density) + ", value " +
+                  show_double(value) + ")");
+    }
+  }
+  return pass();
+}
+
+/// The published (loss-oblivious, analytic-table) model always yields
+/// discretely concave h_n — the assumption behind Theorem 1.
+CheckResult check_h_concave(const SlotProblem& problem) {
+  for (std::size_t n = 0; n < problem.users.size(); ++n) {
+    if (!core::h_is_concave(problem.users[n], problem.params)) {
+      return fail("user " + std::to_string(n) +
+                  " has non-concave h under the published model");
+    }
+  }
+  return pass();
+}
+
+/// Oracle 4 (QoE side): UserQoeAccumulator's incremental Welford state
+/// matches a batch recompute of mean / population variance / QoE.
+CheckResult check_qoe_accumulator(const QoeTrace& trace) {
+  core::UserQoeAccumulator acc;
+  for (const auto& step : trace.steps) {
+    acc.record_displayed(step.chosen, step.displayed, step.delay);
+  }
+  const std::size_t n = trace.steps.size();
+  if (acc.slots() != n) {
+    return fail("slots() " + std::to_string(acc.slots()) + " != " +
+                std::to_string(n));
+  }
+  if (n == 0) return pass();
+
+  long double quality_sum = 0.0L, delay_sum = 0.0L, level_sum = 0.0L;
+  for (const auto& step : trace.steps) {
+    quality_sum += step.displayed;
+    delay_sum += step.delay;
+    level_sum += step.chosen;
+  }
+  const long double mean = quality_sum / n;
+  long double m2 = 0.0L;
+  for (const auto& step : trace.steps) {
+    const long double d = step.displayed - mean;
+    m2 += d * d;
+  }
+  const long double variance = m2 / n;
+  // Displayed quality is bounded by kNumQualityLevels and delay by the
+  // generator's 50 ms cap, so an absolute ULP-scaled tolerance works.
+  const double tol = 1e-12 * static_cast<double>(n) * 64.0;
+  const auto close_to = [tol](double got, long double want) {
+    return std::abs(got - static_cast<double>(want)) <= tol;
+  };
+  if (!close_to(acc.mean_viewed_quality(), mean)) {
+    return fail("mean_viewed_quality " + show_double(acc.mean_viewed_quality()) +
+                " != batch " + show_double(static_cast<double>(mean)));
+  }
+  if (!close_to(acc.variance(), variance)) {
+    return fail("variance " + show_double(acc.variance()) + " != batch " +
+                show_double(static_cast<double>(variance)));
+  }
+  if (!close_to(acc.mean_delay(), delay_sum / n)) {
+    return fail("mean_delay " + show_double(acc.mean_delay()) + " != batch " +
+                show_double(static_cast<double>(delay_sum / n)));
+  }
+  if (!close_to(acc.mean_level(), level_sum / n)) {
+    return fail("mean_level " + show_double(acc.mean_level()) + " != batch " +
+                show_double(static_cast<double>(level_sum / n)));
+  }
+  const core::QoeParams params{0.02, 0.5};
+  const long double qoe = mean - 0.02L * (delay_sum / n) - 0.5L * variance;
+  if (!close_to(acc.average_qoe(params), qoe)) {
+    return fail("average_qoe " + show_double(acc.average_qoe(params)) +
+                " != batch " + show_double(static_cast<double>(qoe)));
+  }
+  return pass();
+}
+
+// ---------------------------------------------------------------------------
+// Util: Welford vs batch, RNG contracts
+
+struct BatchMoments {
+  long double mean = 0.0L;
+  long double variance = 0.0L;  // population
+  double min = 0.0;
+  double max = 0.0;
+};
+
+BatchMoments batch_moments(const std::vector<double>& samples) {
+  BatchMoments out;
+  if (samples.empty()) return out;
+  long double sum = 0.0L;
+  out.min = samples[0];
+  out.max = samples[0];
+  for (double x : samples) {
+    sum += x;
+    out.min = std::min(out.min, x);
+    out.max = std::max(out.max, x);
+  }
+  out.mean = sum / static_cast<long double>(samples.size());
+  long double m2 = 0.0L;
+  for (double x : samples) {
+    const long double d = x - out.mean;
+    m2 += d * d;
+  }
+  out.variance = m2 / static_cast<long double>(samples.size());
+  return out;
+}
+
+/// ULP-scaled tolerance for a sample set spanning magnitudes: 1e-12 of
+/// the mean squared magnitude (the conditioning scale of a variance
+/// computation), never below 1e-12 of the magnitude scale itself.
+double moment_tolerance(const std::vector<double>& samples) {
+  long double meansq = 0.0L;
+  for (double x : samples) meansq += static_cast<long double>(x) * x;
+  if (!samples.empty()) meansq /= static_cast<long double>(samples.size());
+  return 1e-12 * static_cast<double>(samples.size()) *
+         std::max(1.0, static_cast<double>(meansq));
+}
+
+/// Oracle: incremental Welford (RunningStat) == batch two-pass
+/// recompute, across nine orders of magnitude and exact-repeat runs.
+CheckResult check_welford_batch(const SampleStream& stream) {
+  cvr::RunningStat stat;
+  for (double x : stream.samples) stat.add(x);
+  if (stat.count() != stream.samples.size()) {
+    return fail("count " + std::to_string(stat.count()));
+  }
+  if (stream.samples.empty()) return pass();
+  const BatchMoments batch = batch_moments(stream.samples);
+  const double tol = moment_tolerance(stream.samples);
+  if (std::abs(stat.mean() - static_cast<double>(batch.mean)) > tol) {
+    return fail("mean " + show_double(stat.mean()) + " != batch " +
+                show_double(static_cast<double>(batch.mean)) + " (tol " +
+                show_double(tol) + ")");
+  }
+  if (std::abs(stat.population_variance() -
+               static_cast<double>(batch.variance)) > tol) {
+    return fail("population_variance " +
+                show_double(stat.population_variance()) + " != batch " +
+                show_double(static_cast<double>(batch.variance)) + " (tol " +
+                show_double(tol) + ")");
+  }
+  if (stat.min() != batch.min || stat.max() != batch.max) {
+    return fail("min/max drift: got [" + show_double(stat.min()) + ", " +
+                show_double(stat.max()) + "]");
+  }
+  return pass();
+}
+
+/// Merging split-stream accumulators (parallel Welford) matches feeding
+/// the whole stream sequentially.
+CheckResult check_welford_merge(const SampleStream& stream) {
+  cvr::RunningStat sequential, head, tail;
+  for (double x : stream.samples) sequential.add(x);
+  for (std::size_t i = 0; i < stream.samples.size(); ++i) {
+    (i < stream.split ? head : tail).add(stream.samples[i]);
+  }
+  head.merge(tail);
+  if (head.count() != sequential.count()) {
+    return fail("merged count " + std::to_string(head.count()) + " != " +
+                std::to_string(sequential.count()));
+  }
+  if (stream.samples.empty()) return pass();
+  const double tol = moment_tolerance(stream.samples);
+  if (std::abs(head.mean() - sequential.mean()) > tol) {
+    return fail("merged mean " + show_double(head.mean()) +
+                " != sequential " + show_double(sequential.mean()));
+  }
+  if (std::abs(head.population_variance() - sequential.population_variance()) >
+      tol) {
+    return fail("merged variance " + show_double(head.population_variance()) +
+                " != sequential " +
+                show_double(sequential.population_variance()));
+  }
+  if (head.min() != sequential.min() || head.max() != sequential.max()) {
+    return fail("merged min/max drift");
+  }
+  return pass();
+}
+
+/// RNG contracts the generators in this harness rely on: inclusive
+/// integer bounds, half-open real bounds, degenerate Bernoulli, and
+/// seed determinism.
+CheckResult check_rng_bounds(const std::uint64_t& seed) {
+  cvr::Rng rng(seed);
+  for (int k = 0; k < 32; ++k) {
+    const std::int64_t lo = rng.uniform_int(-1000, 1000);
+    const std::int64_t hi = lo + rng.uniform_int(0, 2000);
+    const std::int64_t v = rng.uniform_int(lo, hi);
+    if (v < lo || v > hi) {
+      return fail("uniform_int(" + std::to_string(lo) + ", " +
+                  std::to_string(hi) + ") returned " + std::to_string(v));
+    }
+    const double a = rng.uniform(-50.0, 50.0);
+    const double b = a + rng.uniform(1e-3, 100.0);
+    const double x = rng.uniform(a, b);
+    if (x < a || x >= b) {
+      return fail("uniform(" + show_double(a) + ", " + show_double(b) +
+                  ") returned " + show_double(x));
+    }
+    if (rng.bernoulli(0.0)) return fail("bernoulli(0) returned true");
+    if (!rng.bernoulli(1.0)) return fail("bernoulli(1) returned false");
+  }
+  cvr::Rng twin_a(seed), twin_b(seed);
+  for (int k = 0; k < 16; ++k) {
+    if (twin_a.engine()() != twin_b.engine()()) {
+      return fail("same seed produced diverging streams");
+    }
+  }
+  return pass();
+}
+
+// ---------------------------------------------------------------------------
+// Net: M/M/1 delay shape
+
+/// Oracle 5: d(r) = r / (B - r) is zero at rest, strictly positive and
+/// nondecreasing in r, discretely convex below saturation, capped at
+/// kSaturatedDelay, and saturation (r >= B) returns the cap exactly —
+/// an infeasible rate never yields a "better" delay.
+CheckResult check_mm1_shape(const double& bandwidth) {
+  if (net::mm1_delay(0.0, bandwidth) != 0.0) {
+    return fail("mm1_delay(0, B) != 0");
+  }
+  constexpr int kGrid = 64;
+  std::vector<double> delay(kGrid + 1, 0.0);
+  for (int k = 1; k <= kGrid; ++k) {
+    const double r = bandwidth * k / (kGrid + 1.0);
+    delay[static_cast<std::size_t>(k)] = net::mm1_delay(r, bandwidth);
+    const double d = delay[static_cast<std::size_t>(k)];
+    if (!(d > 0.0) || d > net::kSaturatedDelay) {
+      return fail("delay out of (0, cap] at r=" + show_double(r) + ": " +
+                  show_double(d));
+    }
+  }
+  for (int k = 1; k <= kGrid; ++k) {
+    if (delay[static_cast<std::size_t>(k)] <
+        delay[static_cast<std::size_t>(k - 1)]) {
+      return fail("delay decreased between grid points " +
+                  std::to_string(k - 1) + " and " + std::to_string(k));
+    }
+  }
+  for (int k = 1; k < kGrid; ++k) {
+    const double second = delay[static_cast<std::size_t>(k + 1)] -
+                          2.0 * delay[static_cast<std::size_t>(k)] +
+                          delay[static_cast<std::size_t>(k - 1)];
+    if (second < -1e-9 * std::max(1.0, delay[static_cast<std::size_t>(k + 1)])) {
+      return fail("delay not convex at grid point " + std::to_string(k) +
+                  ": second difference " + show_double(second));
+    }
+  }
+  for (double factor : {1.0, 1.5, 100.0}) {
+    if (net::mm1_delay(bandwidth * factor, bandwidth) != net::kSaturatedDelay) {
+      return fail("saturated rate did not return kSaturatedDelay");
+    }
+  }
+  return pass();
+}
+
+// ---------------------------------------------------------------------------
+// Faults: schedule generator
+
+bool events_equal(const faults::FaultEvent& a, const faults::FaultEvent& b) {
+  return a.type == b.type && a.target == b.target &&
+         a.start_slot == b.start_slot &&
+         a.duration_slots == b.duration_slots && a.severity == b.severity;
+}
+
+/// Oracle 6: generate_schedule is a pure function of the config — two
+/// calls agree event-for-event — and its output is sorted by start
+/// slot, in-horizon, valid-target, and empty at intensity zero.
+CheckResult check_fault_schedule_deterministic(
+    const faults::FaultScheduleConfig& config) {
+  const faults::FaultSchedule first = faults::generate_schedule(config);
+  const faults::FaultSchedule second = faults::generate_schedule(config);
+  const auto& a = first.events();
+  const auto& b = second.events();
+  if (a.size() != b.size()) {
+    return fail("regeneration changed event count: " +
+                std::to_string(a.size()) + " vs " + std::to_string(b.size()));
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!events_equal(a[i], b[i])) {
+      return fail("regeneration changed event " + std::to_string(i));
+    }
+  }
+  if (config.intensity == 0.0 && !a.empty()) {
+    return fail("intensity 0 produced " + std::to_string(a.size()) +
+                " event(s)");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const faults::FaultEvent& e = a[i];
+    if (i > 0 && e.start_slot < a[i - 1].start_slot) {
+      return fail("events not sorted by start_slot at index " +
+                  std::to_string(i));
+    }
+    if (e.start_slot >= config.slots) {
+      return fail("event starts beyond the horizon: slot " +
+                  std::to_string(e.start_slot));
+    }
+    if (e.duration_slots == 0) return fail("zero-duration event");
+    switch (e.type) {
+      case faults::FaultType::kUserDisconnect:
+      case faults::FaultType::kPoseBlackout:
+      case faults::FaultType::kAckStall:
+        if (e.target >= config.users) return fail("user target out of range");
+        break;
+      case faults::FaultType::kRouterOutage:
+        if (e.target >= config.routers) {
+          return fail("router target out of range");
+        }
+        if (e.severity != config.outage_depth) {
+          return fail("outage severity " + show_double(e.severity) +
+                      " != configured depth " +
+                      show_double(config.outage_depth));
+        }
+        break;
+      case faults::FaultType::kCacheFlush:
+        break;
+    }
+  }
+  return pass();
+}
+
+/// The schedule's query methods agree with a brute-force scan over the
+/// raw event list at seeded probe points (including slots beyond the
+/// horizon).
+CheckResult check_fault_schedule_queries(
+    const faults::FaultScheduleConfig& config) {
+  const faults::FaultSchedule schedule = faults::generate_schedule(config);
+  const auto& events = schedule.events();
+
+  std::size_t expected_horizon = 0;
+  for (const auto& e : events) {
+    expected_horizon = std::max(expected_horizon, e.end_slot());
+  }
+  if (schedule.horizon() != expected_horizon) {
+    return fail("horizon() " + std::to_string(schedule.horizon()) +
+                " != max end_slot " + std::to_string(expected_horizon));
+  }
+
+  const auto active = [&events](faults::FaultType type, std::size_t target,
+                                std::size_t slot) {
+    for (const auto& e : events) {
+      if (e.type == type && e.target == target && e.active_at(slot)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  cvr::Rng probe(config.seed ^ 0x51edu);
+  for (int k = 0; k < 64; ++k) {
+    const auto user = static_cast<std::size_t>(
+        probe.uniform_int(0, static_cast<std::int64_t>(config.users) - 1));
+    const auto router = static_cast<std::size_t>(
+        probe.uniform_int(0, static_cast<std::int64_t>(config.routers) - 1));
+    const auto slot = static_cast<std::size_t>(probe.uniform_int(
+        0, static_cast<std::int64_t>(config.slots + config.slots / 4)));
+
+    if (schedule.user_disconnected(user, slot) !=
+        active(faults::FaultType::kUserDisconnect, user, slot)) {
+      return fail("user_disconnected mismatch at user " +
+                  std::to_string(user) + " slot " + std::to_string(slot));
+    }
+    if (schedule.pose_blackout(user, slot) !=
+        active(faults::FaultType::kPoseBlackout, user, slot)) {
+      return fail("pose_blackout mismatch at user " + std::to_string(user) +
+                  " slot " + std::to_string(slot));
+    }
+    if (schedule.ack_stalled(user, slot) !=
+        active(faults::FaultType::kAckStall, user, slot)) {
+      return fail("ack_stalled mismatch at user " + std::to_string(user) +
+                  " slot " + std::to_string(slot));
+    }
+
+    double multiplier = 1.0;
+    for (const auto& e : events) {
+      if (e.type == faults::FaultType::kRouterOutage && e.target == router &&
+          e.active_at(slot)) {
+        multiplier *= e.severity;
+      }
+    }
+    if (schedule.router_capacity_multiplier(router, slot) != multiplier) {
+      return fail("router_capacity_multiplier mismatch at router " +
+                  std::to_string(router) + " slot " + std::to_string(slot));
+    }
+
+    bool flush = false;
+    for (const auto& e : events) {
+      if (e.type == faults::FaultType::kCacheFlush && e.start_slot == slot) {
+        flush = true;
+      }
+    }
+    if (schedule.cache_flush_at(slot) != flush) {
+      return fail("cache_flush_at mismatch at slot " + std::to_string(slot));
+    }
+
+    bool any = false;
+    for (const auto& e : events) {
+      if (!e.active_at(slot)) continue;
+      switch (e.type) {
+        case faults::FaultType::kUserDisconnect:
+        case faults::FaultType::kPoseBlackout:
+        case faults::FaultType::kAckStall:
+          any = any || e.target == user;
+          break;
+        case faults::FaultType::kRouterOutage:
+          any = any || e.target == router;
+          break;
+        case faults::FaultType::kCacheFlush:
+          any = true;
+          break;
+      }
+    }
+    if (schedule.any_fault_for_user(user, router, slot) != any) {
+      return fail("any_fault_for_user mismatch at user " +
+                  std::to_string(user) + " router " + std::to_string(router) +
+                  " slot " + std::to_string(slot));
+    }
+  }
+  return pass();
+}
+
+// ---------------------------------------------------------------------------
+// Proto: round-trip and malformed-bytes corpus
+
+WireMessage decode_any(const proto::Buffer& framed) {
+  switch (proto::peek_type(framed)) {
+    case proto::MessageType::kPoseUpdate:
+      return proto::decode_pose_update(framed);
+    case proto::MessageType::kDeliveryAck:
+      return proto::decode_delivery_ack(framed);
+    case proto::MessageType::kReleaseAck:
+      return proto::decode_release_ack(framed);
+    case proto::MessageType::kTileHeader:
+      return proto::decode_tile_header(framed);
+  }
+  throw std::runtime_error("decode_any: unreachable tag");
+}
+
+/// Oracle 7a: encode -> decode is the identity, and the encoding is
+/// canonical (re-encoding the decoded message reproduces the frame).
+CheckResult check_proto_roundtrip(const WireMessage& message) {
+  const proto::Buffer framed = encode_wire_message(message);
+  const WireMessage decoded = decode_any(framed);
+  if (!(decoded == message)) {
+    return fail("decoded message differs from the original");
+  }
+  if (encode_wire_message(decoded) != framed) {
+    return fail("re-encoding the decoded message changed the bytes");
+  }
+  return pass();
+}
+
+/// Oracle 7b: corrupting a valid frame (single-byte overwrite — an
+/// error burst CRC32 always detects — truncation, or a trailing byte)
+/// must surface as a thrown parse error, never silent acceptance of
+/// different bytes and never UB (the CI sanitizer jobs run this
+/// property under ASan+UBSan).
+CheckResult check_proto_malformed(const MutationCase& mutation) {
+  if (mutation.is_noop()) return pass();
+  const proto::Buffer corrupted = mutation.mutated();
+  try {
+    const WireMessage decoded = decode_any(corrupted);
+    if (encode_wire_message(decoded) == corrupted) return pass();
+    return fail("decoder silently accepted a corrupted frame");
+  } catch (const std::exception&) {
+    return pass();  // rejected with a typed error, as required
+  }
+}
+
+/// Writer/Reader primitive round-trip, bit-exact (doubles compared as
+/// bit patterns so negative zero and extreme exponents count), plus the
+/// frame/unframe CRC envelope.
+CheckResult check_codec_primitives(const std::uint64_t& seed) {
+  cvr::Rng rng(seed);
+  std::vector<std::uint8_t> u8s;
+  std::vector<std::uint16_t> u16s;
+  std::vector<std::uint32_t> u32s;
+  std::vector<std::uint64_t> u64s;
+  std::vector<double> f64s;
+  for (int k = 0; k < 8; ++k) {
+    u8s.push_back(static_cast<std::uint8_t>(rng.engine()()));
+    u16s.push_back(static_cast<std::uint16_t>(rng.engine()()));
+    u32s.push_back(static_cast<std::uint32_t>(rng.engine()()));
+    u64s.push_back(rng.engine()());
+    double value = std::bit_cast<double>(rng.engine()());
+    if (std::isnan(value)) value = 0.0;  // NaN != NaN breaks ==
+    f64s.push_back(value);
+  }
+  u64s.push_back(0);
+  u64s.push_back(~0ull);
+  f64s.push_back(-0.0);
+
+  proto::Buffer payload;
+  proto::Writer writer(payload);
+  for (auto v : u8s) writer.u8(v);
+  for (auto v : u16s) writer.u16(v);
+  for (auto v : u32s) writer.u32(v);
+  for (auto v : u64s) writer.u64(v);
+  for (auto v : f64s) writer.f64(v);
+  const auto blob_size = static_cast<std::size_t>(rng.uniform_int(0, 32));
+  const proto::Buffer blob(blob_size,
+                           static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+  writer.bytes(blob.data(), blob.size());
+
+  proto::Reader reader(payload);
+  for (auto v : u8s) {
+    if (reader.u8() != v) return fail("u8 round-trip mismatch");
+  }
+  for (auto v : u16s) {
+    if (reader.u16() != v) return fail("u16 round-trip mismatch");
+  }
+  for (auto v : u32s) {
+    if (reader.u32() != v) return fail("u32 round-trip mismatch");
+  }
+  for (auto v : u64s) {
+    if (reader.u64() != v) return fail("u64 round-trip mismatch");
+  }
+  for (auto v : f64s) {
+    if (std::bit_cast<std::uint64_t>(reader.f64()) !=
+        std::bit_cast<std::uint64_t>(v)) {
+      return fail("f64 round-trip not bit-exact");
+    }
+  }
+  if (reader.bytes() != blob) return fail("bytes round-trip mismatch");
+  if (!reader.done()) return fail("reader has trailing bytes");
+
+  const proto::Buffer framed = proto::frame(payload);
+  proto::Reader frame_reader(framed);
+  if (proto::unframe(frame_reader) != payload) {
+    return fail("frame/unframe round-trip mismatch");
+  }
+  if (!frame_reader.done()) return fail("unframe left trailing bytes");
+  return pass();
+}
+
+Gen<std::uint64_t> seeds() {
+  return [](cvr::Rng& rng) { return rng.engine()(); };
+}
+
+}  // namespace
+
+void register_builtin_properties(Registry& registry) {
+  // --- core: allocator differential oracles -------------------------------
+  CVR_PROPERTY_ITERS("core.dv_scan_heap_identical", 10000,
+                     slot_problems(tie_heavy_config()),
+                     check_scan_heap_identical);
+  {
+    SlotProblemGenConfig theorem = published_model_config();
+    theorem.max_users = 6;
+    CVR_PROPERTY_ITERS("core.dv_theorem1_half_approx", 10000,
+                       slot_problems(theorem), check_theorem1);
+    CVR_PROPERTY("core.dv_bounds_sandwich", slot_problems(theorem),
+                 check_bounds_sandwich);
+    CVR_PROPERTY("core.h_concave_published_model", slot_problems(theorem),
+                 check_h_concave);
+  }
+  CVR_PROPERTY("core.dv_allocation_feasible",
+               slot_problems(tie_heavy_config()), check_allocation_feasible);
+  {
+    SlotProblemGenConfig mixed;  // random tables + Section-VIII loss
+    mixed.loss_aware_probability = 0.3;
+    CVR_PROPERTY("core.dv_combined_best_of_passes", slot_problems(mixed),
+                 check_combined_best_of_passes);
+  }
+  CVR_PROPERTY("core.qoe_accumulator_decomposition", qoe_traces(),
+               check_qoe_accumulator);
+
+  // --- util: Welford + RNG -------------------------------------------------
+  CVR_PROPERTY("util.welford_matches_batch", sample_streams(),
+               check_welford_batch);
+  CVR_PROPERTY("util.welford_merge_consistent", sample_streams(),
+               check_welford_merge);
+  CVR_PROPERTY("util.rng_uniform_int_bounds", seeds(), check_rng_bounds);
+
+  // --- net: M/M/1 delay model ---------------------------------------------
+  CVR_PROPERTY("net.mm1_delay_monotone_convex",
+               uniform_real(0.5, 300.0), check_mm1_shape);
+
+  // --- faults: schedule generator -----------------------------------------
+  CVR_PROPERTY("faults.schedule_deterministic", fault_schedule_configs(),
+               check_fault_schedule_deterministic);
+  CVR_PROPERTY("faults.schedule_queries_consistent", fault_schedule_configs(),
+               check_fault_schedule_queries);
+
+  // --- proto: wire codec ---------------------------------------------------
+  CVR_PROPERTY("proto.roundtrip", wire_messages(), check_proto_roundtrip);
+  CVR_PROPERTY_ITERS("proto.malformed_rejected", 4000, mutation_cases(),
+                     check_proto_malformed);
+  CVR_PROPERTY("proto.codec_primitive_roundtrip", seeds(),
+               check_codec_primitives);
+}
+
+}  // namespace cvr::proptest

@@ -1,0 +1,79 @@
+#include "src/proptest/property.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cvr::proptest {
+
+Registry& Registry::instance() {
+  static Registry* global = [] {
+    auto* registry = new Registry();
+    register_builtin_properties(*registry);
+    return registry;
+  }();
+  return *global;
+}
+
+void Registry::add(std::unique_ptr<PropertyBase> property) {
+  if (!property) {
+    throw std::invalid_argument("Registry::add: null property");
+  }
+  if (find(property->name()) != nullptr) {
+    throw std::invalid_argument("Registry::add: duplicate property name '" +
+                                property->name() + "'");
+  }
+  properties_.push_back(std::move(property));
+}
+
+const PropertyBase* Registry::find(std::string_view name) const {
+  for (const auto& property : properties_) {
+    if (property->name() == name) return property.get();
+  }
+  return nullptr;
+}
+
+std::vector<CorpusEntry> parse_corpus(const std::string& text) {
+  std::vector<CorpusEntry> entries;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    CorpusEntry entry;
+    if (!(fields >> entry.property >> entry.seed)) {
+      throw std::runtime_error("corpus line " + std::to_string(line_number) +
+                               ": expected '<property> <seed>', got '" +
+                               line + "'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::runtime_error("corpus line " + std::to_string(line_number) +
+                               ": trailing tokens after seed");
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string format_failure(const RunResult& result) {
+  if (result.ok()) return {};
+  const Counterexample& ce = *result.counterexample;
+  std::ostringstream out;
+  out << "FAIL " << result.name << " seed=" << ce.seed
+      << " iter=" << ce.iteration << "\n";
+  out << "  note: " << ce.note << "\n";
+  out << "  shrink: " << ce.shrink_steps << " step(s), "
+      << ce.shrink_attempts << " attempt(s); minimal counterexample:\n";
+  std::istringstream fixture(ce.fixture);
+  std::string line;
+  while (std::getline(fixture, line)) out << "    " << line << "\n";
+  out << "  replay: proptest_runner --property=" << result.name
+      << " --seed=" << ce.seed << " --iters=1\n";
+  out << "CORPUS " << result.name << " " << ce.seed << "\n";
+  return out.str();
+}
+
+}  // namespace cvr::proptest

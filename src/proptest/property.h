@@ -1,0 +1,227 @@
+// Property registry and run loop of the property-based testing harness.
+//
+// A property is (name, generator, check): for each iteration the
+// harness derives an instance seed, generates an instance, and runs the
+// check. On failure it shrinks the instance to a locally minimal
+// counterexample (shrink.h) and reports
+//
+//   * the INSTANCE SEED — `proptest_runner --property=<name>
+//     --seed=<seed> --iters=1` regenerates the exact failing instance,
+//     because iteration i of a run with master seed S uses instance
+//     seed S + i * kSeedStride and iteration 0 uses S itself;
+//   * a literal C++ fixture of the minimal counterexample (fixture.h);
+//   * a `CORPUS <property> <seed>` line, the format of the regression
+//     corpus file (tests/proptest_corpus.txt) that CI replays on every
+//     PR and appends to from nightly failures.
+//
+// Built-in properties are registered by register_builtin_properties()
+// (properties.cpp) through the CVR_PROPERTY macro; the registry
+// self-populates on first use. The harness is deterministic end to
+// end: same seed, same iterations, same report — byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/proptest/fixture.h"
+#include "src/proptest/gen.h"
+#include "src/proptest/shrink.h"
+
+namespace cvr::proptest {
+
+/// Outcome of one check. `note` explains a failure (shown in the
+/// report); it is empty on success.
+struct CheckResult {
+  bool ok = true;
+  std::string note;
+};
+
+inline CheckResult pass() { return {true, {}}; }
+inline CheckResult fail(std::string note) { return {false, std::move(note)}; }
+
+/// Additive stride between consecutive instance seeds. Consecutive
+/// seeds are decorrelated by the Rng's SplitMix64 expansion, and the
+/// affine form keeps iteration 0's instance seed equal to the master
+/// seed — which is what makes `--seed=<reported> --iters=1` an exact
+/// replay.
+inline constexpr std::uint64_t kSeedStride = 0x9E3779B97F4A7C15ull;
+
+inline std::uint64_t instance_seed(std::uint64_t master_seed,
+                                   std::uint64_t iteration) {
+  return master_seed + iteration * kSeedStride;
+}
+
+/// A minimal failing instance plus everything needed to reproduce it.
+struct Counterexample {
+  std::uint64_t seed = 0;       ///< Instance seed (replay: --iters=1).
+  std::uint64_t iteration = 0;  ///< Iteration within the failing run.
+  std::string note;             ///< Check's note on the MINIMAL instance.
+  std::string fixture;          ///< Literal C++ fixture of the minimum.
+  std::size_t shrink_steps = 0;
+  std::size_t shrink_attempts = 0;
+};
+
+struct RunResult {
+  std::string name;
+  std::uint64_t iterations = 0;
+  std::optional<Counterexample> counterexample;
+
+  bool ok() const { return !counterexample.has_value(); }
+};
+
+class PropertyBase {
+ public:
+  PropertyBase(std::string name, std::uint64_t default_iters)
+      : name_(std::move(name)), default_iters_(default_iters) {}
+  virtual ~PropertyBase() = default;
+
+  const std::string& name() const { return name_; }
+  /// Iteration count used when the caller does not override --iters;
+  /// per-property so expensive oracles (brute force) can run fewer.
+  std::uint64_t default_iters() const { return default_iters_; }
+
+  /// Runs `iters` iterations from `master_seed` (0 means "use the
+  /// property default"); stops at the first failure, shrunk.
+  virtual RunResult run(std::uint64_t master_seed,
+                        std::uint64_t iters = 0) const = 0;
+
+ private:
+  std::string name_;
+  std::uint64_t default_iters_;
+};
+
+/// Concrete property over the instance type T produced by GenF.
+/// CheckF may return CheckResult or bool; thrown std::exceptions count
+/// as failures (and the shrinker treats "still throws" as "still
+/// fails").
+template <typename GenF, typename CheckF>
+class Property final : public PropertyBase {
+ public:
+  using T = std::remove_cvref_t<std::invoke_result_t<GenF&, cvr::Rng&>>;
+
+  Property(std::string name, std::uint64_t default_iters, GenF gen,
+           CheckF check)
+      : PropertyBase(std::move(name), default_iters),
+        gen_(std::move(gen)),
+        check_(std::move(check)) {}
+
+  RunResult run(std::uint64_t master_seed,
+                std::uint64_t iters = 0) const override {
+    RunResult result;
+    result.name = name();
+    const std::uint64_t total = iters == 0 ? default_iters() : iters;
+    for (std::uint64_t i = 0; i < total; ++i) {
+      const std::uint64_t seed = instance_seed(master_seed, i);
+      cvr::Rng rng(seed);
+      T instance = gen_(rng);
+      CheckResult check = checked(instance);
+      ++result.iterations;
+      if (check.ok) continue;
+
+      const auto fails = [this](const T& candidate) {
+        return !checked(candidate).ok;
+      };
+      ShrinkOutcome<T> shrunk = shrink_to_minimal(std::move(instance), fails);
+
+      Counterexample ce;
+      ce.seed = seed;
+      ce.iteration = i;
+      ce.note = checked(shrunk.minimal).note;
+      ce.fixture = FixtureTraits<T>::show(shrunk.minimal);
+      ce.shrink_steps = shrunk.steps;
+      ce.shrink_attempts = shrunk.attempts;
+      result.counterexample = std::move(ce);
+      return result;
+    }
+    return result;
+  }
+
+ private:
+  CheckResult checked(const T& instance) const {
+    try {
+      if constexpr (std::is_same_v<std::invoke_result_t<CheckF&, const T&>,
+                                   bool>) {
+        return check_(instance) ? pass() : fail("check returned false");
+      } else {
+        return check_(instance);
+      }
+    } catch (const std::exception& e) {
+      return fail(std::string("unhandled exception: ") + e.what());
+    }
+  }
+
+  GenF gen_;
+  CheckF check_;
+};
+
+template <typename GenF, typename CheckF>
+std::unique_ptr<PropertyBase> make_property(std::string name,
+                                            std::uint64_t default_iters,
+                                            GenF gen, CheckF check) {
+  return std::make_unique<Property<GenF, CheckF>>(
+      std::move(name), default_iters, std::move(gen), std::move(check));
+}
+
+/// All registered properties, in registration order (deterministic:
+/// built-ins register from a single function, not static initializers,
+/// so a static-library link can never drop them).
+class Registry {
+ public:
+  /// The global registry, with built-ins registered on first use.
+  static Registry& instance();
+
+  /// An empty registry for harness self-tests.
+  Registry() = default;
+
+  void add(std::unique_ptr<PropertyBase> property);
+
+  const std::vector<std::unique_ptr<PropertyBase>>& properties() const {
+    return properties_;
+  }
+
+  /// Exact-name lookup; nullptr when absent.
+  const PropertyBase* find(std::string_view name) const;
+
+ private:
+  std::vector<std::unique_ptr<PropertyBase>> properties_;
+};
+
+/// Registers every built-in property (properties.cpp). Idempotent only
+/// on a fresh registry — Registry::instance() calls it exactly once.
+void register_builtin_properties(Registry& registry);
+
+/// One corpus entry: a property name and the instance seed to replay.
+struct CorpusEntry {
+  std::string property;
+  std::uint64_t seed = 0;
+};
+
+/// Parses the regression-corpus format: one `<property> <seed>` pair
+/// per line, `#` comments and blank lines ignored. Throws
+/// std::runtime_error naming the offending line on malformed input.
+std::vector<CorpusEntry> parse_corpus(const std::string& text);
+
+/// Renders a failure report (multi-line, trailing newline) in the
+/// format documented in docs/testing.md.
+std::string format_failure(const RunResult& result);
+
+// Registration macros for register_builtin_properties(): expect a
+// `Registry& registry` in scope. CVR_PROPERTY uses the default
+// iteration budget; CVR_PROPERTY_ITERS sets a per-property one.
+inline constexpr std::uint64_t kDefaultIters = 2000;
+
+#define CVR_PROPERTY(name, gen, check) \
+  registry.add(::cvr::proptest::make_property( \
+      name, ::cvr::proptest::kDefaultIters, (gen), (check)))
+
+#define CVR_PROPERTY_ITERS(name, iters, gen, check) \
+  registry.add(::cvr::proptest::make_property(name, (iters), (gen), (check)))
+
+}  // namespace cvr::proptest

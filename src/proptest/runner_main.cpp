@@ -1,0 +1,152 @@
+// Standalone property runner.
+//
+//   proptest_runner                      # whole registry, default seed
+//   proptest_runner --list               # enumerate properties
+//   proptest_runner --seed=N             # whole registry from seed N
+//   proptest_runner --property=NAME --seed=N --iters=1   # exact replay
+//   proptest_runner --corpus=FILE        # replay a regression corpus
+//
+// Exit codes: 0 all properties passed, 1 at least one counterexample,
+// 2 usage/corpus error. Failures print the format_failure() block,
+// whose `CORPUS <property> <seed>` line is exactly the corpus-file
+// format — CI appends those lines from nightly runs.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/proptest/property.h"
+#include "src/util/flags.h"
+
+namespace {
+
+using cvr::proptest::CorpusEntry;
+using cvr::proptest::PropertyBase;
+using cvr::proptest::Registry;
+using cvr::proptest::RunResult;
+
+int run_corpus(const Registry& registry, const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "proptest_runner: cannot open corpus file '" << path
+              << "'\n";
+    return 2;
+  }
+  std::stringstream contents;
+  contents << file.rdbuf();
+  std::vector<CorpusEntry> entries;
+  try {
+    entries = cvr::proptest::parse_corpus(contents.str());
+  } catch (const std::exception& e) {
+    std::cerr << "proptest_runner: " << e.what() << "\n";
+    return 2;
+  }
+  std::size_t failures = 0;
+  for (const CorpusEntry& entry : entries) {
+    const PropertyBase* property = registry.find(entry.property);
+    if (property == nullptr) {
+      std::cerr << "proptest_runner: corpus names unknown property '"
+                << entry.property << "'\n";
+      return 2;
+    }
+    const RunResult result = property->run(entry.seed, 1);
+    if (result.ok()) {
+      std::cout << "OK " << entry.property << " seed=" << entry.seed
+                << " (corpus)\n";
+    } else {
+      ++failures;
+      std::cout << cvr::proptest::format_failure(result);
+    }
+  }
+  std::cout << "proptest: " << entries.size() << " corpus entr"
+            << (entries.size() == 1 ? "y" : "ies") << ", " << failures
+            << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  std::int64_t seed = 1;
+  std::int64_t iters = 0;
+  std::string property_filter;
+  std::string corpus_path;
+
+  cvr::FlagParser flags;
+  flags.add("list", &list, "list registered properties and exit");
+  flags.add("seed", &seed, "master seed (iteration 0 replays it exactly)");
+  flags.add("iters", &iters,
+            "iterations per property (0 = per-property default)");
+  flags.add("property", &property_filter,
+            "run only this property (exact name, else substring filter)");
+  flags.add("corpus", &corpus_path,
+            "replay a '<property> <seed>' regression-corpus file and exit");
+
+  if (!flags.parse(argc, argv) || !flags.positionals().empty()) {
+    for (const std::string& error : flags.errors()) {
+      std::cerr << "proptest_runner: " << error << "\n";
+    }
+    if (!flags.positionals().empty()) {
+      std::cerr << "proptest_runner: unexpected positional argument '"
+                << flags.positionals().front() << "'\n";
+    }
+    std::cerr << flags.usage("proptest_runner");
+    return 2;
+  }
+  if (seed < 0 || iters < 0) {
+    std::cerr << "proptest_runner: --seed and --iters must be >= 0\n";
+    return 2;
+  }
+
+  const Registry& registry = Registry::instance();
+
+  if (list) {
+    for (const auto& property : registry.properties()) {
+      std::cout << property->name() << " (default iters "
+                << property->default_iters() << ")\n";
+    }
+    return 0;
+  }
+  if (!corpus_path.empty()) return run_corpus(registry, corpus_path);
+
+  std::vector<const PropertyBase*> selected;
+  if (property_filter.empty()) {
+    for (const auto& property : registry.properties()) {
+      selected.push_back(property.get());
+    }
+  } else if (const PropertyBase* exact = registry.find(property_filter)) {
+    selected.push_back(exact);
+  } else {
+    for (const auto& property : registry.properties()) {
+      if (property->name().find(property_filter) != std::string::npos) {
+        selected.push_back(property.get());
+      }
+    }
+    if (selected.empty()) {
+      std::cerr << "proptest_runner: no property matches '" << property_filter
+                << "' (see --list)\n";
+      return 2;
+    }
+  }
+
+  std::size_t failures = 0;
+  for (const PropertyBase* property : selected) {
+    const RunResult result =
+        property->run(static_cast<std::uint64_t>(seed),
+                      static_cast<std::uint64_t>(iters));
+    if (result.ok()) {
+      std::cout << "OK " << property->name() << " iters=" << result.iterations
+                << "\n";
+    } else {
+      ++failures;
+      std::cout << cvr::proptest::format_failure(result);
+    }
+  }
+  std::cout << "proptest: " << selected.size() << " propert"
+            << (selected.size() == 1 ? "y" : "ies") << ", " << failures
+            << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}

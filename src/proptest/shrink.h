@@ -1,0 +1,88 @@
+// Minimizing shrinker for the property-based testing harness.
+//
+// When a property fails, the raw random instance is usually too big to
+// read (eight users, six levels, lognormal bandwidths). ShrinkTraits<T>
+// proposes strictly "smaller" candidate instances — drop a user, lower
+// a level ceiling, halve a bandwidth — and shrink_to_minimal() descends
+// greedily: whenever a candidate still fails the property it becomes
+// the new instance and shrinking restarts from it. The result is a
+// local minimum: no single proposed reduction still fails, which in
+// practice is a one-or-two-user counterexample a human can eyeball.
+//
+// Termination: every candidate must be strictly simpler under the
+// trait's own ordering (fewer elements, smaller magnitudes, rounder
+// numbers); a global attempt budget backstops traits that violate
+// this, so a buggy trait degrades to "less shrinking", never a hang.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cvr::proptest {
+
+/// Shrink candidates for T, tried in order. The primary template
+/// proposes nothing — unknown types simply don't shrink. Specialize for
+/// each generated domain type (see domain.h).
+template <typename T>
+struct ShrinkTraits {
+  static std::vector<T> candidates(const T&) { return {}; }
+};
+
+/// Generic vector shrinks: drop the first/second half, then drop each
+/// single element. Element-wise simplification is left to the
+/// element's own domain (a vector trait that recursed element-wise
+/// would explode the candidate count).
+template <typename E>
+struct ShrinkTraits<std::vector<E>> {
+  static std::vector<std::vector<E>> candidates(const std::vector<E>& value) {
+    std::vector<std::vector<E>> out;
+    const std::size_t n = value.size();
+    if (n == 0) return out;
+    if (n > 1) {
+      out.emplace_back(value.begin(), value.begin() + n / 2);
+      out.emplace_back(value.begin() + n / 2, value.end());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<E> dropped;
+      dropped.reserve(n - 1);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) dropped.push_back(value[j]);
+      }
+      out.push_back(std::move(dropped));
+    }
+    return out;
+  }
+};
+
+template <typename T>
+struct ShrinkOutcome {
+  T minimal;
+  std::size_t steps = 0;     ///< Accepted reductions.
+  std::size_t attempts = 0;  ///< Candidates evaluated (incl. rejected).
+};
+
+/// Greedy descent from a failing instance to a locally minimal one.
+/// `fails(candidate)` must return true iff the property still fails on
+/// the candidate; it is called at most `max_attempts` times.
+template <typename T, typename Fails>
+ShrinkOutcome<T> shrink_to_minimal(T failing, const Fails& fails,
+                                   std::size_t max_attempts = 4000) {
+  ShrinkOutcome<T> outcome{std::move(failing), 0, 0};
+  bool made_progress = true;
+  while (made_progress && outcome.attempts < max_attempts) {
+    made_progress = false;
+    for (T& candidate : ShrinkTraits<T>::candidates(outcome.minimal)) {
+      if (outcome.attempts >= max_attempts) break;
+      ++outcome.attempts;
+      if (fails(candidate)) {
+        outcome.minimal = std::move(candidate);
+        ++outcome.steps;
+        made_progress = true;
+        break;  // restart from the smaller instance
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace cvr::proptest

@@ -8,15 +8,13 @@ namespace cvr::core {
 namespace {
 
 using testutil::make_crf_user;
-using testutil::make_user;
+using testutil::make_grid_user;
 
 SlotProblem two_user_problem() {
   SlotProblem problem;
   problem.params = QoeParams{0.0, 0.0};
-  problem.users.push_back(make_user({10, 15, 22, 31, 44, 60},
-                                    {0, 0, 0, 0, 0, 0}, 50.0));
-  problem.users.push_back(make_user({10, 15, 22, 31, 44, 60},
-                                    {0, 0, 0, 0, 0, 0}, 25.0));
+  problem.users.push_back(make_grid_user(50.0));
+  problem.users.push_back(make_grid_user(25.0));
   problem.server_bandwidth = 40.0;
   return problem;
 }
@@ -47,17 +45,44 @@ TEST(ServerFeasible, ChecksConstraint6) {
 }
 
 TEST(UserFeasible, ChecksConstraint7) {
-  const auto user = make_user({10, 15, 22, 31, 44, 60}, {0, 0, 0, 0, 0, 0},
-                              25.0);
+  const auto user = make_grid_user(25.0);
   EXPECT_TRUE(user_feasible(user, 1));
   EXPECT_TRUE(user_feasible(user, 3));   // 22 <= 25
   EXPECT_FALSE(user_feasible(user, 4));  // 31 > 25
 }
 
 TEST(UserFeasible, BoundaryWithinEpsilon) {
-  const auto user = make_user({10, 15, 22, 31, 44, 60}, {0, 0, 0, 0, 0, 0},
-                              22.0);
+  const auto user = make_grid_user(22.0);
   EXPECT_TRUE(user_feasible(user, 3));  // exactly at the cap
+}
+
+TEST(AllocationFeasible, MirrorsAllocatorContract) {
+  const SlotProblem problem = two_user_problem();
+  EXPECT_TRUE(allocation_feasible(problem, {1, 1}));
+  EXPECT_TRUE(allocation_feasible(problem, {2, 3}));   // 37 <= 40, caps ok
+  EXPECT_FALSE(allocation_feasible(problem, {3, 3}));  // 44 > 40
+  EXPECT_FALSE(allocation_feasible(problem, {2, 4}));  // user 2's cap is 25
+  EXPECT_FALSE(allocation_feasible(problem, {1}));     // wrong arity
+  EXPECT_FALSE(allocation_feasible(problem, {0, 1}));  // invalid level
+}
+
+TEST(AllocationFeasible, AllOnesAlwaysAccepted) {
+  // The mandatory minimum is allowed even when it violates the budget —
+  // exactly the Allocator base-class contract.
+  SlotProblem problem = two_user_problem();
+  problem.server_bandwidth = 5.0;  // below the all-ones rate of 20
+  EXPECT_TRUE(allocation_feasible(problem, {1, 1}));
+  EXPECT_FALSE(allocation_feasible(problem, {1, 2}));
+}
+
+TEST(AllocationFeasible, BudgetBoundaryWithinEpsilon) {
+  SlotProblem problem = two_user_problem();
+  problem.server_bandwidth = 37.0;  // exactly the {2, 3} rate
+  EXPECT_TRUE(allocation_feasible(problem, {2, 3}));
+  problem.server_bandwidth = 37.0 - 1e-10;  // inside kFeasibilityEpsilon
+  EXPECT_TRUE(allocation_feasible(problem, {2, 3}));
+  problem.server_bandwidth = 37.0 - 1e-6;  // outside
+  EXPECT_FALSE(allocation_feasible(problem, {2, 3}));
 }
 
 }  // namespace

@@ -18,7 +18,8 @@
 namespace cvr::core {
 namespace {
 
-using testutil::make_user;
+using testutil::paper_case_density_fails;
+using testutil::paper_case_value_fails;
 using testutil::random_problem;
 
 double base_value(const SlotProblem& problem) {
@@ -73,29 +74,8 @@ TEST(ApproxRatio, FractionalBoundCertificate) {
 TEST(ApproxRatio, PaperCounterexamplesStayAboveHalf) {
   // The two Section-III cases are exactly the instances where a single
   // greedy collapses; combined must stay >= OPT/2 (it is optimal here).
-  {
-    SlotProblem problem;
-    problem.params = QoeParams{0.0, 0.0};
-    problem.users.push_back(make_user({0.1, 0.6, 100, 200, 300, 400},
-                                      {0, 0, 0, 0, 0, 0}, 1.0, 1.0));
-    problem.users.push_back(make_user({0.1, 2.6, 100, 200, 300, 400},
-                                      {0, 0, 0, 0, 0, 0}, 3.0, 4.0));
-    problem.server_bandwidth = 2.7;
-    BruteForceAllocator brute;
-    DvGreedyAllocator greedy;
-    EXPECT_NEAR(greedy.allocate(problem).objective,
-                brute.allocate(problem).objective, 1e-9);
-  }
-  {
-    SlotProblem problem;
-    problem.params = QoeParams{0.0, 0.0};
-    for (int i = 0; i < 4; ++i) {
-      problem.users.push_back(make_user({0.1, 0.6, 100, 200, 300, 400},
-                                        {0, 0, 0, 0, 0, 0}, 1.0, 2.0));
-    }
-    problem.users.push_back(make_user({0.1, 2.1, 100, 200, 300, 400},
-                                      {0, 0, 0, 0, 0, 0}, 3.0, 3.0));
-    problem.server_bandwidth = 2.5;
+  for (SlotProblem problem :
+       {paper_case_density_fails(), paper_case_value_fails()}) {
     BruteForceAllocator brute;
     DvGreedyAllocator greedy;
     EXPECT_NEAR(greedy.allocate(problem).objective,

@@ -10,50 +10,9 @@ namespace cvr::core {
 namespace {
 
 using testutil::make_crf_user;
-using testutil::make_user;
+using testutil::paper_case_density_fails;
+using testutil::paper_case_value_fails;
 using testutil::random_problem;
-
-// --- The two counterexample families from Section III. ---
-//
-// The paper's examples use abstract h tables; we encode them with
-// two-level "rate functions" padded to six levels whose upper levels are
-// priced out by the per-user bandwidth so only levels 1-2 matter.
-
-// Case 1 (density-greedy fails): h_1(1)=1 f(1)=0.5; h_2(2)=4 f(2)=2.5;
-// server budget 2.5 on top of mandatory minima. We shift to our setting
-// where level 1 is the base: user 1's increment has density
-// 1/0.5 = 2, user 2's increment has density 4/2.5 = 1.6, but only user
-// 2's increment fits the residual budget.
-SlotProblem paper_case_density_fails() {
-  SlotProblem problem;
-  problem.params = QoeParams{0.0, 0.0};
-  // delta encodes the h values: h(q) = delta * q.
-  // User A: levels rate {0.1, 0.6, ...priced out}; increment 0.5 and
-  //   h-increment 1 (delta = 1).
-  problem.users.push_back(make_user({0.1, 0.6, 100, 200, 300, 400},
-                                    {0, 0, 0, 0, 0, 0}, 1.0, 1.0));
-  // User B: increment rate 2.5 with h-increment 4 (delta = 4).
-  problem.users.push_back(make_user({0.1, 2.6, 100, 200, 300, 400},
-                                    {0, 0, 0, 0, 0, 0}, 3.0, 4.0));
-  // Residual budget after minima (0.2): exactly 2.5 -> budget 2.7.
-  problem.server_bandwidth = 2.7;
-  return problem;
-}
-
-// Case 2 (value-greedy fails): four users with h-increment 2 at rate
-// 0.5 each, one user with h-increment 3 at rate 2; budget 2.
-SlotProblem paper_case_value_fails() {
-  SlotProblem problem;
-  problem.params = QoeParams{0.0, 0.0};
-  for (int i = 0; i < 4; ++i) {
-    problem.users.push_back(make_user({0.1, 0.6, 100, 200, 300, 400},
-                                      {0, 0, 0, 0, 0, 0}, 1.0, 2.0));
-  }
-  problem.users.push_back(make_user({0.1, 2.1, 100, 200, 300, 400},
-                                    {0, 0, 0, 0, 0, 0}, 3.0, 3.0));
-  problem.server_bandwidth = 0.5 + 2.0;  // minima 0.5 + residual 2
-  return problem;
-}
 
 TEST(DvGreedy, DensityOnlyFailsOnPaperCase1) {
   SlotProblem problem = paper_case_density_fails();
@@ -261,7 +220,8 @@ TEST(DvGreedyHeap, IdenticalToScanOnRandomInstances) {
 TEST(DvGreedyHeap, IdenticalOnPaperCounterexamples) {
   for (SlotProblem problem :
        {paper_case_density_fails(), paper_case_value_fails()}) {
-    DvGreedyAllocator scan;
+    DvGreedyAllocator scan(DvGreedyAllocator::Mode::kCombined,
+                           DvGreedyAllocator::Strategy::kScan);
     DvGreedyAllocator heap(DvGreedyAllocator::Mode::kCombined,
                            DvGreedyAllocator::Strategy::kHeap);
     EXPECT_EQ(scan.allocate(problem).levels, heap.allocate(problem).levels);
@@ -279,7 +239,8 @@ TEST(DvGreedyHeap, IdenticalOnNonConcaveLossAwareProblems) {
       user.frame_loss.resize(6);
       for (double& loss : user.frame_loss) loss = rng.uniform(0.0, 0.7);
     }
-    DvGreedyAllocator scan;
+    DvGreedyAllocator scan(DvGreedyAllocator::Mode::kCombined,
+                           DvGreedyAllocator::Strategy::kScan);
     DvGreedyAllocator heap(DvGreedyAllocator::Mode::kCombined,
                            DvGreedyAllocator::Strategy::kHeap);
     EXPECT_EQ(scan.allocate(problem).levels, heap.allocate(problem).levels)
@@ -291,7 +252,8 @@ TEST(DvGreedyHeap, IdenticalUnderTightBudgets) {
   for (std::uint64_t seed = 100; seed <= 120; ++seed) {
     SlotProblem problem = random_problem(seed, 10);
     problem.server_bandwidth *= 0.5;  // lots of mid-ascent rejections
-    DvGreedyAllocator scan;
+    DvGreedyAllocator scan(DvGreedyAllocator::Mode::kCombined,
+                           DvGreedyAllocator::Strategy::kScan);
     DvGreedyAllocator heap(DvGreedyAllocator::Mode::kCombined,
                            DvGreedyAllocator::Strategy::kHeap);
     EXPECT_EQ(scan.allocate(problem).levels, heap.allocate(problem).levels)
