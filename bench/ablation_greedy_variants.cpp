@@ -34,11 +34,11 @@ SlotProblem random_problem(std::uint64_t seed, std::size_t users) {
   return problem;
 }
 
-UserSlotContext table_user(std::vector<double> rates, double bandwidth,
+UserSlotContext table_user(const std::vector<double>& rates, double bandwidth,
                            double value_per_level) {
   UserSlotContext user;
-  user.rate = std::move(rates);
-  user.delay.assign(6, 0.0);
+  std::copy(rates.begin(), rates.end(), user.rate.begin());
+  user.delay.fill(0.0);
   user.user_bandwidth = bandwidth;
   user.delta = value_per_level;
   user.qbar = 0.0;

@@ -9,10 +9,14 @@
 // measured with telemetry::ScopedTimer over a fixed iteration count —
 // independent of google-benchmark's adaptive timing);
 // `--machine=NOTE` annotates it with the capture environment.
+// `--sweep` skips google-benchmark and prints a slots/sec scaling table
+// over N in {5, 30, 100, 1000} for every per-slot solver.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +24,7 @@
 #include "src/core/dv_greedy.h"
 #include "src/core/firefly.h"
 #include "src/core/fractional.h"
+#include "src/core/lagrangian.h"
 #include "src/core/optimal.h"
 #include "src/core/pavq.h"
 #include "src/telemetry/telemetry.h"
@@ -186,11 +191,59 @@ void write_perf_baseline(const std::string& path, const std::string& machine) {
   std::printf("perf baseline written: %s\n", path.c_str());
 }
 
+/// User-count scaling sweep: slots/sec per solver at N in {5, 30, 100,
+/// 1000}, through the same allocate_into hot path the sim loop uses
+/// (recycled Allocation, no per-slot result copies). Iteration counts
+/// scale down with N so the N=1000 rows finish quickly; exact solvers
+/// are excluded (brute force is exponential, DP is quadratic in the
+/// discretised budget and already covered by google-benchmark above).
+void run_sweep() {
+  const std::vector<std::size_t> sizes = {5, 30, 100, 1000};
+  struct Solver {
+    const char* name;
+    std::unique_ptr<core::Allocator> allocator;
+  };
+  std::vector<Solver> solvers;
+  solvers.push_back({"dv", std::make_unique<DvGreedyAllocator>(
+                               DvGreedyAllocator::Mode::kCombined,
+                               DvGreedyAllocator::Strategy::kScan)});
+  solvers.push_back({"dv_heap", std::make_unique<DvGreedyAllocator>(
+                                    DvGreedyAllocator::Mode::kCombined,
+                                    DvGreedyAllocator::Strategy::kHeap)});
+  solvers.push_back({"pavq", std::make_unique<PavqAllocator>()});
+  solvers.push_back({"firefly", std::make_unique<FireflyAllocator>()});
+  solvers.push_back({"lagrangian", std::make_unique<LagrangianAllocator>()});
+  std::printf("%-12s %8s %14s %12s\n", "solver", "users", "slots/sec",
+              "us/slot");
+  for (const std::size_t n : sizes) {
+    const SlotProblem problem = make_problem(n);
+    const std::size_t iters = std::max<std::size_t>(20, 20000 / n);
+    for (Solver& solver : solvers) {
+      solver.allocator->reset();
+      Allocation out;
+      solver.allocator->allocate_into(problem, out);  // warm scratch
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < iters; ++i) {
+        solver.allocator->allocate_into(problem, out);
+        benchmark::DoNotOptimize(out.objective);
+      }
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      const double slots_per_sec =
+          secs > 0.0 ? static_cast<double>(iters) / secs : 0.0;
+      std::printf("%-12s %8zu %14.1f %12.3f\n", solver.name, n, slots_per_sec,
+                  slots_per_sec > 0.0 ? 1e6 / slots_per_sec : 0.0);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string perf_out;
   std::string machine;
+  bool sweep = false;
   std::vector<char*> bench_argv;
   bench_argv.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -199,9 +252,16 @@ int main(int argc, char** argv) {
       perf_out = arg.substr(11);
     } else if (arg.rfind("--machine=", 0) == 0) {
       machine = arg.substr(10);
+    } else if (arg == "--sweep") {
+      sweep = true;
     } else {
       bench_argv.push_back(argv[i]);
     }
+  }
+  if (sweep) {
+    run_sweep();
+    if (!perf_out.empty()) write_perf_baseline(perf_out, machine);
+    return 0;
   }
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over cvr-bench-perf-v1 baselines.
+
+Compares a freshly measured perf report (``micro_allocator --perf-out``
+or any fig* bench run with ``--telemetry=counters --perf-out``) against
+the committed baseline and fails when any arm's throughput or any
+phase's median latency regresses by more than the tolerance.
+
+Two comparison modes:
+
+* absolute (default): current slots_per_sec must be at least
+  ``(1 - tolerance) * baseline``; current phase p50_us must be at most
+  ``(1 + tolerance) * baseline`` (p50, not mean: a single preempted
+  iteration skews a 200-sample mean far past any sane tolerance).
+  Right for same-machine comparisons (local before/after, the pinned
+  CI runner class).
+
+* ``--normalize-by ARM``: every metric is first divided by the named
+  reference arm's same metric *within its own file*, and the ratios are
+  compared. This cancels machine speed, so a faster or slower CI host
+  does not produce false alarms — only a change in the *relative* cost
+  of an arm trips the gate. In this mode only the aggregate
+  slots_per_sec ratios are gating; per-phase p50 ratios are printed
+  as advisory lines, because the quotient of two few-microsecond
+  medians compounds timer jitter into false alarms. The reference arm itself is
+  only sanity-checked for presence.
+
+Refreshing a baseline after an intentional perf change:
+
+    ./build/bench/micro_allocator --sweep \
+        --perf-out=BENCH_micro_allocator.json --machine="$(uname -srm)"
+
+and commit the JSON alongside the change (see docs/performance.md).
+
+Exit status: 0 when every check passes, 1 on any regression or schema
+mismatch (the CI perf-gate job keys off this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cvr-bench-perf-v1"
+
+
+def load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"{path}: schema {report.get('schema')!r} != {SCHEMA!r}"
+        )
+    if not report.get("arms"):
+        raise SystemExit(f"{path}: no arms recorded")
+    return report
+
+
+def arm_index(report: dict) -> dict:
+    return {arm["algorithm"]: arm for arm in report["arms"]}
+
+
+def phase_index(arm: dict) -> dict:
+    return {phase["phase"]: phase for phase in arm.get("phases", [])}
+
+
+class Gate:
+    def __init__(self, tolerance: float) -> None:
+        self.tolerance = tolerance
+        self.failures: list[str] = []
+        self.notes: list[str] = []
+
+    def check_throughput(self, label: str, base: float, cur: float) -> None:
+        if base <= 0.0:
+            return
+        ratio = cur / base
+        line = f"{label}: slots/sec {base:.1f} -> {cur:.1f} ({ratio:.2f}x)"
+        if ratio < 1.0 - self.tolerance:
+            self.failures.append(line)
+        else:
+            self.notes.append(line)
+
+    def check_latency(self, label: str, base: float, cur: float,
+                      advisory: bool = False) -> None:
+        if base <= 0.0:
+            return
+        ratio = cur / base
+        line = f"{label}: p50_us {base:.3f} -> {cur:.3f} ({ratio:.2f}x)"
+        if ratio > 1.0 + self.tolerance and not advisory:
+            self.failures.append(line)
+        else:
+            self.notes.append(line)
+
+
+def compare(baseline: dict, current: dict, tolerance: float,
+            normalize_by: str | None) -> Gate:
+    gate = Gate(tolerance)
+    base_arms = arm_index(baseline)
+    cur_arms = arm_index(current)
+
+    base_ref = cur_ref = None
+    if normalize_by is not None:
+        base_ref = base_arms.get(normalize_by)
+        cur_ref = cur_arms.get(normalize_by)
+        if base_ref is None or cur_ref is None:
+            gate.failures.append(
+                f"reference arm {normalize_by!r} missing from "
+                f"{'baseline' if base_ref is None else 'current'} report"
+            )
+            return gate
+
+    for name, base_arm in base_arms.items():
+        cur_arm = cur_arms.get(name)
+        if cur_arm is None:
+            gate.failures.append(f"arm {name!r} missing from current report")
+            continue
+        if name == normalize_by:
+            continue  # the yardstick is not measured against itself
+
+        base_tp = base_arm.get("slots_per_sec", 0.0)
+        cur_tp = cur_arm.get("slots_per_sec", 0.0)
+        if base_ref is not None:
+            base_tp /= base_ref.get("slots_per_sec") or 1.0
+            cur_tp /= cur_ref.get("slots_per_sec") or 1.0
+        gate.check_throughput(name, base_tp, cur_tp)
+
+        base_phases = phase_index(base_arm)
+        cur_phases = phase_index(cur_arm)
+        base_ref_phases = phase_index(base_ref) if base_ref else {}
+        cur_ref_phases = phase_index(cur_ref) if cur_ref else {}
+        for phase, base_phase in base_phases.items():
+            cur_phase = cur_phases.get(phase)
+            if cur_phase is None:
+                gate.failures.append(
+                    f"{name}/{phase}: phase missing from current report"
+                )
+                continue
+            base_us = base_phase.get("p50_us", 0.0)
+            cur_us = cur_phase.get("p50_us", 0.0)
+            if base_ref is not None:
+                base_div = base_ref_phases.get(phase, {}).get("p50_us", 0.0)
+                cur_div = cur_ref_phases.get(phase, {}).get("p50_us", 0.0)
+                if base_div <= 0.0 or cur_div <= 0.0:
+                    continue  # phase absent from the yardstick: skip
+                base_us /= base_div
+                cur_us /= cur_div
+            gate.check_latency(f"{name}/{phase}", base_us, cur_us,
+                               advisory=base_ref is not None)
+    return gate
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("current", help="freshly measured perf JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression (default: 0.25)",
+    )
+    parser.add_argument(
+        "--normalize-by", metavar="ARM", default=None,
+        help="divide every metric by this arm's within-run value first "
+             "(cancels absolute machine speed; e.g. --normalize-by firefly)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    gate = compare(baseline, current, args.tolerance, args.normalize_by)
+
+    mode = (
+        f"normalized by {args.normalize_by!r}" if args.normalize_by
+        else "absolute"
+    )
+    print(
+        f"perf gate: {args.baseline} vs {args.current} "
+        f"({mode}, tolerance {args.tolerance:.0%})"
+    )
+    for note in gate.notes:
+        print(f"  ok   {note}")
+    for failure in gate.failures:
+        print(f"  FAIL {failure}")
+    if gate.failures:
+        print(f"perf gate: {len(gate.failures)} regression(s)")
+        return 1
+    print("perf gate: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

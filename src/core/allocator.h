@@ -70,6 +70,15 @@ class Allocator {
   /// each in [1, kNumQualityLevels].
   virtual Allocation allocate(const SlotProblem& problem) = 0;
 
+  /// Solves one slot into `out`, recycling its storage (the levels
+  /// vector keeps its capacity across calls). Semantically identical to
+  /// `out = allocate(problem)`; hot-path allocators override this to
+  /// stay heap-allocation-free in steady state, and the sim loops call
+  /// it with a long-lived Allocation.
+  virtual void allocate_into(const SlotProblem& problem, Allocation& out) {
+    out = allocate(problem);
+  }
+
   /// Clears any cross-slot state. Default: none.
   virtual void reset() {}
 };

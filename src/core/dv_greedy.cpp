@@ -1,6 +1,6 @@
 #include "src/core/dv_greedy.h"
 
-#include <queue>
+#include <algorithm>
 #include <vector>
 
 namespace cvr::core {
@@ -17,11 +17,11 @@ std::string_view DvGreedyAllocator::name() const {
   return "dv-greedy";
 }
 
-std::vector<QualityLevel> DvGreedyAllocator::greedy_pass(
-    const SlotProblem& problem, Rank rank) const {
+void DvGreedyAllocator::greedy_pass(const SlotProblem& problem, Rank rank,
+                                    std::vector<QualityLevel>& q) {
   const std::size_t n_users = problem.user_count();
-  std::vector<QualityLevel> q(n_users, 1);
-  std::vector<bool> active(n_users, true);
+  q.assign(n_users, 1);
+  active_.assign(n_users, 1);
 
   double used_rate = 0.0;
   for (std::size_t n = 0; n < n_users; ++n) used_rate += problem.users[n].rate[0];
@@ -31,8 +31,8 @@ std::vector<QualityLevel> DvGreedyAllocator::greedy_pass(
   // the user whose increment broke a rate constraint.
   std::size_t active_count = n_users;
   auto deactivate = [&](std::size_t n) {
-    if (active[n]) {
-      active[n] = false;
+    if (active_[n]) {
+      active_[n] = 0;
       --active_count;
     }
   };
@@ -41,15 +41,12 @@ std::vector<QualityLevel> DvGreedyAllocator::greedy_pass(
     double best_score = 0.0;
     std::size_t best = n_users;
     for (std::size_t n = 0; n < n_users; ++n) {
-      if (!active[n]) continue;
+      if (!active_[n]) continue;
       if (q[n] >= kNumQualityLevels) {  // defensive; handled on increment
         deactivate(n);
         continue;
       }
-      const double score =
-          rank == Rank::kDensity
-              ? h_density(problem.users[n], q[n], problem.params)
-              : h_increment(problem.users[n], q[n], problem.params);
+      const double score = rank_score(tables_[n], q[n], rank);
       if (best == n_users || score > best_score) {
         best_score = score;
         best = n;
@@ -74,47 +71,42 @@ std::vector<QualityLevel> DvGreedyAllocator::greedy_pass(
     }
     if (!reverted && q[best] == kNumQualityLevels) deactivate(best);
   }
-  return q;
 }
 
-std::vector<QualityLevel> DvGreedyAllocator::greedy_pass_heap(
-    const SlotProblem& problem, Rank rank) const {
+void DvGreedyAllocator::greedy_pass_heap(const SlotProblem& problem, Rank rank,
+                                         std::vector<QualityLevel>& q) {
   const std::size_t n_users = problem.user_count();
-  std::vector<QualityLevel> q(n_users, 1);
-  std::vector<bool> active(n_users, true);
+  q.assign(n_users, 1);
+  active_.assign(n_users, 1);
 
   double used_rate = 0.0;
   for (std::size_t n = 0; n < n_users; ++n) used_rate += problem.users[n].rate[0];
-
-  const auto score_at = [&](std::size_t n) {
-    return rank == Rank::kDensity
-               ? h_density(problem.users[n], q[n], problem.params)
-               : h_increment(problem.users[n], q[n], problem.params);
-  };
 
   // Heap entries carry the level they were computed at; an entry whose
   // level no longer matches the user's current level is stale (a fresh
   // one was pushed after the increment) and is discarded on pop. Ties
   // break toward the smaller index, matching the scan's first-strict-max.
-  struct Entry {
-    double score;
-    std::size_t user;
-    QualityLevel level;
-  };
-  const auto worse = [](const Entry& a, const Entry& b) {
+  // A manual push_heap/pop_heap over a recycled vector — the algorithms
+  // std::priority_queue is specified in terms of, so the pop order (and
+  // therefore the ascent) is identical.
+  const auto worse = [](const HeapEntry& a, const HeapEntry& b) {
     if (a.score != b.score) return a.score < b.score;
     return a.user > b.user;
   };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(worse);
+  heap_.clear();
   for (std::size_t n = 0; n < n_users; ++n) {
-    if (q[n] < kNumQualityLevels) heap.push({score_at(n), n, q[n]});
+    if (q[n] < kNumQualityLevels) {
+      heap_.push_back({rank_score(tables_[n], q[n], rank), n, q[n]});
+    }
   }
+  std::make_heap(heap_.begin(), heap_.end(), worse);
 
-  while (!heap.empty()) {
-    const Entry top = heap.top();
-    heap.pop();
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), worse);
+    const HeapEntry top = heap_.back();
+    heap_.pop_back();
     const std::size_t n = top.user;
-    if (!active[n] || top.level != q[n]) continue;  // stale or dead
+    if (!active_[n] || top.level != q[n]) continue;  // stale or dead
     if (top.score < 0.0) break;  // max fresh score negative: stop all
 
     const auto& user = problem.users[n];
@@ -126,42 +118,54 @@ std::vector<QualityLevel> DvGreedyAllocator::greedy_pass_heap(
         used_rate > problem.server_bandwidth + kFeasibilityEpsilon) {
       q[n] -= 1;
       used_rate -= inc;
-      active[n] = false;
+      active_[n] = 0;
       continue;
     }
     if (q[n] == kNumQualityLevels) {
-      active[n] = false;
+      active_[n] = 0;
       continue;
     }
-    heap.push({score_at(n), n, q[n]});
+    heap_.push_back({rank_score(tables_[n], q[n], rank), n, q[n]});
+    std::push_heap(heap_.begin(), heap_.end(), worse);
   }
-  return q;
 }
 
 Allocation DvGreedyAllocator::allocate(const SlotProblem& problem) {
   Allocation result;
-  if (problem.user_count() == 0) return result;
+  allocate_into(problem, result);
+  return result;
+}
 
-  const auto run_pass = [&](Rank rank) {
-    return strategy_ == Strategy::kHeap ? greedy_pass_heap(problem, rank)
-                                        : greedy_pass(problem, rank);
+void DvGreedyAllocator::allocate_into(const SlotProblem& problem,
+                                      Allocation& out) {
+  out.levels.clear();
+  out.objective = 0.0;
+  if (problem.user_count() == 0) return;
+
+  tables_.build(problem);
+  const auto run_pass = [&](Rank rank, std::vector<QualityLevel>& dst) {
+    if (strategy_ == Strategy::kHeap) {
+      greedy_pass_heap(problem, rank, dst);
+    } else {
+      greedy_pass(problem, rank, dst);
+    }
   };
 
+  bool have_result = false;
   if (mode_ == Mode::kDensityOnly || mode_ == Mode::kCombined) {
-    auto qd = run_pass(Rank::kDensity);
-    const double vd = evaluate(problem, qd);
-    result.levels = std::move(qd);
-    result.objective = vd;
+    run_pass(Rank::kDensity, density_levels_);
+    out.levels.assign(density_levels_.begin(), density_levels_.end());
+    out.objective = tables_.evaluate(density_levels_);
+    have_result = true;
   }
   if (mode_ == Mode::kValueOnly || mode_ == Mode::kCombined) {
-    auto qv = run_pass(Rank::kValue);
-    const double vv = evaluate(problem, qv);
-    if (result.levels.empty() || vv > result.objective) {
-      result.levels = std::move(qv);
-      result.objective = vv;
+    run_pass(Rank::kValue, value_levels_);
+    const double vv = tables_.evaluate(value_levels_);
+    if (!have_result || vv > out.objective) {
+      out.levels.assign(value_levels_.begin(), value_levels_.end());
+      out.objective = vv;
     }
   }
-  return result;
 }
 
 }  // namespace cvr::core

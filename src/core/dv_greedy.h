@@ -19,9 +19,17 @@
 // the EXACT same ascent in O(N L log N); `Strategy::kHeap` is the
 // default, with the scan kept as the paper-literal reference and the
 // tests pinning bitwise-identical allocations between the two.
+//
+// Both strategies read their marginal scores from a per-slot HTable
+// (src/core/htable.h) precomputed in O(N L) — no h_value is recomputed
+// inside the ascent, and the steady-state path performs zero heap
+// allocations (scratch and table storage recycle their capacity).
 #pragma once
 
+#include <vector>
+
 #include "src/core/allocator.h"
+#include "src/core/htable.h"
 
 namespace cvr::core {
 
@@ -54,17 +62,42 @@ class DvGreedyAllocator final : public Allocator {
 
   Allocation allocate(const SlotProblem& problem) override;
 
+  /// Allocation-free steady state: the h-tables, pass scratch, heap
+  /// storage, and `out.levels` all recycle their capacity across calls
+  /// (pinned by tests/slot_arena_test.cpp's counting allocator).
+  void allocate_into(const SlotProblem& problem, Allocation& out) override;
+
  private:
   enum class Rank { kDensity, kValue };
 
-  /// One greedy ascent; returns the resulting levels.
-  std::vector<QualityLevel> greedy_pass(const SlotProblem& problem,
-                                        Rank rank) const;
-  std::vector<QualityLevel> greedy_pass_heap(const SlotProblem& problem,
-                                             Rank rank) const;
+  /// The one rank-dispatch point both strategies share: the marginal
+  /// score of raising this user from q to q+1, read from the table.
+  static double rank_score(const HTable& table, QualityLevel q, Rank rank) {
+    return rank == Rank::kDensity ? table.density(q) : table.increment(q);
+  }
+
+  /// One greedy ascent over tables_; writes the resulting levels.
+  void greedy_pass(const SlotProblem& problem, Rank rank,
+                   std::vector<QualityLevel>& q);
+  void greedy_pass_heap(const SlotProblem& problem, Rank rank,
+                        std::vector<QualityLevel>& q);
 
   Mode mode_;
   Strategy strategy_;
+
+  // Per-slot scratch, recycled across allocate calls. An allocator
+  // instance is single-threaded by contract (the ensemble runner gives
+  // each parallel cell a fresh instance).
+  struct HeapEntry {
+    double score;
+    std::size_t user;
+    QualityLevel level;
+  };
+  HTableSet tables_;
+  std::vector<QualityLevel> density_levels_;
+  std::vector<QualityLevel> value_levels_;
+  std::vector<char> active_;
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace cvr::core

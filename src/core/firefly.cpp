@@ -11,11 +11,19 @@ void FireflyAllocator::sync_lru(std::size_t users) {
 }
 
 Allocation FireflyAllocator::allocate(const SlotProblem& problem) {
+  Allocation result;
+  allocate_into(problem, result);
+  return result;
+}
+
+void FireflyAllocator::allocate_into(const SlotProblem& problem,
+                                     Allocation& out) {
   const std::size_t n_users = problem.user_count();
   sync_lru(n_users);
 
   // Start each user at the highest level feasible on its own link.
-  std::vector<QualityLevel> q(n_users, 1);
+  std::vector<QualityLevel>& q = out.levels;
+  q.assign(n_users, 1);
   for (std::size_t n = 0; n < n_users; ++n) {
     for (QualityLevel level = kNumQualityLevels; level >= 1; --level) {
       if (user_feasible(problem.users[n], level)) {
@@ -45,10 +53,7 @@ Allocation FireflyAllocator::allocate(const SlotProblem& problem) {
     }
   }
 
-  Allocation result;
-  result.levels = std::move(q);
-  result.objective = evaluate(problem, result.levels);
-  return result;
+  out.objective = evaluate(problem, q);
 }
 
 }  // namespace cvr::core

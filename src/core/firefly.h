@@ -29,6 +29,11 @@ class FireflyAllocator final : public Allocator {
 
   Allocation allocate(const SlotProblem& problem) override;
 
+  /// Builds the levels directly into `out` (capacity recycled); the
+  /// objective is read from the per-slot HTable like every other
+  /// allocator, though the policy itself stays QoE-oblivious.
+  void allocate_into(const SlotProblem& problem, Allocation& out) override;
+
   void reset() override { lru_.clear(); }
 
  private:

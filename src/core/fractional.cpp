@@ -2,12 +2,16 @@
 
 #include <algorithm>
 
+#include "src/core/htable.h"
+
 namespace cvr::core {
 
 double fractional_upper_bound(const SlotProblem& problem) {
   const std::size_t n_users = problem.user_count();
+  HTableSet tables;
+  tables.build(problem);
   std::vector<QualityLevel> q(n_users, 1);
-  double value = evaluate(problem, q);
+  double value = tables.evaluate(q);
   double remaining = problem.server_bandwidth - total_rate(problem, q);
   if (remaining <= 0.0) return value;
 
@@ -24,7 +28,7 @@ double fractional_upper_bound(const SlotProblem& problem) {
         --active_count;
         continue;
       }
-      const double density = h_density(problem.users[n], q[n], problem.params);
+      const double density = tables[n].density(q[n]);
       if (best == n_users || density > best_density) {
         best_density = density;
         best = n;
@@ -33,7 +37,7 @@ double fractional_upper_bound(const SlotProblem& problem) {
     if (best == n_users || best_density <= 0.0) break;
 
     const auto& user = problem.users[best];
-    const double dv = h_increment(user, q[best], problem.params);
+    const double dv = tables[best].increment(q[best]);
     const double dr = user.rate[static_cast<std::size_t>(q[best])] -
                       user.rate[static_cast<std::size_t>(q[best] - 1)];
     if (dr <= remaining) {

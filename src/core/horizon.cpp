@@ -129,14 +129,20 @@ double horizon_sequential(const HorizonProblem& problem,
   allocator.reset();
 
   std::vector<UserQoeAccumulator> accumulators(users);
+  // The working slot and allocation live outside the loop so their
+  // storage is recycled — the per-slot hot path stays allocation-free
+  // once capacities have stabilised (arena-style reuse, see
+  // src/core/slot_arena.h).
+  SlotProblem slot;
+  Allocation allocation;
   for (std::size_t t = 0; t < horizon; ++t) {
-    SlotProblem slot = problem.slots[t];
+    slot = problem.slots[t];
     for (std::size_t n = 0; n < users; ++n) {
       slot.users[n].delta = 1.0;
       slot.users[n].qbar = accumulators[n].mean_viewed_quality();
       slot.users[n].slot = static_cast<double>(t + 1);
     }
-    const Allocation allocation = allocator.allocate(slot);
+    allocator.allocate_into(slot, allocation);
     for (std::size_t n = 0; n < users; ++n) {
       const QualityLevel q = allocation.levels[n];
       accumulators[n].record(

@@ -1,0 +1,41 @@
+#include "src/core/htable.h"
+
+#include <stdexcept>
+
+namespace cvr::core {
+
+void HTable::build(const UserSlotContext& user, const QoeParams& params) {
+  for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+    h_[static_cast<std::size_t>(q - 1)] =
+        detail::h_value_unchecked(user, q, params);
+  }
+  for (QualityLevel q = 1; q < kNumQualityLevels; ++q) {
+    const auto i = static_cast<std::size_t>(q - 1);
+    const double dr = user.rate[i + 1] - user.rate[i];
+    if (dr <= 0.0) {
+      throw std::logic_error("HTable: rates must be strictly increasing");
+    }
+    increment_[i] = h_[i + 1] - h_[i];
+    density_[i] = increment_[i] / dr;
+  }
+}
+
+void HTableSet::build(const SlotProblem& problem) {
+  tables_.resize(problem.user_count());
+  for (std::size_t n = 0; n < tables_.size(); ++n) {
+    tables_[n].build(problem.users[n], problem.params);
+  }
+}
+
+double HTableSet::evaluate(const std::vector<QualityLevel>& levels) const {
+  if (levels.size() != tables_.size()) {
+    throw std::invalid_argument("HTableSet::evaluate: level count mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t n = 0; n < tables_.size(); ++n) {
+    total += tables_[n].value(levels[n]);
+  }
+  return total;
+}
+
+}  // namespace cvr::core

@@ -1,0 +1,95 @@
+// Precomputed per-user h-tables for the per-slot hot path.
+//
+// Every allocator in the stack ranks candidate upgrades by h-derived
+// scores: Algorithm 1's two greedy passes compare marginal densities
+// eta_n(q) and marginal values v_n(q) across users on every iteration,
+// the Lagrangian solver sweeps h - lambda*rate per candidate lambda, and
+// the exact solvers tabulate h outright. Recomputing h_value() inside
+// those loops costs O(iterations * L) redundant evaluations per slot —
+// and an h_increment() is *two* full h_value() calls.
+//
+// HTable precomputes h_n(q) for all L = kNumQualityLevels levels once
+// per (user, slot) and derives increments and densities by subtraction:
+//
+//   value(q)     = h_n(q)                       (levels 1..L)
+//   increment(q) = value(q+1) - value(q)        (steps  1..L-1)
+//   density(q)   = increment(q) / (rate[q] - rate[q-1])
+//
+// These are exactly the doubles h_value / h_increment / h_density
+// produce — same inputs, same expression, same association order — so
+// routing an allocator through the table is bit-identical to the direct
+// path (certified by the core.htable_matches_direct proptest property
+// and the existing differential oracles).
+//
+// Validation policy (see docs/performance.md): rates must be strictly
+// increasing; HTable::build checks this ONCE and throws, mirroring
+// h_density's contract, so the per-call accessors can be assert-only.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "src/core/allocator.h"
+#include "src/core/qoe.h"
+
+namespace cvr::core {
+
+/// One user's precomputed h-table for one slot.
+class HTable {
+ public:
+  /// Tabulates h(q) for every level and derives increments/densities.
+  /// Throws std::logic_error when the rate table is not strictly
+  /// increasing (h_density's contract, hoisted out of the hot loop).
+  void build(const UserSlotContext& user, const QoeParams& params);
+
+  /// h_n(q). Precondition: 1 <= q <= kNumQualityLevels.
+  double value(QualityLevel q) const {
+    assert(content::is_valid_level(q));
+    return h_[static_cast<std::size_t>(q - 1)];
+  }
+
+  /// v_n(q) = h(q+1) - h(q). Precondition: 1 <= q < kNumQualityLevels.
+  double increment(QualityLevel q) const {
+    assert(q >= 1 && q < kNumQualityLevels);
+    return increment_[static_cast<std::size_t>(q - 1)];
+  }
+
+  /// eta_n(q) = v_n(q) / (f(q+1) - f(q)). Same precondition as
+  /// increment().
+  double density(QualityLevel q) const {
+    assert(q >= 1 && q < kNumQualityLevels);
+    return density_[static_cast<std::size_t>(q - 1)];
+  }
+
+ private:
+  double h_[kNumQualityLevels] = {};
+  double increment_[kNumQualityLevels - 1] = {};
+  double density_[kNumQualityLevels - 1] = {};
+};
+
+/// The per-slot table set: one HTable per user, in user order, backed by
+/// storage that is recycled across build() calls — steady-state rebuilds
+/// perform zero heap allocations once the user count has stabilised.
+class HTableSet {
+ public:
+  /// Rebuilds one table per problem user (capacity retained).
+  void build(const SlotProblem& problem);
+
+  const HTable& operator[](std::size_t n) const {
+    assert(n < tables_.size());
+    return tables_[n];
+  }
+
+  std::size_t size() const { return tables_.size(); }
+
+  /// sum_n value(levels[n]) — bit-identical to core::evaluate() (same
+  /// per-user doubles summed in the same order). Throws
+  /// std::invalid_argument on a level-count mismatch, like evaluate().
+  double evaluate(const std::vector<QualityLevel>& levels) const;
+
+ private:
+  std::vector<HTable> tables_;
+};
+
+}  // namespace cvr::core

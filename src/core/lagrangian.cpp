@@ -4,22 +4,24 @@
 #include <cmath>
 #include <limits>
 
+#include "src/core/htable.h"
+
 namespace cvr::core {
 
 namespace {
 
 /// Per-user argmax of h(q) - lambda f(q), subject to (7). Ties break
 /// toward the *lower* level so that usage(lambda) is right-continuous
-/// and bisection lands on a feasible allocation.
-QualityLevel best_level(const UserSlotContext& user, const QoeParams& params,
+/// and bisection lands on a feasible allocation. Reads h from the
+/// per-slot table instead of recomputing it per candidate lambda.
+QualityLevel best_level(const UserSlotContext& user, const HTable& table,
                         double lambda) {
   QualityLevel best_q = 1;
-  double best =
-      h_value(user, 1, params) - lambda * user.rate[0];
+  double best = table.value(1) - lambda * user.rate[0];
   for (QualityLevel q = 2; q <= kNumQualityLevels; ++q) {
     if (!user_feasible(user, q)) break;  // rates increase with q
-    const double v = h_value(user, q, params) -
-                     lambda * user.rate[static_cast<std::size_t>(q - 1)];
+    const double v =
+        table.value(q) - lambda * user.rate[static_cast<std::size_t>(q - 1)];
     if (v > best + 1e-12) {
       best = v;
       best_q = q;
@@ -28,11 +30,11 @@ QualityLevel best_level(const UserSlotContext& user, const QoeParams& params,
   return best_q;
 }
 
-double usage(const SlotProblem& problem, double lambda,
-             std::vector<QualityLevel>& levels) {
+double usage(const SlotProblem& problem, const HTableSet& tables,
+             double lambda, std::vector<QualityLevel>& levels) {
   double total = 0.0;
   for (std::size_t n = 0; n < problem.users.size(); ++n) {
-    levels[n] = best_level(problem.users[n], problem.params, lambda);
+    levels[n] = best_level(problem.users[n], tables[n], lambda);
     total += problem.users[n].rate[static_cast<std::size_t>(levels[n] - 1)];
   }
   return total;
@@ -40,15 +42,15 @@ double usage(const SlotProblem& problem, double lambda,
 
 /// Largest marginal density over all users/levels: above this lambda
 /// every user sits at level 1.
-double lambda_ceiling(const SlotProblem& problem) {
+double lambda_ceiling(const SlotProblem& problem, const HTableSet& tables) {
   double ceiling = 0.0;
-  for (const auto& user : problem.users) {
+  for (std::size_t n = 0; n < problem.users.size(); ++n) {
+    const auto& user = problem.users[n];
     for (QualityLevel q = 1; q < kNumQualityLevels; ++q) {
       const double dr = user.rate[static_cast<std::size_t>(q)] -
                         user.rate[static_cast<std::size_t>(q - 1)];
       if (dr <= 0.0) continue;
-      ceiling = std::max(
-          ceiling, std::abs(h_increment(user, q, problem.params)) / dr);
+      ceiling = std::max(ceiling, std::abs(tables[n].increment(q)) / dr);
     }
   }
   return ceiling + 1.0;
@@ -64,28 +66,34 @@ Allocation LagrangianAllocator::allocate(const SlotProblem& problem) {
   const std::size_t n_users = problem.user_count();
   if (n_users == 0) return result;
 
+  HTableSet tables;
+  tables.build(problem);
+
   std::vector<QualityLevel> levels(n_users, 1);
   // lambda = 0: unconstrained optimum. Feasible? Done.
-  if (usage(problem, 0.0, levels) <= problem.server_bandwidth + kFeasibilityEpsilon) {
+  if (usage(problem, tables, 0.0, levels) <=
+      problem.server_bandwidth + kFeasibilityEpsilon) {
     result.levels = std::move(levels);
-    result.objective = evaluate(problem, result.levels);
+    result.objective = tables.evaluate(result.levels);
     return result;
   }
 
-  double lo = 0.0;                      // infeasible side
-  double hi = lambda_ceiling(problem);  // all-ones side
+  double lo = 0.0;                              // infeasible side
+  double hi = lambda_ceiling(problem, tables);  // all-ones side
   std::vector<QualityLevel> hi_levels(n_users, 1);
-  if (usage(problem, hi, hi_levels) > problem.server_bandwidth + kFeasibilityEpsilon) {
+  if (usage(problem, tables, hi, hi_levels) >
+      problem.server_bandwidth + kFeasibilityEpsilon) {
     // Even the all-ones minimum violates (6): mandatory-minimum fallback.
     result.levels.assign(n_users, 1);
-    result.objective = evaluate(problem, result.levels);
+    result.objective = tables.evaluate(result.levels);
     return result;
   }
 
   std::vector<QualityLevel> feasible = hi_levels;
   for (int i = 0; i < iterations_; ++i) {
     const double mid = 0.5 * (lo + hi);
-    if (usage(problem, mid, levels) <= problem.server_bandwidth + kFeasibilityEpsilon) {
+    if (usage(problem, tables, mid, levels) <=
+        problem.server_bandwidth + kFeasibilityEpsilon) {
       feasible = levels;
       hi = mid;
     } else {
@@ -110,8 +118,7 @@ Allocation LagrangianAllocator::allocate(const SlotProblem& problem) {
           problem.users[n].rate[static_cast<std::size_t>(feasible[n])] -
           problem.users[n].rate[static_cast<std::size_t>(feasible[n] - 1)];
       if (used + dr > problem.server_bandwidth + kFeasibilityEpsilon) continue;
-      const double density =
-          h_density(problem.users[n], feasible[n], problem.params);
+      const double density = tables[n].density(feasible[n]);
       if (density > best_density) {
         best_density = density;
         best = n;
@@ -127,13 +134,16 @@ Allocation LagrangianAllocator::allocate(const SlotProblem& problem) {
   }
 
   result.levels = std::move(feasible);
-  result.objective = evaluate(problem, result.levels);
+  result.objective = tables.evaluate(result.levels);
   return result;
 }
 
 double lagrangian_dual_bound(const SlotProblem& problem, int iterations) {
   const std::size_t n_users = problem.user_count();
   if (n_users == 0) return 0.0;
+
+  HTableSet tables;
+  tables.build(problem);
 
   // Strictly infeasible instance (even all-ones overflows B): the dual
   // of the strict problem is -infinity, but the library's convention
@@ -142,18 +152,18 @@ double lagrangian_dual_bound(const SlotProblem& problem, int iterations) {
   double min_rate = 0.0;
   for (const auto& user : problem.users) min_rate += user.rate[0];
   if (min_rate > problem.server_bandwidth + kFeasibilityEpsilon) {
-    return evaluate(problem,
-                    std::vector<QualityLevel>(n_users, 1));
+    return tables.evaluate(std::vector<QualityLevel>(n_users, 1));
   }
 
   auto dual = [&](double lambda) {
     double total = lambda * problem.server_bandwidth;
-    for (const auto& user : problem.users) {
+    for (std::size_t n = 0; n < n_users; ++n) {
+      const auto& user = problem.users[n];
       double best = -std::numeric_limits<double>::infinity();
       for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
         if (q > 1 && !user_feasible(user, q)) break;
         best = std::max(best,
-                        h_value(user, q, problem.params) -
+                        tables[n].value(q) -
                             lambda * user.rate[static_cast<std::size_t>(q - 1)]);
       }
       total += best;
@@ -164,7 +174,7 @@ double lagrangian_dual_bound(const SlotProblem& problem, int iterations) {
   // g is convex in lambda: golden-section search over [0, ceiling].
   constexpr double kGolden = 0.6180339887498949;
   double lo = 0.0;
-  double hi = lambda_ceiling(problem);
+  double hi = lambda_ceiling(problem, tables);
   double x1 = hi - kGolden * (hi - lo);
   double x2 = lo + kGolden * (hi - lo);
   double f1 = dual(x1);

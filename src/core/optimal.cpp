@@ -4,11 +4,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/core/htable.h"
+
 namespace cvr::core {
 
 namespace {
 
-/// Precomputed per-user tables for the exact solvers.
+/// Precomputed per-user tables for the exact solvers; the h column is
+/// read from the shared per-slot HTable (bit-identical to h_value).
 struct Tables {
   // h[n][q-1], rate[n][q-1]; max_level[n] = highest level within B_n
   // (at least 1: the mandatory minimum).
@@ -20,12 +23,14 @@ struct Tables {
 Tables build_tables(const SlotProblem& problem) {
   Tables t;
   const std::size_t n_users = problem.user_count();
+  HTableSet htables;
+  htables.build(problem);
   t.h.resize(n_users);
   t.rate.resize(n_users);
   t.max_level.resize(n_users, 1);
   for (std::size_t n = 0; n < n_users; ++n) {
     for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
-      t.h[n][q - 1] = h_value(problem.users[n], q, problem.params);
+      t.h[n][q - 1] = htables[n].value(q);
       t.rate[n][q - 1] = problem.users[n].rate[static_cast<std::size_t>(q - 1)];
       if (q > 1 && user_feasible(problem.users[n], q)) t.max_level[n] = q;
     }

@@ -23,8 +23,8 @@ double PavqAllocator::score(const UserSlotContext& user, QualityLevel q,
          params.beta * weight * dq * dq;
 }
 
-UserSlotContext PavqAllocator::smoothed_view(std::size_t n,
-                                             const UserSlotContext& user) {
+const UserSlotContext& PavqAllocator::smoothed_view(
+    std::size_t n, const UserSlotContext& user) {
   if (smoothed_.size() <= n) smoothed_.resize(n + 1);
   SmoothedInputs& s = smoothed_[n];
   if (!s.primed) {
@@ -37,21 +37,28 @@ UserSlotContext PavqAllocator::smoothed_view(std::size_t n,
       s.delay[i] += smoothing_alpha_ * (user.delay[i] - s.delay[i]);
     }
   }
-  UserSlotContext view = user;
-  view.user_bandwidth = s.bandwidth;
-  view.delay.assign(s.delay.begin(), s.delay.end());
-  return view;
+  view_ = user;  // vector members recycle their capacity
+  view_.user_bandwidth = s.bandwidth;
+  view_.delay = s.delay;
+  return view_;
 }
 
 Allocation PavqAllocator::allocate(const SlotProblem& problem) {
+  Allocation result;
+  allocate_into(problem, result);
+  return result;
+}
+
+void PavqAllocator::allocate_into(const SlotProblem& problem, Allocation& out) {
   const std::size_t n_users = problem.user_count();
-  std::vector<QualityLevel> q(n_users, 1);
+  std::vector<QualityLevel>& q = out.levels;
+  q.assign(n_users, 1);
 
   // Per-user maximisation of the price-adjusted score under B_n only
   // (evaluated on the long-run-average view of the network); the shared
   // constraint (6) is delegated to the dual price.
   for (std::size_t n = 0; n < n_users; ++n) {
-    const UserSlotContext user = smoothed_view(n, problem.users[n]);
+    const UserSlotContext& user = smoothed_view(n, problem.users[n]);
     double best = score(user, 1, problem.params) - price_ * user.rate[0];
     for (QualityLevel level = 2; level <= kNumQualityLevels; ++level) {
       if (!user_feasible(user, level)) break;  // rates increase
@@ -69,10 +76,7 @@ Allocation PavqAllocator::allocate(const SlotProblem& problem) {
   const double used = total_rate(problem, q);
   price_ = std::max(0.0, price_ + kappa_ * (used - problem.server_bandwidth));
 
-  Allocation result;
-  result.levels = std::move(q);
-  result.objective = evaluate(problem, result.levels);
-  return result;
+  out.objective = evaluate(problem, q);
 }
 
 }  // namespace cvr::core

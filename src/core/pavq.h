@@ -52,6 +52,11 @@ class PavqAllocator final : public Allocator {
 
   Allocation allocate(const SlotProblem& problem) override;
 
+  /// Allocation-free steady state: levels build directly into `out`,
+  /// the smoothed view recycles one member context, and the objective
+  /// is read from the per-slot HTable.
+  void allocate_into(const SlotProblem& problem, Allocation& out) override;
+
   void reset() override {
     price_ = 0.0;
     smoothed_.clear();
@@ -71,13 +76,16 @@ class PavqAllocator final : public Allocator {
   };
 
   /// Folds this slot's context into the long-run averages and returns a
-  /// context with the smoothed values substituted.
-  UserSlotContext smoothed_view(std::size_t n, const UserSlotContext& user);
+  /// context with the smoothed values substituted. The reference points
+  /// into recycled member storage — valid until the next call.
+  const UserSlotContext& smoothed_view(std::size_t n,
+                                       const UserSlotContext& user);
 
   double kappa_;
   double smoothing_alpha_;
   double price_ = 0.0;
   std::vector<SmoothedInputs> smoothed_;
+  UserSlotContext view_;  // recycled output of smoothed_view()
 };
 
 }  // namespace cvr::core

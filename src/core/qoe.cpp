@@ -12,12 +12,11 @@ UserSlotContext UserSlotContext::from_rate_function(
   ctx.qbar = qbar;
   ctx.slot = slot;
   ctx.user_bandwidth = user_bandwidth;
-  ctx.rate.reserve(kNumQualityLevels);
-  ctx.delay.reserve(kNumQualityLevels);
   for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+    const auto idx = static_cast<std::size_t>(q - 1);
     const double r = f.rate(q);
-    ctx.rate.push_back(r);
-    ctx.delay.push_back(net::mm1_delay(r, user_bandwidth));
+    ctx.rate[idx] = r;
+    ctx.delay[idx] = net::mm1_delay(r, user_bandwidth);
   }
   return ctx;
 }
@@ -36,20 +35,7 @@ double h_value(const UserSlotContext& user, QualityLevel q,
   if (!content::is_valid_level(q)) {
     throw std::out_of_range("h_value: invalid quality level");
   }
-  const auto idx = static_cast<std::size_t>(q - 1);
-  if (user.rate.size() != static_cast<std::size_t>(kNumQualityLevels) ||
-      user.delay.size() != static_cast<std::size_t>(kNumQualityLevels)) {
-    throw std::invalid_argument("h_value: context tables incomplete");
-  }
-  const double success = user.effective_delta(q);
-  const double t = user.slot;
-  const double weight = t > 1.0 ? (t - 1.0) / t : 0.0;
-  const double dq = static_cast<double>(q) - user.qbar;
-  const double variance_term =
-      success * weight * dq * dq +
-      (1.0 - success) * weight * user.qbar * user.qbar;
-  return success * static_cast<double>(q) - params.alpha * user.delay[idx] -
-         params.beta * variance_term;
+  return detail::h_value_unchecked(user, q, params);
 }
 
 double h_increment(const UserSlotContext& user, QualityLevel q,

@@ -19,6 +19,8 @@
 // matching the paper's measurements.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <vector>
 
 #include "src/content/quality.h"
@@ -47,13 +49,21 @@ struct QoeParams {
 };
 
 /// Everything the per-slot problem knows about one user.
+///
+/// The rate/delay tables are fixed-size arrays: the level count is a
+/// compile-time constant of the content model, so a complete table is a
+/// structural invariant — no per-call size validation is needed (or
+/// possible) on the hot path, and a context is a flat, allocation-free
+/// value that a SlotArena can recycle slot after slot.
 struct UserSlotContext {
   double delta = 1.0;       ///< Estimated prediction-success probability.
   double qbar = 0.0;        ///< Running mean of viewed quality, qbar_n(t-1).
   double slot = 1.0;        ///< Current slot t (1-based) in the horizon.
   double user_bandwidth = 0.0;  ///< B_n(t), Mbps.
-  std::vector<double> rate;     ///< f_{c(t)}^R(q) per level, index q-1.
-  std::vector<double> delay;    ///< E[d_n(f(q))] per level, index q-1.
+  /// f_{c(t)}^R(q) per level, index q-1.
+  std::array<double, kNumQualityLevels> rate{};
+  /// E[d_n(f(q))] per level, index q-1.
+  std::array<double, kNumQualityLevels> delay{};
   /// Optional (Section VIII extension): estimated probability that the
   /// level-q frame is *undecodable* due to RTP packet loss, index q-1.
   /// Empty means "loss-oblivious" — the paper's published formulation.
@@ -76,8 +86,32 @@ struct UserSlotContext {
                                             double slot);
 };
 
-/// h_n(q) of Section III. Precondition: is_valid_level(q) and the context
-/// tables have kNumQualityLevels entries.
+namespace detail {
+
+/// The exact arithmetic of h_n(q) with no argument validation. Shared
+/// by h_value() and HTable::build() so the precomputed table is
+/// bit-identical to the direct path *by construction* — both evaluate
+/// this one expression, in this one association order.
+/// Precondition (asserted by callers): is_valid_level(q).
+inline double h_value_unchecked(const UserSlotContext& user, QualityLevel q,
+                                const QoeParams& params) {
+  const auto idx = static_cast<std::size_t>(q - 1);
+  const double success = user.effective_delta(q);
+  const double t = user.slot;
+  const double weight = t > 1.0 ? (t - 1.0) / t : 0.0;
+  const double dq = static_cast<double>(q) - user.qbar;
+  const double variance_term =
+      success * weight * dq * dq +
+      (1.0 - success) * weight * user.qbar * user.qbar;
+  return success * static_cast<double>(q) - params.alpha * user.delay[idx] -
+         params.beta * variance_term;
+}
+
+}  // namespace detail
+
+/// h_n(q) of Section III. Precondition: is_valid_level(q) (throws
+/// std::out_of_range otherwise; the table sizes are compile-time
+/// invariants of UserSlotContext and need no runtime check).
 double h_value(const UserSlotContext& user, QualityLevel q,
                const QoeParams& params);
 

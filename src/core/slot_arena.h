@@ -1,0 +1,51 @@
+// Recycled storage for the per-slot allocation problem.
+//
+// The sim loops (sim::TraceSimulation, system::SystemSim, the horizon
+// solvers) build one SlotProblem per 15 ms slot. Constructing it fresh
+// each slot heap-allocates the users vector every time; the arena keeps
+// one SlotProblem alive and hands it back each slot with its capacity
+// retained, so steady-state slot construction performs zero heap
+// allocations (UserSlotContext itself is a flat value — fixed arrays,
+// no owned heap memory except the optional frame_loss vector, whose
+// capacity is likewise recycled).
+//
+// Ownership rules (see docs/performance.md):
+//  * The reference returned by acquire() is valid until the next
+//    acquire() call or the arena's destruction — never store it across
+//    slots.
+//  * acquire() resizes the users vector and resets the scalar fields;
+//    every user entry must be overwritten by the caller (assignment from
+//    from_rate_function() or field-wise fills) — entries surviving a
+//    same-size resize keep last slot's values until then.
+//  * A problem built in an arena is equivalent to a freshly constructed
+//    SlotProblem with the same fills (asserted by
+//    tests/slot_arena_test.cpp).
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/allocator.h"
+
+namespace cvr::core {
+
+class SlotArena {
+ public:
+  /// Returns the recycled problem sized for `users` entries, with
+  /// server_bandwidth/params reset to defaults. Grows capacity on first
+  /// use (or churn upward); steady state is allocation-free.
+  SlotProblem& acquire(std::size_t users) {
+    problem_.users.resize(users);
+    problem_.server_bandwidth = 0.0;
+    problem_.params = QoeParams{};
+    return problem_;
+  }
+
+  /// The problem most recently handed out by acquire().
+  SlotProblem& problem() { return problem_; }
+  const SlotProblem& problem() const { return problem_; }
+
+ private:
+  SlotProblem problem_;
+};
+
+}  // namespace cvr::core

@@ -28,8 +28,9 @@ UserSlotContext gen_table_user(cvr::Rng& rng) {
   user.slot = std::floor(rng.uniform(1.0, 500.0));
   double rate = rng.uniform(1.0, 20.0);
   for (int q = 0; q < content::kNumQualityLevels; ++q) {
-    user.rate.push_back(rate);
-    user.delay.push_back(rng.uniform(0.0, 30.0));
+    const auto i = static_cast<std::size_t>(q);
+    user.rate[i] = rate;
+    user.delay[i] = rng.uniform(0.0, 30.0);
     rate += rng.uniform(0.5, 15.0);
   }
   // Bandwidth anywhere from "level 1 only" to "all levels affordable".

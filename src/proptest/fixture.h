@@ -8,6 +8,7 @@
 // operator<< when available, or an opaque placeholder.
 #pragma once
 
+#include <array>
 #include <iomanip>
 #include <limits>
 #include <sstream>
@@ -28,6 +29,18 @@ inline std::string show_double(double value) {
 inline std::string show_double_list(const std::vector<double>& values) {
   std::string out = "{";
   for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ", ";
+    out += show_double(values[i]);
+  }
+  out += "}";
+  return out;
+}
+
+/// Array overload (UserSlotContext's fixed-size rate/delay tables).
+template <std::size_t N>
+inline std::string show_double_list(const std::array<double, N>& values) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < N; ++i) {
     if (i) out += ", ";
     out += show_double(values[i]);
   }

@@ -16,6 +16,7 @@
 
 #include "src/core/dv_greedy.h"
 #include "src/core/fractional.h"
+#include "src/core/htable.h"
 #include "src/core/optimal.h"
 #include "src/faults/fault_schedule.h"
 #include "src/net/mm1.h"
@@ -73,6 +74,54 @@ CheckResult check_scan_heap_identical(const SlotProblem& problem) {
       return fail("objectives differ: scan " + show_double(a.objective) +
                   " vs heap " + show_double(b.objective));
     }
+  }
+  return pass();
+}
+
+/// Fast-path ≡ reference: the per-slot HTable stores exactly the
+/// doubles h_value produces, and its increments/densities (derived by
+/// subtraction at build time) are bitwise equal to h_increment /
+/// h_density — the identity that licenses routing every allocator
+/// through the table. Compared via bit patterns, not ==, so even a
+/// sign-of-zero drift would be caught.
+CheckResult check_htable_matches_direct(const SlotProblem& problem) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  core::HTableSet tables;
+  tables.build(problem);
+  for (std::size_t n = 0; n < problem.user_count(); ++n) {
+    const auto& user = problem.users[n];
+    for (QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
+      const double direct = core::h_value(user, q, problem.params);
+      if (bits(tables[n].value(q)) != bits(direct)) {
+        return fail("user " + std::to_string(n) + " level " +
+                    std::to_string(q) + ": table h " +
+                    show_double(tables[n].value(q)) + " != direct " +
+                    show_double(direct));
+      }
+      if (q >= core::kNumQualityLevels) continue;
+      const double dv = core::h_increment(user, q, problem.params);
+      if (bits(tables[n].increment(q)) != bits(dv)) {
+        return fail("user " + std::to_string(n) + " step " +
+                    std::to_string(q) + ": table increment " +
+                    show_double(tables[n].increment(q)) + " != direct " +
+                    show_double(dv));
+      }
+      const double eta = core::h_density(user, q, problem.params);
+      if (bits(tables[n].density(q)) != bits(eta)) {
+        return fail("user " + std::to_string(n) + " step " +
+                    std::to_string(q) + ": table density " +
+                    show_double(tables[n].density(q)) + " != direct " +
+                    show_double(eta));
+      }
+    }
+  }
+  // The summed objective must also agree bitwise (same addends, same
+  // order), e.g. for the all-ones base every allocator starts from.
+  const std::vector<QualityLevel> ones(problem.user_count(), 1);
+  if (bits(tables.evaluate(ones)) != bits(core::evaluate(problem, ones))) {
+    return fail("all-ones objective differs: table " +
+                show_double(tables.evaluate(ones)) + " != direct " +
+                show_double(core::evaluate(problem, ones)));
   }
   return pass();
 }
@@ -721,6 +770,9 @@ void register_builtin_properties(Registry& registry) {
   CVR_PROPERTY_ITERS("core.dv_scan_heap_identical", 10000,
                      slot_problems(tie_heavy_config()),
                      check_scan_heap_identical);
+  CVR_PROPERTY_ITERS("core.htable_matches_direct", 10000,
+                     slot_problems(tie_heavy_config()),
+                     check_htable_matches_direct);
   {
     SlotProblemGenConfig theorem = published_model_config();
     theorem.max_users = 6;

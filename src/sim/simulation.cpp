@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "src/core/slot_arena.h"
 #include "src/net/mm1.h"
 
 namespace cvr::sim {
@@ -88,16 +89,23 @@ std::vector<UserOutcome> TraceSimulation::run(
   const double server_bandwidth =
       config_.server_mbps_per_user * static_cast<double>(n_users);
 
+  // Per-slot working storage, recycled across the horizon: problem,
+  // allocation, and the hit flags keep their capacity so the steady-
+  // state build->allocate path is heap-allocation-free (see
+  // src/core/slot_arena.h and docs/performance.md).
+  core::SlotArena arena;
+  core::Allocation allocation;
+  std::vector<bool> hit;
+
   for (std::size_t t = 0; t < config_.slots; ++t) {
     const std::int64_t slot = static_cast<std::int64_t>(t);
     telemetry::PhaseSpan slot_span(telemetry, telemetry::Phase::kSlot,
                                    telemetry::Collector::kServerPid, slot);
-    core::SlotProblem problem;
+    core::SlotProblem& problem = arena.acquire(n_users);
     problem.params = config_.params;
     problem.server_bandwidth = server_bandwidth;
-    problem.users.reserve(n_users);
 
-    std::vector<bool> hit(n_users, false);
+    hit.assign(n_users, false);
     {
       telemetry::PhaseSpan build_span(telemetry,
                                       telemetry::Phase::kProblemBuild,
@@ -140,17 +148,16 @@ std::vector<UserOutcome> TraceSimulation::run(
         const content::CrfRateFunction base_f = scene.frame_rate_function(cell);
         const content::CrfRateFunction f(base_f.base_mbps(), base_f.growth(),
                                          base_f.scale() * margin_scale);
-        problem.users.push_back(core::UserSlotContext::from_rate_function(
+        problem.users[u] = core::UserSlotContext::from_rate_function(
             f, b_n, user.accuracy.estimate(), user.qoe.mean_viewed_quality(),
-            static_cast<double>(t + 1)));
+            static_cast<double>(t + 1));
       }
     }
 
-    core::Allocation allocation;
     {
       telemetry::PhaseSpan solve_span(telemetry, telemetry::Phase::kAllocSolve,
                                       telemetry::Collector::kServerPid, slot);
-      allocation = allocator.allocate(problem);
+      allocator.allocate_into(problem, allocation);
     }
     if (allocation.levels.size() != n_users) {
       throw std::logic_error("allocator returned wrong level count");

@@ -121,11 +121,16 @@ content::GridCell Server::clamped_cell(double x, double y) const {
 }
 
 core::SlotProblem Server::build_problem(std::size_t t) {
-  clock_ = t;
   core::SlotProblem problem;
-  problem.params = config_.params;
-  problem.server_bandwidth = config_.server_bandwidth_mbps;
-  problem.users.reserve(users_.size());
+  build_problem_into(t, problem);
+  return problem;
+}
+
+void Server::build_problem_into(std::size_t t, core::SlotProblem& out) {
+  clock_ = t;
+  out.params = config_.params;
+  out.server_bandwidth = config_.server_bandwidth_mbps;
+  out.users.resize(users_.size());
   for (std::size_t u = 0; u < users_.size(); ++u) {
     UserState& user = users_[u];
 
@@ -156,7 +161,8 @@ core::SlotProblem Server::build_problem(std::size_t t) {
             ? 0.0
             : user.viewed_quality_sum / static_cast<double>(user.viewed_slots);
 
-    core::UserSlotContext ctx;
+    core::UserSlotContext& ctx = out.users[u];
+    ctx.frame_loss.clear();  // recycled entry may carry last slot's table
     // Loss-aware mode decomposes success into (loss-free base) x
     // (1 - frame_loss); the published mode folds everything into delta.
     ctx.delta = config_.loss_aware ? user.base_accuracy.estimate()
@@ -172,17 +178,16 @@ core::SlotProblem Server::build_problem(std::size_t t) {
       // stays allocated regardless (Allocator contract).
       ctx.user_bandwidth = std::min(ctx.user_bandwidth, f.rate(1));
     }
-    ctx.rate.reserve(core::kNumQualityLevels);
-    ctx.delay.reserve(core::kNumQualityLevels);
     for (core::QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
+      const auto idx = static_cast<std::size_t>(q - 1);
       const double r = f.rate(q);
-      ctx.rate.push_back(r);
+      ctx.rate[idx] = r;
       // A trained delay polynomial describes the regime its samples came
       // from; after prolonged silence that regime is suspect, so fall
       // back to the analytic M/M/1 curve on the held bandwidth.
-      ctx.delay.push_back(feedback_stale
-                              ? net::mm1_delay(r, b_hat) * cvr::kSlotMillis
-                              : user.delay.predict_ms(r, b_hat));
+      ctx.delay[idx] = feedback_stale
+                           ? net::mm1_delay(r, b_hat) * cvr::kSlotMillis
+                           : user.delay.predict_ms(r, b_hat);
       if (config_.loss_aware) {
         // Frame-loss estimate at this level: utilisation the level would
         // induce on the estimated link, times the packets actually at
@@ -195,9 +200,7 @@ core::SlotProblem Server::build_problem(std::size_t t) {
         ctx.frame_loss.push_back(user.loss.frame_loss(util, packets));
       }
     }
-    problem.users.push_back(std::move(ctx));
   }
-  return problem;
 }
 
 TileRequest Server::make_request(std::size_t u, core::QualityLevel level) {

@@ -160,6 +160,12 @@ class Server {
   /// predictor (M/M/1 analytic fallback until trained).
   core::SlotProblem build_problem(std::size_t t);
 
+  /// Same, into recycled storage: `out.users` is resized (capacity
+  /// retained) and every field overwritten, so the per-slot build is
+  /// allocation-free in steady state. The sim loop feeds it a
+  /// SlotArena's problem (see src/core/slot_arena.h).
+  void build_problem_into(std::size_t t, core::SlotProblem& out);
+
   /// Generates user `u`'s tile request at `level` for its predicted
   /// pose: predicted-FoV tiles at that level, minus already-delivered
   /// ones, priced via the content DB (also advances the tile cache).

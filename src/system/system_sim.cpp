@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/core/slot_arena.h"
 #include "src/faults/recovery.h"
 #include "src/net/ack_channel.h"
 #include "src/net/mm1.h"
@@ -145,6 +146,13 @@ std::vector<sim::UserOutcome> SystemSim::run(
 
   const faults::FaultSchedule& faults = config_.faults;
 
+  // Per-slot working storage, recycled across the horizon: the arena
+  // recycles the SlotProblem the server builds into and the allocation
+  // keeps its levels capacity, so the estimate->allocate hot path stays
+  // heap-allocation-free in steady state (see src/core/slot_arena.h).
+  core::SlotArena arena;
+  core::Allocation allocation;
+
   for (std::size_t t = 0; t < config_.slots; ++t) {
     const std::int64_t slot = static_cast<std::int64_t>(t);
     telemetry::PhaseSpan slot_span(telemetry, telemetry::Phase::kSlot,
@@ -189,18 +197,17 @@ std::vector<sim::UserOutcome> SystemSim::run(
     }
 
     // Allocation from estimates only.
-    core::SlotProblem problem;
+    core::SlotProblem& problem = arena.acquire(n_users);
     {
       telemetry::PhaseSpan build_span(telemetry,
                                       telemetry::Phase::kProblemBuild,
                                       telemetry::Collector::kServerPid, slot);
-      problem = server.build_problem(t + 1);
+      server.build_problem_into(t + 1, problem);
     }
-    core::Allocation allocation;
     {
       telemetry::PhaseSpan solve_span(telemetry, telemetry::Phase::kAllocSolve,
                                       telemetry::Collector::kServerPid, slot);
-      allocation = allocator.allocate(problem);
+      allocator.allocate_into(problem, allocation);
     }
     if (allocation.levels.size() != n_users) {
       throw std::logic_error("allocator returned wrong level count");

@@ -2,6 +2,7 @@
 // SlotProblem instances.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "src/content/rate_function.h"
@@ -10,14 +11,15 @@
 
 namespace cvr::core::testutil {
 
-/// A user context with explicit per-level rate/delay tables.
-inline UserSlotContext make_user(std::vector<double> rates,
-                                 std::vector<double> delays,
+/// A user context with explicit per-level rate/delay tables (exactly
+/// kNumQualityLevels entries each — the tables are fixed-size arrays).
+inline UserSlotContext make_user(const std::vector<double>& rates,
+                                 const std::vector<double>& delays,
                                  double user_bandwidth, double delta = 1.0,
                                  double qbar = 0.0, double slot = 1.0) {
   UserSlotContext user;
-  user.rate = std::move(rates);
-  user.delay = std::move(delays);
+  std::copy(rates.begin(), rates.end(), user.rate.begin());
+  std::copy(delays.begin(), delays.end(), user.delay.begin());
   user.user_bandwidth = user_bandwidth;
   user.delta = delta;
   user.qbar = qbar;

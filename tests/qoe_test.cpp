@@ -101,11 +101,18 @@ TEST(HValue, InvalidLevelThrows) {
   EXPECT_THROW(h_value(user, 7, params), std::out_of_range);
 }
 
-TEST(HValue, IncompleteTablesThrow) {
-  UserSlotContext user;
-  user.rate = {1.0, 2.0};
-  user.delay = {0.1, 0.2};
-  EXPECT_THROW(h_value(user, 1, QoeParams{}), std::invalid_argument);
+TEST(HValue, TablesAreStructurallyComplete) {
+  // The rate/delay tables are fixed-size arrays, so an "incomplete
+  // table" cannot be constructed and h_value needs no per-call size
+  // validation — the old std::invalid_argument path is gone from the
+  // hot loop by construction (see docs/performance.md).
+  static_assert(std::tuple_size<decltype(UserSlotContext::rate)>::value ==
+                static_cast<std::size_t>(kNumQualityLevels));
+  static_assert(std::tuple_size<decltype(UserSlotContext::delay)>::value ==
+                static_cast<std::size_t>(kNumQualityLevels));
+  UserSlotContext user;  // default: all-zero tables, still sized L
+  EXPECT_EQ(user.rate.size(), static_cast<std::size_t>(kNumQualityLevels));
+  EXPECT_EQ(user.delay.size(), static_cast<std::size_t>(kNumQualityLevels));
 }
 
 TEST(HDensity, MatchesIncrementOverRateDelta) {
