@@ -25,6 +25,14 @@ Two comparison modes:
   medians compounds timer jitter into false alarms. The reference arm itself is
   only sanity-checked for presence.
 
+* ``--service-prefix PREFIX``: additionally require every counter whose
+  name starts with PREFIX to agree *bit-exactly* between baseline and
+  current, across all arms including the normalization reference. The
+  load-service bench encodes its deterministic service outcomes
+  (admission funnel, sustained users, p99 delay) as ``svc_`` counters —
+  they are pure functions of the seed, so any drift is a behaviour
+  change, not timer noise, and gates at zero tolerance.
+
 Refreshing a baseline after an intentional perf change:
 
     ./build/bench/micro_allocator --sweep \
@@ -93,11 +101,45 @@ class Gate:
             self.notes.append(line)
 
 
+def check_service_counters(gate: Gate, name: str, base_arm: dict,
+                           cur_arm: dict, prefix: str) -> None:
+    """Exact-match comparison of deterministic service counters."""
+    base_counters = {
+        k: v for k, v in base_arm.get("counters", {}).items()
+        if k.startswith(prefix)
+    }
+    cur_counters = {
+        k: v for k, v in cur_arm.get("counters", {}).items()
+        if k.startswith(prefix)
+    }
+    for key in sorted(base_counters.keys() | cur_counters.keys()):
+        base_val = base_counters.get(key)
+        cur_val = cur_counters.get(key)
+        line = f"{name}/{key}: {base_val} -> {cur_val}"
+        if base_val is None:
+            gate.notes.append(f"{line} (new counter, not gated)")
+        elif cur_val is None:
+            gate.failures.append(f"{line} (counter vanished)")
+        elif base_val != cur_val:
+            gate.failures.append(f"{line} (deterministic counter drifted)")
+        else:
+            gate.notes.append(f"{name}/{key}: {base_val} (exact)")
+
+
 def compare(baseline: dict, current: dict, tolerance: float,
-            normalize_by: str | None) -> Gate:
+            normalize_by: str | None,
+            service_prefix: str | None = None) -> Gate:
     gate = Gate(tolerance)
     base_arms = arm_index(baseline)
     cur_arms = arm_index(current)
+
+    if service_prefix:
+        for name, base_arm in base_arms.items():
+            cur_arm = cur_arms.get(name)
+            if cur_arm is None:
+                continue  # reported below by the throughput loop
+            check_service_counters(gate, name, base_arm, cur_arm,
+                                   service_prefix)
 
     base_ref = cur_ref = None
     if normalize_by is not None:
@@ -165,11 +207,18 @@ def main() -> int:
         help="divide every metric by this arm's within-run value first "
              "(cancels absolute machine speed; e.g. --normalize-by firefly)",
     )
+    parser.add_argument(
+        "--service-prefix", metavar="PREFIX", default=None,
+        help="gate counters with this name prefix at exact equality in "
+             "every arm, including the normalization reference "
+             "(e.g. --service-prefix svc_)",
+    )
     args = parser.parse_args()
 
     baseline = load_report(args.baseline)
     current = load_report(args.current)
-    gate = compare(baseline, current, args.tolerance, args.normalize_by)
+    gate = compare(baseline, current, args.tolerance, args.normalize_by,
+                   args.service_prefix)
 
     mode = (
         f"normalized by {args.normalize_by!r}" if args.normalize_by

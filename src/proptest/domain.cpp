@@ -349,7 +349,7 @@ std::vector<content::VideoId> gen_tiles(cvr::Rng& rng) {
 }  // namespace
 
 WireMessage gen_wire_message(cvr::Rng& rng) {
-  switch (rng.uniform_int(0, 3)) {
+  switch (rng.uniform_int(0, 6)) {
     case 0: {
       proto::PoseUpdate message;
       message.user = static_cast<std::uint32_t>(rng.engine()());
@@ -376,13 +376,42 @@ WireMessage gen_wire_message(cvr::Rng& rng) {
       message.tiles = gen_tiles(rng);
       return message;
     }
-    default: {
+    case 3: {
       proto::TileHeader message;
       message.video_id = gen_video_id(rng);
       message.packet_count =
           static_cast<std::uint32_t>(rng.uniform_int(1, 64));
       message.packet_index = static_cast<std::uint32_t>(
           rng.uniform_int(0, message.packet_count - 1));
+      message.slot = rng.engine()();
+      return message;
+    }
+    case 4: {
+      proto::ConnectRequest message;
+      message.session = rng.engine()();
+      message.slot = rng.engine()();
+      message.qos_ms = rng.uniform(1e-3, 1e3);  // finite, positive
+      return message;
+    }
+    case 5: {
+      proto::AdmitResponse message;
+      message.session = rng.engine()();
+      message.slot = rng.engine()();
+      const auto decision = static_cast<proto::WireAdmission>(
+          rng.uniform_int(0, 2));
+      message.decision = decision;
+      // Decision/cap consistency is a wire invariant: reject grants no
+      // levels, admit/degrade grants at least one.
+      message.level_cap =
+          decision == proto::WireAdmission::kReject
+              ? 0
+              : static_cast<std::uint8_t>(
+                    rng.uniform_int(1, content::kNumQualityLevels));
+      return message;
+    }
+    default: {
+      proto::DisconnectNotice message;
+      message.session = rng.engine()();
       message.slot = rng.engine()();
       return message;
     }
@@ -437,6 +466,18 @@ std::vector<WireMessage> ShrinkTraits<WireMessage>::candidates(
       minimal.slot = 0;
       out.push_back(std::move(minimal));
     }
+  } else if (const auto* connect =
+                 std::get_if<proto::ConnectRequest>(&message)) {
+    proto::ConnectRequest minimal;  // qos_ms must stay positive
+    minimal.qos_ms = 1.0;
+    if (!(*connect == minimal)) out.push_back(std::move(minimal));
+  } else if (const auto* admit = std::get_if<proto::AdmitResponse>(&message)) {
+    proto::AdmitResponse minimal;  // reject with level_cap 0 is valid
+    if (!(*admit == minimal)) out.push_back(std::move(minimal));
+  } else if (const auto* bye = std::get_if<proto::DisconnectNotice>(&message)) {
+    if (!(*bye == proto::DisconnectNotice{})) {
+      out.push_back(proto::DisconnectNotice{});
+    }
   }
   return out;
 }
@@ -485,6 +526,25 @@ std::string FixtureTraits<WireMessage>::show(const WireMessage& message) {
     out += "message.packet_count = " + std::to_string(header->packet_count) +
            ";\n";
     out += "message.slot = " + std::to_string(header->slot) + "ull;\n";
+  } else if (const auto* connect =
+                 std::get_if<proto::ConnectRequest>(&message)) {
+    out += "proto::ConnectRequest message;\n";
+    out += "message.session = " + std::to_string(connect->session) + "ull;\n";
+    out += "message.slot = " + std::to_string(connect->slot) + "ull;\n";
+    out += "message.qos_ms = " + show_double(connect->qos_ms) + ";\n";
+  } else if (const auto* admit = std::get_if<proto::AdmitResponse>(&message)) {
+    out += "proto::AdmitResponse message;\n";
+    out += "message.session = " + std::to_string(admit->session) + "ull;\n";
+    out += "message.slot = " + std::to_string(admit->slot) + "ull;\n";
+    out += "message.decision = static_cast<proto::WireAdmission>(" +
+           std::to_string(static_cast<int>(admit->decision)) + ");\n";
+    out += "message.level_cap = " +
+           std::to_string(static_cast<int>(admit->level_cap)) + ";\n";
+  } else if (const auto* bye =
+                 std::get_if<proto::DisconnectNotice>(&message)) {
+    out += "proto::DisconnectNotice message;\n";
+    out += "message.session = " + std::to_string(bye->session) + "ull;\n";
+    out += "message.slot = " + std::to_string(bye->slot) + "ull;\n";
   }
   return out;
 }

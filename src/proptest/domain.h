@@ -100,8 +100,10 @@ struct FixtureTraits<faults::FaultScheduleConfig> {
 // ---------------------------------------------------------------------------
 // Wire messages
 
-using WireMessage = std::variant<proto::PoseUpdate, proto::DeliveryAck,
-                                 proto::ReleaseAck, proto::TileHeader>;
+using WireMessage =
+    std::variant<proto::PoseUpdate, proto::DeliveryAck, proto::ReleaseAck,
+                 proto::TileHeader, proto::ConnectRequest,
+                 proto::AdmitResponse, proto::DisconnectNotice>;
 
 WireMessage gen_wire_message(cvr::Rng& rng);
 Gen<WireMessage> wire_messages();

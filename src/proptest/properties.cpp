@@ -658,6 +658,12 @@ WireMessage decode_any(const proto::Buffer& framed) {
       return proto::decode_release_ack(framed);
     case proto::MessageType::kTileHeader:
       return proto::decode_tile_header(framed);
+    case proto::MessageType::kConnectRequest:
+      return proto::decode_connect_request(framed);
+    case proto::MessageType::kAdmitResponse:
+      return proto::decode_admit_response(framed);
+    case proto::MessageType::kDisconnectNotice:
+      return proto::decode_disconnect_notice(framed);
   }
   throw std::runtime_error("decode_any: unreachable tag");
 }

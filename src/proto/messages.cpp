@@ -1,6 +1,9 @@
 #include "src/proto/messages.h"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "src/content/quality.h"
 
 namespace cvr::proto {
 
@@ -112,12 +115,49 @@ Buffer encode(const TileHeader& message) {
   return frame(payload);
 }
 
+Buffer encode(const ConnectRequest& message) {
+  if (!std::isfinite(message.qos_ms) || message.qos_ms <= 0.0) {
+    throw std::invalid_argument("proto: qos_ms must be finite and positive");
+  }
+  Buffer payload = payload_with_tag(MessageType::kConnectRequest);
+  Writer writer(payload);
+  writer.u64(message.session);
+  writer.u64(message.slot);
+  writer.f64(message.qos_ms);
+  return frame(payload);
+}
+
+Buffer encode(const AdmitResponse& message) {
+  if (static_cast<std::uint8_t>(message.decision) > 2) {
+    throw std::invalid_argument("proto: unknown admission decision");
+  }
+  if (message.level_cap >
+      static_cast<std::uint8_t>(content::kNumQualityLevels)) {
+    throw std::invalid_argument("proto: level_cap above the level count");
+  }
+  Buffer payload = payload_with_tag(MessageType::kAdmitResponse);
+  Writer writer(payload);
+  writer.u64(message.session);
+  writer.u64(message.slot);
+  writer.u8(static_cast<std::uint8_t>(message.decision));
+  writer.u8(message.level_cap);
+  return frame(payload);
+}
+
+Buffer encode(const DisconnectNotice& message) {
+  Buffer payload = payload_with_tag(MessageType::kDisconnectNotice);
+  Writer writer(payload);
+  writer.u64(message.session);
+  writer.u64(message.slot);
+  return frame(payload);
+}
+
 MessageType peek_type(const Buffer& framed) {
   Reader framed_reader(framed);
   const Buffer payload = unframe(framed_reader);
   Reader reader(payload);
   const auto tag = reader.u8();
-  if (tag < 1 || tag > 4) {
+  if (tag < 1 || tag > 7) {
     throw std::runtime_error("proto: unknown message type tag");
   }
   return static_cast<MessageType>(tag);
@@ -168,6 +208,59 @@ TileHeader decode_tile_header(const Buffer& framed) {
   if (message.packet_index >= message.packet_count) {
     throw std::runtime_error("proto: packet_index >= packet_count");
   }
+  return message;
+}
+
+ConnectRequest decode_connect_request(const Buffer& framed) {
+  Buffer storage;
+  Reader reader = open_payload(framed, MessageType::kConnectRequest, storage);
+  ConnectRequest message;
+  message.session = reader.u64();
+  message.slot = reader.u64();
+  message.qos_ms = reader.f64();
+  if (!reader.done()) throw std::runtime_error("proto: trailing payload bytes");
+  if (!std::isfinite(message.qos_ms) || message.qos_ms <= 0.0) {
+    throw std::runtime_error("proto: qos_ms must be finite and positive");
+  }
+  return message;
+}
+
+AdmitResponse decode_admit_response(const Buffer& framed) {
+  Buffer storage;
+  Reader reader = open_payload(framed, MessageType::kAdmitResponse, storage);
+  AdmitResponse message;
+  message.session = reader.u64();
+  message.slot = reader.u64();
+  const std::uint8_t decision = reader.u8();
+  message.level_cap = reader.u8();
+  if (!reader.done()) throw std::runtime_error("proto: trailing payload bytes");
+  if (decision > 2) {
+    throw std::runtime_error("proto: unknown admission decision");
+  }
+  message.decision = static_cast<WireAdmission>(decision);
+  if (message.level_cap >
+      static_cast<std::uint8_t>(content::kNumQualityLevels)) {
+    throw std::runtime_error("proto: level_cap above the level count");
+  }
+  // Decision/cap consistency is part of the wire contract: a reject
+  // grants no levels, an admit or degrade-admit grants at least one.
+  if (message.decision == WireAdmission::kReject) {
+    if (message.level_cap != 0) {
+      throw std::runtime_error("proto: reject must carry level_cap 0");
+    }
+  } else if (message.level_cap == 0) {
+    throw std::runtime_error("proto: admit requires a non-zero level_cap");
+  }
+  return message;
+}
+
+DisconnectNotice decode_disconnect_notice(const Buffer& framed) {
+  Buffer storage;
+  Reader reader = open_payload(framed, MessageType::kDisconnectNotice, storage);
+  DisconnectNotice message;
+  message.session = reader.u64();
+  message.slot = reader.u64();
+  if (!reader.done()) throw std::runtime_error("proto: trailing payload bytes");
   return message;
 }
 

@@ -11,6 +11,16 @@
 //     which video ID this packet belongs to and where it sits in the
 //     tile, so the decoder can detect completeness.
 //
+// Load-service control plane (system::LoadServer, docs/load_service.md):
+//
+//   * ConnectRequest   — client -> server: a new session asks to join,
+//     carrying its per-request QoS latency budget.
+//   * AdmitResponse    — server -> client: the admission decision
+//     (admit / degrade-admit / reject) plus the initial level cap a
+//     degrade-admitted session starts under.
+//   * DisconnectNotice — client -> server: the session is leaving and
+//     its user slot can be reclaimed.
+//
 // Every message carries a 1-byte type tag; encode/decode round-trip via
 // the codec's framed wire format. Decoding validates the tag and all
 // invariants (valid quality levels, packet index < count, ...).
@@ -30,6 +40,18 @@ enum class MessageType : std::uint8_t {
   kDeliveryAck = 2,
   kReleaseAck = 3,
   kTileHeader = 4,
+  kConnectRequest = 5,
+  kAdmitResponse = 6,
+  kDisconnectNotice = 7,
+};
+
+/// Admission decisions as they appear on the wire (AdmitResponse). The
+/// system-layer policy enum (system::AdmissionDecision) converts
+/// to/from this so proto stays below the platform layer.
+enum class WireAdmission : std::uint8_t {
+  kAdmit = 0,    ///< Full admission: every quality level reachable.
+  kDegrade = 1,  ///< Degrade-admit: pinned to level 1 via constraint (7).
+  kReject = 2,   ///< No capacity: the session is turned away.
 };
 
 struct PoseUpdate {
@@ -65,11 +87,43 @@ struct TileHeader {
   friend bool operator==(const TileHeader&, const TileHeader&) = default;
 };
 
+struct ConnectRequest {
+  std::uint64_t session = 0;  ///< Globally unique session id.
+  std::uint64_t slot = 0;     ///< Arrival slot on the service timeline.
+  double qos_ms = 0.0;        ///< Per-request slot-latency budget (> 0, finite).
+
+  friend bool operator==(const ConnectRequest&,
+                         const ConnectRequest&) = default;
+};
+
+struct AdmitResponse {
+  std::uint64_t session = 0;
+  std::uint64_t slot = 0;
+  WireAdmission decision = WireAdmission::kReject;
+  /// Initial quality-level cap for a degrade-admitted session (1 when
+  /// decision == kDegrade); kNumQualityLevels for a full admit; 0 for a
+  /// reject (no levels granted).
+  std::uint8_t level_cap = 0;
+
+  friend bool operator==(const AdmitResponse&, const AdmitResponse&) = default;
+};
+
+struct DisconnectNotice {
+  std::uint64_t session = 0;
+  std::uint64_t slot = 0;
+
+  friend bool operator==(const DisconnectNotice&,
+                         const DisconnectNotice&) = default;
+};
+
 // Encoders: framed buffers ready for the wire.
 Buffer encode(const PoseUpdate& message);
 Buffer encode(const DeliveryAck& message);
 Buffer encode(const ReleaseAck& message);
 Buffer encode(const TileHeader& message);
+Buffer encode(const ConnectRequest& message);
+Buffer encode(const AdmitResponse& message);
+Buffer encode(const DisconnectNotice& message);
 
 /// Peeks the type tag of a framed message without fully decoding it.
 /// Throws std::runtime_error on framing/CRC errors or unknown tags.
@@ -81,5 +135,8 @@ PoseUpdate decode_pose_update(const Buffer& framed);
 DeliveryAck decode_delivery_ack(const Buffer& framed);
 ReleaseAck decode_release_ack(const Buffer& framed);
 TileHeader decode_tile_header(const Buffer& framed);
+ConnectRequest decode_connect_request(const Buffer& framed);
+AdmitResponse decode_admit_response(const Buffer& framed);
+DisconnectNotice decode_disconnect_notice(const Buffer& framed);
 
 }  // namespace cvr::proto

@@ -1,0 +1,190 @@
+#include "src/sim/traffic_gen.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::sim {
+
+namespace {
+
+// Per-shape defaults when config.shape_param == 0.
+double default_param(TrafficShape shape) {
+  switch (shape) {
+    case TrafficShape::kNormal:
+      return 0.25;  // relative stddev
+    case TrafficShape::kPeaks:
+      return 0.25;  // peak fraction of the period
+    case TrafficShape::kGamma:
+      return 2.0;  // shape k
+    case TrafficShape::kUniform:
+    case TrafficShape::kExponential:
+      return 0.0;  // parameter-free
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+TrafficShape parse_shape(const std::string& text) {
+  if (text == "uniform") return TrafficShape::kUniform;
+  if (text == "normal") return TrafficShape::kNormal;
+  if (text == "peaks") return TrafficShape::kPeaks;
+  if (text == "gamma") return TrafficShape::kGamma;
+  if (text == "exponential") return TrafficShape::kExponential;
+  throw std::invalid_argument(
+      "traffic: unknown shape '" + text +
+      "' (expected uniform, normal, peaks, gamma, or exponential)");
+}
+
+const char* shape_name(TrafficShape shape) {
+  switch (shape) {
+    case TrafficShape::kUniform:
+      return "uniform";
+    case TrafficShape::kNormal:
+      return "normal";
+    case TrafficShape::kPeaks:
+      return "peaks";
+    case TrafficShape::kGamma:
+      return "gamma";
+    case TrafficShape::kExponential:
+      return "exponential";
+  }
+  return "unknown";
+}
+
+TrafficGenerator::TrafficGenerator(TrafficConfig config,
+                                   std::size_t capacity_users)
+    : config_(config), capacity_users_(capacity_users), rng_(config.seed) {
+  if (capacity_users_ == 0) {
+    throw std::invalid_argument("TrafficGenerator: zero capacity_users");
+  }
+  if (!std::isfinite(config_.load) || config_.load <= 0.0) {
+    throw std::invalid_argument("TrafficGenerator: load must be positive");
+  }
+  if (!std::isfinite(config_.connect_speed) || config_.connect_speed <= 0.0) {
+    throw std::invalid_argument(
+        "TrafficGenerator: connect_speed must be positive");
+  }
+  if (!std::isfinite(config_.mean_session_slots) ||
+      config_.mean_session_slots < 1.0) {
+    throw std::invalid_argument(
+        "TrafficGenerator: mean_session_slots must be >= 1");
+  }
+  if (!std::isfinite(config_.qos_ms) || config_.qos_ms <= 0.0) {
+    throw std::invalid_argument("TrafficGenerator: qos_ms must be positive");
+  }
+  if (!std::isfinite(config_.qos_jitter) || config_.qos_jitter < 0.0 ||
+      config_.qos_jitter >= 1.0) {
+    throw std::invalid_argument(
+        "TrafficGenerator: qos_jitter must be in [0, 1)");
+  }
+  if (config_.shape_param < 0.0 || !std::isfinite(config_.shape_param)) {
+    throw std::invalid_argument(
+        "TrafficGenerator: shape_param must be finite and >= 0");
+  }
+  if (config_.peaks_period_slots == 0) {
+    throw std::invalid_argument(
+        "TrafficGenerator: peaks_period_slots must be >= 1");
+  }
+  param_ = config_.shape_param > 0.0 ? config_.shape_param
+                                     : default_param(config_.shape);
+  mean_gap_slots_ = config_.mean_session_slots /
+                    (config_.load * static_cast<double>(capacity_users_));
+  reset();
+}
+
+void TrafficGenerator::reset() {
+  rng_ = cvr::Rng(config_.seed);
+  next_id_ = 0;
+  cursor_ = 0;
+  next_arrival_ = 0.0;  // the peaks clock must rewind before sampling
+  next_arrival_ = sample_gap();
+}
+
+void TrafficGenerator::arrivals_for_slot(std::size_t slot,
+                                         std::vector<SessionRequest>& out) {
+  if (slot < cursor_) {
+    throw std::logic_error(
+        "TrafficGenerator: slots must be consumed in increasing order "
+        "(use reset() to replay)");
+  }
+  cursor_ = slot + 1;
+  while (next_arrival_ < static_cast<double>(slot + 1)) {
+    SessionRequest request;
+    request.id = next_id_++;
+    request.arrival_slot = slot;
+    const double duration = rng_.exponential(1.0 / config_.mean_session_slots);
+    request.duration_slots =
+        static_cast<std::size_t>(std::max(1.0, std::floor(duration + 0.5)));
+    request.qos_ms =
+        config_.qos_jitter > 0.0
+            ? config_.qos_ms * rng_.uniform(1.0 - config_.qos_jitter,
+                                            1.0 + config_.qos_jitter)
+            : config_.qos_ms;
+    out.push_back(request);
+    next_arrival_ += sample_gap();
+  }
+}
+
+double TrafficGenerator::gamma(double shape_k) {
+  // Marsaglia & Tsang (2000): squeeze-accept for k >= 1; boost k < 1 by
+  // sampling k + 1 and scaling by U^(1/k). Deterministic given rng_.
+  if (shape_k < 1.0) {
+    const double u = rng_.uniform();
+    return gamma(shape_k + 1.0) * std::pow(u, 1.0 / shape_k);
+  }
+  const double d = shape_k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    const double x = rng_.normal();
+    const double base = 1.0 + c * x;
+    if (base <= 0.0) continue;
+    const double v = base * base * base;
+    const double u = rng_.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+double TrafficGenerator::sample_gap() {
+  const double g = mean_gap_slots_;
+  switch (config_.shape) {
+    case TrafficShape::kUniform:
+      return rng_.uniform(0.0, 2.0 * g);
+    case TrafficShape::kNormal: {
+      const double gap = rng_.normal(g, param_ * g);
+      return std::max(0.05 * g, gap);
+    }
+    case TrafficShape::kPeaks: {
+      // Square-wave Poisson: the peak fraction `param_` of each period
+      // carries half of all traffic, the remainder the other half, so
+      // the time-averaged rate stays exactly 1/g. A piecewise-constant
+      // intensity is sampled exactly by drawing Exp at the current
+      // window's rate and — when the jump crosses a window boundary —
+      // restarting the draw from the boundary at the new rate (the
+      // memoryless property makes the restart exact, not approximate).
+      const double period = static_cast<double>(config_.peaks_period_slots);
+      double t = next_arrival_;
+      for (;;) {
+        const double pos = std::fmod(t, period);
+        const bool in_peak = pos < param_ * period;
+        const double multiplier =
+            in_peak ? 0.5 / param_ : 0.5 / (1.0 - param_);
+        const double gap = rng_.exponential(multiplier / g);
+        const double boundary =
+            (t - pos) + (in_peak ? param_ * period : period);
+        if (t + gap < boundary) return (t + gap) - next_arrival_;
+        t = boundary;
+      }
+    }
+    case TrafficShape::kGamma: {
+      // Gamma(k, theta = g/k): mean g, squared CV 1/k.
+      return gamma(param_) * (g / param_);
+    }
+    case TrafficShape::kExponential:
+      return rng_.exponential(1.0 / g);
+  }
+  return g;
+}
+
+}  // namespace cvr::sim

@@ -1,0 +1,139 @@
+// Open-loop shaped traffic generation for the load service.
+//
+// The batch platforms simulate a *closed* population: N users exist for
+// the whole horizon. A service that "serves heavy traffic" faces an
+// *open* arrival process instead — sessions connect, stay for a while,
+// and leave, and the arrival intensity is shaped (bursty peaks, heavy
+// tails), not constant. TrafficGenerator produces that process: a
+// deterministic, seeded stream of SessionRequests whose inter-arrival
+// gaps follow one of the five classic loader shapes (uniform / normal /
+// peaks / gamma / exponential — the `traffic_shape` knob set of
+// cloudsuite's memcached loader), at a target offered `load`.
+//
+// Load semantics (Little's law): with mean session length S slots and
+// arrival rate lambda sessions/slot, the steady-state offered
+// population is lambda * S. The generator fixes
+//
+//   lambda = load * capacity_users / mean_session_slots,
+//
+// so `load` reads directly as *offered concurrency as a fraction of the
+// server's user-slot capacity*: load 0.8 offers 80 % occupancy, load
+// 1.3 guarantees overload and exercises admission control. Every shape
+// preserves this mean rate; only the gap distribution (and hence
+// burstiness) changes.
+//
+// Determinism contract: the stream is a pure function of (config,
+// capacity_users) — same inputs replay bit-identically, and reset()
+// rewinds to slot 0 (tests/traffic_gen_test.cpp enforces both).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cvr::sim {
+
+/// Inter-arrival gap distributions, mirroring the cloudsuite loader's
+/// `traffic_shape` knob. All shapes share the same mean gap; they
+/// differ in variance and autocorrelation (peaks is the only
+/// time-inhomogeneous one).
+enum class TrafficShape {
+  kUniform,      ///< Gap ~ U(0, 2g): bounded, low variance.
+  kNormal,       ///< Gap ~ N(g, (param*g)^2) truncated at 0.05 g.
+  kPeaks,        ///< Square-wave Poisson: half the traffic arrives in the
+                 ///< peak fraction `param` of each period (bursts).
+  kGamma,        ///< Gap ~ Gamma(k = param, theta = g/param).
+  kExponential,  ///< Gap ~ Exp(mean g): the memoryless Poisson process.
+};
+
+/// Parses "uniform" / "normal" / "peaks" / "gamma" / "exponential" (the
+/// bench `--shape` flag). Throws std::invalid_argument on anything
+/// else, naming the value.
+TrafficShape parse_shape(const std::string& text);
+const char* shape_name(TrafficShape shape);
+
+/// Knobs of the open-loop arrival process. Defaults give a moderate,
+/// SLO-clean load; the bench sweeps `load` to find the admission knee.
+struct TrafficConfig {
+  TrafficShape shape = TrafficShape::kExponential;
+  /// Offered steady-state concurrency as a fraction of the server's
+  /// user-slot capacity (see the Little's-law note above). Must be
+  /// positive and finite.
+  double load = 0.5;
+  /// Shape parameter; 0 selects the per-shape default (normal: 0.25
+  /// relative stddev, peaks: 0.25 peak fraction, gamma: k = 2).
+  double shape_param = 0.0;
+  /// Ramp-up pacing: the service completes at most `connect_speed` new
+  /// connections per second; arrivals beyond it wait in the accept
+  /// queue (system::LoadServer reads this — the generator itself stays
+  /// open-loop and never defers an arrival).
+  double connect_speed = 200.0;
+  /// Mean session length (slots); durations are Exp(mean), min 1 —
+  /// the connection-churn knob.
+  double mean_session_slots = 660.0;
+  /// Per-request QoS latency budget (ms): the slot delivery delay each
+  /// session expects; a slot served above it is an SLO violation.
+  double qos_ms = 20.0;
+  /// Relative half-width of the per-session QoS jitter: each session's
+  /// budget is qos_ms * U(1 - jitter, 1 + jitter). 0 = identical
+  /// budgets.
+  double qos_jitter = 0.0;
+  /// Period of the peaks square wave (slots).
+  std::size_t peaks_period_slots = 400;
+  std::uint64_t seed = 1;
+};
+
+/// One session wanting service: arrives at `arrival_slot`, intends to
+/// stay `duration_slots`, and expects per-slot delivery within
+/// `qos_ms`. Ids are dense and increasing in arrival order.
+struct SessionRequest {
+  std::uint64_t id = 0;
+  std::size_t arrival_slot = 0;
+  std::size_t duration_slots = 1;
+  double qos_ms = 0.0;
+
+  friend bool operator==(const SessionRequest&,
+                         const SessionRequest&) = default;
+};
+
+class TrafficGenerator {
+ public:
+  /// Validates the config (throws std::invalid_argument on a
+  /// non-positive load / capacity / connect_speed / qos, a mean session
+  /// below one slot, or a peaks period of zero) and derives the mean
+  /// gap from `capacity_users`.
+  TrafficGenerator(TrafficConfig config, std::size_t capacity_users);
+
+  const TrafficConfig& config() const { return config_; }
+  std::size_t capacity_users() const { return capacity_users_; }
+  /// Mean inter-arrival gap g = mean_session_slots / (load * capacity).
+  double mean_gap_slots() const { return mean_gap_slots_; }
+
+  /// Appends the sessions arriving at `slot` to `out` (does not clear
+  /// it). Slots must be consumed in strictly increasing order — the
+  /// generator is a stream, not random access (throws std::logic_error
+  /// on a rewind; use reset() to replay).
+  void arrivals_for_slot(std::size_t slot, std::vector<SessionRequest>& out);
+
+  /// Rewinds to slot 0: the replayed stream is bit-identical to the
+  /// first pass.
+  void reset();
+
+ private:
+  double sample_gap();
+  double gamma(double shape_k);  // Marsaglia-Tsang, mean shape_k.
+
+  TrafficConfig config_;
+  std::size_t capacity_users_;
+  double mean_gap_slots_ = 0.0;
+  double param_ = 0.0;  // shape_param with the per-shape default applied
+  cvr::Rng rng_;
+  double next_arrival_ = 0.0;
+  std::uint64_t next_id_ = 0;
+  std::size_t cursor_ = 0;  // next slot expected by arrivals_for_slot
+};
+
+}  // namespace cvr::sim

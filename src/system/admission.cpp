@@ -1,0 +1,91 @@
+#include "src/system/admission.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::system {
+
+const char* admission_decision_name(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      return "admit";
+    case AdmissionDecision::kDegrade:
+      return "degrade";
+    case AdmissionDecision::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+proto::WireAdmission to_wire(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      return proto::WireAdmission::kAdmit;
+    case AdmissionDecision::kDegrade:
+      return proto::WireAdmission::kDegrade;
+    case AdmissionDecision::kReject:
+      return proto::WireAdmission::kReject;
+  }
+  return proto::WireAdmission::kReject;
+}
+
+AdmissionDecision from_wire(proto::WireAdmission decision) {
+  switch (decision) {
+    case proto::WireAdmission::kAdmit:
+      return AdmissionDecision::kAdmit;
+    case proto::WireAdmission::kDegrade:
+      return AdmissionDecision::kDegrade;
+    case proto::WireAdmission::kReject:
+      return AdmissionDecision::kReject;
+  }
+  return AdmissionDecision::kReject;
+}
+
+AdmissionController::AdmissionController(AdmissionPolicyConfig config)
+    : config_(config) {
+  if (!std::isfinite(config_.headroom_fraction) ||
+      config_.headroom_fraction <= 0.0 || config_.headroom_fraction > 1.0) {
+    throw std::invalid_argument(
+        "AdmissionController: headroom_fraction must lie in (0, 1]");
+  }
+  if (!std::isfinite(config_.degrade_band) || config_.degrade_band < 0.0 ||
+      config_.degrade_band >= 1.0) {
+    throw std::invalid_argument(
+        "AdmissionController: degrade_band must lie in [0, 1)");
+  }
+  if (!std::isfinite(config_.min_marginal_value)) {
+    throw std::invalid_argument(
+        "AdmissionController: min_marginal_value must be finite");
+  }
+}
+
+AdmissionDecision AdmissionController::decide(
+    const core::UserSlotContext& candidate, double mandatory_load_mbps,
+    double server_bandwidth_mbps, std::size_t active_users,
+    std::size_t capacity_users, const core::QoeParams& params) const {
+  // No user slot at all: nothing to degrade into.
+  if (active_users >= capacity_users) return AdmissionDecision::kReject;
+
+  const double usable = config_.headroom_fraction * server_bandwidth_mbps;
+  const double committed = mandatory_load_mbps + candidate.rate[0];
+
+  // Even the all-ones minimum no longer fits: the allocator could not
+  // honour the level-1 contract for everyone, so the session is turned
+  // away outright.
+  if (committed > usable + core::kFeasibilityEpsilon) {
+    return AdmissionDecision::kReject;
+  }
+
+  const bool in_degrade_band =
+      committed > (1.0 - config_.degrade_band) * usable;
+  const bool low_value =
+      core::h_value(candidate, 1, params) < config_.min_marginal_value;
+
+  if (in_degrade_band || low_value) {
+    return config_.enable_degrade ? AdmissionDecision::kDegrade
+                                  : AdmissionDecision::kReject;
+  }
+  return AdmissionDecision::kAdmit;
+}
+
+}  // namespace cvr::system

@@ -1,0 +1,96 @@
+// Admission control for the open-loop load service.
+//
+// The per-slot allocator (Algorithm 1) assumes the user set is given;
+// under open-loop arrivals someone must decide whether the slot budget
+// can carry one more user at all. The controller prices a candidate by
+// what admission *forces* on every later slot: the mandatory all-ones
+// minimum (the Allocator contract — level 1 is always delivered) adds
+// the candidate's f(1) to the committed load, and once the committed
+// load exhausts the configured headroom of the server budget B, the
+// allocator's marginal value for raising anyone above level 1 is
+// unpayable — every increment would displace someone's mandatory rate.
+// Three bands follow:
+//
+//   * admit    — committed load stays below the admit threshold; the
+//                new user competes for quality increments normally;
+//   * degrade  — the budget can carry the user's level-1 rate but not
+//                more: the session is admitted pinned to level 1
+//                through the existing constraint-(7) safe-mode clamp
+//                (user_bandwidth held at f(1), exactly the mechanism
+//                graceful degradation uses — see docs/resilience.md);
+//   * reject   — even the mandatory minimum does not fit (or every
+//                user slot is taken): the session is turned away.
+//
+// Decisions are pure functions of their inputs — no internal state, no
+// clocks — so the service loop replays bit-identically.
+// See docs/load_service.md for the operator-facing policy description.
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/qoe.h"
+#include "src/proto/messages.h"
+
+namespace cvr::system {
+
+/// Outcome of an admission decision, in increasing order of severity.
+enum class AdmissionDecision {
+  kAdmit,    ///< Full admission: all quality levels reachable.
+  kDegrade,  ///< Admitted pinned to level 1 (constraint-(7) clamp).
+  kReject,   ///< Turned away: no user slot or no mandatory-rate budget.
+};
+
+/// "admit" / "degrade" / "reject" (report and log labels).
+const char* admission_decision_name(AdmissionDecision decision);
+
+/// Conversions to/from the wire encoding (proto::AdmitResponse).
+proto::WireAdmission to_wire(AdmissionDecision decision);
+AdmissionDecision from_wire(proto::WireAdmission decision);
+
+/// Policy knobs. Defaults keep ~10 % of B free for estimate error and
+/// burst absorption, with a degrade band above the admit band.
+struct AdmissionPolicyConfig {
+  /// Fraction of the server budget B the committed (all-ones) load may
+  /// occupy; the rest is headroom for quality increments and estimate
+  /// error. Must lie in (0, 1].
+  double headroom_fraction = 0.9;
+  /// Width of the degrade band as a fraction of the usable budget: a
+  /// candidate landing in (1 - degrade_band, 1] x usable budget is
+  /// degrade-admitted instead of fully admitted. Must lie in [0, 1).
+  double degrade_band = 0.15;
+  /// When false, would-be degrade admissions become rejects (strict
+  /// admission — the ablation knob).
+  bool enable_degrade = true;
+  /// A candidate whose level-1 marginal value h(1) falls below this is
+  /// never fully admitted (degrade-admitted at best): its mandatory
+  /// slot-rate buys almost no objective. 0 keeps the check inert for
+  /// healthy contexts (h(1) > 0 whenever delta is non-trivial).
+  double min_marginal_value = 0.0;
+};
+
+class AdmissionController {
+ public:
+  /// Validates the config (throws std::invalid_argument on an
+  /// out-of-range headroom_fraction or degrade_band).
+  explicit AdmissionController(AdmissionPolicyConfig config);
+
+  const AdmissionPolicyConfig& config() const { return config_; }
+
+  /// Decides one candidate. `mandatory_load_mbps` is the sum of f(1)
+  /// over the currently admitted users (the committed all-ones load);
+  /// `candidate` supplies the candidate's rate table and the h-model
+  /// inputs; `params` are the service QoE weights. Monotone by
+  /// construction: raising mandatory_load_mbps or active_users never
+  /// turns a reject into an admit.
+  AdmissionDecision decide(const core::UserSlotContext& candidate,
+                           double mandatory_load_mbps,
+                           double server_bandwidth_mbps,
+                           std::size_t active_users,
+                           std::size_t capacity_users,
+                           const core::QoeParams& params) const;
+
+ private:
+  AdmissionPolicyConfig config_;
+};
+
+}  // namespace cvr::system

@@ -69,6 +69,8 @@ const char* phase_name(Phase phase) {
       return "feedback";
     case Phase::kRealize:
       return "realize";
+    case Phase::kAdmission:
+      return "admission";
   }
   return "unknown";
 }
@@ -93,6 +95,16 @@ const char* counter_name(Counter counter) {
       return "coverage_hits";
     case Counter::kFramesOnTime:
       return "frames_on_time";
+    case Counter::kSessionsOffered:
+      return "svc_offered_sessions";
+    case Counter::kSessionsAdmitted:
+      return "svc_admitted";
+    case Counter::kSessionsDegraded:
+      return "svc_degraded";
+    case Counter::kSessionsRejected:
+      return "svc_rejected";
+    case Counter::kDeadlineMisses:
+      return "svc_deadline_misses";
   }
   return "unknown";
 }

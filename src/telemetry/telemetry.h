@@ -49,8 +49,9 @@ enum class Phase : std::uint8_t {
   kDecode,        ///< System: client decode + display deadline check.
   kFeedback,      ///< System: ACK decode + estimator updates.
   kRealize,       ///< Trace: outcome realization + QoE bookkeeping.
+  kAdmission,     ///< Load service: connect decode + admission decision.
 };
-inline constexpr std::size_t kPhaseCount = 10;
+inline constexpr std::size_t kPhaseCount = 11;
 const char* phase_name(Phase phase);
 
 /// Counters both platforms maintain (registered by every Collector up
@@ -66,8 +67,18 @@ enum class Counter : std::uint8_t {
   kPacketsLost,      ///< "packets_lost" (system)
   kCoverageHits,     ///< "coverage_hits"
   kFramesOnTime,     ///< "frames_on_time" (system)
+  // Load-service counters (system::LoadServer). The svc_ prefix marks
+  // them as *deterministic service outcomes* — derived from the seeded
+  // simulation, never from wall clocks — so scripts/perf_gate.py can
+  // require bit-exact agreement with the committed baseline
+  // (--service-prefix svc_), independent of machine speed.
+  kSessionsOffered,   ///< "svc_offered_sessions" (load service)
+  kSessionsAdmitted,  ///< "svc_admitted" (load service)
+  kSessionsDegraded,  ///< "svc_degraded" (load service)
+  kSessionsRejected,  ///< "svc_rejected" (load service)
+  kDeadlineMisses,    ///< "svc_deadline_misses" (load service)
 };
-inline constexpr std::size_t kCounterCount = 9;
+inline constexpr std::size_t kCounterCount = 14;
 const char* counter_name(Counter counter);
 
 class PhaseSpan;

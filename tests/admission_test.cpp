@@ -1,0 +1,118 @@
+#include "src/system/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/content/rate_function.h"
+#include "src/core/qoe.h"
+
+namespace cvr::system {
+namespace {
+
+core::UserSlotContext candidate(double user_bandwidth = 60.0,
+                                double delta = 0.9) {
+  const content::CrfRateFunction f;
+  return core::UserSlotContext::from_rate_function(f, user_bandwidth, delta,
+                                                   0.0, 1.0);
+}
+
+int severity(AdmissionDecision decision) {
+  return static_cast<int>(decision);
+}
+
+TEST(Admission, NamesAndWireConversionsRoundTrip) {
+  for (const AdmissionDecision decision :
+       {AdmissionDecision::kAdmit, AdmissionDecision::kDegrade,
+        AdmissionDecision::kReject}) {
+    EXPECT_EQ(from_wire(to_wire(decision)), decision);
+  }
+  EXPECT_STREQ(admission_decision_name(AdmissionDecision::kAdmit), "admit");
+  EXPECT_STREQ(admission_decision_name(AdmissionDecision::kDegrade),
+               "degrade");
+  EXPECT_STREQ(admission_decision_name(AdmissionDecision::kReject), "reject");
+}
+
+TEST(Admission, ConfigValidation) {
+  AdmissionPolicyConfig bad;
+  bad.headroom_fraction = 0.0;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  bad = {};
+  bad.headroom_fraction = 1.5;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  bad = {};
+  bad.degrade_band = 1.0;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  bad = {};
+  bad.degrade_band = -0.1;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+}
+
+TEST(Admission, IdleServerAdmits) {
+  const AdmissionController controller{AdmissionPolicyConfig{}};
+  EXPECT_EQ(controller.decide(candidate(), /*mandatory=*/0.0,
+                              /*bandwidth=*/400.0, /*active=*/0,
+                              /*capacity=*/32, core::QoeParams{}),
+            AdmissionDecision::kAdmit);
+}
+
+TEST(Admission, FullCapacityRejectsRegardlessOfBandwidth) {
+  const AdmissionController controller{AdmissionPolicyConfig{}};
+  EXPECT_EQ(controller.decide(candidate(), 0.0, 1e6, /*active=*/32,
+                              /*capacity=*/32, core::QoeParams{}),
+            AdmissionDecision::kReject);
+}
+
+// The three bands in one sweep. usable = 0.9 * 400 = 360; the candidate
+// adds f(1) = 14.2; the degrade band starts at (1 - 0.15) * 360 = 306.
+TEST(Admission, HeadroomBandsProduceAdmitDegradeReject) {
+  const AdmissionController controller{AdmissionPolicyConfig{}};
+  const core::UserSlotContext user = candidate();
+  const auto decide = [&](double mandatory) {
+    return controller.decide(user, mandatory, 400.0, 4, 64,
+                             core::QoeParams{});
+  };
+  EXPECT_EQ(decide(100.0), AdmissionDecision::kAdmit);   // well below band
+  EXPECT_EQ(decide(300.0), AdmissionDecision::kDegrade);  // 314.2 > 306
+  EXPECT_EQ(decide(350.0), AdmissionDecision::kReject);   // 364.2 > 360
+}
+
+TEST(Admission, DegradeDisabledTurnsBandIntoReject) {
+  AdmissionPolicyConfig config;
+  config.enable_degrade = false;
+  const AdmissionController controller{config};
+  EXPECT_EQ(controller.decide(candidate(), 300.0, 400.0, 4, 64,
+                              core::QoeParams{}),
+            AdmissionDecision::kReject);
+}
+
+TEST(Admission, LowMarginalValueCandidateIsNeverFullyAdmitted) {
+  AdmissionPolicyConfig config;
+  config.min_marginal_value = 1e9;  // nothing clears this bar
+  const AdmissionController controller{config};
+  EXPECT_EQ(controller.decide(candidate(), 0.0, 400.0, 0, 64,
+                              core::QoeParams{}),
+            AdmissionDecision::kDegrade);
+  config.enable_degrade = false;
+  const AdmissionController strict{config};
+  EXPECT_EQ(strict.decide(candidate(), 0.0, 400.0, 0, 64,
+                          core::QoeParams{}),
+            AdmissionDecision::kReject);
+}
+
+// Raising the committed load never makes the decision *less* severe —
+// the monotonicity the service loop's reject-rate tests build on.
+TEST(Admission, DecisionSeverityMonotoneInCommittedLoad) {
+  const AdmissionController controller{AdmissionPolicyConfig{}};
+  const core::UserSlotContext user = candidate();
+  int previous = -1;
+  for (double mandatory = 0.0; mandatory <= 500.0; mandatory += 2.5) {
+    const int current = severity(controller.decide(
+        user, mandatory, 400.0, 8, 64, core::QoeParams{}));
+    EXPECT_GE(current, previous) << "at mandatory load " << mandatory;
+    previous = current;
+  }
+}
+
+}  // namespace
+}  // namespace cvr::system

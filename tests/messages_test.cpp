@@ -103,6 +103,74 @@ TEST(Messages, PeekUnknownTagThrows) {
   EXPECT_THROW(peek_type(wire), std::runtime_error);
 }
 
+TEST(Messages, ConnectRequestRoundTrip) {
+  ConnectRequest message;
+  message.session = 0xDEADBEEFull;
+  message.slot = 77;
+  message.qos_ms = 18.5;
+  const Buffer wire = encode(message);
+  EXPECT_EQ(peek_type(wire), MessageType::kConnectRequest);
+  EXPECT_EQ(decode_connect_request(wire), message);
+}
+
+TEST(Messages, ConnectRequestQosValidated) {
+  ConnectRequest bad;
+  bad.qos_ms = 0.0;
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+  bad.qos_ms = -3.0;
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+
+  // Hand-craft a frame smuggling a non-positive budget past the encoder.
+  Buffer payload;
+  Writer writer(payload);
+  writer.u8(static_cast<std::uint8_t>(MessageType::kConnectRequest));
+  writer.u64(1);
+  writer.u64(1);
+  writer.f64(-1.0);
+  EXPECT_THROW(decode_connect_request(frame(payload)), std::runtime_error);
+}
+
+TEST(Messages, AdmitResponseRoundTrip) {
+  AdmitResponse message;
+  message.session = 42;
+  message.slot = 9001;
+  message.decision = WireAdmission::kDegrade;
+  message.level_cap = 1;
+  const Buffer wire = encode(message);
+  EXPECT_EQ(peek_type(wire), MessageType::kAdmitResponse);
+  EXPECT_EQ(decode_admit_response(wire), message);
+}
+
+TEST(Messages, AdmitResponseConsistencyEnforced) {
+  AdmitResponse reject_with_levels;
+  reject_with_levels.decision = WireAdmission::kReject;
+  reject_with_levels.level_cap = 3;
+  // The encoder only checks ranges; the decoder owns cross-field
+  // consistency (a peer could craft any byte pair).
+  EXPECT_THROW(decode_admit_response(encode(reject_with_levels)),
+               std::runtime_error);
+
+  AdmitResponse admit_without_levels;
+  admit_without_levels.decision = WireAdmission::kAdmit;
+  admit_without_levels.level_cap = 0;
+  EXPECT_THROW(decode_admit_response(encode(admit_without_levels)),
+               std::runtime_error);
+
+  AdmitResponse cap_too_high;
+  cap_too_high.decision = WireAdmission::kAdmit;
+  cap_too_high.level_cap = content::kNumQualityLevels + 1;
+  EXPECT_THROW(encode(cap_too_high), std::invalid_argument);
+}
+
+TEST(Messages, DisconnectNoticeRoundTrip) {
+  DisconnectNotice message;
+  message.session = 31337;
+  message.slot = 5;
+  const Buffer wire = encode(message);
+  EXPECT_EQ(peek_type(wire), MessageType::kDisconnectNotice);
+  EXPECT_EQ(decode_disconnect_notice(wire), message);
+}
+
 TEST(Messages, RandomisedRoundTripSweep) {
   cvr::Rng rng(5);
   for (int i = 0; i < 200; ++i) {

@@ -1,0 +1,198 @@
+#include "src/sim/traffic_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cvr::sim {
+namespace {
+
+TrafficConfig base_config(TrafficShape shape, double load = 0.5,
+                          std::uint64_t seed = 7) {
+  TrafficConfig config;
+  config.shape = shape;
+  config.load = load;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<SessionRequest> collect(TrafficGenerator& gen,
+                                    std::size_t slots) {
+  std::vector<SessionRequest> out;
+  for (std::size_t t = 0; t < slots; ++t) gen.arrivals_for_slot(t, out);
+  return out;
+}
+
+const TrafficShape kAllShapes[] = {
+    TrafficShape::kUniform, TrafficShape::kNormal, TrafficShape::kPeaks,
+    TrafficShape::kGamma, TrafficShape::kExponential};
+
+TEST(TrafficGen, ParseAndNameRoundTrip) {
+  for (const TrafficShape shape : kAllShapes) {
+    EXPECT_EQ(parse_shape(shape_name(shape)), shape);
+  }
+  EXPECT_THROW(parse_shape("bursty"), std::invalid_argument);
+}
+
+TEST(TrafficGen, MeanGapFollowsLittlesLaw) {
+  const TrafficConfig config = base_config(TrafficShape::kExponential, 0.8);
+  TrafficGenerator gen(config, 40);
+  // g = mean_session / (load * capacity) = 660 / 32.
+  EXPECT_DOUBLE_EQ(gen.mean_gap_slots(), 660.0 / (0.8 * 40.0));
+}
+
+// Every shape must deliver the same *mean* arrival rate — `load` is a
+// shape-independent knob; shapes only change burstiness.
+TEST(TrafficGen, EveryShapePreservesTheOfferedRate) {
+  constexpr std::size_t kSlots = 200000;
+  constexpr std::size_t kCapacity = 40;
+  constexpr double kLoad = 0.5;
+  for (const TrafficShape shape : kAllShapes) {
+    TrafficGenerator gen(base_config(shape, kLoad), kCapacity);
+    const double expected =
+        static_cast<double>(kSlots) / gen.mean_gap_slots();
+    const auto arrivals = collect(gen, kSlots);
+    EXPECT_NEAR(static_cast<double>(arrivals.size()), expected,
+                0.05 * expected)
+        << shape_name(shape);
+  }
+}
+
+// Burstiness ordering via the Fano factor (variance/mean of window
+// counts): uniform and gamma(k=2) gaps are under-dispersed relative to
+// Poisson, peaks is over-dispersed — that is the point of the shapes.
+TEST(TrafficGen, WindowCountDispersionOrdersShapes) {
+  constexpr std::size_t kSlots = 240000;
+  // Windows must subdivide the peaks period (400 slots): a window the
+  // size of a full period would average every burst away.
+  constexpr std::size_t kWindow = 100;
+  const auto fano = [&](TrafficShape shape) {
+    TrafficGenerator gen(base_config(shape, 0.5), 40);
+    std::vector<SessionRequest> arrivals;
+    std::vector<double> counts(kSlots / kWindow, 0.0);
+    for (std::size_t t = 0; t < kSlots; ++t) {
+      arrivals.clear();
+      gen.arrivals_for_slot(t, arrivals);
+      counts[t / kWindow] += static_cast<double>(arrivals.size());
+    }
+    double mean = 0.0;
+    for (const double c : counts) mean += c;
+    mean /= static_cast<double>(counts.size());
+    double var = 0.0;
+    for (const double c : counts) var += (c - mean) * (c - mean);
+    var /= static_cast<double>(counts.size());
+    return var / mean;
+  };
+  const double uniform = fano(TrafficShape::kUniform);
+  const double gamma = fano(TrafficShape::kGamma);  // k = 2 default
+  const double exponential = fano(TrafficShape::kExponential);
+  const double peaks = fano(TrafficShape::kPeaks);
+  EXPECT_LT(uniform, exponential);
+  EXPECT_LT(gamma, exponential);
+  EXPECT_GT(peaks, 1.5 * exponential);
+  EXPECT_NEAR(exponential, 1.0, 0.25);  // Poisson reference
+}
+
+TEST(TrafficGen, SessionDurationsAreExponentialWithTheConfiguredMean) {
+  TrafficConfig config = base_config(TrafficShape::kExponential, 2.0);
+  config.mean_session_slots = 300.0;
+  TrafficGenerator gen(config, 40);
+  const auto arrivals = collect(gen, 60000);
+  ASSERT_GT(arrivals.size(), 5000u);
+  double mean = 0.0;
+  for (const SessionRequest& r : arrivals) {
+    EXPECT_GE(r.duration_slots, 1u);
+    mean += static_cast<double>(r.duration_slots);
+  }
+  mean /= static_cast<double>(arrivals.size());
+  EXPECT_NEAR(mean, 300.0, 0.05 * 300.0);
+}
+
+TEST(TrafficGen, QosBudgetsHonourTheJitterBand) {
+  TrafficConfig config = base_config(TrafficShape::kUniform, 1.0);
+  config.qos_ms = 20.0;
+  config.qos_jitter = 0.25;
+  TrafficGenerator jittered(config, 40);
+  for (const SessionRequest& r : collect(jittered, 20000)) {
+    EXPECT_GE(r.qos_ms, 15.0);
+    EXPECT_LT(r.qos_ms, 25.0);
+  }
+  config.qos_jitter = 0.0;
+  TrafficGenerator fixed(config, 40);
+  for (const SessionRequest& r : collect(fixed, 5000)) {
+    EXPECT_EQ(r.qos_ms, 20.0);
+  }
+}
+
+TEST(TrafficGen, IdsAreDenseAndIncreasing) {
+  TrafficGenerator gen(base_config(TrafficShape::kGamma, 1.0), 20);
+  const auto arrivals = collect(gen, 50000);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i].id, i);
+    if (i > 0) {
+      EXPECT_GE(arrivals[i].arrival_slot, arrivals[i - 1].arrival_slot);
+    }
+  }
+}
+
+TEST(TrafficGen, SameSeedReplaysBitIdentically) {
+  for (const TrafficShape shape : kAllShapes) {
+    TrafficGenerator a(base_config(shape, 0.9, 42), 16);
+    TrafficGenerator b(base_config(shape, 0.9, 42), 16);
+    EXPECT_EQ(collect(a, 30000), collect(b, 30000)) << shape_name(shape);
+  }
+}
+
+TEST(TrafficGen, ResetRewindsToTheSameStream) {
+  TrafficGenerator gen(base_config(TrafficShape::kPeaks, 1.2, 3), 24);
+  const auto first = collect(gen, 20000);
+  gen.reset();
+  EXPECT_EQ(collect(gen, 20000), first);
+}
+
+TEST(TrafficGen, DifferentSeedsDiverge) {
+  TrafficGenerator a(base_config(TrafficShape::kExponential, 1.0, 1), 16);
+  TrafficGenerator b(base_config(TrafficShape::kExponential, 1.0, 2), 16);
+  EXPECT_NE(collect(a, 20000), collect(b, 20000));
+}
+
+TEST(TrafficGen, SlotsMustBeConsumedInOrder) {
+  TrafficGenerator gen(base_config(TrafficShape::kUniform), 8);
+  std::vector<SessionRequest> out;
+  gen.arrivals_for_slot(5, out);  // skipping ahead is fine (empty slots)
+  EXPECT_THROW(gen.arrivals_for_slot(3, out), std::logic_error);
+  gen.reset();
+  gen.arrivals_for_slot(0, out);  // replay after reset is fine
+}
+
+TEST(TrafficGen, ConfigValidation) {
+  const TrafficConfig ok = base_config(TrafficShape::kUniform);
+  EXPECT_THROW(TrafficGenerator(ok, 0), std::invalid_argument);
+
+  TrafficConfig bad = ok;
+  bad.load = 0.0;
+  EXPECT_THROW(TrafficGenerator(bad, 8), std::invalid_argument);
+  bad = ok;
+  bad.connect_speed = -1.0;
+  EXPECT_THROW(TrafficGenerator(bad, 8), std::invalid_argument);
+  bad = ok;
+  bad.mean_session_slots = 0.5;
+  EXPECT_THROW(TrafficGenerator(bad, 8), std::invalid_argument);
+  bad = ok;
+  bad.qos_ms = 0.0;
+  EXPECT_THROW(TrafficGenerator(bad, 8), std::invalid_argument);
+  bad = ok;
+  bad.qos_jitter = 1.0;
+  EXPECT_THROW(TrafficGenerator(bad, 8), std::invalid_argument);
+  bad = ok;
+  bad.shape_param = -0.25;
+  EXPECT_THROW(TrafficGenerator(bad, 8), std::invalid_argument);
+  bad = ok;
+  bad.peaks_period_slots = 0;
+  EXPECT_THROW(TrafficGenerator(bad, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvr::sim
