@@ -76,6 +76,35 @@ bool FaultSchedule::cache_flush_at(std::size_t slot) const {
   return false;
 }
 
+bool FaultSchedule::server_crashed(std::size_t server,
+                                   std::size_t slot) const {
+  for (const FaultEvent& e : events_) {
+    if (e.start_slot > slot) break;
+    if (e.type != FaultType::kServerCrash || e.target != server ||
+        !e.active_at(slot)) {
+      continue;
+    }
+    // A recover starting after this crash began and at or before `slot`
+    // truncates the window — the server restarted early.
+    bool truncated = false;
+    for (const FaultEvent& r : events_) {
+      if (r.start_slot > slot) break;
+      if (r.type == FaultType::kServerRecover && r.target == server &&
+          r.start_slot > e.start_slot) {
+        truncated = true;
+        break;
+      }
+    }
+    if (!truncated) return true;
+  }
+  return false;
+}
+
+bool FaultSchedule::server_partitioned(std::size_t server,
+                                       std::size_t slot) const {
+  return user_event_active(events_, FaultType::kFleetPartition, server, slot);
+}
+
 bool FaultSchedule::any_fault_for_user(std::size_t user, std::size_t router,
                                        std::size_t slot) const {
   for (const FaultEvent& e : events_) {
@@ -92,6 +121,12 @@ bool FaultSchedule::any_fault_for_user(std::size_t user, std::size_t router,
         break;
       case FaultType::kCacheFlush:
         return true;
+      case FaultType::kServerCrash:
+      case FaultType::kServerRecover:
+      case FaultType::kFleetPartition:
+        // Server-scoped: membership lives in the fleet controller, which
+        // accounts orphaned slots itself (see header).
+        break;
     }
   }
   return false;
@@ -112,9 +147,11 @@ void validate(const FaultScheduleConfig& config) {
   if (config.mean_duration_slots == 0) {
     throw std::invalid_argument("FaultScheduleConfig: zero mean duration");
   }
-  const double rates[] = {config.intensity, config.churn_rate,
+  const double rates[] = {config.intensity,         config.churn_rate,
                           config.pose_blackout_rate, config.ack_stall_rate,
-                          config.router_outage_rate, config.cache_flush_rate};
+                          config.router_outage_rate, config.cache_flush_rate,
+                          config.server_crash_rate,
+                          config.fleet_partition_rate};
   for (double r : rates) {
     if (!std::isfinite(r) || r < 0.0) {
       throw std::invalid_argument(
@@ -194,6 +231,31 @@ FaultSchedule generate_schedule(const FaultScheduleConfig& config) {
     event.start_slot = draw_start();
     event.duration_slots = config.mean_duration_slots;  // accounting window
     schedule.add(event);
+  }
+  // Fleet-scoped draws come strictly last and only when servers > 0, so
+  // a pre-fleet config consumes the exact RNG stream it always did and
+  // reproduces its historical schedule bit-for-bit (guarded by the
+  // faults.fleet_events_appended property).
+  if (config.servers > 0) {
+    const PerTarget server_types[] = {
+        {FaultType::kServerCrash, config.server_crash_rate, config.servers},
+        {FaultType::kFleetPartition, config.fleet_partition_rate,
+         config.servers},
+    };
+    for (const PerTarget& t : server_types) {
+      for (std::size_t target = 0; target < t.targets; ++target) {
+        const std::size_t count =
+            draw_count(rng, t.rate * config.intensity * slots_k);
+        for (std::size_t i = 0; i < count; ++i) {
+          FaultEvent event;
+          event.type = t.type;
+          event.target = target;
+          event.start_slot = draw_start();
+          event.duration_slots = draw_duration();
+          schedule.add(event);
+        }
+      }
+    }
   }
   return schedule;
 }

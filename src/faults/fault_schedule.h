@@ -44,10 +44,25 @@ enum class FaultType {
   /// that keeps the allocator's estimators alive). Instantaneous;
   /// duration_slots only widens the recovery-accounting window.
   kCacheFlush,
+  /// Fleet scope (fleet::FleetSim, docs/fleet.md): edge server `target`
+  /// is down for the window — its members are orphaned and must be
+  /// re-admitted to survivors. The window's end is the restart unless a
+  /// kServerRecover truncates it earlier. Ignored by system::SystemSim
+  /// (single-server runs have no fleet to fail over to).
+  kServerCrash,
+  /// Explicit early restart of server `target`: the first crash window
+  /// covering start_slot ends here instead of running its full
+  /// duration. A recover with no covering crash is inert.
+  kServerRecover,
+  /// Edge server `target` is partitioned from the fleet controller for
+  /// the window: it keeps serving its members on a frozen budget, but
+  /// no users migrate in or out and budget rebalancing skips it.
+  kFleetPartition,
 };
 
 /// One typed fault. `target` is a user index (kUserDisconnect,
-/// kPoseBlackout, kAckStall), a router index (kRouterOutage), or unused
+/// kPoseBlackout, kAckStall), a router index (kRouterOutage), a server
+/// index (kServerCrash, kServerRecover, kFleetPartition), or unused
 /// (kCacheFlush). The event is active on slots
 /// [start_slot, start_slot + duration_slots).
 struct FaultEvent {
@@ -101,9 +116,20 @@ class FaultSchedule {
   /// True iff a kCacheFlush fires exactly at `slot`.
   bool cache_flush_at(std::size_t slot) const;
 
+  /// Fleet scope: true iff a kServerCrash on `server` covers `slot` and
+  /// no kServerRecover for the same server truncated it — a recover
+  /// whose start lies in (crash start, slot] ends that crash window
+  /// early. Single-server platforms never call this.
+  bool server_crashed(std::size_t server, std::size_t slot) const;
+  /// Fleet scope: true iff a kFleetPartition on `server` is active.
+  bool server_partitioned(std::size_t server, std::size_t slot) const;
+
   /// Fault-window indicator for recovery accounting: true iff any event
   /// touching this user is active — a user-targeted event, an outage on
   /// the user's router, or a cache flush (which hits everyone).
+  /// Server-scoped events never contribute: user→server membership is
+  /// the fleet controller's state, so fleet::FleetSim folds orphaned
+  /// slots into the recovery window itself.
   bool any_fault_for_user(std::size_t user, std::size_t router,
                           std::size_t slot) const;
 
@@ -137,6 +163,15 @@ struct FaultScheduleConfig {
   std::size_t mean_duration_slots = 40;
   /// Severity used for generated router outages.
   double outage_depth = 0.1;
+
+  /// Fleet scope (docs/fleet.md). 0 servers keeps the generator
+  /// byte-identical to its pre-fleet output: the server-scoped draws
+  /// are appended strictly after every legacy draw and only when
+  /// servers > 0, so any existing (seed, config) pair still produces
+  /// the exact event stream it always did.
+  std::size_t servers = 0;          ///< Servers to draw fleet events for.
+  double server_crash_rate = 0.3;   ///< kServerCrash, per server.
+  double fleet_partition_rate = 0.15;  ///< kFleetPartition, per server.
 };
 
 /// Throws std::invalid_argument on zero users/routers/slots, a negative

@@ -1,0 +1,81 @@
+#include "src/fleet/assignment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace cvr::fleet {
+
+HashRing::HashRing(std::size_t servers, std::size_t vnodes,
+                   std::uint64_t seed)
+    : servers_(servers), seed_(seed) {
+  if (servers == 0) throw std::invalid_argument("HashRing: zero servers");
+  if (vnodes == 0) throw std::invalid_argument("HashRing: zero vnodes");
+  ring_.reserve(servers * vnodes);
+  for (std::size_t k = 0; k < servers; ++k) {
+    // One SplitMix64 stream per server: consecutive draws are that
+    // server's vnode points. Seed separation keeps streams disjoint.
+    cvr::SplitMix64 mixer(seed ^ (0xF1EE7ull + 0x9E3779B97F4A7C15ull *
+                                                   static_cast<std::uint64_t>(
+                                                       k + 1)));
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      ring_.push_back(VNode{mixer.next(), k});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const VNode& a, const VNode& b) {
+              // Points are 64-bit hashes — collisions are vanishingly
+              // rare, but break ties by server for a total order.
+              return a.point != b.point ? a.point < b.point
+                                        : a.server < b.server;
+            });
+}
+
+std::uint64_t HashRing::user_point(std::size_t user) const {
+  cvr::SplitMix64 mixer(seed_ ^
+                        (0x05E12ull +
+                         0xD1B54A32D192ED03ull *
+                             static_cast<std::uint64_t>(user + 1)));
+  return mixer.next();
+}
+
+std::size_t HashRing::owner(std::size_t user) const {
+  return owner(user, std::vector<bool>(servers_, true));
+}
+
+std::size_t HashRing::owner(std::size_t user,
+                            const std::vector<bool>& eligible) const {
+  if (eligible.size() != servers_) {
+    throw std::invalid_argument("HashRing: eligibility size mismatch");
+  }
+  const std::uint64_t point = user_point(user);
+  const auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const VNode& node, std::uint64_t p) { return node.point < p; });
+  const std::size_t begin =
+      static_cast<std::size_t>(start - ring_.begin());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const VNode& node = ring_[(begin + i) % ring_.size()];
+    if (eligible[node.server]) return node.server;
+  }
+  throw std::invalid_argument("HashRing: no eligible server");
+}
+
+std::size_t HashRing::backup(std::size_t user,
+                             const std::vector<bool>& eligible) const {
+  const std::size_t primary = owner(user, eligible);
+  const std::uint64_t point = user_point(user);
+  const auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const VNode& node, std::uint64_t p) { return node.point < p; });
+  const std::size_t begin =
+      static_cast<std::size_t>(start - ring_.begin());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const VNode& node = ring_[(begin + i) % ring_.size()];
+    if (eligible[node.server] && node.server != primary) return node.server;
+  }
+  return primary;  // the only eligible server
+}
+
+}  // namespace cvr::fleet

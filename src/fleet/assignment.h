@@ -1,0 +1,55 @@
+// User -> edge-server assignment for the fleet (docs/fleet.md).
+//
+// A consistent-hash ring with virtual nodes: each server contributes
+// `vnodes` points on a 64-bit ring, a user hashes to a point, and the
+// owner is the first vnode clockwise whose server is eligible (alive
+// and unpartitioned). Losing a server moves only its own users —
+// survivors keep their assignments, which is exactly the property the
+// failover path needs (a crash must not reshuffle healthy users).
+//
+// The ring is pure data derived from (servers, vnodes, seed): no
+// clocks, no global RNG draws, so assignment is a deterministic
+// function of the fleet config and replays bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cvr::fleet {
+
+class HashRing {
+ public:
+  /// Builds the ring. Throws std::invalid_argument on zero servers or
+  /// zero vnodes.
+  HashRing(std::size_t servers, std::size_t vnodes, std::uint64_t seed);
+
+  std::size_t servers() const { return servers_; }
+
+  /// Primary owner of `user` with every server eligible.
+  std::size_t owner(std::size_t user) const;
+
+  /// Primary owner among eligible servers: the first vnode clockwise
+  /// from the user's point whose server has eligible[server] == true.
+  /// Throws std::invalid_argument when eligible.size() != servers() or
+  /// no server is eligible.
+  std::size_t owner(std::size_t user, const std::vector<bool>& eligible) const;
+
+  /// The mirrored-mode backup: the first eligible server clockwise
+  /// *distinct from* the primary. Falls back to the primary when it is
+  /// the only eligible server.
+  std::size_t backup(std::size_t user, const std::vector<bool>& eligible) const;
+
+ private:
+  struct VNode {
+    std::uint64_t point;
+    std::size_t server;
+  };
+  std::uint64_t user_point(std::size_t user) const;
+
+  std::size_t servers_;
+  std::uint64_t seed_;
+  std::vector<VNode> ring_;  // sorted by point
+};
+
+}  // namespace cvr::fleet

@@ -1,0 +1,54 @@
+#include "src/fleet/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace cvr::fleet {
+
+void validate(const BackoffPolicy& policy) {
+  if (!std::isfinite(policy.multiplier) || policy.multiplier < 1.0) {
+    throw std::invalid_argument("BackoffPolicy: multiplier must be >= 1");
+  }
+  if (!std::isfinite(policy.jitter_fraction) || policy.jitter_fraction < 0.0 ||
+      policy.jitter_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "BackoffPolicy: jitter_fraction must be in [0, 1)");
+  }
+  if (policy.max_attempts == 0) {
+    throw std::invalid_argument("BackoffPolicy: zero max_attempts");
+  }
+  if (policy.timeout_slots == 0) {
+    throw std::invalid_argument("BackoffPolicy: zero timeout_slots");
+  }
+}
+
+std::size_t retry_delay_slots(const BackoffPolicy& policy, std::uint64_t seed,
+                              std::size_t user, std::size_t attempt) {
+  validate(policy);
+  const double base = static_cast<double>(
+      std::max<std::size_t>(1, policy.base_delay_slots));
+  const double cap = static_cast<double>(
+      std::max<std::size_t>(1, policy.max_delay_slots));
+  const double nominal = std::min(
+      cap, base * std::pow(policy.multiplier, static_cast<double>(attempt)));
+
+  // Deterministic jitter keyed by (seed, user, attempt): expand the
+  // tuple through SplitMix64 and map to [1 - j, 1 + j].
+  cvr::SplitMix64 mixer(seed ^
+                        (0xBACC0FFull +
+                         0x9E3779B97F4A7C15ull *
+                             static_cast<std::uint64_t>(user + 1) +
+                         0xD1B54A32D192ED03ull *
+                             static_cast<std::uint64_t>(attempt + 1)));
+  const double unit = static_cast<double>(mixer.next() >> 11) *
+                      (1.0 / 9007199254740992.0);  // [0, 1)
+  const double factor =
+      1.0 + policy.jitter_fraction * (2.0 * unit - 1.0);
+  const double jittered = nominal * factor;
+  return static_cast<std::size_t>(std::max(1.0, std::floor(jittered + 0.5)));
+}
+
+}  // namespace cvr::fleet

@@ -1,0 +1,49 @@
+// Retry-with-exponential-backoff-and-jitter for failover re-admission
+// (docs/fleet.md).
+//
+// When an edge server crashes, its orphaned users queue for re-admission
+// to survivors. Retrying everyone every slot would hammer the admission
+// controller exactly when capacity is scarcest, and retrying in lockstep
+// would synchronize the herd — so attempts are spaced exponentially and
+// de-synchronized by deterministic per-(user, attempt) jitter. The delay
+// is a pure function of (policy, seed, user, attempt): no hidden state,
+// so the whole failover replays bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cvr::fleet {
+
+struct BackoffPolicy {
+  /// Delay before the first re-admission attempt (slots; >= 1 enforced
+  /// by retry_delay_slots). Models crash-detection latency.
+  std::size_t base_delay_slots = 2;
+  /// Exponential growth factor per failed attempt. Must be >= 1.
+  double multiplier = 2.0;
+  /// Cap on the un-jittered delay (slots).
+  std::size_t max_delay_slots = 64;
+  /// Multiplicative jitter half-width: the delay is scaled by a
+  /// deterministic factor in [1 - jitter_fraction, 1 + jitter_fraction].
+  /// Must lie in [0, 1).
+  double jitter_fraction = 0.3;
+  /// Attempts after which the user is dropped (rejected for good).
+  std::size_t max_attempts = 8;
+  /// Wall-clock bound (slots since the crash) after which a still-queued
+  /// user is dropped regardless of attempts remaining.
+  std::size_t timeout_slots = 600;
+};
+
+/// Throws std::invalid_argument on multiplier < 1, jitter_fraction
+/// outside [0, 1), zero max_attempts, or zero timeout_slots.
+void validate(const BackoffPolicy& policy);
+
+/// Slots to wait before attempt number `attempt` (0-based): the capped
+/// exponential base_delay * multiplier^attempt, scaled by the jitter
+/// factor, never below 1. Pure and deterministic in every argument; the
+/// un-jittered schedule is non-decreasing in `attempt`, and the jittered
+/// delay always lies within [1-j, 1+j] times the un-jittered one.
+std::size_t retry_delay_slots(const BackoffPolicy& policy, std::uint64_t seed,
+                              std::size_t user, std::size_t attempt);
+
+}  // namespace cvr::fleet

@@ -1,0 +1,590 @@
+#include "src/fleet/fleet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/core/slot_arena.h"
+#include "src/proto/messages.h"
+#include "src/system/slot_pipeline.h"
+#include "src/util/rng.h"
+
+namespace cvr::fleet {
+
+namespace {
+
+/// One orphaned user waiting for re-admission.
+struct RetryEntry {
+  std::size_t user = 0;
+  std::size_t crash_slot = 0;
+  std::size_t attempts = 0;   ///< Attempts already made.
+  std::size_t next_due = 0;   ///< Slot of the next attempt.
+};
+
+void count_fleet(telemetry::Collector* telemetry, telemetry::Counter counter,
+                 std::uint64_t delta = 1) {
+  if (telemetry != nullptr) telemetry->count(counter, delta);
+}
+
+}  // namespace
+
+FleetSim::FleetSim(FleetConfig config) : config_(std::move(config)) {
+  if (config_.servers == 0) {
+    throw std::invalid_argument("FleetConfig: zero servers");
+  }
+  if (config_.ring_vnodes == 0) {
+    throw std::invalid_argument("FleetConfig: zero ring vnodes");
+  }
+  if (config_.checkpoint_period_slots == 0) {
+    throw std::invalid_argument("FleetConfig: zero checkpoint period");
+  }
+  if (config_.ramp_slots_per_level == 0) {
+    throw std::invalid_argument("FleetConfig: zero ramp period");
+  }
+  if (!std::isfinite(config_.backhaul_mbps) || config_.backhaul_mbps < 0.0) {
+    throw std::invalid_argument("FleetConfig: invalid backhaul budget");
+  }
+  validate(config_.backoff);
+  for (const PlannedMigration& pm : config_.planned_migrations) {
+    if (pm.user >= config_.base.users || pm.to_server >= config_.servers ||
+        pm.slot >= config_.base.slots) {
+      throw std::invalid_argument("FleetConfig: planned migration out of range");
+    }
+  }
+  // Constructing the base sim validates the shared world config.
+  system::SystemSim probe(config_.base);
+}
+
+FleetRunResult FleetSim::run(core::Allocator& allocator, std::size_t repeat,
+                             system::Timeline* timeline,
+                             telemetry::Collector* telemetry) const {
+  const system::SystemSimConfig& base = config_.base;
+  const std::size_t n_users = base.users;
+  const std::size_t n_servers = config_.servers;
+  allocator.reset();
+  if (telemetry != nullptr && !telemetry->counting()) telemetry = nullptr;
+  if (telemetry != nullptr && telemetry->tracing()) {
+    telemetry->label_process(telemetry::Collector::kServerPid, "server");
+    for (std::size_t u = 0; u < n_users; ++u) {
+      telemetry->label_process(telemetry::Collector::user_pid(u),
+                               "user " + std::to_string(u));
+    }
+  }
+
+  // Same derivation as SystemSim::run — the shared measurement RNG and
+  // the access network consume the exact stream SystemSim consumes.
+  cvr::SplitMix64 mixer(base.seed ^
+                        (0x5957E3Cull + repeat * 0x9E3779B97F4A7C15ull));
+  cvr::Rng rng(mixer.next());
+  system::AccessNetwork net =
+      system::build_access_network(base, repeat, rng);
+
+  const system::ServerConfig server_config =
+      system::derive_server_config(base);
+  std::vector<system::Server> servers;
+  servers.reserve(n_servers);
+  for (std::size_t k = 0; k < n_servers; ++k) {
+    // Every server carries slots for all users: a user's state lives at
+    // the same index wherever they are served, so migration is a state
+    // transfer, never a renumbering.
+    servers.emplace_back(server_config, n_users);
+  }
+  std::vector<system::UserWorld> worlds =
+      system::build_user_worlds(base, repeat);
+
+  const double total_budget =
+      config_.backhaul_mbps > 0.0
+          ? config_.backhaul_mbps
+          : base.router_aggregate_mbps * static_cast<double>(base.routers);
+
+  const HashRing ring(n_servers, config_.ring_vnodes, base.seed);
+  const system::AdmissionController admission(config_.admission);
+  const faults::FaultSchedule& faults = base.faults;
+
+  // Controller state.
+  std::vector<std::size_t> serving(n_users);
+  std::vector<std::size_t> home(n_users);
+  std::vector<std::size_t> user_migrations(n_users, 0);
+  std::vector<bool> orphan(n_users, false);
+  std::vector<bool> lost(n_users, false);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    serving[u] = ring.owner(u);
+    home[u] = serving[u];
+  }
+  // Degrade ladder: level cap per user (kNumQualityLevels = no cap).
+  std::vector<core::QualityLevel> cap_level(n_users, core::kNumQualityLevels);
+  std::vector<std::size_t> cap_since(n_users, 0);
+  // Latest checkpoint per user, as wire bytes (decode exercises the
+  // codec on every failover). Empty until the first checkpoint.
+  std::vector<proto::Buffer> checkpoints(n_users);
+  std::vector<RetryEntry> retry_queue;
+
+  std::vector<bool> alive(n_servers, true);
+  std::vector<bool> partitioned(n_servers, false);
+  std::vector<double> budget(n_servers, 0.0);
+
+  FleetStats stats;
+  stats.per_server.resize(n_servers);
+  std::vector<double> budget_sum(n_servers, 0.0);
+  std::vector<double> util_sum(n_servers, 0.0);
+  std::vector<std::size_t> util_slots(n_servers, 0);
+  std::size_t reabsorb_slot_sum = 0;
+
+  // Per-server hot-path storage.
+  std::vector<core::SlotArena> arenas(n_servers);
+  std::vector<core::Allocation> allocations(n_servers);
+  std::vector<std::vector<std::size_t>> members(n_servers);
+  // Per-user handle back into the serving server's allocation.
+  std::vector<std::size_t> member_index(n_users, 0);
+
+  system::SlotContext ctx;
+  ctx.config = &base;
+  ctx.unmargined = server_config.fov;
+  ctx.unmargined.margin_deg = 0.0;
+  ctx.telemetry = telemetry;
+  ctx.timeline = timeline;
+  ctx.rng = &rng;
+
+  auto eligible_targets = [&] {
+    std::vector<bool> eligible(n_servers);
+    for (std::size_t k = 0; k < n_servers; ++k) {
+      eligible[k] = alive[k] && !partitioned[k];
+    }
+    return eligible;
+  };
+  auto any_eligible = [](const std::vector<bool>& eligible) {
+    return std::find(eligible.begin(), eligible.end(), true) !=
+           eligible.end();
+  };
+
+  // Attempts one re-admission of `user` at `target` with frame bytes
+  // already checkpointed; returns true when the user is serving again.
+  auto try_readmit = [&](std::size_t user, std::size_t target, std::size_t t,
+                         std::size_t crash_slot) {
+    stats.retry_attempts += 1;
+    count_fleet(telemetry, telemetry::Counter::kFleetRetryAttempts);
+    const proto::UserHandoff frame =
+        proto::decode_user_handoff(checkpoints[user]);
+    const core::UserSlotContext candidate =
+        servers[target].candidate_context(frame, t + 1);
+    const double mandatory = servers[target].mandatory_load(members[target]);
+    const system::AdmissionDecision decision = admission.decide(
+        candidate, mandatory, budget[target], members[target].size(), n_users,
+        base.server.params);
+    if (decision == system::AdmissionDecision::kReject) {
+      stats.rejects += 1;
+      count_fleet(telemetry, telemetry::Counter::kFleetMigrationRejects);
+      return false;
+    }
+    servers[target].import_handoff(user, frame, t);
+    serving[user] = target;
+    orphan[user] = false;
+    user_migrations[user] += 1;
+    stats.migrations += 1;
+    count_fleet(telemetry, telemetry::Counter::kFleetMigrations);
+    if (decision == system::AdmissionDecision::kDegrade) {
+      cap_level[user] = 1;
+      cap_since[user] = t;
+    }
+    stats.reabsorbed_users += 1;
+    const std::size_t took = t - crash_slot;
+    reabsorb_slot_sum += took;
+    stats.max_reabsorb_slots = std::max(stats.max_reabsorb_slots, took);
+    return true;
+  };
+
+  for (std::size_t t = 0; t < base.slots; ++t) {
+    const std::int64_t slot = static_cast<std::int64_t>(t);
+    telemetry::PhaseSpan slot_span(telemetry, telemetry::Phase::kSlot,
+                                   telemetry::Collector::kServerPid, slot);
+    system::step_routers(net, faults, t);
+
+    // ---- Fleet control. All pure bookkeeping: no shared-RNG draws, so
+    // the measurement stream stays aligned with SystemSim.
+    std::vector<std::size_t> crashed_now;
+    for (std::size_t k = 0; k < n_servers; ++k) {
+      const bool down = faults.server_crashed(k, t);
+      if (down && alive[k]) {
+        alive[k] = false;
+        crashed_now.push_back(k);
+        stats.crashes += 1;
+        count_fleet(telemetry, telemetry::Counter::kFleetServerCrashes);
+      } else if (!down && !alive[k]) {
+        alive[k] = true;  // rejoins cold, eligible again
+        stats.recoveries += 1;
+      }
+      const bool part = faults.server_partitioned(k, t);
+      if (part && !partitioned[k]) {
+        partitioned[k] = true;  // budget[k] stays frozen at its last value
+      } else if (!part && partitioned[k]) {
+        partitioned[k] = false;
+      }
+    }
+
+    // Orphan the members of every server that just went down. The
+    // crash wiped its in-memory per-user state.
+    for (std::size_t k : crashed_now) {
+      for (std::size_t u = 0; u < n_users; ++u) {
+        if (serving[u] != k || orphan[u] || lost[u]) continue;
+        servers[k].reset_user(u);
+        orphan[u] = true;
+        cap_level[u] = core::kNumQualityLevels;
+        stats.affected_users += 1;
+        RetryEntry entry;
+        entry.user = u;
+        entry.crash_slot = t;
+        entry.attempts = 0;
+        entry.next_due =
+            t + retry_delay_slots(config_.backoff, base.seed, u, 0);
+        retry_queue.push_back(entry);
+      }
+    }
+
+    // Current membership (needed for budgets and admission pricing).
+    for (auto& m : members) m.clear();
+    for (std::size_t u = 0; u < n_users; ++u) {
+      if (orphan[u] || lost[u]) continue;
+      members[serving[u]].push_back(u);
+    }
+
+    // Budget split across alive, unpartitioned servers; a partitioned
+    // server keeps its frozen share, a dead one gets nothing.
+    {
+      std::size_t alive_unpart = 0;
+      std::size_t alive_members = 0;
+      for (std::size_t k = 0; k < n_servers; ++k) {
+        if (alive[k] && !partitioned[k]) {
+          alive_unpart += 1;
+          alive_members += members[k].size();
+        }
+      }
+      for (std::size_t k = 0; k < n_servers; ++k) {
+        if (!alive[k]) {
+          budget[k] = 0.0;
+        } else if (partitioned[k]) {
+          // frozen
+        } else if (config_.budget == BudgetPolicy::kEqual) {
+          budget[k] = total_budget / static_cast<double>(alive_unpart);
+        } else {
+          budget[k] = alive_members == 0
+                          ? 0.0
+                          : total_budget *
+                                static_cast<double>(members[k].size()) /
+                                static_cast<double>(alive_members);
+        }
+      }
+    }
+
+    // Mirrored mode: the warm standby attempts re-admission at the
+    // crash slot itself — no backoff before the first try.
+    if (config_.assignment == AssignmentMode::kMirrored &&
+        !crashed_now.empty()) {
+      const std::vector<bool> eligible = eligible_targets();
+      if (any_eligible(eligible)) {
+        for (RetryEntry& entry : retry_queue) {
+          if (entry.crash_slot != t || entry.attempts != 0) continue;
+          if (checkpoints[entry.user].empty()) continue;
+          const std::size_t target = ring.backup(entry.user, eligible);
+          entry.attempts = 1;
+          if (try_readmit(entry.user, target, t, entry.crash_slot)) {
+            members[target].push_back(entry.user);
+            entry.next_due = base.slots;  // resolved; swept below
+          } else {
+            entry.next_due = t + retry_delay_slots(config_.backoff, base.seed,
+                                                   entry.user, 1);
+          }
+        }
+      }
+    }
+
+    // Retry queue: due entries attempt re-admission at the ring's
+    // eligible owner, with exponential backoff + jitter between
+    // attempts, bounded attempts, and a per-user timeout.
+    {
+      const std::vector<bool> eligible = eligible_targets();
+      for (RetryEntry& entry : retry_queue) {
+        if (!orphan[entry.user] || lost[entry.user]) continue;
+        if (t - entry.crash_slot > config_.backoff.timeout_slots ||
+            entry.attempts >= config_.backoff.max_attempts) {
+          lost[entry.user] = true;
+          orphan[entry.user] = true;
+          stats.lost_users += 1;
+          continue;
+        }
+        if (entry.next_due > t) continue;
+        if (checkpoints[entry.user].empty() || !any_eligible(eligible)) {
+          entry.attempts += 1;
+          entry.next_due = t + retry_delay_slots(config_.backoff, base.seed,
+                                                 entry.user, entry.attempts);
+          continue;
+        }
+        const std::size_t target = ring.owner(entry.user, eligible);
+        entry.attempts += 1;
+        if (try_readmit(entry.user, target, t, entry.crash_slot)) {
+          members[target].push_back(entry.user);
+        } else {
+          entry.next_due = t + retry_delay_slots(config_.backoff, base.seed,
+                                                 entry.user, entry.attempts);
+        }
+      }
+      retry_queue.erase(
+          std::remove_if(retry_queue.begin(), retry_queue.end(),
+                         [&](const RetryEntry& e) {
+                           return !orphan[e.user] || lost[e.user];
+                         }),
+          retry_queue.end());
+    }
+
+    // Scripted live migrations (healthy handoffs): export fresh state,
+    // cross the wire, import at the destination.
+    for (const PlannedMigration& pm : config_.planned_migrations) {
+      if (pm.slot != t) continue;
+      const std::size_t from = serving[pm.user];
+      if (orphan[pm.user] || lost[pm.user] || !alive[from] ||
+          !alive[pm.to_server] || partitioned[from] ||
+          partitioned[pm.to_server] || from == pm.to_server) {
+        continue;
+      }
+      const proto::UserHandoff frame = proto::decode_user_handoff(
+          proto::encode(servers[from].export_handoff(pm.user, t)));
+      stats.handoff_frames += 1;
+      count_fleet(telemetry, telemetry::Counter::kFleetHandoffFrames);
+      servers[pm.to_server].import_handoff(pm.user, frame, t);
+      servers[from].reset_user(pm.user);
+      auto& old_members = members[from];
+      old_members.erase(
+          std::remove(old_members.begin(), old_members.end(), pm.user),
+          old_members.end());
+      members[pm.to_server].push_back(pm.user);
+      serving[pm.user] = pm.to_server;
+      user_migrations[pm.user] += 1;
+      stats.migrations += 1;
+      count_fleet(telemetry, telemetry::Counter::kFleetMigrations);
+    }
+
+    // Degrade-ladder release: the cap rises one level per ramp period.
+    for (std::size_t u = 0; u < n_users; ++u) {
+      if (cap_level[u] >= core::kNumQualityLevels) continue;
+      const std::size_t risen = (t - cap_since[u]) / config_.ramp_slots_per_level;
+      const std::size_t cap = 1 + risen;
+      cap_level[u] = cap >= static_cast<std::size_t>(core::kNumQualityLevels)
+                         ? core::kNumQualityLevels
+                         : static_cast<core::QualityLevel>(cap);
+    }
+
+    // Periodic checkpoints (fleets only): every user's carried state is
+    // encoded through the wire format so a later crash has a frame.
+    if (n_servers > 1 && t % config_.checkpoint_period_slots == 0) {
+      for (std::size_t u = 0; u < n_users; ++u) {
+        if (orphan[u] || lost[u] || !alive[serving[u]]) continue;
+        checkpoints[u] =
+            proto::encode(servers[serving[u]].export_handoff(u, t));
+        stats.handoff_frames += 1;
+        count_fleet(telemetry, telemetry::Counter::kFleetHandoffFrames);
+      }
+    }
+
+    // ---- From here on the slot follows SystemSim::run exactly, with
+    // "the server" resolved per user through the assignment.
+    if (faults.cache_flush_at(t)) {
+      for (std::size_t k = 0; k < n_servers; ++k) {
+        if (alive[k]) servers[k].flush_caches();
+      }
+    }
+
+    if (t >= 1 && (t - 1) % base.pose_upload_period == 0) {
+      telemetry::PhaseSpan ingest_span(telemetry,
+                                       telemetry::Phase::kPoseIngest,
+                                       telemetry::Collector::kServerPid, slot);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        if (orphan[u] || lost[u]) continue;
+        if (faults.user_disconnected(u, t) || faults.pose_blackout(u, t)) {
+          continue;
+        }
+        system::upload_pose(servers[serving[u]], worlds[u], u, t, telemetry);
+      }
+    }
+
+    // Per-server problem build + allocation over its members.
+    for (std::size_t k = 0; k < n_servers; ++k) {
+      if (!alive[k] || members[k].empty()) {
+        allocations[k].levels.clear();
+        continue;
+      }
+      servers[k].set_server_bandwidth(budget[k]);
+      core::SlotProblem& problem = arenas[k].acquire(members[k].size());
+      {
+        telemetry::PhaseSpan build_span(telemetry,
+                                        telemetry::Phase::kProblemBuild,
+                                        telemetry::Collector::kServerPid,
+                                        slot);
+        servers[k].build_problem_for(t + 1, members[k], problem);
+      }
+      // Fleet-owned degrade caps ride constraint (7), the same clamp
+      // safe mode uses: cap the user bandwidth at the capped level's
+      // rate so no allocator can exceed it.
+      for (std::size_t i = 0; i < members[k].size(); ++i) {
+        const core::QualityLevel cap = cap_level[members[k][i]];
+        if (cap < core::kNumQualityLevels) {
+          core::UserSlotContext& uctx = problem.users[i];
+          uctx.user_bandwidth =
+              std::min(uctx.user_bandwidth,
+                       uctx.rate[static_cast<std::size_t>(cap - 1)]);
+        }
+      }
+      {
+        telemetry::PhaseSpan solve_span(telemetry,
+                                        telemetry::Phase::kAllocSolve,
+                                        telemetry::Collector::kServerPid,
+                                        slot);
+        allocator.allocate_into(problem, allocations[k]);
+      }
+      if (allocations[k].levels.size() != members[k].size()) {
+        throw std::logic_error("allocator returned wrong level count");
+      }
+      if (telemetry != nullptr) {
+        telemetry->count_allocation(allocations[k].levels);
+      }
+      for (std::size_t i = 0; i < members[k].size(); ++i) {
+        member_index[members[k][i]] = i;
+      }
+      // Per-server accounting: allocated load vs the slot's budget.
+      stats.per_server[k].served_user_slots += members[k].size();
+      if (budget[k] > 0.0) {
+        double allocated = 0.0;
+        for (std::size_t i = 0; i < members[k].size(); ++i) {
+          const auto level = allocations[k].levels[i];
+          allocated +=
+              problem.users[i].rate[static_cast<std::size_t>(level - 1)];
+        }
+        util_sum[k] += allocated / budget[k];
+        util_slots[k] += 1;
+      }
+    }
+    for (std::size_t k = 0; k < n_servers; ++k) budget_sum[k] += budget[k];
+
+    // Tile requests in global user order (the order SystemSim uses).
+    std::vector<system::TileRequest> requests;
+    requests.reserve(n_users);
+    {
+      telemetry::PhaseSpan fetch_span(telemetry,
+                                      telemetry::Phase::kContentFetch,
+                                      telemetry::Collector::kServerPid, slot);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        if (orphan[u] || lost[u]) {
+          system::TileRequest idle;  // no serving server, mandatory floor
+          requests.push_back(std::move(idle));
+          continue;
+        }
+        const core::QualityLevel level =
+            allocations[serving[u]].levels[member_index[u]];
+        if (faults.user_disconnected(u, t)) {
+          // No device on the network: nothing to request, zero demand,
+          // and the server's per-user caches stay untouched.
+          system::TileRequest idle;
+          idle.level = level;
+          requests.push_back(std::move(idle));
+          continue;
+        }
+        requests.push_back(servers[serving[u]].make_request(u, level));
+        if (telemetry != nullptr) {
+          telemetry->count(telemetry::Counter::kTilesRequested,
+                           requests.back().tiles.size());
+        }
+      }
+    }
+
+    // Online rendering: one farm per edge server over its members.
+    if (base.online_rendering) {
+      for (std::size_t k = 0; k < n_servers; ++k) {
+        if (!alive[k] || members[k].empty()) continue;
+        const render::RenderFarm farm(base.render_farm);
+        std::vector<render::RenderJob> jobs;
+        jobs.reserve(members[k].size());
+        for (std::size_t u : members[k]) {
+          jobs.push_back({u, requests[u].tiles.size(),
+                          allocations[k].levels[member_index[u]]});
+        }
+        const render::RenderOutcome rendered = farm.schedule(jobs);
+        for (std::size_t i = 0; i < members[k].size(); ++i) {
+          if (!rendered.on_time[i]) {
+            const std::size_t u = members[k][i];
+            requests[u].tiles.clear();
+            requests[u].fallback_set.clear();
+            requests[u].demand_mbps = 0.0;
+          }
+        }
+      }
+    }
+
+    const std::vector<double> granted =
+        system::serve_routers(net, requests, telemetry, slot);
+
+    // Outcomes in global user order — the shared measurement RNG is
+    // consumed per served user exactly as in SystemSim.
+    for (std::size_t u = 0; u < n_users; ++u) {
+      system::UserWorld& world = worlds[u];
+      if (orphan[u] || lost[u]) {
+        // Orphaned by a crash: level-1 bookkeeping, zero display, a
+        // fault slot for recovery accounting. No RNG draw.
+        count_fleet(telemetry, telemetry::Counter::kFleetOrphanUserSlots);
+        system::serve_absent_user(ctx, u, t, world, 1, 0.0, 0.0);
+        continue;
+      }
+      ctx.server = &servers[serving[u]];
+      const core::SlotProblem& problem =
+          arenas[serving[u]].problem();
+      const core::QualityLevel level =
+          allocations[serving[u]].levels[member_index[u]];
+      const double delta_estimate = problem.users[member_index[u]].delta;
+      const double bandwidth_estimate =
+          problem.users[member_index[u]].user_bandwidth;
+      if (faults.user_disconnected(u, t)) {
+        system::serve_absent_user(ctx, u, t, world, level, delta_estimate,
+                                  bandwidth_estimate);
+        continue;
+      }
+      const bool ack_stalled = faults.ack_stalled(u, t);
+      const bool in_fault =
+          faults.any_fault_for_user(u, net.router_of[u], t);
+      system::serve_connected_user(
+          ctx, u, t, world, requests[u], level, granted[u],
+          system::router_capacity_for(net, u), ack_stalled, in_fault,
+          delta_estimate, bandwidth_estimate);
+    }
+    if (telemetry != nullptr) telemetry->count(telemetry::Counter::kSlots);
+  }
+
+  FleetRunResult result;
+  result.outcomes.reserve(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    sim::UserOutcome outcome =
+        system::finalize_user_outcome(worlds[u], base);
+    outcome.home_server = static_cast<double>(home[u]);
+    outcome.migrations = static_cast<double>(user_migrations[u]);
+    result.outcomes.push_back(outcome);
+  }
+  for (std::size_t k = 0; k < n_servers; ++k) {
+    stats.per_server[k].mean_budget_mbps =
+        budget_sum[k] / static_cast<double>(base.slots);
+    stats.per_server[k].mean_utilization =
+        util_slots[k] == 0 ? 0.0
+                           : util_sum[k] / static_cast<double>(util_slots[k]);
+  }
+  stats.reabsorbed_fraction =
+      stats.affected_users == 0
+          ? 1.0
+          : static_cast<double>(stats.reabsorbed_users) /
+                static_cast<double>(stats.affected_users);
+  stats.mean_reabsorb_slots =
+      stats.reabsorbed_users == 0
+          ? 0.0
+          : static_cast<double>(reabsorb_slot_sum) /
+                static_cast<double>(stats.reabsorbed_users);
+  result.stats = std::move(stats);
+  return result;
+}
+
+}  // namespace cvr::fleet

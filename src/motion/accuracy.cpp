@@ -1,5 +1,6 @@
 #include "src/motion/accuracy.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace cvr::motion {
@@ -14,6 +15,15 @@ AccuracyEstimator::AccuracyEstimator(double prior, double prior_weight)
 void AccuracyEstimator::record(bool hit) {
   hits_ += hit ? 1.0 : 0.0;
   ++count_;
+}
+
+void AccuracyEstimator::restore(double hits, std::size_t count) {
+  if (!std::isfinite(hits) || hits < 0.0 ||
+      hits > static_cast<double>(count)) {
+    throw std::invalid_argument("AccuracyEstimator: invalid restored tallies");
+  }
+  hits_ = hits;
+  count_ = count;
 }
 
 double AccuracyEstimator::estimate() const {

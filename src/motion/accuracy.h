@@ -25,6 +25,16 @@ class AccuracyEstimator {
 
   std::size_t observations() const { return count_; }
 
+  /// Raw hit tally behind estimate() — together with observations()
+  /// this is the estimator's full posterior state, carried across
+  /// server migrations in proto::UserHandoff.
+  double hit_sum() const { return hits_; }
+
+  /// Restores the tallies from a handoff frame (prior stays local).
+  /// Throws std::invalid_argument when hits is non-finite, negative, or
+  /// exceeds count — the frame validator enforces the same bound.
+  void restore(double hits, std::size_t count);
+
  private:
   double prior_;
   double prior_weight_;

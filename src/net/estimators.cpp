@@ -24,6 +24,14 @@ void EmaThroughputEstimator::observe(double mbps) {
   ++count_;
 }
 
+void EmaThroughputEstimator::restore(double mbps, std::size_t count) {
+  if (!std::isfinite(mbps) || mbps < 0.0) {
+    throw std::invalid_argument("EmaThroughputEstimator: invalid restore");
+  }
+  value_ = mbps;
+  count_ = count;
+}
+
 DelayPredictor::DelayPredictor(std::size_t history) : poly_(2, history) {}
 
 void DelayPredictor::observe(double rate_mbps, double delay_ms) {

@@ -33,6 +33,13 @@ class EmaThroughputEstimator {
   double estimate_mbps() const { return value_; }
   std::size_t observations() const { return count_; }
 
+  /// Restores EMA state from a migration handoff frame
+  /// (proto::UserHandoff): the carried estimate becomes the current
+  /// value and the observation count resumes where the source server
+  /// left off. Throws std::invalid_argument on a non-finite or negative
+  /// estimate.
+  void restore(double mbps, std::size_t count);
+
  private:
   double alpha_;
   double value_;

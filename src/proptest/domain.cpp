@@ -245,6 +245,13 @@ Gen<faults::FaultScheduleConfig> fault_schedule_configs() {
     config.mean_duration_slots =
         static_cast<std::size_t>(rng.uniform_int(1, 80));
     config.outage_depth = rng.uniform(0.0, 0.95);
+    // Fleet scope: keep a healthy share of server-free configs so the
+    // legacy (servers == 0) generator path stays under test too.
+    config.servers = rng.bernoulli(0.35)
+                         ? 0
+                         : static_cast<std::size_t>(rng.uniform_int(1, 6));
+    config.server_crash_rate = rng.uniform(0.0, 1.5);
+    config.fleet_partition_rate = rng.uniform(0.0, 1.5);
     return config;
   };
 }
@@ -274,11 +281,16 @@ ShrinkTraits<faults::FaultScheduleConfig>::candidates(
   c = config;
   c.mean_duration_slots = 1;
   push_if(config.mean_duration_slots != 1, c);
+  c = config;
+  c.servers = 0;
+  push_if(config.servers != 0, c);
   for (auto rate : {&faults::FaultScheduleConfig::churn_rate,
                     &faults::FaultScheduleConfig::pose_blackout_rate,
                     &faults::FaultScheduleConfig::ack_stall_rate,
                     &faults::FaultScheduleConfig::router_outage_rate,
-                    &faults::FaultScheduleConfig::cache_flush_rate}) {
+                    &faults::FaultScheduleConfig::cache_flush_rate,
+                    &faults::FaultScheduleConfig::server_crash_rate,
+                    &faults::FaultScheduleConfig::fleet_partition_rate}) {
     c = config;
     c.*rate = 0.0;
     push_if(config.*rate != 0.0, c);
@@ -306,6 +318,11 @@ std::string FixtureTraits<faults::FaultScheduleConfig>::show(
   out += "config.mean_duration_slots = " +
          std::to_string(config.mean_duration_slots) + ";\n";
   out += "config.outage_depth = " + show_double(config.outage_depth) + ";\n";
+  out += "config.servers = " + std::to_string(config.servers) + ";\n";
+  out += "config.server_crash_rate = " +
+         show_double(config.server_crash_rate) + ";\n";
+  out += "config.fleet_partition_rate = " +
+         show_double(config.fleet_partition_rate) + ";\n";
   return out;
 }
 
@@ -346,10 +363,53 @@ std::vector<content::VideoId> gen_tiles(cvr::Rng& rng) {
   return tiles;
 }
 
+/// A valid UserHandoff: every cross-field invariant of the codec holds
+/// by construction (tallies bounded by counts, qbar under the level
+/// ceiling, no phantom pose), so encode never throws and the round-trip
+/// property exercises the full field surface.
+proto::UserHandoff gen_user_handoff(cvr::Rng& rng) {
+  proto::UserHandoff message;
+  message.user = static_cast<std::uint32_t>(rng.engine()());
+  message.slot = rng.engine()();
+  message.delta_count = static_cast<std::uint64_t>(rng.uniform_int(0, 2000));
+  message.delta_hits =
+      rng.uniform(0.0, static_cast<double>(message.delta_count));
+  // Loss-aware runs carry a second tally; half the instances leave it
+  // at the loss-oblivious zero state.
+  if (rng.bernoulli(0.5)) {
+    message.base_count = static_cast<std::uint64_t>(rng.uniform_int(0, 2000));
+    message.base_hits =
+        rng.uniform(0.0, static_cast<double>(message.base_count));
+  }
+  message.qbar_slots = static_cast<std::uint64_t>(rng.uniform_int(0, 3000));
+  if (message.qbar_slots > 0) {
+    message.qbar_sum =
+        rng.uniform(0.0, static_cast<double>(message.qbar_slots) *
+                             static_cast<double>(content::kNumQualityLevels));
+  }
+  message.bandwidth_mbps = rng.bernoulli(0.1) ? 0.0 : rng.uniform(0.0, 500.0);
+  message.bandwidth_observations =
+      static_cast<std::uint64_t>(rng.uniform_int(0, 5000));
+  message.has_pose = rng.bernoulli(0.7);
+  if (message.has_pose) {
+    message.pose.x = gen_coordinate(rng);
+    message.pose.y = gen_coordinate(rng);
+    message.pose.z = gen_coordinate(rng);
+    message.pose.yaw = gen_coordinate(rng);
+    message.pose.pitch = gen_coordinate(rng);
+    message.pose.roll = gen_coordinate(rng);
+    message.pose_slot = rng.engine()();
+  }
+  message.safe_mode = rng.bernoulli(0.2);
+  message.pose_stale = rng.bernoulli(0.2);
+  message.transmit_fraction = rng.uniform(0.0, 1.0);
+  return message;
+}
+
 }  // namespace
 
 WireMessage gen_wire_message(cvr::Rng& rng) {
-  switch (rng.uniform_int(0, 6)) {
+  switch (rng.uniform_int(0, 7)) {
     case 0: {
       proto::PoseUpdate message;
       message.user = static_cast<std::uint32_t>(rng.engine()());
@@ -409,12 +469,14 @@ WireMessage gen_wire_message(cvr::Rng& rng) {
                     rng.uniform_int(1, content::kNumQualityLevels));
       return message;
     }
-    default: {
+    case 6: {
       proto::DisconnectNotice message;
       message.session = rng.engine()();
       message.slot = rng.engine()();
       return message;
     }
+    default:
+      return gen_user_handoff(rng);
   }
 }
 
@@ -477,6 +539,29 @@ std::vector<WireMessage> ShrinkTraits<WireMessage>::candidates(
   } else if (const auto* bye = std::get_if<proto::DisconnectNotice>(&message)) {
     if (!(*bye == proto::DisconnectNotice{})) {
       out.push_back(proto::DisconnectNotice{});
+    }
+  } else if (const auto* handoff = std::get_if<proto::UserHandoff>(&message)) {
+    if (handoff->has_pose) {
+      proto::UserHandoff poseless = *handoff;  // drop the pose block whole
+      poseless.pose = motion::Pose{};
+      poseless.pose_slot = 0;
+      poseless.has_pose = false;
+      poseless.pose_stale = false;
+      out.push_back(std::move(poseless));
+    }
+    if (handoff->delta_count != 0 || handoff->base_count != 0 ||
+        handoff->qbar_slots != 0) {
+      proto::UserHandoff cold = *handoff;  // wipe the carried tallies
+      cold.delta_hits = 0.0;
+      cold.delta_count = 0;
+      cold.base_hits = 0.0;
+      cold.base_count = 0;
+      cold.qbar_sum = 0.0;
+      cold.qbar_slots = 0;
+      out.push_back(std::move(cold));
+    }
+    if (!(*handoff == proto::UserHandoff{})) {
+      out.push_back(proto::UserHandoff{});
     }
   }
   return out;
@@ -545,6 +630,39 @@ std::string FixtureTraits<WireMessage>::show(const WireMessage& message) {
     out += "proto::DisconnectNotice message;\n";
     out += "message.session = " + std::to_string(bye->session) + "ull;\n";
     out += "message.slot = " + std::to_string(bye->slot) + "ull;\n";
+  } else if (const auto* handoff = std::get_if<proto::UserHandoff>(&message)) {
+    out += "proto::UserHandoff message;\n";
+    out += "message.user = " + std::to_string(handoff->user) + ";\n";
+    out += "message.slot = " + std::to_string(handoff->slot) + "ull;\n";
+    out += "message.delta_hits = " + show_double(handoff->delta_hits) + ";\n";
+    out += "message.delta_count = " + std::to_string(handoff->delta_count) +
+           "ull;\n";
+    out += "message.base_hits = " + show_double(handoff->base_hits) + ";\n";
+    out += "message.base_count = " + std::to_string(handoff->base_count) +
+           "ull;\n";
+    out += "message.qbar_sum = " + show_double(handoff->qbar_sum) + ";\n";
+    out += "message.qbar_slots = " + std::to_string(handoff->qbar_slots) +
+           "ull;\n";
+    out += "message.bandwidth_mbps = " + show_double(handoff->bandwidth_mbps) +
+           ";\n";
+    out += "message.bandwidth_observations = " +
+           std::to_string(handoff->bandwidth_observations) + "ull;\n";
+    out += "message.pose.x = " + show_double(handoff->pose.x) + ";\n";
+    out += "message.pose.y = " + show_double(handoff->pose.y) + ";\n";
+    out += "message.pose.z = " + show_double(handoff->pose.z) + ";\n";
+    out += "message.pose.yaw = " + show_double(handoff->pose.yaw) + ";\n";
+    out += "message.pose.pitch = " + show_double(handoff->pose.pitch) + ";\n";
+    out += "message.pose.roll = " + show_double(handoff->pose.roll) + ";\n";
+    out += "message.pose_slot = " + std::to_string(handoff->pose_slot) +
+           "ull;\n";
+    out += std::string("message.has_pose = ") +
+           (handoff->has_pose ? "true" : "false") + ";\n";
+    out += std::string("message.safe_mode = ") +
+           (handoff->safe_mode ? "true" : "false") + ";\n";
+    out += std::string("message.pose_stale = ") +
+           (handoff->pose_stale ? "true" : "false") + ";\n";
+    out += "message.transmit_fraction = " +
+           show_double(handoff->transmit_fraction) + ";\n";
   }
   return out;
 }

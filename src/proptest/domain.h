@@ -103,7 +103,8 @@ struct FixtureTraits<faults::FaultScheduleConfig> {
 using WireMessage =
     std::variant<proto::PoseUpdate, proto::DeliveryAck, proto::ReleaseAck,
                  proto::TileHeader, proto::ConnectRequest,
-                 proto::AdmitResponse, proto::DisconnectNotice>;
+                 proto::AdmitResponse, proto::DisconnectNotice,
+                 proto::UserHandoff>;
 
 WireMessage gen_wire_message(cvr::Rng& rng);
 Gen<WireMessage> wire_messages();

@@ -540,6 +540,54 @@ CheckResult check_fault_schedule_deterministic(
         break;
       case faults::FaultType::kCacheFlush:
         break;
+      case faults::FaultType::kServerCrash:
+      case faults::FaultType::kServerRecover:
+      case faults::FaultType::kFleetPartition:
+        if (config.servers == 0) {
+          return fail("server-scoped event generated with servers == 0");
+        }
+        if (e.target >= config.servers) {
+          return fail("server target out of range");
+        }
+        break;
+    }
+  }
+  return pass();
+}
+
+/// Oracle 6b (fleet): the server-scoped draws are appended strictly
+/// after every legacy draw — generating with servers > 0 and stripping
+/// the fleet-typed events reproduces the servers == 0 schedule
+/// event-for-event, so pre-fleet (seed, config) pairs are unchanged.
+CheckResult check_fleet_events_appended(
+    const faults::FaultScheduleConfig& config) {
+  faults::FaultScheduleConfig fleet = config;
+  if (fleet.servers == 0) fleet.servers = 3;  // force the fleet path
+  faults::FaultScheduleConfig legacy = fleet;
+  legacy.servers = 0;
+
+  const auto is_fleet_event = [](const faults::FaultEvent& e) {
+    return e.type == faults::FaultType::kServerCrash ||
+           e.type == faults::FaultType::kServerRecover ||
+           e.type == faults::FaultType::kFleetPartition;
+  };
+  const faults::FaultSchedule fleet_schedule = faults::generate_schedule(fleet);
+  std::vector<faults::FaultEvent> stripped;
+  for (const auto& e : fleet_schedule.events()) {
+    if (!is_fleet_event(e)) stripped.push_back(e);
+  }
+  const faults::FaultSchedule legacy_schedule =
+      faults::generate_schedule(legacy);
+  const auto& expected = legacy_schedule.events();
+  if (stripped.size() != expected.size()) {
+    return fail("stripping fleet events changed the legacy count: " +
+                std::to_string(stripped.size()) + " vs " +
+                std::to_string(expected.size()));
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (!events_equal(stripped[i], expected[i])) {
+      return fail("legacy event " + std::to_string(i) +
+                  " differs once fleet draws are enabled");
     }
   }
   return pass();
@@ -578,6 +626,11 @@ CheckResult check_fault_schedule_queries(
         probe.uniform_int(0, static_cast<std::int64_t>(config.users) - 1));
     const auto router = static_cast<std::size_t>(
         probe.uniform_int(0, static_cast<std::int64_t>(config.routers) - 1));
+    // With servers == 0 the probe still queries server 0: a schedule
+    // with no server-scoped events must answer false everywhere.
+    const auto server = static_cast<std::size_t>(probe.uniform_int(
+        0, std::max<std::int64_t>(
+               static_cast<std::int64_t>(config.servers) - 1, 0)));
     const auto slot = static_cast<std::size_t>(probe.uniform_int(
         0, static_cast<std::int64_t>(config.slots + config.slots / 4)));
 
@@ -619,6 +672,34 @@ CheckResult check_fault_schedule_queries(
       return fail("cache_flush_at mismatch at slot " + std::to_string(slot));
     }
 
+    // server_crashed: a covering crash window stands unless a recover
+    // for the same server starts inside (crash start, slot].
+    bool crashed = false;
+    for (const auto& e : events) {
+      if (e.type != faults::FaultType::kServerCrash || e.target != server ||
+          !e.active_at(slot)) {
+        continue;
+      }
+      bool truncated = false;
+      for (const auto& r : events) {
+        if (r.type == faults::FaultType::kServerRecover &&
+            r.target == server && r.start_slot > e.start_slot &&
+            r.start_slot <= slot) {
+          truncated = true;
+        }
+      }
+      crashed = crashed || !truncated;
+    }
+    if (schedule.server_crashed(server, slot) != crashed) {
+      return fail("server_crashed mismatch at server " +
+                  std::to_string(server) + " slot " + std::to_string(slot));
+    }
+    if (schedule.server_partitioned(server, slot) !=
+        active(faults::FaultType::kFleetPartition, server, slot)) {
+      return fail("server_partitioned mismatch at server " +
+                  std::to_string(server) + " slot " + std::to_string(slot));
+    }
+
     bool any = false;
     for (const auto& e : events) {
       if (!e.active_at(slot)) continue;
@@ -634,6 +715,10 @@ CheckResult check_fault_schedule_queries(
         case faults::FaultType::kCacheFlush:
           any = true;
           break;
+        case faults::FaultType::kServerCrash:
+        case faults::FaultType::kServerRecover:
+        case faults::FaultType::kFleetPartition:
+          break;  // membership is fleet state, never a per-user fault
       }
     }
     if (schedule.any_fault_for_user(user, router, slot) != any) {
@@ -664,6 +749,8 @@ WireMessage decode_any(const proto::Buffer& framed) {
       return proto::decode_admit_response(framed);
     case proto::MessageType::kDisconnectNotice:
       return proto::decode_disconnect_notice(framed);
+    case proto::MessageType::kUserHandoff:
+      return proto::decode_user_handoff(framed);
   }
   throw std::runtime_error("decode_any: unreachable tag");
 }
@@ -816,6 +903,8 @@ void register_builtin_properties(Registry& registry) {
                check_fault_schedule_deterministic);
   CVR_PROPERTY("faults.schedule_queries_consistent", fault_schedule_configs(),
                check_fault_schedule_queries);
+  CVR_PROPERTY("faults.fleet_events_appended", fault_schedule_configs(),
+               check_fleet_events_appended);
 
   // --- proto: wire codec ---------------------------------------------------
   CVR_PROPERTY("proto.roundtrip", wire_messages(), check_proto_roundtrip);

@@ -73,6 +73,49 @@ std::vector<content::VideoId> read_tiles(Reader& reader) {
   return tiles;
 }
 
+/// Shared invariant check for UserHandoff (see the struct comment).
+/// `Error` selects the exception type: std::invalid_argument on encode
+/// (caller bug), std::runtime_error on decode (hostile bytes).
+template <typename Error>
+void validate_user_handoff(const UserHandoff& message) {
+  const auto require = [](bool ok, const char* what) {
+    if (!ok) throw Error(what);
+  };
+  const auto tally_ok = [](double hits, std::uint64_t count) {
+    return std::isfinite(hits) && hits >= 0.0 &&
+           hits <= static_cast<double>(count);
+  };
+  require(tally_ok(message.delta_hits, message.delta_count),
+          "proto: handoff delta tally out of range");
+  require(tally_ok(message.base_hits, message.base_count),
+          "proto: handoff base tally out of range");
+  require(std::isfinite(message.qbar_sum) && message.qbar_sum >= 0.0,
+          "proto: handoff qbar_sum must be finite and non-negative");
+  require(message.qbar_slots > 0 || message.qbar_sum == 0.0,
+          "proto: handoff qbar_sum without qbar_slots");
+  require(message.qbar_sum <=
+              static_cast<double>(message.qbar_slots) *
+                  static_cast<double>(content::kNumQualityLevels),
+          "proto: handoff qbar_sum above the level ceiling");
+  require(std::isfinite(message.bandwidth_mbps) &&
+              message.bandwidth_mbps >= 0.0,
+          "proto: handoff bandwidth must be finite and non-negative");
+  require(std::isfinite(message.transmit_fraction) &&
+              message.transmit_fraction >= 0.0 &&
+              message.transmit_fraction <= 1.0,
+          "proto: handoff transmit_fraction outside [0, 1]");
+  const double components[] = {message.pose.x,     message.pose.y,
+                               message.pose.z,     message.pose.yaw,
+                               message.pose.pitch, message.pose.roll};
+  for (double c : components) {
+    require(std::isfinite(c), "proto: handoff pose must be finite");
+  }
+  if (!message.has_pose) {
+    require(message.pose == motion::Pose{} && message.pose_slot == 0,
+            "proto: handoff carries pose state without has_pose");
+  }
+}
+
 }  // namespace
 
 Buffer encode(const PoseUpdate& message) {
@@ -152,12 +195,37 @@ Buffer encode(const DisconnectNotice& message) {
   return frame(payload);
 }
 
+Buffer encode(const UserHandoff& message) {
+  validate_user_handoff<std::invalid_argument>(message);
+  Buffer payload = payload_with_tag(MessageType::kUserHandoff);
+  Writer writer(payload);
+  writer.u32(message.user);
+  writer.u64(message.slot);
+  writer.f64(message.delta_hits);
+  writer.u64(message.delta_count);
+  writer.f64(message.base_hits);
+  writer.u64(message.base_count);
+  writer.f64(message.qbar_sum);
+  writer.u64(message.qbar_slots);
+  writer.f64(message.bandwidth_mbps);
+  writer.u64(message.bandwidth_observations);
+  write_pose(writer, message.pose);
+  writer.u64(message.pose_slot);
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>((message.has_pose ? 1u : 0u) |
+                                (message.safe_mode ? 2u : 0u) |
+                                (message.pose_stale ? 4u : 0u));
+  writer.u8(flags);
+  writer.f64(message.transmit_fraction);
+  return frame(payload);
+}
+
 MessageType peek_type(const Buffer& framed) {
   Reader framed_reader(framed);
   const Buffer payload = unframe(framed_reader);
   Reader reader(payload);
   const auto tag = reader.u8();
-  if (tag < 1 || tag > 7) {
+  if (tag < 1 || tag > 8) {
     throw std::runtime_error("proto: unknown message type tag");
   }
   return static_cast<MessageType>(tag);
@@ -261,6 +329,35 @@ DisconnectNotice decode_disconnect_notice(const Buffer& framed) {
   message.session = reader.u64();
   message.slot = reader.u64();
   if (!reader.done()) throw std::runtime_error("proto: trailing payload bytes");
+  return message;
+}
+
+UserHandoff decode_user_handoff(const Buffer& framed) {
+  Buffer storage;
+  Reader reader = open_payload(framed, MessageType::kUserHandoff, storage);
+  UserHandoff message;
+  message.user = reader.u32();
+  message.slot = reader.u64();
+  message.delta_hits = reader.f64();
+  message.delta_count = reader.u64();
+  message.base_hits = reader.f64();
+  message.base_count = reader.u64();
+  message.qbar_sum = reader.f64();
+  message.qbar_slots = reader.u64();
+  message.bandwidth_mbps = reader.f64();
+  message.bandwidth_observations = reader.u64();
+  message.pose = read_pose(reader);
+  message.pose_slot = reader.u64();
+  const std::uint8_t flags = reader.u8();
+  message.transmit_fraction = reader.f64();
+  if (!reader.done()) throw std::runtime_error("proto: trailing payload bytes");
+  if (flags > 7) {
+    throw std::runtime_error("proto: handoff carries unknown flag bits");
+  }
+  message.has_pose = (flags & 1u) != 0;
+  message.safe_mode = (flags & 2u) != 0;
+  message.pose_stale = (flags & 4u) != 0;
+  validate_user_handoff<std::runtime_error>(message);
   return message;
 }
 

@@ -21,6 +21,15 @@
 //   * DisconnectNotice — client -> server: the session is leaving and
 //     its user slot can be reclaimed.
 //
+// Fleet control plane (fleet::FleetSim, docs/fleet.md):
+//
+//   * UserHandoff — server -> server: one user's carried estimator
+//     state for a live migration or crash failover — the Welford-style
+//     accuracy tallies behind delta_bar_n, the viewed-quality running
+//     mean, the bandwidth EMA, the last pose on record, and the
+//     watchdog flags — so a migrated user's quality trajectory
+//     continues at the destination instead of restarting cold.
+//
 // Every message carries a 1-byte type tag; encode/decode round-trip via
 // the codec's framed wire format. Decoding validates the tag and all
 // invariants (valid quality levels, packet index < count, ...).
@@ -43,6 +52,7 @@ enum class MessageType : std::uint8_t {
   kConnectRequest = 5,
   kAdmitResponse = 6,
   kDisconnectNotice = 7,
+  kUserHandoff = 8,
 };
 
 /// Admission decisions as they appear on the wire (AdmitResponse). The
@@ -116,6 +126,46 @@ struct DisconnectNotice {
                          const DisconnectNotice&) = default;
 };
 
+/// One user's carried server-side state for a migration (see the fleet
+/// section of the header comment). Cross-field invariants, enforced on
+/// both encode and decode:
+///
+///   * hit sums are finite, non-negative, and never exceed their
+///     observation counts (they are sums of {0, 1} outcomes);
+///   * qbar_slots == 0 implies qbar_sum == 0, and qbar_sum never
+///     exceeds qbar_slots x the top quality level;
+///   * bandwidth_mbps is finite and non-negative;
+///   * transmit_fraction lies in [0, 1];
+///   * every pose component is finite, and has_pose == false implies a
+///     default pose with pose_slot == 0 (no phantom pose state);
+///   * the flags byte carries no unknown bits.
+struct UserHandoff {
+  std::uint32_t user = 0;
+  std::uint64_t slot = 0;  ///< Export slot on the source server's timeline.
+  // delta_bar_n tallies (motion::AccuracyEstimator): hit sum + count.
+  double delta_hits = 0.0;
+  std::uint64_t delta_count = 0;
+  // Loss-free base channel tallies (loss-aware mode; zero otherwise).
+  double base_hits = 0.0;
+  std::uint64_t base_count = 0;
+  // Viewed-quality running mean qbar_n: sum + slot count.
+  double qbar_sum = 0.0;
+  std::uint64_t qbar_slots = 0;
+  // Bandwidth EMA state.
+  double bandwidth_mbps = 0.0;
+  std::uint64_t bandwidth_observations = 0;
+  // Last pose on record plus the slot it was reported for.
+  motion::Pose pose;
+  std::uint64_t pose_slot = 0;
+  bool has_pose = false;
+  bool safe_mode = false;
+  bool pose_stale = false;
+  /// EMA of transmitted/full tile-set rate (repetition suppression).
+  double transmit_fraction = 1.0;
+
+  friend bool operator==(const UserHandoff&, const UserHandoff&) = default;
+};
+
 // Encoders: framed buffers ready for the wire.
 Buffer encode(const PoseUpdate& message);
 Buffer encode(const DeliveryAck& message);
@@ -124,6 +174,7 @@ Buffer encode(const TileHeader& message);
 Buffer encode(const ConnectRequest& message);
 Buffer encode(const AdmitResponse& message);
 Buffer encode(const DisconnectNotice& message);
+Buffer encode(const UserHandoff& message);
 
 /// Peeks the type tag of a framed message without fully decoding it.
 /// Throws std::runtime_error on framing/CRC errors or unknown tags.
@@ -138,5 +189,6 @@ TileHeader decode_tile_header(const Buffer& framed);
 ConnectRequest decode_connect_request(const Buffer& framed);
 AdmitResponse decode_admit_response(const Buffer& framed);
 DisconnectNotice decode_disconnect_notice(const Buffer& framed);
+UserHandoff decode_user_handoff(const Buffer& framed);
 
 }  // namespace cvr::proto

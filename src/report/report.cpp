@@ -52,15 +52,38 @@ CsvTable resilience_table(const std::vector<sim::ArmResult>& arms) {
   CsvTable table;
   table.header = {"arm", "user_sample", "fault_slots", "time_to_recover_slots",
                   "qoe_dip", "frames_dropped_in_fault"};
+  // Fleet runs (K > 1) break the rows down by serving server; a
+  // single-server arm (every home_server 0, no migrations) keeps the
+  // exact historical schema.
+  const bool fleet = has_fleet_data(arms);
+  if (fleet) {
+    table.header.push_back("home_server");
+    table.header.push_back("migrations");
+  }
   for (std::size_t a = 0; a < arms.size(); ++a) {
     for (std::size_t i = 0; i < arms[a].outcomes.size(); ++i) {
       const auto& o = arms[a].outcomes[i];
-      table.rows.push_back({static_cast<double>(a), static_cast<double>(i),
-                            o.fault_slots, o.time_to_recover_slots, o.qoe_dip,
-                            o.frames_dropped_in_fault});
+      std::vector<double> row = {static_cast<double>(a),
+                                 static_cast<double>(i), o.fault_slots,
+                                 o.time_to_recover_slots, o.qoe_dip,
+                                 o.frames_dropped_in_fault};
+      if (fleet) {
+        row.push_back(o.home_server);
+        row.push_back(o.migrations);
+      }
+      table.rows.push_back(std::move(row));
     }
   }
   return table;
+}
+
+bool has_fleet_data(const std::vector<sim::ArmResult>& arms) {
+  for (const auto& arm : arms) {
+    for (const auto& o : arm.outcomes) {
+      if (o.home_server != 0.0 || o.migrations != 0.0) return true;
+    }
+  }
+  return false;
 }
 
 bool has_resilience_data(const std::vector<sim::ArmResult>& arms) {

@@ -28,12 +28,20 @@ CsvTable cdf_table(const std::vector<sim::ArmResult>& arms,
 /// docs/resilience.md): arm,user_sample,fault_slots,
 /// time_to_recover_slots,qoe_dip,frames_dropped_in_fault — one row per
 /// outcome per arm. `user_sample` is the outcome's index within the arm
-/// (run-major, user-minor, like outcomes_table rows).
+/// (run-major, user-minor, like outcomes_table rows). When any outcome
+/// carries fleet accounting (has_fleet_data — a K>1 fleet::FleetSim
+/// run), two per-server breakdown columns are appended:
+/// ...,home_server,migrations (docs/fleet.md); single-server arms keep
+/// the exact historical six-column schema.
 CsvTable resilience_table(const std::vector<sim::ArmResult>& arms);
 
 /// True iff any outcome of any arm carries non-zero recovery accounting
 /// (i.e. the arms were produced under a non-empty FaultSchedule).
 bool has_resilience_data(const std::vector<sim::ArmResult>& arms);
+
+/// True iff any outcome carries fleet accounting (non-zero home_server
+/// or migrations — only fleet::FleetSim with K > 1 produces these).
+bool has_fleet_data(const std::vector<sim::ArmResult>& arms);
 
 /// Per-run wall-clock rows: arm,run,wall_ms — one row per entry of each
 /// arm's ArmResult::run_wall_ms (arms without timings contribute no

@@ -30,6 +30,12 @@ struct UserOutcome {
   double time_to_recover_slots = 0.0;   ///< Mean per fault episode.
   double qoe_dip = 0.0;                 ///< Quality-dip depth.
   double frames_dropped_in_fault = 0.0; ///< Missed frames in fault windows.
+
+  // Fleet accounting (fleet::FleetSim runs only; home_server stays 0
+  // and migrations 0 for single-server runs, keeping the legacy
+  // resilience CSV schema when K=1 — see docs/fleet.md).
+  double home_server = 0.0;  ///< Initial consistent-hash assignment.
+  double migrations = 0.0;   ///< Times this user changed servers.
 };
 
 /// All outcomes of one experiment arm (one algorithm across runs).

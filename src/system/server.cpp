@@ -1,6 +1,7 @@
 #include "src/system/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -126,81 +127,195 @@ core::SlotProblem Server::build_problem(std::size_t t) {
   return problem;
 }
 
+void Server::fill_user_context(std::size_t t, std::size_t u,
+                               core::UserSlotContext& ctx) {
+  UserState& user = users_[u];
+
+  // Watchdogs. Both are quiescent in a healthy run: poses refresh
+  // last_pose_slot every upload period and every measurement refreshes
+  // last_feedback_slot, so neither age ever crosses its threshold.
+  const std::size_t pose_age = user.has_pose
+                                   ? t - std::min(t, user.last_pose_slot)
+                                   : t;
+  user.pose_stale = pose_age > config_.pose_staleness_slots;
+  const std::size_t silent = t - std::min(t, user.last_feedback_slot);
+  const bool feedback_stale = silent > config_.feedback_staleness_slots;
+  user.safe_mode = user.pose_stale || feedback_stale;
+  if (user.safe_mode) ++user.safe_mode_slot_count;
+
+  const motion::Pose predicted = predict_pose(u);
+  const content::GridCell cell = clamped_cell(predicted.x, predicted.y);
+  const content::CrfRateFunction f = content_db_.frame_rate_function(cell);
+  double b_hat = user.bandwidth.estimate_mbps();
+  if (feedback_stale) {
+    // Bounded hold, then exponential decay toward the re-probe floor:
+    // an estimate nobody has confirmed for `silent` slots is worth
+    // less every slot it stays unconfirmed.
+    b_hat = net::apply_stale_hold(b_hat, silent, config_.stale_hold);
+  }
+  const double qbar =
+      user.viewed_slots == 0
+          ? 0.0
+          : user.viewed_quality_sum / static_cast<double>(user.viewed_slots);
+
+  ctx.frame_loss.clear();  // recycled entry may carry last slot's table
+  // Loss-aware mode decomposes success into (loss-free base) x
+  // (1 - frame_loss); the published mode folds everything into delta.
+  ctx.delta = config_.loss_aware ? user.base_accuracy.estimate()
+                                 : user.accuracy.estimate();
+  ctx.qbar = qbar;
+  ctx.slot = static_cast<double>(t);
+  ctx.user_bandwidth = b_hat;
+  if (user.safe_mode && config_.safe_mode_pin_level) {
+    // Pin to level 1 through constraint (7): with B_n clamped to the
+    // level-1 rate, no allocator can pick a higher level, so the
+    // faulted user's stale estimates stop competing for the shared
+    // server budget. Level 1 itself is the mandatory minimum and
+    // stays allocated regardless (Allocator contract).
+    ctx.user_bandwidth = std::min(ctx.user_bandwidth, f.rate(1));
+  }
+  for (core::QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
+    const auto idx = static_cast<std::size_t>(q - 1);
+    const double r = f.rate(q);
+    ctx.rate[idx] = r;
+    // A trained delay polynomial describes the regime its samples came
+    // from; after prolonged silence that regime is suspect, so fall
+    // back to the analytic M/M/1 curve on the held bandwidth.
+    ctx.delay[idx] = feedback_stale
+                         ? net::mm1_delay(r, b_hat) * cvr::kSlotMillis
+                         : user.delay.predict_ms(r, b_hat);
+    if (config_.loss_aware) {
+      // Frame-loss estimate at this level: utilisation the level would
+      // induce on the estimated link, times the packets actually at
+      // risk (repetition suppression retransmits only a fraction of
+      // the tile set each slot).
+      const double util = b_hat > 1e-9 ? std::min(1.0, r / b_hat) : 1.0;
+      const double packets = user.transmit_fraction * r *
+                             cvr::kSlotSeconds * 1e6 /
+                             config_.rtp_packet_bits;
+      ctx.frame_loss.push_back(user.loss.frame_loss(util, packets));
+    }
+  }
+}
+
 void Server::build_problem_into(std::size_t t, core::SlotProblem& out) {
   clock_ = t;
   out.params = config_.params;
   out.server_bandwidth = config_.server_bandwidth_mbps;
   out.users.resize(users_.size());
   for (std::size_t u = 0; u < users_.size(); ++u) {
-    UserState& user = users_[u];
+    fill_user_context(t, u, out.users[u]);
+  }
+}
 
-    // Watchdogs. Both are quiescent in a healthy run: poses refresh
-    // last_pose_slot every upload period and every measurement refreshes
-    // last_feedback_slot, so neither age ever crosses its threshold.
-    const std::size_t pose_age = user.has_pose
-                                     ? t - std::min(t, user.last_pose_slot)
-                                     : t;
-    user.pose_stale = pose_age > config_.pose_staleness_slots;
-    const std::size_t silent = t - std::min(t, user.last_feedback_slot);
-    const bool feedback_stale = silent > config_.feedback_staleness_slots;
-    user.safe_mode = user.pose_stale || feedback_stale;
-    if (user.safe_mode) ++user.safe_mode_slot_count;
+void Server::build_problem_for(std::size_t t,
+                               const std::vector<std::size_t>& members,
+                               core::SlotProblem& out) {
+  clock_ = t;
+  out.params = config_.params;
+  out.server_bandwidth = config_.server_bandwidth_mbps;
+  out.users.resize(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    fill_user_context(t, members.at(i), out.users[i]);
+  }
+}
 
+void Server::set_server_bandwidth(double mbps) {
+  if (!std::isfinite(mbps) || mbps < 0.0) {
+    throw std::invalid_argument("Server: invalid server bandwidth");
+  }
+  config_.server_bandwidth_mbps = mbps;
+}
+
+proto::UserHandoff Server::export_handoff(std::size_t u,
+                                          std::size_t slot) const {
+  const UserState& user = users_.at(u);
+  proto::UserHandoff frame;
+  frame.user = static_cast<std::uint32_t>(u);
+  frame.slot = slot;
+  frame.delta_hits = user.accuracy.hit_sum();
+  frame.delta_count = user.accuracy.observations();
+  frame.base_hits = user.base_accuracy.hit_sum();
+  frame.base_count = user.base_accuracy.observations();
+  frame.qbar_sum = user.viewed_quality_sum;
+  frame.qbar_slots = user.viewed_slots;
+  frame.bandwidth_mbps = user.bandwidth.estimate_mbps();
+  frame.bandwidth_observations = user.bandwidth.observations();
+  frame.has_pose = user.has_pose;
+  if (user.has_pose) {
+    frame.pose = user.last_pose;
+    frame.pose_slot = user.last_pose_slot;
+  }
+  frame.safe_mode = user.safe_mode;
+  frame.pose_stale = user.pose_stale;
+  frame.transmit_fraction = std::clamp(user.transmit_fraction, 0.0, 1.0);
+  return frame;
+}
+
+void Server::import_handoff(std::size_t u, const proto::UserHandoff& frame,
+                            std::size_t now_slot) {
+  reset_user(u);
+  UserState& user = users_.at(u);
+  user.accuracy.restore(frame.delta_hits, frame.delta_count);
+  user.base_accuracy.restore(frame.base_hits, frame.base_count);
+  user.bandwidth.restore(frame.bandwidth_mbps, frame.bandwidth_observations);
+  user.viewed_quality_sum = frame.qbar_sum;
+  user.viewed_slots = frame.qbar_slots;
+  user.transmit_fraction = frame.transmit_fraction;
+  user.safe_mode = frame.safe_mode;
+  user.pose_stale = frame.pose_stale;
+  if (frame.has_pose) {
+    user.predictor->observe(frame.pose_slot, frame.pose);
+    user.last_pose = frame.pose;
+    user.has_pose = true;
+    user.last_pose_slot = frame.pose_slot;
+  }
+  user.last_feedback_slot = now_slot;
+  if (config_.adaptive_margin) {
+    user.margin.update(user.accuracy.estimate());
+  }
+}
+
+void Server::reset_user(std::size_t u) {
+  users_.at(u) = UserState(config_);
+}
+
+core::UserSlotContext Server::candidate_context(const proto::UserHandoff& frame,
+                                                std::size_t t) const {
+  motion::AccuracyEstimator accuracy;
+  accuracy.restore(frame.delta_hits, frame.delta_count);
+  motion::AccuracyEstimator base_accuracy;
+  base_accuracy.restore(frame.base_hits, frame.base_count);
+
+  core::UserSlotContext ctx;
+  ctx.delta = config_.loss_aware ? base_accuracy.estimate()
+                                 : accuracy.estimate();
+  ctx.qbar = frame.qbar_slots == 0
+                 ? 0.0
+                 : frame.qbar_sum / static_cast<double>(frame.qbar_slots);
+  ctx.slot = static_cast<double>(t);
+  ctx.user_bandwidth = frame.bandwidth_mbps;
+  const motion::Pose pose = frame.has_pose ? frame.pose : motion::Pose{};
+  const content::GridCell cell = clamped_cell(pose.x, pose.y);
+  const content::CrfRateFunction f = content_db_.frame_rate_function(cell);
+  for (core::QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
+    const auto idx = static_cast<std::size_t>(q - 1);
+    const double r = f.rate(q);
+    ctx.rate[idx] = r;
+    ctx.delay[idx] =
+        net::mm1_delay(r, ctx.user_bandwidth) * cvr::kSlotMillis;
+  }
+  return ctx;
+}
+
+double Server::mandatory_load(const std::vector<std::size_t>& members) const {
+  double total = 0.0;
+  for (std::size_t u : members) {
     const motion::Pose predicted = predict_pose(u);
     const content::GridCell cell = clamped_cell(predicted.x, predicted.y);
-    const content::CrfRateFunction f = content_db_.frame_rate_function(cell);
-    double b_hat = user.bandwidth.estimate_mbps();
-    if (feedback_stale) {
-      // Bounded hold, then exponential decay toward the re-probe floor:
-      // an estimate nobody has confirmed for `silent` slots is worth
-      // less every slot it stays unconfirmed.
-      b_hat = net::apply_stale_hold(b_hat, silent, config_.stale_hold);
-    }
-    const double qbar =
-        user.viewed_slots == 0
-            ? 0.0
-            : user.viewed_quality_sum / static_cast<double>(user.viewed_slots);
-
-    core::UserSlotContext& ctx = out.users[u];
-    ctx.frame_loss.clear();  // recycled entry may carry last slot's table
-    // Loss-aware mode decomposes success into (loss-free base) x
-    // (1 - frame_loss); the published mode folds everything into delta.
-    ctx.delta = config_.loss_aware ? user.base_accuracy.estimate()
-                                   : user.accuracy.estimate();
-    ctx.qbar = qbar;
-    ctx.slot = static_cast<double>(t);
-    ctx.user_bandwidth = b_hat;
-    if (user.safe_mode && config_.safe_mode_pin_level) {
-      // Pin to level 1 through constraint (7): with B_n clamped to the
-      // level-1 rate, no allocator can pick a higher level, so the
-      // faulted user's stale estimates stop competing for the shared
-      // server budget. Level 1 itself is the mandatory minimum and
-      // stays allocated regardless (Allocator contract).
-      ctx.user_bandwidth = std::min(ctx.user_bandwidth, f.rate(1));
-    }
-    for (core::QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
-      const auto idx = static_cast<std::size_t>(q - 1);
-      const double r = f.rate(q);
-      ctx.rate[idx] = r;
-      // A trained delay polynomial describes the regime its samples came
-      // from; after prolonged silence that regime is suspect, so fall
-      // back to the analytic M/M/1 curve on the held bandwidth.
-      ctx.delay[idx] = feedback_stale
-                           ? net::mm1_delay(r, b_hat) * cvr::kSlotMillis
-                           : user.delay.predict_ms(r, b_hat);
-      if (config_.loss_aware) {
-        // Frame-loss estimate at this level: utilisation the level would
-        // induce on the estimated link, times the packets actually at
-        // risk (repetition suppression retransmits only a fraction of
-        // the tile set each slot).
-        const double util = b_hat > 1e-9 ? std::min(1.0, r / b_hat) : 1.0;
-        const double packets = user.transmit_fraction * r *
-                               cvr::kSlotSeconds * 1e6 /
-                               config_.rtp_packet_bits;
-        ctx.frame_loss.push_back(user.loss.frame_loss(util, packets));
-      }
-    }
+    total += content_db_.frame_rate_function(cell).rate(1);
   }
+  return total;
 }
 
 TileRequest Server::make_request(std::size_t u, core::QualityLevel level) {

@@ -25,6 +25,7 @@
 #include "src/motion/margin_controller.h"
 #include "src/net/estimators.h"
 #include "src/net/loss_estimator.h"
+#include "src/proto/messages.h"
 
 namespace cvr::system {
 
@@ -166,6 +167,56 @@ class Server {
   /// SlotArena's problem (see src/core/slot_arena.h).
   void build_problem_into(std::size_t t, core::SlotProblem& out);
 
+  /// Fleet variant (fleet::FleetSim, docs/fleet.md): builds the slot
+  /// problem over an explicit member list instead of every user —
+  /// out.users[i] describes members[i]. Per-user computation is shared
+  /// with build_problem_into, so a full member list produces the
+  /// identical problem. Only listed users advance their watchdog state
+  /// this slot.
+  void build_problem_for(std::size_t t, const std::vector<std::size_t>& members,
+                         core::SlotProblem& out);
+
+  /// Fleet budget hook: replaces the server bandwidth B that
+  /// build_problem* stamps on the slot problem (constraint (6)). The
+  /// controller calls this each slot with the server's share of the
+  /// backhaul budget.
+  void set_server_bandwidth(double mbps);
+  double server_bandwidth() const { return config_.server_bandwidth_mbps; }
+
+  /// Snapshots user `u`'s carried estimator state into a migration
+  /// frame (proto::UserHandoff) stamped with `slot`. transmit_fraction
+  /// is clamped to [0, 1] on export (the fallback-prefetch extension
+  /// can push the raw EMA slightly above 1).
+  proto::UserHandoff export_handoff(std::size_t u, std::size_t slot) const;
+
+  /// Installs a migrated user's carried state into local slot `u`:
+  /// resets the user, restores the accuracy tallies, bandwidth EMA,
+  /// viewed-quality sums, watchdog flags and transmit fraction, and
+  /// seeds the pose predictor with the frame's last pose (observed at
+  /// its original pose_slot, so staleness keeps its meaning). The
+  /// feedback clock restarts at `now_slot` — the destination has no
+  /// measurement silence to hold against the user. Tile caches,
+  /// delivered-tile trackers, and the delay/loss regressors start cold:
+  /// they describe the source server's link, not this one.
+  void import_handoff(std::size_t u, const proto::UserHandoff& frame,
+                      std::size_t now_slot);
+
+  /// Returns user `u` to the freshly-constructed state (all estimators
+  /// at their priors). The fleet controller calls this on a crashed
+  /// server's members — the crash wiped that state.
+  void reset_user(std::size_t u);
+
+  /// Admission pricing for a migration candidate: the slot context the
+  /// carried state would produce at slot `t`, without touching any
+  /// per-user state. Delay uses the analytic M/M/1 fallback (a
+  /// candidate has no trained regressor here yet).
+  core::UserSlotContext candidate_context(const proto::UserHandoff& frame,
+                                          std::size_t t) const;
+
+  /// Sum of the mandatory level-1 rates of `members` at their predicted
+  /// cells — the admission controller's committed-load input.
+  double mandatory_load(const std::vector<std::size_t>& members) const;
+
   /// Generates user `u`'s tile request at `level` for its predicted
   /// pose: predicted-FoV tiles at that level, minus already-delivered
   /// ones, priced via the content DB (also advances the tile cache).
@@ -226,6 +277,9 @@ class Server {
   };
 
   content::GridCell clamped_cell(double x, double y) const;
+  /// Shared per-user body of build_problem_into / build_problem_for.
+  void fill_user_context(std::size_t t, std::size_t u,
+                         core::UserSlotContext& ctx);
 
   ServerConfig config_;
   content::ContentDb content_db_;

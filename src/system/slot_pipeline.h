@@ -1,0 +1,134 @@
+// The per-slot machinery shared by system::SystemSim (one server) and
+// fleet::FleetSim (K servers behind a controller; docs/fleet.md).
+//
+// SystemSim::run was one long loop; the fleet refactor splits it into
+// reusable pieces — world construction, the access network, and the
+// per-user serve/feedback path — WITHOUT changing a single operation or
+// its order. SystemSim::run is now a thin composition of these helpers
+// and stays bit-identical to the pre-refactor loop (guarded by the
+// fleet_k1_identity test); FleetSim composes the same helpers per
+// serving server, which is what makes "a K=1 fleet with an empty
+// schedule is bit-identical to SystemSim" provable rather than hoped.
+//
+// Layering: the access network (routers, throttles) is keyed by user
+// and does not move when a user migrates between edge servers — the
+// radio link is where the user is, the compute is wherever the fleet
+// controller says. Only the serving Server changes hands.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/allocator.h"
+#include "src/core/qoe.h"
+#include "src/faults/recovery.h"
+#include "src/net/ack_channel.h"
+#include "src/net/rtp_transport.h"
+#include "src/net/wireless_channel.h"
+#include "src/proto/messages.h"
+#include "src/system/client.h"
+#include "src/system/server.h"
+#include "src/system/system_sim.h"
+#include "src/system/timeline.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/rng.h"
+
+namespace cvr::system {
+
+/// One user's client-side world: motion trace, device, transport, QoE
+/// and recovery accounting, plus the TCP side channels ACKs ride.
+struct UserWorld {
+  motion::MotionTrace trace;
+  Client client;
+  net::RtpTransport transport;
+  core::UserQoeAccumulator qoe;
+  std::size_t hits = 0;
+  // ACKs ride a zero-latency side channel so a fault can black it
+  // out; with no blackout the send/receive round-trip inside one slot
+  // is exactly the old direct call.
+  net::AckChannel<proto::DeliveryAck> delivery_channel{0};
+  net::AckChannel<proto::ReleaseAck> release_channel{0};
+  faults::RecoveryTracker recovery;
+};
+
+/// The user-keyed radio access layer: which router each user sits
+/// behind, the per-router member lists, and the routers themselves.
+struct AccessNetwork {
+  std::vector<std::size_t> router_of;
+  std::vector<std::vector<std::size_t>> router_users;
+  std::vector<net::Router> routers;
+};
+
+/// The single-server config derived from a sim config: nominal
+/// aggregate bandwidth across all routers, pose-staleness threshold
+/// kept clear of the upload period.
+ServerConfig derive_server_config(const SystemSimConfig& config);
+
+/// Builds every user's world for one repeat — deterministic in
+/// (config.seed, repeat) and independent of server topology.
+std::vector<UserWorld> build_user_worlds(const SystemSimConfig& config,
+                                         std::size_t repeat);
+
+/// Draws per-user TC throttles from `rng` (the shared measurement RNG —
+/// these are its first draws of the repeat), assigns users to routers,
+/// and constructs the routers with their per-repeat seeds.
+AccessNetwork build_access_network(const SystemSimConfig& config,
+                                   std::size_t repeat, cvr::Rng& rng);
+
+/// Read-only bundle threaded through the per-user serve path.
+struct SlotContext {
+  const SystemSimConfig* config = nullptr;
+  Server* server = nullptr;  ///< The server serving this user this slot.
+  motion::FovSpec unmargined; ///< Ground-truth FoV (margin stripped).
+  telemetry::Collector* telemetry = nullptr;
+  Timeline* timeline = nullptr;
+  cvr::Rng* rng = nullptr;   ///< Shared measurement-noise stream.
+};
+
+/// Applies the slot's router fault multipliers and steps every router.
+void step_routers(AccessNetwork& net, const faults::FaultSchedule& faults,
+                  std::size_t t);
+
+/// One pose upload over the wire format (encode -> decode -> on_pose),
+/// for the pose user `u` reported at slot t-1.
+void upload_pose(Server& server, const UserWorld& world, std::size_t u,
+                 std::size_t t, telemetry::Collector* telemetry);
+
+/// Router service for the slot: per-router demand gather, serve, and
+/// grant scatter back to user indexing.
+std::vector<double> serve_routers(AccessNetwork& net,
+                                  const std::vector<TileRequest>& requests,
+                                  telemetry::Collector* telemetry,
+                                  std::int64_t slot);
+
+/// The live per-user capacity of the router serving `u`.
+double router_capacity_for(const AccessNetwork& net, std::size_t u);
+
+/// The slot outcome of a user who is off the network (disconnected
+/// fault) or orphaned by a crashed edge server: nothing delivered,
+/// nothing displayed, no feedback; the chosen level still enters the
+/// level average with zero displayed quality and the missed frame
+/// depresses FPS naturally. Always counts as a fault slot.
+void serve_absent_user(const SlotContext& ctx, std::size_t u, std::size_t t,
+                       UserWorld& world, core::QualityLevel level,
+                       double delta_estimate, double bandwidth_estimate);
+
+/// The full serve/display/feedback path of one connected user for one
+/// slot: realized delay, RTP transmission, ground-truth coverage,
+/// decode, footnote-1 fallback, QoE + recovery accounting, and the
+/// feedback channels back to the serving server (unless ack-stalled).
+/// Consumes exactly one draw from ctx.rng when not ack-stalled (the
+/// bandwidth measurement's multiplicative noise).
+void serve_connected_user(const SlotContext& ctx, std::size_t u, std::size_t t,
+                          UserWorld& world, const TileRequest& request,
+                          core::QualityLevel level, double granted,
+                          double capacity, bool ack_stalled, bool in_fault,
+                          double delta_estimate, double bandwidth_estimate);
+
+/// Folds a finished world into its sim::UserOutcome (QoE, hit rate,
+/// FPS, recovery accounting).
+sim::UserOutcome finalize_user_outcome(UserWorld& world,
+                                       const SystemSimConfig& config);
+
+}  // namespace cvr::system

@@ -1,16 +1,11 @@
 #include "src/system/system_sim.h"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "src/core/slot_arena.h"
-#include "src/faults/recovery.h"
-#include "src/net/ack_channel.h"
-#include "src/net/mm1.h"
-#include "src/proto/messages.h"
+#include "src/system/slot_pipeline.h"
 #include "src/util/rng.h"
-#include "src/util/units.h"
 
 namespace cvr::system {
 
@@ -51,7 +46,6 @@ std::vector<sim::UserOutcome> SystemSim::run(
     core::Allocator& allocator, std::size_t repeat, Timeline* timeline,
     telemetry::Collector* telemetry) const {
   const std::size_t n_users = config_.users;
-  const std::size_t n_routers = config_.routers;
   allocator.reset();
   if (telemetry != nullptr && !telemetry->counting()) telemetry = nullptr;
   if (telemetry != nullptr && telemetry->tracing()) {
@@ -66,83 +60,18 @@ std::vector<sim::UserOutcome> SystemSim::run(
                         (0x5957E3Cull + repeat * 0x9E3779B97F4A7C15ull));
   cvr::Rng rng(mixer.next());
 
-  // Randomly assign TC throttles from the pool (Section VI).
-  std::vector<double> throttles(n_users);
-  for (std::size_t u = 0; u < n_users; ++u) {
-    const auto pick = static_cast<std::size_t>(rng.uniform_int(
-        0, static_cast<std::int64_t>(config_.throttle_pool_mbps.size()) - 1));
-    throttles[u] = config_.throttle_pool_mbps[pick];
-  }
+  AccessNetwork net = build_access_network(config_, repeat, rng);
+  Server server(derive_server_config(config_), n_users);
+  std::vector<UserWorld> worlds = build_user_worlds(config_, repeat);
 
-  // Users onto routers: the paper's contiguous group split, or
-  // round-robin interleaving.
-  std::vector<std::size_t> router_of(n_users);
-  std::vector<std::vector<std::size_t>> router_users(n_routers);
-  const std::size_t group = (n_users + n_routers - 1) / n_routers;
-  for (std::size_t u = 0; u < n_users; ++u) {
-    const std::size_t r =
-        config_.router_assignment == RouterAssignment::kSplit
-            ? std::min(u / group, n_routers - 1)
-            : u % n_routers;
-    router_of[u] = r;
-    router_users[r].push_back(u);
-  }
-  std::vector<net::Router> routers;
-  routers.reserve(n_routers);
-  for (std::size_t r = 0; r < n_routers; ++r) {
-    std::vector<double> member_throttles;
-    for (std::size_t u : router_users[r]) member_throttles.push_back(throttles[u]);
-    routers.emplace_back(config_.router_aggregate_mbps,
-                         std::move(member_throttles), config_.channel,
-                         config_.seed + 7919 * (repeat + 1) + r);
-  }
-
-  // Server with the nominal aggregate the operator knows (Section VI).
-  ServerConfig server_config = config_.server;
-  server_config.server_bandwidth_mbps =
-      config_.router_aggregate_mbps * static_cast<double>(n_routers);
-  // A sparse-but-healthy pose cadence must never look like a blackout:
-  // keep the staleness threshold clear of the configured upload period.
-  server_config.pose_staleness_slots =
-      std::max(server_config.pose_staleness_slots,
-               2 * config_.pose_upload_period + 2);
-  Server server(server_config, n_users);
-
-  motion::MotionGenerator motion_gen(config_.motion);
-  motion::FovSpec unmargined = server_config.fov;
-  unmargined.margin_deg = 0.0;
-
-  struct UserWorld {
-    motion::MotionTrace trace;
-    Client client;
-    net::RtpTransport transport;
-    core::UserQoeAccumulator qoe;
-    std::size_t hits = 0;
-    // ACKs ride a zero-latency side channel so a fault can black it
-    // out; with no blackout the send/receive round-trip inside one slot
-    // is exactly the old direct call.
-    net::AckChannel<proto::DeliveryAck> delivery_channel{0};
-    net::AckChannel<proto::ReleaseAck> release_channel{0};
-    faults::RecoveryTracker recovery;
-  };
-  std::vector<UserWorld> worlds;
-  worlds.reserve(n_users);
-  for (std::size_t u = 0; u < n_users; ++u) {
-    // Lecture mode: everyone replays the teacher's (user 0's) motion.
-    const std::uint64_t motion_user = config_.lecture_mode ? 0 : u;
-    const ClientConfig client_config =
-        config_.devices.empty()
-            ? config_.client
-            : config_.devices[u % config_.devices.size()].client_config(
-                  config_.client.display_deadline_ms);
-    worlds.push_back(UserWorld{
-        motion_gen.generate(config_.seed + 5000 * (repeat + 1), motion_user,
-                            config_.slots),
-        Client(client_config),
-        net::RtpTransport(config_.rtp,
-                          config_.seed + 31 * (repeat + 1) + 1000 + u),
-        core::UserQoeAccumulator(), 0});
-  }
+  SlotContext ctx;
+  ctx.config = &config_;
+  ctx.server = &server;
+  ctx.unmargined = derive_server_config(config_).fov;
+  ctx.unmargined.margin_deg = 0.0;
+  ctx.telemetry = telemetry;
+  ctx.timeline = timeline;
+  ctx.rng = &rng;
 
   const faults::FaultSchedule& faults = config_.faults;
 
@@ -157,11 +86,7 @@ std::vector<sim::UserOutcome> SystemSim::run(
     const std::int64_t slot = static_cast<std::int64_t>(t);
     telemetry::PhaseSpan slot_span(telemetry, telemetry::Phase::kSlot,
                                    telemetry::Collector::kServerPid, slot);
-    for (std::size_t r = 0; r < n_routers; ++r) {
-      routers[r].set_capacity_multiplier(
-          faults.router_capacity_multiplier(r, t));
-      routers[r].step();
-    }
+    step_routers(net, faults, t);
 
     // Server crash-restart: warm tile caches and delivered-tile state
     // vanish; estimators survive (the process kept its learned state,
@@ -183,16 +108,7 @@ std::vector<sim::UserOutcome> SystemSim::run(
         if (faults.user_disconnected(u, t) || faults.pose_blackout(u, t)) {
           continue;
         }
-        proto::PoseUpdate upload;
-        upload.user = static_cast<std::uint32_t>(u);
-        upload.slot = t - 1;
-        upload.pose = worlds[u].trace[t - 1];
-        const proto::PoseUpdate received =
-            proto::decode_pose_update(proto::encode(upload));
-        server.on_pose(received.user, received.slot, received.pose);
-        if (telemetry != nullptr) {
-          telemetry->count(telemetry::Counter::kPoseUploads);
-        }
+        upload_pose(server, worlds[u], u, t, telemetry);
       }
     }
 
@@ -259,271 +175,24 @@ std::vector<sim::UserOutcome> SystemSim::run(
         }
       }
     }
-    std::vector<double> granted(n_users, 0.0);
-    {
-      telemetry::PhaseSpan serve_span(telemetry, telemetry::Phase::kTransport,
-                                      telemetry::Collector::kServerPid, slot);
-      for (std::size_t r = 0; r < n_routers; ++r) {
-        std::vector<double> demands;
-        demands.reserve(router_users[r].size());
-        for (std::size_t u : router_users[r]) {
-          demands.push_back(requests[u].demand_mbps);
-        }
-        const auto grants = routers[r].serve(demands);
-        for (std::size_t i = 0; i < router_users[r].size(); ++i) {
-          granted[router_users[r][i]] = grants[i];
-        }
-      }
-    }
+    const std::vector<double> granted =
+        serve_routers(net, requests, telemetry, slot);
 
     for (std::size_t u = 0; u < n_users; ++u) {
       UserWorld& world = worlds[u];
       const bool disconnected = faults.user_disconnected(u, t);
-      const bool ack_stalled = faults.ack_stalled(u, t);
-      const bool in_fault = faults.any_fault_for_user(u, router_of[u], t);
       if (disconnected) {
-        // Off the network: nothing delivered, nothing displayed, no
-        // feedback of any kind. The chosen level still enters the level
-        // average (the allocator did budget for it) with zero displayed
-        // quality; the missed frame depresses FPS naturally.
-        world.qoe.record_displayed(allocation.levels[u], 0.0, 0.0);
-        world.recovery.record_slot(true, false, 0.0, false);
-        if (timeline != nullptr) {
-          SlotRecord record;
-          record.slot = t;
-          record.user = u;
-          record.level = allocation.levels[u];
-          record.delta_estimate = problem.users[u].delta;
-          record.bandwidth_estimate_mbps = problem.users[u].user_bandwidth;
-          timeline->add(record);
-        }
+        serve_absent_user(ctx, u, t, world, allocation.levels[u],
+                          problem.users[u].delta,
+                          problem.users[u].user_bandwidth);
         continue;
       }
-      const TileRequest& request = requests[u];
-      const net::Router& router = routers[router_of[u]];
-      const double capacity = [&] {
-        const auto& members = router_users[router_of[u]];
-        const auto it = std::find(members.begin(), members.end(), u);
-        return router.per_user_capacity(
-            static_cast<std::size_t>(it - members.begin()));
-      }();
-
-      // Realized delivery delay (ms): M/M/1 on the live link if the
-      // router granted the full demand, saturated otherwise.
-      double delay_ms = 0.0;
-      if (request.demand_mbps > 1e-9) {
-        const bool fully_granted =
-            granted[u] + 1e-9 >= request.demand_mbps;
-        delay_ms = fully_granted
-                       ? net::mm1_delay(request.demand_mbps, capacity)
-                       : net::kSaturatedDelay;
-      }
-
-      // RTP transmission of each (filtered) tile.
-      const double utilization =
-          capacity > 1e-9
-              ? std::clamp(request.demand_mbps / capacity, 0.0, 1.0)
-              : 1.0;
-      SlotDelivery delivery;
-      delivery.delay_ms = delay_ms;
-      delivery.tiles = request.tiles;
-      delivery.complete.reserve(request.tiles.size());
-      std::uint64_t slot_packets = 0;
-      std::uint64_t slot_lost = 0;
-      double retx_delay_ms = 0.0;
-      {
-        telemetry::PhaseSpan tx_span(telemetry, telemetry::Phase::kTransport,
-                                     telemetry::Collector::user_pid(u), slot);
-        for (content::VideoId id : request.tiles) {
-          const double megabits = server.content_db().tile_size_megabits(
-              content::unpack_video_id(id));
-          const auto tx =
-              config_.retransmit_rounds > 0
-                  ? world.transport.send_tile_with_retx(
-                        megabits, utilization, config_.retransmit_rounds,
-                        granted[u])
-                  : world.transport.send_tile(megabits, utilization);
-          slot_packets += tx.packets + tx.retransmitted;
-          slot_lost += tx.lost_packets;
-          retx_delay_ms = std::max(retx_delay_ms, tx.extra_delay_ms);
-          delivery.complete.push_back(tx.complete());
-        }
-      }
-      delivery.delay_ms += retx_delay_ms;
-      delay_ms += retx_delay_ms;
-      if (telemetry != nullptr) {
-        telemetry->count(telemetry::Counter::kPacketsSent, slot_packets);
-        telemetry->count(telemetry::Counter::kPacketsLost, slot_lost);
-      }
-
-      // Ground truth for this frame (evaluated against the margin
-      // actually delivered, which may be per-user when adaptive).
-      const motion::Pose& actual = world.trace[t];
-      motion::Pose predicted;
-      motion::FovSpec user_fov;
-      bool coverage_hit = false;
-      {
-        telemetry::PhaseSpan predict_span(telemetry,
-                                          telemetry::Phase::kPredict,
-                                          telemetry::Collector::user_pid(u),
-                                          slot);
-        predicted = server.predict_pose(u);
-        user_fov = server.fov_for(u);
-        coverage_hit = motion::covers(user_fov, predicted, actual);
-      }
-
-      // Needed tiles: the actual FoV's (unmargined) tile indices, looked
-      // up at the *delivered* cell, gated separately by the position
-      // tolerance (footnote 1: the margin never fixes position misses).
-      const bool position_ok =
-          predicted.position_distance(actual) <= user_fov.position_tolerance_m;
-      std::vector<content::VideoId> needed;
-      if (!request.full_set.empty()) {
-        const content::TileKey delivered_key =
-            content::unpack_video_id(request.full_set.front());
-        for (int tile : content::tiles_for_view(unmargined, actual)) {
-          needed.push_back(content::pack_video_id(
-              {delivered_key.cell, tile, allocation.levels[u]}));
-        }
-      }
-
-      DisplayOutcome outcome;
-      {
-        telemetry::PhaseSpan decode_span(telemetry, telemetry::Phase::kDecode,
-                                         telemetry::Collector::user_pid(u),
-                                         slot);
-        outcome = world.client.process_slot(delivery, needed);
-      }
-      const bool viewed = outcome.correct_content && position_ok;
-
-      // Footnote-1 fallback: on a position miss, the frame can still
-      // show the prefetched next cell at level 1 if the user actually
-      // moved there and its tiles are resident.
-      double displayed_quality =
-          viewed ? static_cast<double>(allocation.levels[u]) : 0.0;
-      if (!viewed && outcome.frame_on_time && !request.fallback_set.empty()) {
-        const content::TileKey fallback_key =
-            content::unpack_video_id(request.fallback_set.front());
-        const double cell_m = content::kGridCellMeters;
-        const double fx = fallback_key.cell.gx * cell_m;
-        const double fy = fallback_key.cell.gy * cell_m;
-        const double dist = std::hypot(actual.x - fx, actual.y - fy);
-        const bool orientation_ok =
-            std::abs(motion::angular_difference(predicted.yaw, actual.yaw)) <=
-                user_fov.margin_deg &&
-            std::abs(predicted.pitch - actual.pitch) <= user_fov.margin_deg;
-        if (dist <= user_fov.position_tolerance_m && orientation_ok) {
-          bool resident = true;
-          for (int tile : content::tiles_for_view(unmargined, actual)) {
-            if (!world.client.buffer().contains(content::pack_video_id(
-                    {fallback_key.cell, tile, 1}))) {
-              resident = false;
-              break;
-            }
-          }
-          if (resident) displayed_quality = 1.0;
-        }
-      }
-
-      // QoE bookkeeping (accounting delay capped; see config).
-      world.qoe.record_displayed(
-          allocation.levels[u], displayed_quality,
-          std::min(delay_ms, config_.delay_accounting_cap_ms));
-      if (coverage_hit) ++world.hits;
-      world.recovery.record_slot(in_fault, viewed, displayed_quality,
-                                 outcome.frame_on_time);
-      if (telemetry != nullptr) {
-        if (coverage_hit) telemetry->count(telemetry::Counter::kCoverageHits);
-        if (outcome.frame_on_time) {
-          telemetry->count(telemetry::Counter::kFramesOnTime);
-        }
-      }
-      telemetry::PhaseSpan feedback_span(telemetry,
-                                         telemetry::Phase::kFeedback,
-                                         telemetry::Collector::user_pid(u),
-                                         slot);
-
-      // Feedback to the server. The coverage outcome the real client can
-      // report is whether the *delivered* portion covered what the user
-      // actually saw — prediction misses AND loss/deadline casualties
-      // both surface here. Feeding the realized outcome into delta_bar
-      // is the negative-feedback loop that makes the delta-aware
-      // allocator robust to network degradation (Fig. 8) while
-      // delta-oblivious baselines keep overcommitting.
-      if (!ack_stalled) {
-        server.on_coverage_outcome(u, viewed);
-        // Loss-free base channel for the loss-aware decomposition:
-        // prediction covered AND the frame displayed on time.
-        server.on_base_outcome(u, coverage_hit && outcome.frame_on_time);
-        server.on_displayed_quality(u, displayed_quality);
-      } else {
-        // The TCP side channel's socket is down: every client->server
-        // measurement this slot is lost, and so are in-flight ACKs. The
-        // server's feedback-silence watchdog covers the gap.
-        world.delivery_channel.drop_until(t + 1);
-        world.release_channel.drop_until(t + 1);
-      }
-      // ACKs cross the TCP side channel in wire format; with the default
-      // zero-latency channel a healthy slot's send/receive round-trip is
-      // exactly a direct delivery.
-      if (!outcome.delivery_acks.empty()) {
-        proto::DeliveryAck ack;
-        ack.user = static_cast<std::uint32_t>(u);
-        ack.slot = t;
-        ack.tiles = outcome.delivery_acks;
-        world.delivery_channel.send(
-            t, proto::decode_delivery_ack(proto::encode(ack)));
-      }
-      if (!outcome.release_acks.empty()) {
-        proto::ReleaseAck ack;
-        ack.user = static_cast<std::uint32_t>(u);
-        ack.slot = t;
-        ack.tiles = outcome.release_acks;
-        world.release_channel.send(
-            t, proto::decode_release_ack(proto::encode(ack)));
-      }
-      for (const proto::DeliveryAck& ack : world.delivery_channel.receive(t)) {
-        server.on_delivery_acks(u, ack.tiles);
-      }
-      for (const proto::ReleaseAck& ack : world.release_channel.receive(t)) {
-        server.on_release_acks(u, ack.tiles);
-      }
-      if (!ack_stalled) {
-        if (request.demand_mbps > 1e-9) {
-          server.on_delay_sample(
-              u, request.demand_mbps,
-              std::min(delay_ms, config_.delay_measurement_window_ms));
-        }
-        if (slot_packets > 0) {
-          server.on_loss_sample(u, utilization,
-                                static_cast<double>(slot_lost) /
-                                    static_cast<double>(slot_packets));
-        }
-        // Bandwidth measurement: the achieved rate during the busy
-        // period tracks the live capacity, observed with multiplicative
-        // noise.
-        const double measured =
-            capacity * rng.lognormal(0.0, config_.bandwidth_measurement_sigma);
-        server.on_bandwidth_sample(u, measured);
-      }
-
-      if (timeline != nullptr) {
-        SlotRecord record;
-        record.slot = t;
-        record.user = u;
-        record.level = allocation.levels[u];
-        record.delta_estimate = problem.users[u].delta;
-        record.bandwidth_estimate_mbps = problem.users[u].user_bandwidth;
-        record.demand_mbps = request.demand_mbps;
-        record.granted_mbps = granted[u];
-        record.capacity_mbps = capacity;
-        record.delay_ms = delay_ms;
-        record.packets = slot_packets;
-        record.packets_lost = slot_lost;
-        record.frame_on_time = outcome.frame_on_time;
-        record.displayed_quality = displayed_quality;
-        timeline->add(record);
-      }
+      const bool ack_stalled = faults.ack_stalled(u, t);
+      const bool in_fault = faults.any_fault_for_user(u, net.router_of[u], t);
+      serve_connected_user(ctx, u, t, world, requests[u], allocation.levels[u],
+                           granted[u], router_capacity_for(net, u),
+                           ack_stalled, in_fault, problem.users[u].delta,
+                           problem.users[u].user_bandwidth);
     }
     if (telemetry != nullptr) telemetry->count(telemetry::Counter::kSlots);
   }
@@ -531,20 +200,7 @@ std::vector<sim::UserOutcome> SystemSim::run(
   std::vector<sim::UserOutcome> outcomes;
   outcomes.reserve(n_users);
   for (auto& world : worlds) {
-    const double hit_rate =
-        static_cast<double>(world.hits) / static_cast<double>(config_.slots);
-    const double fps = static_cast<double>(world.client.frames_displayed()) /
-                       static_cast<double>(config_.slots) / cvr::kSlotSeconds;
-    sim::UserOutcome outcome = sim::make_outcome(
-        world.qoe, config_.server.params, hit_rate, fps);
-    world.recovery.finalize();
-    outcome.fault_slots = static_cast<double>(world.recovery.fault_slots());
-    outcome.time_to_recover_slots =
-        world.recovery.mean_time_to_recover_slots();
-    outcome.qoe_dip = world.recovery.quality_dip_depth();
-    outcome.frames_dropped_in_fault =
-        static_cast<double>(world.recovery.frames_dropped_in_fault());
-    outcomes.push_back(outcome);
+    outcomes.push_back(finalize_user_outcome(world, config_));
   }
   return outcomes;
 }

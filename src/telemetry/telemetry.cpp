@@ -105,6 +105,18 @@ const char* counter_name(Counter counter) {
       return "svc_rejected";
     case Counter::kDeadlineMisses:
       return "svc_deadline_misses";
+    case Counter::kFleetServerCrashes:
+      return "fleet_server_crashes";
+    case Counter::kFleetMigrations:
+      return "fleet_migrations";
+    case Counter::kFleetHandoffFrames:
+      return "fleet_handoff_frames";
+    case Counter::kFleetRetryAttempts:
+      return "fleet_retry_attempts";
+    case Counter::kFleetMigrationRejects:
+      return "fleet_migration_rejects";
+    case Counter::kFleetOrphanUserSlots:
+      return "fleet_orphan_user_slots";
   }
   return "unknown";
 }

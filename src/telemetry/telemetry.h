@@ -77,8 +77,17 @@ enum class Counter : std::uint8_t {
   kSessionsDegraded,  ///< "svc_degraded" (load service)
   kSessionsRejected,  ///< "svc_rejected" (load service)
   kDeadlineMisses,    ///< "svc_deadline_misses" (load service)
+  // Fleet controller counters (fleet::FleetSim). Deterministic products
+  // of (config, seed) like the svc_ family: the fleet perf gate runs
+  // perf_gate.py --service-prefix fleet_ for bit-exact agreement.
+  kFleetServerCrashes,    ///< "fleet_server_crashes"
+  kFleetMigrations,       ///< "fleet_migrations"
+  kFleetHandoffFrames,    ///< "fleet_handoff_frames"
+  kFleetRetryAttempts,    ///< "fleet_retry_attempts"
+  kFleetMigrationRejects, ///< "fleet_migration_rejects"
+  kFleetOrphanUserSlots,  ///< "fleet_orphan_user_slots"
 };
-inline constexpr std::size_t kCounterCount = 14;
+inline constexpr std::size_t kCounterCount = 20;
 const char* counter_name(Counter counter);
 
 class PhaseSpan;

@@ -183,6 +183,84 @@ TEST(GenerateSchedule, RejectsBadConfigs) {
   EXPECT_THROW(generate_schedule(config), std::invalid_argument);
 }
 
+TEST(FaultSchedule, ServerCrashIsScopedToItsServer) {
+  FaultSchedule schedule;
+  schedule.add(make_event(FaultType::kServerCrash, 1, 100, 50));
+  EXPECT_FALSE(schedule.server_crashed(1, 99));
+  EXPECT_TRUE(schedule.server_crashed(1, 100));
+  EXPECT_TRUE(schedule.server_crashed(1, 149));
+  EXPECT_FALSE(schedule.server_crashed(1, 150));  // restart slot
+  EXPECT_FALSE(schedule.server_crashed(0, 120));  // wrong server
+  // Server events never count as per-user faults: membership is the
+  // fleet controller's state, not the schedule's.
+  EXPECT_FALSE(schedule.any_fault_for_user(0, 0, 120));
+}
+
+TEST(FaultSchedule, ServerRecoverTruncatesTheFirstCoveringCrash) {
+  FaultSchedule schedule;
+  schedule.add(make_event(FaultType::kServerCrash, 0, 100, 200));
+  schedule.add(make_event(FaultType::kServerRecover, 0, 140, 1));
+  EXPECT_TRUE(schedule.server_crashed(0, 120));
+  EXPECT_TRUE(schedule.server_crashed(0, 139));
+  EXPECT_FALSE(schedule.server_crashed(0, 140));  // restarted early
+  EXPECT_FALSE(schedule.server_crashed(0, 250));
+  // A recover for another server truncates nothing.
+  FaultSchedule other;
+  other.add(make_event(FaultType::kServerCrash, 0, 100, 200));
+  other.add(make_event(FaultType::kServerRecover, 1, 140, 1));
+  EXPECT_TRUE(other.server_crashed(0, 150));
+  // A recover with no covering crash is inert.
+  FaultSchedule inert;
+  inert.add(make_event(FaultType::kServerRecover, 0, 40, 1));
+  EXPECT_FALSE(inert.server_crashed(0, 40));
+}
+
+TEST(FaultSchedule, ServerPartitionIsItsOwnQuery) {
+  FaultSchedule schedule;
+  schedule.add(make_event(FaultType::kFleetPartition, 2, 10, 20));
+  EXPECT_TRUE(schedule.server_partitioned(2, 15));
+  EXPECT_FALSE(schedule.server_partitioned(2, 30));
+  EXPECT_FALSE(schedule.server_partitioned(1, 15));
+  EXPECT_FALSE(schedule.server_crashed(2, 15));  // partition != crash
+}
+
+TEST(GenerateSchedule, ZeroServersIsByteIdenticalToLegacyOutput) {
+  FaultScheduleConfig legacy;
+  legacy.intensity = 2.0;
+  ASSERT_EQ(legacy.servers, 0u);  // the default keeps the old stream
+
+  FaultScheduleConfig fleet = legacy;
+  fleet.servers = 3;
+  const FaultSchedule fleet_schedule = generate_schedule(fleet);
+  const FaultSchedule legacy_schedule = generate_schedule(legacy);
+  const auto& with_servers = fleet_schedule.events();
+  const auto& without = legacy_schedule.events();
+
+  // Fleet draws are appended after every legacy draw: stripping the
+  // server-scoped events recovers the legacy stream event-for-event.
+  std::vector<FaultEvent> stripped;
+  for (const FaultEvent& e : with_servers) {
+    if (e.type == FaultType::kServerCrash ||
+        e.type == FaultType::kServerRecover ||
+        e.type == FaultType::kFleetPartition) {
+      EXPECT_LT(e.target, fleet.servers);
+      continue;
+    }
+    stripped.push_back(e);
+  }
+  ASSERT_EQ(stripped.size(), without.size());
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(stripped[i].type),
+              static_cast<int>(without[i].type));
+    EXPECT_EQ(stripped[i].target, without[i].target);
+    EXPECT_EQ(stripped[i].start_slot, without[i].start_slot);
+    EXPECT_EQ(stripped[i].duration_slots, without[i].duration_slots);
+    EXPECT_EQ(stripped[i].severity, without[i].severity);
+  }
+  // And the fleet path does generate server events at this intensity.
+  EXPECT_GT(with_servers.size(), without.size());
+}
+
 TEST(RecoveryTracker, HealthyRunStaysAllZero) {
   RecoveryTracker tracker;
   for (int i = 0; i < 100; ++i) tracker.record_slot(false, true, 3.0, true);

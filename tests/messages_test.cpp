@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "src/util/rng.h"
 
 namespace cvr::proto {
@@ -169,6 +172,90 @@ TEST(Messages, DisconnectNoticeRoundTrip) {
   const Buffer wire = encode(message);
   EXPECT_EQ(peek_type(wire), MessageType::kDisconnectNotice);
   EXPECT_EQ(decode_disconnect_notice(wire), message);
+}
+
+UserHandoff sample_handoff() {
+  UserHandoff message;
+  message.user = 4;
+  message.slot = 321;
+  message.delta_hits = 17.0;
+  message.delta_count = 40;
+  message.base_hits = 20.5;
+  message.base_count = 40;
+  message.qbar_sum = 123.25;
+  message.qbar_slots = 64;
+  message.bandwidth_mbps = 47.5;
+  message.bandwidth_observations = 300;
+  message.pose = {1.0, -2.0, 0.5, 10.0, -5.0, 0.25};
+  message.pose_slot = 320;
+  message.has_pose = true;
+  message.safe_mode = true;
+  message.pose_stale = false;
+  message.transmit_fraction = 0.625;
+  return message;
+}
+
+TEST(Messages, UserHandoffRoundTrip) {
+  const UserHandoff message = sample_handoff();
+  const Buffer wire = encode(message);
+  EXPECT_EQ(peek_type(wire), MessageType::kUserHandoff);
+  EXPECT_EQ(decode_user_handoff(wire), message);
+  // Canonical: re-encoding reproduces the bytes.
+  EXPECT_EQ(encode(decode_user_handoff(wire)), wire);
+  // The all-defaults frame (a cold user) is valid too.
+  const UserHandoff cold;
+  EXPECT_EQ(decode_user_handoff(encode(cold)), cold);
+}
+
+TEST(Messages, UserHandoffCrossFieldInvariantsEnforcedOnEncode) {
+  UserHandoff bad = sample_handoff();
+  bad.delta_hits = 41.0;  // exceeds delta_count
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+  bad = sample_handoff();
+  bad.qbar_slots = 0;  // qbar_sum without slots
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+  bad = sample_handoff();
+  bad.qbar_sum = 64.0 * 6.0 + 1.0;  // above the level ceiling
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+  bad = sample_handoff();
+  bad.bandwidth_mbps = -1.0;
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+  bad = sample_handoff();
+  bad.transmit_fraction = 1.5;
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+  bad = sample_handoff();
+  bad.pose.yaw = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+  bad = sample_handoff();
+  bad.has_pose = false;  // phantom pose state left behind
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+}
+
+TEST(Messages, UserHandoffHostileBytesRejectedOnDecode) {
+  const Buffer wire = encode(sample_handoff());
+  // Corrupt one raw byte: the CRC catches it.
+  Buffer flipped = wire;
+  flipped[10] ^= 0xFF;
+  EXPECT_THROW(decode_user_handoff(flipped), std::runtime_error);
+  // Wrong tag: a PoseUpdate frame is not a handoff.
+  EXPECT_THROW(decode_user_handoff(encode(PoseUpdate{})), std::runtime_error);
+
+  // Unknown flag bits must be rejected even under a *correct* CRC:
+  // unframe the payload, set flags bit 3 (the byte sits just before the
+  // trailing 8-byte transmit_fraction), and re-frame.
+  Reader reader(wire);
+  Buffer payload = unframe(reader);
+  payload[payload.size() - 9] |= 0x08;
+  EXPECT_THROW(decode_user_handoff(frame(payload)), std::runtime_error);
+
+  // Same trick with a field-level violation: a transmit_fraction above
+  // 1 under a valid envelope trips the decode-side range check.
+  Reader reader2(wire);
+  Buffer payload2 = unframe(reader2);
+  payload2.resize(payload2.size() - 8);  // drop the trailing f64
+  Writer tail(payload2);
+  tail.f64(2.0);
+  EXPECT_THROW(decode_user_handoff(frame(payload2)), std::runtime_error);
 }
 
 TEST(Messages, RandomisedRoundTripSweep) {
