@@ -10,7 +10,8 @@
 // independent of google-benchmark's adaptive timing);
 // `--machine=NOTE` annotates it with the capture environment.
 // `--sweep` skips google-benchmark and prints a slots/sec scaling table
-// over N in {5, 30, 100, 1000} for every per-slot solver.
+// over N in {5, 30, 100, 1000, 10000} for every per-slot solver (the
+// O(N^2 L) paper-literal scan sits out the N=10000 row).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -18,6 +19,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/content/rate_function.h"
@@ -123,7 +125,12 @@ BENCHMARK(BM_FractionalBound)->Arg(5)->Arg(30)->Arg(120);
 telemetry::ArmPerf measure_arm(const std::string& name,
                                core::Allocator& allocator,
                                const std::vector<std::size_t>& sizes) {
-  constexpr std::size_t kIters = 200;
+  // Iterations per size: enough samples for a stable p50 at the small
+  // sizes, scaled down at N >= 1000 so the allocate_n10000 phase keeps
+  // the whole baseline capture under a few seconds per arm.
+  const auto iters_for = [](std::size_t n) -> std::size_t {
+    return n >= 1000 ? 30 : 200;
+  };
   telemetry::MetricsRegistry registry;
   telemetry::ArmPerf arm;
   arm.algorithm = name;
@@ -134,11 +141,12 @@ telemetry::ArmPerf measure_arm(const std::string& name,
         registry.histogram("allocate_n" + std::to_string(n) + "_us",
                            telemetry::default_duration_edges_us());
     allocator.reset();
-    for (std::size_t i = 0; i < kIters; ++i) {
+    const std::size_t iters = iters_for(n);
+    for (std::size_t i = 0; i < iters; ++i) {
       telemetry::ScopedTimer timer(&registry, id);
       benchmark::DoNotOptimize(allocator.allocate(problem));
     }
-    arm.slots += kIters;
+    arm.slots += iters;
   }
   arm.wall_ms_total = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
@@ -169,6 +177,11 @@ void write_perf_baseline(const std::string& path, const std::string& machine) {
   telemetry::PerfReport report;
   report.mode = telemetry::Mode::kCounters;
   const std::vector<std::size_t> sizes = {5, 15, 30, 120};
+  // The near-linear solvers additionally capture an allocate_n10000
+  // phase (the within-slot parallelism regime); the paper-literal scan
+  // is excluded there — its O(N^2 L) ascent would dominate the run for
+  // no extra signal (the n120 phase already gates its SIMD argmax).
+  const std::vector<std::size_t> sizes_with_large = {5, 15, 30, 120, 10000};
   {
     DvGreedyAllocator alloc(DvGreedyAllocator::Mode::kCombined,
                             DvGreedyAllocator::Strategy::kScan);
@@ -177,15 +190,24 @@ void write_perf_baseline(const std::string& path, const std::string& machine) {
   {
     DvGreedyAllocator alloc(DvGreedyAllocator::Mode::kCombined,
                             DvGreedyAllocator::Strategy::kHeap);
-    report.arms.push_back(measure_arm("dv_heap", alloc, sizes));
+    report.arms.push_back(measure_arm("dv_heap", alloc, sizes_with_large));
+  }
+  {
+    // Warm-start ablation: measure_arm repeats the same problem per
+    // size, so from the second iteration on this times the best case —
+    // seed already optimal, ascent exits immediately.
+    DvGreedyAllocator alloc(DvGreedyAllocator::Mode::kCombined,
+                            DvGreedyAllocator::Strategy::kHeap,
+                            /*warm_start=*/true);
+    report.arms.push_back(measure_arm("dv_warm", alloc, sizes));
   }
   {
     PavqAllocator alloc;
-    report.arms.push_back(measure_arm("pavq", alloc, sizes));
+    report.arms.push_back(measure_arm("pavq", alloc, sizes_with_large));
   }
   {
     FireflyAllocator alloc;
-    report.arms.push_back(measure_arm("firefly", alloc, sizes));
+    report.arms.push_back(measure_arm("firefly", alloc, sizes_with_large));
   }
   telemetry::write_perf_json(path, report, "micro_allocator", machine);
   std::printf("perf baseline written: %s\n", path.c_str());
@@ -198,7 +220,7 @@ void write_perf_baseline(const std::string& path, const std::string& machine) {
 /// are excluded (brute force is exponential, DP is quadratic in the
 /// discretised budget and already covered by google-benchmark above).
 void run_sweep() {
-  const std::vector<std::size_t> sizes = {5, 30, 100, 1000};
+  const std::vector<std::size_t> sizes = {5, 30, 100, 1000, 10000};
   struct Solver {
     const char* name;
     std::unique_ptr<core::Allocator> allocator;
@@ -219,6 +241,9 @@ void run_sweep() {
     const SlotProblem problem = make_problem(n);
     const std::size_t iters = std::max<std::size_t>(20, 20000 / n);
     for (Solver& solver : solvers) {
+      // The paper-literal scan's O(N^2 L) ascent takes seconds per slot
+      // at N=10000 — skip it there; every other solver is near-linear.
+      if (n > 1000 && std::string_view(solver.name) == "dv") continue;
       solver.allocator->reset();
       Allocation out;
       solver.allocator->allocate_into(problem, out);  // warm scratch

@@ -1,11 +1,21 @@
 #include "src/core/dv_greedy.h"
 
 #include <algorithm>
+#include <future>
+#include <limits>
 #include <vector>
+
+#include "src/core/simd.h"
+#include "src/util/thread_pool.h"
 
 namespace cvr::core {
 
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
 std::string_view DvGreedyAllocator::name() const {
+  if (warm_start_) return "dv-warm";
   switch (mode_) {
     case Mode::kDensityOnly:
       return "density-greedy";
@@ -17,70 +27,116 @@ std::string_view DvGreedyAllocator::name() const {
   return "dv-greedy";
 }
 
+double DvGreedyAllocator::seed_levels(const SlotProblem& problem, Rank rank,
+                                      std::vector<QualityLevel>& q) {
+  const std::size_t n_users = problem.user_count();
+  const bool warm = warm_start_ && prev_levels_.size() == n_users;
+  if (!warm) {
+    q.assign(n_users, 1);
+    double used_rate = 0.0;
+    for (std::size_t n = 0; n < n_users; ++n) {
+      used_rate += problem.users[n].rate[0];
+    }
+    return used_rate;
+  }
+
+  // Warm seed: last slot's allocation, clamped per user to the valid
+  // level range and constraint (7) — B_n may have dropped since.
+  q.assign(prev_levels_.begin(), prev_levels_.end());
+  double used_rate = 0.0;
+  for (std::size_t n = 0; n < n_users; ++n) {
+    q[n] = std::clamp<QualityLevel>(q[n], 1, kNumQualityLevels);
+    while (q[n] > 1 && !user_feasible(problem.users[n], q[n])) q[n] -= 1;
+    used_rate += problem.users[n].rate[static_cast<std::size_t>(q[n] - 1)];
+  }
+  // Server-budget repair: peel the lowest-ranked held increment until
+  // constraint (6) holds (ties to the smallest index — deterministic).
+  // Stops at all-ones, the mandatory minimum the contract always
+  // accepts even when it exceeds B(t).
+  while (used_rate > problem.server_bandwidth + kFeasibilityEpsilon) {
+    std::size_t worst = n_users;
+    double worst_score = 0.0;
+    for (std::size_t n = 0; n < n_users; ++n) {
+      if (q[n] <= 1) continue;
+      const double score = rank_score(tables_[n], q[n] - 1, rank);
+      if (worst == n_users || score < worst_score) {
+        worst_score = score;
+        worst = n;
+      }
+    }
+    if (worst == n_users) break;
+    const auto& user = problem.users[worst];
+    used_rate -= user.rate[static_cast<std::size_t>(q[worst] - 1)] -
+                 user.rate[static_cast<std::size_t>(q[worst] - 2)];
+    q[worst] -= 1;
+  }
+  return used_rate;
+}
+
 void DvGreedyAllocator::greedy_pass(const SlotProblem& problem, Rank rank,
                                     std::vector<QualityLevel>& q) {
   const std::size_t n_users = problem.user_count();
-  q.assign(n_users, 1);
-  active_.assign(n_users, 1);
+  const std::size_t stride = tables_.stride();
+  double used_rate = seed_levels(problem, rank, q);
 
-  double used_rate = 0.0;
-  for (std::size_t n = 0; n < n_users; ++n) used_rate += problem.users[n].rate[0];
+  // Dense score array, one lane per user: the marginal score of the
+  // user's next increment, or -inf once quality_verification retired
+  // the user (level cap, B_n, or a B(t)-violating increment). Pad
+  // lanes [n_users, stride) stay -inf. Only the incremented user's
+  // lane changes per iteration, so the argmax is incremental: a
+  // FirstMaxTracker caches per-block maxima and returns the same index
+  // a full simd::argmax_first pass would, in O(stride/kBlock) instead
+  // of O(stride) per iteration.
+  const double* score_base = rank == Rank::kDensity
+                                 ? tables_.density_row(1)
+                                 : tables_.increment_row(1);
+  scores_.assign(stride, kNegInf);
+  for (std::size_t n = 0; n < n_users; ++n) {
+    if (q[n] < kNumQualityLevels) {
+      scores_[n] = score_base[static_cast<std::size_t>(q[n] - 1) * stride + n];
+    }
+  }
+  scan_max_.reset(scores_.data(), stride);
 
   // quality_verification(q_n, I) from Algorithm 1, applied *after* a
   // tentative increment: drop the user at the ceiling; revert and drop
   // the user whose increment broke a rate constraint.
-  std::size_t active_count = n_users;
-  auto deactivate = [&](std::size_t n) {
-    if (active_[n]) {
-      active_[n] = 0;
-      --active_count;
-    }
-  };
-  while (active_count > 0) {
-    // argmax over active users of the marginal score at q_n -> q_n + 1.
-    double best_score = 0.0;
-    std::size_t best = n_users;
-    for (std::size_t n = 0; n < n_users; ++n) {
-      if (!active_[n]) continue;
-      if (q[n] >= kNumQualityLevels) {  // defensive; handled on increment
-        deactivate(n);
-        continue;
-      }
-      const double score = rank_score(tables_[n], q[n], rank);
-      if (best == n_users || score > best_score) {
-        best_score = score;
-        best = n;
-      }
-    }
-    if (best == n_users) break;
-    if (best_score < 0.0) break;  // "if eta_{n*} < 0 then I = {}"
+  while (true) {
+    const std::size_t best = scan_max_.argmax();
+    const double best_score = scores_[best];
+    // Negative best marginal stops the pass ("if eta_{n*} < 0 then
+    // I = {}"); -inf means every user is retired — same exit.
+    if (best_score < 0.0) break;
 
-    // Tentative increment, then quality_verification.
     const auto& user = problem.users[best];
     const double inc = user.rate[static_cast<std::size_t>(q[best])] -
                        user.rate[static_cast<std::size_t>(q[best] - 1)];
     q[best] += 1;
     used_rate += inc;
-    bool reverted = false;
     if (!user_feasible(user, q[best]) ||
         used_rate > problem.server_bandwidth + kFeasibilityEpsilon) {
       q[best] -= 1;
       used_rate -= inc;
-      deactivate(best);
-      reverted = true;
+      scores_[best] = kNegInf;
+      scan_max_.update(best);
+      continue;
     }
-    if (!reverted && q[best] == kNumQualityLevels) deactivate(best);
+    if (q[best] == kNumQualityLevels) {
+      scores_[best] = kNegInf;
+      scan_max_.update(best);
+      continue;
+    }
+    scores_[best] =
+        score_base[static_cast<std::size_t>(q[best] - 1) * stride + best];
+    scan_max_.update(best);
   }
 }
 
 void DvGreedyAllocator::greedy_pass_heap(const SlotProblem& problem, Rank rank,
                                          std::vector<QualityLevel>& q) {
   const std::size_t n_users = problem.user_count();
-  q.assign(n_users, 1);
   active_.assign(n_users, 1);
-
-  double used_rate = 0.0;
-  for (std::size_t n = 0; n < n_users; ++n) used_rate += problem.users[n].rate[0];
+  double used_rate = seed_levels(problem, rank, q);
 
   // Heap entries carry the level they were computed at; an entry whose
   // level no longer matches the user's current level is stale (a fresh
@@ -94,9 +150,38 @@ void DvGreedyAllocator::greedy_pass_heap(const SlotProblem& problem, Rank rank,
     return a.user > b.user;
   };
   heap_.clear();
-  for (std::size_t n = 0; n < n_users; ++n) {
-    if (q[n] < kNumQualityLevels) {
-      heap_.push_back({rank_score(tables_[n], q[n], rank), n, q[n]});
+  if (pool_ != nullptr && n_users >= parallel_min_users_) {
+    // Parallel candidate fill: partition the users, let each range
+    // score its own candidates into its own slice, then compact in
+    // index order. The candidate multiset (and therefore the heap and
+    // the ascent) is identical to the serial fill.
+    heap_.resize(n_users);
+    const std::size_t per_task =
+        (n_users + pool_->size() - 1) / pool_->size();
+    std::vector<std::future<void>> tasks;
+    tasks.reserve((n_users + per_task - 1) / per_task);
+    for (std::size_t begin = 0; begin < n_users; begin += per_task) {
+      const std::size_t end = std::min(begin + per_task, n_users);
+      tasks.push_back(pool_->submit([this, &q, rank, begin, end] {
+        for (std::size_t n = begin; n < end; ++n) {
+          heap_[n] = q[n] < kNumQualityLevels
+                         ? HeapEntry{rank_score(tables_[n], q[n], rank), n,
+                                     q[n]}
+                         : HeapEntry{0.0, n, 0};  // level 0 = no candidate
+        }
+      }));
+    }
+    for (auto& task : tasks) task.get();
+    std::size_t kept = 0;
+    for (std::size_t n = 0; n < n_users; ++n) {
+      if (heap_[n].level != 0) heap_[kept++] = heap_[n];
+    }
+    heap_.resize(kept);
+  } else {
+    for (std::size_t n = 0; n < n_users; ++n) {
+      if (q[n] < kNumQualityLevels) {
+        heap_.push_back({rank_score(tables_[n], q[n], rank), n, q[n]});
+      }
     }
   }
   std::make_heap(heap_.begin(), heap_.end(), worse);
@@ -142,7 +227,7 @@ void DvGreedyAllocator::allocate_into(const SlotProblem& problem,
   out.objective = 0.0;
   if (problem.user_count() == 0) return;
 
-  tables_.build(problem);
+  tables_.build(problem, pool_, parallel_min_users_);
   const auto run_pass = [&](Rank rank, std::vector<QualityLevel>& dst) {
     if (strategy_ == Strategy::kHeap) {
       greedy_pass_heap(problem, rank, dst);
@@ -165,6 +250,9 @@ void DvGreedyAllocator::allocate_into(const SlotProblem& problem,
       out.levels.assign(value_levels_.begin(), value_levels_.end());
       out.objective = vv;
     }
+  }
+  if (warm_start_) {
+    prev_levels_.assign(out.levels.begin(), out.levels.end());
   }
 }
 

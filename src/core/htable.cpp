@@ -1,39 +1,166 @@
 #include "src/core/htable.h"
 
+#include <algorithm>
+#include <future>
 #include <stdexcept>
+#include <vector>
+
+#include "src/util/thread_pool.h"
 
 namespace cvr::core {
 
-void HTable::build(const UserSlotContext& user, const QoeParams& params) {
-  for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
-    h_[static_cast<std::size_t>(q - 1)] =
-        detail::h_value_unchecked(user, q, params);
-  }
-  for (QualityLevel q = 1; q < kNumQualityLevels; ++q) {
-    const auto i = static_cast<std::size_t>(q - 1);
-    const double dr = user.rate[i + 1] - user.rate[i];
-    if (dr <= 0.0) {
-      throw std::logic_error("HTable: rates must be strictly increasing");
+void SlotProblemSoA::prepare(const SlotProblem& problem) {
+  users = problem.user_count();
+  stride = simd::padded(users);
+  const auto levels = static_cast<std::size_t>(kNumQualityLevels);
+  success.resize(levels * stride);
+  weight.resize(stride);
+  qbar.resize(stride);
+  rate.resize(levels * stride);
+  delay.resize(levels * stride);
+  // Pad lanes: success 1, weight 0, qbar 0, delay 0 and strictly
+  // increasing rates make every derived pad output a finite number that
+  // passes the dr > 0 validation without masking.
+  for (std::size_t i = users; i < stride; ++i) {
+    weight[i] = 0.0;
+    qbar[i] = 0.0;
+    for (std::size_t l = 0; l < levels; ++l) {
+      success[l * stride + i] = 1.0;
+      rate[l * stride + i] = static_cast<double>(l + 1);
+      delay[l * stride + i] = 0.0;
     }
-    increment_[i] = h_[i + 1] - h_[i];
-    density_[i] = increment_[i] / dr;
   }
 }
 
-void HTableSet::build(const SlotProblem& problem) {
-  tables_.resize(problem.user_count());
-  for (std::size_t n = 0; n < tables_.size(); ++n) {
-    tables_[n].build(problem.users[n], problem.params);
+void SlotProblemSoA::gather_range(const SlotProblem& problem, std::size_t begin,
+                                  std::size_t end) {
+  const auto levels = static_cast<std::size_t>(kNumQualityLevels);
+  for (std::size_t i = begin; i < end; ++i) {
+    const UserSlotContext& user = problem.users[i];
+    const double t = user.slot;
+    weight[i] = t > 1.0 ? (t - 1.0) / t : 0.0;
+    qbar[i] = user.qbar;
+    for (std::size_t l = 0; l < levels; ++l) {
+      success[l * stride + i] =
+          user.effective_delta(static_cast<QualityLevel>(l + 1));
+      rate[l * stride + i] = user.rate[l];
+      delay[l * stride + i] = user.delay[l];
+    }
+  }
+}
+
+void SlotProblemSoA::gather(const SlotProblem& problem) {
+  prepare(problem);
+  gather_range(problem, 0, users);
+}
+
+namespace detail {
+
+void build_htables_scalar(const SlotProblemSoA& soa, const QoeParams& params,
+                          std::size_t begin, std::size_t end, double* h,
+                          double* increment, double* density) {
+  const std::size_t stride = soa.stride;
+  for (std::size_t l = 0; l < static_cast<std::size_t>(kNumQualityLevels);
+       ++l) {
+    const double qv = static_cast<double>(l + 1);
+    const double* success_row = soa.success.data() + l * stride;
+    const double* delay_row = soa.delay.data() + l * stride;
+    double* out = h + l * stride;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double s = success_row[i];
+      const double w = soa.weight[i];
+      const double qb = soa.qbar[i];
+      const double dq = qv - qb;
+      // The exact expression and association order of
+      // detail::h_value_unchecked — the bit-identity anchor.
+      const double variance_term = s * w * dq * dq + (1.0 - s) * w * qb * qb;
+      out[i] = s * qv - params.alpha * delay_row[i] - params.beta * variance_term;
+    }
+  }
+  for (std::size_t l = 0; l + 1 < static_cast<std::size_t>(kNumQualityLevels);
+       ++l) {
+    const double* h_lo = h + l * stride;
+    const double* h_hi = h + (l + 1) * stride;
+    const double* r_lo = soa.rate.data() + l * stride;
+    const double* r_hi = soa.rate.data() + (l + 1) * stride;
+    double* inc = increment + l * stride;
+    double* den = density + l * stride;
+    for (std::size_t i = begin; i < end; ++i) {
+      inc[i] = h_hi[i] - h_lo[i];
+      den[i] = inc[i] / (r_hi[i] - r_lo[i]);
+    }
+  }
+}
+
+}  // namespace detail
+
+void HTableSet::build(const SlotProblem& problem, cvr::ThreadPool* pool,
+                      std::size_t parallel_min_users) {
+  soa_.prepare(problem);
+  users_ = soa_.users;
+  stride_ = soa_.stride;
+  const auto levels = static_cast<std::size_t>(kNumQualityLevels);
+  h_.resize(levels * stride_);
+  increment_.resize((levels - 1) * stride_);
+  density_.resize((levels - 1) * stride_);
+
+  const auto kernel = [this, &problem](std::size_t begin, std::size_t end) {
+#if defined(CVR_HAVE_AVX2)
+    if (simd::active_backend() == simd::Backend::kAvx2) {
+      detail::build_htables_avx2(soa_, problem.params, begin, end, h_.data(),
+                                 increment_.data(), density_.data());
+      return;
+    }
+#endif
+    detail::build_htables_scalar(soa_, problem.params, begin, end, h_.data(),
+                                 increment_.data(), density_.data());
+  };
+
+  if (pool != nullptr && users_ >= parallel_min_users && stride_ > 0) {
+    // Lane-aligned disjoint ranges: every task gathers and evaluates
+    // its own slice, so the result is bit-identical to the serial
+    // build regardless of scheduling. Futures are drained in range
+    // order, so the lowest range's exception wins.
+    const std::size_t lanes = stride_ / simd::kLanes;
+    const std::size_t per_task =
+        (lanes + pool->size() - 1) / pool->size() * simd::kLanes;
+    std::vector<std::future<void>> tasks;
+    tasks.reserve((stride_ + per_task - 1) / per_task);
+    for (std::size_t begin = 0; begin < stride_; begin += per_task) {
+      const std::size_t end = std::min(begin + per_task, stride_);
+      tasks.push_back(pool->submit([this, &problem, &kernel, begin, end] {
+        const std::size_t gather_end = std::min(end, soa_.users);
+        if (begin < gather_end) soa_.gather_range(problem, begin, gather_end);
+        kernel(begin, end);
+      }));
+    }
+    for (auto& task : tasks) task.get();
+  } else {
+    soa_.gather_range(problem, 0, users_);
+    kernel(0, stride_);
+  }
+
+  // Validated-at-build: one pass over the rate planes replaces
+  // h_density's per-call throw. NaN steps are deliberately NOT flagged
+  // (dr <= 0 is false for NaN), matching h_density exactly.
+  for (std::size_t l = 0; l + 1 < levels; ++l) {
+    const double* r_lo = soa_.rate.data() + l * stride_;
+    const double* r_hi = soa_.rate.data() + (l + 1) * stride_;
+    for (std::size_t i = 0; i < users_; ++i) {
+      if (r_hi[i] - r_lo[i] <= 0.0) {
+        throw std::logic_error("HTable: rates must be strictly increasing");
+      }
+    }
   }
 }
 
 double HTableSet::evaluate(const std::vector<QualityLevel>& levels) const {
-  if (levels.size() != tables_.size()) {
+  if (levels.size() != users_) {
     throw std::invalid_argument("HTableSet::evaluate: level count mismatch");
   }
   double total = 0.0;
-  for (std::size_t n = 0; n < tables_.size(); ++n) {
-    total += tables_[n].value(levels[n]);
+  for (std::size_t n = 0; n < users_; ++n) {
+    total += h_[static_cast<std::size_t>(levels[n] - 1) * stride_ + n];
   }
   return total;
 }

@@ -1,4 +1,5 @@
-// Precomputed per-user h-tables for the per-slot hot path.
+// Precomputed per-user h-tables for the per-slot hot path, stored in
+// structure-of-arrays layout and built by a SIMD kernel.
 //
 // Every allocator in the stack ranks candidate upgrades by h-derived
 // scores: Algorithm 1's two greedy passes compare marginal densities
@@ -8,8 +9,8 @@
 // those loops costs O(iterations * L) redundant evaluations per slot —
 // and an h_increment() is *two* full h_value() calls.
 //
-// HTable precomputes h_n(q) for all L = kNumQualityLevels levels once
-// per (user, slot) and derives increments and densities by subtraction:
+// HTableSet precomputes h_n(q) for all L = kNumQualityLevels levels
+// once per slot and derives increments and densities by subtraction:
 //
 //   value(q)     = h_n(q)                       (levels 1..L)
 //   increment(q) = value(q+1) - value(q)        (steps  1..L-1)
@@ -21,9 +22,15 @@
 // path (certified by the core.htable_matches_direct proptest property
 // and the existing differential oracles).
 //
-// Validation policy (see docs/performance.md): rates must be strictly
-// increasing; HTable::build checks this ONCE and throws, mirroring
-// h_density's contract, so the per-call accessors can be assert-only.
+// Memory layout (see docs/vectorization.md): the per-user inputs are
+// first gathered from the AoS SlotProblem into a SlotProblemSoA —
+// level-major planes of `stride` doubles, `stride` = user count padded
+// to simd::kLanes — and the kernel then evaluates h for four users per
+// AVX2 instruction (scalar fallback element-for-element identical; see
+// src/core/simd.h for the dispatch rules). `HTable` survives as a thin
+// strided VIEW into the set's planes, so dv-greedy (scan and heap),
+// fractional, lagrangian and the exact solvers consume the table
+// exactly as before the SoA rework.
 #pragma once
 
 #include <cassert>
@@ -32,64 +39,210 @@
 
 #include "src/core/allocator.h"
 #include "src/core/qoe.h"
+#include "src/core/simd.h"
+
+namespace cvr {
+class ThreadPool;
+}
 
 namespace cvr::core {
 
-/// One user's precomputed h-table for one slot.
+/// @brief Structure-of-arrays image of one slot's user contexts.
+///
+/// Each member is a plane (or a vector of level-major planes) of
+/// `stride` doubles, where `stride` is the user count rounded up to
+/// simd::kLanes. Lane `i` of plane `q-1` holds user `i`'s input for
+/// level `q`; pad lanes `[n, stride)` carry inert values (success 1,
+/// weight 0, strictly increasing rates) so the vector kernels can
+/// process full vectors without masking — pad outputs are well-defined
+/// finite numbers that nothing ever reads back.
+///
+/// `success` is the *effective* viewing probability
+/// `UserSlotContext::effective_delta(q)` — the one h input that varies
+/// per level — and `weight` is the Welford factor `(t-1)/t` (0 for the
+/// first slot), hoisted out of the per-level expression because it is
+/// level-invariant. Both are computed in gather() with exactly the
+/// arithmetic h_value_unchecked uses, preserving bit-identity.
+struct SlotProblemSoA {
+  std::size_t users = 0;   ///< Real user count n.
+  std::size_t stride = 0;  ///< n padded to simd::kLanes.
+  std::vector<double> success;  ///< [L][stride]: effective_delta(q).
+  std::vector<double> weight;   ///< [stride]: (t-1)/t, or 0 when t<=1.
+  std::vector<double> qbar;     ///< [stride]: running viewed-quality mean.
+  std::vector<double> rate;     ///< [L][stride]: f(q), Mbps.
+  std::vector<double> delay;    ///< [L][stride]: E[d(f(q))], ms.
+
+  /// @brief Sizes the planes for `problem` and writes the pad lanes.
+  ///
+  /// Capacity is retained across calls (steady-state rebuilds perform
+  /// zero heap allocations once the user count stabilises — pinned by
+  /// the ZeroAllocation tests). Must run before gather_range().
+  void prepare(const SlotProblem& problem);
+
+  /// @brief Gathers users [begin, end) into their lanes. Ranges are
+  /// disjoint-write, so the parallel build fans this out safely.
+  /// @throws std::out_of_range when a user's Section-VIII frame_loss
+  ///   table is shorter than the level it is asked for (the same throw
+  ///   effective_delta() performs on the direct path).
+  void gather_range(const SlotProblem& problem, std::size_t begin,
+                    std::size_t end);
+
+  /// @brief prepare() + full-range gather.
+  void gather(const SlotProblem& problem);
+};
+
+/// @brief One user's h-table for one slot: a thin strided view into
+/// the owning HTableSet's SoA planes.
+///
+/// Copying an HTable copies three pointers and a stride; the view is
+/// valid until the owning set's next build() (or its destruction) —
+/// the same lifetime rule as SlotArena::acquire() references, and for
+/// the same reason: the storage is recycled, not reallocated.
 class HTable {
  public:
-  /// Tabulates h(q) for every level and derives increments/densities.
-  /// Throws std::logic_error when the rate table is not strictly
-  /// increasing (h_density's contract, hoisted out of the hot loop).
-  void build(const UserSlotContext& user, const QoeParams& params);
+  HTable() = default;
 
-  /// h_n(q). Precondition: 1 <= q <= kNumQualityLevels.
+  /// @brief h_n(q).
+  /// @pre 1 <= q <= kNumQualityLevels (assert-only: the validated-at-
+  ///   build contract means per-call checks would be redundant; see
+  ///   HTableSet::build).
   double value(QualityLevel q) const {
-    assert(content::is_valid_level(q));
-    return h_[static_cast<std::size_t>(q - 1)];
+    assert(h_ != nullptr && content::is_valid_level(q));
+    return h_[static_cast<std::size_t>(q - 1) * stride_];
   }
 
-  /// v_n(q) = h(q+1) - h(q). Precondition: 1 <= q < kNumQualityLevels.
+  /// @brief Marginal value v_n(q) = h(q+1) - h(q).
+  /// @pre 1 <= q < kNumQualityLevels.
   double increment(QualityLevel q) const {
-    assert(q >= 1 && q < kNumQualityLevels);
-    return increment_[static_cast<std::size_t>(q - 1)];
+    assert(increment_ != nullptr && q >= 1 && q < kNumQualityLevels);
+    return increment_[static_cast<std::size_t>(q - 1) * stride_];
   }
 
-  /// eta_n(q) = v_n(q) / (f(q+1) - f(q)). Same precondition as
-  /// increment().
+  /// @brief Marginal density eta_n(q) = v_n(q) / (f(q+1) - f(q)).
+  /// @pre 1 <= q < kNumQualityLevels.
   double density(QualityLevel q) const {
-    assert(q >= 1 && q < kNumQualityLevels);
-    return density_[static_cast<std::size_t>(q - 1)];
+    assert(density_ != nullptr && q >= 1 && q < kNumQualityLevels);
+    return density_[static_cast<std::size_t>(q - 1) * stride_];
   }
 
  private:
-  double h_[kNumQualityLevels] = {};
-  double increment_[kNumQualityLevels - 1] = {};
-  double density_[kNumQualityLevels - 1] = {};
+  friend class HTableSet;
+  HTable(const double* h, const double* increment, const double* density,
+         std::size_t stride)
+      : h_(h), increment_(increment), density_(density), stride_(stride) {}
+
+  const double* h_ = nullptr;
+  const double* increment_ = nullptr;
+  const double* density_ = nullptr;
+  std::size_t stride_ = 0;
 };
 
-/// The per-slot table set: one HTable per user, in user order, backed by
-/// storage that is recycled across build() calls — steady-state rebuilds
-/// perform zero heap allocations once the user count has stabilised.
+/// @brief The per-slot table set: SoA planes of h / increment / density
+/// for every user, rebuilt once per slot, viewed per user via
+/// operator[].
+///
+/// Storage is recycled across build() calls — steady-state rebuilds
+/// perform zero heap allocations once the user count has stabilised
+/// (enforced by the counting-operator-new tests in
+/// tests/slot_arena_test.cpp).
 class HTableSet {
  public:
-  /// Rebuilds one table per problem user (capacity retained).
-  void build(const SlotProblem& problem);
+  /// @brief Rebuilds every user's table from `problem`.
+  ///
+  /// Gathers the SoA image, runs the h kernel selected by
+  /// simd::active_backend() (AVX2 when compiled in and the CPU has it,
+  /// scalar otherwise — bit-identical either way), derives increments
+  /// and densities, then validates the rate planes.
+  ///
+  /// Error contract (validated-at-build): a rate table that is not
+  /// strictly increasing throws std::logic_error *here*, once per
+  /// slot — hoisting h_density's per-call throw out of the ascent
+  /// loops. After a successful build the accessors are assert-only;
+  /// on throw the set's contents are unspecified and the next build()
+  /// starts fresh.
+  /// @throws std::logic_error on a non-increasing rate table (the
+  ///   h_density contract; NaN rate steps are NOT flagged, matching
+  ///   h_density's `dr <= 0` comparison exactly).
+  /// @throws std::out_of_range via SlotProblemSoA::gather on a short
+  ///   frame_loss table.
+  void build(const SlotProblem& problem) { build(problem, nullptr, 0); }
 
-  const HTable& operator[](std::size_t n) const {
-    assert(n < tables_.size());
-    return tables_[n];
+  /// @brief build() with optional within-slot parallelism.
+  ///
+  /// When `pool` is non-null and the user count is at least
+  /// `parallel_min_users`, the gather + kernel work is partitioned
+  /// into lane-aligned user ranges executed on the pool. Every range
+  /// writes a disjoint slice of the planes and each output element is
+  /// a pure function of its own lane's inputs, so the result is
+  /// bit-identical to the serial build regardless of scheduling
+  /// (pinned by tests/simd_test.cpp and the TSan CI leg). Exceptions
+  /// from worker ranges rethrow here, lowest range first.
+  void build(const SlotProblem& problem, cvr::ThreadPool* pool,
+             std::size_t parallel_min_users);
+
+  /// @brief The view of user `n`'s table; valid until the next build().
+  HTable operator[](std::size_t n) const {
+    assert(n < users_);
+    return HTable(h_.data() + n, increment_.data() + n, density_.data() + n,
+                  stride_);
   }
 
-  std::size_t size() const { return tables_.size(); }
+  std::size_t size() const { return users_; }
 
-  /// sum_n value(levels[n]) — bit-identical to core::evaluate() (same
-  /// per-user doubles summed in the same order). Throws
-  /// std::invalid_argument on a level-count mismatch, like evaluate().
+  /// @brief Padded lane count of the planes (simd::padded(size())).
+  std::size_t stride() const { return stride_; }
+
+  /// @brief Contiguous plane of every user's marginal value at level
+  /// `q` (lane i = user i); entries [size(), stride()) are pad lanes.
+  /// The dv-scan pass seeds its dense score array from this row.
+  /// @pre 1 <= q < kNumQualityLevels.
+  const double* increment_row(QualityLevel q) const {
+    assert(q >= 1 && q < kNumQualityLevels);
+    return increment_.data() + static_cast<std::size_t>(q - 1) * stride_;
+  }
+
+  /// @brief Contiguous plane of every user's marginal density at level
+  /// `q`; same layout contract as increment_row().
+  const double* density_row(QualityLevel q) const {
+    assert(q >= 1 && q < kNumQualityLevels);
+    return density_.data() + static_cast<std::size_t>(q - 1) * stride_;
+  }
+
+  /// @brief sum_n value(levels[n]) — bit-identical to core::evaluate()
+  /// (same per-user doubles summed in the same order).
+  /// @throws std::invalid_argument on a level-count mismatch, like
+  ///   evaluate().
   double evaluate(const std::vector<QualityLevel>& levels) const;
 
  private:
-  std::vector<HTable> tables_;
+  SlotProblemSoA soa_;
+  std::size_t users_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<double> h_;          ///< [L][stride].
+  std::vector<double> increment_;  ///< [L-1][stride].
+  std::vector<double> density_;    ///< [L-1][stride].
 };
+
+namespace detail {
+
+/// The scalar h kernel: evaluates h / increment / density planes for
+/// users (lanes) [begin, end). One expression, one association order —
+/// the same sequence of IEEE operations the AVX2 kernel performs
+/// lane-parallel, and the same h_value_unchecked performs on the
+/// direct path. `begin`/`end` need no alignment.
+void build_htables_scalar(const SlotProblemSoA& soa, const QoeParams& params,
+                          std::size_t begin, std::size_t end, double* h,
+                          double* increment, double* density);
+
+#if defined(CVR_HAVE_AVX2)
+/// The AVX2 h kernel (htable_avx2.cpp, compiled with -mavx2).
+/// @pre begin and end are multiples of simd::kLanes (plane stride is
+///   padded, so full-vector loads/stores never leave the planes).
+void build_htables_avx2(const SlotProblemSoA& soa, const QoeParams& params,
+                        std::size_t begin, std::size_t end, double* h,
+                        double* increment, double* density);
+#endif
+
+}  // namespace detail
 
 }  // namespace cvr::core

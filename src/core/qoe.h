@@ -89,7 +89,8 @@ struct UserSlotContext {
 namespace detail {
 
 /// The exact arithmetic of h_n(q) with no argument validation. Shared
-/// by h_value() and HTable::build() so the precomputed table is
+/// by h_value() and the HTableSet build kernels so the precomputed
+/// table is
 /// bit-identical to the direct path *by construction* — both evaluate
 /// this one expression, in this one association order.
 /// Precondition (asserted by callers): is_valid_level(q).

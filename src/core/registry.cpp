@@ -9,8 +9,9 @@
 namespace cvr::core {
 
 std::vector<std::string> allocator_names() {
-  return {"dv",      "dv-heap", "dv-scan",    "density", "value",
-          "firefly", "pavq",    "lagrangian", "optimal", "dp"};
+  return {"dv",      "dv-heap", "dv-scan", "dv-warm",    "density",
+          "value",   "firefly", "pavq",    "lagrangian", "optimal",
+          "dp"};
 }
 
 std::unique_ptr<Allocator> make_allocator(const std::string& name,
@@ -27,6 +28,14 @@ std::unique_ptr<Allocator> make_allocator(const std::string& name,
     return std::make_unique<DvGreedyAllocator>(
         DvGreedyAllocator::Mode::kCombined,
         DvGreedyAllocator::Strategy::kScan);
+  }
+  if (name == "dv-warm") {
+    // Warm-start ABLATION: seeds each slot's ascent from the previous
+    // slot's allocation. Theorem 1's 1/2-gain bound is forfeited in
+    // this mode (see dv_greedy.h); results are still always feasible.
+    return std::make_unique<DvGreedyAllocator>(
+        DvGreedyAllocator::Mode::kCombined, DvGreedyAllocator::Strategy::kHeap,
+        /*warm_start=*/true);
   }
   if (name == "density") {
     return std::make_unique<DvGreedyAllocator>(

@@ -90,6 +90,17 @@ SlotProblemGenConfig published_model_config() {
   return config;
 }
 
+SlotProblemGenConfig extreme_rates_config() {
+  SlotProblemGenConfig config;
+  config.min_users = 1;
+  config.max_users = 21;  // covers every N mod 4 remainder-lane case
+  config.duplicate_user_probability = 0.25;
+  config.quantize_probability = 0.25;
+  config.loss_aware_probability = 0.2;
+  config.extreme_rate_probability = 0.35;
+  return config;
+}
+
 core::SlotProblem gen_slot_problem(cvr::Rng& rng,
                                    const SlotProblemGenConfig& config) {
   SlotProblem problem;
@@ -115,6 +126,21 @@ core::SlotProblem gen_slot_problem(cvr::Rng& rng,
                                ? gen_analytic_user(rng)
                                : gen_table_user(rng);
     if (quantize) quantize_user(user);
+    // Guarded so configs without the knob consume NO extra draws —
+    // existing corpus seeds must replay byte-identical instances.
+    if (config.extreme_rate_probability > 0.0 &&
+        rng.bernoulli(config.extreme_rate_probability)) {
+      // Power-of-two rescales are exact while the result stays normal,
+      // so the rate ordering survives; the density division then runs
+      // at ~2^±1000 and (half the time) the delays go denormal — the
+      // SIMD≡scalar properties must hold bit-for-bit even here.
+      const double scale = rng.bernoulli(0.5) ? 0x1p-1000 : 0x1p+600;
+      for (double& r : user.rate) r *= scale;
+      user.user_bandwidth *= scale;
+      if (rng.bernoulli(0.5)) {
+        for (double& d : user.delay) d *= 0x1p-1060;  // denormal range
+      }
+    }
     if (rng.bernoulli(config.loss_aware_probability)) {
       user.frame_loss.resize(content::kNumQualityLevels);
       for (double& loss : user.frame_loss) loss = rng.uniform(0.0, 0.7);

@@ -50,6 +50,12 @@ struct SlotProblemGenConfig {
   /// Server budget = (sum of level-1 rates) * uniform[tight, roomy].
   double min_tightness = 0.9;
   double max_tightness = 3.5;
+  /// Probability of rescaling a user's tables to the edges of the
+  /// double range: rate axis by an exact power of two (2^-1000 or
+  /// 2^600 — ordering preserved, densities pushed to ~2^±1000) and,
+  /// half the time, delays into the DENORMAL range. The SIMD kernels
+  /// must stay bit-identical to the scalar path even here.
+  double extreme_rate_probability = 0.0;
 };
 
 /// Preset for the differential oracles that need an exact solver:
@@ -63,6 +69,11 @@ SlotProblemGenConfig tie_heavy_config();
 /// Preset for properties that assume the published (loss-oblivious,
 /// analytic-table) model, e.g. discrete concavity of h.
 SlotProblemGenConfig published_model_config();
+
+/// Preset for the SIMD≡scalar bit-exactness sweep: user counts
+/// covering every residue of the vector width (remainder lanes),
+/// tie-heavy duplicates, and extreme/denormal-scaled tables.
+SlotProblemGenConfig extreme_rates_config();
 
 core::SlotProblem gen_slot_problem(cvr::Rng& rng,
                                    const SlotProblemGenConfig& config);

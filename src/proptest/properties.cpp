@@ -18,6 +18,7 @@
 #include "src/core/fractional.h"
 #include "src/core/htable.h"
 #include "src/core/optimal.h"
+#include "src/core/simd.h"
 #include "src/faults/fault_schedule.h"
 #include "src/net/mm1.h"
 #include "src/proptest/domain.h"
@@ -51,29 +52,123 @@ double base_value(const SlotProblem& problem) {
 // ---------------------------------------------------------------------------
 // Core: DV-greedy differential oracles
 
+/// Restores the SIMD backend on scope exit so a failing check can't
+/// leak a forced backend into later properties.
+struct BackendGuard {
+  core::simd::Backend saved = core::simd::active_backend();
+  ~BackendGuard() { core::simd::set_backend_for_testing(saved); }
+};
+
+/// The backends this host can actually run — scalar always, AVX2 when
+/// compiled in and supported by the CPU (under CVR_FORCE_SCALAR=1 the
+/// CI fallback leg still exercises both: availability is a CPU fact,
+/// the env var only changes the default dispatch).
+std::vector<core::simd::Backend> testable_backends() {
+  std::vector<core::simd::Backend> backends{core::simd::Backend::kScalar};
+  if (core::simd::avx2_available()) {
+    backends.push_back(core::simd::Backend::kAvx2);
+  }
+  return backends;
+}
+
 /// Oracle 1: the lazy-heap argmax is bit-identical to the paper's plain
 /// scan — same levels, same objective — including exact score ties
 /// (tie_heavy_config duplicates users and quantizes rates to force
 /// them). Both implementations must break ties toward the smaller user
-/// index for this to hold.
+/// index for this to hold. Run under EVERY available SIMD backend, and
+/// compared ACROSS backends too: scalar-scan, scalar-heap, avx2-scan
+/// and avx2-heap must all return the same bits.
 CheckResult check_scan_heap_identical(const SlotProblem& problem) {
   using Mode = DvGreedyAllocator::Mode;
   using Strategy = DvGreedyAllocator::Strategy;
+  const BackendGuard guard;
   for (Mode mode : {Mode::kDensityOnly, Mode::kValueOnly, Mode::kCombined}) {
-    DvGreedyAllocator scan(mode, Strategy::kScan);
-    DvGreedyAllocator heap(mode, Strategy::kHeap);
-    const Allocation a = scan.allocate(problem);
-    const Allocation b = heap.allocate(problem);
-    if (a.levels != b.levels) {
-      std::ostringstream note;
-      note << "mode " << static_cast<int>(mode) << ": scan "
-           << show_levels(a.levels) << " != heap " << show_levels(b.levels);
-      return fail(note.str());
+    bool have_reference = false;
+    Allocation reference;
+    for (core::simd::Backend backend : testable_backends()) {
+      core::simd::set_backend_for_testing(backend);
+      DvGreedyAllocator scan(mode, Strategy::kScan);
+      DvGreedyAllocator heap(mode, Strategy::kHeap);
+      const Allocation a = scan.allocate(problem);
+      const Allocation b = heap.allocate(problem);
+      if (a.levels != b.levels) {
+        std::ostringstream note;
+        note << "mode " << static_cast<int>(mode) << " backend "
+             << core::simd::backend_name(backend) << ": scan "
+             << show_levels(a.levels) << " != heap " << show_levels(b.levels);
+        return fail(note.str());
+      }
+      if (a.objective != b.objective) {
+        return fail("objectives differ: scan " + show_double(a.objective) +
+                    " vs heap " + show_double(b.objective));
+      }
+      if (have_reference &&
+          (a.levels != reference.levels ||
+           a.objective != reference.objective)) {
+        return fail(std::string("backend ") +
+                    core::simd::backend_name(backend) +
+                    " disagrees with the first backend: " +
+                    show_levels(a.levels) + " vs " +
+                    show_levels(reference.levels));
+      }
+      reference = a;
+      have_reference = true;
     }
-    if (a.objective != b.objective) {
-      return fail("objectives differ: scan " + show_double(a.objective) +
-                  " vs heap " + show_double(b.objective));
+  }
+  return pass();
+}
+
+/// SIMD ≡ scalar: the AVX2 h-table kernel and the scalar reference
+/// produce the same BITS for every h / increment / density entry, and
+/// the greedy built on top returns the same allocation. Passes
+/// trivially (scalar only) on hosts/builds without AVX2. The generator
+/// preset feeds remainder-lane user counts and denormal/extreme-scaled
+/// tables, the places a vectorization bug would hide.
+CheckResult check_htable_simd_matches_scalar(const SlotProblem& problem) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  if (!core::simd::avx2_available()) return pass();
+  const BackendGuard guard;
+
+  core::simd::set_backend_for_testing(core::simd::Backend::kScalar);
+  core::HTableSet scalar_tables;
+  scalar_tables.build(problem);
+  DvGreedyAllocator scalar_greedy;
+  const Allocation scalar_alloc = scalar_greedy.allocate(problem);
+
+  core::simd::set_backend_for_testing(core::simd::Backend::kAvx2);
+  core::HTableSet avx2_tables;
+  avx2_tables.build(problem);
+  DvGreedyAllocator avx2_greedy;
+  const Allocation avx2_alloc = avx2_greedy.allocate(problem);
+
+  for (std::size_t n = 0; n < problem.user_count(); ++n) {
+    for (QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
+      if (bits(scalar_tables[n].value(q)) != bits(avx2_tables[n].value(q))) {
+        return fail("user " + std::to_string(n) + " level " +
+                    std::to_string(q) + ": scalar h " +
+                    show_double(scalar_tables[n].value(q)) + " != avx2 h " +
+                    show_double(avx2_tables[n].value(q)));
+      }
+      if (q >= core::kNumQualityLevels) continue;
+      if (bits(scalar_tables[n].increment(q)) !=
+          bits(avx2_tables[n].increment(q))) {
+        return fail("user " + std::to_string(n) + " step " +
+                    std::to_string(q) + ": increments differ");
+      }
+      if (bits(scalar_tables[n].density(q)) !=
+          bits(avx2_tables[n].density(q))) {
+        return fail("user " + std::to_string(n) + " step " +
+                    std::to_string(q) + ": densities differ");
+      }
     }
+  }
+  if (scalar_alloc.levels != avx2_alloc.levels ||
+      bits(scalar_alloc.objective) != bits(avx2_alloc.objective)) {
+    return fail("allocations differ: scalar " +
+                show_levels(scalar_alloc.levels) + " obj " +
+                show_double(scalar_alloc.objective) + " vs avx2 " +
+                show_levels(avx2_alloc.levels) + " obj " +
+                show_double(avx2_alloc.objective));
   }
   return pass();
 }
@@ -83,45 +178,52 @@ CheckResult check_scan_heap_identical(const SlotProblem& problem) {
 /// subtraction at build time) are bitwise equal to h_increment /
 /// h_density — the identity that licenses routing every allocator
 /// through the table. Compared via bit patterns, not ==, so even a
-/// sign-of-zero drift would be caught.
+/// sign-of-zero drift would be caught. Run under every available SIMD
+/// backend: the AVX2-built table must match the scalar direct path.
 CheckResult check_htable_matches_direct(const SlotProblem& problem) {
   const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  const BackendGuard guard;
   core::HTableSet tables;
-  tables.build(problem);
-  for (std::size_t n = 0; n < problem.user_count(); ++n) {
-    const auto& user = problem.users[n];
-    for (QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
-      const double direct = core::h_value(user, q, problem.params);
-      if (bits(tables[n].value(q)) != bits(direct)) {
-        return fail("user " + std::to_string(n) + " level " +
-                    std::to_string(q) + ": table h " +
-                    show_double(tables[n].value(q)) + " != direct " +
-                    show_double(direct));
-      }
-      if (q >= core::kNumQualityLevels) continue;
-      const double dv = core::h_increment(user, q, problem.params);
-      if (bits(tables[n].increment(q)) != bits(dv)) {
-        return fail("user " + std::to_string(n) + " step " +
-                    std::to_string(q) + ": table increment " +
-                    show_double(tables[n].increment(q)) + " != direct " +
-                    show_double(dv));
-      }
-      const double eta = core::h_density(user, q, problem.params);
-      if (bits(tables[n].density(q)) != bits(eta)) {
-        return fail("user " + std::to_string(n) + " step " +
-                    std::to_string(q) + ": table density " +
-                    show_double(tables[n].density(q)) + " != direct " +
-                    show_double(eta));
+  for (core::simd::Backend backend : testable_backends()) {
+    core::simd::set_backend_for_testing(backend);
+    tables.build(problem);
+    const std::string tag =
+        std::string(" [") + core::simd::backend_name(backend) + "]";
+    for (std::size_t n = 0; n < problem.user_count(); ++n) {
+      const auto& user = problem.users[n];
+      for (QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
+        const double direct = core::h_value(user, q, problem.params);
+        if (bits(tables[n].value(q)) != bits(direct)) {
+          return fail("user " + std::to_string(n) + " level " +
+                      std::to_string(q) + ": table h " +
+                      show_double(tables[n].value(q)) + " != direct " +
+                      show_double(direct) + tag);
+        }
+        if (q >= core::kNumQualityLevels) continue;
+        const double dv = core::h_increment(user, q, problem.params);
+        if (bits(tables[n].increment(q)) != bits(dv)) {
+          return fail("user " + std::to_string(n) + " step " +
+                      std::to_string(q) + ": table increment " +
+                      show_double(tables[n].increment(q)) + " != direct " +
+                      show_double(dv) + tag);
+        }
+        const double eta = core::h_density(user, q, problem.params);
+        if (bits(tables[n].density(q)) != bits(eta)) {
+          return fail("user " + std::to_string(n) + " step " +
+                      std::to_string(q) + ": table density " +
+                      show_double(tables[n].density(q)) + " != direct " +
+                      show_double(eta) + tag);
+        }
       }
     }
-  }
-  // The summed objective must also agree bitwise (same addends, same
-  // order), e.g. for the all-ones base every allocator starts from.
-  const std::vector<QualityLevel> ones(problem.user_count(), 1);
-  if (bits(tables.evaluate(ones)) != bits(core::evaluate(problem, ones))) {
-    return fail("all-ones objective differs: table " +
-                show_double(tables.evaluate(ones)) + " != direct " +
-                show_double(core::evaluate(problem, ones)));
+    // The summed objective must also agree bitwise (same addends, same
+    // order), e.g. for the all-ones base every allocator starts from.
+    const std::vector<QualityLevel> ones(problem.user_count(), 1);
+    if (bits(tables.evaluate(ones)) != bits(core::evaluate(problem, ones))) {
+      return fail("all-ones objective differs: table " +
+                  show_double(tables.evaluate(ones)) + " != direct " +
+                  show_double(core::evaluate(problem, ones)) + tag);
+    }
   }
   return pass();
 }
@@ -866,6 +968,9 @@ void register_builtin_properties(Registry& registry) {
   CVR_PROPERTY_ITERS("core.htable_matches_direct", 10000,
                      slot_problems(tie_heavy_config()),
                      check_htable_matches_direct);
+  CVR_PROPERTY_ITERS("core.htable_simd_matches_scalar", 10000,
+                     slot_problems(extreme_rates_config()),
+                     check_htable_simd_matches_scalar);
   {
     SlotProblemGenConfig theorem = published_model_config();
     theorem.max_users = 6;

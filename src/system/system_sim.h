@@ -102,6 +102,12 @@ struct SystemSimConfig {
   /// without the subsystem. Faulted runs fill the recovery-accounting
   /// fields of sim::UserOutcome.
   faults::FaultSchedule faults;
+
+  /// Within-slot allocator parallelism: 0 = serial (default); k > 0
+  /// lends the allocator a ThreadPool of resolve_thread_count(k)
+  /// workers for its per-slot fork-join spans. Bit-identical results
+  /// either way (see Allocator::set_thread_pool).
+  std::size_t allocator_threads = 0;
 };
 
 /// Convenience constructors for the paper's two setups.
