@@ -1,0 +1,62 @@
+#include "src/content/hevc_process.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::content {
+
+void validate(const HevcProcessConfig& config) {
+  if (config.gop_length == 0) {
+    throw std::invalid_argument("HevcProcessConfig: zero gop_length");
+  }
+  if (!std::isfinite(config.i_frame_ratio) || config.i_frame_ratio < 1.0) {
+    throw std::invalid_argument("HevcProcessConfig: i_frame_ratio < 1");
+  }
+  if (!std::isfinite(config.size_sigma) || config.size_sigma < 0.0) {
+    throw std::invalid_argument("HevcProcessConfig: bad size_sigma");
+  }
+  if (!std::isfinite(config.burst_rho) || config.burst_rho < 0.0 ||
+      config.burst_rho >= 1.0) {
+    throw std::invalid_argument("HevcProcessConfig: burst_rho outside [0,1)");
+  }
+  if (!std::isfinite(config.min_multiplier) ||
+      !std::isfinite(config.max_multiplier) || config.min_multiplier <= 0.0 ||
+      config.min_multiplier > config.max_multiplier) {
+    throw std::invalid_argument("HevcProcessConfig: bad multiplier clamp");
+  }
+}
+
+double hevc_structural_multiplier(const HevcProcessConfig& config,
+                                  std::size_t frame_in_gop) {
+  const double g = static_cast<double>(config.gop_length);
+  const double r = config.i_frame_ratio;
+  // I = R*G/(R+G-1), P = G/(R+G-1): the GoP mean
+  // (I + (G-1)*P)/G = (R + G - 1) / (R + G - 1) = 1 exactly.
+  const double denom = r + g - 1.0;
+  return frame_in_gop % config.gop_length == 0 ? r * g / denom : g / denom;
+}
+
+HevcFrameProcess::HevcFrameProcess(HevcProcessConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed ^ 0x48E5Cull) {
+  validate(config_);
+}
+
+double HevcFrameProcess::step() {
+  const double rho = config_.burst_rho;
+  const double sigma = config_.size_sigma;
+  // AR(1) in the log domain with stationary std-dev sigma; the
+  // -sigma^2/2 offset centres the lognormal jitter's mean near 1.
+  const double innovation_sigma =
+      sigma * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  log_jitter_ = rho * log_jitter_ + rng_.normal(0.0, innovation_sigma);
+  const double jitter = std::exp(log_jitter_ - 0.5 * sigma * sigma);
+  const double structural =
+      hevc_structural_multiplier(config_, frame_ % config_.gop_length);
+  ++frame_;
+  multiplier_ = std::clamp(structural * jitter, config_.min_multiplier,
+                           config_.max_multiplier);
+  return multiplier_;
+}
+
+}  // namespace cvr::content

@@ -1,0 +1,86 @@
+// HEVC frame-size process (docs/workloads.md).
+//
+// The content DB prices a (cell, tile, level) at the smooth CRF rate
+// function f_c^R(q) — a *point estimate* of the encoder's mean output.
+// Real HEVC traffic is nothing like that smooth: a GoP opens with an
+// I-frame several times the mean size, the P-frames that follow are
+// correspondingly smaller, and per-frame sizes jitter lognormally with
+// burst correlation across consecutive frames ("Evaluating Wi-Fi
+// Performance for VR Streaming: A Study on Realistic HEVC Video
+// Traffic", PAPERS.md).
+//
+// HevcFrameProcess models that as a per-slot *size multiplier* applied
+// on top of the CRF mean:
+//   multiplier(t) = structural(t mod G) * jitter(t)
+// where the structural I/P pattern is exactly mean-1 over a GoP
+//   I = R*G / (R + G - 1),   P = G / (R + G - 1)
+// (R = i_frame_ratio, G = gop_length; property content.hevc_gop_mean
+// pins the per-GoP mean to 1 within 1e-9), and jitter is
+// exp(z - sigma^2/2) with z an AR(1) log-domain state of stationary
+// std-dev sigma — approximately mean-1, burst-correlated with
+// coefficient burst_rho.
+//
+// With enabled = false (the default) no process is constructed and no
+// RNG stream is consumed: the allocator sees the smooth CRF means,
+// bit-identical to the pre-pack build (guard-tested).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace cvr::content {
+
+struct HevcProcessConfig {
+  /// Master switch. Off = the smooth CRF point estimate, bit-identical.
+  bool enabled = false;
+  /// Frames per GoP (one I-frame then gop_length - 1 P-frames).
+  std::size_t gop_length = 32;
+  /// Mean I-frame size over mean P-frame size. Must be >= 1.
+  double i_frame_ratio = 4.0;
+  /// Log-domain std-dev of the per-frame size jitter.
+  double size_sigma = 0.25;
+  /// AR(1) coefficient of the jitter across consecutive frames
+  /// (rate-control bursts). Must lie in [0, 1).
+  double burst_rho = 0.6;
+  /// Clamp bounds on the final multiplier (a corrupt config can never
+  /// emit a zero or unbounded frame).
+  double min_multiplier = 0.05;
+  double max_multiplier = 8.0;
+};
+
+/// Throws std::invalid_argument on gop_length == 0, i_frame_ratio < 1,
+/// negative/non-finite size_sigma, burst_rho outside [0, 1), or clamp
+/// bounds with min <= 0 or min > max.
+void validate(const HevcProcessConfig& config);
+
+/// Pure: the structural (deterministic) size multiplier of frame
+/// `frame_in_gop` (0 = the I-frame). The mean over one GoP is exactly 1.
+double hevc_structural_multiplier(const HevcProcessConfig& config,
+                                  std::size_t frame_in_gop);
+
+/// One tile stream's frame-size process. Deterministic in (config,
+/// seed); consumes exactly one normal draw per step().
+class HevcFrameProcess {
+ public:
+  HevcFrameProcess(HevcProcessConfig config, std::uint64_t seed);
+
+  /// Advances one frame; returns the size multiplier for the new frame.
+  double step();
+
+  /// The multiplier of the current frame (1.0 before the first step()).
+  double current() const { return multiplier_; }
+
+  /// Frames emitted so far.
+  std::size_t frames() const { return frame_; }
+
+ private:
+  HevcProcessConfig config_;
+  cvr::Rng rng_;
+  std::size_t frame_ = 0;
+  double log_jitter_ = 0.0;
+  double multiplier_ = 1.0;
+};
+
+}  // namespace cvr::content

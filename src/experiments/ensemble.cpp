@@ -52,6 +52,19 @@ void validate(const EnsembleSpec& spec) {
         "trace simulator has no churn/blackout machinery; got " +
         std::to_string(spec.faults.size()) + " events on kTrace)");
   }
+  if (spec.platform == EnsembleSpec::Platform::kTrace &&
+      spec.wifi.enabled) {
+    throw std::invalid_argument(
+        "EnsembleSpec: wifi.enabled requires Platform::kSystem (the "
+        "Section-IV trace simulator has no routers to put a BSS behind)");
+  }
+  if (spec.platform == EnsembleSpec::Platform::kTrace &&
+      spec.estimator_arm == system::EstimatorArm::kProbing) {
+    throw std::invalid_argument(
+        "EnsembleSpec: estimator_arm == kProbing requires Platform::kSystem "
+        "(the trace simulator has perfect knowledge; there is nothing to "
+        "probe for)");
+  }
   if (!spec.trace_out.empty() &&
       spec.telemetry != telemetry::Mode::kTrace) {
     throw std::invalid_argument(
@@ -200,6 +213,7 @@ EnsembleRun run_ensemble_with_perf(const EnsembleSpec& spec) {
     config.seed = spec.seed;
     config.params =
         core::QoeParams{spec.alpha < 0 ? 0.02 : spec.alpha, spec.beta};
+    config.hevc = spec.hevc;
     const sim::TraceSimulation simulation(config, repo);
     run.arms = run_cells(
         spec, core::AllocatorContext::kTraceSimulation,
@@ -221,6 +235,10 @@ EnsembleRun run_ensemble_with_perf(const EnsembleSpec& spec) {
     config.server.params =
         core::QoeParams{spec.alpha < 0 ? 0.1 : spec.alpha, spec.beta};
     config.faults = spec.faults;
+    config.channel.contention = spec.wifi;
+    config.server.hevc = spec.hevc;
+    config.server.estimator_arm = spec.estimator_arm;
+    config.server.probing = spec.probing;
     const system::SystemSim simulation(config);
     run.arms = run_cells(
         spec, core::AllocatorContext::kSystem,

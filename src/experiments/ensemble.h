@@ -76,6 +76,24 @@ struct EnsembleSpec {
   /// to a fault-free run. Rejected (throws) on kTrace, which has no
   /// churn/blackout machinery to honour it.
   faults::FaultSchedule faults;
+  /// Realistic-workload pack (docs/workloads.md). All three knobs are
+  /// off by default, leaving every cell bit-identical to a build
+  /// without the pack (guard-tested).
+  ///
+  /// kSystem only: Wi-Fi contention channel — airtime-fair sharing,
+  /// MCS-dependent goodput, deterministic retry/backoff. Rejected
+  /// (throws) when enabled on kTrace: the trace platform has no
+  /// routers to put a BSS behind.
+  net::WifiContentionConfig wifi;
+  /// Both platforms: HEVC I/P-frame size process replacing the smooth
+  /// CRF point estimate.
+  content::HevcProcessConfig hevc;
+  /// kSystem only: bandwidth-estimator arm (kEma default; kProbing
+  /// schedules budget-consuming probes). Rejected (throws) when
+  /// kProbing on kTrace: the trace platform has perfect knowledge and
+  /// no estimator to probe for.
+  system::EstimatorArm estimator_arm = system::EstimatorArm::kEma;
+  net::ProbingConfig probing;
   /// Observability mode (docs/observability.md): kOff (default) leaves
   /// the hot path untouched and the outputs byte-identical to a build
   /// without the subsystem; kCounters collects per-arm counters and
@@ -102,6 +120,9 @@ struct EnsembleSpec {
 ///     though only kSystem consumes it, so a bad spec fails fast);
 ///   * faults is non-empty on Platform::kTrace (fault injection is a
 ///     system-emulation feature);
+///   * wifi.enabled or estimator_arm == kProbing on Platform::kTrace
+///     (both are access-network/estimator features of the system
+///     emulation; hevc works on either platform);
 ///   * trace_out is non-empty while telemetry != kTrace (a trace file
 ///     needs trace capture on).
 /// Everything else is accepted as-is: alpha/beta are not range-checked

@@ -51,6 +51,75 @@ bool DelayPredictor::trained() const {
   return poly_.size() >= 8;  // enough samples for a stable quadratic
 }
 
+void validate(const ProbingConfig& config) {
+  if (config.probe_period_slots == 0) {
+    throw std::invalid_argument("ProbingConfig: zero probe_period_slots");
+  }
+  auto good_alpha = [](double a) {
+    return std::isfinite(a) && a > 0.0 && a <= 1.0;
+  };
+  if (!good_alpha(config.alpha_passive) || !good_alpha(config.alpha_probe)) {
+    throw std::invalid_argument("ProbingConfig: alpha outside (0,1]");
+  }
+  if (!std::isfinite(config.probe_fraction) || config.probe_fraction < 0.0 ||
+      config.probe_fraction > 1.0) {
+    throw std::invalid_argument("ProbingConfig: probe_fraction outside [0,1]");
+  }
+  if (!std::isfinite(config.probe_cap_mbps) || config.probe_cap_mbps < 0.0) {
+    throw std::invalid_argument("ProbingConfig: bad probe_cap_mbps");
+  }
+  if (!std::isfinite(config.initial_mbps) || config.initial_mbps < 0.0) {
+    throw std::invalid_argument("ProbingConfig: bad initial_mbps");
+  }
+}
+
+BudgetSplit split_probe_budget(double total_mbps, double probe_mbps) {
+  BudgetSplit split;
+  const double total = std::max(0.0, total_mbps);
+  split.probe_mbps = std::clamp(probe_mbps, 0.0, total);
+  // Bit-exact remainder: content is *defined* as total - probe, so
+  // the two portions always account for the whole budget.
+  split.content_mbps = total - split.probe_mbps;
+  return split;
+}
+
+ProbingThroughputEstimator::ProbingThroughputEstimator(ProbingConfig config)
+    : config_(config), value_(config.initial_mbps) {
+  validate(config_);
+}
+
+bool ProbingThroughputEstimator::probe_due(std::size_t slot) const {
+  return slot > 0 && slot % config_.probe_period_slots == 0;
+}
+
+double ProbingThroughputEstimator::probe_budget_mbps() const {
+  return std::min(config_.probe_cap_mbps, config_.probe_fraction * value_);
+}
+
+void ProbingThroughputEstimator::observe(double mbps, double alpha) {
+  if (!std::isfinite(mbps)) return;  // a corrupt measurement is no measurement
+  const double sample = std::max(0.0, mbps);
+  value_ += alpha * (sample - value_);
+  ++count_;
+}
+
+void ProbingThroughputEstimator::observe_passive(double mbps) {
+  observe(mbps, config_.alpha_passive);
+}
+
+void ProbingThroughputEstimator::observe_probe(double mbps) {
+  observe(mbps, config_.alpha_probe);
+  ++probe_count_;
+}
+
+void ProbingThroughputEstimator::restore(double mbps, std::size_t count) {
+  if (!std::isfinite(mbps) || mbps < 0.0) {
+    throw std::invalid_argument("ProbingThroughputEstimator: invalid restore");
+  }
+  value_ = mbps;
+  count_ = count;
+}
+
 double apply_stale_hold(double estimate_mbps, std::size_t silent_slots,
                         const StaleHoldConfig& config) {
   if (silent_slots <= config.hold_slots) return estimate_mbps;

@@ -86,4 +86,84 @@ struct StaleHoldConfig {
 double apply_stale_hold(double estimate_mbps, std::size_t silent_slots,
                         const StaleHoldConfig& config);
 
+/// Active bandwidth probing (docs/workloads.md): the speedtest-style
+/// estimator arm. A passive EMA only sees the rate the allocator chose
+/// to send — after an outage it can stay pessimistic for a long time
+/// because low estimates beget low demands beget low measurements. A
+/// periodic probe saturates a configured slice of the link on purpose,
+/// measuring real headroom at the price of *consuming* that slice of
+/// the slot budget (cf. the OBS BandwidthTestManager pattern,
+/// SNIPPETS.md Snippet 1).
+struct ProbingConfig {
+  /// A probe fires on slots where slot % probe_period_slots == 0 (and
+  /// slot > 0): once a second at the 66-FPS slot rate by default.
+  std::size_t probe_period_slots = 66;
+  /// Fraction of the current estimate a probe tries to consume.
+  double probe_fraction = 0.25;
+  /// Hard cap on the probe traffic (Mbps) regardless of the estimate.
+  double probe_cap_mbps = 20.0;
+  /// EMA weight of ordinary per-slot measurements.
+  double alpha_passive = 0.2;
+  /// EMA weight of probe-slot measurements: probes saturate the link,
+  /// so their samples are trusted much more.
+  double alpha_probe = 0.6;
+  double initial_mbps = 40.0;
+};
+
+/// Throws std::invalid_argument on probe_period_slots == 0, alphas
+/// outside (0, 1], probe_fraction outside [0, 1], or a negative/
+/// non-finite probe_cap_mbps or initial_mbps.
+void validate(const ProbingConfig& config);
+
+/// Exact split of a slot budget into the content and probe portions.
+/// probe_mbps = min(total, requested probe) and content_mbps is
+/// bit-exactly total - probe_mbps, so the accounting conserves the
+/// budget exactly (property: net.probing_estimator_sane).
+struct BudgetSplit {
+  double content_mbps = 0.0;
+  double probe_mbps = 0.0;
+};
+BudgetSplit split_probe_budget(double total_mbps, double probe_mbps);
+
+/// The probing estimator arm, registered beside EmaThroughputEstimator
+/// (system::EstimatorArm selects between them). Hardened the same way:
+/// non-finite samples are discarded, negative ones clamp to zero, and
+/// the estimate is never negative or non-finite.
+class ProbingThroughputEstimator {
+ public:
+  explicit ProbingThroughputEstimator(ProbingConfig config = {});
+
+  /// Whether slot `slot` is a probe slot (pure; slot 0 never probes —
+  /// the estimator has nothing but its prior to size the probe with).
+  bool probe_due(std::size_t slot) const;
+
+  /// Probe traffic (Mbps) the next probe wants: min(cap, fraction *
+  /// estimate). Never negative or non-finite.
+  double probe_budget_mbps() const;
+
+  /// Records the throughput observed in an ordinary slot (Mbps).
+  void observe_passive(double mbps);
+
+  /// Records the throughput observed in a probe slot (Mbps) — same
+  /// hardening, heavier EMA weight.
+  void observe_probe(double mbps);
+
+  double estimate_mbps() const { return value_; }
+  std::size_t observations() const { return count_; }
+  std::size_t probes() const { return probe_count_; }
+
+  /// Restores state from a migration handoff frame (see
+  /// EmaThroughputEstimator::restore). Throws std::invalid_argument on
+  /// a non-finite or negative estimate.
+  void restore(double mbps, std::size_t count);
+
+ private:
+  void observe(double mbps, double alpha);
+
+  ProbingConfig config_;
+  double value_;
+  std::size_t count_ = 0;
+  std::size_t probe_count_ = 0;
+};
+
 }  // namespace cvr::net

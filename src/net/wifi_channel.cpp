@@ -1,0 +1,194 @@
+#include "src/net/wifi_channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cvr::net {
+
+namespace {
+
+/// 802.11ac, 80 MHz, one spatial stream, long GI (Mbps).
+constexpr double kPhyRateMbps[] = {32.5,  65.0,  97.5,  130.0, 195.0,
+                                   260.0, 292.5, 325.0, 390.0, 433.3};
+constexpr int kMaxMcs = 9;
+
+}  // namespace
+
+void validate(const WifiContentionConfig& config) {
+  if (config.mcs_pool.empty()) {
+    throw std::invalid_argument("WifiContentionConfig: empty mcs_pool");
+  }
+  for (int mcs : config.mcs_pool) {
+    if (mcs < 0 || mcs > kMaxMcs) {
+      throw std::invalid_argument("WifiContentionConfig: mcs out of 0..9");
+    }
+  }
+  auto unit_interval = [](double v) {
+    return std::isfinite(v) && v >= 0.0 && v < 1.0;
+  };
+  if (!unit_interval(config.contention_overhead) ||
+      !unit_interval(config.max_overhead)) {
+    throw std::invalid_argument("WifiContentionConfig: overhead outside [0,1)");
+  }
+  if (!unit_interval(config.base_error_rate)) {
+    throw std::invalid_argument(
+        "WifiContentionConfig: base_error_rate outside [0,1)");
+  }
+  if (!std::isfinite(config.error_growth) || config.error_growth < 1.0) {
+    throw std::invalid_argument("WifiContentionConfig: error_growth < 1");
+  }
+  if (!std::isfinite(config.retry_airtime_overhead) ||
+      config.retry_airtime_overhead < 0.0) {
+    throw std::invalid_argument(
+        "WifiContentionConfig: negative retry_airtime_overhead");
+  }
+  if (!unit_interval(config.collision_prob_per_station) ||
+      !unit_interval(config.max_collision_prob)) {
+    throw std::invalid_argument(
+        "WifiContentionConfig: collision probability outside [0,1)");
+  }
+  if (!unit_interval(config.backoff_penalty)) {
+    throw std::invalid_argument(
+        "WifiContentionConfig: backoff_penalty outside [0,1)");
+  }
+  if (!std::isfinite(config.backoff_multiplier) ||
+      config.backoff_multiplier < 1.0) {
+    throw std::invalid_argument(
+        "WifiContentionConfig: backoff_multiplier < 1");
+  }
+  if (!unit_interval(config.backoff_jitter)) {
+    throw std::invalid_argument(
+        "WifiContentionConfig: backoff_jitter outside [0,1)");
+  }
+}
+
+double wifi_phy_rate_mbps(int mcs) {
+  if (mcs < 0 || mcs > kMaxMcs) {
+    throw std::out_of_range("wifi_phy_rate_mbps: mcs out of 0..9");
+  }
+  return kPhyRateMbps[mcs];
+}
+
+std::vector<double> wifi_airtime_shares(const WifiContentionConfig& config,
+                                        std::size_t stations) {
+  if (stations == 0) {
+    throw std::invalid_argument("wifi_airtime_shares: zero stations");
+  }
+  const double overhead =
+      std::min(config.max_overhead,
+               config.contention_overhead * static_cast<double>(stations - 1));
+  const double share = (1.0 - overhead) / static_cast<double>(stations);
+  return std::vector<double>(stations, share);
+}
+
+double wifi_error_prob(const WifiContentionConfig& config, int mcs) {
+  if (mcs < 0 || mcs > kMaxMcs) {
+    throw std::out_of_range("wifi_error_prob: mcs out of 0..9");
+  }
+  return std::min(0.5, config.base_error_rate *
+                           std::pow(config.error_growth,
+                                    static_cast<double>(mcs)));
+}
+
+double wifi_mac_efficiency(const WifiContentionConfig& config, int mcs) {
+  const double p = wifi_error_prob(config, mcs);
+  const double rounds = static_cast<double>(config.max_retries) + 1.0;
+  // Truncated-geometric retry chain: deliver with prob 1 - p^rounds,
+  // spend (1 - p^rounds) / (1 - p) transmissions in expectation
+  // (p <= 0.5 < 1 by construction).
+  const double delivery = 1.0 - std::pow(p, rounds);
+  const double expected_tx = delivery / (1.0 - p);
+  const double airtime =
+      expected_tx * (1.0 + config.retry_airtime_overhead * (expected_tx - 1.0));
+  return delivery / airtime;
+}
+
+std::size_t wifi_backoff_slots(const WifiContentionConfig& config,
+                               std::uint64_t seed, std::size_t station,
+                               std::size_t attempt) {
+  const double base = static_cast<double>(
+      std::max<std::size_t>(1, config.backoff_base_slots));
+  const double cap = static_cast<double>(
+      std::max<std::size_t>(1, config.backoff_max_slots));
+  const double nominal =
+      std::min(cap, base * std::pow(config.backoff_multiplier,
+                                    static_cast<double>(attempt)));
+  // Deterministic jitter keyed by (seed, station, attempt), the
+  // fleet::retry_delay_slots shape with its own mixing constant.
+  cvr::SplitMix64 mixer(seed ^
+                        (0x5C0FFEEull +
+                         0x9E3779B97F4A7C15ull *
+                             static_cast<std::uint64_t>(station + 1) +
+                         0xD1B54A32D192ED03ull *
+                             static_cast<std::uint64_t>(attempt + 1)));
+  const double unit = static_cast<double>(mixer.next() >> 11) *
+                      (1.0 / 9007199254740992.0);  // [0, 1)
+  const double factor = 1.0 + config.backoff_jitter * (2.0 * unit - 1.0);
+  const double jittered = nominal * factor;
+  return static_cast<std::size_t>(std::max(1.0, std::floor(jittered + 0.5)));
+}
+
+WifiContentionChannel::WifiContentionChannel(WifiContentionConfig config,
+                                             std::size_t stations,
+                                             std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed), rng_(seed ^ 0x571F1ull) {
+  validate(config_);
+  if (stations == 0) {
+    throw std::invalid_argument("WifiContentionChannel: zero stations");
+  }
+  const std::vector<double> shares = wifi_airtime_shares(config_, stations);
+  stations_.resize(stations);
+  for (std::size_t s = 0; s < stations; ++s) {
+    Station& station = stations_[s];
+    station.mcs = config_.mcs_pool[s % config_.mcs_pool.size()];
+    station.clear_capacity_mbps = shares[s] *
+                                  wifi_phy_rate_mbps(station.mcs) *
+                                  wifi_mac_efficiency(config_, station.mcs);
+  }
+  collision_prob_ =
+      std::min(config_.max_collision_prob,
+               config_.collision_prob_per_station *
+                   static_cast<double>(stations - 1));
+}
+
+int WifiContentionChannel::station_mcs(std::size_t station) const {
+  return stations_.at(station).mcs;
+}
+
+void WifiContentionChannel::step() {
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    Station& station = stations_[s];
+    if (station.backoff_remaining > 0) {
+      --station.backoff_remaining;
+      continue;
+    }
+    if (collision_prob_ > 0.0 && rng_.bernoulli(collision_prob_)) {
+      station.backoff_remaining =
+          wifi_backoff_slots(config_, seed_, s, station.attempt);
+      if (station.attempt < config_.max_retries) ++station.attempt;
+    } else {
+      station.attempt = 0;
+    }
+  }
+}
+
+double WifiContentionChannel::station_capacity_mbps(std::size_t station) const {
+  const Station& s = stations_.at(station);
+  const double penalty = s.backoff_remaining > 0 ? config_.backoff_penalty : 1.0;
+  return s.clear_capacity_mbps * penalty;
+}
+
+double WifiContentionChannel::aggregate_capacity_mbps() const {
+  double total = 0.0;
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    total += station_capacity_mbps(s);
+  }
+  return total;
+}
+
+bool WifiContentionChannel::in_backoff(std::size_t station) const {
+  return stations_.at(station).backoff_remaining > 0;
+}
+
+}  // namespace cvr::net

@@ -1,0 +1,164 @@
+// Wi-Fi contention channel model (docs/workloads.md).
+//
+// The legacy Router model (wireless_channel.h) treats the air link as a
+// shaped pipe with AR(1) fading: fine for reproducing Figs. 7/8, but it
+// has no notion of *contention* — k stations on one 802.11 BSS do not
+// each get throttle_n of airtime; they split the medium, pay per-station
+// MAC overhead that grows with the contender count, and lose goodput to
+// MCS-dependent retransmissions and binary-exponential backoff
+// ("Evaluating Wi-Fi Performance for VR Streaming: A Study on Realistic
+// HEVC Video Traffic", PAPERS.md).
+//
+// Model, per slot:
+//   * airtime shares: station i of k contenders gets
+//       share(k) = (1 - overhead(k)) / k,
+//     overhead(k) = min(max_overhead, contention_overhead * (k - 1)) —
+//     shares sum to 1 - overhead(k) <= 1 and each station's share is
+//     monotone-decreasing in k (property-pinned).
+//   * PHY rate: an 802.11ac-like monotone MCS table (80 MHz, 1 SS).
+//   * retries: per-transmission error probability
+//       p(mcs) = min(0.5, base_error_rate * error_growth^mcs)
+//     with a truncated-geometric retry chain of max_retries rounds;
+//     goodput efficiency folds delivery probability, expected
+//     transmissions, and retry airtime overhead together.
+//   * backoff: a collided station defers for a deterministic capped
+//     exponential number of slots with seeded multiplicative jitter —
+//     the same pure-function shape as fleet::retry_delay_slots, keyed
+//     by (seed, station, attempt) so the whole channel replays
+//     bit-identically.
+//
+// The channel composes into net::Router behind its existing surface
+// (per_user_capacity / aggregate_capacity / serve): with
+// `enabled = false` (the default) no channel is constructed, no RNG
+// stream is touched, and the Router is bit-identical to the legacy
+// fading-only model (guard-tested).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cvr::net {
+
+struct WifiContentionConfig {
+  /// Master switch. Off = the legacy fading-only Router, bit-identical.
+  bool enabled = false;
+  /// Per-station modulation-and-coding index, assigned station % pool.
+  /// Valid MCS indices are 0..9 (802.11ac).
+  std::vector<int> mcs_pool = {7, 5};
+  /// Airtime lost to contention per *extra* contender (preambles,
+  /// AIFS/backoff idle, RTS/CTS): overhead(k) = contention_overhead*(k-1).
+  double contention_overhead = 0.06;
+  /// Cap on the total contention overhead (the medium never goes fully
+  /// idle even on a crowded BSS).
+  double max_overhead = 0.35;
+  /// Per-transmission error probability at MCS 0.
+  double base_error_rate = 0.02;
+  /// Multiplicative error growth per MCS step (denser constellations
+  /// are more fragile at fixed SNR).
+  double error_growth = 1.35;
+  /// 802.11 retry limit: a frame is dropped after 1 + max_retries
+  /// transmissions.
+  std::size_t max_retries = 7;
+  /// Extra airtime per expected retransmission (DIFS + contention-window
+  /// idle relative to a data TX), folded into goodput efficiency.
+  double retry_airtime_overhead = 0.5;
+  /// Per-slot collision probability per *other* contender on the BSS.
+  double collision_prob_per_station = 0.015;
+  /// Cap on the per-slot collision probability.
+  double max_collision_prob = 0.25;
+  /// Fraction of the station's capacity that survives a backoff slot
+  /// (the station still wins some TXOPs between deferrals).
+  double backoff_penalty = 0.35;
+  /// Deterministic backoff schedule (fleet::BackoffPolicy shape):
+  /// capped exponential with seeded multiplicative jitter.
+  std::size_t backoff_base_slots = 1;
+  double backoff_multiplier = 2.0;
+  std::size_t backoff_max_slots = 16;
+  double backoff_jitter = 0.3;  ///< Must lie in [0, 1).
+};
+
+/// Throws std::invalid_argument on an empty or out-of-range mcs_pool,
+/// overheads/probabilities outside [0, 1), error_growth < 1,
+/// backoff_multiplier < 1, or backoff_jitter outside [0, 1).
+void validate(const WifiContentionConfig& config);
+
+/// 802.11ac-like PHY rate (Mbps) for MCS 0..9 (80 MHz, one spatial
+/// stream). Monotone in mcs; throws std::out_of_range outside 0..9.
+double wifi_phy_rate_mbps(int mcs);
+
+/// Equal airtime shares of `stations` contenders after contention
+/// overhead: every entry is (1 - overhead(stations)) / stations. The
+/// shares sum to <= 1 and each entry is monotone-decreasing in the
+/// contender count (property: net.wifi_airtime_shares).
+std::vector<double> wifi_airtime_shares(const WifiContentionConfig& config,
+                                        std::size_t stations);
+
+/// Per-transmission error probability at `mcs`: min(0.5,
+/// base_error_rate * error_growth^mcs).
+double wifi_error_prob(const WifiContentionConfig& config, int mcs);
+
+/// Goodput fraction of the PHY rate that survives the retry chain at
+/// `mcs`: delivery probability of the truncated-geometric retry chain
+/// divided by its expected airtime (expected transmissions plus retry
+/// airtime overhead). Always in (0, 1].
+double wifi_mac_efficiency(const WifiContentionConfig& config, int mcs);
+
+/// Slots a station defers before retry `attempt` (0-based): the capped
+/// exponential backoff_base_slots * backoff_multiplier^attempt, scaled
+/// by a deterministic jitter factor in [1 - j, 1 + j] keyed by
+/// (seed, station, attempt), never below 1. Pure: same arguments, same
+/// delay (property: net.wifi_backoff_deterministic).
+std::size_t wifi_backoff_slots(const WifiContentionConfig& config,
+                               std::uint64_t seed, std::size_t station,
+                               std::size_t attempt);
+
+/// The contention state machine for one BSS. Each step():
+///   * a station in backoff burns one deferral slot at backoff_penalty
+///     capacity;
+///   * otherwise it collides with probability collision_prob(k) and
+///     enters a deterministic backoff of wifi_backoff_slots(attempt)
+///     slots, or transmits cleanly and resets its attempt counter.
+/// All randomness comes from the channel's own seeded Rng — it never
+/// touches the Router's fading or measurement streams.
+class WifiContentionChannel {
+ public:
+  /// `stations` must be >= 1; the per-station MCS is
+  /// config.mcs_pool[station % pool size].
+  WifiContentionChannel(WifiContentionConfig config, std::size_t stations,
+                        std::uint64_t seed);
+
+  std::size_t station_count() const { return stations_.size(); }
+  int station_mcs(std::size_t station) const;
+
+  /// Advances the per-station collision/backoff state one slot.
+  void step();
+
+  /// Station capacity (Mbps) this slot: airtime share x PHY rate x MAC
+  /// efficiency, scaled by backoff_penalty while the station defers.
+  double station_capacity_mbps(std::size_t station) const;
+
+  /// Sum of the station capacities this slot (the BSS goodput bound).
+  double aggregate_capacity_mbps() const;
+
+  /// Whether the station is currently deferring (diagnostics/tests).
+  bool in_backoff(std::size_t station) const;
+
+ private:
+  struct Station {
+    int mcs = 0;
+    double clear_capacity_mbps = 0.0;  ///< share x phy x efficiency.
+    std::size_t attempt = 0;
+    std::size_t backoff_remaining = 0;
+  };
+
+  WifiContentionConfig config_;
+  std::uint64_t seed_;
+  cvr::Rng rng_;
+  double collision_prob_ = 0.0;
+  std::vector<Station> stations_;
+};
+
+}  // namespace cvr::net

@@ -37,6 +37,13 @@ Router::Router(double aggregate_mbps, std::vector<double> user_throttles_mbps,
   for (std::size_t u = 0; u < throttles_.size(); ++u) {
     fading_.emplace_back(config_, seed + 101 * (u + 1));
   }
+  if (config_.contention.enabled) {
+    // Own seed offset and own Rng: the contention state machine never
+    // perturbs the fading or interference streams, so toggling it off
+    // leaves the legacy model bit-identical.
+    wifi_ = std::make_unique<WifiContentionChannel>(
+        config_.contention, throttles_.size(), seed + 0x571F1ull);
+  }
   effective_user_.resize(throttles_.size(), 0.0);
   step();
 }
@@ -59,6 +66,20 @@ void Router::step() {
   const double burst_mult =
       (interference_burst_ ? config_.interference_depth : 1.0) *
       outage_multiplier_;
+  if (wifi_ != nullptr) {
+    // Contention mode: the BSS goodput bound caps the aggregate and each
+    // user is additionally capped at their station's airtime-share
+    // goodput before the fading/interference multipliers apply.
+    wifi_->step();
+    effective_aggregate_ =
+        std::min(aggregate_, wifi_->aggregate_capacity_mbps()) * burst_mult;
+    for (std::size_t u = 0; u < throttles_.size(); ++u) {
+      effective_user_[u] =
+          std::min(throttles_[u], wifi_->station_capacity_mbps(u)) *
+          fading_[u].step() * burst_mult;
+    }
+    return;
+  }
   effective_aggregate_ = aggregate_ * burst_mult;
   for (std::size_t u = 0; u < throttles_.size(); ++u) {
     effective_user_[u] = throttles_[u] * fading_[u].step() * burst_mult;

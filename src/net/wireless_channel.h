@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/net/wifi_channel.h"
 #include "src/util/rng.h"
 
 namespace cvr::net {
@@ -29,6 +31,13 @@ struct WirelessChannelConfig {
   double interference_depth = 0.45; ///< Multiplier during a burst.
   double interference_exit = 0.12;  ///< Per-slot chance the burst ends
                                     ///< (mean burst ~8 slots / 125 ms).
+  /// Wi-Fi contention model (docs/workloads.md): when enabled, the
+  /// router caps each user at their station's airtime-share goodput and
+  /// the aggregate at the BSS goodput bound, both on top of the legacy
+  /// fading/interference multipliers. Off by default — the Router is
+  /// then bit-identical to the fading-only model (no channel is
+  /// constructed and no RNG stream is consumed).
+  WifiContentionConfig contention;
 };
 
 /// One user's time-varying air-link quality: a multiplier in (0, ~1.3]
@@ -82,11 +91,16 @@ class Router {
   /// per-user and aggregate limits; returns the granted rates.
   std::vector<double> serve(const std::vector<double>& demands_mbps) const;
 
+  /// The contention channel, when config.contention.enabled; nullptr
+  /// otherwise (tests/diagnostics).
+  const WifiContentionChannel* contention() const { return wifi_.get(); }
+
  private:
   double aggregate_;
   std::vector<double> throttles_;
   WirelessChannelConfig config_;
   std::vector<FadingProcess> fading_;
+  std::unique_ptr<WifiContentionChannel> wifi_;
   cvr::Rng rng_;
   bool interference_burst_ = false;
   double outage_multiplier_ = 1.0;

@@ -11,6 +11,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -19,9 +20,13 @@
 #include "src/core/htable.h"
 #include "src/core/optimal.h"
 #include "src/core/simd.h"
+#include "src/content/hevc_process.h"
 #include "src/faults/fault_schedule.h"
+#include "src/net/estimators.h"
 #include "src/net/mm1.h"
+#include "src/net/wifi_channel.h"
 #include "src/proptest/domain.h"
+#include "src/system/system_sim.h"
 #include "src/proptest/property.h"
 #include "src/util/stats.h"
 
@@ -958,6 +963,216 @@ Gen<std::uint64_t> seeds() {
   return [](cvr::Rng& rng) { return rng.engine()(); };
 }
 
+// --- workload pack: Wi-Fi / HEVC / probing estimator ----------------------
+
+/// Draws a valid randomized WifiContentionConfig from `rng`.
+net::WifiContentionConfig random_wifi_config(cvr::Rng& rng) {
+  net::WifiContentionConfig config;
+  config.enabled = true;
+  config.contention_overhead = rng.uniform(0.0, 0.2);
+  config.max_overhead = rng.uniform(0.2, 0.9);
+  config.base_error_rate = rng.uniform(0.001, 0.1);
+  config.error_growth = rng.uniform(1.0, 1.6);
+  config.max_retries = static_cast<std::size_t>(rng.uniform_int(0, 10));
+  config.retry_airtime_overhead = rng.uniform(0.0, 1.0);
+  config.backoff_base_slots = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  config.backoff_multiplier = rng.uniform(1.0, 3.0);
+  config.backoff_max_slots = static_cast<std::size_t>(rng.uniform_int(4, 64));
+  config.backoff_jitter = rng.uniform(0.0, 0.9);
+  return config;
+}
+
+/// Airtime shares sum to <= 1 and the per-station share strictly
+/// decreases as contenders join, for every valid config.
+CheckResult check_wifi_airtime_shares(const std::uint64_t& seed) {
+  cvr::Rng rng(seed);
+  const net::WifiContentionConfig config = random_wifi_config(rng);
+  double previous = 2.0;
+  for (std::size_t stations = 1; stations <= 12; ++stations) {
+    const auto shares = net::wifi_airtime_shares(config, stations);
+    if (shares.size() != stations) return fail("share count != stations");
+    double sum = 0.0;
+    for (double s : shares) {
+      if (!(s > 0.0) || !std::isfinite(s)) {
+        return fail("non-positive share at k=" + std::to_string(stations));
+      }
+      if (s != shares[0]) return fail("shares not airtime-fair");
+      sum += s;
+    }
+    if (sum > 1.0 + 1e-12) {
+      return fail("shares sum " + show_double(sum) + " > 1 at k=" +
+                  std::to_string(stations));
+    }
+    if (shares[0] >= previous) {
+      return fail("per-station share not decreasing at k=" +
+                  std::to_string(stations));
+    }
+    previous = shares[0];
+  }
+  return pass();
+}
+
+/// Backoff is a pure function of (config, seed, station, attempt),
+/// never below one slot, and capped at backoff_max_slots * (1 + jitter).
+CheckResult check_wifi_backoff_deterministic(const std::uint64_t& seed) {
+  cvr::Rng rng(seed);
+  const net::WifiContentionConfig config = random_wifi_config(rng);
+  const std::uint64_t channel_seed = rng.engine()();
+  const double cap = static_cast<double>(config.backoff_max_slots) *
+                     (1.0 + config.backoff_jitter) + 1.0;
+  for (std::size_t station = 0; station < 4; ++station) {
+    for (std::size_t attempt = 0; attempt < 10; ++attempt) {
+      const std::size_t a =
+          net::wifi_backoff_slots(config, channel_seed, station, attempt);
+      const std::size_t b =
+          net::wifi_backoff_slots(config, channel_seed, station, attempt);
+      if (a != b) {
+        return fail("backoff not deterministic at (" +
+                    std::to_string(station) + ", " + std::to_string(attempt) +
+                    "): " + std::to_string(a) + " vs " + std::to_string(b));
+      }
+      if (a < 1) return fail("backoff below one slot");
+      if (static_cast<double>(a) > cap) {
+        return fail("backoff " + std::to_string(a) + " above cap " +
+                    show_double(cap));
+      }
+    }
+  }
+  return pass();
+}
+
+/// The structural I/P pattern averages to exactly 1 over each GoP
+/// (within 1e-9, Welford over the frames of the GoP), and a zero-sigma
+/// process replays it.
+CheckResult check_hevc_gop_mean(const std::uint64_t& seed) {
+  cvr::Rng rng(seed);
+  content::HevcProcessConfig config;
+  config.enabled = true;
+  config.gop_length = static_cast<std::size_t>(rng.uniform_int(1, 64));
+  config.i_frame_ratio = rng.uniform(1.0, 12.0);
+  config.size_sigma = 0.0;
+  config.burst_rho = rng.uniform(0.0, 0.99);
+  // Widen the clamps past any reachable structural value (I < R <= 12):
+  // the default bounds are part of the *process* model, but this
+  // property checks the unclipped structural pattern.
+  config.min_multiplier = 1e-3;
+  config.max_multiplier = 64.0;
+  content::HevcFrameProcess process(config, rng.engine()());
+  cvr::RunningStat gop_mean;
+  for (std::size_t t = 0; t < 3 * config.gop_length; ++t) {
+    const double structural =
+        content::hevc_structural_multiplier(config, t % config.gop_length);
+    const double stepped = process.step();
+    if (stepped != structural) {
+      return fail("zero-sigma process diverges from structural at frame " +
+                  std::to_string(t));
+    }
+    gop_mean.add(structural);
+    if ((t + 1) % config.gop_length == 0) {
+      if (std::abs(gop_mean.mean() - 1.0) > 1e-9) {
+        return fail("per-GoP mean " + show_double(gop_mean.mean()) +
+                    " != 1 (gop=" + std::to_string(config.gop_length) +
+                    ", ratio=" + show_double(config.i_frame_ratio) + ")");
+      }
+      gop_mean = cvr::RunningStat();
+    }
+  }
+  return pass();
+}
+
+/// The probing estimator survives arbitrary (including hostile) sample
+/// streams with a finite non-negative estimate, and the budget split
+/// conserves the slot budget bitwise: content == total - probe.
+CheckResult check_probing_estimator_sane(const std::uint64_t& seed) {
+  cvr::Rng rng(seed);
+  net::ProbingConfig config;
+  config.probe_period_slots = static_cast<std::size_t>(rng.uniform_int(1, 200));
+  config.probe_fraction = rng.uniform(0.0, 1.0);
+  config.probe_cap_mbps = rng.uniform(0.0, 50.0);
+  config.alpha_passive = rng.uniform(1e-3, 1.0);
+  config.alpha_probe = rng.uniform(1e-3, 1.0);
+  config.initial_mbps = rng.uniform(0.0, 100.0);
+  net::ProbingThroughputEstimator estimator(config);
+  for (int k = 0; k < 200; ++k) {
+    double sample = rng.uniform(-50.0, 200.0);
+    const int corrupt = static_cast<int>(rng.uniform_int(0, 19));
+    if (corrupt == 0) sample = std::numeric_limits<double>::quiet_NaN();
+    if (corrupt == 1) sample = std::numeric_limits<double>::infinity();
+    if (rng.bernoulli(0.3)) {
+      estimator.observe_probe(sample);
+    } else {
+      estimator.observe_passive(sample);
+    }
+    const double estimate = estimator.estimate_mbps();
+    if (!std::isfinite(estimate) || estimate < 0.0) {
+      return fail("estimate " + show_double(estimate) + " after sample " +
+                  show_double(sample));
+    }
+    const double budget = estimator.probe_budget_mbps();
+    if (!std::isfinite(budget) || budget < 0.0) {
+      return fail("probe budget " + show_double(budget));
+    }
+    const double total = rng.uniform(0.0, 120.0);
+    const net::BudgetSplit split = net::split_probe_budget(total, budget);
+    if (split.probe_mbps < 0.0 || split.probe_mbps > total) {
+      return fail("probe share " + show_double(split.probe_mbps) +
+                  " outside [0, " + show_double(total) + "]");
+    }
+    if (split.content_mbps != total - split.probe_mbps) {
+      return fail("budget not conserved bitwise: content " +
+                  show_double(split.content_mbps) + " != total " +
+                  show_double(total) + " - probe " +
+                  show_double(split.probe_mbps));
+    }
+  }
+  return pass();
+}
+
+/// Defaults-off bit-identity as a property: a SystemSim whose workload
+/// pack is disabled — but with every other pack field randomized — is
+/// bitwise identical to one that never mentions the pack.
+CheckResult check_workload_defaults_inert(const std::uint64_t& seed) {
+  cvr::Rng rng(seed);
+  system::SystemSimConfig plain = system::setup_one_router(
+      static_cast<std::size_t>(rng.uniform_int(2, 4)));
+  plain.slots = static_cast<std::size_t>(rng.uniform_int(40, 90));
+  plain.seed = rng.engine()();
+  system::SystemSimConfig tweaked = plain;
+  tweaked.channel.contention = random_wifi_config(rng);
+  tweaked.channel.contention.enabled = false;
+  tweaked.server.hevc.enabled = false;
+  tweaked.server.hevc.gop_length =
+      static_cast<std::size_t>(rng.uniform_int(1, 64));
+  tweaked.server.hevc.i_frame_ratio = rng.uniform(1.0, 12.0);
+  tweaked.server.hevc.size_sigma = rng.uniform(0.0, 1.0);
+  tweaked.server.estimator_arm = system::EstimatorArm::kEma;
+  tweaked.server.probing.probe_period_slots =
+      static_cast<std::size_t>(rng.uniform_int(1, 200));
+  tweaked.server.probing.probe_fraction = rng.uniform(0.0, 1.0);
+  tweaked.server.probing.alpha_probe = rng.uniform(1e-3, 1.0);
+  core::DvGreedyAllocator alloc_plain, alloc_tweaked;
+  const auto a = system::SystemSim(plain).run(alloc_plain, 0);
+  const auto b = system::SystemSim(tweaked).run(alloc_tweaked, 0);
+  if (a.size() != b.size()) return fail("outcome count differs");
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    if (std::bit_cast<std::uint64_t>(a[u].avg_qoe) !=
+            std::bit_cast<std::uint64_t>(b[u].avg_qoe) ||
+        std::bit_cast<std::uint64_t>(a[u].avg_quality) !=
+            std::bit_cast<std::uint64_t>(b[u].avg_quality) ||
+        std::bit_cast<std::uint64_t>(a[u].avg_delay_ms) !=
+            std::bit_cast<std::uint64_t>(b[u].avg_delay_ms) ||
+        std::bit_cast<std::uint64_t>(a[u].variance) !=
+            std::bit_cast<std::uint64_t>(b[u].variance) ||
+        std::bit_cast<std::uint64_t>(a[u].fps) !=
+            std::bit_cast<std::uint64_t>(b[u].fps)) {
+      return fail("disabled workload pack changed user " + std::to_string(u) +
+                  ": qoe " + show_double(a[u].avg_qoe) + " vs " +
+                  show_double(b[u].avg_qoe));
+    }
+  }
+  return pass();
+}
+
 }  // namespace
 
 void register_builtin_properties(Registry& registry) {
@@ -1010,6 +1225,18 @@ void register_builtin_properties(Registry& registry) {
                check_fault_schedule_queries);
   CVR_PROPERTY("faults.fleet_events_appended", fault_schedule_configs(),
                check_fleet_events_appended);
+
+  // --- workload pack: Wi-Fi / HEVC / probing (docs/workloads.md) -----------
+  CVR_PROPERTY("net.wifi_airtime_shares", seeds(), check_wifi_airtime_shares);
+  CVR_PROPERTY("net.wifi_backoff_deterministic", seeds(),
+               check_wifi_backoff_deterministic);
+  CVR_PROPERTY("content.hevc_gop_mean", seeds(), check_hevc_gop_mean);
+  CVR_PROPERTY("net.probing_estimator_sane", seeds(),
+               check_probing_estimator_sane);
+  // Runs two full (small) SystemSims per iteration; a lean budget keeps
+  // the default sweep fast while still varying users/slots/seeds.
+  CVR_PROPERTY_ITERS("system.workload_defaults_inert", 40, seeds(),
+                     check_workload_defaults_inert);
 
   // --- proto: wire codec ---------------------------------------------------
   CVR_PROPERTY("proto.roundtrip", wire_messages(), check_proto_roundtrip);

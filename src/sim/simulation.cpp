@@ -70,6 +70,7 @@ std::vector<UserOutcome> TraceSimulation::run(
     motion::MotionTrace trace;
     trace::SlotMapper bandwidth;
     std::unique_ptr<motion::MotionPredictor> predictor;
+    std::unique_ptr<content::HevcFrameProcess> hevc;
     motion::AccuracyEstimator accuracy;
     motion::MarginController margin;
     core::UserQoeAccumulator qoe;
@@ -93,6 +94,12 @@ std::vector<UserOutcome> TraceSimulation::run(
                                    config_.slots),
         trace::SlotMapper(*traces[u], config_.motion.slot_seconds),
         make_predictor(),
+        // One codec process per user, seeded per (seed, run, user):
+        // deterministic, and absent entirely when the feature is off.
+        config_.hevc.enabled
+            ? std::make_unique<content::HevcFrameProcess>(
+                  config_.hevc, config_.seed + 777 * (run + 1) + u)
+            : nullptr,
         motion::AccuracyEstimator(),
         motion::MarginController(config_.fov.margin_deg,
                                  config_.margin_controller),
@@ -158,9 +165,13 @@ std::vector<UserOutcome> TraceSimulation::run(
         const content::ContentDb& scene = scenes_[u % scenes_.size()];
         const content::GridCell cell =
             clamped_cell(scene, predicted.x, predicted.y);
+        // HEVC realism (docs/workloads.md): this slot's frame is priced
+        // at its realized I/P-frame size, not the smooth CRF mean.
+        const double hevc_mult = user.hevc ? user.hevc->step() : 1.0;
         const content::CrfRateFunction base_f = scene.frame_rate_function(cell);
-        const content::CrfRateFunction f(base_f.base_mbps(), base_f.growth(),
-                                         base_f.scale() * margin_scale);
+        const content::CrfRateFunction f(
+            base_f.base_mbps(), base_f.growth(),
+            base_f.scale() * margin_scale * hevc_mult);
         problem.users[u] = core::UserSlotContext::from_rate_function(
             f, b_n, user.accuracy.estimate(), user.qoe.mean_viewed_quality(),
             static_cast<double>(t + 1));

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/content/content_db.h"
+#include "src/content/hevc_process.h"
 #include "src/core/allocator.h"
 #include "src/motion/accuracy.h"
 #include "src/motion/fov.h"
@@ -56,6 +57,11 @@ struct TraceSimConfig {
   motion::MarginControllerConfig margin_controller;
   motion::MotionGeneratorConfig motion;
   content::ContentDbConfig content;
+  /// HEVC frame-size process (docs/workloads.md): when enabled, each
+  /// user's per-slot rate function is scaled by their realized
+  /// I/P-frame size multiplier instead of the smooth CRF point
+  /// estimate. Off by default — bit-identical to the smooth model.
+  content::HevcProcessConfig hevc;
   /// The paper's motion dataset spans "two large VR scenes"; users are
   /// assigned scene u % scenes, each scene being an independently seeded
   /// content database (different per-cell rate functions).

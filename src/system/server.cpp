@@ -19,6 +19,7 @@ Server::UserState::UserState(const ServerConfig& config)
       accuracy(),
       base_accuracy(),
       bandwidth(config.ema_alpha, config.initial_bandwidth_estimate_mbps),
+      probing_bandwidth(config.probing),
       delay(),
       loss(),
       margin(config.fov.margin_deg, config.margin_controller),
@@ -30,6 +31,19 @@ Server::Server(ServerConfig config, std::size_t users)
   if (users == 0) throw std::invalid_argument("Server: zero users");
   users_.reserve(users);
   for (std::size_t u = 0; u < users; ++u) users_.emplace_back(config_);
+  if (config_.hevc.enabled) {
+    hevc_.reserve(users);
+    for (std::size_t u = 0; u < users; ++u) {
+      hevc_.emplace_back(config_.hevc,
+                         config_.hevc_seed + 1000003ull * (u + 1));
+    }
+  }
+}
+
+double Server::raw_bandwidth_estimate(const UserState& user) const {
+  return config_.estimator_arm == EstimatorArm::kProbing
+             ? user.probing_bandwidth.estimate_mbps()
+             : user.bandwidth.estimate_mbps();
 }
 
 void Server::on_pose(std::size_t u, std::size_t t, const motion::Pose& pose) {
@@ -55,7 +69,20 @@ motion::Pose Server::predict_pose(std::size_t u) const {
 
 void Server::on_bandwidth_sample(std::size_t u, double mbps) {
   UserState& user = users_.at(u);
-  user.bandwidth.observe(mbps);
+  if (config_.estimator_arm == EstimatorArm::kProbing) {
+    // A probe slot's sample measured a deliberately saturated link;
+    // weight it by the heavier probe alpha. An ack-stalled probe slot
+    // never reaches this point — the stale flag is wiped on the next
+    // problem build.
+    if (user.probe_sample_pending) {
+      user.probing_bandwidth.observe_probe(mbps);
+      user.probe_sample_pending = false;
+    } else {
+      user.probing_bandwidth.observe_passive(mbps);
+    }
+  } else {
+    user.bandwidth.observe(mbps);
+  }
   user.last_feedback_slot = clock_;
 }
 
@@ -146,12 +173,32 @@ void Server::fill_user_context(std::size_t t, std::size_t u,
   const motion::Pose predicted = predict_pose(u);
   const content::GridCell cell = clamped_cell(predicted.x, predicted.y);
   const content::CrfRateFunction f = content_db_.frame_rate_function(cell);
-  double b_hat = user.bandwidth.estimate_mbps();
+  // HEVC realism (docs/workloads.md): the allocator prices this slot's
+  // frame at its realized I/P-frame size, not the smooth CRF mean. One
+  // process step per problem build keeps the stream aligned with the
+  // slot clock.
+  const double hevc_mult = hevc_.empty() ? 1.0 : hevc_[u].step();
+  double b_hat = raw_bandwidth_estimate(user);
   if (feedback_stale) {
     // Bounded hold, then exponential decay toward the re-probe floor:
     // an estimate nobody has confirmed for `silent` slots is worth
     // less every slot it stays unconfirmed.
     b_hat = net::apply_stale_hold(b_hat, silent, config_.stale_hold);
+  }
+  // Probe accounting (kProbing arm): on a probe slot the probe's slice
+  // of B_n is reserved before the allocator sees it — probes consume
+  // the budget they measure. The split is bit-exact (split_probe_budget)
+  // and make_request folds the probe traffic into the slot's demand.
+  user.pending_probe_mbps = 0.0;
+  user.probe_sample_pending = false;
+  double allocator_bandwidth = b_hat;
+  if (config_.estimator_arm == EstimatorArm::kProbing &&
+      user.probing_bandwidth.probe_due(t)) {
+    const net::BudgetSplit split = net::split_probe_budget(
+        b_hat, user.probing_bandwidth.probe_budget_mbps());
+    allocator_bandwidth = split.content_mbps;
+    user.pending_probe_mbps = split.probe_mbps;
+    user.probe_sample_pending = true;
   }
   const double qbar =
       user.viewed_slots == 0
@@ -165,18 +212,18 @@ void Server::fill_user_context(std::size_t t, std::size_t u,
                                  : user.accuracy.estimate();
   ctx.qbar = qbar;
   ctx.slot = static_cast<double>(t);
-  ctx.user_bandwidth = b_hat;
+  ctx.user_bandwidth = allocator_bandwidth;
   if (user.safe_mode && config_.safe_mode_pin_level) {
     // Pin to level 1 through constraint (7): with B_n clamped to the
     // level-1 rate, no allocator can pick a higher level, so the
     // faulted user's stale estimates stop competing for the shared
     // server budget. Level 1 itself is the mandatory minimum and
     // stays allocated regardless (Allocator contract).
-    ctx.user_bandwidth = std::min(ctx.user_bandwidth, f.rate(1));
+    ctx.user_bandwidth = std::min(ctx.user_bandwidth, f.rate(1) * hevc_mult);
   }
   for (core::QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
     const auto idx = static_cast<std::size_t>(q - 1);
-    const double r = f.rate(q);
+    const double r = f.rate(q) * hevc_mult;
     ctx.rate[idx] = r;
     // A trained delay polynomial describes the regime its samples came
     // from; after prolonged silence that regime is suspect, so fall
@@ -239,8 +286,11 @@ proto::UserHandoff Server::export_handoff(std::size_t u,
   frame.base_count = user.base_accuracy.observations();
   frame.qbar_sum = user.viewed_quality_sum;
   frame.qbar_slots = user.viewed_slots;
-  frame.bandwidth_mbps = user.bandwidth.estimate_mbps();
-  frame.bandwidth_observations = user.bandwidth.observations();
+  frame.bandwidth_mbps = raw_bandwidth_estimate(user);
+  frame.bandwidth_observations =
+      config_.estimator_arm == EstimatorArm::kProbing
+          ? user.probing_bandwidth.observations()
+          : user.bandwidth.observations();
   frame.has_pose = user.has_pose;
   if (user.has_pose) {
     frame.pose = user.last_pose;
@@ -258,7 +308,13 @@ void Server::import_handoff(std::size_t u, const proto::UserHandoff& frame,
   UserState& user = users_.at(u);
   user.accuracy.restore(frame.delta_hits, frame.delta_count);
   user.base_accuracy.restore(frame.base_hits, frame.base_count);
-  user.bandwidth.restore(frame.bandwidth_mbps, frame.bandwidth_observations);
+  if (config_.estimator_arm == EstimatorArm::kProbing) {
+    user.probing_bandwidth.restore(frame.bandwidth_mbps,
+                                   frame.bandwidth_observations);
+  } else {
+    user.bandwidth.restore(frame.bandwidth_mbps,
+                           frame.bandwidth_observations);
+  }
   user.viewed_quality_sum = frame.qbar_sum;
   user.viewed_slots = frame.qbar_slots;
   user.transmit_fraction = frame.transmit_fraction;
@@ -278,6 +334,12 @@ void Server::import_handoff(std::size_t u, const proto::UserHandoff& frame,
 
 void Server::reset_user(std::size_t u) {
   users_.at(u) = UserState(config_);
+  if (!hevc_.empty()) {
+    // The codec process restarts from its seed: a crash-wiped user's
+    // stream re-opens with a fresh GoP.
+    hevc_[u] = content::HevcFrameProcess(
+        config_.hevc, config_.hevc_seed + 1000003ull * (u + 1));
+  }
 }
 
 core::UserSlotContext Server::candidate_context(const proto::UserHandoff& frame,
@@ -388,6 +450,13 @@ TileRequest Server::make_request(std::size_t u, core::QualityLevel level) {
 
   const double megabits = set_megabits(request.tiles);
   request.demand_mbps = cvr::megabits_to_slot_rate(megabits);
+  if (user.pending_probe_mbps > 0.0) {
+    // The probe rides the same link as the content: its traffic contends
+    // for airtime and inflates this slot's delay — measuring bandwidth
+    // costs bandwidth.
+    request.demand_mbps += user.pending_probe_mbps;
+    user.pending_probe_mbps = 0.0;
+  }
 
   // Track what fraction of the full tile set actually goes on the air
   // (repetition suppression), for the loss-aware packet estimates.
@@ -408,7 +477,7 @@ const content::ServerTileCache& Server::cache(std::size_t u) const {
 }
 
 double Server::bandwidth_estimate(std::size_t u) const {
-  return users_.at(u).bandwidth.estimate_mbps();
+  return raw_bandwidth_estimate(users_.at(u));
 }
 
 void Server::flush_caches() {

@@ -16,6 +16,7 @@
 
 #include "src/content/content_db.h"
 #include "src/content/delivered_tracker.h"
+#include "src/content/hevc_process.h"
 #include "src/content/equirect.h"
 #include "src/content/server_cache.h"
 #include "src/core/allocator.h"
@@ -29,6 +30,15 @@
 
 namespace cvr::system {
 
+/// Which bandwidth-estimator arm drives the allocator's B_n
+/// (docs/workloads.md). kEma is the paper's passive EMA; kProbing adds
+/// periodic speedtest-style probes that consume slot budget while
+/// measuring real headroom.
+enum class EstimatorArm {
+  kEma,
+  kProbing,
+};
+
 struct ServerConfig {
   motion::FovSpec fov;
   motion::PredictorConfig predictor;
@@ -41,6 +51,21 @@ struct ServerConfig {
   content::ServerCacheConfig cache;
   double ema_alpha = 0.2;
   double initial_bandwidth_estimate_mbps = 40.0;
+  /// Bandwidth-estimator arm. The default (kEma) is byte-identical to
+  /// the pre-probing server; kProbing reserves probe_budget_mbps of B_n
+  /// on probe slots (constraint (7) sees only the content portion), adds
+  /// the probe traffic to the slot's demand, and feeds probe-slot
+  /// measurements through the heavier alpha_probe weight.
+  EstimatorArm estimator_arm = EstimatorArm::kEma;
+  net::ProbingConfig probing;
+  /// HEVC frame-size process (docs/workloads.md): when enabled, every
+  /// user's allocator-visible rates f(q) are scaled by their per-slot
+  /// I/P-frame size multiplier. Off by default (the smooth CRF point
+  /// estimate, bit-identical).
+  content::HevcProcessConfig hevc;
+  /// Seed of the per-user HEVC processes (independent of every other
+  /// stream; per-user offset applied internally).
+  std::uint64_t hevc_seed = 0x48455643ull;
   double server_bandwidth_mbps = 400.0;  ///< Nominal router aggregate.
   core::QoeParams params{0.1, 0.5};      ///< Section VI values.
   /// Section VIII extension: attach estimated per-level frame-loss
@@ -248,6 +273,13 @@ class Server {
     motion::AccuracyEstimator accuracy;
     motion::AccuracyEstimator base_accuracy;  ///< Loss-free (loss-aware mode).
     net::EmaThroughputEstimator bandwidth;
+    net::ProbingThroughputEstimator probing_bandwidth;
+    /// Probe traffic reserved for the slot being built (kProbing only;
+    /// make_request folds it into the demand so probes consume real
+    /// airtime).
+    double pending_probe_mbps = 0.0;
+    /// Whether the next bandwidth sample was measured on a probe slot.
+    bool probe_sample_pending = false;
     net::DelayPredictor delay;
     net::LossEstimator loss;
     motion::MarginController margin;
@@ -281,9 +313,16 @@ class Server {
   void fill_user_context(std::size_t t, std::size_t u,
                          core::UserSlotContext& ctx);
 
+  /// The active arm's bandwidth estimate for user `u` (stale-hold not
+  /// applied; see fill_user_context).
+  double raw_bandwidth_estimate(const UserState& user) const;
+
   ServerConfig config_;
   content::ContentDb content_db_;
   std::vector<UserState> users_;
+  /// Per-user HEVC frame-size processes (empty when hevc.enabled is
+  /// off). Stepped once per build_problem* call that covers the user.
+  std::vector<content::HevcFrameProcess> hevc_;
   /// Latest slot seen by build_problem — the watchdogs' clock. Feedback
   /// callbacks stamp last_feedback_slot with it.
   std::size_t clock_ = 0;

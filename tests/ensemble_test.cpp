@@ -88,6 +88,97 @@ TEST(Ensemble, RejectsBadSpecs) {
   EXPECT_THROW(run_ensemble(spec), std::invalid_argument);
 }
 
+TEST(Ensemble, WorkloadPackRejectedOnTracePlatform) {
+  // wifi and the probing arm are system-emulation features; hevc works
+  // on either platform.
+  EnsembleSpec spec = small_trace_spec();
+  spec.wifi.enabled = true;
+  EXPECT_THROW(run_ensemble(spec), std::invalid_argument);
+  spec = small_trace_spec();
+  spec.estimator_arm = system::EstimatorArm::kProbing;
+  EXPECT_THROW(run_ensemble(spec), std::invalid_argument);
+  spec = small_trace_spec();
+  spec.hevc.enabled = true;
+  EXPECT_EQ(run_ensemble(spec).size(), 2u);
+}
+
+// Guard for the fig2-style trace ensemble: the workload pack with every
+// knob off — but its other fields tweaked — is bit-identical to a spec
+// that never mentions the pack.
+TEST(Ensemble, WorkloadPackDefaultsOffBitIdenticalTrace) {
+  const EnsembleSpec plain = small_trace_spec();
+  EnsembleSpec tweaked = plain;
+  tweaked.wifi.enabled = false;
+  tweaked.wifi.contention_overhead = 0.3;
+  tweaked.wifi.collision_prob_per_station = 0.2;
+  tweaked.hevc.enabled = false;
+  tweaked.hevc.gop_length = 8;
+  tweaked.hevc.size_sigma = 0.9;
+  tweaked.probing.probe_period_slots = 5;
+  tweaked.probing.alpha_probe = 0.9;
+  const auto a = run_ensemble(plain);
+  const auto b = run_ensemble(tweaked);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t arm = 0; arm < a.size(); ++arm) {
+    ASSERT_EQ(a[arm].outcomes.size(), b[arm].outcomes.size());
+    for (std::size_t i = 0; i < a[arm].outcomes.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[arm].outcomes[i].avg_qoe, b[arm].outcomes[i].avg_qoe);
+      EXPECT_DOUBLE_EQ(a[arm].outcomes[i].avg_quality,
+                       b[arm].outcomes[i].avg_quality);
+      EXPECT_DOUBLE_EQ(a[arm].outcomes[i].avg_delay_ms,
+                       b[arm].outcomes[i].avg_delay_ms);
+      EXPECT_DOUBLE_EQ(a[arm].outcomes[i].variance,
+                       b[arm].outcomes[i].variance);
+    }
+  }
+}
+
+// Same guard for the fig7-style system ensemble (estimator arm included).
+TEST(Ensemble, WorkloadPackDefaultsOffBitIdenticalSystem) {
+  EnsembleSpec plain = small_trace_spec();
+  plain.platform = EnsembleSpec::Platform::kSystem;
+  plain.algorithms = {"dv"};
+  EnsembleSpec tweaked = plain;
+  tweaked.wifi.enabled = false;
+  tweaked.wifi.mcs_pool = {1};
+  tweaked.wifi.backoff_max_slots = 3;
+  tweaked.hevc.enabled = false;
+  tweaked.hevc.i_frame_ratio = 6.0;
+  tweaked.estimator_arm = system::EstimatorArm::kEma;
+  tweaked.probing.probe_fraction = 0.9;
+  tweaked.probing.initial_mbps = 5.0;
+  const auto a = run_ensemble(plain);
+  const auto b = run_ensemble(tweaked);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a[0].outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[0].outcomes[i].avg_qoe, b[0].outcomes[i].avg_qoe);
+    EXPECT_DOUBLE_EQ(a[0].outcomes[i].avg_quality,
+                     b[0].outcomes[i].avg_quality);
+    EXPECT_DOUBLE_EQ(a[0].outcomes[i].avg_delay_ms,
+                     b[0].outcomes[i].avg_delay_ms);
+    EXPECT_DOUBLE_EQ(a[0].outcomes[i].fps, b[0].outcomes[i].fps);
+    EXPECT_DOUBLE_EQ(a[0].outcomes[i].variance, b[0].outcomes[i].variance);
+  }
+}
+
+TEST(Ensemble, WorkloadPackEnabledRunsOnSystem) {
+  EnsembleSpec spec = small_trace_spec();
+  spec.platform = EnsembleSpec::Platform::kSystem;
+  spec.algorithms = {"dv"};
+  spec.wifi.enabled = true;
+  spec.hevc.enabled = true;
+  spec.estimator_arm = system::EstimatorArm::kProbing;
+  const auto arms = run_ensemble(spec);
+  ASSERT_EQ(arms.size(), 1u);
+  EXPECT_GT(arms[0].mean_fps(), 0.0);
+  // And the pack genuinely changes the outcomes.
+  EnsembleSpec plain = spec;
+  plain.wifi.enabled = false;
+  plain.hevc.enabled = false;
+  plain.estimator_arm = system::EstimatorArm::kEma;
+  EXPECT_NE(run_ensemble(plain)[0].mean_qoe(), arms[0].mean_qoe());
+}
+
 TEST(Ensemble, PavqVariantFollowsPlatform) {
   // Smoke: "pavq" resolves on both platforms without manual variants.
   EnsembleSpec spec = small_trace_spec();

@@ -13,11 +13,14 @@
 // combination x budget on the grid is visited.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "core_test_util.h"
+#include "src/content/hevc_process.h"
 #include "src/core/dv_greedy.h"
 #include "src/core/optimal.h"
+#include "src/net/wifi_channel.h"
 
 namespace cvr::core {
 namespace {
@@ -157,6 +160,111 @@ TEST(ExhaustiveSmall, AllSolversConsistentOnTheFullGrid) {
   }
   // 4 + 16 + 64 variant combinations x 7 budgets each.
   EXPECT_EQ(problems_checked, (4u + 16u + 64u) * 7u);
+}
+
+// --- Workload-pack contention grid ------------------------------------
+//
+// Same philosophy as the allocator grid above: visit EVERY cell of a
+// coarse parameter grid (stations 1..4 x MCS {5, 7} x GoP {1, 8, 32})
+// and compare the library's closed forms against brute-force reference
+// implementations written independently here (explicit sums and loops,
+// no shared helpers).
+
+/// Brute-force airtime share: uniform split of the post-overhead air.
+double brute_force_share(const net::WifiContentionConfig& config,
+                         std::size_t stations) {
+  const double overhead =
+      std::min(config.max_overhead,
+               config.contention_overhead *
+                   static_cast<double>(stations - 1));
+  return (1.0 - overhead) / static_cast<double>(stations);
+}
+
+/// Brute-force MAC efficiency: expected transmissions by explicit
+/// summation over the retry chain instead of the closed form.
+double brute_force_efficiency(const net::WifiContentionConfig& config,
+                              int mcs) {
+  const double p = std::min(
+      0.5, config.base_error_rate * std::pow(config.error_growth, mcs));
+  double delivery = 0.0;
+  double expected_tx = 0.0;
+  for (std::size_t attempt = 0; attempt <= config.max_retries; ++attempt) {
+    delivery += std::pow(p, attempt) * (1.0 - p);
+    expected_tx += std::pow(p, attempt);
+  }
+  const double airtime =
+      expected_tx * (1.0 + config.retry_airtime_overhead * (expected_tx - 1.0));
+  return delivery / airtime;
+}
+
+/// Brute-force structural HEVC multiplier straight from the mean-1
+/// constraint: solve I = R * P and I + (G-1) * P = G directly.
+double brute_force_structural(const content::HevcProcessConfig& config,
+                              std::size_t frame_in_gop) {
+  const double g = static_cast<double>(config.gop_length);
+  const double p = g / (config.i_frame_ratio + g - 1.0);
+  return frame_in_gop == 0 ? config.i_frame_ratio * p : p;
+}
+
+TEST(ExhaustiveSmall, ContentionGridMatchesBruteForce) {
+  std::size_t cells_checked = 0;
+  for (std::size_t stations = 1; stations <= 4; ++stations) {
+    for (int mcs : {5, 7}) {
+      for (std::size_t gop : {1u, 8u, 32u}) {
+        net::WifiContentionConfig wifi;
+        wifi.enabled = true;
+        wifi.mcs_pool = {mcs};  // uniform pool: every station at `mcs`
+        wifi.collision_prob_per_station = 0.0;  // isolate the closed forms
+        content::HevcProcessConfig hevc;
+        hevc.enabled = true;
+        hevc.gop_length = gop;
+        hevc.size_sigma = 0.0;  // isolate the structural pattern
+        ++cells_checked;
+
+        // Airtime shares against the brute-force split.
+        const auto shares = net::wifi_airtime_shares(wifi, stations);
+        ASSERT_EQ(stations, shares.size());
+        for (double s : shares) {
+          EXPECT_DOUBLE_EQ(brute_force_share(wifi, stations), s);
+        }
+
+        // MAC efficiency closed form against the explicit retry sum.
+        EXPECT_NEAR(brute_force_efficiency(wifi, mcs),
+                    net::wifi_mac_efficiency(wifi, mcs), 1e-12);
+
+        // A collision-free channel must sit exactly on the clear-air
+        // capacities for every station, every slot.
+        const double clear = brute_force_share(wifi, stations) *
+                             net::wifi_phy_rate_mbps(mcs) *
+                             net::wifi_mac_efficiency(wifi, mcs);
+        net::WifiContentionChannel channel(wifi, stations, 7);
+        for (int t = 0; t < 8; ++t) {
+          channel.step();
+          double sum = 0.0;
+          for (std::size_t s = 0; s < stations; ++s) {
+            EXPECT_DOUBLE_EQ(clear, channel.station_capacity_mbps(s));
+            sum += channel.station_capacity_mbps(s);
+          }
+          EXPECT_DOUBLE_EQ(sum, channel.aggregate_capacity_mbps());
+        }
+
+        // Jitter-free HEVC must replay the brute-force structural
+        // pattern over three full GoPs, and each GoP must sum to G.
+        content::HevcFrameProcess process(hevc, 7);
+        double gop_sum = 0.0;
+        for (std::size_t t = 0; t < 3 * gop; ++t) {
+          const double m = process.step();
+          EXPECT_DOUBLE_EQ(brute_force_structural(hevc, t % gop), m);
+          gop_sum += m;
+          if ((t + 1) % gop == 0) {
+            EXPECT_NEAR(static_cast<double>(gop), gop_sum, 1e-9);
+            gop_sum = 0.0;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(cells_checked, 4u * 2u * 3u);
 }
 
 }  // namespace

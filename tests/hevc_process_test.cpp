@@ -1,0 +1,207 @@
+// Golden-vector and guard tests for the HEVC frame-size process
+// (src/content/hevc_process.h, docs/workloads.md).
+//
+// Pins the structural I/P multipliers, the exact multiplier stream of a
+// pinned seed, long-run mean-1 behaviour, and the defaults-off contract:
+// a TraceSimulation with hevc disabled is bit-identical to the smooth
+// CRF model regardless of the other hevc fields.
+
+#include "src/content/hevc_process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/dv_greedy.h"
+#include "src/sim/simulation.h"
+#include "src/trace/trace_repository.h"
+
+namespace cvr::content {
+namespace {
+
+HevcProcessConfig enabled_config() {
+  HevcProcessConfig config;
+  config.enabled = true;
+  return config;
+}
+
+TEST(HevcStructural, GoldenDefaultMultipliers) {
+  const HevcProcessConfig config = enabled_config();
+  // R=4, G=32: I = R*G/(R+G-1), P = G/(R+G-1).
+  EXPECT_DOUBLE_EQ(3.657142857142857, hevc_structural_multiplier(config, 0));
+  for (std::size_t f = 1; f < config.gop_length; ++f) {
+    EXPECT_DOUBLE_EQ(0.91428571428571426,
+                     hevc_structural_multiplier(config, f));
+  }
+}
+
+TEST(HevcStructural, GopMeanExactlyOne) {
+  for (std::size_t gop : {1u, 2u, 8u, 32u, 60u}) {
+    for (double ratio : {1.0, 2.5, 4.0, 10.0}) {
+      HevcProcessConfig config = enabled_config();
+      config.gop_length = gop;
+      config.i_frame_ratio = ratio;
+      double sum = 0.0;
+      for (std::size_t f = 0; f < gop; ++f) {
+        sum += hevc_structural_multiplier(config, f);
+      }
+      EXPECT_NEAR(1.0, sum / static_cast<double>(gop), 1e-12)
+          << "gop=" << gop << " ratio=" << ratio;
+    }
+  }
+}
+
+TEST(HevcProcess, GoldenStreamSeed7) {
+  const double expected[] = {
+      3.6704909084936763,  0.6329377061517889,  0.97470033653475785,
+      1.0319405738024756,  1.2797090083117777,  1.2417204848101551,
+      1.305228333327523,   0.83989456831747455, 0.89781138168131991,
+      0.85618495671210493, 0.78434768381147446, 0.70303656731148256};
+  HevcFrameProcess process(enabled_config(), 7);
+  EXPECT_DOUBLE_EQ(1.0, process.current());
+  EXPECT_EQ(0u, process.frames());
+  for (std::size_t t = 0; t < 12; ++t) {
+    const double m = process.step();
+    EXPECT_DOUBLE_EQ(expected[t], m) << "frame " << t;
+    EXPECT_DOUBLE_EQ(m, process.current());
+  }
+  EXPECT_EQ(12u, process.frames());
+}
+
+TEST(HevcProcess, ZeroSigmaReducesToStructuralPattern) {
+  HevcProcessConfig config = enabled_config();
+  config.size_sigma = 0.0;
+  HevcFrameProcess process(config, 99);
+  for (std::size_t t = 0; t < 3 * config.gop_length; ++t) {
+    EXPECT_DOUBLE_EQ(
+        hevc_structural_multiplier(config, t % config.gop_length),
+        process.step())
+        << "frame " << t;
+  }
+}
+
+TEST(HevcProcess, DeterministicInSeed) {
+  const HevcProcessConfig config = enabled_config();
+  HevcFrameProcess a(config, 13), b(config, 13), c(config, 14);
+  bool differs = false;
+  for (int t = 0; t < 256; ++t) {
+    const double x = a.step();
+    ASSERT_DOUBLE_EQ(x, b.step());
+    if (x != c.step()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(HevcProcess, MultiplierAlwaysWithinClampBounds) {
+  HevcProcessConfig config = enabled_config();
+  config.size_sigma = 1.5;  // heavy jitter to exercise the clamps
+  config.min_multiplier = 0.2;
+  config.max_multiplier = 3.0;
+  HevcFrameProcess process(config, 5);
+  for (int t = 0; t < 5000; ++t) {
+    const double m = process.step();
+    EXPECT_GE(m, config.min_multiplier);
+    EXPECT_LE(m, config.max_multiplier);
+    EXPECT_TRUE(std::isfinite(m));
+  }
+}
+
+TEST(HevcProcess, LongRunMeanNearOne) {
+  // The structural pattern is exactly mean-1 and the lognormal jitter is
+  // mean-1 up to AR(1) warm-up, so a long run must average close to 1.
+  HevcFrameProcess process(enabled_config(), 2022);
+  const std::size_t frames = 64 * 1024;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < frames; ++t) sum += process.step();
+  EXPECT_NEAR(1.0, sum / static_cast<double>(frames), 0.03);
+}
+
+TEST(HevcConfig, ValidateRejectsBadFields) {
+  auto broken = [](auto mutate) {
+    HevcProcessConfig config;
+    config.enabled = true;
+    mutate(config);
+    return config;
+  };
+  EXPECT_THROW(validate(broken([](auto& c) { c.gop_length = 0; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.i_frame_ratio = 0.5; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.size_sigma = -0.1; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.burst_rho = 1.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.min_multiplier = 0.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) {
+                 c.min_multiplier = 2.0;
+                 c.max_multiplier = 1.0;
+               })),
+               std::invalid_argument);
+  EXPECT_NO_THROW(validate(HevcProcessConfig{}));
+}
+
+trace::TraceRepositoryConfig small_repo_config() {
+  trace::TraceRepositoryConfig config;
+  config.fcc_pool_size = 8;
+  config.lte_pool_size = 4;
+  config.fcc.duration_s = 30.0;
+  config.lte.duration_s = 30.0;
+  return config;
+}
+
+// Guard: a disabled hevc process is inert no matter how its other
+// fields are set — TraceSimulation outcomes are bit-identical to the
+// smooth CRF model.
+TEST(HevcTraceSim, DisabledProcessBitIdentical) {
+  const trace::TraceRepository repo(small_repo_config(), 1);
+  sim::TraceSimConfig legacy;
+  legacy.users = 3;
+  legacy.slots = 300;
+  sim::TraceSimConfig tweaked = legacy;
+  tweaked.hevc.enabled = false;
+  tweaked.hevc.gop_length = 8;
+  tweaked.hevc.i_frame_ratio = 6.0;
+  tweaked.hevc.size_sigma = 0.9;
+  const sim::TraceSimulation a(legacy, repo);
+  const sim::TraceSimulation b(tweaked, repo);
+  core::DvGreedyAllocator alloc_a, alloc_b;
+  const auto x = a.run(alloc_a, 0);
+  const auto y = b.run(alloc_b, 0);
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    EXPECT_DOUBLE_EQ(x[u].avg_qoe, y[u].avg_qoe);
+    EXPECT_DOUBLE_EQ(x[u].avg_quality, y[u].avg_quality);
+    EXPECT_DOUBLE_EQ(x[u].avg_delay_ms, y[u].avg_delay_ms);
+    EXPECT_DOUBLE_EQ(x[u].variance, y[u].variance);
+  }
+}
+
+TEST(HevcTraceSim, EnabledProcessChangesOutcomesDeterministically) {
+  const trace::TraceRepository repo(small_repo_config(), 1);
+  sim::TraceSimConfig config;
+  config.users = 3;
+  config.slots = 300;
+  config.hevc.enabled = true;
+  const sim::TraceSimulation sim(config, repo);
+  core::DvGreedyAllocator a, b;
+  const auto x = sim.run(a, 0);
+  const auto y = sim.run(b, 0);
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    EXPECT_DOUBLE_EQ(x[u].avg_qoe, y[u].avg_qoe);
+  }
+  sim::TraceSimConfig smooth = config;
+  smooth.hevc.enabled = false;
+  const sim::TraceSimulation sim_smooth(smooth, repo);
+  core::DvGreedyAllocator c;
+  const auto z = sim_smooth.run(c, 0);
+  bool differs = false;
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    if (x[u].avg_qoe != z[u].avg_qoe) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace cvr::content

@@ -1,0 +1,259 @@
+// Golden-vector and guard tests for the Wi-Fi contention channel
+// (src/net/wifi_channel.h, docs/workloads.md).
+//
+// The goldens pin the exact share/backoff/capacity sequences of pinned
+// seeds so a refactor cannot silently reshape the distributions; the
+// guard tests pin the defaults-off contract — a Router with contention
+// disabled is bit-identical to the legacy fading-only model, whatever
+// the other contention fields say.
+
+#include "src/net/wifi_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/net/wireless_channel.h"
+
+namespace cvr::net {
+namespace {
+
+WifiContentionConfig enabled_config() {
+  WifiContentionConfig config;
+  config.enabled = true;
+  return config;
+}
+
+TEST(WifiAirtime, GoldenSharesDefaultConfig) {
+  const WifiContentionConfig config = enabled_config();
+  EXPECT_DOUBLE_EQ(1.0, wifi_airtime_shares(config, 1)[0]);
+  EXPECT_DOUBLE_EQ(0.46999999999999997, wifi_airtime_shares(config, 2)[0]);
+  EXPECT_DOUBLE_EQ(0.29333333333333333, wifi_airtime_shares(config, 3)[0]);
+  EXPECT_DOUBLE_EQ(0.20500000000000002, wifi_airtime_shares(config, 4)[0]);
+}
+
+TEST(WifiAirtime, SharesSumAtMostOneAndMonotoneDecreasing) {
+  const WifiContentionConfig config = enabled_config();
+  double previous_share = 2.0;
+  for (std::size_t k = 1; k <= 16; ++k) {
+    const auto shares = wifi_airtime_shares(config, k);
+    ASSERT_EQ(k, shares.size());
+    double sum = 0.0;
+    for (double s : shares) sum += s;
+    EXPECT_LE(sum, 1.0 + 1e-12) << "k=" << k;
+    EXPECT_LT(shares[0], previous_share) << "k=" << k;
+    previous_share = shares[0];
+  }
+}
+
+TEST(WifiAirtime, ZeroStationsThrows) {
+  EXPECT_THROW(wifi_airtime_shares(enabled_config(), 0),
+               std::invalid_argument);
+}
+
+TEST(WifiPhy, GoldenRatesAndMonotone) {
+  EXPECT_DOUBLE_EQ(260.0, wifi_phy_rate_mbps(5));
+  EXPECT_DOUBLE_EQ(325.0, wifi_phy_rate_mbps(7));
+  for (int mcs = 1; mcs <= 9; ++mcs) {
+    EXPECT_GT(wifi_phy_rate_mbps(mcs), wifi_phy_rate_mbps(mcs - 1));
+  }
+  EXPECT_THROW(wifi_phy_rate_mbps(-1), std::out_of_range);
+  EXPECT_THROW(wifi_phy_rate_mbps(10), std::out_of_range);
+}
+
+TEST(WifiMac, GoldenErrorAndEfficiency) {
+  const WifiContentionConfig config = enabled_config();
+  EXPECT_DOUBLE_EQ(0.089680668750000039, wifi_error_prob(config, 5));
+  EXPECT_DOUBLE_EQ(0.16344301879687506, wifi_error_prob(config, 7));
+  EXPECT_DOUBLE_EQ(0.86758404535454181, wifi_mac_efficiency(config, 5));
+  EXPECT_DOUBLE_EQ(0.76210842790521172, wifi_mac_efficiency(config, 7));
+  // Denser constellations lose more goodput to retries.
+  for (int mcs = 1; mcs <= 9; ++mcs) {
+    EXPECT_LT(wifi_mac_efficiency(config, mcs),
+              wifi_mac_efficiency(config, mcs - 1));
+    EXPECT_GT(wifi_mac_efficiency(config, mcs), 0.0);
+    EXPECT_LE(wifi_mac_efficiency(config, mcs), 1.0);
+  }
+}
+
+TEST(WifiBackoff, GoldenSequenceSeed2022) {
+  const WifiContentionConfig config = enabled_config();
+  const std::vector<std::size_t> station0 = {1, 2, 5, 10, 20, 13};
+  const std::vector<std::size_t> station1 = {1, 2, 5, 7, 19, 12};
+  for (std::size_t attempt = 0; attempt < station0.size(); ++attempt) {
+    EXPECT_EQ(station0[attempt],
+              wifi_backoff_slots(config, 2022, 0, attempt)) << attempt;
+    EXPECT_EQ(station1[attempt],
+              wifi_backoff_slots(config, 2022, 1, attempt)) << attempt;
+  }
+}
+
+TEST(WifiBackoff, DeterministicAndCapped) {
+  const WifiContentionConfig config = enabled_config();
+  const double cap = static_cast<double>(config.backoff_max_slots) *
+                     (1.0 + config.backoff_jitter);
+  for (std::uint64_t seed : {1ull, 42ull, 2022ull}) {
+    for (std::size_t station = 0; station < 4; ++station) {
+      for (std::size_t attempt = 0; attempt < 12; ++attempt) {
+        const std::size_t first =
+            wifi_backoff_slots(config, seed, station, attempt);
+        EXPECT_EQ(first, wifi_backoff_slots(config, seed, station, attempt));
+        EXPECT_GE(first, 1u);
+        EXPECT_LE(static_cast<double>(first), cap + 0.5);
+      }
+    }
+  }
+}
+
+TEST(WifiConfig, ValidateRejectsBadFields) {
+  auto broken = [](auto mutate) {
+    WifiContentionConfig config;
+    config.enabled = true;
+    mutate(config);
+    return config;
+  };
+  EXPECT_THROW(validate(broken([](auto& c) { c.mcs_pool.clear(); })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.mcs_pool = {12}; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.contention_overhead = 1.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.error_growth = 0.5; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.backoff_jitter = 1.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.backoff_multiplier = 0.9; })),
+               std::invalid_argument);
+  EXPECT_THROW(validate(broken([](auto& c) { c.backoff_penalty = -0.1; })),
+               std::invalid_argument);
+  EXPECT_NO_THROW(validate(WifiContentionConfig{}));
+}
+
+TEST(WifiChannel, GoldenCapacityStreamSeed42) {
+  WifiContentionConfig config = enabled_config();
+  config.collision_prob_per_station = 0.2;
+  config.max_collision_prob = 0.5;
+  WifiContentionChannel channel(config, 3, 42);
+  // Station MCS from the pool {7, 5}: stations 0 and 2 at MCS 7,
+  // station 1 at MCS 5.
+  EXPECT_EQ(7, channel.station_mcs(0));
+  EXPECT_EQ(5, channel.station_mcs(1));
+  EXPECT_EQ(7, channel.station_mcs(2));
+  const double aggregates[] = {
+      121.24206478873131, 211.47641677963344, 121.24206478873131,
+      168.46738370459093, 211.47641677963344, 74.016745872871695,
+      168.46738370459093, 121.24206478873131};
+  for (int t = 0; t < 8; ++t) {
+    channel.step();
+    EXPECT_DOUBLE_EQ(aggregates[t], channel.aggregate_capacity_mbps())
+        << "slot " << t;
+  }
+}
+
+TEST(WifiChannel, DeterministicInSeed) {
+  WifiContentionConfig config = enabled_config();
+  config.collision_prob_per_station = 0.1;
+  WifiContentionChannel a(config, 4, 7);
+  WifiContentionChannel b(config, 4, 7);
+  WifiContentionChannel c(config, 4, 8);
+  bool any_difference_from_c = false;
+  for (int t = 0; t < 200; ++t) {
+    a.step();
+    b.step();
+    c.step();
+    for (std::size_t s = 0; s < 4; ++s) {
+      ASSERT_DOUBLE_EQ(a.station_capacity_mbps(s), b.station_capacity_mbps(s));
+      if (a.station_capacity_mbps(s) != c.station_capacity_mbps(s)) {
+        any_difference_from_c = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference_from_c);
+}
+
+TEST(WifiChannel, BackoffScalesCapacityByPenalty) {
+  WifiContentionConfig config = enabled_config();
+  config.collision_prob_per_station = 0.45;
+  config.max_collision_prob = 0.9;
+  WifiContentionChannel channel(config, 2, 11);
+  const double clear0 = wifi_airtime_shares(config, 2)[0] *
+                        wifi_phy_rate_mbps(7) * wifi_mac_efficiency(config, 7);
+  bool saw_backoff = false;
+  for (int t = 0; t < 300; ++t) {
+    channel.step();
+    if (channel.in_backoff(0)) {
+      saw_backoff = true;
+      EXPECT_DOUBLE_EQ(clear0 * config.backoff_penalty,
+                       channel.station_capacity_mbps(0));
+    } else {
+      EXPECT_DOUBLE_EQ(clear0, channel.station_capacity_mbps(0));
+    }
+  }
+  EXPECT_TRUE(saw_backoff);
+}
+
+TEST(WifiRouter, ContentionCapsPerUserAndAggregate) {
+  WirelessChannelConfig config;
+  config.fading_sigma = 0.0;  // isolate the contention caps
+  config.contention.enabled = true;
+  config.contention.collision_prob_per_station = 0.0;
+  Router router(400.0, {40.0, 45.0, 50.0}, config, 99);
+  const auto shares = wifi_airtime_shares(config.contention, 3);
+  for (int t = 0; t < 20; ++t) {
+    router.step();
+    double bss = 0.0;
+    for (std::size_t u = 0; u < 3; ++u) {
+      const int mcs = config.contention.mcs_pool[u % 2];
+      const double station_cap = shares[u] * wifi_phy_rate_mbps(mcs) *
+                                 wifi_mac_efficiency(config.contention, mcs);
+      EXPECT_LE(router.per_user_capacity(u),
+                std::min(station_cap, u == 0 ? 40.0 : (u == 1 ? 45.0 : 50.0)) +
+                    1e-9);
+      bss += station_cap;
+    }
+    EXPECT_LE(router.aggregate_capacity(), std::min(400.0, bss) + 1e-9);
+  }
+}
+
+// Guard: a disabled contention model is inert no matter how its other
+// fields are set — the Router's capacity streams are bit-identical to
+// the legacy fading-only model.
+TEST(WifiRouter, DisabledContentionBitIdentical) {
+  WirelessChannelConfig legacy;
+  WirelessChannelConfig tweaked;
+  tweaked.contention.enabled = false;
+  tweaked.contention.mcs_pool = {1};
+  tweaked.contention.contention_overhead = 0.3;
+  tweaked.contention.collision_prob_per_station = 0.4;
+  tweaked.contention.backoff_max_slots = 3;
+  Router a(400.0, {40.0, 55.0}, legacy, 123);
+  Router b(400.0, {40.0, 55.0}, tweaked, 123);
+  for (int t = 0; t < 300; ++t) {
+    a.step();
+    b.step();
+    EXPECT_DOUBLE_EQ(a.aggregate_capacity(), b.aggregate_capacity());
+    EXPECT_DOUBLE_EQ(a.per_user_capacity(0), b.per_user_capacity(0));
+    EXPECT_DOUBLE_EQ(a.per_user_capacity(1), b.per_user_capacity(1));
+  }
+}
+
+TEST(WifiRouter, ContentionChangesTheChannel) {
+  WirelessChannelConfig legacy;
+  WirelessChannelConfig contended;
+  contended.contention.enabled = true;
+  Router a(400.0, {40.0, 55.0}, legacy, 123);
+  Router b(400.0, {40.0, 55.0}, contended, 123);
+  bool any_difference = false;
+  for (int t = 0; t < 50 && !any_difference; ++t) {
+    a.step();
+    b.step();
+    any_difference = a.aggregate_capacity() != b.aggregate_capacity() ||
+                     a.per_user_capacity(0) != b.per_user_capacity(0);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace cvr::net
