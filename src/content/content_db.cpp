@@ -59,11 +59,31 @@ double ContentDb::tile_size_megabits(const TileKey& key) const {
   if (key.tile_index < 0 || key.tile_index >= kTilesPerFrame) {
     throw std::out_of_range("ContentDb: bad tile index");
   }
-  const CrfRateFunction f = frame_rate_function(key.cell);
+  if (!is_valid_level(key.level)) {
+    throw std::out_of_range("ContentDb: bad quality level");
+  }
   // The frame rate splits across the four tiles by texture-complexity
   // weight; sizes are the slot-normalised megabits of one tile.
-  const double frame_megabits = cvr::slot_rate_to_megabits(f.rate(key.level));
-  return frame_megabits * tile_weight(key.cell, key.tile_index);
+  const CellContent& cc = cell_content(key.cell);
+  return cc.frame_megabits[static_cast<std::size_t>(key.level - 1)] *
+         cc.weight[static_cast<std::size_t>(key.tile_index)];
+}
+
+const CellContent& ContentDb::cell_content(const GridCell& cell) const {
+  const std::uint64_t id = content_id(cell);  // throws outside the scene
+  const auto it = cell_cache_.find(id);
+  if (it != cell_cache_.end()) return it->second;
+  CellContent cc;
+  const CrfRateFunction f = model_.for_content(id);
+  for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+    const auto idx = static_cast<std::size_t>(q - 1);
+    cc.rate[idx] = f.rate(q);
+    cc.frame_megabits[idx] = cvr::slot_rate_to_megabits(cc.rate[idx]);
+  }
+  for (int tile = 0; tile < kTilesPerFrame; ++tile) {
+    cc.weight[static_cast<std::size_t>(tile)] = tile_weight(cell, tile);
+  }
+  return cell_cache_.emplace(id, cc).first->second;
 }
 
 std::uint64_t ContentDb::entry_count() const {

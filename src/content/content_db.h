@@ -7,12 +7,26 @@
 // bytes, which preserves exactly what the scheduler observes: tile sizes.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <unordered_map>
 
 #include "src/content/rate_function.h"
 #include "src/content/tile.h"
 
 namespace cvr::content {
+
+/// Memoised per-cell content facts (docs/performance.md). Every field is
+/// a pure function of (config, cell), so caching is observable only as
+/// speed: `rate[q-1]` is bit-identical to
+/// `frame_rate_function(cell).rate(q)`, `frame_megabits` its
+/// slot-normalised conversion, and `weight[tile]` to
+/// `tile_weight(cell, tile)`.
+struct CellContent {
+  std::array<double, kNumQualityLevels> rate;
+  std::array<double, kNumQualityLevels> frame_megabits;
+  std::array<double, kTilesPerFrame> weight;
+};
 
 struct ContentDbConfig {
   // Scene extent, in grid cells (Section VI: 5 cm granularity).
@@ -46,6 +60,14 @@ class ContentDb {
   /// index must be valid; throws std::out_of_range outside the scene.
   double tile_size_megabits(const TileKey& key) const;
 
+  /// Memoised per-cell rates and tile weights. First touch of a cell
+  /// derives everything through the exact expressions of
+  /// frame_rate_function()/tile_weight(); later touches are one hash
+  /// lookup. NOT safe for concurrent calls on one instance (the fleet
+  /// gives each server its own ContentDb, so per-server parallel tasks
+  /// never share one). Throws std::out_of_range outside the scene.
+  const CellContent& cell_content(const GridCell& cell) const;
+
   /// Number of distinct encoded tiles (cells x tiles x levels).
   std::uint64_t entry_count() const;
 
@@ -58,6 +80,9 @@ class ContentDb {
  private:
   ContentDbConfig config_;
   ContentRateModel model_;
+  /// Lazy per-cell memo keyed by content_id. mutable: pure-function
+  /// cache behind const accessors.
+  mutable std::unordered_map<std::uint64_t, CellContent> cell_cache_;
 };
 
 }  // namespace cvr::content

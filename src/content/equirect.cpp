@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/content/tile.h"
+
 namespace cvr::content {
 
 namespace {
@@ -45,19 +47,19 @@ void rows_for_pitch_window(double center, double half_span, bool out[2]) {
   if (top == 0.0 && bottom == 0.0) out[0] = out[1] = true;  // degenerate
 }
 
-std::vector<int> tiles_for_window(double yaw, double pitch, double half_h,
-                                  double half_v) {
+int tiles_for_window(double yaw, double pitch, double half_h, double half_v,
+                     int* out) {
   bool cols[2];
   bool rows[2];
   columns_for_yaw_window(yaw, half_h, cols);
   rows_for_pitch_window(pitch, half_v, rows);
-  std::vector<int> tiles;
+  int count = 0;
   for (int r = 0; r < 2; ++r) {
     for (int c = 0; c < 2; ++c) {
-      if (rows[r] && cols[c]) tiles.push_back(r * 2 + c);
+      if (rows[r] && cols[c]) out[count++] = r * 2 + c;
     }
   }
-  return tiles;
+  return count;
 }
 
 }  // namespace
@@ -80,19 +82,28 @@ std::array<double, 2> unproject_equirect(const TexCoord& tc) {
 
 std::vector<int> tiles_for_view(const cvr::motion::FovSpec& spec,
                                 const cvr::motion::Pose& view) {
+  int out[kTilesPerFrame];
+  const int count = tiles_for_view(spec, view, out);
+  return std::vector<int>(out, out + count);
+}
+
+int tiles_for_view(const cvr::motion::FovSpec& spec,
+                   const cvr::motion::Pose& view, int* out) {
   const double half_h = spec.horizontal_deg / 2.0 + spec.margin_deg;
   const double half_v = spec.vertical_deg / 2.0 + spec.margin_deg;
-  return tiles_for_window(view.yaw, view.pitch, half_h, half_v);
+  return tiles_for_window(view.yaw, view.pitch, half_h, half_v, out);
 }
 
 bool tiles_cover(const std::vector<int>& delivered,
                  const cvr::motion::FovSpec& spec,
                  const cvr::motion::Pose& actual) {
-  const auto needed = tiles_for_window(actual.yaw, actual.pitch,
-                                       spec.horizontal_deg / 2.0,
-                                       spec.vertical_deg / 2.0);
-  for (int tile : needed) {
-    if (std::find(delivered.begin(), delivered.end(), tile) == delivered.end()) {
+  int needed[kTilesPerFrame];
+  const int count = tiles_for_window(actual.yaw, actual.pitch,
+                                     spec.horizontal_deg / 2.0,
+                                     spec.vertical_deg / 2.0, needed);
+  for (int i = 0; i < count; ++i) {
+    if (std::find(delivered.begin(), delivered.end(), needed[i]) ==
+        delivered.end()) {
       return false;
     }
   }

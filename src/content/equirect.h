@@ -39,6 +39,12 @@ std::array<double, 2> unproject_equirect(const TexCoord& tc);
 std::vector<int> tiles_for_view(const cvr::motion::FovSpec& spec,
                                 const cvr::motion::Pose& view);
 
+/// Allocation-free variant for the per-slot hot path: writes the same
+/// ascending tile indices into `out` and returns how many were written
+/// (1..4). `out` must hold at least four ints.
+int tiles_for_view(const cvr::motion::FovSpec& spec,
+                   const cvr::motion::Pose& view, int* out);
+
 /// True iff every tile needed for `actual`'s *unmargined* FoV is included
 /// in the delivered set (the tile-level coverage check used by the system
 /// emulation in addition to the analytic motion::covers()).

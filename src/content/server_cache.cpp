@@ -1,58 +1,255 @@
 #include "src/content/server_cache.h"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace cvr::content {
+
+namespace {
+
+/// Fibonacci hashing over the packed cell key; `size` is a power of two.
+inline std::size_t slot_index(std::uint64_t key, std::size_t size) {
+  return static_cast<std::size_t>(
+      (key * 0x9E3779B97F4A7C15ull) >>
+      (64 - std::countr_zero(static_cast<std::uint64_t>(size))));
+}
+
+constexpr std::size_t kMinTableSlots = 64;
+constexpr std::uint32_t kStateEmpty = 0;
+constexpr std::uint32_t kStateTombstone = 1;
+constexpr std::uint32_t kStateLive = 2;
+
+}  // namespace
 
 ServerTileCache::ServerTileCache(ServerCacheConfig config) : config_(config) {
   if (config_.capacity_tiles == 0) {
     throw std::invalid_argument("ServerTileCache: zero capacity");
   }
+  table_.assign(kMinTableSlots, TableEntry{});
+}
+
+std::uint64_t ServerTileCache::block_key(const GridCell& cell) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cell.gx))
+          << 32) |
+         static_cast<std::uint32_t>(cell.gy);
 }
 
 void ServerTileCache::advance(const GridCell& center) {
+  // A whole-cell touch assigns kIdsPerBlock consecutive ticks in one
+  // range stamp; a capacity below one block would let mid-range
+  // evictions target ids of the range itself, so tiny capacities keep
+  // one stamp per id (the naive schedule, exact by construction).
+  const bool range_stamps = config_.capacity_tiles >=
+                            static_cast<std::size_t>(kIdsPerBlock);
   const std::int32_t r = config_.window_radius_cells;
   for (std::int32_t dx = -r; dx <= r; ++dx) {
     for (std::int32_t dy = -r; dy <= r; ++dy) {
       const GridCell cell{center.gx + dx, center.gy + dy};
-      for (int tile = 0; tile < kTilesPerFrame; ++tile) {
-        for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
-          touch_or_insert(pack_video_id({cell, tile, q}));
+      const std::uint32_t bidx = find_or_create_block(block_key(cell));
+      if (range_stamps) {
+        ring_.push_back({next_tick_, bidx, 0,
+                         static_cast<std::uint8_t>(kIdsPerBlock)});
+      }
+      Block& b = blocks_[bidx];
+      for (int off = 0; off < kIdsPerBlock; ++off) {
+        const bool newly = b.ticks[off] == 0;
+        b.ticks[off] = next_tick_++;
+        if (!range_stamps) {
+          ring_.push_back({b.ticks[off], bidx,
+                           static_cast<std::uint8_t>(off),
+                           static_cast<std::uint8_t>(off + 1)});
+        }
+        if (newly) {
+          ++b.live;
+          ++live_;
+          // Evicting here (not after the block) keeps the exact
+          // insert/evict interleaving of a per-id LRU: a victim later
+          // in this very block is evicted and then re-inserted when
+          // the loop reaches it, exactly as the naive schedule would.
+          while (live_ > config_.capacity_tiles) evict_lru();
         }
       }
+      maybe_compact_ring();
     }
   }
 }
 
 bool ServerTileCache::lookup(VideoId id) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  const TileKey tk = unpack_video_id(id);
+  const int off = tk.tile_index * kNumQualityLevels + (tk.level - 1);
+  const std::uint64_t key = block_key(tk.cell);
+  const std::uint32_t bidx = find_block(key);
+  if (bidx != kNoBlock && blocks_[bidx].ticks[off] != 0) {
+    Block& b = blocks_[bidx];
+    b.ticks[off] = next_tick_++;
+    ring_.push_back({b.ticks[off], bidx, static_cast<std::uint8_t>(off),
+                     static_cast<std::uint8_t>(off + 1)});
     ++hits_;
+    maybe_compact_ring();
     return true;
   }
   ++misses_;
-  touch_or_insert(id);
+  touch_one(bidx != kNoBlock ? bidx : find_or_create_block(key), off);
   return false;
 }
 
 double ServerTileCache::hit_rate() const {
   const std::uint64_t total = hits_ + misses_;
-  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
 }
 
-void ServerTileCache::touch_or_insert(VideoId id) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+std::uint32_t ServerTileCache::find_block(std::uint64_t key) const {
+  const std::size_t mask = table_.size() - 1;
+  for (std::size_t i = slot_index(key, table_.size());; i = (i + 1) & mask) {
+    const TableEntry& e = table_[i];
+    if (e.state == kStateEmpty) return kNoBlock;
+    if (e.state == kStateLive && e.key == key) return e.block;
   }
-  lru_.push_front(id);
-  map_[id] = lru_.begin();
-  if (map_.size() > config_.capacity_tiles) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
+}
+
+std::uint32_t ServerTileCache::find_or_create_block(std::uint64_t key) {
+  const std::size_t mask = table_.size() - 1;
+  const std::size_t npos = table_.size();
+  std::size_t insert_at = npos;
+  std::size_t i = slot_index(key, table_.size());
+  for (;; i = (i + 1) & mask) {
+    TableEntry& e = table_[i];
+    if (e.state == kStateEmpty) break;
+    if (e.state == kStateTombstone) {
+      if (insert_at == npos) insert_at = i;
+      continue;
+    }
+    if (e.key == key) return e.block;
   }
+  std::uint32_t bidx;
+  if (!free_blocks_.empty()) {
+    bidx = free_blocks_.back();
+    free_blocks_.pop_back();
+  } else {
+    bidx = static_cast<std::uint32_t>(blocks_.size());
+    blocks_.emplace_back();
+  }
+  blocks_[bidx].key = key;  // ticks already zero (fresh or free_block'd)
+  if (insert_at != npos) {
+    --tombstones_;
+  } else {
+    insert_at = i;
+  }
+  table_[insert_at] = {key, bidx, kStateLive};
+  ++live_blocks_;
+  // Keep the probe load factor (live + tombstones) at or under 1/2.
+  if ((live_blocks_ + tombstones_) * 2 >= table_.size()) {
+    std::size_t target = kMinTableSlots;
+    while (target < 4 * live_blocks_) target <<= 1;
+    rehash_table(target);
+  }
+  return bidx;
+}
+
+void ServerTileCache::touch_one(std::uint32_t block, int offset) {
+  Block& b = blocks_[block];
+  const bool newly = b.ticks[offset] == 0;
+  b.ticks[offset] = next_tick_++;
+  ring_.push_back({b.ticks[offset], block, static_cast<std::uint8_t>(offset),
+                   static_cast<std::uint8_t>(offset + 1)});
+  if (newly) {
+    ++b.live;
+    ++live_;
+    while (live_ > config_.capacity_tiles) evict_lru();
+  }
+  maybe_compact_ring();
+}
+
+void ServerTileCache::evict_lru() {
+  // Ticks only grow, so the ring is sorted: the first stamped offset
+  // whose tick is unchanged is the least-recently-touched live id.
+  // Every live id has a current stamp, so the scan always terminates.
+  for (;;) {
+    Stamp& st = ring_[ring_head_];
+    Block& b = blocks_[st.block];
+    std::uint64_t tick = st.tick;
+    std::uint8_t off = st.begin;
+    bool evicted = false;
+    while (off < st.end) {
+      if (b.ticks[off] == tick) {
+        b.ticks[off] = 0;
+        --b.live;
+        --live_;
+        evicted = true;
+        ++off;
+        ++tick;
+        break;
+      }
+      ++off;
+      ++tick;
+    }
+    st.begin = off;
+    st.tick = tick;
+    if (off >= st.end) ++ring_head_;
+    if (evicted) {
+      if (b.live == 0) free_block(st.block);
+      return;
+    }
+  }
+}
+
+void ServerTileCache::free_block(std::uint32_t block) {
+  Block& b = blocks_[block];
+  std::fill(std::begin(b.ticks), std::end(b.ticks), 0);
+  const std::size_t mask = table_.size() - 1;
+  for (std::size_t i = slot_index(b.key, table_.size());; i = (i + 1) & mask) {
+    TableEntry& e = table_[i];
+    if (e.state == kStateLive && e.key == b.key) {
+      e.state = kStateTombstone;
+      break;
+    }
+  }
+  --live_blocks_;
+  ++tombstones_;
+  free_blocks_.push_back(block);
+}
+
+void ServerTileCache::maybe_compact_ring() {
+  // Live stamps number at most live_blocks_ (ranges) + live_ (singles),
+  // so past this threshold at least half the span is stale and one
+  // compaction pass amortizes to O(1) per touch.
+  if (ring_.size() - ring_head_ > 2 * (live_blocks_ + live_) + 1024) {
+    compact_ring();
+  }
+}
+
+void ServerTileCache::compact_ring() {
+  std::size_t out = 0;
+  for (std::size_t i = ring_head_; i < ring_.size(); ++i) {
+    const Stamp& st = ring_[i];
+    const Block& b = blocks_[st.block];
+    bool alive = false;
+    std::uint64_t tick = st.tick;
+    for (std::uint8_t off = st.begin; off < st.end; ++off, ++tick) {
+      if (b.ticks[off] == tick) {
+        alive = true;
+        break;
+      }
+    }
+    if (alive) ring_[out++] = st;
+  }
+  ring_.resize(out);
+  ring_head_ = 0;
+}
+
+void ServerTileCache::rehash_table(std::size_t new_size) {
+  const std::vector<TableEntry> old = std::move(table_);
+  table_.assign(new_size, TableEntry{});
+  const std::size_t mask = new_size - 1;
+  for (const TableEntry& e : old) {
+    if (e.state != kStateLive) continue;
+    std::size_t i = slot_index(e.key, new_size);
+    while (table_[i].state != kStateEmpty) i = (i + 1) & mask;
+    table_[i] = e;
+  }
+  tombstones_ = 0;
 }
 
 }  // namespace cvr::content

@@ -89,6 +89,17 @@ struct SlotProblemSoA {
 
   /// @brief prepare() + full-range gather.
   void gather(const SlotProblem& problem);
+
+  /// @brief Fused gather + dirty tracking for user `i` (incremental
+  /// rebuilds, docs/performance.md). Recomputes every input of lane `i`
+  /// with exactly the gather_range() arithmetic, compares each new
+  /// double *bitwise* against the plane's previous content, and stores
+  /// it. Returns true iff any bit changed — the planes themselves are
+  /// the fingerprint, so there is no hash to collide and a clean lane
+  /// is clean by construction.
+  /// @pre prepare() ran for an identical user count (planes sized).
+  /// @throws std::out_of_range like gather_range() (short frame_loss).
+  bool gather_user_tracked(const SlotProblem& problem, std::size_t i);
 };
 
 /// @brief One user's h-table for one slot: a thin strided view into
@@ -154,6 +165,18 @@ class HTableSet {
   /// scalar otherwise — bit-identical either way), derives increments
   /// and densities, then validates the rate planes.
   ///
+  /// Incremental rebuilds (docs/performance.md): when the previous
+  /// build() on this set succeeded with the same user count and
+  /// bitwise-equal QoeParams, the gather runs in fused compare+store
+  /// mode and the kernel + rate validation only touch the
+  /// simd::kLanes-granular lane blocks whose inputs changed. Clean
+  /// lanes keep their previous outputs, which are bit-identical to a
+  /// recompute because every output is a pure function of its own
+  /// lane's inputs (pinned by core.htable_incremental_matches_full).
+  /// Any user-count change, params change, or prior failed build falls
+  /// back to the full rebuild. Membership churn needs no special case:
+  /// a swapped-in user changes its lane's inputs and dirties the block.
+  ///
   /// Error contract (validated-at-build): a rate table that is not
   /// strictly increasing throws std::logic_error *here*, once per
   /// slot — hoisting h_density's per-call throw out of the ascent
@@ -215,12 +238,30 @@ class HTableSet {
   double evaluate(const std::vector<QualityLevel>& levels) const;
 
  private:
+  /// Full-rebuild body (gather + kernel over every lane + validation).
+  void build_full(const SlotProblem& problem, cvr::ThreadPool* pool,
+                  std::size_t parallel_min_users);
+  /// Dirty-block body; pre: the incremental preconditions hold.
+  void build_incremental(const SlotProblem& problem, cvr::ThreadPool* pool,
+                         std::size_t parallel_min_users);
+  /// Runs the backend-selected kernel on lanes [begin, end).
+  void run_kernel(const QoeParams& params, std::size_t begin, std::size_t end);
+  /// Throws std::logic_error on a non-increasing rate step in lanes
+  /// [begin, min(end, users_)).
+  void validate_rates(std::size_t begin, std::size_t end) const;
+
   SlotProblemSoA soa_;
   std::size_t users_ = 0;
   std::size_t stride_ = 0;
   std::vector<double> h_;          ///< [L][stride].
   std::vector<double> increment_;  ///< [L-1][stride].
   std::vector<double> density_;    ///< [L-1][stride].
+  /// Incremental-rebuild state: whether the last build() completed
+  /// (false while building, so a throw forces the next build full),
+  /// the params it used, and the per-lane-block dirty flags (recycled).
+  bool valid_ = false;
+  QoeParams params_{};
+  std::vector<unsigned char> dirty_;  ///< [stride / simd::kLanes].
 };
 
 namespace detail {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <future>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -10,6 +13,7 @@
 #include "src/proto/messages.h"
 #include "src/system/slot_pipeline.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace cvr::fleet {
 
@@ -26,6 +30,22 @@ struct RetryEntry {
 void count_fleet(telemetry::Collector* telemetry, telemetry::Counter counter,
                  std::uint64_t delta = 1) {
   if (telemetry != nullptr) telemetry->count(counter, delta);
+}
+
+/// The effective worker count for the per-server phases: the config
+/// knob, overridden by CVR_FLEET_THREADS when set to a parseable value
+/// (the CI forced-serial leg exports CVR_FLEET_THREADS=1 the same way
+/// CVR_FORCE_SCALAR forces the scalar SIMD backend).
+std::size_t resolve_fleet_threads(std::size_t configured) {
+  const char* env = std::getenv("CVR_FLEET_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      configured = static_cast<std::size_t>(value);
+    }
+  }
+  return configured == 1 ? 1 : cvr::resolve_thread_count(configured);
 }
 
 }  // namespace
@@ -138,6 +158,46 @@ FleetRunResult FleetSim::run(core::Allocator& allocator, std::size_t repeat,
   std::vector<std::vector<std::size_t>> members(n_servers);
   // Per-user handle back into the serving server's allocation.
   std::vector<std::size_t> member_index(n_users, 0);
+  // Per-user tile requests, recycled across slots (index = user).
+  std::vector<system::TileRequest> requests(n_users);
+
+  // Across-server parallelism (docs/fleet.md): the per-server phases of
+  // a slot fan out onto a shared pool, one task per server, drained in
+  // server-index order. Requires per-server allocator instances — a
+  // stateless allocator is cloned once per server (each clone sees one
+  // server's problem stream, exactly what the serial schedule feeds a
+  // dedicated server). A stateful or unclonable allocator keeps the
+  // serial schedule: its cross-slot state depends on the interleaved
+  // problem order only the serial loop reproduces.
+  const std::size_t fleet_threads = resolve_fleet_threads(config_.threads);
+  std::unique_ptr<cvr::ThreadPool> pool;
+  std::vector<std::unique_ptr<core::Allocator>> clones;
+  if (fleet_threads != 1 && n_servers > 1 && allocator.stateless()) {
+    clones.reserve(n_servers);
+    bool cloneable = true;
+    for (std::size_t k = 0; k < n_servers && cloneable; ++k) {
+      clones.push_back(allocator.clone());
+      cloneable = clones.back() != nullptr;
+    }
+    if (cloneable) {
+      pool = std::make_unique<cvr::ThreadPool>(fleet_threads);
+      // One shared pool, no nested oversubscription: clones may use it
+      // for within-slot parallelism, but a nested submit from inside an
+      // outer per-server task runs inline (ThreadPool's nesting
+      // policy), so the outer fan-out always wins while it is active.
+      for (auto& clone : clones) clone->set_thread_pool(pool.get());
+    } else {
+      clones.clear();
+    }
+  }
+  struct PoolDetach {
+    std::vector<std::unique_ptr<core::Allocator>>& clones;
+    ~PoolDetach() {
+      for (auto& clone : clones) {
+        if (clone != nullptr) clone->set_thread_pool(nullptr);
+      }
+    }
+  } pool_detach{clones};
 
   system::SlotContext ctx;
   ctx.config = &base;
@@ -394,24 +454,38 @@ FleetRunResult FleetSim::run(core::Allocator& allocator, std::size_t repeat,
       }
     }
 
-    if (t >= 1 && (t - 1) % base.pose_upload_period == 0) {
-      telemetry::PhaseSpan ingest_span(telemetry,
-                                       telemetry::Phase::kPoseIngest,
-                                       telemetry::Collector::kServerPid, slot);
-      for (std::size_t u = 0; u < n_users; ++u) {
-        if (orphan[u] || lost[u]) continue;
-        if (faults.user_disconnected(u, t) || faults.pose_blackout(u, t)) {
-          continue;
-        }
-        system::upload_pose(servers[serving[u]], worlds[u], u, t, telemetry);
-      }
+    // ---- Per-server phases: pose ingest, problem build, solve, tile
+    // requests, rendering. Every write below is owned by exactly one
+    // server — its own Server state, arena, allocation, its members'
+    // member_index/requests lanes, its per_server stats row — and the
+    // only shared sinks are telemetry counters (integer sums, order-
+    // independent). No shared-RNG draw happens anywhere in here, which
+    // is what makes the fan-out bit-identical to the serial schedule
+    // (docs/fleet.md; pinned by the ParallelFleet tests).
+    const bool ingest_slot = t >= 1 && (t - 1) % base.pose_upload_period == 0;
+    // Orphaned/lost users have no serving server: an idle request at
+    // the mandatory floor, written by the coordinator so the per-server
+    // tasks only ever touch their own members' lanes.
+    for (std::size_t u = 0; u < n_users; ++u) {
+      if (orphan[u] || lost[u]) requests[u] = system::TileRequest{};
     }
 
-    // Per-server problem build + allocation over its members.
-    for (std::size_t k = 0; k < n_servers; ++k) {
+    const auto run_server_slot = [&](std::size_t k, core::Allocator& alloc) {
+      if (ingest_slot) {
+        telemetry::PhaseSpan ingest_span(telemetry,
+                                         telemetry::Phase::kPoseIngest,
+                                         telemetry::Collector::kServerPid,
+                                         slot);
+        for (std::size_t u : members[k]) {
+          if (faults.user_disconnected(u, t) || faults.pose_blackout(u, t)) {
+            continue;
+          }
+          system::upload_pose(servers[k], worlds[u], u, t, telemetry);
+        }
+      }
       if (!alive[k] || members[k].empty()) {
         allocations[k].levels.clear();
-        continue;
+        return;
       }
       servers[k].set_server_bandwidth(budget[k]);
       core::SlotProblem& problem = arenas[k].acquire(members[k].size());
@@ -439,7 +513,7 @@ FleetRunResult FleetSim::run(core::Allocator& allocator, std::size_t repeat,
                                         telemetry::Phase::kAllocSolve,
                                         telemetry::Collector::kServerPid,
                                         slot);
-        allocator.allocate_into(problem, allocations[k]);
+        alloc.allocate_into(problem, allocations[k]);
       }
       if (allocations[k].levels.size() != members[k].size()) {
         throw std::logic_error("allocator returned wrong level count");
@@ -462,44 +536,35 @@ FleetRunResult FleetSim::run(core::Allocator& allocator, std::size_t repeat,
         util_sum[k] += allocated / budget[k];
         util_slots[k] += 1;
       }
-    }
-    for (std::size_t k = 0; k < n_servers; ++k) budget_sum[k] += budget[k];
-
-    // Tile requests in global user order (the order SystemSim uses).
-    std::vector<system::TileRequest> requests;
-    requests.reserve(n_users);
-    {
-      telemetry::PhaseSpan fetch_span(telemetry,
-                                      telemetry::Phase::kContentFetch,
-                                      telemetry::Collector::kServerPid, slot);
-      for (std::size_t u = 0; u < n_users; ++u) {
-        if (orphan[u] || lost[u]) {
-          system::TileRequest idle;  // no serving server, mandatory floor
-          requests.push_back(std::move(idle));
-          continue;
-        }
-        const core::QualityLevel level =
-            allocations[serving[u]].levels[member_index[u]];
-        if (faults.user_disconnected(u, t)) {
-          // No device on the network: nothing to request, zero demand,
-          // and the server's per-user caches stay untouched.
-          system::TileRequest idle;
-          idle.level = level;
-          requests.push_back(std::move(idle));
-          continue;
-        }
-        requests.push_back(servers[serving[u]].make_request(u, level));
-        if (telemetry != nullptr) {
-          telemetry->count(telemetry::Counter::kTilesRequested,
-                           requests.back().tiles.size());
+      // Tile requests for this server's members. members[k] order may
+      // differ from global user order after mid-slot re-admissions, but
+      // make_request only touches user u's own server-side state (plus
+      // order-independent memo/telemetry), so the visit order within a
+      // server does not affect any result.
+      {
+        telemetry::PhaseSpan fetch_span(telemetry,
+                                        telemetry::Phase::kContentFetch,
+                                        telemetry::Collector::kServerPid,
+                                        slot);
+        for (std::size_t u : members[k]) {
+          const core::QualityLevel level =
+              allocations[k].levels[member_index[u]];
+          if (faults.user_disconnected(u, t)) {
+            // No device on the network: nothing to request, zero
+            // demand, and the server's per-user caches stay untouched.
+            requests[u] = system::TileRequest{};
+            requests[u].level = level;
+            continue;
+          }
+          requests[u] = servers[k].make_request(u, level);
+          if (telemetry != nullptr) {
+            telemetry->count(telemetry::Counter::kTilesRequested,
+                             requests[u].tiles.size());
+          }
         }
       }
-    }
-
-    // Online rendering: one farm per edge server over its members.
-    if (base.online_rendering) {
-      for (std::size_t k = 0; k < n_servers; ++k) {
-        if (!alive[k] || members[k].empty()) continue;
+      // Online rendering: one farm per edge server over its members.
+      if (base.online_rendering) {
         const render::RenderFarm farm(base.render_farm);
         std::vector<render::RenderJob> jobs;
         jobs.reserve(members[k].size());
@@ -517,7 +582,26 @@ FleetRunResult FleetSim::run(core::Allocator& allocator, std::size_t repeat,
           }
         }
       }
+    };
+
+    if (pool != nullptr) {
+      // Fan out, then drain in server-index order so the first (lowest
+      // k) exception wins — the same exception surface as serial.
+      std::vector<std::future<void>> tasks;
+      tasks.reserve(n_servers);
+      for (std::size_t k = 0; k < n_servers; ++k) {
+        tasks.push_back(
+            pool->submit([&run_server_slot, &clones, k] {
+              run_server_slot(k, *clones[k]);
+            }));
+      }
+      for (auto& task : tasks) task.get();
+    } else {
+      for (std::size_t k = 0; k < n_servers; ++k) {
+        run_server_slot(k, allocator);
+      }
     }
+    for (std::size_t k = 0; k < n_servers; ++k) budget_sum[k] += budget[k];
 
     const std::vector<double> granted =
         system::serve_routers(net, requests, telemetry, slot);

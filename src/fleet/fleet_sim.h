@@ -97,6 +97,17 @@ struct FleetConfig {
   /// ramp, same mechanism as the load service's degrade ladder).
   std::size_t ramp_slots_per_level = 33;
   std::vector<PlannedMigration> planned_migrations;
+  /// Across-server slot parallelism (docs/fleet.md): worker count for
+  /// the per-server phases (pose ingest, problem build, solve, tile
+  /// requests, rendering). 1 = serial reference schedule; 0 = all
+  /// hardware threads; n > 1 = a pool of n workers. Requires a
+  /// stateless(), clone()able allocator — otherwise the run silently
+  /// falls back to serial. Results are bit-identical across all values
+  /// (the global phases — fleet control, budget split, router service,
+  /// the RNG-consuming serve loop — always run on the coordinating
+  /// thread). The CVR_FLEET_THREADS env var overrides this when set
+  /// (CI's forced-serial leg, mirroring CVR_FORCE_SCALAR).
+  std::size_t threads = 1;
 };
 
 /// Per-server accounting for one run.

@@ -95,6 +95,12 @@ struct LoadServiceConfig {
   /// Accept-queue bound: pending connects beyond this are rejected
   /// immediately (the "listen backlog").
   std::size_t max_queue_depth = 256;
+  /// Within-slot allocator parallelism, mirroring
+  /// SystemSimConfig::allocator_threads: 0 = serial (default); k > 0
+  /// lends the allocator a ThreadPool of resolve_thread_count(k)
+  /// workers for its per-slot fork-join spans. Bit-identical results
+  /// either way (see Allocator::set_thread_pool).
+  std::size_t allocator_threads = 0;
   /// Safety valve on the drain phase (slots past the arrival horizon).
   std::size_t max_drain_slots = 120000;
   /// Per-session rate-function variation (content heterogeneity).

@@ -172,7 +172,7 @@ void Server::fill_user_context(std::size_t t, std::size_t u,
 
   const motion::Pose predicted = predict_pose(u);
   const content::GridCell cell = clamped_cell(predicted.x, predicted.y);
-  const content::CrfRateFunction f = content_db_.frame_rate_function(cell);
+  const content::CellContent& cc = content_db_.cell_content(cell);
   // HEVC realism (docs/workloads.md): the allocator prices this slot's
   // frame at its realized I/P-frame size, not the smooth CRF mean. One
   // process step per problem build keeps the stream aligned with the
@@ -219,11 +219,11 @@ void Server::fill_user_context(std::size_t t, std::size_t u,
     // faulted user's stale estimates stop competing for the shared
     // server budget. Level 1 itself is the mandatory minimum and
     // stays allocated regardless (Allocator contract).
-    ctx.user_bandwidth = std::min(ctx.user_bandwidth, f.rate(1) * hevc_mult);
+    ctx.user_bandwidth = std::min(ctx.user_bandwidth, cc.rate[0] * hevc_mult);
   }
   for (core::QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
     const auto idx = static_cast<std::size_t>(q - 1);
-    const double r = f.rate(q) * hevc_mult;
+    const double r = cc.rate[idx] * hevc_mult;
     ctx.rate[idx] = r;
     // A trained delay polynomial describes the regime its samples came
     // from; after prolonged silence that regime is suspect, so fall
@@ -359,10 +359,10 @@ core::UserSlotContext Server::candidate_context(const proto::UserHandoff& frame,
   ctx.user_bandwidth = frame.bandwidth_mbps;
   const motion::Pose pose = frame.has_pose ? frame.pose : motion::Pose{};
   const content::GridCell cell = clamped_cell(pose.x, pose.y);
-  const content::CrfRateFunction f = content_db_.frame_rate_function(cell);
+  const content::CellContent& cc = content_db_.cell_content(cell);
   for (core::QualityLevel q = 1; q <= core::kNumQualityLevels; ++q) {
     const auto idx = static_cast<std::size_t>(q - 1);
-    const double r = f.rate(q);
+    const double r = cc.rate[idx];
     ctx.rate[idx] = r;
     ctx.delay[idx] =
         net::mm1_delay(r, ctx.user_bandwidth) * cvr::kSlotMillis;
@@ -375,7 +375,7 @@ double Server::mandatory_load(const std::vector<std::size_t>& members) const {
   for (std::size_t u : members) {
     const motion::Pose predicted = predict_pose(u);
     const content::GridCell cell = clamped_cell(predicted.x, predicted.y);
-    total += content_db_.frame_rate_function(cell).rate(1);
+    total += content_db_.cell_content(cell).rate[0];
   }
   return total;
 }
@@ -395,10 +395,12 @@ TileRequest Server::make_request(std::size_t u, core::QualityLevel level) {
 
   TileRequest request;
   request.level = level;
-  const auto tile_indices = content::tiles_for_view(fov_for(u), predicted);
-  request.full_set.reserve(tile_indices.size());
-  for (int tile : tile_indices) {
-    const content::TileKey key{cell, tile, level};
+  int tile_indices[content::kTilesPerFrame];
+  const int tile_count =
+      content::tiles_for_view(fov_for(u), predicted, tile_indices);
+  request.full_set.reserve(static_cast<std::size_t>(tile_count));
+  for (int i = 0; i < tile_count; ++i) {
+    const content::TileKey key{cell, tile_indices[i], level};
     const content::VideoId id = content::pack_video_id(key);
     user.cache.lookup(id);
     request.full_set.push_back(id);
@@ -432,8 +434,10 @@ TileRequest Server::make_request(std::size_t u, core::QualityLevel level) {
     fallback.gy = std::clamp(fallback.gy, 0, content_db_.config().grid_height - 1);
     if (!(fallback == cell)) {
       std::vector<content::VideoId> fallback_set;
-      for (int tile : tile_indices) {
-        fallback_set.push_back(content::pack_video_id({fallback, tile, 1}));
+      fallback_set.reserve(static_cast<std::size_t>(tile_count));
+      for (int i = 0; i < tile_count; ++i) {
+        fallback_set.push_back(
+            content::pack_video_id({fallback, tile_indices[i], 1}));
       }
       const auto needed = user.delivered.filter_needed(fallback_set);
       // Insurance only when the link has headroom: never push the slot

@@ -237,9 +237,13 @@ void serve_connected_user(const SlotContext& ctx, std::size_t u, std::size_t t,
   if (!request.full_set.empty()) {
     const content::TileKey delivered_key =
         content::unpack_video_id(request.full_set.front());
-    for (int tile : content::tiles_for_view(ctx.unmargined, actual)) {
+    int needed_tiles[content::kTilesPerFrame];
+    const int needed_count =
+        content::tiles_for_view(ctx.unmargined, actual, needed_tiles);
+    needed.reserve(static_cast<std::size_t>(needed_count));
+    for (int i = 0; i < needed_count; ++i) {
       needed.push_back(
-          content::pack_video_id({delivered_key.cell, tile, level}));
+          content::pack_video_id({delivered_key.cell, needed_tiles[i], level}));
     }
   }
 
@@ -268,9 +272,12 @@ void serve_connected_user(const SlotContext& ctx, std::size_t u, std::size_t t,
         std::abs(predicted.pitch - actual.pitch) <= user_fov.margin_deg;
     if (dist <= user_fov.position_tolerance_m && orientation_ok) {
       bool resident = true;
-      for (int tile : content::tiles_for_view(ctx.unmargined, actual)) {
+      int fb_tiles[content::kTilesPerFrame];
+      const int fb_count =
+          content::tiles_for_view(ctx.unmargined, actual, fb_tiles);
+      for (int i = 0; i < fb_count; ++i) {
         if (!world.client.buffer().contains(
-                content::pack_video_id({fallback_key.cell, tile, 1}))) {
+                content::pack_video_id({fallback_key.cell, fb_tiles[i], 1}))) {
           resident = false;
           break;
         }

@@ -2,6 +2,15 @@
 
 namespace cvr {
 
+namespace {
+/// Which pool (if any) owns the current thread. Set once per worker at
+/// spawn; plain thread_local suffices because a thread belongs to at
+/// most one pool for its whole lifetime.
+thread_local const ThreadPool* current_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const { return current_pool == this; }
+
 std::size_t resolve_thread_count(std::size_t requested) {
   if (requested != 0) return requested;
   const unsigned hardware = std::thread::hardware_concurrency();
@@ -30,6 +39,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_pool = this;
   for (;;) {
     std::function<void()> task;
     {

@@ -44,8 +44,22 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True iff the calling thread is one of this pool's workers.
+  /// Nesting policy (docs/fleet.md): submit() from inside a worker of
+  /// the SAME pool runs the task inline instead of enqueueing it —
+  /// with one FIFO queue, a worker that blocked on a future for a task
+  /// queued behind its own would deadlock the moment every worker does
+  /// it (the fleet's outer per-server fan-out composing with the
+  /// allocator's inner per-lane fan-out on one shared pool). Inline
+  /// execution keeps the future contract (value or exception captured)
+  /// and, because both fan-outs only ever partition disjoint state,
+  /// cannot change any result bit.
+  bool on_worker_thread() const;
+
   /// Enqueues `fn` and returns a future for its result. Tasks start in
-  /// FIFO order; a task's exception surfaces from future.get().
+  /// FIFO order; a task's exception surfaces from future.get(). Called
+  /// from one of this pool's own workers, the task instead runs inline
+  /// before submit() returns (see on_worker_thread()).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using Result = std::invoke_result_t<std::decay_t<F>>;
@@ -54,6 +68,10 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
     std::future<Result> future = task->get_future();
+    if (on_worker_thread()) {
+      (*task)();  // nested submit: run inline, never self-deadlock
+      return future;
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) {

@@ -437,6 +437,97 @@ TEST(FleetRing, ValidationAndDeterminism) {
   EXPECT_THROW(a.owner(0, std::vector<bool>(5, false)), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------
+// Parallel slot execution (docs/fleet.md): FleetConfig::threads is an
+// execution detail — outcomes, timeline, stats, and every telemetry
+// counter must be bit-identical to the serial reference schedule, fault
+// schedules included. These suites run under the TSan CI leg.
+
+fleet::FleetRunResult run_with_threads(const fleet::FleetConfig& base_config,
+                                       std::size_t threads,
+                                       system::Timeline* timeline,
+                                       telemetry::Collector* collector,
+                                       bool warm_start = false) {
+  fleet::FleetConfig config = base_config;
+  config.threads = threads;
+  core::DvGreedyAllocator alloc(core::DvGreedyAllocator::Mode::kCombined,
+                                core::DvGreedyAllocator::Strategy::kHeap,
+                                warm_start);
+  return fleet::FleetSim(config).run(alloc, 0, timeline, collector);
+}
+
+void expect_parallel_matches_serial(const fleet::FleetConfig& config) {
+  system::Timeline serial_tl;
+  telemetry::MetricsRegistry serial_reg;
+  telemetry::Collector serial_col(telemetry::Mode::kCounters, &serial_reg);
+  const auto serial = run_with_threads(config, 1, &serial_tl, &serial_col);
+
+  system::Timeline parallel_tl;
+  telemetry::MetricsRegistry parallel_reg;
+  telemetry::Collector parallel_col(telemetry::Mode::kCounters,
+                                    &parallel_reg);
+  const auto parallel =
+      run_with_threads(config, 3, &parallel_tl, &parallel_col);
+
+  expect_outcomes_identical(serial.outcomes, parallel.outcomes);
+  expect_timelines_identical(serial_tl, parallel_tl);
+  EXPECT_EQ(serial.stats.crashes, parallel.stats.crashes);
+  EXPECT_EQ(serial.stats.migrations, parallel.stats.migrations);
+  EXPECT_EQ(serial.stats.handoff_frames, parallel.stats.handoff_frames);
+  EXPECT_EQ(serial.stats.retry_attempts, parallel.stats.retry_attempts);
+  EXPECT_EQ(serial.stats.lost_users, parallel.stats.lost_users);
+  ASSERT_EQ(serial.stats.per_server.size(), parallel.stats.per_server.size());
+  for (std::size_t k = 0; k < serial.stats.per_server.size(); ++k) {
+    EXPECT_EQ(serial.stats.per_server[k].served_user_slots,
+              parallel.stats.per_server[k].served_user_slots);
+    EXPECT_EQ(serial.stats.per_server[k].mean_budget_mbps,
+              parallel.stats.per_server[k].mean_budget_mbps);
+    EXPECT_EQ(serial.stats.per_server[k].mean_utilization,
+              parallel.stats.per_server[k].mean_utilization);
+  }
+  // Full counter equality, not just the fleet_ prefix: worker-thread
+  // shards must merge to exactly the serial totals.
+  EXPECT_EQ(serial_reg.snapshot().counters, parallel_reg.snapshot().counters);
+}
+
+TEST(ParallelFleet, BitIdenticalToSerialUnderCrash) {
+  expect_parallel_matches_serial(
+      crash_config(fleet::AssignmentMode::kShardedHash));
+}
+
+TEST(ParallelFleet, BitIdenticalToSerialUnderMirroredCrash) {
+  expect_parallel_matches_serial(
+      crash_config(fleet::AssignmentMode::kMirrored));
+}
+
+TEST(ParallelFleet, BitIdenticalToSerialUnderPartition) {
+  fleet::FleetConfig config = crash_config(fleet::AssignmentMode::kShardedHash);
+  config.base.faults.add(
+      make_fault(faults::FaultType::kFleetPartition, 2, 100, 200));
+  expect_parallel_matches_serial(config);
+}
+
+TEST(ParallelFleet, ThreadsZeroMeansAllHardwareThreads) {
+  const fleet::FleetConfig config =
+      crash_config(fleet::AssignmentMode::kShardedHash);
+  const auto serial = run_with_threads(config, 1, nullptr, nullptr);
+  const auto parallel = run_with_threads(config, 0, nullptr, nullptr);
+  expect_outcomes_identical(serial.outcomes, parallel.outcomes);
+}
+
+TEST(ParallelFleet, StatefulAllocatorFallsBackToSerial) {
+  // dv-warm carries state across slots (stateless() == false): the
+  // fleet must keep the serial schedule, and a threads > 1 request
+  // must change nothing.
+  const fleet::FleetConfig config =
+      crash_config(fleet::AssignmentMode::kShardedHash);
+  const auto serial =
+      run_with_threads(config, 1, nullptr, nullptr, /*warm_start=*/true);
+  const auto requested_parallel =
+      run_with_threads(config, 4, nullptr, nullptr, /*warm_start=*/true);
+  expect_outcomes_identical(serial.outcomes, requested_parallel.outcomes);
+}
+
 TEST(FleetConfigValidation, RejectsDegenerateConfigs) {
   fleet::FleetConfig config;
   config.base = system::setup_one_router(2);

@@ -1,9 +1,125 @@
 #include "src/content/server_cache.h"
 
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
 #include <gtest/gtest.h>
+
+#include "src/util/rng.h"
 
 namespace cvr::content {
 namespace {
+
+/// Naive reference LRU (the pre-optimization std::list + map pairing);
+/// the differential test below pins the cell-block cache to it.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(ServerCacheConfig config) : config_(config) {}
+
+  void advance(const GridCell& center) {
+    const std::int32_t r = config_.window_radius_cells;
+    for (std::int32_t dx = -r; dx <= r; ++dx) {
+      for (std::int32_t dy = -r; dy <= r; ++dy) {
+        const GridCell cell{center.gx + dx, center.gy + dy};
+        for (int tile = 0; tile < kTilesPerFrame; ++tile) {
+          for (QualityLevel q = 1; q <= kNumQualityLevels; ++q) {
+            touch_or_insert(pack_video_id({cell, tile, q}));
+          }
+        }
+      }
+    }
+  }
+
+  bool lookup(VideoId id) {
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return true;
+    }
+    ++misses_;
+    touch_or_insert(id);
+    return false;
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  void touch_or_insert(VideoId id) {
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.push_front(id);
+    map_[id] = lru_.begin();
+    if (map_.size() > config_.capacity_tiles) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  ServerCacheConfig config_;
+  std::list<VideoId> lru_;
+  std::unordered_map<VideoId, std::list<VideoId>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Random walks + random lookups, comparing hits/misses/size and the
+/// full per-id hit/miss sequence against the reference after every
+/// operation. Small capacities force heavy eviction churn, including
+/// capacities below one cell block (the per-id stamp fallback).
+void run_differential(std::size_t capacity, std::int32_t radius,
+                      std::uint64_t seed, int ops) {
+  ServerCacheConfig config;
+  config.capacity_tiles = capacity;
+  config.window_radius_cells = radius;
+  ServerTileCache cache(config);
+  ReferenceLru reference(config);
+  cvr::Rng rng(seed);
+  GridCell center{100, 100};
+  for (int op = 0; op < ops; ++op) {
+    const double roll = rng.uniform();
+    if (roll < 0.4) {
+      center.gx += static_cast<std::int32_t>(rng.uniform_int(-1, 1));
+      center.gy += static_cast<std::int32_t>(rng.uniform_int(-1, 1));
+      cache.advance(center);
+      reference.advance(center);
+    } else {
+      // Lookups around (and sometimes far from) the window: hits,
+      // misses, and miss-then-insert transitions.
+      const GridCell cell{
+          center.gx + static_cast<std::int32_t>(rng.uniform_int(-6, 6)),
+          center.gy + static_cast<std::int32_t>(rng.uniform_int(-6, 6))};
+      const int tile = static_cast<int>(rng.uniform_int(0, kTilesPerFrame - 1));
+      const QualityLevel q =
+          static_cast<QualityLevel>(rng.uniform_int(1, kNumQualityLevels));
+      const VideoId id = pack_video_id({cell, tile, q});
+      ASSERT_EQ(cache.lookup(id), reference.lookup(id))
+          << "op " << op << " id " << id;
+    }
+    ASSERT_EQ(cache.size(), reference.size()) << "op " << op;
+    ASSERT_EQ(cache.hits(), reference.hits()) << "op " << op;
+    ASSERT_EQ(cache.misses(), reference.misses()) << "op " << op;
+  }
+}
+
+TEST(ServerTileCache, MatchesReferenceLruUnderChurn) {
+  run_differential(/*capacity=*/500, /*radius=*/2, /*seed=*/1, /*ops=*/400);
+  run_differential(/*capacity=*/2000, /*radius=*/3, /*seed=*/2, /*ops=*/300);
+}
+
+TEST(ServerTileCache, MatchesReferenceLruAtTinyCapacity) {
+  // Below one cell block (4 tiles x 6 levels = 24 ids) the cache keeps
+  // per-id stamps; eviction can land inside the cell being advanced.
+  run_differential(/*capacity=*/7, /*radius=*/1, /*seed=*/3, /*ops=*/300);
+  run_differential(/*capacity=*/24, /*radius=*/0, /*seed=*/4, /*ops=*/300);
+  run_differential(/*capacity=*/25, /*radius=*/1, /*seed=*/5, /*ops=*/300);
+}
 
 TEST(ServerTileCache, AdvancePrefetchesWindow) {
   ServerCacheConfig config;

@@ -112,5 +112,52 @@ TEST(ThreadPool, ManyProducersOneQueue) {
   EXPECT_EQ(total.load(), 100);
 }
 
+TEST(ThreadPool, NestedSubmitFromWorkerRunsInline) {
+  // A worker submitting to its own pool must not enqueue (a pool with
+  // one busy worker would deadlock on its own FIFO); the nested task
+  // runs inline and its future is ready before submit() returns.
+  ThreadPool pool(1);
+  std::atomic<int> order{0};
+  auto outer = pool.submit([&pool, &order] {
+    EXPECT_TRUE(pool.on_worker_thread());
+    int inner_at = -1;
+    auto inner = pool.submit([&order, &inner_at] { inner_at = ++order; });
+    EXPECT_EQ(inner.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    inner.get();
+    EXPECT_EQ(inner_at, 1);
+    ++order;
+  });
+  outer.get();
+  EXPECT_EQ(order.load(), 2);
+}
+
+TEST(ThreadPool, OnWorkerThreadIsPerPool) {
+  // Thread identity is per pool: a worker of pool A is not "on" pool B,
+  // so A's workers may still fan out to B (the fleet/allocator
+  // composition in docs/fleet.md relies on this).
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.on_worker_thread());
+  EXPECT_FALSE(b.on_worker_thread());
+  auto checked = a.submit([&a, &b] {
+    EXPECT_TRUE(a.on_worker_thread());
+    EXPECT_FALSE(b.on_worker_thread());
+    // Cross-pool submit enqueues normally and completes.
+    auto cross = b.submit([&b] { return b.on_worker_thread(); });
+    EXPECT_TRUE(cross.get());
+  });
+  checked.get();
+}
+
+TEST(ThreadPool, NestedSubmitExceptionStaysInFuture) {
+  ThreadPool pool(1);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { throw std::runtime_error("inner"); });
+    EXPECT_THROW(inner.get(), std::runtime_error);
+  });
+  outer.get();
+}
+
 }  // namespace
 }  // namespace cvr
